@@ -1,0 +1,71 @@
+//! Ablation: index construction cost — dynamic R\* insertion (what the
+//! paper's system does) vs Hilbert-packed bulk loading (Kamel–
+//! Faloutsos), and the subfield builder itself.
+
+use cf_field::FieldModel;
+use cf_geom::Interval;
+use cf_index::{
+    build_subfields, cell_order, IAll, IHilbert, IHilbertConfig, SubfieldConfig, TreeBuild,
+};
+use cf_sfc::Curve;
+use cf_storage::StorageEngine;
+use cf_workload::terrain::roseburg_standin;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn build_cost(c: &mut Criterion) {
+    let field = roseburg_standin(6); // 4096 cells: builds stay sub-second
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+
+    g.bench_function("IHilbert_dynamic", |b| {
+        b.iter(|| {
+            let engine = StorageEngine::in_memory();
+            std::hint::black_box(IHilbert::build_with(
+                &engine,
+                &field,
+                IHilbertConfig {
+                    tree_build: TreeBuild::Dynamic,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.bench_function("IHilbert_bulk", |b| {
+        b.iter(|| {
+            let engine = StorageEngine::in_memory();
+            std::hint::black_box(IHilbert::build_with(
+                &engine,
+                &field,
+                IHilbertConfig {
+                    tree_build: TreeBuild::Bulk,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.bench_function("IAll_dynamic", |b| {
+        b.iter(|| {
+            let engine = StorageEngine::in_memory();
+            std::hint::black_box(IAll::build(&engine, &field))
+        })
+    });
+    g.finish();
+}
+
+fn subfield_builder(c: &mut Criterion) {
+    let field = roseburg_standin(8); // 65536 cells
+    let order = cell_order(&field, Curve::Hilbert);
+    let intervals: Vec<Interval> = order.iter().map(|&i| field.cell_interval(i)).collect();
+
+    let mut g = c.benchmark_group("subfields");
+    g.bench_function("build_subfields_65536", |b| {
+        b.iter(|| std::hint::black_box(build_subfields(&intervals, SubfieldConfig::default())))
+    });
+    g.bench_function("hilbert_order_65536", |b| {
+        b.iter(|| std::hint::black_box(cell_order(&field, Curve::Hilbert)))
+    });
+    g.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = build_cost, subfield_builder}
+criterion_main!(benches);

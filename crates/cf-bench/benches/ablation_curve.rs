@@ -1,0 +1,137 @@
+//! Ablation: the cell-linearization curve (paper §3.1.2 justifies
+//! choosing Hilbert over Z-order and Gray-code by clustering quality —
+//! this measures the end-to-end effect on query cost, plus the
+//! Interval-Quadtree division strategy and the vector-field extension).
+
+mod common;
+
+use cf_field::FieldModel;
+use cf_index::{
+    CurveChoice, IHilbert, IHilbertConfig, IntervalQuadtree, ValueIndex, VectorIHilbert,
+};
+use cf_sfc::Curve;
+use cf_workload::{ocean::ocean_field, terrain::roseburg_standin};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::Cell;
+
+fn curve_choice(c: &mut Criterion) {
+    let field = roseburg_standin(7);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let dom = field.value_domain();
+
+    for curve in Curve::ALL {
+        let index = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                curve: CurveChoice(curve),
+                ..Default::default()
+            },
+        );
+        common::bench_method_queries(c, "ablation_curve", &engine, &index, dom, 0.02, 0xAB);
+    }
+}
+
+fn division_strategy(c: &mut Criterion) {
+    let field = roseburg_standin(7);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let dom = field.value_domain();
+
+    let ihilbert = IHilbert::build(&engine, &field);
+    common::bench_method_queries(c, "ablation_division", &engine, &ihilbert, dom, 0.02, 0xAD);
+    for frac in [0.02, 0.1, 0.3] {
+        let iq = IntervalQuadtree::build(&engine, &field, frac * dom.width());
+        let queries =
+            cf_workload::queries::interval_queries(dom, 0.02, 64, 0xAD);
+        let cursor = Cell::new(0usize);
+        let mut g = c.benchmark_group("ablation_division");
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_secs(2));
+        g.bench_function(BenchmarkId::new("I-Quad", format!("thr={frac}")), |b| {
+            b.iter(|| {
+                let i = cursor.get();
+                cursor.set((i + 1) % queries.len());
+                engine.clear_cache();
+                std::hint::black_box(iq.query_stats(&engine, queries[i]))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn vector_extension(c: &mut Criterion) {
+    let field = ocean_field(128, 7);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let index = VectorIHilbert::build(&engine, &field);
+    let salmon = cf_geom::Aabb::new([20.0, 12.0], [25.0, 13.0]);
+
+    let mut g = c.benchmark_group("vector_field");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("salmon_query_ihilbert", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            std::hint::black_box(index.query_stats(&engine, &salmon))
+        })
+    });
+    g.finish();
+}
+
+fn volume_extension(c: &mut Criterion) {
+    use cf_index::VolumeIHilbert;
+    use cf_workload::geology::geology_field;
+
+    let field = geology_field(32, 7);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let index = VolumeIHilbert::build(&engine, &field);
+    let dom = {
+        // Ore-grade band: top 8 % of the density domain.
+        let d = field.value_domain();
+        cf_geom::Interval::new(d.denormalize(0.92), d.hi)
+    };
+
+    let mut g = c.benchmark_group("volume_field");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("ore_grade_query_ihilbert_3d", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            std::hint::black_box(index.query_stats(&engine, dom))
+        })
+    });
+    g.finish();
+}
+
+fn incremental_updates(c: &mut Criterion) {
+    use cf_field::FieldModel;
+    use cf_index::IHilbert;
+    use cf_workload::fractal::diamond_square;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let field = diamond_square(6, 0.7, 3);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let mut index = IHilbert::build(&engine, &field);
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = field.num_cells();
+
+    let mut g = c.benchmark_group("incremental");
+    g.bench_function("update_cell_in_place", |b| {
+        b.iter(|| {
+            let cell = rng.gen_range(0..n);
+            let mut rec = field.cell_record(cell);
+            rec.vals[0] += rng.gen_range(-0.05..0.05);
+            let hull = rec.vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            std::hint::black_box(hull);
+            index.update_cell(&engine, cell, rec);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = curve_choice, division_strategy, vector_extension, volume_extension, incremental_updates}
+criterion_main!(benches);

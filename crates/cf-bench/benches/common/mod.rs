@@ -1,0 +1,54 @@
+//! Shared helpers for the figure benches.
+//!
+//! Each Criterion iteration executes one cold-cache value query,
+//! cycling through a pre-drawn batch — the same regime as the paper's
+//! "average of 200 random queries", but sampled by Criterion.
+
+use cf_bench::ExperimentConfig;
+use cf_geom::Interval;
+use cf_index::ValueIndex;
+use cf_storage::StorageEngine;
+use cf_workload::queries::interval_queries;
+use criterion::{BenchmarkId, Criterion};
+use std::cell::Cell;
+
+/// Bench-friendly experiment config: smaller latency so Criterion
+/// samples stay fast while I/O still dominates.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        read_latency_us: 5,
+        queries_per_point: 64,
+        ..Default::default()
+    }
+}
+
+/// Registers one `(figure, method, Qinterval)` benchmark that runs one
+/// cold query per iteration.
+pub fn bench_method_queries(
+    c: &mut Criterion,
+    group: &str,
+    engine: &StorageEngine,
+    method: &dyn ValueIndex,
+    value_domain: Interval,
+    qinterval: f64,
+    queries_seed: u64,
+) {
+    let queries = interval_queries(value_domain, qinterval, 64, queries_seed);
+    let cursor = Cell::new(0usize);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function(
+        BenchmarkId::new(method.name(), format!("Qi={qinterval}")),
+        |b| {
+            b.iter(|| {
+                let i = cursor.get();
+                cursor.set((i + 1) % queries.len());
+                engine.clear_cache();
+                std::hint::black_box(method.query_stats(engine, queries[i]))
+            })
+        },
+    );
+    g.finish();
+}

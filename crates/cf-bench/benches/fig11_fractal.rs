@@ -1,0 +1,37 @@
+//! Fig. 11a–d — field value queries on synthetic fractal terrain across
+//! roughness levels.
+//!
+//! Paper setting: diamond-square DEM with 1,048,576 cells,
+//! H ∈ {0.1, 0.3, 0.6, 0.9}, Qinterval ∈ [0, 0.05]; I-Hilbert wins up
+//! to >50× at H = 0.9, and I-All falls behind LinearScan at small H.
+//! The bench covers the extreme roughness pair {0.1, 0.9} at 128² cells
+//! (the four-panel paper-scale sweep is `repro fig11 --full`).
+
+mod common;
+
+use cf_field::FieldModel;
+use cf_index::{IAll, IHilbert, LinearScan, ValueIndex};
+use cf_workload::fractal::diamond_square;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig11(c: &mut Criterion) {
+    let config = common::bench_config();
+    for h in [0.1, 0.9] {
+        let field = diamond_square(7, h, 0xF1C + (h * 10.0) as u64);
+        let engine = config.engine();
+        let scan = LinearScan::build(&engine, &field);
+        let iall = IAll::build(&engine, &field);
+        let ihilbert = IHilbert::build(&engine, &field);
+        let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
+        let dom = field.value_domain();
+        let group = format!("fig11_fractal_H{h}");
+        for qi in [0.0, 0.05] {
+            for m in &methods {
+                common::bench_method_queries(c, &group, &engine, *m, dom, qi, 0x11);
+            }
+        }
+    }
+}
+
+criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig11}
+criterion_main!(benches);

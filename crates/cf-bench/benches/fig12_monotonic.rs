@@ -1,0 +1,31 @@
+//! Fig. 12 — field value queries on the monotonic field `w = x + y`.
+//!
+//! Paper setting: 512×512 cells, Qinterval ∈ [0, 0.06]. The bench runs
+//! 128² cells; `repro fig12 --full` reproduces the paper scale.
+
+mod common;
+
+use cf_field::FieldModel;
+use cf_index::{IAll, IHilbert, LinearScan, ValueIndex};
+use cf_workload::monotonic::monotonic_field;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig12(c: &mut Criterion) {
+    let field = monotonic_field(128);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let scan = LinearScan::build(&engine, &field);
+    let iall = IAll::build(&engine, &field);
+    let ihilbert = IHilbert::build(&engine, &field);
+    let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
+    let dom = field.value_domain();
+
+    for qi in [0.0, 0.03, 0.06] {
+        for m in &methods {
+            common::bench_method_queries(c, "fig12_monotonic", &engine, *m, dom, qi, 0x12);
+        }
+    }
+}
+
+criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig12}
+criterion_main!(benches);

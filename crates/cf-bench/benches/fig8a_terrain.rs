@@ -1,0 +1,34 @@
+//! Fig. 8a — field value queries on terrain DEM data.
+//!
+//! Paper setting: USGS Roseburg DEM, 512×512, Qinterval ∈ [0, 0.1],
+//! LinearScan vs I-All vs I-Hilbert; I-Hilbert wins 6–12× over
+//! LinearScan. The bench uses the documented terrain stand-in at 128²
+//! cells so `cargo bench` stays fast; run
+//! `repro fig8a --full` for the paper-scale table.
+
+mod common;
+
+use cf_field::FieldModel;
+use cf_index::{IAll, IHilbert, LinearScan, ValueIndex};
+use cf_workload::terrain::roseburg_standin;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig8a(c: &mut Criterion) {
+    let field = roseburg_standin(7);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let scan = LinearScan::build(&engine, &field);
+    let iall = IAll::build(&engine, &field);
+    let ihilbert = IHilbert::build(&engine, &field);
+    let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
+    let dom = field.value_domain();
+
+    for qi in [0.0, 0.04, 0.10] {
+        for m in &methods {
+            common::bench_method_queries(c, "fig8a_terrain", &engine, *m, dom, qi, 0x8A);
+        }
+    }
+}
+
+criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig8a}
+criterion_main!(benches);

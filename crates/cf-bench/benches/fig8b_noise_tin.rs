@@ -1,0 +1,32 @@
+//! Fig. 8b — field value queries on an urban-noise TIN.
+//!
+//! Paper setting: Lyon noise TIN, ~9000 triangles, Qinterval ∈ [0, 0.1].
+//! The bench uses the documented Gaussian-source noise stand-in at the
+//! same triangle count.
+
+mod common;
+
+use cf_field::FieldModel;
+use cf_index::{IAll, IHilbert, LinearScan, ValueIndex};
+use cf_workload::noise::urban_noise_tin;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig8b(c: &mut Criterion) {
+    let field = urban_noise_tin(9000, 42);
+    let config = common::bench_config();
+    let engine = config.engine();
+    let scan = LinearScan::build(&engine, &field);
+    let iall = IAll::build(&engine, &field);
+    let ihilbert = IHilbert::build(&engine, &field);
+    let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
+    let dom = field.value_domain();
+
+    for qi in [0.0, 0.04, 0.10] {
+        for m in &methods {
+            common::bench_method_queries(c, "fig8b_noise_tin", &engine, *m, dom, qi, 0x8B);
+        }
+    }
+}
+
+criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig8b}
+criterion_main!(benches);

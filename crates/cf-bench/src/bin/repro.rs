@@ -1,0 +1,334 @@
+//! Regenerates every table/figure of the paper's evaluation (§4).
+//!
+//! ```sh
+//! cargo run --release -p cf-bench --bin repro -- all
+//! cargo run --release -p cf-bench --bin repro -- fig11 --full   # paper-scale (slow)
+//! ```
+//!
+//! Subcommands: `fig5`, `fig8a`, `fig8b`, `fig11`, `fig12`,
+//! `ablation`, `all`. Flags: `--full` (paper-scale datasets and 200
+//! queries/point), `--queries N`, `--latency-us N`.
+
+use cf_bench::{render_markdown, run_sweep, speedups, ExperimentConfig, SweepResult};
+use cf_field::FieldModel;
+use cf_geom::Interval;
+use cf_index::{
+    build_subfields, cell_order, IHilbert, IHilbertConfig, IntervalQuadtree, LinearScan,
+    SubfieldConfig, ValueIndex,
+};
+use cf_sfc::Curve;
+use cf_workload::{
+    fractal::diamond_square, monotonic::monotonic_field, noise::urban_noise_tin,
+    queries::interval_queries, terrain::roseburg_standin,
+};
+
+struct Opts {
+    full: bool,
+    queries: Option<usize>,
+    latency_us: u64,
+}
+
+impl Opts {
+    fn config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            read_latency_us: self.latency_us,
+            queries_per_point: self.queries.unwrap_or(if self.full { 200 } else { 50 }),
+            ..Default::default()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = String::from("all");
+    let mut opts = Opts {
+        full: false,
+        queries: None,
+        latency_us: 20,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--queries" => {
+                opts.queries = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--queries needs a number"),
+                )
+            }
+            "--latency-us" => {
+                opts.latency_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--latency-us needs a number")
+            }
+            c if !c.starts_with('-') => cmd = c.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match cmd.as_str() {
+        "fig5" => fig5(),
+        "fig8a" => {
+            print_sweep(&fig8a(&opts));
+        }
+        "fig8b" => {
+            print_sweep(&fig8b(&opts));
+        }
+        "fig11" => fig11(&opts),
+        "fig12" => {
+            print_sweep(&fig12(&opts));
+        }
+        "ablation" => ablation(&opts),
+        "all" => {
+            fig5();
+            print_sweep(&fig8a(&opts));
+            print_sweep(&fig8b(&opts));
+            fig11(&opts);
+            print_sweep(&fig12(&opts));
+            ablation(&opts);
+        }
+        other => {
+            eprintln!("unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_sweep(result: &SweepResult) {
+    println!("{}", render_markdown(result));
+    for (qi, s) in speedups(result, "LinearScan", "I-Hilbert") {
+        println!("  speedup(I-Hilbert vs LinearScan) @ Qinterval {qi:.2}: {s:.1}x");
+    }
+    println!();
+}
+
+/// Fig. 5b — the worked subfield-formation example, verified numerically.
+fn fig5() {
+    println!("### fig5 — worked subfield example (paper §3.1.2, Fig. 5b)\n");
+    let cells = [
+        Interval::new(20.0, 30.0),
+        Interval::new(25.0, 34.0),
+        Interval::new(30.0, 40.0),
+        Interval::new(28.0, 40.0),
+        Interval::new(38.0, 50.0),
+    ];
+    let union4 = cells[..4].iter().fold(cells[0], |a, b| a.union(*b));
+    let si4: f64 = cells[..4].iter().map(|iv| iv.size_with_base(1.0)).sum();
+    let ca = union4.size_with_base(1.0) / si4;
+    let union5 = union4.union(cells[4]);
+    let cb = union5.size_with_base(1.0) / (si4 + cells[4].size_with_base(1.0));
+    println!("cost before inserting c5: {ca:.3}   (paper: 21/(11+10+11+13) ≈ 0.466)");
+    println!("cost after  inserting c5: {cb:.3}   (paper: 31/58 ≈ 0.534)");
+    let sfs = build_subfields(&cells, SubfieldConfig::default());
+    println!(
+        "=> {} subfields; c5 starts Subfield 2: {}\n",
+        sfs.len(),
+        sfs.len() == 2 && sfs[1].start == 4
+    );
+}
+
+/// Fig. 8a — terrain DEM (Roseburg stand-in), Qinterval 0–0.1.
+fn fig8a(opts: &Opts) -> SweepResult {
+    let k = if opts.full { 9 } else { 8 };
+    let field = roseburg_standin(k);
+    eprintln!("[fig8a] terrain {}x{} cells…", 1 << k, 1 << k);
+    run_sweep(
+        "fig8a (real-terrain stand-in)",
+        &field,
+        &[0.0, 0.02, 0.04, 0.06, 0.08, 0.10],
+        &opts.config(),
+    )
+}
+
+/// Fig. 8b — urban noise TIN (~9000 triangles), Qinterval 0–0.1.
+fn fig8b(opts: &Opts) -> SweepResult {
+    // The TIN is already paper-scale (~9000 triangles) in both modes.
+    let field = urban_noise_tin(9000, 42);
+    eprintln!("[fig8b] noise TIN {} triangles…", field.num_cells());
+    run_sweep(
+        "fig8b (urban-noise TIN stand-in)",
+        &field,
+        &[0.0, 0.02, 0.04, 0.06, 0.08, 0.10],
+        &opts.config(),
+    )
+}
+
+/// Fig. 11a–d — fractal DEMs with H ∈ {0.1, 0.3, 0.6, 0.9}.
+fn fig11(opts: &Opts) {
+    let k = if opts.full { 10 } else { 8 };
+    for (sub, h) in [("a", 0.1), ("b", 0.3), ("c", 0.6), ("d", 0.9)] {
+        let field = diamond_square(k, h, 0xF1C + (h * 10.0) as u64);
+        eprintln!("[fig11{sub}] fractal H={h}, {} cells…", field.num_cells());
+        let result = run_sweep(
+            &format!("fig11{sub} (fractal H={h})"),
+            &field,
+            &[0.0, 0.01, 0.02, 0.03, 0.04, 0.05],
+            &opts.config(),
+        );
+        print_sweep(&result);
+    }
+}
+
+/// Fig. 12 — monotonic field w = x + y.
+fn fig12(opts: &Opts) -> SweepResult {
+    let cells = if opts.full { 512 } else { 256 };
+    let field = monotonic_field(cells);
+    eprintln!("[fig12] monotonic {cells}x{cells} cells…");
+    run_sweep(
+        "fig12 (monotonic w = x + y)",
+        &field,
+        &[0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06],
+        &opts.config(),
+    )
+}
+
+/// Design-choice ablations: curve, cost knobs, quadtree threshold.
+fn ablation(opts: &Opts) {
+    let k = if opts.full { 9 } else { 7 };
+    let field = roseburg_standin(k);
+    let dom = field.value_domain();
+    let config = opts.config();
+    let engine = config.engine();
+    let queries = interval_queries(dom, 0.02, config.queries_per_point, 7);
+
+    println!("### ablation — curve choice (subfields + mean pages @ Qinterval 0.02)\n");
+    println!("| curve | subfields | mean pages | mean ms |");
+    println!("|---|---|---|---|");
+    for curve in Curve::ALL {
+        let idx = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                curve: cf_index::CurveChoice(curve),
+                ..Default::default()
+            },
+        );
+        let p = cf_bench::run_method_point(&engine, &idx, 0.02, &queries, &config);
+        println!(
+            "| {} | {} | {:.0} | {:.2} |",
+            curve.name(),
+            idx.num_intervals(),
+            p.mean_pages,
+            p.mean_time_ms
+        );
+    }
+
+    println!("\n### ablation — cost-function knobs (base, query_len)\n");
+    println!("| base | query_len | subfields | mean pages |");
+    println!("|---|---|---|---|");
+    let width = dom.width();
+    for (base, qlen) in [
+        (1.0, 0.0),
+        (1.0, 0.5 * width),
+        (0.01 * width, 0.0),
+        (0.1 * width, 0.0),
+        (1.0, 0.1 * width),
+    ] {
+        let idx = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                subfield: SubfieldConfig {
+                    base,
+                    query_len: qlen,
+                },
+                ..Default::default()
+            },
+        );
+        let p = cf_bench::run_method_point(&engine, &idx, 0.02, &queries, &config);
+        println!(
+            "| {base:.2} | {qlen:.2} | {} | {:.0} |",
+            idx.num_intervals(),
+            p.mean_pages
+        );
+    }
+
+    println!("\n### ablation — Interval-Quadtree threshold (fraction of value domain)\n");
+    println!("| threshold | leaves | mean pages |");
+    println!("|---|---|---|");
+    for frac in [0.01, 0.05, 0.1, 0.25, 0.5] {
+        let iq = IntervalQuadtree::build(&engine, &field, frac * width);
+        let p = cf_bench::run_method_point(&engine, &iq, 0.02, &queries, &config);
+        println!("| {frac:.2} | {} | {:.0} |", iq.num_intervals(), p.mean_pages);
+    }
+
+    // Reference points for the table reader.
+    let scan = LinearScan::build(&engine, &field);
+    let p = cf_bench::run_method_point(&engine, &scan, 0.02, &queries, &config);
+    println!(
+        "\n(LinearScan reference: {:.0} pages, {:.2} ms; {} cells)\n",
+        p.mean_pages,
+        p.mean_time_ms,
+        field.num_cells()
+    );
+
+    // Record layout: 64-byte f64 records vs 32-byte f32 records.
+    {
+        use cf_field::CompactGridField;
+        let compact_field = CompactGridField::new(&field);
+        let full_idx = IHilbert::build(&engine, &field);
+        let compact_idx = IHilbert::build(&engine, &compact_field);
+        let pf = cf_bench::run_method_point(&engine, &full_idx, 0.02, &queries, &config);
+        let pc = cf_bench::run_method_point(&engine, &compact_idx, 0.02, &queries, &config);
+        println!("### ablation — record layout (Qinterval 0.02)\n");
+        println!("| record | bytes | data pages | mean pages | mean ms |");
+        println!("|---|---|---|---|---|");
+        println!(
+            "| f64 | 64 | {} | {:.0} | {:.2} |",
+            full_idx.data_pages(),
+            pf.mean_pages,
+            pf.mean_time_ms
+        );
+        println!(
+            "| f32 | 32 | {} | {:.0} | {:.2} |",
+            compact_idx.data_pages(),
+            pc.mean_pages,
+            pc.mean_time_ms
+        );
+        println!();
+    }
+
+    // Adaptive planner: scan fallback for wide bands.
+    {
+        use cf_index::AdaptiveIndex;
+        let probe = IHilbert::build(&engine, &field);
+        let adaptive = AdaptiveIndex::build(&engine, &field);
+        println!("### ablation — adaptive planner (probe vs scan fallback)\n");
+        println!("| Qinterval | probe pages | adaptive pages | plan |");
+        println!("|---|---|---|---|");
+        for qi in [0.0, 0.05, 0.2, 0.5, 0.9] {
+            let qs = interval_queries(dom, qi, config.queries_per_point.min(30), 11);
+            let pp = cf_bench::run_method_point(&engine, &probe, qi, &qs, &config);
+            let pa = cf_bench::run_method_point(&engine, &adaptive, qi, &qs, &config);
+            let plan = match adaptive.plan(qs[0]) {
+                cf_index::Plan::FullScan => "scan",
+                cf_index::Plan::IndexProbe => "probe",
+            };
+            println!(
+                "| {qi:.2} | {:.0} | {:.0} | {plan} |",
+                pp.mean_pages, pa.mean_pages
+            );
+        }
+        println!();
+    }
+
+    // Subfield statistics, as in Fig. 7's narrative.
+    let order = cell_order(&field, Curve::Hilbert);
+    let intervals: Vec<Interval> = order.iter().map(|&c| field.cell_interval(c)).collect();
+    let sfs = build_subfields(&intervals, SubfieldConfig::default());
+    let mut sizes: Vec<usize> = sfs.iter().map(|s| s.len()).collect();
+    sizes.sort_unstable();
+    println!(
+        "subfield size distribution: n={}, min={}, p50={}, p95={}, max={}\n",
+        sizes.len(),
+        sizes[0],
+        sizes[sizes.len() / 2],
+        sizes[sizes.len() * 95 / 100],
+        sizes[sizes.len() - 1]
+    );
+}

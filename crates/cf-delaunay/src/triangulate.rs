@@ -1,0 +1,455 @@
+//! Incremental Bowyer–Watson triangulation.
+
+use cf_geom::{Aabb, Point2, Triangle};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Failure modes of [`triangulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriangulationError {
+    /// Fewer than three distinct points were supplied.
+    TooFewPoints,
+    /// All points are (numerically) collinear — no triangle exists.
+    AllCollinear,
+    /// A point has a non-finite coordinate.
+    NonFinitePoint,
+}
+
+impl fmt::Display for TriangulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewPoints => write!(f, "need at least 3 distinct points"),
+            Self::AllCollinear => write!(f, "all points are collinear"),
+            Self::NonFinitePoint => write!(f, "point with non-finite coordinate"),
+        }
+    }
+}
+
+impl std::error::Error for TriangulationError {}
+
+/// A Delaunay triangulation of a point set.
+#[derive(Debug, Clone)]
+pub struct Triangulation {
+    /// The input points (indices below refer to this vector).
+    pub points: Vec<Point2>,
+    /// Triangles as CCW-ordered triplets of point indices.
+    pub triangles: Vec<[usize; 3]>,
+}
+
+impl Triangulation {
+    /// The geometric triangle for entry `t`.
+    pub fn triangle(&self, t: usize) -> Triangle {
+        let [a, b, c] = self.triangles[t];
+        Triangle::new(self.points[a], self.points[b], self.points[c])
+    }
+
+    /// Total area covered (the convex hull area for a Delaunay
+    /// triangulation).
+    pub fn area(&self) -> f64 {
+        (0..self.triangles.len()).map(|t| self.triangle(t).area()).sum()
+    }
+
+    /// Index of a triangle containing `p`, or `None` if `p` lies outside
+    /// the convex hull. Linear scan — fine for the moderate TINs used in
+    /// the workloads; a spatial index layer (cf-field) handles large Q1
+    /// workloads.
+    pub fn locate(&self, p: Point2) -> Option<usize> {
+        (0..self.triangles.len()).find(|&t| self.triangle(t).contains(p))
+    }
+}
+
+/// Returns `> 0` if `p` lies strictly inside the circumcircle of the CCW
+/// triangle `(a, b, c)`, `< 0` if strictly outside, `~0` if cocircular.
+fn incircle(a: Point2, b: Point2, c: Point2, p: Point2) -> f64 {
+    let adx = a.x - p.x;
+    let ady = a.y - p.y;
+    let bdx = b.x - p.x;
+    let bdy = b.y - p.y;
+    let cdx = c.x - p.x;
+    let cdy = c.y - p.y;
+    let ad = adx * adx + ady * ady;
+    let bd = bdx * bdx + bdy * bdy;
+    let cd = cdx * cdx + cdy * cdy;
+    adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx)
+}
+
+/// Computes the Delaunay triangulation of `input`.
+///
+/// Numerically-duplicate points (distance < 1e-12 of the bounding-box
+/// diagonal) are merged; the returned [`Triangulation::points`] keeps the
+/// *original* point list so indices remain meaningful to the caller, and
+/// merged duplicates simply do not appear in any triangle.
+pub fn triangulate(input: &[Point2]) -> Result<Triangulation, TriangulationError> {
+    if input.iter().any(|p| !p.is_finite()) {
+        return Err(TriangulationError::NonFinitePoint);
+    }
+    // Deduplicate on a fine grid to avoid degenerate zero-area cavities.
+    let bbox = Aabb::hull_of_points(input);
+    if bbox.is_empty() {
+        return Err(TriangulationError::TooFewPoints);
+    }
+    let diag = ((bbox.extent(0)).powi(2) + (bbox.extent(1)).powi(2)).sqrt();
+    let merge_tol = (diag * 1e-12).max(f64::MIN_POSITIVE);
+    let mut kept: Vec<usize> = Vec::with_capacity(input.len());
+    {
+        let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        let cell = merge_tol * 2.0;
+        for (i, p) in input.iter().enumerate() {
+            let key = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+            let mut dup = false;
+            'outer: for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(ids) = grid.get(&(key.0 + dx, key.1 + dy)) {
+                        if ids.iter().any(|&j| input[j].distance(*p) < merge_tol) {
+                            dup = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if !dup {
+                grid.entry(key).or_default().push(i);
+                kept.push(i);
+            }
+        }
+    }
+    if kept.len() < 3 {
+        return Err(TriangulationError::TooFewPoints);
+    }
+
+    // Super-triangle comfortably containing every point.
+    let center = bbox.center_point();
+    let size = diag.max(1.0) * 16.0;
+    let s0 = Point2::new(center.x - size, center.y - size * 0.5);
+    let s1 = Point2::new(center.x + size, center.y - size * 0.5);
+    let s2 = Point2::new(center.x, center.y + size);
+
+    // Working vertex list: input points followed by super vertices.
+    let n = input.len();
+    let mut verts: Vec<Point2> = input.to_vec();
+    verts.extend([s0, s1, s2]);
+
+    // Active triangle soup (indices into verts, CCW).
+    let mut tris: Vec<[usize; 3]> = vec![[n, n + 1, n + 2]];
+
+    // Unit directions toward the super vertices; the conflict predicates
+    // below treat super vertices as points at infinity along these fixed
+    // directions, which keeps all super-touching conflict regions
+    // mutually consistent (finite super coordinates would make the
+    // circumcircles bulge by `chord²/8R` and disagree with each other,
+    // disconnecting insertion cavities near the hull).
+    let sdir: [Point2; 3] = {
+        let norm = |p: Point2| {
+            let d = p - center;
+            let len = (d.x * d.x + d.y * d.y).sqrt();
+            Point2::new(d.x / len, d.y / len)
+        };
+        [norm(s0), norm(s1), norm(s2)]
+    };
+
+    // Conflict predicate with symbolic points at infinity:
+    // * no super vertex — ordinary in-circle test;
+    // * one super vertex — the circumcircle degenerates to the
+    //   half-plane left of the (CCW-directed) real edge;
+    // * two super vertices s_i, s_j — it degenerates to the half-plane
+    //   through the real vertex with outward normal along the bisector
+    //   of the two infinite directions;
+    // * three — the initial triangle: conflicts with everything.
+    let conflicts = |tri: [usize; 3], p: Point2| -> bool {
+        let supers: usize = tri.iter().filter(|&&v| v >= n).count();
+        match supers {
+            0 => {
+                let [a, b, c] = tri;
+                incircle(verts[a], verts[b], verts[c], p) > 0.0
+            }
+            1 => {
+                // Rotate so the super vertex is last: CCW triangle
+                // (u, v, s) has s strictly left of u→v, so the conflict
+                // half-plane is `left of u→v`.
+                let [a, b, c] = tri;
+                let (u, v) = if a >= n {
+                    (b, c)
+                } else if b >= n {
+                    (c, a)
+                } else {
+                    (a, b)
+                };
+                verts[u].cross(verts[v], p) > 0.0
+            }
+            2 => {
+                let [a, b, c] = tri;
+                let (real, si, sj) = if a < n {
+                    (a, b, c)
+                } else if b < n {
+                    (b, c, a)
+                } else {
+                    (c, a, b)
+                };
+                let di = sdir[si - n];
+                let dj = sdir[sj - n];
+                let m = Point2::new(di.x + dj.x, di.y + dj.y);
+                let rel = p - verts[real];
+                rel.x * m.x + rel.y * m.y > 0.0
+            }
+            _ => true,
+        }
+    };
+
+    for &pi in &kept {
+        let p = verts[pi];
+        // Find all triangles in conflict with p.
+        let mut bad: Vec<usize> = Vec::new();
+        for (t, tri) in tris.iter().enumerate() {
+            if conflicts(*tri, p) {
+                bad.push(t);
+            }
+        }
+        if bad.is_empty() {
+            // Numerically on an edge of everything (e.g. exact duplicate
+            // that survived dedup): skip the point rather than corrupt
+            // the soup.
+            continue;
+        }
+        // Cavity boundary: edges belonging to exactly one bad triangle.
+        let mut edge_count: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        for &t in &bad {
+            let [a, b, c] = tris[t];
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                let key = (u.min(v), u.max(v));
+                let entry = edge_count.entry(key).or_insert((0, 0));
+                entry.0 += 1;
+                // Remember the directed orientation from the first owner.
+                if entry.0 == 1 {
+                    *entry = (1, if u < v { 0 } else { 1 });
+                }
+            }
+        }
+        // Remove bad triangles (descending order keeps indices valid).
+        bad.sort_unstable_by(|a, b| b.cmp(a));
+        let mut boundary: Vec<(usize, usize)> = Vec::new();
+        for (&(u, v), &(count, orient)) in &edge_count {
+            if count == 1 {
+                // Restore the directed edge as seen by its bad triangle,
+                // so the new triangle (u, v, p) is CCW.
+                if orient == 0 {
+                    boundary.push((u, v));
+                } else {
+                    boundary.push((v, u));
+                }
+            }
+        }
+        for t in bad {
+            tris.swap_remove(t);
+        }
+        for (u, v) in boundary {
+            tris.push([u, v, pi]);
+        }
+    }
+
+    // Drop triangles that use super vertices.
+    let mut triangles: Vec<[usize; 3]> = tris
+        .into_iter()
+        .filter(|t| t.iter().all(|&v| v < n))
+        .collect();
+    if triangles.is_empty() {
+        return Err(TriangulationError::AllCollinear);
+    }
+    // Normalize orientation to CCW (should already hold, but guarantee it).
+    for t in triangles.iter_mut() {
+        let tri = Triangle::new(input[t[0]], input[t[1]], input[t[2]]);
+        if tri.signed_area() < 0.0 {
+            t.swap(1, 2);
+        }
+    }
+    // Deterministic output order.
+    triangles.sort_unstable();
+
+    Ok(Triangulation {
+        points: input.to_vec(),
+        triangles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point2> {
+        coords.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+    }
+
+    #[test]
+    fn square_gives_two_triangles() {
+        let t = triangulate(&pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])).unwrap();
+        assert_eq!(t.triangles.len(), 2);
+        assert!((t.area() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_triangle() {
+        let t = triangulate(&pts(&[(0.0, 0.0), (2.0, 0.0), (1.0, 2.0)])).unwrap();
+        assert_eq!(t.triangles.len(), 1);
+        assert!(t.triangle(0).signed_area() > 0.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert_eq!(
+            triangulate(&pts(&[(0.0, 0.0), (1.0, 1.0)])).unwrap_err(),
+            TriangulationError::TooFewPoints
+        );
+        assert_eq!(
+            triangulate(&pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])).unwrap_err(),
+            TriangulationError::AllCollinear
+        );
+        assert_eq!(
+            triangulate(&[Point2::new(f64::NAN, 0.0), Point2::ORIGIN, Point2::new(1.0, 0.0)])
+                .unwrap_err(),
+            TriangulationError::NonFinitePoint
+        );
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let t = triangulate(&pts(&[
+            (0.0, 0.0),
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+        ]))
+        .unwrap();
+        assert_eq!(t.triangles.len(), 1);
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect()
+    }
+
+    #[test]
+    fn delaunay_property_holds() {
+        let points = random_points(120, 42);
+        let t = triangulate(&points).unwrap();
+        // No point lies strictly inside any triangle's circumcircle.
+        for k in 0..t.triangles.len() {
+            let [a, b, c] = t.triangles[k];
+            let (center, r2) = t.triangle(k).circumcircle().expect("non-degenerate");
+            let r = r2.sqrt();
+            for (i, p) in points.iter().enumerate() {
+                if i == a || i == b || i == c {
+                    continue;
+                }
+                let d = center.distance(*p);
+                assert!(
+                    d >= r - 1e-6 * r.max(1.0),
+                    "point {i} inside circumcircle of triangle {k}: d={d}, r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn covers_convex_hull_area() {
+        let points = random_points(200, 7);
+        let t = triangulate(&points).unwrap();
+        let hull_area = convex_hull_area(&points);
+        assert!(
+            (t.area() - hull_area).abs() < 1e-6 * hull_area,
+            "triangulation area {} vs hull {}",
+            t.area(),
+            hull_area
+        );
+    }
+
+    #[test]
+    fn euler_triangle_count() {
+        // For points in general position: T = 2n − 2 − h.
+        let points = random_points(150, 99);
+        let t = triangulate(&points).unwrap();
+        let h = convex_hull_size(&points);
+        assert_eq!(t.triangles.len(), 2 * points.len() - 2 - h);
+    }
+
+    #[test]
+    fn every_point_is_used() {
+        let points = random_points(100, 5);
+        let t = triangulate(&points).unwrap();
+        let mut used = vec![false; points.len()];
+        for tri in &t.triangles {
+            for &v in tri {
+                used[v] = true;
+            }
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn locate_finds_containing_triangle() {
+        let points = random_points(60, 13);
+        let t = triangulate(&points).unwrap();
+        // Centroids must locate to their own triangle region.
+        for k in 0..t.triangles.len() {
+            let c = t.triangle(k).centroid();
+            let found = t.locate(c).expect("centroid inside hull");
+            assert!(t.triangle(found).contains(c));
+        }
+        assert_eq!(t.locate(Point2::new(-1000.0, -1000.0)), None);
+    }
+
+    #[test]
+    fn grid_points_triangulate() {
+        // Cocircular points (grid corners) are the classic degenerate
+        // case; the triangulation must still cover the full area.
+        let mut points = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                points.push(Point2::new(i as f64, j as f64));
+            }
+        }
+        let t = triangulate(&points).unwrap();
+        assert!((t.area() - 49.0).abs() < 1e-6);
+        assert_eq!(t.triangles.len(), 2 * 49);
+    }
+
+    // --- small test helpers -------------------------------------------
+
+    fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+        let mut pts: Vec<Point2> = points.to_vec();
+        pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+        let mut hull: Vec<Point2> = Vec::new();
+        for phase in 0..2 {
+            let start = hull.len();
+            let iter: Box<dyn Iterator<Item = &Point2>> = if phase == 0 {
+                Box::new(pts.iter())
+            } else {
+                Box::new(pts.iter().rev())
+            };
+            for p in iter {
+                while hull.len() >= start + 2 {
+                    let q = hull[hull.len() - 1];
+                    let r = hull[hull.len() - 2];
+                    if r.cross(q, *p) <= 0.0 {
+                        hull.pop();
+                    } else {
+                        break;
+                    }
+                }
+                hull.push(*p);
+            }
+            hull.pop();
+        }
+        hull
+    }
+
+    fn convex_hull_area(points: &[Point2]) -> f64 {
+        cf_geom::Polygon::new(convex_hull(points)).area()
+    }
+
+    fn convex_hull_size(points: &[Point2]) -> usize {
+        convex_hull(points).len()
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the Delaunay triangulator.
+
+use cf_delaunay::triangulate;
+use cf_geom::{Point2, Polygon};
+use proptest::prelude::*;
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+}
+
+fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    if pts.len() < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Point2> = Vec::new();
+    for phase in 0..2 {
+        let start = hull.len();
+        let iter: Box<dyn Iterator<Item = &Point2>> = if phase == 0 {
+            Box::new(pts.iter())
+        } else {
+            Box::new(pts.iter().rev())
+        };
+        for p in iter {
+            while hull.len() >= start + 2 {
+                let q = hull[hull.len() - 1];
+                let r = hull[hull.len() - 2];
+                if r.cross(q, *p) <= 0.0 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(*p);
+        }
+        hull.pop();
+    }
+    hull
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn triangulation_covers_hull(pts in points(3..120)) {
+        let Ok(t) = triangulate(&pts) else {
+            // Degenerate inputs (collinear) are allowed to fail.
+            return Ok(());
+        };
+        let hull_area = Polygon::new(convex_hull(&pts)).area();
+        prop_assert!(
+            (t.area() - hull_area).abs() <= 1e-6 * hull_area.max(1.0),
+            "area {} vs hull {}", t.area(), hull_area
+        );
+    }
+
+    #[test]
+    fn triangles_are_ccw_and_nondegenerate(pts in points(3..100)) {
+        let Ok(t) = triangulate(&pts) else { return Ok(()); };
+        for k in 0..t.triangles.len() {
+            prop_assert!(t.triangle(k).signed_area() > 0.0, "triangle {k} not CCW");
+        }
+    }
+
+    #[test]
+    fn delaunay_empty_circumcircle(pts in points(3..60)) {
+        let Ok(t) = triangulate(&pts) else { return Ok(()); };
+        for k in 0..t.triangles.len() {
+            let [a, b, c] = t.triangles[k];
+            let Some((center, r2)) = t.triangle(k).circumcircle() else { continue; };
+            let r = r2.sqrt();
+            for (i, p) in pts.iter().enumerate() {
+                if i == a || i == b || i == c {
+                    continue;
+                }
+                prop_assert!(
+                    center.distance(*p) >= r - 1e-6 * r.max(1.0),
+                    "point {i} strictly inside circumcircle of triangle {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_overlapping_triangles(pts in points(3..80)) {
+        // Sum of areas equals hull area AND centroids locate uniquely
+        // (no triangle contains another triangle's centroid strictly).
+        let Ok(t) = triangulate(&pts) else { return Ok(()); };
+        for k in 0..t.triangles.len() {
+            let c = t.triangle(k).centroid();
+            let mut containing = 0;
+            for j in 0..t.triangles.len() {
+                if t.triangle(j).contains(c) {
+                    containing += 1;
+                }
+            }
+            // The centroid lies strictly inside its own triangle; shared
+            // boundary tolerance may count a neighbour at most rarely.
+            prop_assert!(containing >= 1);
+            prop_assert!(containing <= 2, "centroid of {k} inside {containing} triangles");
+        }
+    }
+}

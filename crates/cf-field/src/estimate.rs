@@ -1,0 +1,186 @@
+//! The estimation step: exact answer regions of field value queries.
+//!
+//! Paper §3.2, algorithm `Estimate`: after the filtering step retrieves
+//! candidate cells, "estimate the exact answer regions corresponding to
+//! `w` with retrieved sample points". With linear interpolation the
+//! interpolant over a triangle is an affine function `w(x, y)`, so the
+//! region where `a ≤ w ≤ b` is the triangle clipped by two half-planes —
+//! computable exactly with Sutherland–Hodgman.
+
+use cf_geom::{Point2, Polygon, Triangle, EPSILON};
+
+/// Coefficients of the affine interpolant `w(x, y) = gx·x + gy·y + c`
+/// over a triangle with given vertex values.
+///
+/// Returns `None` for a degenerate (zero-area) triangle.
+pub fn plane_coefficients(tri: &Triangle, values: [f64; 3]) -> Option<(f64, f64, f64)> {
+    let [p0, p1, p2] = tri.vertices;
+    let det = (p1.x - p0.x) * (p2.y - p0.y) - (p2.x - p0.x) * (p1.y - p0.y);
+    if det.abs() < EPSILON {
+        return None;
+    }
+    let dv1 = values[1] - values[0];
+    let dv2 = values[2] - values[0];
+    let gx = (dv1 * (p2.y - p0.y) - dv2 * (p1.y - p0.y)) / det;
+    let gy = (dv2 * (p1.x - p0.x) - dv1 * (p2.x - p0.x)) / det;
+    let c = values[0] - gx * p0.x - gy * p0.y;
+    Some((gx, gy, c))
+}
+
+/// The sub-region of `tri` where the linear interpolant of `values` lies
+/// in `[lo, hi]`.
+///
+/// Returns the clipped polygon (possibly empty). For a degenerate
+/// triangle the empty polygon is returned.
+pub fn triangle_band(tri: &Triangle, values: [f64; 3], lo: f64, hi: f64) -> Polygon {
+    debug_assert!(lo <= hi, "inverted band [{lo}, {hi}]");
+    let Some((gx, gy, c)) = plane_coefficients(tri, values) else {
+        return Polygon::empty();
+    };
+    let w = move |p: Point2| gx * p.x + gy * p.y + c;
+    let poly: Polygon = (*tri).into();
+    poly.clip_halfplane(|p| w(p) - lo).clip_halfplane(|p| hi - w(p))
+}
+
+/// Total area of a collection of band regions.
+pub fn total_area(regions: &[Polygon]) -> f64 {
+    regions.iter().map(Polygon::area).sum()
+}
+
+/// Inverse interpolation on a segment: the parameter `t ∈ [0, 1]` where
+/// the value linearly interpolated from `w0` (at `t = 0`) to `w1` (at
+/// `t = 1`) equals `w`, or `None` if `w` is not attained.
+///
+/// This is the 1-D inverse function `f⁻¹(w)` of §2.2.2 applied to a cell
+/// edge; [`triangle_band`] uses the 2-D generalization implicitly via
+/// clipping.
+pub fn inverse_on_segment(w0: f64, w1: f64, w: f64) -> Option<f64> {
+    if (w0 - w1).abs() < EPSILON {
+        return ((w - w0).abs() < EPSILON).then_some(0.0);
+    }
+    let t = (w - w0) / (w1 - w0);
+    (0.0..=1.0).contains(&t).then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_right() -> Triangle {
+        Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn plane_reconstruction_is_exact() {
+        let tri = Triangle::new(
+            Point2::new(0.5, 0.5),
+            Point2::new(3.0, 1.0),
+            Point2::new(1.0, 4.0),
+        );
+        let f = |p: Point2| 2.0 - 3.0 * p.x + 0.5 * p.y;
+        let vals = [f(tri.vertices[0]), f(tri.vertices[1]), f(tri.vertices[2])];
+        let (gx, gy, c) = plane_coefficients(&tri, vals).unwrap();
+        assert!((gx + 3.0).abs() < 1e-10);
+        assert!((gy - 0.5).abs() < 1e-10);
+        assert!((c - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_triangle_yields_empty() {
+        let tri = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+        );
+        assert!(plane_coefficients(&tri, [0.0, 1.0, 2.0]).is_none());
+        assert!(triangle_band(&tri, [0.0, 1.0, 2.0], 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn full_band_returns_whole_triangle() {
+        let tri = unit_right();
+        let region = triangle_band(&tri, [1.0, 2.0, 3.0], 0.0, 10.0);
+        assert!((region.area() - tri.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_band_returns_nothing() {
+        let tri = unit_right();
+        let region = triangle_band(&tri, [1.0, 2.0, 3.0], 5.0, 10.0);
+        assert!(region.is_empty() || region.area() < 1e-12);
+    }
+
+    #[test]
+    fn half_band_area_on_unit_triangle() {
+        // w(x, y) = x over the unit right triangle; region where
+        // w <= 0.5 is the triangle minus the similar triangle scaled by
+        // 0.5 at the right corner: area = 0.5 - 0.5·0.25 = 0.375.
+        let tri = unit_right();
+        let region = triangle_band(&tri, [0.0, 1.0, 0.0], -1.0, 0.5);
+        assert!((region.area() - 0.375).abs() < 1e-12, "area {}", region.area());
+    }
+
+    #[test]
+    fn band_region_values_are_in_band() {
+        let tri = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 1.0),
+            Point2::new(1.0, 3.0),
+        );
+        let vals = [10.0, 30.0, 20.0];
+        let (gx, gy, c) = plane_coefficients(&tri, vals).unwrap();
+        let region = triangle_band(&tri, vals, 15.0, 22.0);
+        assert!(!region.is_empty());
+        for v in &region.vertices {
+            let w = gx * v.x + gy * v.y + c;
+            assert!(
+                (15.0 - 1e-9..=22.0 + 1e-9).contains(&w),
+                "vertex {v} has value {w}"
+            );
+        }
+        // Band vertices also stay inside the triangle.
+        for v in &region.vertices {
+            assert!(tri.contains(*v));
+        }
+    }
+
+    #[test]
+    fn bands_partition_triangle_area() {
+        // Partition the value range into disjoint bands; region areas
+        // must sum to the whole triangle.
+        let tri = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.5),
+            Point2::new(2.0, 4.0),
+        );
+        let vals = [0.0, 7.0, 13.0];
+        let cuts = [0.0, 2.0, 5.0, 9.0, 13.0];
+        let mut total = 0.0;
+        for w in cuts.windows(2) {
+            total += triangle_band(&tri, vals, w[0], w[1]).area();
+        }
+        assert!((total - tri.area()).abs() < 1e-9, "{total} vs {}", tri.area());
+    }
+
+    #[test]
+    fn constant_triangle_in_or_out() {
+        let tri = unit_right();
+        let inside = triangle_band(&tri, [5.0, 5.0, 5.0], 4.0, 6.0);
+        assert!((inside.area() - tri.area()).abs() < 1e-12);
+        let outside = triangle_band(&tri, [5.0, 5.0, 5.0], 6.0, 7.0);
+        assert!(outside.is_empty() || outside.area() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_on_segment_cases() {
+        assert_eq!(inverse_on_segment(0.0, 10.0, 5.0), Some(0.5));
+        assert_eq!(inverse_on_segment(10.0, 0.0, 2.5), Some(0.75));
+        assert_eq!(inverse_on_segment(0.0, 10.0, 11.0), None);
+        assert_eq!(inverse_on_segment(3.0, 3.0, 3.0), Some(0.0));
+        assert_eq!(inverse_on_segment(3.0, 3.0, 4.0), None);
+    }
+}

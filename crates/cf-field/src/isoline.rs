@@ -1,0 +1,297 @@
+//! Isoline (contour) extraction.
+//!
+//! The paper's related work (§2.3) covers isoline extraction from TINs
+//! (van Kreveld 1994) as the special case of a field value query with a
+//! degenerate interval: *"for any query elevation w′ between the lowest
+//! and the highest elevation, the cell contributes to the isoline map"*.
+//! This module computes those contours exactly: for a linearly
+//! interpolated triangle the level set `w = c` is a straight segment,
+//! and the per-cell segments are stitched into polylines.
+
+use crate::estimate::inverse_on_segment;
+use cf_geom::{Point2, Triangle, EPSILON};
+use std::collections::HashMap;
+
+/// A contour polyline; `closed` means the last point connects back to
+/// the first (a loop around a hill or basin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    /// Vertices in order along the contour.
+    pub points: Vec<Point2>,
+    /// Whether the polyline is a closed loop.
+    pub closed: bool,
+}
+
+impl Polyline {
+    /// Total length of the polyline.
+    pub fn length(&self) -> f64 {
+        let mut len: f64 = self
+            .points
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum();
+        if self.closed {
+            if let (Some(&first), Some(&last)) = (self.points.first(), self.points.last()) {
+                len += last.distance(first);
+            }
+        }
+        len
+    }
+}
+
+/// The `w = level` segment inside one linearly-interpolated triangle, or
+/// `None` when the level does not cross the triangle (or only touches a
+/// vertex).
+///
+/// This is the inverse interpolation `f⁻¹(w′)` of paper §2.2.2 applied
+/// per cell.
+pub fn triangle_isoline(tri: &Triangle, values: [f64; 3], level: f64) -> Option<(Point2, Point2)> {
+    let mut crossings: Vec<Point2> = Vec::with_capacity(3);
+    for e in 0..3 {
+        let (i, j) = (e, (e + 1) % 3);
+        let (wi, wj) = (values[i], values[j]);
+        // Half-open convention per edge (count the lower endpoint, not
+        // the upper) so a level passing exactly through a vertex is not
+        // double-counted by its two incident edges.
+        if (wi - wj).abs() < EPSILON {
+            continue; // constant edge: either no crossing or a segment handled by neighbours
+        }
+        let t = (level - wi) / (wj - wi);
+        if (0.0..1.0).contains(&t) {
+            if let Some(tt) = inverse_on_segment(wi, wj, level) {
+                crossings.push(tri.vertices[i].lerp(tri.vertices[j], tt));
+            }
+        }
+    }
+    match crossings.len() {
+        2 => Some((crossings[0], crossings[1])),
+        _ => None,
+    }
+}
+
+/// Quantizes a point for endpoint matching during stitching.
+fn key(p: Point2, scale: f64) -> (i64, i64) {
+    ((p.x * scale).round() as i64, (p.y * scale).round() as i64)
+}
+
+/// Stitches per-cell segments into polylines.
+///
+/// Endpoints are matched with a tolerance of ~1e-9 of the data extent;
+/// every segment appears in exactly one polyline. Open chains are
+/// returned with `closed = false`, loops with `closed = true`.
+pub fn stitch_segments(segments: &[(Point2, Point2)]) -> Vec<Polyline> {
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    // Scale keys by the data magnitude for stable quantization.
+    let max_abs = segments
+        .iter()
+        .flat_map(|(a, b)| [a.x.abs(), a.y.abs(), b.x.abs(), b.y.abs()])
+        .fold(1.0f64, f64::max);
+    let scale = 1e9 / max_abs;
+
+    // Adjacency: endpoint key -> (segment idx, which end).
+    let mut adj: HashMap<(i64, i64), Vec<(usize, bool)>> = HashMap::new();
+    for (i, (a, b)) in segments.iter().enumerate() {
+        adj.entry(key(*a, scale)).or_default().push((i, false));
+        adj.entry(key(*b, scale)).or_default().push((i, true));
+    }
+
+    let mut used = vec![false; segments.len()];
+    let mut out = Vec::new();
+    for start in 0..segments.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        // Grow a chain from both ends of the starting segment.
+        let mut chain = vec![segments[start].0, segments[start].1];
+        let mut closed = false;
+        // Extend forward from the tail, then backward from the head.
+        for dir in 0..2 {
+            loop {
+                let tip = if dir == 0 {
+                    *chain.last().expect("non-empty chain")
+                } else {
+                    chain[0]
+                };
+                let Some(candidates) = adj.get(&key(tip, scale)) else {
+                    break;
+                };
+                let next = candidates
+                    .iter()
+                    .find(|&&(i, _)| !used[i])
+                    .copied();
+                let Some((i, end_is_tip)) = next else { break };
+                used[i] = true;
+                let other = if end_is_tip {
+                    segments[i].0
+                } else {
+                    segments[i].1
+                };
+                // Loop closure?
+                let head = chain[0];
+                let tail = *chain.last().expect("non-empty chain");
+                let closes = if dir == 0 {
+                    key(other, scale) == key(head, scale)
+                } else {
+                    key(other, scale) == key(tail, scale)
+                };
+                if dir == 0 {
+                    chain.push(other);
+                } else {
+                    chain.insert(0, other);
+                }
+                if closes && chain.len() > 3 {
+                    closed = true;
+                    // Drop the duplicated closing vertex.
+                    if dir == 0 {
+                        chain.pop();
+                    } else {
+                        chain.remove(0);
+                    }
+                    break;
+                }
+            }
+            if closed {
+                break;
+            }
+        }
+        out.push(Polyline {
+            points: chain,
+            closed,
+        });
+    }
+    out
+}
+
+/// Extracts the full `w = level` contour map from an iterator of
+/// `(triangle, vertex values)` cells.
+pub fn extract_isolines<I>(cells: I, level: f64) -> Vec<Polyline>
+where
+    I: IntoIterator<Item = (Triangle, [f64; 3])>,
+{
+    let segments: Vec<(Point2, Point2)> = cells
+        .into_iter()
+        .filter_map(|(tri, vals)| triangle_isoline(&tri, vals, level))
+        .collect();
+    stitch_segments(&segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> Triangle {
+        Triangle::new(a.into(), b.into(), c.into())
+    }
+
+    #[test]
+    fn segment_crosses_expected_edges() {
+        // w = x over the unit right triangle; level 0.5 crosses the two
+        // edges adjacent to x = 0..1.
+        let t = tri((0.0, 0.0), (1.0, 0.0), (0.0, 1.0));
+        let seg = triangle_isoline(&t, [0.0, 1.0, 0.0], 0.5).expect("crosses");
+        for p in [seg.0, seg.1] {
+            assert!((p.x - 0.5).abs() < 1e-12, "isoline of w=x is x=0.5, got {p}");
+        }
+    }
+
+    #[test]
+    fn level_outside_range_gives_none() {
+        let t = tri((0.0, 0.0), (1.0, 0.0), (0.0, 1.0));
+        assert_eq!(triangle_isoline(&t, [0.0, 1.0, 2.0], 5.0), None);
+        assert_eq!(triangle_isoline(&t, [0.0, 1.0, 2.0], -1.0), None);
+    }
+
+    #[test]
+    fn constant_triangle_gives_none() {
+        let t = tri((0.0, 0.0), (1.0, 0.0), (0.0, 1.0));
+        assert_eq!(triangle_isoline(&t, [3.0, 3.0, 3.0], 3.0), None);
+    }
+
+    #[test]
+    fn stitch_open_chain() {
+        let segs = vec![
+            (Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)),
+            (Point2::new(1.0, 0.0), Point2::new(2.0, 0.5)),
+            (Point2::new(2.0, 0.5), Point2::new(3.0, 0.5)),
+        ];
+        let lines = stitch_segments(&segs);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].closed);
+        assert_eq!(lines[0].points.len(), 4);
+        let len = lines[0].length();
+        let want = 1.0 + (1.0f64 + 0.25).sqrt() + 1.0;
+        assert!((len - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stitch_closed_loop() {
+        let square = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let segs: Vec<_> = (0..4).map(|i| (square[i], square[(i + 1) % 4])).collect();
+        let lines = stitch_segments(&segs);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].closed, "square must stitch into a loop");
+        assert_eq!(lines[0].points.len(), 4);
+        assert!((lines[0].length() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stitch_two_separate_components() {
+        let segs = vec![
+            (Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)),
+            (Point2::new(5.0, 5.0), Point2::new(6.0, 5.0)),
+        ];
+        let lines = stitch_segments(&segs);
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn contour_of_a_cone_is_a_loop() {
+        // Radial field on a fan of triangles around the origin: the
+        // contour at r = 0.5 must come back as one closed loop.
+        let n = 16;
+        let mut cells = Vec::new();
+        for i in 0..n {
+            let a0 = i as f64 / n as f64 * std::f64::consts::TAU;
+            let a1 = (i + 1) as f64 / n as f64 * std::f64::consts::TAU;
+            let p0 = Point2::new(a0.cos(), a0.sin());
+            let p1 = Point2::new(a1.cos(), a1.sin());
+            let t = Triangle::new(Point2::ORIGIN, p0, p1);
+            cells.push((t, [0.0, 1.0, 1.0]));
+        }
+        let lines = extract_isolines(cells, 0.5);
+        assert_eq!(lines.len(), 1, "one loop, got {}", lines.len());
+        assert!(lines[0].closed);
+        // Length ≈ perimeter of the inscribed 16-gon at r = 0.5.
+        let want = 16.0 * 2.0 * 0.5 * (std::f64::consts::PI / 16.0).sin();
+        assert!(
+            (lines[0].length() - want).abs() < 1e-6,
+            "length {} vs {want}",
+            lines[0].length()
+        );
+    }
+
+    #[test]
+    fn level_through_vertex_is_not_double_counted() {
+        // Two triangles sharing an edge; level passes exactly through
+        // shared vertices — each triangle contributes at most one
+        // segment and stitching must not crash.
+        let t1 = tri((0.0, 0.0), (1.0, 0.0), (0.0, 1.0));
+        let t2 = tri((1.0, 0.0), (1.0, 1.0), (0.0, 1.0));
+        let cells = vec![(t1, [0.0, 1.0, 1.0]), (t2, [1.0, 2.0, 1.0])];
+        let lines = extract_isolines(cells, 1.0);
+        // w=1 runs along the shared edge region boundary; the exact
+        // segment count is representation-dependent, but extraction must
+        // be finite and consistent.
+        for l in &lines {
+            assert!(l.points.len() >= 2);
+        }
+    }
+}

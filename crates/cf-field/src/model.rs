@@ -1,0 +1,73 @@
+//! The `FieldModel` abstraction shared by every cell model.
+
+use cf_geom::{Aabb, Interval, Point2, Polygon};
+use cf_storage::Record;
+
+/// A continuous scalar field made of cells with sample points and a
+/// linear interpolation function — the `(C, F)` pair of paper §2.1.
+///
+/// The value indexes (`cf-index`) are generic over this trait. Cells are
+/// identified by a dense index `0..num_cells()`. Each cell has an
+/// on-disk record type carrying its sample points, so the estimation
+/// step can run from bytes read back from the cell file — the
+/// disk-resident pipeline of the paper.
+pub trait FieldModel {
+    /// On-disk record for one cell (geometry + sample values).
+    type CellRec: Record + Clone + Send + Sync;
+
+    /// Number of cells covering the domain.
+    fn num_cells(&self) -> usize;
+
+    /// The record for a cell (used when building the cell file).
+    fn cell_record(&self, cell: usize) -> Self::CellRec;
+
+    /// Center position of a cell — the position whose Hilbert value
+    /// orders the cells (paper §3.1.2: "the Hilbert value of a cell
+    /// means that of the center of the cell").
+    fn cell_centroid(&self, cell: usize) -> Point2;
+
+    /// Interval of all explicit *and implicit* values inside the cell.
+    ///
+    /// For linear interpolation the extrema are at the sample points, so
+    /// this is the hull of the sample values. An interpolation that
+    /// "introduces new extreme points having values outside the original
+    /// interval" (§2.2.2) must widen the interval accordingly in its
+    /// implementation of this method.
+    fn cell_interval(&self, cell: usize) -> Interval;
+
+    /// Decodes the value interval from a stored record (must equal
+    /// [`FieldModel::cell_interval`] for the same cell).
+    fn record_interval(rec: &Self::CellRec) -> Interval;
+
+    /// Estimation step for one retrieved cell: the exact sub-regions of
+    /// the cell where the interpolated value lies in `band`.
+    fn record_band_region(rec: &Self::CellRec, band: Interval) -> Vec<Polygon>;
+
+    /// Bounding box of the spatial domain.
+    fn domain(&self) -> Aabb<2>;
+
+    /// Hull of all field values (used to normalize query intervals).
+    fn value_domain(&self) -> Interval {
+        let mut acc: Option<Interval> = None;
+        for c in 0..self.num_cells() {
+            let iv = self.cell_interval(c);
+            acc = Some(match acc {
+                Some(a) => a.union(iv),
+                None => iv,
+            });
+        }
+        acc.unwrap_or(Interval::point(0.0))
+    }
+
+    /// Q1 conventional query: the interpolated value at `p`, or `None`
+    /// outside the domain.
+    fn value_at(&self, p: Point2) -> Option<f64>;
+
+    /// Spatial bounding box of a cell (key of the Q1 spatial index).
+    fn cell_bbox(&self, cell: usize) -> Aabb<2>;
+
+    /// Interpolates the field value at `p` from a stored cell record, or
+    /// `None` when `p` lies outside the cell — the per-cell step of a
+    /// disk-resident Q1 query.
+    fn record_value_at(rec: &Self::CellRec, p: Point2) -> Option<f64>;
+}

@@ -1,0 +1,212 @@
+//! Simple polygons and half-plane clipping.
+//!
+//! The estimation step of a field value query (paper §3.2, algorithm
+//! `Estimate`) computes the *exact* answer regions: the sub-region of each
+//! candidate cell where the interpolated value lies inside the query
+//! interval. With linear interpolation that region is the cell clipped by
+//! two half-planes (`w ≥ a` and `w ≤ b`), which Sutherland–Hodgman
+//! clipping computes exactly.
+
+use crate::{Aabb, Point2};
+
+/// A simple polygon given by its vertices in order (either orientation).
+///
+/// An empty vertex list represents the empty region; polygons with fewer
+/// than three vertices have zero area.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polygon {
+    /// Vertices in boundary order.
+    pub vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from vertices in boundary order.
+    pub fn new(vertices: Vec<Point2>) -> Self {
+        Self { vertices }
+    }
+
+    /// The empty polygon.
+    pub fn empty() -> Self {
+        Self { vertices: Vec::new() }
+    }
+
+    /// Returns `true` when the polygon has no area-bearing boundary.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Signed area by the shoelace formula (positive for CCW order).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        0.5 * acc
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Centroid of the polygon (area-weighted), or `None` if the polygon
+    /// has no area.
+    pub fn centroid(&self) -> Option<Point2> {
+        let a = self.signed_area();
+        if a.abs() < 1e-300 {
+            return None;
+        }
+        let n = self.vertices.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Some(Point2::new(cx / (6.0 * a), cy / (6.0 * a)))
+    }
+
+    /// Axis-aligned bounding box of the polygon.
+    pub fn bbox(&self) -> Aabb<2> {
+        Aabb::hull_of_points(&self.vertices)
+    }
+
+    /// Clips the polygon to the half-plane `{p : keep(p) >= 0}` where
+    /// `keep` is an affine function of position.
+    ///
+    /// See [`clip_polygon_halfplane`].
+    pub fn clip_halfplane(&self, keep: impl Fn(Point2) -> f64) -> Polygon {
+        clip_polygon_halfplane(self, keep)
+    }
+}
+
+impl From<crate::Triangle> for Polygon {
+    fn from(t: crate::Triangle) -> Self {
+        Polygon::new(t.vertices.to_vec())
+    }
+}
+
+/// Sutherland–Hodgman clipping of `poly` against the half-plane
+/// `{p : keep(p) >= 0}`.
+///
+/// `keep` must be an *affine* function of position (a linear field plus a
+/// constant); intersection points on edges are then computed exactly by
+/// linear interpolation of `keep` values. This is precisely the situation
+/// of the estimation step: for a linearly-interpolated cell the functions
+/// `w(p) − a` and `b − w(p)` are affine.
+pub fn clip_polygon_halfplane(poly: &Polygon, keep: impl Fn(Point2) -> f64) -> Polygon {
+    let n = poly.vertices.len();
+    if n == 0 {
+        return Polygon::empty();
+    }
+    let mut out = Vec::with_capacity(n + 2);
+    for i in 0..n {
+        let cur = poly.vertices[i];
+        let next = poly.vertices[(i + 1) % n];
+        let kc = keep(cur);
+        let kn = keep(next);
+        if kc >= 0.0 {
+            out.push(cur);
+        }
+        // Edge crosses the boundary: emit the intersection point.
+        if (kc > 0.0 && kn < 0.0) || (kc < 0.0 && kn > 0.0) {
+            let t = kc / (kc - kn);
+            out.push(cur.lerp(next, t));
+        }
+    }
+    Polygon::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triangle;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn shoelace_area() {
+        assert!((unit_square().area() - 1.0).abs() < 1e-12);
+        assert!(unit_square().signed_area() > 0.0);
+        let t: Polygon = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(0.0, 2.0),
+        )
+        .into();
+        assert!((t.area() - 2.0).abs() < 1e-12);
+        assert_eq!(Polygon::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let c = unit_square().centroid().unwrap();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+        assert_eq!(Polygon::empty().centroid(), None);
+    }
+
+    #[test]
+    fn clip_keeps_half_of_square() {
+        // Keep x >= 0.5.
+        let clipped = unit_square().clip_halfplane(|p| p.x - 0.5);
+        assert!((clipped.area() - 0.5).abs() < 1e-12);
+        for v in &clipped.vertices {
+            assert!(v.x >= 0.5 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_fully_inside_and_outside() {
+        let sq = unit_square();
+        let all = sq.clip_halfplane(|p| p.x + 10.0);
+        assert!((all.area() - 1.0).abs() < 1e-12);
+        let none = sq.clip_halfplane(|p| -p.x - 10.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn clip_with_affine_field_band() {
+        // Field w(x, y) = x + y over the unit square; the band
+        // 0.5 <= w <= 1.5 removes two corner triangles of area 1/8 each.
+        let sq = unit_square();
+        let band = sq
+            .clip_halfplane(|p| (p.x + p.y) - 0.5)
+            .clip_halfplane(|p| 1.5 - (p.x + p.y));
+        assert!((band.area() - 0.75).abs() < 1e-12, "area={}", band.area());
+    }
+
+    #[test]
+    fn clip_boundary_vertices_are_kept() {
+        // A vertex exactly on the boundary (keep == 0) is retained once.
+        let tri: Polygon = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        )
+        .into();
+        let clipped = tri.clip_halfplane(|p| p.y); // keep y >= 0: whole triangle
+        assert!((clipped.area() - tri.area()).abs() < 1e-12);
+        assert_eq!(clipped.vertices.len(), 3);
+    }
+
+    #[test]
+    fn bbox_of_polygon() {
+        let b = unit_square().bbox();
+        assert_eq!(b, Aabb::new([0.0, 0.0], [1.0, 1.0]));
+    }
+}

@@ -1,0 +1,410 @@
+//! `I-Hilbert` — the paper's contribution.
+//!
+//! Cells are linearized by the Hilbert value of their centers; subfields
+//! are formed by the greedy cost rule of §3.1.2; only subfield intervals
+//! enter the 1-D R\*-tree, and each subfield's cells are physically
+//! contiguous in the cell file, so the estimation step reads compact
+//! page runs.
+
+use crate::order::cell_order;
+use crate::sfindex::SubfieldIndex;
+pub use crate::sfindex::TreeBuild;
+use crate::stats::{QueryStats, ValueIndex};
+use crate::subfield::{build_subfields, SubfieldConfig};
+use cf_field::FieldModel;
+use cf_geom::{Interval, Polygon};
+use cf_sfc::Curve;
+use cf_storage::StorageEngine;
+
+/// Construction parameters of [`IHilbert`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IHilbertConfig {
+    /// Cell linearization curve. [`Curve::Hilbert`] is the paper's
+    /// method; other curves exist for the ablation bench.
+    pub curve: CurveChoice,
+    /// Cost-function knobs (paper defaults).
+    pub subfield: SubfieldConfig,
+    /// R\*-tree build strategy.
+    pub tree_build: TreeBuild,
+}
+
+/// Wrapper defaulting the curve to Hilbert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurveChoice(pub Curve);
+
+impl Default for CurveChoice {
+    fn default() -> Self {
+        Self(Curve::Hilbert)
+    }
+}
+
+/// The I-Hilbert value index.
+pub struct IHilbert<F: FieldModel> {
+    inner: SubfieldIndex<F>,
+    curve: Curve,
+    /// Field cell index → position in the Hilbert-ordered cell file.
+    cell_to_pos: Vec<u32>,
+}
+
+impl<F: FieldModel> IHilbert<F> {
+    /// Builds the index with paper-default parameters.
+    pub fn build(engine: &StorageEngine, field: &F) -> Self {
+        Self::build_with(engine, field, IHilbertConfig::default())
+    }
+
+    /// Builds the index with explicit parameters.
+    pub fn build_with(engine: &StorageEngine, field: &F, config: IHilbertConfig) -> Self {
+        let order = cell_order(field, config.curve.0);
+        let intervals: Vec<Interval> =
+            order.iter().map(|&c| field.cell_interval(c)).collect();
+        let subfields = build_subfields(&intervals, config.subfield);
+        let inner = SubfieldIndex::build(engine, field, &order, &subfields, config.tree_build);
+        let mut cell_to_pos = vec![0u32; order.len()];
+        for (pos, &cell) in order.iter().enumerate() {
+            cell_to_pos[cell] = pos as u32;
+        }
+        Self {
+            inner,
+            curve: config.curve.0,
+            cell_to_pos,
+        }
+    }
+
+    /// Number of subfields the cost function produced.
+    pub fn num_subfields(&self) -> usize {
+        self.inner.subfields.len()
+    }
+
+    /// Number of cells in the index's cell file.
+    pub fn inner_len(&self) -> usize {
+        self.inner.file.len()
+    }
+
+    /// Hull of all indexed values (union of subfield intervals).
+    pub fn value_domain(&self) -> Interval {
+        self.inner
+            .subfields
+            .iter()
+            .map(|sf| sf.interval)
+            .reduce(|a, b| a.union(b))
+            .unwrap_or(Interval::point(0.0))
+    }
+
+    /// Q1 point query answered from the cell records alone (sequential
+    /// probe of the cell file, no spatial index) — the fallback path a
+    /// reopened database uses when only the value index was persisted.
+    /// Prefer [`crate::PointIndex`] for Q1-heavy workloads.
+    pub fn value_at_via_records(
+        &self,
+        engine: &StorageEngine,
+        p: cf_geom::Point2,
+    ) -> Option<f64> {
+        let mut answer = None;
+        self.inner.file.for_each_in_range(engine, 0..self.inner.file.len(), |_, rec| {
+            if answer.is_none() {
+                if let Some(v) = F::record_value_at(&rec, p) {
+                    answer = Some(v);
+                }
+            }
+        });
+        answer
+    }
+
+    pub(crate) fn inner(&self) -> &SubfieldIndex<F> {
+        &self.inner
+    }
+
+    pub(crate) fn curve(&self) -> Curve {
+        self.curve
+    }
+
+    pub(crate) fn cell_to_pos(&self) -> &[u32] {
+        &self.cell_to_pos
+    }
+
+    pub(crate) fn from_parts(
+        inner: SubfieldIndex<F>,
+        curve: Curve,
+        cell_to_pos: Vec<u32>,
+    ) -> Self {
+        Self {
+            inner,
+            curve,
+            cell_to_pos,
+        }
+    }
+
+    /// Runs the query with the estimation step parallelized across
+    /// `threads` workers (see `SubfieldIndex::par_query_stats`). Returns
+    /// the same counts and exact area as [`ValueIndex::query_stats`].
+    pub fn par_query_stats(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        threads: usize,
+    ) -> QueryStats {
+        self.inner.par_query_stats(engine, band, threads)
+    }
+
+    /// Incremental maintenance: applies an updated record for `cell`
+    /// (e.g. a re-measured sample) in place.
+    ///
+    /// The cell record is rewritten in the Hilbert-ordered file and, if
+    /// the containing subfield's value interval changed, its entry in
+    /// the paged R\*-tree is replaced (remove + insert directly against
+    /// index pages). Subfield *boundaries* are not re-optimized — the
+    /// greedy grouping is a build-time decision, as in the paper.
+    pub fn update_cell(&mut self, engine: &StorageEngine, cell: usize, record: F::CellRec) {
+        let pos = self.cell_to_pos[cell] as usize;
+        self.inner.update_record(engine, pos, &record);
+    }
+}
+
+impl<F: FieldModel> ValueIndex for IHilbert<F> {
+    fn name(&self) -> String {
+        match self.curve {
+            Curve::Hilbert => "I-Hilbert".into(),
+            other => format!("I-{}", other.name()),
+        }
+    }
+
+    fn query_with(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> QueryStats {
+        self.inner.query_with(engine, band, sink)
+    }
+
+    fn index_pages(&self) -> usize {
+        self.inner.tree.num_pages()
+    }
+
+    fn data_pages(&self) -> usize {
+        self.inner.file.num_pages()
+    }
+
+    fn num_intervals(&self) -> usize {
+        self.inner.subfields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn smooth_field(n: usize) -> cf_field::GridField {
+        // A smooth two-bump surface: strong spatial autocorrelation,
+        // which is what subfields exploit.
+        let vw = n + 1;
+        let mut values = Vec::new();
+        for y in 0..vw {
+            for x in 0..vw {
+                let (fx, fy) = (x as f64 / n as f64, y as f64 / n as f64);
+                values.push(
+                    100.0 * (-((fx - 0.3).powi(2) + (fy - 0.3).powi(2)) * 8.0).exp()
+                        + 60.0 * (-((fx - 0.75).powi(2) + (fy - 0.7).powi(2)) * 12.0).exp(),
+                );
+            }
+        }
+        cf_field::GridField::from_values(vw, vw, values)
+    }
+
+    #[test]
+    fn far_fewer_intervals_than_cells() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(32);
+        let ih = IHilbert::build(&engine, &field);
+        assert!(ih.num_subfields() >= 1);
+        assert!(
+            ih.num_subfields() < field.num_cells() / 2,
+            "{} subfields for {} cells",
+            ih.num_subfields(),
+            field.num_cells()
+        );
+    }
+
+    #[test]
+    fn matches_linear_scan_answers() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(24);
+        let scan = LinearScan::build(&engine, &field);
+        let ih = IHilbert::build(&engine, &field);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..25 {
+            let lo: f64 = rng.gen_range(-5.0..105.0);
+            let band = Interval::new(lo, lo + rng.gen_range(0.0..20.0));
+            let a = scan.query_stats(&engine, band);
+            let b = ih.query_stats(&engine, band);
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert!(
+                (a.area - b.area).abs() < 1e-9 * a.area.max(1.0),
+                "band {band}: {} vs {}",
+                a.area,
+                b.area
+            );
+        }
+    }
+
+    #[test]
+    fn reads_fewer_pages_than_linear_scan_on_selective_query() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(48);
+        let scan = LinearScan::build(&engine, &field);
+        let ih = IHilbert::build(&engine, &field);
+        let band = Interval::new(95.0, 100.0); // only the first bump's peak
+        engine.clear_cache();
+        let s = scan.query_stats(&engine, band);
+        engine.clear_cache();
+        let h = ih.query_stats(&engine, band);
+        assert_eq!(s.cells_qualifying, h.cells_qualifying);
+        assert!(
+            h.io.logical_reads() < s.io.logical_reads() / 2,
+            "I-Hilbert {} reads vs LinearScan {}",
+            h.io.logical_reads(),
+            s.io.logical_reads()
+        );
+    }
+
+    #[test]
+    fn curve_ablation_still_correct() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(16);
+        let scan = LinearScan::build(&engine, &field);
+        for curve in Curve::ALL {
+            let idx = IHilbert::build_with(
+                &engine,
+                &field,
+                IHilbertConfig {
+                    curve: CurveChoice(curve),
+                    ..Default::default()
+                },
+            );
+            let band = Interval::new(20.0, 40.0);
+            let a = scan.query_stats(&engine, band);
+            let b = idx.query_stats(&engine, band);
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "curve {curve:?}");
+            assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
+        }
+    }
+
+    #[test]
+    fn bulk_build_equals_dynamic_build() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(16);
+        let dynamic = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                tree_build: TreeBuild::Dynamic,
+                ..Default::default()
+            },
+        );
+        let bulk = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                tree_build: TreeBuild::Bulk,
+                ..Default::default()
+            },
+        );
+        let band = Interval::new(10.0, 30.0);
+        let a = dynamic.query_stats(&engine, band);
+        let b = bulk.query_stats(&engine, band);
+        assert_eq!(a.cells_qualifying, b.cells_qualifying);
+        assert_eq!(a.cells_examined, b.cells_examined);
+        assert!((a.area - b.area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_query_matches_sequential() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(32);
+        let ih = IHilbert::build(&engine, &field);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..15 {
+            let lo: f64 = rng.gen_range(-5.0..100.0);
+            let band = Interval::new(lo, lo + rng.gen_range(0.0..25.0));
+            let seq = ih.query_stats(&engine, band);
+            for threads in [1, 2, 4, 7] {
+                let par = ih.par_query_stats(&engine, band, threads);
+                assert_eq!(par.cells_examined, seq.cells_examined, "t={threads}");
+                assert_eq!(par.cells_qualifying, seq.cells_qualifying, "t={threads}");
+                assert_eq!(par.num_regions, seq.num_regions, "t={threads}");
+                assert!(
+                    (par.area - seq.area).abs() < 1e-9 * seq.area.max(1.0),
+                    "t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_updates_track_field_changes() {
+        use cf_field::GridField;
+        let engine = StorageEngine::in_memory();
+        let mut field = smooth_field(24);
+        let mut index = IHilbert::build(&engine, &field);
+        let mut rng = StdRng::seed_from_u64(77);
+
+        // Mutate 60 random vertices; push the changed cells into the
+        // index incrementally, then compare against a fresh scan of the
+        // mutated field.
+        let (vw, vh) = field.vertex_dims();
+        for _ in 0..60 {
+            let x = rng.gen_range(0..vw);
+            let y = rng.gen_range(0..vh);
+            let new_value: f64 = rng.gen_range(-50.0..150.0);
+            // Rebuild the field with the changed vertex.
+            let mut values: Vec<f64> = (0..vh)
+                .flat_map(|yy| (0..vw).map(move |xx| (xx, yy)))
+                .map(|(xx, yy)| field.vertex_value(xx, yy))
+                .collect();
+            values[y * vw + x] = new_value;
+            field = GridField::from_values(vw, vh, values);
+            // Cells touching the vertex (up to 4).
+            let (cw, ch) = field.cell_dims();
+            for cy in y.saturating_sub(1)..=y.min(ch - 1) {
+                for cx in x.saturating_sub(1)..=x.min(cw - 1) {
+                    let cell = field.cell_index(cx, cy);
+                    index.update_cell(&engine, cell, field.cell_record(cell));
+                }
+            }
+        }
+
+        let scan = LinearScan::build(&engine, &field);
+        for _ in 0..15 {
+            let lo: f64 = rng.gen_range(-60.0..150.0);
+            let band = Interval::new(lo, lo + rng.gen_range(0.0..30.0));
+            let a = scan.query_stats(&engine, band);
+            let b = index.query_stats(&engine, band);
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert!(
+                (a.area - b.area).abs() < 1e-9 * a.area.max(1.0),
+                "band {band}: {} vs {}",
+                a.area,
+                b.area
+            );
+        }
+    }
+
+    #[test]
+    fn update_that_shrinks_interval_keeps_answers_exact() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(8);
+        let mut index = IHilbert::build(&engine, &field);
+        // Flatten one cell to a constant far outside the field range.
+        let cell = 13;
+        let rec = cf_field::GridCellRecord {
+            vals: [999.0; 4],
+            ..field.cell_record(cell)
+        };
+        index.update_cell(&engine, cell, rec);
+        let stats = index.query_stats(&engine, Interval::new(998.0, 1000.0));
+        assert_eq!(stats.cells_qualifying, 1);
+        assert!((stats.area - 1.0).abs() < 1e-9, "whole cell qualifies");
+    }
+}

@@ -1,0 +1,59 @@
+//! Value-domain indexes for continuous field databases — the primary
+//! contribution of the EDBT 2002 paper.
+//!
+//! A *field value query* (Q2) asks "where does the field take values in
+//! `[w′, w″]`?". Processing it means (1) a **filtering step** that finds
+//! every cell whose value interval intersects the query interval, and
+//! (2) an **estimation step** that reads those cells and computes the
+//! exact answer regions by inverse interpolation. This crate implements
+//! the paper's three evaluated methods plus its predecessor, all against
+//! the same paged storage engine:
+//!
+//! * [`LinearScan`] — no index: scan every cell page (the baseline);
+//! * [`IAll`] — one 1-D R\*-tree entry per cell interval (§3, "I-All");
+//! * [`IHilbert`] — the contribution: cells linearized by the Hilbert
+//!   value of their centers, greedily grouped into **subfields** by the
+//!   cost function `C = P / SI` (§3.1), with only subfield intervals in
+//!   the 1-D R\*-tree and each subfield stored as a *contiguous* record
+//!   range of the cell file;
+//! * [`IntervalQuadtree`] — the authors' earlier CIKM 1999 method
+//!   (quadtree space division with a fixed interval-size threshold),
+//!   included as the division-strategy ablation.
+//!
+//! All methods implement [`ValueIndex`], return identical answers, and
+//! report per-query [`QueryStats`] (pages read, cells examined, answer
+//! area), so the benchmarks compare exactly what the paper compared.
+//!
+//! Also provided: [`PointIndex`] for conventional Q1 queries (a 2-D
+//! R\*-tree over cell MBRs, §2.2.1), and [`VectorIHilbert`] extending
+//! subfields to `K`-dimensional value domains (§5 future work).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod iall;
+mod ihilbert;
+mod iquad;
+mod linear;
+mod order;
+mod planner;
+mod q1;
+mod sfindex;
+mod stats;
+mod subfield;
+mod vector;
+mod volume3d;
+
+pub use catalog::PosRecord;
+pub use iall::IAll;
+pub use ihilbert::{CurveChoice, IHilbert, IHilbertConfig, TreeBuild};
+pub use iquad::IntervalQuadtree;
+pub use linear::LinearScan;
+pub use order::{cell_order, CURVE_ORDER};
+pub use planner::{AdaptiveIndex, Plan, SelectivityEstimator};
+pub use q1::{PointIndex, PointQueryStats};
+pub use stats::{QueryStats, ValueIndex};
+pub use subfield::{build_subfields, Subfield, SubfieldConfig};
+pub use vector::{vector_linear_scan, VectorIHilbert};
+pub use volume3d::{volume_linear_scan, VolumeIHilbert};

@@ -1,0 +1,268 @@
+//! Shared machinery of subfield-based indexes (I-Hilbert and the
+//! Interval-Quadtree ablation): a cell file in a chosen linear order,
+//! subfields as `[start, end)` record ranges, and a paged 1-D R\*-tree
+//! over the subfield intervals whose leaf payloads are the packed
+//! ranges (paper Fig. 6: leaf entries store `ptr_start, ptr_end`).
+
+use crate::stats::QueryStats;
+use crate::subfield::Subfield;
+use cf_field::FieldModel;
+use cf_geom::{Interval, Polygon};
+use cf_rtree::{bulk_load_str, PagedRTree, RStarTree, RTreeConfig};
+use cf_storage::{RecordFile, StorageEngine};
+use std::marker::PhantomData;
+
+/// How the subfield R\*-tree is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeBuild {
+    /// One-by-one R\* insertion (what the paper's system does).
+    #[default]
+    Dynamic,
+    /// Packed bulk loading (Kamel–Faloutsos) — the build-time ablation.
+    Bulk,
+}
+
+/// A cell file in subfield order plus the interval tree over subfields.
+pub(crate) struct SubfieldIndex<F: FieldModel> {
+    pub(crate) file: RecordFile<F::CellRec>,
+    pub(crate) tree: PagedRTree<1>,
+    /// Subfield catalog (interval + record range), kept for incremental
+    /// maintenance — the system-catalog analogue of Fig. 6's metadata.
+    pub(crate) subfields: Vec<Subfield>,
+    /// On-disk copy of the subfield catalog (for database reopen).
+    pub(crate) sf_file: RecordFile<Subfield>,
+    /// File position → subfield index.
+    pub(crate) pos_to_subfield: Vec<u32>,
+    _field: PhantomData<fn() -> F>,
+}
+
+impl<F: FieldModel> SubfieldIndex<F> {
+    /// Writes cells in `order` and indexes `subfields` (expressed in
+    /// positions of `order`).
+    pub(crate) fn build(
+        engine: &StorageEngine,
+        field: &F,
+        order: &[usize],
+        subfields: &[Subfield],
+        tree_build: TreeBuild,
+    ) -> Self {
+        debug_assert_eq!(order.len(), field.num_cells());
+        let records: Vec<F::CellRec> =
+            order.iter().map(|&c| field.cell_record(c)).collect();
+        let file = RecordFile::create(engine, records);
+
+        let config = RTreeConfig::page_sized::<1>();
+        let tree = match tree_build {
+            TreeBuild::Dynamic => {
+                let mut tree: RStarTree<1> = RStarTree::new(config);
+                for sf in subfields {
+                    tree.insert(sf.interval.into(), sf.pack());
+                }
+                tree
+            }
+            TreeBuild::Bulk => bulk_load_str(
+                subfields
+                    .iter()
+                    .map(|sf| (sf.interval.into(), sf.pack()))
+                    .collect(),
+                config,
+            ),
+        };
+        let tree = PagedRTree::persist(&tree, engine);
+        let sf_file = RecordFile::create(engine, subfields.to_vec());
+        Self::assemble(file, tree, subfields.to_vec(), sf_file)
+    }
+
+    /// Reattaches to an index persisted in `engine` from its catalog
+    /// handles, reading the subfield metadata back from its on-disk
+    /// copy.
+    pub(crate) fn open(
+        engine: &StorageEngine,
+        file: RecordFile<F::CellRec>,
+        tree: PagedRTree<1>,
+        sf_file: RecordFile<Subfield>,
+    ) -> Self {
+        let subfields = sf_file.read_range(engine, 0..sf_file.len());
+        Self::assemble(file, tree, subfields, sf_file)
+    }
+
+    fn assemble(
+        file: RecordFile<F::CellRec>,
+        tree: PagedRTree<1>,
+        subfields: Vec<Subfield>,
+        sf_file: RecordFile<Subfield>,
+    ) -> Self {
+        let mut pos_to_subfield = vec![0u32; file.len()];
+        for (i, sf) in subfields.iter().enumerate() {
+            for pos in sf.start..sf.end {
+                pos_to_subfield[pos as usize] = i as u32;
+            }
+        }
+        Self {
+            file,
+            tree,
+            subfields,
+            sf_file,
+            pos_to_subfield,
+            _field: PhantomData,
+        }
+    }
+
+    /// Parallel variant of the two-step query: the filtering step runs
+    /// on the calling thread, then the retrieved subfield ranges are
+    /// partitioned across `threads` worker threads that each run the
+    /// estimation step over their share (the storage engine is fully
+    /// thread-safe, so workers fault pages concurrently).
+    ///
+    /// Region geometry is not collected — this is the analytics path
+    /// (counts + exact area). Results are identical to
+    /// [`SubfieldIndex::query_with`].
+    pub(crate) fn par_query_stats(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        threads: usize,
+    ) -> QueryStats {
+        assert!(threads >= 1, "need at least one thread");
+        let before = engine.io_stats();
+        let mut stats = QueryStats::default();
+
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let search = self.tree.search(engine, &band.into(), |data, mbr| {
+            let sf = Subfield::unpack(data, Interval::new(mbr.lo[0], mbr.hi[0]));
+            ranges.push((sf.start, sf.end));
+        });
+        stats.filter_nodes = search.nodes_visited;
+        stats.intervals_retrieved = ranges.len();
+        stats.filter_pages = (engine.io_stats() - before).logical_reads();
+
+        // Balance by cell count: assign ranges to the least-loaded
+        // worker, largest first (LPT heuristic).
+        let mut by_size = ranges;
+        by_size.sort_by_key(|&(s, e)| std::cmp::Reverse(e - s));
+        let mut shares: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
+        let mut loads = vec![0u64; threads];
+        for r in by_size {
+            let k = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .expect("threads >= 1");
+            loads[k] += u64::from(r.1 - r.0);
+            shares[k].push(r);
+        }
+
+        let partials: Vec<QueryStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shares
+                .iter()
+                .map(|share| {
+                    scope.spawn(move || {
+                        let mut part = QueryStats::default();
+                        for &(start, end) in share {
+                            self.file.for_each_in_range(
+                                engine,
+                                start as usize..end as usize,
+                                |_, rec| {
+                                    part.cells_examined += 1;
+                                    if F::record_interval(&rec).intersects(band) {
+                                        part.cells_qualifying += 1;
+                                        for region in F::record_band_region(&rec, band) {
+                                            part.num_regions += 1;
+                                            part.area += region.area();
+                                        }
+                                    }
+                                },
+                            );
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("estimation worker panicked"))
+                .collect()
+        });
+        for p in partials {
+            stats.cells_examined += p.cells_examined;
+            stats.cells_qualifying += p.cells_qualifying;
+            stats.num_regions += p.num_regions;
+            stats.area += p.area;
+        }
+        stats.io = engine.io_stats() - before;
+        stats
+    }
+
+    /// Rewrites the cell record at file position `pos` and incrementally
+    /// maintains its subfield's interval in the paged R\*-tree.
+    pub(crate) fn update_record(
+        &mut self,
+        engine: &StorageEngine,
+        pos: usize,
+        record: &F::CellRec,
+    ) {
+        self.file.put(engine, pos, record);
+        let sf_idx = self.pos_to_subfield[pos] as usize;
+        let sf = self.subfields[sf_idx];
+        // Recompute the subfield interval from its (updated) records.
+        let mut new_iv: Option<Interval> = None;
+        self.file
+            .for_each_in_range(engine, sf.start as usize..sf.end as usize, |_, rec| {
+                let iv = F::record_interval(&rec);
+                new_iv = Some(match new_iv {
+                    Some(a) => a.union(iv),
+                    None => iv,
+                });
+            });
+        let new_iv = new_iv.expect("subfields are non-empty");
+        if new_iv != sf.interval {
+            let removed = self.tree.remove(engine, &sf.interval.into(), sf.pack());
+            debug_assert!(removed, "stale subfield entry must exist in the tree");
+            self.tree.insert(engine, new_iv.into(), sf.pack());
+            self.subfields[sf_idx].interval = new_iv;
+            self.sf_file.put(engine, sf_idx, &self.subfields[sf_idx]);
+        }
+    }
+
+    /// The two-step query of §3.2: filter subfields through the R\*-tree,
+    /// then read each retrieved record range and estimate exact regions.
+    pub(crate) fn query_with(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> QueryStats {
+        let before = engine.io_stats();
+        let mut stats = QueryStats::default();
+
+        // Step 1 (filtering): subfields whose interval intersects w.
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let search = self.tree.search(engine, &band.into(), |data, mbr| {
+            let sf = Subfield::unpack(data, Interval::new(mbr.lo[0], mbr.hi[0]));
+            ranges.push((sf.start, sf.end));
+        });
+        stats.filter_nodes = search.nodes_visited;
+        stats.intervals_retrieved = ranges.len();
+        stats.filter_pages = (engine.io_stats() - before).logical_reads();
+
+        // Step 2 (estimation): read the contiguous cell runs.
+        ranges.sort_unstable();
+        for (start, end) in ranges {
+            self.file
+                .for_each_in_range(engine, start as usize..end as usize, |_, rec| {
+                    stats.cells_examined += 1;
+                    if F::record_interval(&rec).intersects(band) {
+                        stats.cells_qualifying += 1;
+                        for region in F::record_band_region(&rec, band) {
+                            stats.num_regions += 1;
+                            stats.area += region.area();
+                            sink(region);
+                        }
+                    }
+                });
+        }
+        stats.io = engine.io_stats() - before;
+        stats
+    }
+}

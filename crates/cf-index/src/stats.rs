@@ -1,0 +1,88 @@
+//! The common query interface and per-query statistics.
+
+use cf_geom::{Interval, Polygon};
+use cf_storage::{IoStats, StorageEngine};
+
+/// Everything a value query reports besides its answer regions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Cells read in the estimation step (the paper's *candidate cells*
+    /// plus, for subfield methods, the non-qualifying cells co-located in
+    /// retrieved subfields).
+    pub cells_examined: usize,
+    /// Cells whose value interval actually intersects the query band.
+    pub cells_qualifying: usize,
+    /// Answer regions produced by the estimation step.
+    pub num_regions: usize,
+    /// Total area of the answer regions.
+    pub area: f64,
+    /// Index nodes visited during the filtering step (0 for LinearScan).
+    pub filter_nodes: u64,
+    /// Intervals the filtering step retrieved (subfields for the
+    /// subfield methods, individual cells for I-All, 0 for LinearScan).
+    pub intervals_retrieved: usize,
+    /// Logical page reads spent in the filtering step alone (index
+    /// traversal); `io.logical_reads() - filter_pages` is the
+    /// estimation-step cost.
+    pub filter_pages: u64,
+    /// I/O performed by the whole query (filter + estimate).
+    pub io: IoStats,
+}
+
+/// A value-domain index over one field, queryable by value interval.
+///
+/// Implementations own their cell file and index pages inside a shared
+/// [`StorageEngine`]; queries report complete I/O so the benchmark
+/// harness can compare methods exactly as the paper does.
+pub trait ValueIndex: Send + Sync {
+    /// Method name as used in the paper's figures (e.g. `"I-Hilbert"`).
+    fn name(&self) -> String;
+
+    /// Runs the full query pipeline, passing each non-empty answer
+    /// region to `sink`, and returns the statistics.
+    fn query_with(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> QueryStats;
+
+    /// Runs the query and discards region geometry (keeps area/counts).
+    fn query_stats(&self, engine: &StorageEngine, band: Interval) -> QueryStats {
+        self.query_with(engine, band, &mut |_| {})
+    }
+
+    /// Runs the query and collects the answer regions.
+    fn query_regions(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+    ) -> (QueryStats, Vec<Polygon>) {
+        let mut regions = Vec::new();
+        let stats = self.query_with(engine, band, &mut |p| regions.push(p));
+        (stats, regions)
+    }
+
+    /// Pages occupied by the index structure (0 for LinearScan).
+    fn index_pages(&self) -> usize;
+
+    /// Pages occupied by the cell file.
+    fn data_pages(&self) -> usize;
+
+    /// Number of intervals the index stores (subfields for I-Hilbert,
+    /// cells for I-All, 0 for LinearScan).
+    fn num_intervals(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_are_zero() {
+        let s = QueryStats::default();
+        assert_eq!(s.cells_examined, 0);
+        assert_eq!(s.area, 0.0);
+        assert_eq!(s.io, IoStats::default());
+    }
+}

@@ -1,0 +1,284 @@
+//! Subfield construction by the paper's cost function (§3.1.2).
+//!
+//! Cells, already linearized along the Hilbert curve, are grouped
+//! greedily: a subfield keeps absorbing the next cell while doing so does
+//! not increase its cost
+//!
+//! ```text
+//! C = P / SI,        P  = L + query_len        (probability model)
+//!                    L  = interval size of the subfield
+//!                    SI = Σ interval sizes of its cells
+//! interval size I = (max − min) + base          (paper: base = 1)
+//! ```
+//!
+//! `P` follows Kamel & Faloutsos' packing model: the probability that a
+//! 1-D MBR of length `L` is hit by the average range query (of length
+//! `query_len`, 0.5 on a normalized domain). The paper's worked example
+//! (Fig. 5b: 21/45 ≈ 0.466 before inserting c5, 31/58 ≈ 0.534 after)
+//! computes `P = L` — i.e. the additive query term is dropped at raw
+//! value scale — so the default [`SubfieldConfig`] uses `query_len = 0`
+//! and both knobs are exposed for the ablation bench.
+
+use cf_geom::Interval;
+
+/// Tuning knobs of the subfield cost function.
+#[derive(Debug, Clone, Copy)]
+pub struct SubfieldConfig {
+    /// Additive constant of the interval-size definition (`+1` in the
+    /// paper). Scale-dependent: keep `1.0` for raw integer-like value
+    /// domains, or pass the value resolution for normalized domains.
+    pub base: f64,
+    /// Additive query-length term of the access-probability model
+    /// (`+0.5` in the Kamel–Faloutsos model on a normalized domain; `0`
+    /// reproduces the paper's worked example).
+    pub query_len: f64,
+}
+
+impl Default for SubfieldConfig {
+    fn default() -> Self {
+        Self {
+            base: 1.0,
+            query_len: 0.0,
+        }
+    }
+}
+
+/// A subfield: a contiguous run `[start, end)` of the linearized cell
+/// file, summarized by the interval of every value inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Subfield {
+    /// First cell (inclusive) in linearized order.
+    pub start: u32,
+    /// One past the last cell.
+    pub end: u32,
+    /// Union of the cells' value intervals.
+    pub interval: Interval,
+}
+
+impl Subfield {
+    /// Number of cells in the subfield.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the subfield holds no cells (never produced by
+    /// [`build_subfields`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Packs the record range into a `u64` R\*-tree payload.
+    pub fn pack(&self) -> u64 {
+        (u64::from(self.start) << 32) | u64::from(self.end)
+    }
+
+    /// Inverse of [`Subfield::pack`] (interval comes from the tree key).
+    pub fn unpack(data: u64, interval: Interval) -> Self {
+        Self {
+            start: (data >> 32) as u32,
+            end: data as u32,
+            interval,
+        }
+    }
+}
+
+impl cf_storage::Record for Subfield {
+    const SIZE: usize = 24;
+
+    fn encode(&self, buf: &mut [u8]) {
+        cf_storage::codec::put_u32(buf, 0, self.start);
+        cf_storage::codec::put_u32(buf, 4, self.end);
+        cf_storage::codec::put_f64(buf, 8, self.interval.lo);
+        cf_storage::codec::put_f64(buf, 16, self.interval.hi);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        Self {
+            start: cf_storage::codec::get_u32(buf, 0),
+            end: cf_storage::codec::get_u32(buf, 4),
+            interval: Interval::new(
+                cf_storage::codec::get_f64(buf, 8),
+                cf_storage::codec::get_f64(buf, 16),
+            ),
+        }
+    }
+}
+
+/// Groups linearized cell intervals into subfields.
+///
+/// `intervals[i]` is the value interval of the `i`-th cell in the chosen
+/// linear order. Returns subfields covering `0..intervals.len()` without
+/// gaps or overlaps.
+///
+/// # Panics
+///
+/// Panics if more than `u32::MAX` cells are supplied.
+pub fn build_subfields(intervals: &[Interval], config: SubfieldConfig) -> Vec<Subfield> {
+    assert!(
+        intervals.len() <= u32::MAX as usize,
+        "cell file too large for u32 subfield pointers"
+    );
+    let mut out = Vec::new();
+    let Some(&first) = intervals.first() else {
+        return out;
+    };
+
+    let size = |iv: Interval| iv.size_with_base(config.base);
+
+    let mut start = 0u32;
+    let mut union = first;
+    let mut si = size(first);
+    for (i, &iv) in intervals.iter().enumerate().skip(1) {
+        let cost_before = (size(union) + config.query_len) / si;
+        let new_union = union.union(iv);
+        let new_si = si + size(iv);
+        let cost_after = (size(new_union) + config.query_len) / new_si;
+        if cost_before > cost_after {
+            // Insertion decreases the cost: absorb the cell.
+            union = new_union;
+            si = new_si;
+        } else {
+            // Close the current subfield, start a new one at this cell.
+            out.push(Subfield {
+                start,
+                end: i as u32,
+                interval: union,
+            });
+            start = i as u32;
+            union = iv;
+            si = size(iv);
+        }
+    }
+    out.push(Subfield {
+        start,
+        end: intervals.len() as u32,
+        interval: union,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cell intervals reconstructing the paper's Fig. 5b worked example:
+    /// sizes 11, 10, 11, 13 with union size 21, then c5 of size 13
+    /// pushing the union to 31.
+    fn paper_example_cells() -> Vec<Interval> {
+        vec![
+            Interval::new(20.0, 30.0), // size 11
+            Interval::new(25.0, 34.0), // size 10
+            Interval::new(30.0, 40.0), // size 11
+            Interval::new(28.0, 40.0), // size 13
+            Interval::new(38.0, 50.0), // size 13, would widen union to 31
+        ]
+    }
+
+    #[test]
+    fn reproduces_fig5b_cost_numbers() {
+        // Paper: cost of Subfield 1 before inserting c5 was
+        // 21/(11+10+11+13) ≈ 0.466; after, 31/58 ≈ 0.534 — so c5 starts
+        // Subfield 2.
+        let cfg = SubfieldConfig::default();
+        let cells = paper_example_cells();
+        let union4 = cells[..4].iter().fold(cells[0], |a, b| a.union(*b));
+        let si4: f64 = cells[..4].iter().map(|iv| iv.size_with_base(1.0)).sum();
+        let ca = union4.size_with_base(1.0) / si4;
+        assert!((ca - 21.0 / 45.0).abs() < 1e-12);
+        let union5 = union4.union(cells[4]);
+        let cb = union5.size_with_base(1.0) / (si4 + cells[4].size_with_base(1.0));
+        assert!((cb - 31.0 / 58.0).abs() < 1e-12);
+
+        let subfields = build_subfields(&cells, cfg);
+        assert_eq!(subfields.len(), 2);
+        assert_eq!(subfields[0].start, 0);
+        assert_eq!(subfields[0].end, 4);
+        assert_eq!(subfields[0].interval, Interval::new(20.0, 40.0));
+        assert_eq!(subfields[1].start, 4);
+        assert_eq!(subfields[1].end, 5);
+        assert_eq!(subfields[1].interval, Interval::new(38.0, 50.0));
+    }
+
+    #[test]
+    fn subfields_partition_the_cell_range() {
+        let cells: Vec<Interval> = (0..100)
+            .map(|i| {
+                let base = (i / 10) as f64 * 50.0;
+                Interval::new(base, base + (i % 10) as f64)
+            })
+            .collect();
+        let sfs = build_subfields(&cells, SubfieldConfig::default());
+        assert_eq!(sfs[0].start, 0);
+        assert_eq!(sfs.last().unwrap().end as usize, cells.len());
+        for w in sfs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap or overlap");
+        }
+        // Each subfield interval is the union of its cells.
+        for sf in &sfs {
+            let union = cells[sf.start as usize..sf.end as usize]
+                .iter()
+                .fold(cells[sf.start as usize], |a, b| a.union(*b));
+            assert_eq!(sf.interval, union);
+        }
+    }
+
+    #[test]
+    fn identical_cells_form_one_subfield() {
+        // Cost strictly decreases when absorbing an identical interval,
+        // so a constant run collapses to a single subfield.
+        let cells = vec![Interval::new(5.0, 10.0); 50];
+        let sfs = build_subfields(&cells, SubfieldConfig::default());
+        assert_eq!(sfs.len(), 1);
+        assert_eq!(sfs[0].len(), 50);
+    }
+
+    #[test]
+    fn wildly_different_cells_split() {
+        let cells = vec![
+            Interval::new(0.0, 1.0),
+            Interval::new(1000.0, 1001.0),
+            Interval::new(-500.0, -499.0),
+        ];
+        let sfs = build_subfields(&cells, SubfieldConfig::default());
+        assert_eq!(sfs.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(build_subfields(&[], SubfieldConfig::default()).is_empty());
+        let one = build_subfields(&[Interval::new(1.0, 2.0)], SubfieldConfig::default());
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].len(), 1);
+    }
+
+    #[test]
+    fn query_len_merges_more_aggressively() {
+        // A large query term flattens relative differences in P, so more
+        // cells merge (the denominator keeps growing).
+        let cells: Vec<Interval> = (0..200)
+            .map(|i| {
+                let v = (i as f64 * 0.37).sin() * 50.0;
+                Interval::new(v, v + 5.0)
+            })
+            .collect();
+        let tight = build_subfields(&cells, SubfieldConfig { base: 1.0, query_len: 0.0 });
+        let loose = build_subfields(&cells, SubfieldConfig { base: 1.0, query_len: 100.0 });
+        assert!(
+            loose.len() <= tight.len(),
+            "query_len=100 gave {} subfields vs {}",
+            loose.len(),
+            tight.len()
+        );
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let sf = Subfield {
+            start: 123_456,
+            end: 789_012,
+            interval: Interval::new(-1.0, 2.0),
+        };
+        let packed = sf.pack();
+        assert_eq!(Subfield::unpack(packed, sf.interval), sf);
+    }
+}

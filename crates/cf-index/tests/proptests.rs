@@ -1,0 +1,146 @@
+//! Property-based tests: every index must agree with the exhaustive
+//! scan on arbitrary fields and arbitrary queries.
+
+use cf_field::{FieldModel, GridField};
+use cf_geom::Interval;
+use cf_index::{
+    CurveChoice, IAll, IHilbert, IHilbertConfig, IntervalQuadtree, LinearScan, SubfieldConfig,
+    ValueIndex,
+};
+use cf_sfc::Curve;
+use cf_storage::StorageEngine;
+use proptest::prelude::*;
+
+/// Arbitrary small grid fields: dimensions 2..=9 vertices, values from a
+/// bounded range (including negative and repeated values).
+fn grid_field() -> impl Strategy<Value = GridField> {
+    (2usize..10, 2usize..10)
+        .prop_flat_map(|(vw, vh)| {
+            prop::collection::vec(-100.0..100.0f64, vw * vh)
+                .prop_map(move |values| GridField::from_values(vw, vh, values))
+        })
+}
+
+fn band() -> impl Strategy<Value = Interval> {
+    (-120.0..120.0f64, 0.0..80.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_methods_agree_with_scan(field in grid_field(), bands in prop::collection::vec(band(), 1..6)) {
+        let engine = StorageEngine::in_memory();
+        let scan = LinearScan::build(&engine, &field);
+        let iall = IAll::build(&engine, &field);
+        let ihilbert = IHilbert::build(&engine, &field);
+        let iquad = IntervalQuadtree::build(&engine, &field, field.value_domain().width() / 8.0);
+        let methods: Vec<&dyn ValueIndex> = vec![&iall, &ihilbert, &iquad];
+        for b in bands {
+            let want = scan.query_stats(&engine, b);
+            for m in &methods {
+                let got = m.query_stats(&engine, b);
+                prop_assert_eq!(got.cells_qualifying, want.cells_qualifying,
+                    "{} on {}", m.name(), b);
+                prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0),
+                    "{} area {} vs {} on {}", m.name(), got.area, want.area, b);
+            }
+        }
+    }
+
+    #[test]
+    fn every_curve_yields_correct_index(
+        field in grid_field(),
+        b in band(),
+        curve_idx in 0usize..4,
+    ) {
+        let engine = StorageEngine::in_memory();
+        let scan = LinearScan::build(&engine, &field);
+        let idx = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                curve: CurveChoice(Curve::ALL[curve_idx]),
+                ..Default::default()
+            },
+        );
+        let want = scan.query_stats(&engine, b);
+        let got = idx.query_stats(&engine, b);
+        prop_assert_eq!(got.cells_qualifying, want.cells_qualifying);
+        prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0));
+    }
+
+    #[test]
+    fn cost_knobs_never_affect_correctness(
+        field in grid_field(),
+        b in band(),
+        base in 0.001..50.0f64,
+        qlen in 0.0..100.0f64,
+    ) {
+        let engine = StorageEngine::in_memory();
+        let scan = LinearScan::build(&engine, &field);
+        let idx = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                subfield: SubfieldConfig { base, query_len: qlen },
+                ..Default::default()
+            },
+        );
+        let want = scan.query_stats(&engine, b);
+        let got = idx.query_stats(&engine, b);
+        prop_assert_eq!(got.cells_qualifying, want.cells_qualifying);
+        prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0));
+    }
+
+    #[test]
+    fn updates_preserve_agreement(
+        field in grid_field(),
+        updates in prop::collection::vec((any::<u32>(), -100.0..100.0f64), 1..12),
+        b in band(),
+    ) {
+        let engine = StorageEngine::in_memory();
+        let mut index = IHilbert::build(&engine, &field);
+        // Apply vertex updates to a model copy of the field and push the
+        // affected cell records into the index.
+        let (vw, vh) = field.vertex_dims();
+        let mut values: Vec<f64> = (0..vh)
+            .flat_map(|y| (0..vw).map(move |x| (x, y)))
+            .map(|(x, y)| field.vertex_value(x, y))
+            .collect();
+        let mut current = field.clone();
+        for (pick, val) in updates {
+            let vi = pick as usize % (vw * vh);
+            values[vi] = val;
+            current = GridField::from_values(vw, vh, values.clone());
+            let (x, y) = (vi % vw, vi / vw);
+            let (cw, ch) = current.cell_dims();
+            for cy in y.saturating_sub(1)..=y.min(ch - 1) {
+                for cx in x.saturating_sub(1)..=x.min(cw - 1) {
+                    let cell = current.cell_index(cx, cy);
+                    index.update_cell(&engine, cell, current.cell_record(cell));
+                }
+            }
+        }
+        let scan = LinearScan::build(&engine, &current);
+        let want = scan.query_stats(&engine, b);
+        let got = index.query_stats(&engine, b);
+        prop_assert_eq!(got.cells_qualifying, want.cells_qualifying);
+        prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0));
+    }
+
+    #[test]
+    fn stats_invariants_hold(field in grid_field(), b in band()) {
+        let engine = StorageEngine::in_memory();
+        let ihilbert = IHilbert::build(&engine, &field);
+        engine.clear_cache();
+        let s = ihilbert.query_stats(&engine, b);
+        prop_assert!(s.cells_qualifying <= s.cells_examined);
+        prop_assert!(s.area >= 0.0);
+        prop_assert!(s.area <= field.domain().volume() + 1e-9);
+        prop_assert_eq!(s.io.pool_misses, s.io.disk_reads);
+        if s.cells_examined > 0 {
+            prop_assert!(s.filter_nodes >= 1);
+        }
+    }
+}

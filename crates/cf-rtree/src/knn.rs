@@ -1,0 +1,243 @@
+//! k-nearest-neighbor search (best-first branch-and-bound).
+//!
+//! Classic Hjaltason–Samet incremental NN over an R-tree: a priority
+//! queue ordered by minimum distance holds both nodes and data entries;
+//! popping a data entry yields the next-nearest result. Used by the Q1
+//! layer to answer "nearest sample/cell" questions (e.g. locating the
+//! cell to start a TIN walk from) and exposed on both tree forms.
+
+use crate::node::ChildRef;
+use crate::tree::RStarTree;
+use crate::PagedRTree;
+use cf_storage::StorageEngine;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One KNN result: payload and squared distance from the query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Data payload of the entry.
+    pub data: u64,
+    /// Squared Euclidean distance from the query point to the entry's
+    /// box (0 if the point is inside).
+    pub dist_sq: f64,
+}
+
+/// Heap item: min-heap by distance via reversed ordering.
+enum Item<const N: usize> {
+    Node { dist_sq: f64, target: u64 },
+    Entry { dist_sq: f64, data: u64 },
+}
+
+impl<const N: usize> Item<N> {
+    fn dist(&self) -> f64 {
+        match self {
+            Item::Node { dist_sq, .. } | Item::Entry { dist_sq, .. } => *dist_sq,
+        }
+    }
+}
+
+impl<const N: usize> PartialEq for Item<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist() == other.dist()
+    }
+}
+impl<const N: usize> Eq for Item<N> {}
+impl<const N: usize> PartialOrd for Item<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const N: usize> Ord for Item<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the nearest first.
+        other
+            .dist()
+            .partial_cmp(&self.dist())
+            .unwrap_or(Ordering::Equal)
+            // Ties: expand data entries before nodes for earlier output.
+            .then_with(|| match (self, other) {
+                (Item::Entry { .. }, Item::Node { .. }) => Ordering::Greater,
+                (Item::Node { .. }, Item::Entry { .. }) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl<const N: usize> RStarTree<N> {
+    /// The `k` entries nearest to `point` (by box distance), nearest
+    /// first. Returns fewer than `k` when the tree is smaller.
+    pub fn nearest(&self, point: &[f64; N], k: usize) -> Vec<Neighbor> {
+        let mut heap: BinaryHeap<Item<N>> = BinaryHeap::new();
+        heap.push(Item::Node {
+            dist_sq: 0.0,
+            target: self.root_index() as u64,
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(item) = heap.pop() {
+            if out.len() >= k {
+                break;
+            }
+            match item {
+                Item::Entry { dist_sq, data } => out.push(Neighbor { data, dist_sq }),
+                Item::Node { target, .. } => {
+                    let node = self.node(target as usize);
+                    for e in &node.entries {
+                        let dist_sq = e.mbr.distance_sq_to_point(point);
+                        match e.child {
+                            ChildRef::Data(data) => heap.push(Item::Entry { dist_sq, data }),
+                            ChildRef::Node(c) => heap.push(Item::Node {
+                                dist_sq,
+                                target: c as u64,
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<const N: usize> PagedRTree<N> {
+    /// The `k` entries nearest to `point`, nearest first, reading node
+    /// pages through the buffer pool. Returns the neighbors and the
+    /// number of node pages visited.
+    pub fn nearest(
+        &self,
+        engine: &StorageEngine,
+        point: &[f64; N],
+        k: usize,
+    ) -> (Vec<Neighbor>, u64) {
+        let mut heap: BinaryHeap<Item<N>> = BinaryHeap::new();
+        heap.push(Item::Node {
+            dist_sq: 0.0,
+            target: self.root_page_id().0,
+        });
+        let mut out = Vec::with_capacity(k);
+        let mut visited = 0u64;
+        while let Some(item) = heap.pop() {
+            if out.len() >= k {
+                break;
+            }
+            match item {
+                Item::Entry { dist_sq, data } => out.push(Neighbor { data, dist_sq }),
+                Item::Node { target, .. } => {
+                    visited += 1;
+                    self.for_each_entry(engine, cf_storage::PageId(target), |mbr, child, is_leaf| {
+                        let dist_sq = mbr.distance_sq_to_point(point);
+                        if is_leaf {
+                            heap.push(Item::Entry { dist_sq, data: child });
+                        } else {
+                            heap.push(Item::Node {
+                                dist_sq,
+                                target: child,
+                            });
+                        }
+                    });
+                }
+            }
+        }
+        (out, visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RTreeConfig;
+    use cf_geom::Aabb;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn build_points(n: usize, seed: u64) -> (RStarTree<2>, Vec<[f64; 2]>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RStarTree::new(RTreeConfig::new(16));
+        let mut pts = Vec::new();
+        for i in 0..n {
+            let p = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+            tree.insert(Aabb::point(p), i as u64);
+            pts.push(p);
+        }
+        (tree, pts)
+    }
+
+    fn brute_force(pts: &[[f64; 2]], q: [f64; 2], k: usize) -> Vec<u64> {
+        let mut order: Vec<(f64, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2);
+                (d, i as u64)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        order.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (tree, pts) = build_points(500, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+            for k in [1, 5, 17] {
+                let got: Vec<u64> = tree.nearest(&q, k).iter().map(|n| n.data).collect();
+                let want = brute_force(&pts, q, k);
+                // Distances (not ids) must agree — ties may permute ids.
+                let gd: Vec<f64> = got
+                    .iter()
+                    .map(|&i| {
+                        let p = pts[i as usize];
+                        (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)
+                    })
+                    .collect();
+                let wd: Vec<f64> = want
+                    .iter()
+                    .map(|&i| {
+                        let p = pts[i as usize];
+                        (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)
+                    })
+                    .collect();
+                for (a, b) in gd.iter().zip(&wd) {
+                    assert!((a - b).abs() < 1e-9, "k={k} q={q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_results_are_sorted_and_bounded() {
+        let (tree, _) = build_points(200, 9);
+        let res = tree.nearest(&[50.0, 50.0], 20);
+        assert_eq!(res.len(), 20);
+        for w in res.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq + 1e-12);
+        }
+        // k larger than the tree.
+        let res = tree.nearest(&[0.0, 0.0], 500);
+        assert_eq!(res.len(), 200);
+        // Empty tree.
+        let empty: RStarTree<2> = RStarTree::default();
+        assert!(empty.nearest(&[0.0, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn paged_knn_matches_in_memory() {
+        let (tree, _) = build_points(400, 12);
+        let engine = StorageEngine::in_memory();
+        let paged = PagedRTree::persist(&tree, &engine);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+            let a: Vec<f64> = tree.nearest(&q, 7).iter().map(|n| n.dist_sq).collect();
+            let (res, visited) = paged.nearest(&engine, &q, 7);
+            let b: Vec<f64> = res.iter().map(|n| n.dist_sq).collect();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+            // Best-first search prunes: far fewer pages than the tree has.
+            assert!(visited < paged.num_pages() as u64);
+        }
+    }
+}

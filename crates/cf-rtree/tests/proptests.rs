@@ -1,0 +1,110 @@
+//! Property-based tests: the R\*-tree must agree with a linear scan
+//! under any sequence of inserts and removes.
+
+use cf_geom::Aabb;
+use cf_rtree::{bulk_load_str, PagedRTree, RStarTree, RTreeConfig};
+use cf_storage::StorageEngine;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { lo: f64, width: f64 },
+    Remove { victim: usize },
+    Query { lo: f64, width: f64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..100.0f64, 0.0..10.0f64).prop_map(|(lo, width)| Op::Insert { lo, width }),
+        1 => any::<usize>().prop_map(|victim| Op::Remove { victim }),
+        2 => (-5.0..105.0f64, 0.0..20.0f64).prop_map(|(lo, width)| Op::Query { lo, width }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_agrees_with_linear_scan(ops in prop::collection::vec(op(), 1..120), fanout in 4usize..20) {
+        let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::new(fanout));
+        let mut model: Vec<(Aabb<1>, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert { lo, width } => {
+                    let b = Aabb::new([lo], [lo + width]);
+                    tree.insert(b, next_id);
+                    model.push((b, next_id));
+                    next_id += 1;
+                }
+                Op::Remove { victim } => {
+                    if !model.is_empty() {
+                        let (b, id) = model.swap_remove(victim % model.len());
+                        prop_assert!(tree.remove(&b, id));
+                    }
+                }
+                Op::Query { lo, width } => {
+                    let q = Aabb::new([lo], [lo + width]);
+                    let mut got = tree.search_collect(&q);
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = model
+                        .iter()
+                        .filter(|(b, _)| b.intersects(&q))
+                        .map(|&(_, d)| d)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.check_invariants();
+        }
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    #[test]
+    fn bulk_load_equals_dynamic_results(
+        items in prop::collection::vec((0.0..100.0f64, 0.0..5.0f64), 1..300),
+        queries in prop::collection::vec((0.0..100.0f64, 0.0..10.0f64), 1..10),
+    ) {
+        let data: Vec<(Aabb<1>, u64)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, w))| (Aabb::new([lo], [lo + w]), i as u64))
+            .collect();
+        let bulk = bulk_load_str(data.clone(), RTreeConfig::new(8));
+        bulk.check_invariants();
+        let mut dynamic: RStarTree<1> = RStarTree::new(RTreeConfig::new(8));
+        for &(b, d) in &data {
+            dynamic.insert(b, d);
+        }
+        for &(qlo, qw) in &queries {
+            let q = Aabb::new([qlo], [qlo + qw]);
+            let mut a = bulk.search_collect(&q);
+            let mut b = dynamic.search_collect(&q);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn paged_tree_round_trips(
+        items in prop::collection::vec((0.0..100.0f64, 0.0..5.0f64), 1..200),
+        queries in prop::collection::vec((0.0..100.0f64, 0.0..10.0f64), 1..8),
+    ) {
+        let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::new(8));
+        for (i, &(lo, w)) in items.iter().enumerate() {
+            tree.insert(Aabb::new([lo], [lo + w]), i as u64);
+        }
+        let engine = StorageEngine::in_memory();
+        let paged = PagedRTree::persist(&tree, &engine);
+        for &(qlo, qw) in &queries {
+            let q = Aabb::new([qlo], [qlo + qw]);
+            let mut a = paged.search_collect(&engine, &q);
+            let mut b = tree.search_collect(&q);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fast 2-D Hilbert curve conversions.
+//!
+//! Classic iterative quadrant-rotation formulation. The curve of order
+//! `k` visits every cell of the `2^k × 2^k` grid exactly once, and
+//! consecutive indices are always 4-neighbors — the "no jumps" property
+//! the paper relies on when forming subfields from consecutive cells.
+
+use crate::MAX_ORDER_2D;
+
+/// Rotates/flips quadrant coordinates so the child quadrant's local frame
+/// matches the canonical curve orientation.
+#[inline]
+fn rot(side: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = side - 1 - *x;
+            *y = side - 1 - *y;
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Hilbert index of grid cell `(x, y)` on the order-`order` curve.
+///
+/// `order` is the number of bits per coordinate; the grid side is
+/// `2^order`. Coordinates must be `< 2^order`.
+///
+/// # Panics
+///
+/// Panics if `order > MAX_ORDER_2D` or a coordinate is out of range.
+pub fn hilbert_index_2d(mut x: u64, mut y: u64, order: u32) -> u64 {
+    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    let side = 1u64 << order;
+    assert!(x < side && y < side, "({x}, {y}) outside 2^{order} grid");
+    let mut d = 0u64;
+    let mut s = side >> 1;
+    while s > 0 {
+        let rx = u64::from(x & s > 0);
+        let ry = u64::from(y & s > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        rot(side, &mut x, &mut y, rx, ry);
+        s >>= 1;
+    }
+    d
+}
+
+/// Inverse of [`hilbert_index_2d`]: the grid cell visited at position `d`.
+///
+/// # Panics
+///
+/// Panics if `order > MAX_ORDER_2D` or `d >= 4^order`.
+pub fn hilbert_point_2d(d: u64, order: u32) -> (u64, u64) {
+    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    let side = 1u64 << order;
+    assert!(
+        d < side.saturating_mul(side),
+        "index {d} outside order-{order} curve"
+    );
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s = 1u64;
+    while s < side {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s <<= 1;
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_figure_4_order_1() {
+        // Fig. 4 (H1): the order-1 curve visits (0,0), (0,1), (1,1), (1,0)
+        // labelled 0..3 (x = column, y = row from bottom-left origin).
+        assert_eq!(hilbert_index_2d(0, 0, 1), 0);
+        assert_eq!(hilbert_index_2d(0, 1, 1), 1);
+        assert_eq!(hilbert_index_2d(1, 1, 1), 2);
+        assert_eq!(hilbert_index_2d(1, 0, 1), 3);
+    }
+
+    #[test]
+    fn round_trip_exhaustive_small_orders() {
+        for order in 0..=5 {
+            let side = 1u64 << order;
+            for x in 0..side {
+                for y in 0..side {
+                    let d = hilbert_index_2d(x, y, order);
+                    assert_eq!(hilbert_point_2d(d, order), (x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_a_bijection() {
+        let order = 4;
+        let side = 1u64 << order;
+        let mut seen = vec![false; (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                let d = hilbert_index_2d(x, y, order) as usize;
+                assert!(!seen[d], "index {d} visited twice");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbors() {
+        // The "no jumps" property quoted in §3.1.2.
+        for order in 1..=6 {
+            let n = 1u64 << (2 * order);
+            let (mut px, mut py) = hilbert_point_2d(0, order);
+            for d in 1..n {
+                let (x, y) = hilbert_point_2d(d, order);
+                let manhattan = px.abs_diff(x) + py.abs_diff(y);
+                assert_eq!(manhattan, 1, "jump at d={d} order={order}");
+                (px, py) = (x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn high_order_round_trip_spot_checks() {
+        let order = MAX_ORDER_2D;
+        for &(x, y) in &[
+            (0u64, 0u64),
+            ((1 << 31) - 1, (1 << 31) - 1),
+            (123_456_789, 987_654_321),
+            (1, (1 << 31) - 1),
+        ] {
+            let d = hilbert_index_2d(x, y, order);
+            assert_eq!(hilbert_point_2d(d, order), (x, y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_coordinate() {
+        let _ = hilbert_index_2d(4, 0, 2);
+    }
+
+    #[test]
+    fn order_zero_is_single_cell() {
+        assert_eq!(hilbert_index_2d(0, 0, 0), 0);
+        assert_eq!(hilbert_point_2d(0, 0), (0, 0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Z-order (Morton / Peano / bit-interleaving) curve.
+//!
+//! One of the three space-filling curves the paper considers (§3.1.2)
+//! before settling on Hilbert. Included for the curve-choice ablation.
+
+use crate::MAX_ORDER_2D;
+
+/// Spreads the low 32 bits of `v` so bit `i` lands at position `2i`.
+#[inline]
+fn part1by1(v: u64) -> u64 {
+    let mut v = v & 0xFFFF_FFFF;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Inverse of [`part1by1`]: compacts every other bit.
+#[inline]
+fn compact1by1(v: u64) -> u64 {
+    let mut v = v & 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v >> 4)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v >> 8)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v >> 16)) & 0x0000_0000_FFFF_FFFF;
+    v
+}
+
+/// Morton (Z-order) index of grid cell `(x, y)` on an order-`order` grid.
+///
+/// # Panics
+///
+/// Panics if `order > MAX_ORDER_2D` or a coordinate is out of range.
+pub fn morton_index_2d(x: u64, y: u64, order: u32) -> u64 {
+    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    let side = 1u64 << order;
+    assert!(x < side && y < side, "({x}, {y}) outside 2^{order} grid");
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Inverse of [`morton_index_2d`].
+pub fn morton_point_2d(d: u64, order: u32) -> (u64, u64) {
+    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    (compact1by1(d), compact1by1(d >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // Z-order on a 2x2 grid: (0,0)=0, (1,0)=1, (0,1)=2, (1,1)=3.
+        assert_eq!(morton_index_2d(0, 0, 1), 0);
+        assert_eq!(morton_index_2d(1, 0, 1), 1);
+        assert_eq!(morton_index_2d(0, 1, 1), 2);
+        assert_eq!(morton_index_2d(1, 1, 1), 3);
+    }
+
+    #[test]
+    fn round_trip_exhaustive() {
+        for order in 0..=5 {
+            let side = 1u64 << order;
+            for x in 0..side {
+                for y in 0..side {
+                    let d = morton_index_2d(x, y, order);
+                    assert_eq!(morton_point_2d(d, order), (x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_a_bijection() {
+        let order = 4;
+        let side = 1u64 << order;
+        let mut seen = vec![false; (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                let d = morton_index_2d(x, y, order) as usize;
+                assert!(!seen[d]);
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn z_order_has_jumps() {
+        // Unlike Hilbert, Z-order has non-unit steps — the reason the
+        // paper rejects it. Verify a jump exists on the 4x4 grid.
+        let order = 2;
+        let mut max_step = 0;
+        let (mut px, mut py) = morton_point_2d(0, order);
+        for d in 1..16 {
+            let (x, y) = morton_point_2d(d, order);
+            max_step = max_step.max(px.abs_diff(x) + py.abs_diff(y));
+            (px, py) = (x, y);
+        }
+        assert!(max_step > 1, "expected at least one jump, got {max_step}");
+    }
+
+    #[test]
+    fn high_order_round_trip() {
+        let order = 31;
+        for &(x, y) in &[(0u64, 0u64), ((1 << 31) - 1, 12345), (999_999_999, 1)] {
+            let d = morton_index_2d(x, y, order);
+            assert_eq!(morton_point_2d(d, order), (x, y));
+        }
+    }
+}

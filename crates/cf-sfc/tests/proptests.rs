@@ -1,0 +1,72 @@
+//! Property-based tests for the space-filling curves.
+
+use cf_sfc::{
+    hilbert_index_2d, hilbert_index_nd, hilbert_point_2d, hilbert_point_nd, Curve,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hilbert_2d_round_trip(order in 1u32..16, seed in any::<u64>()) {
+        let side = 1u64 << order;
+        let x = seed % side;
+        let y = (seed >> 32) % side;
+        let d = hilbert_index_2d(x, y, order);
+        prop_assert!(d < side * side);
+        prop_assert_eq!(hilbert_point_2d(d, order), (x, y));
+    }
+
+    #[test]
+    fn all_curves_round_trip(order in 1u32..12, seed in any::<u64>()) {
+        let side = 1u64 << order;
+        let x = seed % side;
+        let y = (seed >> 32) % side;
+        for curve in Curve::ALL {
+            let d = curve.index(x, y, order);
+            prop_assert!(d < side * side);
+            prop_assert_eq!(curve.point(d, order), (x, y));
+        }
+    }
+
+    #[test]
+    fn hilbert_nd_round_trip(
+        bits in 1u32..10,
+        n in 1usize..5,
+        seed in any::<u128>()
+    ) {
+        let mask = (1u64 << bits) - 1;
+        let coords: Vec<u64> = (0..n)
+            .map(|i| ((seed >> (i * 16)) as u64) & mask)
+            .collect();
+        let d = hilbert_index_nd(&coords, bits);
+        prop_assert_eq!(hilbert_point_nd(d, n, bits), coords);
+    }
+
+    #[test]
+    fn hilbert_unit_steps(order in 1u32..8, start in any::<u64>()) {
+        // Pick a random window of 64 consecutive curve positions and
+        // verify every step is a unit grid move.
+        let n = 1u64 << (2 * order);
+        let start = start % n.saturating_sub(64).max(1);
+        let mut prev = hilbert_point_2d(start, order);
+        for d in start + 1..(start + 64).min(n) {
+            let cur = hilbert_point_2d(d, order);
+            prop_assert_eq!(prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1), 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn hilbert_nd_unit_steps(bits in 1u32..6, n in 2usize..4, start in any::<u64>()) {
+        let total = 1u128 << (n as u32 * bits);
+        let window = 32u128;
+        let start = u128::from(start) % total.saturating_sub(window).max(1);
+        let mut prev = hilbert_point_nd(start, n, bits);
+        for d in start + 1..(start + window).min(total) {
+            let cur = hilbert_point_nd(d, n, bits);
+            let manhattan: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
+            prop_assert_eq!(manhattan, 1);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! LRU buffer pool.
+//!
+//! The pool sits between every index/file access and the simulated disk.
+//! It is deliberately write-through: the workloads in this workspace are
+//! build-once / query-many, so dirty-page management would add complexity
+//! without changing any measured behaviour.
+
+use crate::disk::{DiskManager, PageBuf, PageId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Frame {
+    data: Box<PageBuf>,
+    /// Recency stamp; key into `lru`.
+    stamp: u64,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    /// Recency index: stamp → page. The smallest stamp is the LRU victim.
+    lru: BTreeMap<u64, PageId>,
+    next_stamp: u64,
+}
+
+/// A fixed-capacity LRU cache of disk pages.
+///
+/// Lookups go through [`BufferPool::with_page`], which hands the caller a
+/// borrowed view of the page bytes; there is no pinning API because the
+/// closure scope bounds the borrow.
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Self {
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::with_capacity(capacity),
+                lru: BTreeMap::new(),
+                next_stamp: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of cached pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Runs `f` over the bytes of page `id`, faulting it in from `disk`
+    /// on a miss (evicting the least-recently-used frame if full).
+    pub fn with_page<T>(&self, disk: &DiskManager, id: PageId, f: impl FnOnce(&PageBuf) -> T) -> T {
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+
+        if let Some(frame) = inner.frames.get_mut(&id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let old = frame.stamp;
+            frame.stamp = stamp;
+            inner.lru.remove(&old);
+            inner.lru.insert(stamp, id);
+            // Re-borrow immutably for the closure.
+            let frame = &inner.frames[&id];
+            return f(&frame.data);
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if inner.frames.len() >= self.capacity {
+            // Evict the LRU victim (write-through pool: no writeback).
+            let (&victim_stamp, &victim) = inner
+                .lru
+                .iter()
+                .next()
+                .expect("non-empty pool must have an LRU entry");
+            inner.lru.remove(&victim_stamp);
+            inner.frames.remove(&victim);
+        }
+        let mut data = Box::new([0u8; crate::PAGE_SIZE]);
+        disk.read_page(id, &mut data);
+        inner.lru.insert(stamp, id);
+        inner.frames.insert(id, Frame { data, stamp });
+        f(&inner.frames[&id].data)
+    }
+
+    /// Writes a page through the cache to disk: the cached copy (if any)
+    /// is updated in place, and the disk copy always is.
+    pub fn write_through(&self, disk: &DiskManager, id: PageId, buf: &PageBuf) {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get_mut(&id) {
+            frame.data.copy_from_slice(buf);
+        }
+        disk.write_page(id, buf);
+    }
+
+    /// Drops every cached frame (cold-cache benchmarking).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.lru.clear();
+    }
+
+    /// Number of currently cached pages.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resets hit/miss counters (cached contents are untouched).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    fn page_with_tag(tag: u8) -> PageBuf {
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = tag;
+        buf
+    }
+
+    #[test]
+    fn hit_after_first_access() {
+        let disk = DiskManager::new();
+        let id = disk.allocate();
+        disk.write_page(id, &page_with_tag(9));
+        let pool = BufferPool::new(4);
+
+        let v = pool.with_page(&disk, id, |p| p[0]);
+        assert_eq!(v, 9);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 0);
+
+        let v = pool.with_page(&disk, id, |p| p[0]);
+        assert_eq!(v, 9);
+        assert_eq!(pool.hits(), 1);
+        // Only one physical read happened.
+        assert_eq!(disk.reads(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..4).map(|i| {
+            let id = disk.allocate();
+            disk.write_page(id, &page_with_tag(i as u8));
+            id
+        }).collect();
+        let pool = BufferPool::new(2);
+
+        pool.with_page(&disk, ids[0], |_| ());
+        pool.with_page(&disk, ids[1], |_| ());
+        // Touch 0 so 1 becomes the LRU victim.
+        pool.with_page(&disk, ids[0], |_| ());
+        pool.with_page(&disk, ids[2], |_| ()); // evicts 1
+        assert_eq!(pool.cached_pages(), 2);
+
+        disk.reset_counters();
+        pool.with_page(&disk, ids[0], |_| ()); // still cached
+        assert_eq!(disk.reads(), 0);
+        pool.with_page(&disk, ids[1], |_| ()); // was evicted
+        assert_eq!(disk.reads(), 1);
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_disk() {
+        let disk = DiskManager::new();
+        let id = disk.allocate();
+        let pool = BufferPool::new(2);
+        pool.with_page(&disk, id, |_| ()); // cache the zero page
+        pool.write_through(&disk, id, &page_with_tag(7));
+        // Cached copy was updated: no new physical read needed.
+        disk.reset_counters();
+        let v = pool.with_page(&disk, id, |p| p[0]);
+        assert_eq!(v, 7);
+        assert_eq!(disk.reads(), 0);
+        // Disk copy was updated too.
+        pool.clear();
+        let v = pool.with_page(&disk, id, |p| p[0]);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn clear_forces_refetch() {
+        let disk = DiskManager::new();
+        let id = disk.allocate();
+        let pool = BufferPool::new(2);
+        pool.with_page(&disk, id, |_| ());
+        pool.clear();
+        assert_eq!(pool.cached_pages(), 0);
+        disk.reset_counters();
+        pool.with_page(&disk, id, |_| ());
+        assert_eq!(disk.reads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let _ = BufferPool::new(0);
+    }
+
+    #[test]
+    fn capacity_is_respected_under_scan() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..100).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::new(10);
+        for &id in &ids {
+            pool.with_page(&disk, id, |_| ());
+        }
+        assert_eq!(pool.cached_pages(), 10);
+        assert_eq!(pool.misses(), 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! Little-endian encode/decode helpers for fixed-layout page records.
+//!
+//! All on-page structures in the workspace (R\*-tree nodes, cell records,
+//! file headers) are fixed-layout little-endian; these helpers keep the
+//! offset arithmetic in one audited place.
+
+/// Writes a `u32` at `offset`, returning the offset just past it.
+#[inline]
+pub fn put_u32(buf: &mut [u8], offset: usize, v: u32) -> usize {
+    buf[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    offset + 4
+}
+
+/// Reads a `u32` at `offset`.
+#[inline]
+pub fn get_u32(buf: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(buf[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+/// Writes a `u64` at `offset`, returning the offset just past it.
+#[inline]
+pub fn put_u64(buf: &mut [u8], offset: usize, v: u64) -> usize {
+    buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    offset + 8
+}
+
+/// Reads a `u64` at `offset`.
+#[inline]
+pub fn get_u64(buf: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(buf[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+/// Writes an `f64` at `offset`, returning the offset just past it.
+#[inline]
+pub fn put_f64(buf: &mut [u8], offset: usize, v: f64) -> usize {
+    buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    offset + 8
+}
+
+/// Reads an `f64` at `offset`.
+#[inline]
+pub fn get_f64(buf: &[u8], offset: usize) -> f64 {
+    f64::from_le_bytes(buf[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut buf = [0u8; 64];
+        let mut off = 0;
+        off = put_u32(&mut buf, off, 0xDEAD_BEEF);
+        off = put_u64(&mut buf, off, u64::MAX - 5);
+        off = put_f64(&mut buf, off, -123.456);
+        assert_eq!(off, 20);
+        assert_eq!(get_u32(&buf, 0), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 4), u64::MAX - 5);
+        assert_eq!(get_f64(&buf, 12), -123.456);
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        let mut buf = [0u8; 8];
+        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, f64::MIN_POSITIVE] {
+            put_f64(&mut buf, 0, v);
+            assert_eq!(get_f64(&buf, 0).to_bits(), v.to_bits());
+        }
+        put_f64(&mut buf, 0, f64::NAN);
+        assert!(get_f64(&buf, 0).is_nan());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut buf = [0u8; 4];
+        let _ = put_u64(&mut buf, 0, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! The storage façade bundling disk + buffer pool.
+
+use crate::{BufferPool, DiskManager, IoStats, PageBuf, PageId};
+use std::time::Duration;
+
+/// Configuration for a [`StorageEngine`].
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    /// Artificial latency charged per physical page read.
+    ///
+    /// `Duration::ZERO` (the default) for correctness tests; benches use a
+    /// value modelling the paper's disk-resident setting (see DESIGN.md).
+    pub read_latency: Duration,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        Self {
+            pool_pages: 256,
+            read_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// A simulated database storage engine: one disk, one buffer pool.
+///
+/// All page traffic of the value indexes, the R\*-trees and the cell
+/// files flows through a shared `StorageEngine`, so [`IoStats`]
+/// snapshots capture the complete cost of a query.
+pub struct StorageEngine {
+    disk: DiskManager,
+    pool: BufferPool,
+}
+
+impl StorageEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: StorageConfig) -> Self {
+        Self {
+            disk: DiskManager::with_read_latency(config.read_latency),
+            pool: BufferPool::new(config.pool_pages),
+        }
+    }
+
+    /// Creates an engine with default configuration (256-page pool, no
+    /// artificial latency).
+    pub fn in_memory() -> Self {
+        Self::new(StorageConfig::default())
+    }
+
+    /// Opens (or creates) an engine backed by a real database file.
+    ///
+    /// Existing pages are preserved, so a database file survives process
+    /// restarts; see [`DiskManager::open_file`].
+    pub fn open_file(
+        path: impl AsRef<std::path::Path>,
+        config: StorageConfig,
+    ) -> std::io::Result<Self> {
+        Ok(Self {
+            disk: DiskManager::open_file(path, config.read_latency)?,
+            pool: BufferPool::new(config.pool_pages),
+        })
+    }
+
+    /// Flushes a file-backed engine to stable storage (no-op in memory).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.disk.sync()
+    }
+
+    /// Allocates one page.
+    pub fn allocate_page(&self) -> PageId {
+        self.disk.allocate()
+    }
+
+    /// Allocates `n` physically consecutive pages, returning the first id.
+    pub fn allocate_run(&self, n: usize) -> PageId {
+        self.disk.allocate_run(n)
+    }
+
+    /// Reads page `id` through the buffer pool and passes its bytes to `f`.
+    pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&PageBuf) -> T) -> T {
+        self.pool.with_page(&self.disk, id, f)
+    }
+
+    /// Writes a full page through the pool to disk.
+    pub fn write_page(&self, id: PageId, buf: &PageBuf) {
+        self.pool.write_through(&self.disk, id, buf);
+    }
+
+    /// Total pages allocated on the disk.
+    pub fn num_pages(&self) -> usize {
+        self.disk.num_pages()
+    }
+
+    /// Snapshot of all I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        IoStats {
+            disk_reads: self.disk.reads(),
+            disk_writes: self.disk.writes(),
+            pool_hits: self.pool.hits(),
+            pool_misses: self.pool.misses(),
+        }
+    }
+
+    /// Resets all I/O counters (cache contents are untouched).
+    pub fn reset_stats(&self) {
+        self.disk.reset_counters();
+        self.pool.reset_counters();
+    }
+
+    /// Empties the buffer pool so the next accesses hit the disk — used
+    /// by benchmarks to measure cold-cache query cost, which is the
+    /// regime the paper's numbers were taken in.
+    pub fn clear_cache(&self) {
+        self.pool.clear();
+    }
+
+    /// The underlying buffer pool (stats / capacity introspection).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn stats_cover_pool_and_disk() {
+        let engine = StorageEngine::in_memory();
+        let id = engine.allocate_page();
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[10] = 42;
+        engine.write_page(id, &buf);
+
+        let before = engine.io_stats();
+        let v = engine.with_page(id, |p| p[10]);
+        assert_eq!(v, 42);
+        let v = engine.with_page(id, |p| p[10]);
+        assert_eq!(v, 42);
+        let delta = engine.io_stats() - before;
+        assert_eq!(delta.logical_reads(), 2);
+        assert_eq!(delta.pool_misses, 1);
+        assert_eq!(delta.pool_hits, 1);
+        assert_eq!(delta.disk_reads, 1);
+    }
+
+    #[test]
+    fn clear_cache_makes_reads_cold() {
+        let engine = StorageEngine::in_memory();
+        let id = engine.allocate_page();
+        engine.with_page(id, |_| ());
+        engine.clear_cache();
+        engine.reset_stats();
+        engine.with_page(id, |_| ());
+        let s = engine.io_stats();
+        assert_eq!(s.pool_misses, 1);
+        assert_eq!(s.disk_reads, 1);
+    }
+
+    #[test]
+    fn small_pool_evicts_under_pressure() {
+        let engine = StorageEngine::new(StorageConfig {
+            pool_pages: 2,
+            read_latency: Duration::ZERO,
+        });
+        let ids: Vec<_> = (0..5).map(|_| engine.allocate_page()).collect();
+        for &id in &ids {
+            engine.with_page(id, |_| ());
+        }
+        assert_eq!(engine.pool().cached_pages(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! I/O statistics snapshots.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// A snapshot of the storage engine's I/O counters.
+///
+/// Snapshots are cheap; the per-query cost of an operation is the
+/// difference of the snapshots taken around it (`after - before`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Physical page reads performed by the disk manager.
+    pub disk_reads: u64,
+    /// Physical page writes performed by the disk manager.
+    pub disk_writes: u64,
+    /// Buffer-pool lookups answered from cache.
+    pub pool_hits: u64,
+    /// Buffer-pool lookups that went to disk.
+    pub pool_misses: u64,
+}
+
+impl IoStats {
+    /// Total logical page accesses (hits + misses).
+    pub fn logical_reads(&self) -> u64 {
+        self.pool_hits + self.pool_misses
+    }
+
+    /// Buffer-pool hit ratio in `[0, 1]`; `0` when no accesses were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.logical_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            disk_reads: self.disk_reads - rhs.disk_reads,
+            disk_writes: self.disk_writes - rhs.disk_writes,
+            pool_hits: self.pool_hits - rhs.pool_hits,
+            pool_misses: self.pool_misses - rhs.pool_misses,
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            disk_reads: self.disk_reads + rhs.disk_reads,
+            disk_writes: self.disk_writes + rhs.disk_writes,
+            pool_hits: self.pool_hits + rhs.pool_hits,
+            pool_misses: self.pool_misses + rhs.pool_misses,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} hits={} misses={} (hit ratio {:.1}%)",
+            self.disk_reads,
+            self.disk_writes,
+            self.pool_hits,
+            self.pool_misses,
+            100.0 * self.hit_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_difference() {
+        let before = IoStats {
+            disk_reads: 10,
+            disk_writes: 2,
+            pool_hits: 50,
+            pool_misses: 10,
+        };
+        let after = IoStats {
+            disk_reads: 17,
+            disk_writes: 2,
+            pool_hits: 80,
+            pool_misses: 17,
+        };
+        let delta = after - before;
+        assert_eq!(delta.disk_reads, 7);
+        assert_eq!(delta.disk_writes, 0);
+        assert_eq!(delta.logical_reads(), 37);
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero() {
+        assert_eq!(IoStats::default().hit_ratio(), 0.0);
+        let s = IoStats {
+            pool_hits: 3,
+            pool_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let a = IoStats { disk_reads: 1, disk_writes: 2, pool_hits: 3, pool_misses: 4 };
+        let b = IoStats { disk_reads: 10, disk_writes: 20, pool_hits: 30, pool_misses: 40 };
+        let s = a + b;
+        assert_eq!(s.disk_reads, 11);
+        assert_eq!(s.pool_misses, 44);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: the storage stack must behave like a flat
+//! byte array regardless of pool capacity, eviction pattern, or backing.
+
+use cf_storage::{KvRecord, PageId, RecordFile, StorageConfig, StorageEngine, PAGE_SIZE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { page: usize, tag: u8 },
+    Read { page: usize },
+    ClearCache,
+}
+
+fn op(pages: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..pages, any::<u8>()).prop_map(|(page, tag)| Op::Write { page, tag }),
+        3 => (0..pages).prop_map(|page| Op::Read { page }),
+        1 => Just(Op::ClearCache),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_is_transparent(
+        pool_pages in 1usize..8,
+        ops in prop::collection::vec(op(12), 1..80),
+    ) {
+        let engine = StorageEngine::new(StorageConfig {
+            pool_pages,
+            ..Default::default()
+        });
+        let ids: Vec<PageId> = (0..12).map(|_| engine.allocate_page()).collect();
+        // Model: expected first byte per page.
+        let mut model = [0u8; 12];
+        for op in ops {
+            match op {
+                Op::Write { page, tag } => {
+                    let mut buf = [0u8; PAGE_SIZE];
+                    buf[0] = tag;
+                    buf[PAGE_SIZE - 1] = tag.wrapping_add(1);
+                    engine.write_page(ids[page], &buf);
+                    model[page] = tag;
+                }
+                Op::Read { page } => {
+                    let (a, b) = engine.with_page(ids[page], |p| (p[0], p[PAGE_SIZE - 1]));
+                    prop_assert_eq!(a, model[page]);
+                    let want_b = if model[page] == 0 && b == 0 {
+                        0
+                    } else {
+                        model[page].wrapping_add(1)
+                    };
+                    prop_assert_eq!(b, want_b);
+                }
+                Op::ClearCache => engine.clear_cache(),
+            }
+        }
+        // Cold re-read of every page matches the model.
+        engine.clear_cache();
+        for (i, &id) in ids.iter().enumerate() {
+            let a = engine.with_page(id, |p| p[0]);
+            prop_assert_eq!(a, model[i]);
+        }
+    }
+
+    #[test]
+    fn record_file_random_access(
+        len in 1usize..1500,
+        probes in prop::collection::vec(any::<usize>(), 1..30),
+        puts in prop::collection::vec((any::<usize>(), any::<u64>()), 0..10),
+    ) {
+        let engine = StorageEngine::in_memory();
+        let records: Vec<KvRecord> = (0..len)
+            .map(|i| KvRecord { key: i as u64, value: -(i as f64) })
+            .collect();
+        let file = RecordFile::create(&engine, records);
+        let mut model: Vec<u64> = (0..len as u64).collect();
+
+        for (idx, key) in puts {
+            let idx = idx % len;
+            file.put(&engine, idx, &KvRecord { key, value: 0.0 });
+            model[idx] = key;
+        }
+        for probe in probes {
+            let idx = probe % len;
+            prop_assert_eq!(file.get(&engine, idx).key, model[idx]);
+        }
+        // Range scans agree with point reads after updates.
+        let mid = len / 2;
+        let scanned = file.read_range(&engine, 0..mid);
+        for (i, r) in scanned.iter().enumerate() {
+            prop_assert_eq!(r.key, model[i]);
+        }
+    }
+
+    #[test]
+    fn io_counters_are_monotone(nreads in 1usize..40, pool_pages in 1usize..6) {
+        let engine = StorageEngine::new(StorageConfig {
+            pool_pages,
+            ..Default::default()
+        });
+        let ids: Vec<PageId> = (0..10).map(|_| engine.allocate_page()).collect();
+        let mut last = engine.io_stats();
+        for i in 0..nreads {
+            engine.with_page(ids[i % ids.len()], |_| ());
+            let now = engine.io_stats();
+            prop_assert!(now.logical_reads() == last.logical_reads() + 1);
+            prop_assert!(now.disk_reads >= last.disk_reads);
+            prop_assert!(now.disk_reads - last.disk_reads <= 1);
+            last = now;
+        }
+        // Misses never exceed logical reads.
+        prop_assert!(last.pool_misses <= last.logical_reads());
+    }
+}

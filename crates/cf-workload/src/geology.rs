@@ -1,0 +1,105 @@
+//! 3-D geological volume fields (paper §1: "Three-dimensional fields
+//! can model geological structures, and, in general, physical properties
+//! distributed in space").
+//!
+//! The generator models a density/grade field of layered strata: a
+//! vertical gradient (compaction), folded layer interfaces (sinusoidal
+//! displacement), and a few ellipsoidal intrusions ("ore bodies") with
+//! elevated values — the structure a "find the ore-grade regions"
+//! query targets.
+
+use cf_field::Grid3Field;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates a geological density field on `(n+1)³` vertices.
+///
+/// Values are in arbitrary density units (~2.0–4.5): sediment layers
+/// around 2.0–3.0, intrusions up to ~4.5.
+pub fn geology_field(n: usize, seed: u64) -> Grid3Field {
+    assert!(n >= 2, "need a real 3-D grid");
+    let v = n + 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Folded strata: layer index depends on z displaced by smooth folds.
+    let fold_ax = rng.gen_range(1.5..3.5);
+    let fold_ay = rng.gen_range(1.5..3.5);
+    let fold_amp = rng.gen_range(0.05..0.15);
+    let layer_density: Vec<f64> = (0..8).map(|_| rng.gen_range(2.0..3.0)).collect();
+
+    // Ellipsoidal intrusions.
+    struct Intrusion {
+        c: [f64; 3],
+        r: [f64; 3],
+        boost: f64,
+    }
+    let intrusions: Vec<Intrusion> = (0..rng.gen_range(2..5))
+        .map(|_| Intrusion {
+            c: [rng.gen(), rng.gen(), rng.gen()],
+            r: std::array::from_fn(|_| rng.gen_range(0.08..0.25)),
+            boost: rng.gen_range(0.8..1.8),
+        })
+        .collect();
+
+    let mut values = Vec::with_capacity(v * v * v);
+    for z in 0..v {
+        for y in 0..v {
+            for x in 0..v {
+                let fx = x as f64 / n as f64;
+                let fy = y as f64 / n as f64;
+                let fz = z as f64 / n as f64;
+                // Fold displacement of the stratigraphic coordinate.
+                let folded = fz
+                    + fold_amp
+                        * ((fold_ax * std::f64::consts::TAU * fx).sin()
+                            + (fold_ay * std::f64::consts::TAU * fy).cos())
+                        / 2.0;
+                let layer =
+                    ((folded.clamp(0.0, 1.0)) * (layer_density.len() - 1) as f64).round() as usize;
+                let mut density = layer_density[layer] + 0.4 * fz; // compaction gradient
+                for i in &intrusions {
+                    let d2 = ((fx - i.c[0]) / i.r[0]).powi(2)
+                        + ((fy - i.c[1]) / i.r[1]).powi(2)
+                        + ((fz - i.c[2]) / i.r[2]).powi(2);
+                    density += i.boost * (-d2).exp();
+                }
+                values.push(density);
+            }
+        }
+    }
+    Grid3Field::from_values(v, v, v, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_are_plausible() {
+        let f = geology_field(16, 1);
+        let dom = f.value_domain();
+        assert!(dom.lo >= 1.5 && dom.hi <= 6.0, "domain {dom}");
+        assert!(dom.width() > 0.5, "field should have structure: {dom}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = geology_field(8, 7);
+        let b = geology_field(8, 7);
+        assert_eq!(a.vertex_value(3, 4, 5), b.vertex_value(3, 4, 5));
+    }
+
+    #[test]
+    fn has_high_grade_pockets() {
+        // Intrusions must create localized high-density cells: the top
+        // 10 % of the value domain should cover a small but non-zero
+        // fraction of cells.
+        let f = geology_field(24, 3);
+        let dom = f.value_domain();
+        let cut = dom.denormalize(0.9);
+        let hot = (0..f.num_cells())
+            .filter(|&c| f.cell_interval(c).hi >= cut)
+            .count();
+        let frac = hot as f64 / f.num_cells() as f64;
+        assert!(frac > 0.0 && frac < 0.3, "hot fraction {frac}");
+    }
+}

@@ -1,0 +1,43 @@
+//! The monotonic synthetic field of §4.3: `w(x, y) = x + y`.
+
+use cf_field::GridField;
+
+/// Builds the monotonic DEM `w(x, y) = x + y` with `cells × cells`
+/// rectangular cells (the paper uses 512×512).
+pub fn monotonic_field(cells: usize) -> GridField {
+    assert!(cells >= 1, "need at least one cell");
+    let vw = cells + 1;
+    let mut values = Vec::with_capacity(vw * vw);
+    for y in 0..vw {
+        for x in 0..vw {
+            values.push((x + y) as f64);
+        }
+    }
+    GridField::from_values(vw, vw, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_field::FieldModel;
+    use cf_geom::{Interval, Point2};
+
+    #[test]
+    fn is_the_paper_formula() {
+        let f = monotonic_field(32);
+        assert_eq!(f.num_cells(), 1024);
+        assert_eq!(f.value_domain(), Interval::new(0.0, 64.0));
+        // Exactly linear, so interpolation reproduces x + y anywhere.
+        for (x, y) in [(0.5, 0.5), (10.2, 20.7), (31.9, 0.1)] {
+            let v = f.value_at(Point2::new(x, y)).unwrap();
+            assert!((v - (x + y)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cell_intervals_are_tight() {
+        let f = monotonic_field(8);
+        // Cell (0,0) spans corners 0, 1, 1, 2.
+        assert_eq!(f.cell_interval(0), Interval::new(0.0, 2.0));
+    }
+}

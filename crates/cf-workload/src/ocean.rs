@@ -1,0 +1,75 @@
+//! Ocean temperature + salinity vector field (the §1 motivating
+//! scenario: "find regions where the temperature is between 20° and 25°
+//! and the salinity is between 12% and 13%").
+
+use cf_field::VectorGridField;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Component indexes of the generated field.
+pub const TEMPERATURE: usize = 0;
+/// See [`TEMPERATURE`].
+pub const SALINITY: usize = 1;
+
+/// Generates a smooth 2-component ocean field on `(cells+1)²` vertices:
+/// temperature (°C, ~8–28) dominated by a warm-current bump plus a
+/// latitudinal gradient, and salinity (%, ~10–14) with a freshwater
+/// plume near one corner.
+pub fn ocean_field(cells: usize, seed: u64) -> VectorGridField<2> {
+    assert!(cells >= 2, "need a real grid");
+    let vw = cells + 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Randomize bump centers a little so different seeds differ.
+    let warm = (
+        0.35 + rng.gen_range(-0.1..0.1),
+        0.45 + rng.gen_range(-0.1..0.1),
+    );
+    let plume = (
+        0.8 + rng.gen_range(-0.1..0.1),
+        0.2 + rng.gen_range(-0.1..0.1),
+    );
+
+    let mut values = Vec::with_capacity(vw * vw);
+    for y in 0..vw {
+        for x in 0..vw {
+            let fx = x as f64 / cells as f64;
+            let fy = y as f64 / cells as f64;
+            let temp = 8.0
+                + 12.0 * (1.0 - fy) // warmer "south"
+                + 8.0 * (-((fx - warm.0).powi(2) + (fy - warm.1).powi(2)) * 10.0).exp();
+            let sal = 13.5 - 1.0 * fy
+                - 2.5 * (-((fx - plume.0).powi(2) + (fy - plume.1).powi(2)) * 14.0).exp();
+            values.push([temp, sal]);
+        }
+    }
+    VectorGridField::from_values(vw, vw, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_oceanographic() {
+        let f = ocean_field(64, 1);
+        let dom = f.value_domain();
+        assert!(dom.lo[TEMPERATURE] >= 5.0 && dom.hi[TEMPERATURE] <= 30.0, "{dom:?}");
+        assert!(dom.lo[SALINITY] >= 9.0 && dom.hi[SALINITY] <= 15.0, "{dom:?}");
+    }
+
+    #[test]
+    fn salmon_band_is_nonempty_somewhere() {
+        // The motivating query region must exist in the generated field.
+        let f = ocean_field(64, 1);
+        let salmon = cf_geom::Aabb::new([20.0, 12.0], [25.0, 13.0]);
+        let any = (0..f.num_cells()).any(|c| f.cell_value_box(c).intersects(&salmon));
+        assert!(any, "no cell matches the salmon conditions");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ocean_field(16, 5);
+        let b = ocean_field(16, 5);
+        assert_eq!(a.vertex_value(3, 3), b.vertex_value(3, 3));
+    }
+}

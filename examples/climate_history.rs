@@ -1,0 +1,88 @@
+//! Space-time value queries: a year of monthly temperature snapshots
+//! treated as a 3-D continuous field over `(x, y, month)` — the paper's
+//! §2.1 note that a field domain can be "R⁴ for 3-D spatial and 1-D
+//! temporal" applies one dimension down: 2-D space + time.
+//!
+//! The question "**where and when** did the temperature exceed 28 °C?"
+//! becomes a single interval query against a 3-D I-Hilbert index whose
+//! answer measure is `area × months`.
+//!
+//! ```sh
+//! cargo run --release --example climate_history
+//! ```
+
+use contfield::field::Grid3Field;
+use contfield::index::VolumeIHilbert;
+use contfield::prelude::*;
+
+/// Monthly mean temperature on a `(n+1)²` vertex grid: a north–south
+/// gradient plus a seasonal cycle and a heat-dome anomaly in late
+/// summer.
+fn monthly_temperatures(n: usize, months: usize) -> Grid3Field {
+    let v = n + 1;
+    let mut values = Vec::with_capacity(v * v * (months + 1));
+    for m in 0..=months {
+        // Month coordinate is the third grid axis.
+        let season = (m as f64 / 12.0 * std::f64::consts::TAU - 0.6).sin();
+        for y in 0..v {
+            for x in 0..v {
+                let (fx, fy) = (x as f64 / n as f64, y as f64 / n as f64);
+                let latitude = 24.0 - 10.0 * fy; // warmer "south"
+                let seasonal = 6.0 * season;
+                // Heat dome: strongest around month 7, centered inland.
+                let dome_season = (-((m as f64 - 7.0) / 1.5).powi(2)).exp();
+                let dome =
+                    9.0 * dome_season * (-((fx - 0.6).powi(2) + (fy - 0.35).powi(2)) * 9.0).exp();
+                values.push(latitude + seasonal + dome);
+            }
+        }
+    }
+    Grid3Field::from_values(v, v, months + 1, values)
+}
+
+fn main() {
+    let months = 12;
+    let field = monthly_temperatures(64, months);
+    let dom = field.value_domain();
+    println!(
+        "climate cube: {} space-time cells, temperatures [{:.1}, {:.1}] °C",
+        field.num_cells(),
+        dom.lo,
+        dom.hi
+    );
+
+    let engine = StorageEngine::in_memory();
+    let index = VolumeIHilbert::build(&engine, &field);
+    println!(
+        "3-D I-Hilbert: {} subfields over {} cells ({} index pages)",
+        index.num_subfields(),
+        field.num_cells(),
+        index.index_pages()
+    );
+
+    // Where and when was it hotter than 28 °C?
+    let band = Interval::new(28.0, dom.hi);
+    engine.clear_cache();
+    let stats = index.query_stats(&engine, band);
+    println!(
+        "\nheat above 28 °C: measure {:.1} cell·months across {} qualifying space-time cells ({} page reads)",
+        stats.area,
+        stats.cells_qualifying,
+        stats.io.logical_reads()
+    );
+
+    // Month-by-month exposure profile via Q1 probes of the cube.
+    println!("\nhottest point by month (center of the heat dome):");
+    for m in 0..=months {
+        let t = field
+            .value_at([0.6 * 64.0, 0.35 * 64.0, m as f64])
+            .expect("inside cube");
+        let bar = "#".repeat(((t - 10.0).max(0.0) * 1.5) as usize);
+        println!("  month {m:>2}: {t:>5.1} °C {bar}");
+    }
+
+    // Sanity: the dome month dominates.
+    let july = field.value_at([0.6 * 64.0, 0.35 * 64.0, 7.0]).expect("in cube");
+    let january = field.value_at([0.6 * 64.0, 0.35 * 64.0, 0.0]).expect("in cube");
+    assert!(july > january + 5.0, "seasonal + dome signal present");
+}

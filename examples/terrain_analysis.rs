@@ -1,0 +1,67 @@
+//! Terrain elevation analysis on the Roseburg stand-in: a miniature of
+//! the paper's Fig. 8a experiment, printing the per-method page-I/O
+//! table over the `Qinterval` sweep (the full-scale reproduction lives
+//! in `cf-bench`).
+//!
+//! ```sh
+//! cargo run --release --example terrain_analysis
+//! ```
+
+use contfield::prelude::*;
+use contfield::workload::queries::interval_queries;
+use contfield::workload::terrain::roseburg_standin;
+
+fn main() {
+    // 2^7 = 128 cells per side; pass 9 for the paper's full 512.
+    let field = roseburg_standin(7);
+    let dom = field.value_domain();
+    println!(
+        "terrain: {} cells, elevation [{:.0}, {:.0}] m",
+        field.num_cells(),
+        dom.lo,
+        dom.hi
+    );
+
+    let engine = StorageEngine::in_memory();
+    let scan = LinearScan::build(&engine, &field);
+    let iall = IAll::build(&engine, &field);
+    let ihilbert = IHilbert::build(&engine, &field);
+    let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
+
+    println!(
+        "\nmean page reads over 50 random queries per Qinterval (cold cache):"
+    );
+    print!("{:>10}", "Qinterval");
+    for m in &methods {
+        print!("{:>12}", m.name());
+    }
+    println!();
+
+    for qi in [0.0, 0.02, 0.04, 0.06, 0.08, 0.10] {
+        print!("{qi:>10.2}");
+        for m in &methods {
+            let queries = interval_queries(dom, qi, 50, 1234);
+            let mut total_reads = 0u64;
+            for q in &queries {
+                engine.clear_cache();
+                total_reads += m.query_stats(&engine, *q).io.logical_reads();
+            }
+            print!("{:>12.1}", total_reads as f64 / queries.len() as f64);
+        }
+        println!();
+    }
+
+    // A concrete analysis task: how much land lies above 500 m?
+    let band = Interval::new(500.0, dom.hi);
+    engine.clear_cache();
+    let stats = ihilbert.query_stats(&engine, band);
+    let total = {
+        let d = field.domain();
+        d.volume()
+    };
+    println!(
+        "\nland above 500 m: {:.1} % of the area ({} regions)",
+        100.0 * stats.area / total,
+        stats.num_regions
+    );
+}

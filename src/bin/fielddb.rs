@@ -1,0 +1,262 @@
+//! `fielddb` — a small command-line front end for the continuous-field
+//! database: create a persistent database file from a generated field,
+//! inspect it, and run field value queries against it across process
+//! restarts.
+//!
+//! ```sh
+//! fielddb create /tmp/terrain.db --workload terrain --k 8
+//! fielddb info   /tmp/terrain.db
+//! fielddb query  /tmp/terrain.db 300 350 --regions 3
+//! fielddb point  /tmp/terrain.db 17.5 42.25
+//! ```
+//!
+//! Layout: page 0 is the bootstrap page (magic + catalog page pointer);
+//! the catalog page records where the cell file, subfield file, position
+//! map and R\*-tree live (see `cf_index`'s catalog module).
+
+use contfield::field::{FieldModel, GridField};
+use contfield::geom::Interval;
+use contfield::index::{IHilbert, ValueIndex};
+use contfield::storage::{PageId, StorageConfig, StorageEngine, PAGE_SIZE};
+use contfield::workload::{fractal::diamond_square, monotonic::monotonic_field, terrain};
+
+const BOOT_MAGIC: u64 = 0x3142_444C_4649_4243; // "CBIFLDB1"
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Executes one CLI invocation, returning its stdout text.
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "create" => {
+            let path = it.next().ok_or_else(usage)?.clone();
+            let mut workload = "terrain".to_string();
+            let mut k = 7u32;
+            let mut h = 0.7f64;
+            let mut seed = 42u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--workload" => workload = take(&mut it, flag)?,
+                    "--k" => k = parse(&take(&mut it, flag)?)?,
+                    "--h" => h = parse(&take(&mut it, flag)?)?,
+                    "--seed" => seed = parse(&take(&mut it, flag)?)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            create(&path, &workload, k, h, seed)
+        }
+        "info" => {
+            let path = it.next().ok_or_else(usage)?;
+            info(path)
+        }
+        "query" => {
+            let path = it.next().ok_or_else(usage)?.clone();
+            let lo: f64 = parse(it.next().ok_or_else(usage)?)?;
+            let hi: f64 = parse(it.next().ok_or_else(usage)?)?;
+            let mut regions = 0usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--regions" => regions = parse(&take(&mut it, flag)?)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            query(&path, lo, hi, regions)
+        }
+        "point" => {
+            let path = it.next().ok_or_else(usage)?.clone();
+            let x: f64 = parse(it.next().ok_or_else(usage)?)?;
+            let y: f64 = parse(it.next().ok_or_else(usage)?)?;
+            point(&path, x, y)
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>".into()
+}
+
+fn take(it: &mut std::slice::Iter<String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {s:?}"))
+}
+
+fn open_engine(path: &str) -> Result<StorageEngine, String> {
+    StorageEngine::open_file(path, StorageConfig::default())
+        .map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+fn open_index(engine: &StorageEngine) -> Result<IHilbert<GridField>, String> {
+    if engine.num_pages() == 0 {
+        return Err("empty database file".into());
+    }
+    let (magic, catalog) = engine.with_page(PageId(0), |p| {
+        (
+            u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(p[8..16].try_into().expect("8 bytes")),
+        )
+    });
+    if magic != BOOT_MAGIC {
+        return Err("not a fielddb database (bad bootstrap magic)".into());
+    }
+    Ok(IHilbert::open(engine, PageId(catalog)))
+}
+
+fn create(path: &str, workload: &str, k: u32, h: f64, seed: u64) -> Result<String, String> {
+    if std::path::Path::new(path).exists() {
+        return Err(format!("{path} already exists; refusing to overwrite"));
+    }
+    let field = match workload {
+        "terrain" => terrain::roseburg_standin(k),
+        "fractal" => diamond_square(k, h, seed),
+        "monotonic" => monotonic_field(1 << k),
+        other => return Err(format!("unknown workload {other}")),
+    };
+    let engine = open_engine(path)?;
+    // Reserve page 0 for the bootstrap pointer.
+    let boot = engine.allocate_page();
+    assert_eq!(boot, PageId(0), "bootstrap must be page 0");
+    let index = IHilbert::build(&engine, &field);
+    let catalog = index.save(&engine);
+    let mut buf = [0u8; PAGE_SIZE];
+    buf[0..8].copy_from_slice(&BOOT_MAGIC.to_le_bytes());
+    buf[8..16].copy_from_slice(&catalog.0.to_le_bytes());
+    engine.write_page(boot, &buf);
+    engine.sync().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "created {path}: {} cells ({} data pages), {} subfields ({} index pages), value domain [{:.3}, {:.3}]\n",
+        field.num_cells(),
+        index.data_pages(),
+        index.num_subfields(),
+        index.index_pages(),
+        field.value_domain().lo,
+        field.value_domain().hi,
+    ))
+}
+
+fn info(path: &str) -> Result<String, String> {
+    let engine = open_engine(path)?;
+    let index = open_index(&engine)?;
+    let dom = index.value_domain();
+    Ok(format!(
+        "{path}: {} pages on disk\n  cells: {} ({} data pages)\n  subfields: {} ({} index pages)\n  value domain: [{:.3}, {:.3}]\n",
+        engine.num_pages(),
+        index.inner_len(),
+        index.data_pages(),
+        index.num_subfields(),
+        index.index_pages(),
+        dom.lo,
+        dom.hi,
+    ))
+}
+
+fn query(path: &str, lo: f64, hi: f64, max_regions: usize) -> Result<String, String> {
+    if lo > hi {
+        return Err(format!("inverted band [{lo}, {hi}]"));
+    }
+    let engine = open_engine(path)?;
+    let index = open_index(&engine)?;
+    let (stats, mut regions) = index.query_regions(&engine, Interval::new(lo, hi));
+    let mut out = format!(
+        "w in [{lo}, {hi}]: {} cells qualify, {} regions, total area {:.3} ({} page reads)\n",
+        stats.cells_qualifying,
+        stats.num_regions,
+        stats.area,
+        stats.io.logical_reads(),
+    );
+    regions.sort_by(|a, b| b.area().partial_cmp(&a.area()).expect("finite areas"));
+    for r in regions.iter().take(max_regions) {
+        if let Some(c) = r.centroid() {
+            out.push_str(&format!(
+                "  region around ({:.2}, {:.2}), area {:.4}\n",
+                c.x,
+                c.y,
+                r.area()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn point(path: &str, x: f64, y: f64) -> Result<String, String> {
+    let engine = open_engine(path)?;
+    let index = open_index(&engine)?;
+    // Exact-value pipeline: probe an epsilon band around every value is
+    // not a point query; instead interpolate from the cell record that
+    // contains the point by scanning candidate subfields is overkill —
+    // the clean Q1 path needs the spatial index, which the CLI database
+    // does not persist. Interpolate via the cell file directly.
+    match index.value_at_via_records(&engine, contfield::geom::Point2::new(x, y)) {
+        Some(v) => Ok(format!("value at ({x}, {y}): {v:.6}\n")),
+        None => Ok(format!("({x}, {y}) is outside the field domain\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fielddb_cli_{}_{name}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p.to_string_lossy().into_owned()
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn create_info_query_point_cycle() {
+        let db = tmp("cycle");
+        let out = run(&argv(&["create", &db, "--workload", "fractal", "--k", "5", "--h", "0.8"]))
+            .expect("create");
+        assert!(out.contains("1024 cells"), "{out}");
+
+        let out = run(&argv(&["info", &db])).expect("info");
+        assert!(out.contains("subfields"), "{out}");
+
+        let out = run(&argv(&["query", &db, "-0.2", "0.2", "--regions", "2"])).expect("query");
+        assert!(out.contains("cells qualify"), "{out}");
+
+        let out = run(&argv(&["point", &db, "3.5", "7.25"])).expect("point");
+        assert!(out.contains("value at"), "{out}");
+
+        std::fs::remove_file(&db).expect("cleanup");
+    }
+
+    #[test]
+    fn refuses_overwrite_and_bad_input() {
+        let db = tmp("refuse");
+        run(&argv(&["create", &db, "--k", "4"])).expect("create");
+        assert!(run(&argv(&["create", &db])).is_err(), "must not overwrite");
+        assert!(run(&argv(&["query", &db, "5", "1"])).is_err(), "inverted band");
+        assert!(run(&argv(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+        std::fs::remove_file(&db).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_foreign_file() {
+        let db = tmp("foreign");
+        std::fs::write(&db, vec![0u8; 8192]).expect("write junk");
+        assert!(run(&argv(&["info", &db])).is_err());
+        std::fs::remove_file(&db).expect("cleanup");
+    }
+}

@@ -1,0 +1,117 @@
+//! Concurrency: the storage engine and the read path of every index are
+//! thread-safe; concurrent readers must see consistent answers and
+//! consistent I/O accounting.
+
+use contfield::prelude::*;
+use contfield::workload::fractal::diamond_square;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn concurrent_queries_agree_with_sequential() {
+    let field = diamond_square(6, 0.6, 77);
+    let engine = StorageEngine::in_memory();
+    let index = IHilbert::build(&engine, &field);
+    let dom = field.value_domain();
+
+    let bands: Vec<Interval> = (0..32)
+        .map(|i| {
+            let t = i as f64 / 32.0;
+            Interval::new(dom.denormalize(t * 0.9), dom.denormalize((t * 0.9 + 0.08).min(1.0)))
+        })
+        .collect();
+    let sequential: Vec<QueryStats> = bands
+        .iter()
+        .map(|b| index.query_stats(&engine, *b))
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<(usize, QueryStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= bands.len() {
+                            break;
+                        }
+                        out.push((i, index.query_stats(&engine, bands[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("query thread"))
+            .collect()
+    });
+
+    assert_eq!(results.len(), bands.len());
+    for (i, got) in results {
+        let want = &sequential[i];
+        assert_eq!(got.cells_qualifying, want.cells_qualifying, "band {i}");
+        assert_eq!(got.num_regions, want.num_regions, "band {i}");
+        assert!((got.area - want.area).abs() < 1e-9 * want.area.max(1.0));
+    }
+}
+
+#[test]
+fn concurrent_cold_scans_share_the_pool_safely() {
+    // Hammer a small pool from many threads; the pool must stay within
+    // capacity and all reads must return correct data.
+    let field = diamond_square(5, 0.5, 3);
+    let engine = StorageEngine::new(contfield::storage::StorageConfig {
+        pool_pages: 4,
+        ..Default::default()
+    });
+    let scan = LinearScan::build(&engine, &field);
+    let dom = field.value_domain();
+    let expected = scan.query_stats(&engine, dom);
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..5 {
+                    let got = scan.query_stats(&engine, dom);
+                    assert_eq!(got.cells_qualifying, expected.cells_qualifying);
+                    assert!((got.area - expected.area).abs() < 1e-9);
+                }
+            });
+        }
+    });
+    assert!(engine.pool().cached_pages() <= 4);
+}
+
+#[test]
+fn global_io_counters_sum_across_threads() {
+    let field = diamond_square(5, 0.5, 4);
+    let engine = StorageEngine::in_memory();
+    let index = IHilbert::build(&engine, &field);
+    let dom = field.value_domain();
+    let band = Interval::new(dom.denormalize(0.4), dom.denormalize(0.5));
+
+    engine.reset_stats();
+    let per_thread_reads: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut total = 0;
+                    for _ in 0..10 {
+                        total += index.query_stats(&engine, band).io.logical_reads();
+                    }
+                    total
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+    // Each per-query delta includes reads from concurrent threads (the
+    // counters are global), so the per-thread sums can overcount — but
+    // the engine's grand total must be at least each thread's own share
+    // and at most the sum of all deltas.
+    let grand = engine.io_stats().logical_reads();
+    let sum: u64 = per_thread_reads.iter().sum();
+    assert!(grand <= sum);
+    assert!(grand >= *per_thread_reads.iter().max().expect("non-empty"));
+}
