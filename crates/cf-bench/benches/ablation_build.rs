@@ -67,5 +67,5 @@ fn subfield_builder(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = build_cost, subfield_builder}
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = build_cost, subfield_builder}
 criterion_main!(benches);

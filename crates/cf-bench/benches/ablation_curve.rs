@@ -43,8 +43,7 @@ fn division_strategy(c: &mut Criterion) {
     common::bench_method_queries(c, "ablation_division", &engine, &ihilbert, dom, 0.02, 0xAD);
     for frac in [0.02, 0.1, 0.3] {
         let iq = IntervalQuadtree::build(&engine, &field, frac * dom.width());
-        let queries =
-            cf_workload::queries::interval_queries(dom, 0.02, 64, 0xAD);
+        let queries = cf_workload::queries::interval_queries(dom, 0.02, 64, 0xAD);
         let cursor = Cell::new(0usize);
         let mut g = c.benchmark_group("ablation_division");
         g.sample_size(10);
@@ -133,5 +132,5 @@ fn incremental_updates(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = curve_choice, division_strategy, vector_extension, volume_extension, incremental_updates}
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = curve_choice, division_strategy, vector_extension, volume_extension, incremental_updates}
 criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Batch executor throughput scaling — the tentpole experiment beyond
+//! the paper: the same 48-query fig8a workload run through
+//! [`QueryBatch`] at 1/2/4/8 worker threads against the sharded buffer
+//! pool, with a sleeping read latency so worker I/O genuinely overlaps.
+//! Expected: ≥2× queries/second at 4 threads vs 1 (see also the
+//! `batch_scaling_keeps_answers_and_shows_speedup` test and
+//! `repro batch` for the table).
+
+use cf_field::FieldModel;
+use cf_index::{IHilbert, QueryBatch};
+use cf_storage::{StorageConfig, StorageEngine};
+use cf_workload::{queries::interval_queries, terrain::roseburg_standin};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn batch_throughput(c: &mut Criterion) {
+    let field = roseburg_standin(7);
+    let engine = StorageEngine::new(StorageConfig {
+        pool_pages: 1024,
+        read_latency: Duration::from_millis(1),
+        ..StorageConfig::default()
+    });
+    let index = IHilbert::build(&engine, &field);
+    let queries = interval_queries(field.value_domain(), 0.05, 48, 0xBA7C);
+
+    let mut g = c.benchmark_group("batch_throughput");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(
+            BenchmarkId::new("I-Hilbert", format!("threads={threads}")),
+            |b| {
+                b.iter(|| {
+                    // Cold pool per iteration: every run pays the same
+                    // fault-in work, so wall time compares fairly.
+                    engine.clear_cache();
+                    std::hint::black_box(
+                        QueryBatch::new(queries.clone())
+                            .threads(threads)
+                            .run(&engine, &index),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = batch_throughput}
+criterion_main!(benches);

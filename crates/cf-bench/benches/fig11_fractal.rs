@@ -33,5 +33,5 @@ fn fig11(c: &mut Criterion) {
     }
 }
 
-criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig11}
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = fig11}
 criterion_main!(benches);

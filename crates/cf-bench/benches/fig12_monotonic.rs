@@ -27,5 +27,5 @@ fn fig12(c: &mut Criterion) {
     }
 }
 
-criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig12}
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = fig12}
 criterion_main!(benches);

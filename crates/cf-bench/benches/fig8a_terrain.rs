@@ -30,5 +30,5 @@ fn fig8a(c: &mut Criterion) {
     }
 }
 
-criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig8a}
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = fig8a}
 criterion_main!(benches);

@@ -28,5 +28,5 @@ fn fig8b(c: &mut Criterion) {
     }
 }
 
-criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = fig8b}
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = fig8b}
 criterion_main!(benches);

@@ -61,7 +61,9 @@ fn rtree(c: &mut Criterion) {
         })
     });
     g.bench_function("bulk_load_50k", |b| {
-        b.iter(|| std::hint::black_box(bulk_load_str(items.clone(), RTreeConfig::page_sized::<1>())))
+        b.iter(|| {
+            std::hint::black_box(bulk_load_str(items.clone(), RTreeConfig::page_sized::<1>()))
+        })
     });
 
     let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::page_sized::<1>());
@@ -149,5 +151,5 @@ fn estimation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().without_plots(); targets = curves, rtree, delaunay, storage, estimation}
+criterion_group! {name = benches; config = Criterion::default().without_plots(); targets = curves, rtree, delaunay, storage, estimation}
 criterion_main!(benches);

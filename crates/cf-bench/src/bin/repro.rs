@@ -6,10 +6,13 @@
 //! ```
 //!
 //! Subcommands: `fig5`, `fig8a`, `fig8b`, `fig11`, `fig12`,
-//! `ablation`, `all`. Flags: `--full` (paper-scale datasets and 200
-//! queries/point), `--queries N`, `--latency-us N`.
+//! `ablation`, `batch`, `all`. Flags: `--full` (paper-scale datasets
+//! and 200 queries/point), `--queries N`, `--latency-us N`.
 
-use cf_bench::{render_markdown, run_sweep, speedups, ExperimentConfig, SweepResult};
+use cf_bench::{
+    render_batch_scaling, render_markdown, run_batch_scaling, run_sweep, speedups,
+    ExperimentConfig, SweepResult,
+};
 use cf_field::FieldModel;
 use cf_geom::Interval;
 use cf_index::{
@@ -84,6 +87,7 @@ fn main() {
             print_sweep(&fig12(&opts));
         }
         "ablation" => ablation(&opts),
+        "batch" => batch(&opts),
         "all" => {
             fig5();
             print_sweep(&fig8a(&opts));
@@ -91,9 +95,12 @@ fn main() {
             fig11(&opts);
             print_sweep(&fig12(&opts));
             ablation(&opts);
+            batch(&opts);
         }
         other => {
-            eprintln!("unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|all");
+            eprintln!(
+                "unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|batch|all"
+            );
             std::process::exit(2);
         }
     }
@@ -187,6 +194,70 @@ fn fig12(opts: &Opts) -> SweepResult {
     )
 }
 
+/// Batch executor throughput scaling on the fig8a terrain: the same
+/// query batch at 1/2/4/8 worker threads over the sharded buffer pool,
+/// with per-query and aggregated statistics.
+fn batch(opts: &Opts) {
+    use cf_storage::{StorageConfig, StorageEngine};
+    use std::time::Duration;
+
+    let k = if opts.full { 8 } else { 7 };
+    let field = roseburg_standin(k);
+    // The scaling experiment needs a latency long enough that the disk
+    // simulation sleeps (releasing the CPU, like a blocked thread on a
+    // real device) rather than busy-spins, so worker I/O genuinely
+    // overlaps; clamp the configured latency up to 1 ms.
+    let latency_us = opts.latency_us.max(1000);
+    let engine = StorageEngine::new(StorageConfig {
+        pool_pages: 1024,
+        read_latency: Duration::from_micros(latency_us),
+        ..StorageConfig::default()
+    });
+    let index = IHilbert::build(&engine, &field);
+    let dom = field.value_domain();
+    let queries = interval_queries(dom, 0.05, opts.queries.unwrap_or(48), 0xBA7C);
+    eprintln!(
+        "[batch] terrain {0}x{0} cells, {1} queries, read latency {latency_us} µs…",
+        1 << k,
+        queries.len()
+    );
+
+    println!(
+        "### batch — parallel executor scaling (fig8a terrain, {} shards)\n",
+        engine.pool().num_shards()
+    );
+    let reports = run_batch_scaling(&engine, &index, &queries, &[1, 2, 4, 8]);
+    print!("{}", render_batch_scaling(&reports));
+
+    let four = &reports[2];
+    println!(
+        "\nspeedup(4 threads vs 1): {:.1}x\n",
+        reports[0].wall.as_secs_f64() / four.wall.as_secs_f64().max(1e-12)
+    );
+
+    println!("per-query stats (4-thread run, first 8 queries):\n");
+    println!("| band | wall ms | pages | disk | subfields | cells ex. | qualifying | regions |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for r in four.results.iter().take(8) {
+        println!(
+            "| {} | {:.2} | {} | {} | {} | {} | {} | {} |",
+            r.band,
+            r.wall.as_secs_f64() * 1e3,
+            r.stats.io.logical_reads(),
+            r.stats.io.disk_reads,
+            r.stats.intervals_retrieved,
+            r.stats.cells_examined,
+            r.stats.cells_qualifying,
+            r.stats.num_regions,
+        );
+    }
+    println!("\naggregated:");
+    for r in &reports {
+        println!("  {r}");
+    }
+    println!();
+}
+
 /// Design-choice ablations: curve, cost knobs, quadtree threshold.
 fn ablation(opts: &Opts) {
     let k = if opts.full { 9 } else { 7 };
@@ -254,7 +325,11 @@ fn ablation(opts: &Opts) {
     for frac in [0.01, 0.05, 0.1, 0.25, 0.5] {
         let iq = IntervalQuadtree::build(&engine, &field, frac * width);
         let p = cf_bench::run_method_point(&engine, &iq, 0.02, &queries, &config);
-        println!("| {frac:.2} | {} | {:.0} |", iq.num_intervals(), p.mean_pages);
+        println!(
+            "| {frac:.2} | {} | {:.0} |",
+            iq.num_intervals(),
+            p.mean_pages
+        );
     }
 
     // Reference points for the table reader.

@@ -22,10 +22,9 @@
 
 use cf_field::FieldModel;
 use cf_geom::Interval;
-use cf_index::{IAll, IHilbert, IntervalQuadtree, LinearScan, ValueIndex};
+use cf_index::{BatchReport, IAll, IHilbert, IntervalQuadtree, LinearScan, QueryBatch, ValueIndex};
 use cf_storage::{StorageConfig, StorageEngine};
 use cf_workload::queries::interval_queries;
-use serde::Serialize;
 use std::time::{Duration, Instant};
 
 /// Experiment-wide knobs.
@@ -64,12 +63,13 @@ impl ExperimentConfig {
         StorageEngine::new(StorageConfig {
             pool_pages: self.pool_pages,
             read_latency: Duration::from_micros(self.read_latency_us),
+            ..StorageConfig::default()
         })
     }
 }
 
 /// One `(method, Qinterval)` cell of a result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodPoint {
     /// Method name as in the paper's legend.
     pub method: String,
@@ -88,7 +88,7 @@ pub struct MethodPoint {
 }
 
 /// A whole figure: the sweep results plus context.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Figure id, e.g. `"fig8a"`.
     pub figure: String,
@@ -249,6 +249,65 @@ pub fn render_markdown(result: &SweepResult) -> String {
     out
 }
 
+/// Runs the same query batch once per entry of `thread_counts`,
+/// clearing the buffer pool before each run so every run pays the same
+/// fault-in cost, and returns the reports in order.
+///
+/// This is the throughput-scaling experiment: identical work, identical
+/// answers (the executor is byte-identical to the sequential loop),
+/// only the worker count varies. With a simulated read latency the
+/// speedup measures how well the sharded pool lets workers overlap
+/// their I/O waits.
+pub fn run_batch_scaling(
+    engine: &StorageEngine,
+    method: &dyn ValueIndex,
+    queries: &[Interval],
+    thread_counts: &[usize],
+) -> Vec<BatchReport> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            engine.clear_cache();
+            QueryBatch::new(queries.to_vec())
+                .threads(threads)
+                .run(engine, method)
+        })
+        .collect()
+}
+
+/// Renders batch-scaling reports as a markdown table with speedups
+/// relative to the first (baseline) report.
+pub fn render_batch_scaling(reports: &[BatchReport]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let Some(base) = reports.first() else {
+        return out;
+    };
+    writeln!(
+        out,
+        "| threads | wall ms | q/s | speedup | mean query ms | max query ms | pages | disk |"
+    )
+    .expect("write to string");
+    writeln!(out, "|---|---|---|---|---|---|---|---|").expect("write to string");
+    for r in reports {
+        let io = r.total_io();
+        writeln!(
+            out,
+            "| {} | {:.1} | {:.0} | {:.2}x | {:.2} | {:.2} | {} | {} |",
+            r.threads,
+            r.wall.as_secs_f64() * 1e3,
+            r.queries_per_second(),
+            base.wall.as_secs_f64() / r.wall.as_secs_f64().max(1e-12),
+            r.mean_query_wall().as_secs_f64() * 1e3,
+            r.max_query_wall().as_secs_f64() * 1e3,
+            io.logical_reads(),
+            io.disk_reads,
+        )
+        .expect("write to string");
+    }
+    out
+}
+
 /// Speedup of `method` over `baseline` at each Qinterval (time-based).
 pub fn speedups(result: &SweepResult, baseline: &str, method: &str) -> Vec<(f64, f64)> {
     let mut out = Vec::new();
@@ -292,6 +351,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_scaling_keeps_answers_and_shows_speedup() {
+        use cf_workload::terrain::roseburg_standin;
+
+        // I/O-bound regime: 3 ms per physical read (the wait sleeps, so
+        // workers overlap their faults even on one core — like threads
+        // blocked on a real device) and a pool large enough that every
+        // fault is a cold first touch paid exactly once per run.
+        let field = roseburg_standin(7);
+        let engine = StorageEngine::new(StorageConfig {
+            pool_pages: 1024,
+            read_latency: Duration::from_millis(3),
+            ..StorageConfig::default()
+        });
+        let index = IHilbert::build(&engine, &field);
+        let queries = interval_queries(field.value_domain(), 0.05, 48, 0xBA7C);
+
+        let reports = run_batch_scaling(&engine, &index, &queries, &[1, 4]);
+        assert_eq!(reports[0].threads, 1);
+        assert_eq!(reports[1].threads, 4);
+        // Identical work: both runs fault the same pages and return the
+        // same answers.
+        for (a, b) in reports[0].results.iter().zip(&reports[1].results) {
+            assert_eq!(a.stats.cells_qualifying, b.stats.cells_qualifying);
+            assert_eq!(a.stats.area.to_bits(), b.stats.area.to_bits());
+        }
+        assert_eq!(
+            reports[0].total_io().disk_reads,
+            reports[1].total_io().disk_reads,
+            "equal cold fault-in work per run"
+        );
+
+        let speedup = reports[0].wall.as_secs_f64() / reports[1].wall.as_secs_f64().max(1e-12);
+        assert!(
+            speedup >= 2.0,
+            "4 threads gave only {speedup:.2}x over 1 thread"
+        );
+
+        let md = render_batch_scaling(&reports);
+        assert!(md.contains("| 1 |"));
+        assert!(md.contains("| 4 |"));
+    }
+
+    #[test]
     fn methods_agree_inside_the_harness() {
         let field = diamond_square(4, 0.3, 2);
         let cfg = ExperimentConfig {
@@ -302,7 +404,10 @@ mod tests {
         let result = run_sweep("agree", &field, &[0.02], &cfg);
         let qualifying: Vec<f64> = result.points.iter().map(|p| p.mean_qualifying).collect();
         for w in qualifying.windows(2) {
-            assert!((w[0] - w[1]).abs() < 1e-9, "methods disagree: {qualifying:?}");
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "methods disagree: {qualifying:?}"
+            );
         }
     }
 }

@@ -1,0 +1,276 @@
+//! A minimal wall-clock benchmark harness exposing the subset of the
+//! `criterion` API the workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! aliases `criterion = { package = "cf-criterion" }` to this crate.
+//! Semantics: each `bench_function` warms up for `warm_up_time`, then
+//! measures batches until `measurement_time` elapses, and prints
+//! `group/id: mean ± spread (iters)` on stdout. No plots, no stats
+//! beyond mean/min/max — enough for the relative comparisons the
+//! figure benches make.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op (kept for API compatibility; this harness never plots).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named benchmark id, optionally two-part (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Two-part id, rendered `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// A group of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let line = match bencher.result {
+            Some(m) => format!(
+                "{}/{}: {} .. {} (mean {}, {} iters)",
+                self.name,
+                id.0,
+                fmt_ns(m.min_ns),
+                fmt_ns(m.max_ns),
+                fmt_ns(m.mean_ns),
+                m.iters
+            ),
+            None => format!(
+                "{}/{}: no measurement (b.iter never called)",
+                self.name, id.0
+            ),
+        };
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+/// Runs the measured routine.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates a batch size so each sample is at
+        // least ~1% of the measurement budget and timer noise amortizes.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.samples as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut total_iters = 0u64;
+        let mut total = Duration::ZERO;
+        let (mut min_ns, mut max_ns) = (f64::INFINITY, 0.0f64);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            let ns = dt.as_secs_f64() * 1e9 / batch as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total += dt;
+            total_iters += batch;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.result = Some(Measurement {
+            mean_ns: total.as_secs_f64() * 1e9 / total_iters as f64,
+            min_ns,
+            max_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    let mut s = String::new();
+    if ns < 1e3 {
+        let _ = write!(s, "{ns:.1} ns");
+    } else if ns < 1e6 {
+        let _ = write!(s, "{:.2} µs", ns / 1e3);
+    } else if ns < 1e9 {
+        let _ = write!(s, "{:.2} ms", ns / 1e6);
+    } else {
+        let _ = write!(s, "{:.3} s", ns / 1e9);
+    }
+    s
+}
+
+/// Declares a bench group runner (`criterion_group!{name = n; config = c; targets = f, g}`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                acc
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render_both_forms() {
+        assert_eq!(BenchmarkId::new("m", "q=0.1").0, "m/q=0.1");
+        assert_eq!(BenchmarkId::from("plain").0, "plain");
+    }
+}

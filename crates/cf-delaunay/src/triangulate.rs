@@ -46,7 +46,9 @@ impl Triangulation {
     /// Total area covered (the convex hull area for a Delaunay
     /// triangulation).
     pub fn area(&self) -> f64 {
-        (0..self.triangles.len()).map(|t| self.triangle(t).area()).sum()
+        (0..self.triangles.len())
+            .map(|t| self.triangle(t).area())
+            .sum()
     }
 
     /// Index of a triangle containing `p`, or `None` if `p` lies outside
@@ -303,8 +305,12 @@ mod tests {
             TriangulationError::AllCollinear
         );
         assert_eq!(
-            triangulate(&[Point2::new(f64::NAN, 0.0), Point2::ORIGIN, Point2::new(1.0, 0.0)])
-                .unwrap_err(),
+            triangulate(&[
+                Point2::new(f64::NAN, 0.0),
+                Point2::ORIGIN,
+                Point2::new(1.0, 0.0)
+            ])
+            .unwrap_err(),
             TriangulationError::NonFinitePoint
         );
     }
@@ -419,7 +425,11 @@ mod tests {
 
     fn convex_hull(points: &[Point2]) -> Vec<Point2> {
         let mut pts: Vec<Point2> = points.to_vec();
-        pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+        pts.sort_by(|a, b| {
+            a.x.partial_cmp(&b.x)
+                .unwrap()
+                .then(a.y.partial_cmp(&b.y).unwrap())
+        });
         let mut hull: Vec<Point2> = Vec::new();
         for phase in 0..2 {
             let start = hull.len();

@@ -194,7 +194,10 @@ mod tests {
         let f = sample();
         for cell in 0..f.num_cells() {
             let rec = f.cell_record(cell);
-            assert_eq!(CompactGridField::record_interval(&rec), f.cell_interval(cell));
+            assert_eq!(
+                CompactGridField::record_interval(&rec),
+                f.cell_interval(cell)
+            );
         }
         // Band regions tile each cell.
         let rec = f.cell_record(10);
@@ -208,6 +211,9 @@ mod tests {
             .iter()
             .map(Polygon::area)
             .sum();
-        assert!((a + b - 1.0).abs() < 1e-9, "halves tile the cell: {a} + {b}");
+        assert!(
+            (a + b - 1.0).abs() < 1e-9,
+            "halves tile the cell: {a} + {b}"
+        );
     }
 }

@@ -39,7 +39,8 @@ pub fn triangle_band(tri: &Triangle, values: [f64; 3], lo: f64, hi: f64) -> Poly
     };
     let w = move |p: Point2| gx * p.x + gy * p.y + c;
     let poly: Polygon = (*tri).into();
-    poly.clip_halfplane(|p| w(p) - lo).clip_halfplane(|p| hi - w(p))
+    poly.clip_halfplane(|p| w(p) - lo)
+        .clip_halfplane(|p| hi - w(p))
 }
 
 /// Total area of a collection of band regions.
@@ -121,7 +122,11 @@ mod tests {
         // 0.5 at the right corner: area = 0.5 - 0.5·0.25 = 0.375.
         let tri = unit_right();
         let region = triangle_band(&tri, [0.0, 1.0, 0.0], -1.0, 0.5);
-        assert!((region.area() - 0.375).abs() < 1e-12, "area {}", region.area());
+        assert!(
+            (region.area() - 0.375).abs() < 1e-12,
+            "area {}",
+            region.area()
+        );
     }
 
     #[test]
@@ -163,7 +168,11 @@ mod tests {
         for w in cuts.windows(2) {
             total += triangle_band(&tri, vals, w[0], w[1]).area();
         }
-        assert!((total - tri.area()).abs() < 1e-9, "{total} vs {}", tri.area());
+        assert!(
+            (total - tri.area()).abs() < 1e-9,
+            "{total} vs {}",
+            tri.area()
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl GridField {
         dx: f64,
         dy: f64,
     ) -> Self {
-        assert!(vw >= 2 && vh >= 2, "need at least 2x2 vertices, got {vw}x{vh}");
+        assert!(
+            vw >= 2 && vh >= 2,
+            "need at least 2x2 vertices, got {vw}x{vh}"
+        );
         assert_eq!(values.len(), vw * vh, "expected {} values", vw * vh);
         assert!(dx > 0.0 && dy > 0.0, "spacing must be positive");
         assert!(

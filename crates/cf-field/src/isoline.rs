@@ -25,11 +25,7 @@ pub struct Polyline {
 impl Polyline {
     /// Total length of the polyline.
     pub fn length(&self) -> f64 {
-        let mut len: f64 = self
-            .points
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum();
+        let mut len: f64 = self.points.windows(2).map(|w| w[0].distance(w[1])).sum();
         if self.closed {
             if let (Some(&first), Some(&last)) = (self.points.first(), self.points.last()) {
                 len += last.distance(first);
@@ -118,10 +114,7 @@ pub fn stitch_segments(segments: &[(Point2, Point2)]) -> Vec<Polyline> {
                 let Some(candidates) = adj.get(&key(tip, scale)) else {
                     break;
                 };
-                let next = candidates
-                    .iter()
-                    .find(|&&(i, _)| !used[i])
-                    .copied();
+                let next = candidates.iter().find(|&&(i, _)| !used[i]).copied();
                 let Some((i, end_is_tip)) = next else { break };
                 used[i] = true;
                 let other = if end_is_tip {
@@ -193,7 +186,10 @@ mod tests {
         let t = tri((0.0, 0.0), (1.0, 0.0), (0.0, 1.0));
         let seg = triangle_isoline(&t, [0.0, 1.0, 0.0], 0.5).expect("crosses");
         for p in [seg.0, seg.1] {
-            assert!((p.x - 0.5).abs() < 1e-12, "isoline of w=x is x=0.5, got {p}");
+            assert!(
+                (p.x - 0.5).abs() < 1e-12,
+                "isoline of w=x is x=0.5, got {p}"
+            );
         }
     }
 

@@ -33,8 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod estimate;
 mod compact;
+pub mod estimate;
 mod grid;
 pub mod isoline;
 mod model;

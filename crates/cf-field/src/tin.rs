@@ -42,10 +42,7 @@ impl TinField {
     }
 
     /// Wraps an existing triangulation with per-point values.
-    pub fn from_triangulation(
-        triangulation: Triangulation,
-        values: Vec<f64>,
-    ) -> Self {
+    pub fn from_triangulation(triangulation: Triangulation, values: Vec<f64>) -> Self {
         assert_eq!(
             triangulation.points.len(),
             values.len(),

@@ -343,7 +343,10 @@ mod tests {
             }
         }
         let approx = inside as f64 / (n * n) as f64;
-        assert!((area - approx).abs() < 2e-3, "clipped {area} vs sampled {approx}");
+        assert!(
+            (area - approx).abs() < 2e-3,
+            "clipped {area} vs sampled {approx}"
+        );
         // All region vertices satisfy both bands.
         for r in &regions {
             for v in &r.vertices {

@@ -63,8 +63,16 @@ impl Grid3Field {
     /// Panics if any dimension is below 2, the count is wrong, or a
     /// value is non-finite.
     pub fn from_values(vx: usize, vy: usize, vz: usize, values: Vec<f64>) -> Self {
-        assert!(vx >= 2 && vy >= 2 && vz >= 2, "need at least 2x2x2 vertices");
-        assert_eq!(values.len(), vx * vy * vz, "expected {} values", vx * vy * vz);
+        assert!(
+            vx >= 2 && vy >= 2 && vz >= 2,
+            "need at least 2x2x2 vertices"
+        );
+        assert_eq!(
+            values.len(),
+            vx * vy * vz,
+            "expected {} values",
+            vx * vy * vz
+        );
         assert!(values.iter().all(|v| v.is_finite()), "non-finite sample");
         Self { vx, vy, vz, values }
     }
@@ -179,11 +187,7 @@ pub fn simplex_interpolate(vals: &[f64; 8], local: [f64; 3]) -> f64 {
     let sorted = [local[axes[0]], local[axes[1]], local[axes[2]]];
     let mut corner = 0usize;
     let mut value = vals[0] * (1.0 - sorted[0]);
-    let weights = [
-        sorted[0] - sorted[1],
-        sorted[1] - sorted[2],
-        sorted[2],
-    ];
+    let weights = [sorted[0] - sorted[1], sorted[1] - sorted[2], sorted[2]];
     for (step, &axis) in axes.iter().enumerate() {
         corner |= 1 << axis;
         value += vals[corner] * weights[step];
@@ -419,10 +423,7 @@ mod tests {
             }
             let mc = below as f64 / n as f64;
             let exact = tet_fraction_below(d, t);
-            assert!(
-                (mc - exact).abs() < 5e-3,
-                "t={t}: exact {exact} vs MC {mc}"
-            );
+            assert!((mc - exact).abs() < 5e-3, "t={t}: exact {exact} vs MC {mc}");
         }
     }
 

@@ -165,9 +165,7 @@ impl<const N: usize> Aabb<N> {
     ///
     /// Returns [`Aabb::EMPTY`] for an empty iterator.
     pub fn hull<I: IntoIterator<Item = Aabb<N>>>(boxes: I) -> Aabb<N> {
-        boxes
-            .into_iter()
-            .fold(Aabb::EMPTY, |acc, b| acc.union(&b))
+        boxes.into_iter().fold(Aabb::EMPTY, |acc, b| acc.union(&b))
     }
 
     /// Squared Euclidean distance from `p` to the nearest point of the box
@@ -191,19 +189,16 @@ impl<const N: usize> Aabb<N> {
 impl Aabb<2> {
     /// Builds a 2-D box from two corner points given in any order.
     pub fn from_points(a: Point2, b: Point2) -> Self {
-        Aabb::new(
-            [a.x.min(b.x), a.y.min(b.y)],
-            [a.x.max(b.x), a.y.max(b.y)],
-        )
+        Aabb::new([a.x.min(b.x), a.y.min(b.y)], [a.x.max(b.x), a.y.max(b.y)])
     }
 
     /// Smallest 2-D box containing every point in the slice.
     ///
     /// Returns [`Aabb::EMPTY`] for an empty slice.
     pub fn hull_of_points(points: &[Point2]) -> Self {
-        points.iter().fold(Aabb::EMPTY, |acc, p| {
-            acc.union(&Aabb::point([p.x, p.y]))
-        })
+        points
+            .iter()
+            .fold(Aabb::EMPTY, |acc, p| acc.union(&Aabb::point([p.x, p.y])))
     }
 
     /// Center of the box as a [`Point2`].

@@ -27,7 +27,9 @@ impl Polygon {
 
     /// The empty polygon.
     pub fn empty() -> Self {
-        Self { vertices: Vec::new() }
+        Self {
+            vertices: Vec::new(),
+        }
     }
 
     /// Returns `true` when the polygon has no area-bearing boundary.

@@ -19,7 +19,9 @@ impl Triangle {
     /// Creates a triangle from three vertices (any orientation).
     #[inline]
     pub const fn new(a: Point2, b: Point2, c: Point2) -> Self {
-        Self { vertices: [a, b, c] }
+        Self {
+            vertices: [a, b, c],
+        }
     }
 
     /// Signed area: positive for counter-clockwise vertex order.
@@ -172,11 +174,7 @@ mod tests {
             Point2::new(2.0, 0.5),
             Point2::new(0.5, 3.0),
         );
-        let vals = [
-            w(t.vertices[0]),
-            w(t.vertices[1]),
-            w(t.vertices[2]),
-        ];
+        let vals = [w(t.vertices[0]), w(t.vertices[1]), w(t.vertices[2])];
         for p in [
             Point2::new(0.8, 0.9),
             t.centroid(),

@@ -12,9 +12,13 @@ fn interval() -> impl Strategy<Value = Interval> {
 }
 
 fn aabb2() -> impl Strategy<Value = Aabb<2>> {
-    (finite_coord(), finite_coord(), finite_coord(), finite_coord()).prop_map(|(x0, y0, x1, y1)| {
-        Aabb::from_points(Point2::new(x0, y0), Point2::new(x1, y1))
-    })
+    (
+        finite_coord(),
+        finite_coord(),
+        finite_coord(),
+        finite_coord(),
+    )
+        .prop_map(|(x0, y0, x1, y1)| Aabb::from_points(Point2::new(x0, y0), Point2::new(x1, y1)))
 }
 
 fn point2() -> impl Strategy<Value = Point2> {

@@ -65,7 +65,10 @@ impl<F: FieldModel> IHilbert<F> {
     pub fn save(&self, engine: &StorageEngine) -> PageId {
         let pos_file = RecordFile::create(
             engine,
-            self.cell_to_pos().iter().map(|&p| PosRecord(p)).collect::<Vec<_>>(),
+            self.cell_to_pos()
+                .iter()
+                .map(|&p| PosRecord(p))
+                .collect::<Vec<_>>(),
         );
         let inner = self.inner();
         let (t_root, t_height, t_len, t_pages) = inner.tree.to_parts();

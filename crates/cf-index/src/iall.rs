@@ -54,7 +54,7 @@ impl<F: FieldModel> ValueIndex for IAll<F> {
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
     ) -> QueryStats {
-        let before = engine.io_stats();
+        let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         // Filtering step: every intersecting cell interval.
@@ -64,7 +64,7 @@ impl<F: FieldModel> ValueIndex for IAll<F> {
         });
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = candidates.len();
-        stats.filter_pages = (engine.io_stats() - before).logical_reads();
+        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
 
         // Estimation step: read the candidate cells (sorted for page
         // locality) and compute exact regions.
@@ -80,7 +80,7 @@ impl<F: FieldModel> ValueIndex for IAll<F> {
                 sink(region);
             }
         }
-        stats.io = engine.io_stats() - before;
+        stats.io = cf_storage::thread_io_stats() - before;
         stats
     }
 

@@ -55,11 +55,20 @@ impl<F: FieldModel> IHilbert<F> {
     /// Builds the index with explicit parameters.
     pub fn build_with(engine: &StorageEngine, field: &F, config: IHilbertConfig) -> Self {
         let order = cell_order(field, config.curve.0);
-        let intervals: Vec<Interval> =
-            order.iter().map(|&c| field.cell_interval(c)).collect();
+        let intervals: Vec<Interval> = order.iter().map(|&c| field.cell_interval(c)).collect();
         let subfields = build_subfields(&intervals, config.subfield);
         let inner = SubfieldIndex::build(engine, field, &order, &subfields, config.tree_build);
-        let mut cell_to_pos = vec![0u32; order.len()];
+        assert!(
+            order.len() <= u32::MAX as usize,
+            "cell file too large for u32 positions ({} cells)",
+            order.len()
+        );
+        // Size the map by the largest cell id, not the cell count: a
+        // field reporting non-dense cell ids must not index out of
+        // bounds here. Unmapped ids keep the sentinel and are rejected
+        // by `update_cell` with a real message.
+        let map_len = order.iter().map(|&c| c + 1).max().unwrap_or(0);
+        let mut cell_to_pos = vec![u32::MAX; map_len];
         for (pos, &cell) in order.iter().enumerate() {
             cell_to_pos[cell] = pos as u32;
         }
@@ -94,24 +103,27 @@ impl<F: FieldModel> IHilbert<F> {
     /// probe of the cell file, no spatial index) — the fallback path a
     /// reopened database uses when only the value index was persisted.
     /// Prefer [`crate::PointIndex`] for Q1-heavy workloads.
-    pub fn value_at_via_records(
-        &self,
-        engine: &StorageEngine,
-        p: cf_geom::Point2,
-    ) -> Option<f64> {
+    pub fn value_at_via_records(&self, engine: &StorageEngine, p: cf_geom::Point2) -> Option<f64> {
         let mut answer = None;
-        self.inner.file.for_each_in_range(engine, 0..self.inner.file.len(), |_, rec| {
-            if answer.is_none() {
-                if let Some(v) = F::record_value_at(&rec, p) {
-                    answer = Some(v);
+        self.inner
+            .file
+            .for_each_in_range(engine, 0..self.inner.file.len(), |_, rec| {
+                if answer.is_none() {
+                    if let Some(v) = F::record_value_at(&rec, p) {
+                        answer = Some(v);
+                    }
                 }
-            }
-        });
+            });
         answer
     }
 
     pub(crate) fn inner(&self) -> &SubfieldIndex<F> {
         &self.inner
+    }
+
+    #[cfg(test)]
+    pub(crate) fn into_inner(self) -> SubfieldIndex<F> {
+        self.inner
     }
 
     pub(crate) fn curve(&self) -> Curve {
@@ -122,11 +134,7 @@ impl<F: FieldModel> IHilbert<F> {
         &self.cell_to_pos
     }
 
-    pub(crate) fn from_parts(
-        inner: SubfieldIndex<F>,
-        curve: Curve,
-        cell_to_pos: Vec<u32>,
-    ) -> Self {
+    pub(crate) fn from_parts(inner: SubfieldIndex<F>, curve: Curve, cell_to_pos: Vec<u32>) -> Self {
         Self {
             inner,
             curve,
@@ -154,8 +162,26 @@ impl<F: FieldModel> IHilbert<F> {
     /// the paged R\*-tree is replaced (remove + insert directly against
     /// index pages). Subfield *boundaries* are not re-optimized — the
     /// greedy grouping is a build-time decision, as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a cell id this index was built over
+    /// (out of range or unmapped under non-dense ids), or if a
+    /// reopened catalog maps it past the cell file — both would
+    /// otherwise rewrite some other cell's record.
     pub fn update_cell(&mut self, engine: &StorageEngine, cell: usize, record: F::CellRec) {
-        let pos = self.cell_to_pos[cell] as usize;
+        let pos = match self.cell_to_pos.get(cell) {
+            Some(&p) if p != u32::MAX => p as usize,
+            _ => panic!(
+                "cell id {cell} is not mapped by this index ({} cells indexed)",
+                self.inner.file.len()
+            ),
+        };
+        assert!(
+            pos < self.inner.file.len(),
+            "corrupt catalog: cell {cell} maps to position {pos}, but the cell file holds {} records",
+            self.inner.file.len()
+        );
         self.inner.update_record(engine, pos, &record);
     }
 }
@@ -389,6 +415,34 @@ mod tests {
                 b.area
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not mapped by this index")]
+    fn update_rejects_out_of_range_cell_id() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(4);
+        let mut index = IHilbert::build(&engine, &field);
+        let rec = field.cell_record(0);
+        index.update_cell(&engine, field.num_cells() + 5, rec);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not mapped by this index")]
+    fn update_rejects_unmapped_cell_under_non_dense_ids() {
+        // A position map with holes (as a field reporting non-dense cell
+        // ids would produce): unmapped ids must be rejected, not silently
+        // redirect the update to position 0.
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(4);
+        let built = IHilbert::build(&engine, &field);
+        let mut sparse = built.cell_to_pos().to_vec();
+        let hole = 3;
+        sparse[hole] = u32::MAX;
+        let mut index: IHilbert<cf_field::GridField> =
+            IHilbert::from_parts(built.into_inner(), Curve::Hilbert, sparse);
+        let rec = field.cell_record(hole);
+        index.update_cell(&engine, hole, rec);
     }
 
     #[test]

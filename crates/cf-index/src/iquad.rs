@@ -37,6 +37,10 @@ impl<F: FieldModel> IntervalQuadtree<F> {
     pub fn build(engine: &StorageEngine, field: &F, threshold: f64) -> Self {
         assert!(threshold >= 0.0, "threshold must be non-negative");
         let n = field.num_cells();
+        assert!(
+            n <= u32::MAX as usize,
+            "cell file too large for u32 subfield pointers ({n} cells)"
+        );
         let intervals: Vec<Interval> = (0..n).map(|c| field.cell_interval(c)).collect();
         let centroids: Vec<[f64; 2]> = (0..n)
             .map(|c| {
@@ -134,7 +138,16 @@ fn divide(
         return;
     }
     for (q, qbox) in quadrants.iter().zip(quadrant_boxes) {
-        divide(q, qbox, depth + 1, threshold, intervals, centroids, order, subfields);
+        divide(
+            q,
+            qbox,
+            depth + 1,
+            threshold,
+            intervals,
+            centroids,
+            order,
+            subfields,
+        );
     }
 }
 

@@ -25,12 +25,16 @@
 //! area), so the benchmarks compare exactly what the paper compared.
 //!
 //! Also provided: [`PointIndex`] for conventional Q1 queries (a 2-D
-//! R\*-tree over cell MBRs, §2.2.1), and [`VectorIHilbert`] extending
-//! subfields to `K`-dimensional value domains (§5 future work).
+//! R\*-tree over cell MBRs, §2.2.1), [`VectorIHilbert`] extending
+//! subfields to `K`-dimensional value domains (§5 future work), and
+//! [`QueryBatch`] — a parallel batch executor fanning Q2 queries across
+//! a scoped thread pool over any [`ValueIndex`], with exact per-query
+//! and aggregated statistics ([`BatchReport`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod catalog;
 mod iall;
 mod ihilbert;
@@ -45,6 +49,7 @@ mod subfield;
 mod vector;
 mod volume3d;
 
+pub use batch::{BatchQueryResult, BatchReport, QueryBatch};
 pub use catalog::PosRecord;
 pub use iall::IAll;
 pub use ihilbert::{CurveChoice, IHilbert, IHilbertConfig, TreeBuild};

@@ -21,8 +21,9 @@ impl<F: FieldModel> LinearScan<F> {
     /// Writes the field's cells (in native order) into `engine` and
     /// returns the scan-based "index".
     pub fn build(engine: &StorageEngine, field: &F) -> Self {
-        let records: Vec<F::CellRec> =
-            (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+        let records: Vec<F::CellRec> = (0..field.num_cells())
+            .map(|c| field.cell_record(c))
+            .collect();
         Self {
             file: RecordFile::create(engine, records),
             _field: PhantomData,
@@ -46,20 +47,21 @@ impl<F: FieldModel> ValueIndex for LinearScan<F> {
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
     ) -> QueryStats {
-        let before = engine.io_stats();
+        let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
-        self.file.for_each_in_range(engine, 0..self.file.len(), |_, rec| {
-            stats.cells_examined += 1;
-            if F::record_interval(&rec).intersects(band) {
-                stats.cells_qualifying += 1;
-                for region in F::record_band_region(&rec, band) {
-                    stats.num_regions += 1;
-                    stats.area += region.area();
-                    sink(region);
+        self.file
+            .for_each_in_range(engine, 0..self.file.len(), |_, rec| {
+                stats.cells_examined += 1;
+                if F::record_interval(&rec).intersects(band) {
+                    stats.cells_qualifying += 1;
+                    for region in F::record_band_region(&rec, band) {
+                        stats.num_regions += 1;
+                        stats.area += region.area();
+                        sink(region);
+                    }
                 }
-            }
-        });
-        stats.io = engine.io_stats() - before;
+            });
+        stats.io = cf_storage::thread_io_stats() - before;
         stats
     }
 

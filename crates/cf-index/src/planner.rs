@@ -101,10 +101,10 @@ impl SelectivityEstimator {
         }
         let buckets = self.buckets();
         // Conservative: round the band outward to bucket boundaries.
-        let lo_bucket = ((self.domain.normalize(band.lo) * buckets as f64).floor() as usize)
-            .min(buckets);
-        let hi_bucket = ((self.domain.normalize(band.hi) * buckets as f64).ceil() as usize)
-            .min(buckets);
+        let lo_bucket =
+            ((self.domain.normalize(band.lo) * buckets as f64).floor() as usize).min(buckets);
+        let hi_bucket =
+            ((self.domain.normalize(band.hi) * buckets as f64).ceil() as usize).min(buckets);
         let entirely_below = self.below[lo_bucket];
         let entirely_above = self.above[hi_bucket];
         self.n.saturating_sub(entirely_below + entirely_above)
@@ -144,10 +144,8 @@ impl<F: FieldModel> AdaptiveIndex<F> {
     /// Builds the index and its statistics (64-bucket histogram).
     pub fn build(engine: &StorageEngine, field: &F) -> Self {
         let index = IHilbert::build(engine, field);
-        let estimator = SelectivityEstimator::build(
-            (0..field.num_cells()).map(|c| field.cell_interval(c)),
-            64,
-        );
+        let estimator =
+            SelectivityEstimator::build((0..field.num_cells()).map(|c| field.cell_interval(c)), 64);
         Self {
             index,
             estimator,
@@ -192,21 +190,23 @@ impl<F: FieldModel> ValueIndex for AdaptiveIndex<F> {
             Plan::IndexProbe => self.index.query_with(engine, band, sink),
             Plan::FullScan => {
                 // Sequential scan of the Hilbert-ordered cell file.
-                let before = engine.io_stats();
+                let before = cf_storage::thread_io_stats();
                 let mut stats = QueryStats::default();
                 let inner = self.index.inner();
-                inner.file.for_each_in_range(engine, 0..inner.file.len(), |_, rec| {
-                    stats.cells_examined += 1;
-                    if F::record_interval(&rec).intersects(band) {
-                        stats.cells_qualifying += 1;
-                        for region in F::record_band_region(&rec, band) {
-                            stats.num_regions += 1;
-                            stats.area += region.area();
-                            sink(region);
+                inner
+                    .file
+                    .for_each_in_range(engine, 0..inner.file.len(), |_, rec| {
+                        stats.cells_examined += 1;
+                        if F::record_interval(&rec).intersects(band) {
+                            stats.cells_qualifying += 1;
+                            for region in F::record_band_region(&rec, band) {
+                                stats.num_regions += 1;
+                                stats.area += region.area();
+                                sink(region);
+                            }
                         }
-                    }
-                });
-                stats.io = engine.io_stats() - before;
+                    });
+                stats.io = cf_storage::thread_io_stats() - before;
                 stats
             }
         }
@@ -251,8 +251,9 @@ mod tests {
     #[test]
     fn estimator_is_conservative_and_tight() {
         let field = random_field(24, 3);
-        let intervals: Vec<Interval> =
-            (0..cf_field::FieldModel::num_cells(&field)).map(|c| field.cell_interval(c)).collect();
+        let intervals: Vec<Interval> = (0..cf_field::FieldModel::num_cells(&field))
+            .map(|c| field.cell_interval(c))
+            .collect();
         let est = SelectivityEstimator::build(intervals.iter().copied(), 64);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..100 {
@@ -260,7 +261,10 @@ mod tests {
             let band = Interval::new(lo, lo + rng.gen_range(0.0..40.0));
             let truth = intervals.iter().filter(|iv| iv.intersects(band)).count();
             let guess = est.estimate_candidates(band);
-            assert!(guess >= truth, "underestimate: {guess} < {truth} for {band}");
+            assert!(
+                guess >= truth,
+                "underestimate: {guess} < {truth} for {band}"
+            );
             // The only error source is endpoint mass inside the two
             // boundary buckets; compute that slack exactly.
             let bw = est_domain_width(&intervals) / est.buckets() as f64;
@@ -284,10 +288,7 @@ mod tests {
         let est = SelectivityEstimator::build(std::iter::empty(), 8);
         assert_eq!(est.estimate_candidates(Interval::new(0.0, 1.0)), 0);
 
-        let est = SelectivityEstimator::build(
-            vec![Interval::new(0.0, 10.0)].into_iter(),
-            8,
-        );
+        let est = SelectivityEstimator::build(vec![Interval::new(0.0, 10.0)].into_iter(), 8);
         assert_eq!(est.estimate_candidates(Interval::new(2.0, 3.0)), 1);
         assert_eq!(est.estimate_candidates(Interval::new(100.0, 101.0)), 0);
         assert_eq!(est.estimate_candidates(Interval::new(-10.0, -5.0)), 0);

@@ -56,11 +56,13 @@ impl<F: FieldModel> PointIndex<F> {
     /// contains the point answers (their interpolants agree on shared
     /// boundaries because the field is continuous).
     pub fn value_at(&self, engine: &StorageEngine, p: Point2) -> (Option<f64>, PointQueryStats) {
-        let before = engine.io_stats();
+        let before = cf_storage::thread_io_stats();
         let mut stats = PointQueryStats::default();
         let query = Aabb::point([p.x, p.y]);
         let mut candidates: Vec<u64> = Vec::new();
-        let search = self.tree.search(engine, &query, |cell, _| candidates.push(cell));
+        let search = self
+            .tree
+            .search(engine, &query, |cell, _| candidates.push(cell));
         stats.filter_nodes = search.nodes_visited;
         candidates.sort_unstable();
         stats.candidates = candidates.len();
@@ -72,7 +74,7 @@ impl<F: FieldModel> PointIndex<F> {
                 break;
             }
         }
-        stats.io = engine.io_stats() - before;
+        stats.io = cf_storage::thread_io_stats() - before;
         (answer, stats)
     }
 

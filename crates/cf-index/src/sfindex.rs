@@ -36,6 +36,26 @@ pub(crate) struct SubfieldIndex<F: FieldModel> {
     _field: PhantomData<fn() -> F>,
 }
 
+/// Sorts retrieved `[start, end)` record ranges and merges touching
+/// neighbors into maximal runs.
+///
+/// Subfields adjacent on the Hilbert-ordered file hold cells of similar
+/// values, so a band query typically retrieves *runs* of neighbors;
+/// reading each subfield separately would fetch every straddled page
+/// boundary twice. Merging first makes the estimation step's page cost
+/// `ceil(run_cells / per_page) + 1` per run instead of per subfield.
+pub(crate) fn coalesce_ranges(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    ranges.sort_unstable();
+    let mut runs: Vec<(u32, u32)> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match runs.last_mut() {
+            Some(last) if r.0 <= last.1 => last.1 = last.1.max(r.1),
+            _ => runs.push(r),
+        }
+    }
+    runs
+}
+
 impl<F: FieldModel> SubfieldIndex<F> {
     /// Writes cells in `order` and indexes `subfields` (expressed in
     /// positions of `order`).
@@ -47,8 +67,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         tree_build: TreeBuild,
     ) -> Self {
         debug_assert_eq!(order.len(), field.num_cells());
-        let records: Vec<F::CellRec> =
-            order.iter().map(|&c| field.cell_record(c)).collect();
+        let records: Vec<F::CellRec> = order.iter().map(|&c| field.cell_record(c)).collect();
         let file = RecordFile::create(engine, records);
 
         let config = RTreeConfig::page_sized::<1>();
@@ -124,7 +143,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         threads: usize,
     ) -> QueryStats {
         assert!(threads >= 1, "need at least one thread");
-        let before = engine.io_stats();
+        let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         let mut ranges: Vec<(u32, u32)> = Vec::new();
@@ -134,11 +153,13 @@ impl<F: FieldModel> SubfieldIndex<F> {
         });
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
-        stats.filter_pages = (engine.io_stats() - before).logical_reads();
+        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
 
-        // Balance by cell count: assign ranges to the least-loaded
-        // worker, largest first (LPT heuristic).
-        let mut by_size = ranges;
+        // Balance by cell count: assign maximal runs to the least-loaded
+        // worker, largest first (LPT heuristic). Runs (not raw subfield
+        // ranges) keep the sequential path's page cost: a run split
+        // across workers would re-read its straddle pages.
+        let mut by_size = coalesce_ranges(ranges);
         by_size.sort_by_key(|&(s, e)| std::cmp::Reverse(e - s));
         let mut shares: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
         let mut loads = vec![0u64; threads];
@@ -158,23 +179,24 @@ impl<F: FieldModel> SubfieldIndex<F> {
                 .iter()
                 .map(|share| {
                     scope.spawn(move || {
+                        // Worker I/O lands in the worker's thread tally,
+                        // so snapshot it here and carry the delta back.
+                        let worker_before = cf_storage::thread_io_stats();
                         let mut part = QueryStats::default();
-                        for &(start, end) in share {
-                            self.file.for_each_in_range(
-                                engine,
-                                start as usize..end as usize,
-                                |_, rec| {
-                                    part.cells_examined += 1;
-                                    if F::record_interval(&rec).intersects(band) {
-                                        part.cells_qualifying += 1;
-                                        for region in F::record_band_region(&rec, band) {
-                                            part.num_regions += 1;
-                                            part.area += region.area();
-                                        }
-                                    }
-                                },
-                            );
-                        }
+                        let mut runs: Vec<std::ops::Range<usize>> =
+                            share.iter().map(|&(s, e)| s as usize..e as usize).collect();
+                        runs.sort_by_key(|r| r.start);
+                        self.file.for_each_in_ranges(engine, &runs, |_, rec| {
+                            part.cells_examined += 1;
+                            if F::record_interval(&rec).intersects(band) {
+                                part.cells_qualifying += 1;
+                                for region in F::record_band_region(&rec, band) {
+                                    part.num_regions += 1;
+                                    part.area += region.area();
+                                }
+                            }
+                        });
+                        part.io = cf_storage::thread_io_stats() - worker_before;
                         part
                     })
                 })
@@ -189,8 +211,12 @@ impl<F: FieldModel> SubfieldIndex<F> {
             stats.cells_qualifying += p.cells_qualifying;
             stats.num_regions += p.num_regions;
             stats.area += p.area;
+            stats.io = stats.io + p.io;
         }
-        stats.io = engine.io_stats() - before;
+        // Filter-step I/O happened on this thread; estimation I/O came
+        // back with the worker partials. The sum is exact per query even
+        // while other queries run concurrently on the same engine.
+        stats.io = stats.io + (cf_storage::thread_io_stats() - before);
         stats
     }
 
@@ -233,7 +259,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
     ) -> QueryStats {
-        let before = engine.io_stats();
+        let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         // Step 1 (filtering): subfields whose interval intersects w.
@@ -244,25 +270,26 @@ impl<F: FieldModel> SubfieldIndex<F> {
         });
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
-        stats.filter_pages = (engine.io_stats() - before).logical_reads();
+        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
 
-        // Step 2 (estimation): read the contiguous cell runs.
-        ranges.sort_unstable();
-        for (start, end) in ranges {
-            self.file
-                .for_each_in_range(engine, start as usize..end as usize, |_, rec| {
-                    stats.cells_examined += 1;
-                    if F::record_interval(&rec).intersects(band) {
-                        stats.cells_qualifying += 1;
-                        for region in F::record_band_region(&rec, band) {
-                            stats.num_regions += 1;
-                            stats.area += region.area();
-                            sink(region);
-                        }
-                    }
-                });
-        }
-        stats.io = engine.io_stats() - before;
+        // Step 2 (estimation): read the contiguous cell runs, merging
+        // adjacent subfields and visiting every data page exactly once.
+        let runs: Vec<std::ops::Range<usize>> = coalesce_ranges(ranges)
+            .into_iter()
+            .map(|(s, e)| s as usize..e as usize)
+            .collect();
+        self.file.for_each_in_ranges(engine, &runs, |_, rec| {
+            stats.cells_examined += 1;
+            if F::record_interval(&rec).intersects(band) {
+                stats.cells_qualifying += 1;
+                for region in F::record_band_region(&rec, band) {
+                    stats.num_regions += 1;
+                    stats.area += region.area();
+                    sink(region);
+                }
+            }
+        });
+        stats.io = cf_storage::thread_io_stats() - before;
         stats
     }
 }

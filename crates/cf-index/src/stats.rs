@@ -53,11 +53,7 @@ pub trait ValueIndex: Send + Sync {
     }
 
     /// Runs the query and collects the answer regions.
-    fn query_regions(
-        &self,
-        engine: &StorageEngine,
-        band: Interval,
-    ) -> (QueryStats, Vec<Polygon>) {
+    fn query_regions(&self, engine: &StorageEngine, band: Interval) -> (QueryStats, Vec<Polygon>) {
         let mut regions = Vec::new();
         let stats = self.query_with(engine, band, &mut |p| regions.push(p));
         (stats, regions)

@@ -68,15 +68,39 @@ impl Subfield {
     }
 
     /// Packs the record range into a `u64` R\*-tree payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty (or inverted) subfield: an empty range packs
+    /// to the same payload as a legitimate range starting at `end`, so
+    /// it could alias another tree entry and break remove-by-payload
+    /// during incremental maintenance.
     pub fn pack(&self) -> u64 {
+        assert!(
+            self.start < self.end,
+            "cannot pack empty subfield [{}, {})",
+            self.start,
+            self.end
+        );
         (u64::from(self.start) << 32) | u64::from(self.end)
     }
 
     /// Inverse of [`Subfield::pack`] (interval comes from the tree key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload decodes to an empty or inverted range —
+    /// [`Subfield::pack`] never produces one, so this indicates a
+    /// corrupt tree page.
     pub fn unpack(data: u64, interval: Interval) -> Self {
+        let (start, end) = ((data >> 32) as u32, data as u32);
+        assert!(
+            start < end,
+            "corrupt subfield payload {data:#x}: empty range [{start}, {end})"
+        );
         Self {
-            start: (data >> 32) as u32,
-            end: data as u32,
+            start,
+            end,
             interval,
         }
     }
@@ -261,8 +285,20 @@ mod tests {
                 Interval::new(v, v + 5.0)
             })
             .collect();
-        let tight = build_subfields(&cells, SubfieldConfig { base: 1.0, query_len: 0.0 });
-        let loose = build_subfields(&cells, SubfieldConfig { base: 1.0, query_len: 100.0 });
+        let tight = build_subfields(
+            &cells,
+            SubfieldConfig {
+                base: 1.0,
+                query_len: 0.0,
+            },
+        );
+        let loose = build_subfields(
+            &cells,
+            SubfieldConfig {
+                base: 1.0,
+                query_len: 100.0,
+            },
+        );
         assert!(
             loose.len() <= tight.len(),
             "query_len=100 gave {} subfields vs {}",
@@ -280,5 +316,35 @@ mod tests {
         };
         let packed = sf.pack();
         assert_eq!(Subfield::unpack(packed, sf.interval), sf);
+    }
+
+    #[test]
+    fn pack_survives_u32_boundary_positions() {
+        // The last representable cell range must round-trip without the
+        // `end` truncating into the `start` half of the payload.
+        let sf = Subfield {
+            start: u32::MAX - 1,
+            end: u32::MAX,
+            interval: Interval::point(0.0),
+        };
+        assert_eq!(Subfield::unpack(sf.pack(), sf.interval), sf);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty subfield")]
+    fn pack_rejects_empty_range() {
+        Subfield {
+            start: 7,
+            end: 7,
+            interval: Interval::point(0.0),
+        }
+        .pack();
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt subfield payload")]
+    fn unpack_rejects_inverted_range() {
+        // start = 8, end = 3: pack() could never have produced this.
+        Subfield::unpack((8u64 << 32) | 3, Interval::point(0.0));
     }
 }

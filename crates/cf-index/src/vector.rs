@@ -41,10 +41,11 @@ struct VectorSubfield<const K: usize> {
 }
 
 /// Greedy grouping with the K-dimensional cost rule.
-fn build_vector_subfields<const K: usize>(
-    boxes: &[Aabb<K>],
-    base: f64,
-) -> Vec<VectorSubfield<K>> {
+fn build_vector_subfields<const K: usize>(boxes: &[Aabb<K>], base: f64) -> Vec<VectorSubfield<K>> {
+    assert!(
+        boxes.len() <= u32::MAX as usize,
+        "cell file too large for u32 subfield pointers"
+    );
     let size = |b: &Aabb<K>| -> f64 { (0..K).map(|d| b.extent(d) + base).product() };
     let mut out = Vec::new();
     let Some(first) = boxes.first() else {
@@ -62,7 +63,11 @@ fn build_vector_subfields<const K: usize>(
             union = new_union;
             si = new_si;
         } else {
-            out.push(VectorSubfield { start, end: i as u32, bbox: union });
+            out.push(VectorSubfield {
+                start,
+                end: i as u32,
+                bbox: union,
+            });
             start = i as u32;
             union = *b;
             si = size(b);
@@ -145,7 +150,7 @@ impl<const K: usize> VectorIHilbert<K> {
         query: &Aabb<K>,
         sink: &mut dyn FnMut(Polygon),
     ) -> QueryStats {
-        let before = engine.io_stats();
+        let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
         let mut ranges: Vec<(u32, u32)> = Vec::new();
         let search = self.tree.search(engine, query, |data, _| {
@@ -153,7 +158,7 @@ impl<const K: usize> VectorIHilbert<K> {
         });
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
-        stats.filter_pages = (engine.io_stats() - before).logical_reads();
+        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
         ranges.sort_unstable();
         for (start, end) in ranges {
             self.file
@@ -169,7 +174,7 @@ impl<const K: usize> VectorIHilbert<K> {
                     }
                 });
         }
-        stats.io = engine.io_stats() - before;
+        stats.io = cf_storage::thread_io_stats() - before;
         stats
     }
 
@@ -186,7 +191,7 @@ pub fn vector_linear_scan<const K: usize>(
     file: &RecordFile<VectorCellRecord<K>>,
     query: &Aabb<K>,
 ) -> QueryStats {
-    let before = engine.io_stats();
+    let before = cf_storage::thread_io_stats();
     let mut stats = QueryStats::default();
     file.for_each_in_range(engine, 0..file.len(), |_, rec| {
         stats.cells_examined += 1;
@@ -198,7 +203,7 @@ pub fn vector_linear_scan<const K: usize>(
             }
         }
     });
-    stats.io = engine.io_stats() - before;
+    stats.io = cf_storage::thread_io_stats() - before;
     stats
 }
 
@@ -227,8 +232,9 @@ mod tests {
         let field = sample_field(24);
         let index = VectorIHilbert::build(&engine, &field);
         // Separate file in native order for the scan baseline.
-        let records: Vec<VectorCellRecord<2>> =
-            (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+        let records: Vec<VectorCellRecord<2>> = (0..field.num_cells())
+            .map(|c| field.cell_record(c))
+            .collect();
         let scan_file = RecordFile::create(&engine, records);
 
         for q in [
@@ -263,8 +269,9 @@ mod tests {
         let engine = StorageEngine::in_memory();
         let field = sample_field(48);
         let index = VectorIHilbert::build(&engine, &field);
-        let records: Vec<VectorCellRecord<2>> =
-            (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+        let records: Vec<VectorCellRecord<2>> = (0..field.num_cells())
+            .map(|c| field.cell_record(c))
+            .collect();
         let scan_file = RecordFile::create(&engine, records);
 
         let q = Aabb::new([29.0, 10.0], [30.0, 12.0]); // peak temp + low salinity

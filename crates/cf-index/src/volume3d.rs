@@ -32,11 +32,7 @@ impl VolumeIHilbert {
     }
 
     /// Builds the index with explicit cost-function parameters.
-    pub fn build_with(
-        engine: &StorageEngine,
-        field: &Grid3Field,
-        config: SubfieldConfig,
-    ) -> Self {
+    pub fn build_with(engine: &StorageEngine, field: &Grid3Field, config: SubfieldConfig) -> Self {
         let n = field.num_cells();
         let (cx, cy, cz) = field.cell_dims();
         let max_dim = cx.max(cy).max(cz) as f64;
@@ -56,12 +52,10 @@ impl VolumeIHilbert {
         keyed.sort_unstable();
         let order: Vec<usize> = keyed.into_iter().map(|(_, c)| c).collect();
 
-        let intervals: Vec<Interval> =
-            order.iter().map(|&c| field.cell_interval(c)).collect();
+        let intervals: Vec<Interval> = order.iter().map(|&c| field.cell_interval(c)).collect();
         let subfields = build_subfields(&intervals, config);
 
-        let records: Vec<VolumeCellRecord> =
-            order.iter().map(|&c| field.cell_record(c)).collect();
+        let records: Vec<VolumeCellRecord> = order.iter().map(|&c| field.cell_record(c)).collect();
         let file = RecordFile::create(engine, records);
 
         let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::page_sized::<1>());
@@ -95,7 +89,7 @@ impl VolumeIHilbert {
     /// statistics where [`QueryStats::area`] is the exact answer
     /// *volume* (in cell units).
     pub fn query_stats(&self, engine: &StorageEngine, band: Interval) -> QueryStats {
-        let before = engine.io_stats();
+        let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
         let mut ranges: Vec<(u32, u32)> = Vec::new();
         let search = self.tree.search(engine, &band.into(), |data, mbr| {
@@ -104,7 +98,7 @@ impl VolumeIHilbert {
         });
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
-        stats.filter_pages = (engine.io_stats() - before).logical_reads();
+        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
         ranges.sort_unstable();
         for (start, end) in ranges {
             self.file
@@ -120,7 +114,7 @@ impl VolumeIHilbert {
                     }
                 });
         }
-        stats.io = engine.io_stats() - before;
+        stats.io = cf_storage::thread_io_stats() - before;
         stats
     }
 }
@@ -131,7 +125,7 @@ pub fn volume_linear_scan(
     file: &RecordFile<VolumeCellRecord>,
     band: Interval,
 ) -> QueryStats {
-    let before = engine.io_stats();
+    let before = cf_storage::thread_io_stats();
     let mut stats = QueryStats::default();
     file.for_each_in_range(engine, 0..file.len(), |_, rec| {
         stats.cells_examined += 1;
@@ -144,7 +138,7 @@ pub fn volume_linear_scan(
             }
         }
     });
-    stats.io = engine.io_stats() - before;
+    stats.io = cf_storage::thread_io_stats() - before;
     stats
 }
 
@@ -172,8 +166,9 @@ mod tests {
         let engine = StorageEngine::in_memory();
         let field = layered_field(12);
         let index = VolumeIHilbert::build(&engine, &field);
-        let records: Vec<VolumeCellRecord> =
-            (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+        let records: Vec<VolumeCellRecord> = (0..field.num_cells())
+            .map(|c| field.cell_record(c))
+            .collect();
         let scan_file = RecordFile::create(&engine, records);
 
         let dom = field.value_domain();
@@ -209,8 +204,9 @@ mod tests {
         let engine = StorageEngine::in_memory();
         let field = layered_field(16);
         let index = VolumeIHilbert::build(&engine, &field);
-        let records: Vec<VolumeCellRecord> =
-            (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+        let records: Vec<VolumeCellRecord> = (0..field.num_cells())
+            .map(|c| field.cell_record(c))
+            .collect();
         let scan_file = RecordFile::create(&engine, records);
 
         let dom = field.value_domain();

@@ -14,11 +14,10 @@ use proptest::prelude::*;
 /// Arbitrary small grid fields: dimensions 2..=9 vertices, values from a
 /// bounded range (including negative and repeated values).
 fn grid_field() -> impl Strategy<Value = GridField> {
-    (2usize..10, 2usize..10)
-        .prop_flat_map(|(vw, vh)| {
-            prop::collection::vec(-100.0..100.0f64, vw * vh)
-                .prop_map(move |values| GridField::from_values(vw, vh, values))
-        })
+    (2usize..10, 2usize..10).prop_flat_map(|(vw, vh)| {
+        prop::collection::vec(-100.0..100.0f64, vw * vh)
+            .prop_map(move |values| GridField::from_values(vw, vh, values))
+    })
 }
 
 fn band() -> impl Strategy<Value = Interval> {

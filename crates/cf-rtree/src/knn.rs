@@ -124,17 +124,24 @@ impl<const N: usize> PagedRTree<N> {
                 Item::Entry { dist_sq, data } => out.push(Neighbor { data, dist_sq }),
                 Item::Node { target, .. } => {
                     visited += 1;
-                    self.for_each_entry(engine, cf_storage::PageId(target), |mbr, child, is_leaf| {
-                        let dist_sq = mbr.distance_sq_to_point(point);
-                        if is_leaf {
-                            heap.push(Item::Entry { dist_sq, data: child });
-                        } else {
-                            heap.push(Item::Node {
-                                dist_sq,
-                                target: child,
-                            });
-                        }
-                    });
+                    self.for_each_entry(
+                        engine,
+                        cf_storage::PageId(target),
+                        |mbr, child, is_leaf| {
+                            let dist_sq = mbr.distance_sq_to_point(point);
+                            if is_leaf {
+                                heap.push(Item::Entry {
+                                    dist_sq,
+                                    data: child,
+                                });
+                            } else {
+                                heap.push(Item::Node {
+                                    dist_sq,
+                                    target: child,
+                                });
+                            }
+                        },
+                    );
                 }
             }
         }

@@ -368,8 +368,8 @@ impl<const N: usize> PagedRTree<N> {
                 let mut overlap_delta = 0.0;
                 for (k, &(other, _)) in node.entries.iter().enumerate() {
                     if k != j {
-                        overlap_delta += enlarged.intersection_volume(&other)
-                            - b.intersection_volume(&other);
+                        overlap_delta +=
+                            enlarged.intersection_volume(&other) - b.intersection_volume(&other);
                     }
                 }
                 let key = (overlap_delta, b.enlargement(mbr), b.volume());
@@ -442,9 +442,7 @@ impl<const N: usize> PagedRTree<N> {
         }
         for (j, &(b, child)) in node.entries.iter().enumerate() {
             if b.contains(mbr) {
-                if let Some(mut rest) =
-                    self.find_leaf_path(engine, PageId(child), mbr, data)
-                {
+                if let Some(mut rest) = self.find_leaf_path(engine, PageId(child), mbr, data) {
                     rest.insert(0, (page, j));
                     return Some(rest);
                 }
@@ -587,7 +585,10 @@ mod tests {
         let engine = StorageEngine::in_memory();
         let paged = PagedRTree::persist(&tree, &engine);
         assert!(paged.is_empty());
-        assert_eq!(paged.search_collect(&engine, &iv(0.0, 1.0)), Vec::<u64>::new());
+        assert_eq!(
+            paged.search_collect(&engine, &iv(0.0, 1.0)),
+            Vec::<u64>::new()
+        );
     }
 
     #[test]

@@ -22,12 +22,12 @@ pub struct Split<const N: usize> {
 /// groups per the R\* heuristics.
 ///
 /// `min_entries` is the minimum fill of each group.
-pub fn rstar_split<const N: usize>(
-    mut entries: Vec<NodeEntry<N>>,
-    min_entries: usize,
-) -> Split<N> {
+pub fn rstar_split<const N: usize>(mut entries: Vec<NodeEntry<N>>, min_entries: usize) -> Split<N> {
     let total = entries.len();
-    debug_assert!(total >= 2 * min_entries, "cannot split {total} into two x {min_entries}");
+    debug_assert!(
+        total >= 2 * min_entries,
+        "cannot split {total} into two x {min_entries}"
+    );
     let dists = total - 2 * min_entries + 1;
 
     // ChooseSplitAxis: minimize the margin sum over all distributions of
@@ -139,7 +139,11 @@ mod tests {
             entries.push(entry1(i as f64 * 0.1, i as f64 * 0.1 + 0.05, i));
         }
         for i in 0..5 {
-            entries.push(entry1(100.0 + i as f64 * 0.1, 100.0 + i as f64 * 0.1 + 0.05, 5 + i));
+            entries.push(entry1(
+                100.0 + i as f64 * 0.1,
+                100.0 + i as f64 * 0.1 + 0.05,
+                5 + i,
+            ));
         }
         let split = rstar_split(entries, 4);
         assert_eq!(split.first.len() + split.second.len(), 10);
@@ -160,8 +164,9 @@ mod tests {
 
     #[test]
     fn split_respects_min_entries() {
-        let entries: Vec<NodeEntry<1>> =
-            (0..11).map(|i| entry1(i as f64, i as f64 + 0.5, i)).collect();
+        let entries: Vec<NodeEntry<1>> = (0..11)
+            .map(|i| entry1(i as f64, i as f64 + 0.5, i))
+            .collect();
         let split = rstar_split(entries, 4);
         assert!(split.first.len() >= 4);
         assert!(split.second.len() >= 4);
@@ -194,8 +199,7 @@ mod tests {
     fn split_of_identical_boxes_is_balanced_enough() {
         // Degenerate case: all MBRs identical; split must still satisfy
         // the fill bounds.
-        let entries: Vec<NodeEntry<1>> =
-            (0..9).map(|i| entry1(1.0, 2.0, i)).collect();
+        let entries: Vec<NodeEntry<1>> = (0..9).map(|i| entry1(1.0, 2.0, i)).collect();
         let split = rstar_split(entries, 3);
         assert!(split.first.len() >= 3 && split.second.len() >= 3);
     }

@@ -245,11 +245,7 @@ impl<const N: usize> RStarTree<N> {
     /// Forced reinsertion: remove the `p` entries whose centers are
     /// farthest from the node's MBR center and queue them for
     /// reinsertion, closest first ("close reinsert").
-    fn force_reinsert(
-        &mut self,
-        node_idx: usize,
-        queue: &mut VecDeque<(Aabb<N>, ChildRef, u32)>,
-    ) {
+    fn force_reinsert(&mut self, node_idx: usize, queue: &mut VecDeque<(Aabb<N>, ChildRef, u32)>) {
         let level = self.nodes[node_idx].level;
         let center = self.nodes[node_idx].mbr().center();
         let mut entries = std::mem::take(&mut self.nodes[node_idx].entries);
@@ -259,7 +255,10 @@ impl<const N: usize> RStarTree<N> {
             // Descending: farthest first.
             db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
         });
-        let p = self.config.reinsert_count.min(entries.len() - self.config.min_entries);
+        let p = self
+            .config
+            .reinsert_count
+            .min(entries.len() - self.config.min_entries);
         let removed: Vec<NodeEntry<N>> = entries.drain(..p).collect();
         self.nodes[node_idx].entries = entries;
         // Close reinsert: enqueue in increasing distance from center.
@@ -509,7 +508,11 @@ impl<const N: usize> RStarTree<N> {
             "root overflows"
         );
         let count = self.check_node(self.root);
-        assert_eq!(count, self.len, "len mismatch: counted {count}, len {}", self.len);
+        assert_eq!(
+            count, self.len,
+            "len mismatch: counted {count}, len {}",
+            self.len
+        );
         count
     }
 
@@ -631,7 +634,10 @@ mod tests {
         for i in 0..800u64 {
             let x: f64 = rng.gen_range(0.0..100.0);
             let y: f64 = rng.gen_range(0.0..100.0);
-            let b = Aabb::new([x, y], [x + rng.gen_range(0.0..3.0), y + rng.gen_range(0.0..3.0)]);
+            let b = Aabb::new(
+                [x, y],
+                [x + rng.gen_range(0.0..3.0), y + rng.gen_range(0.0..3.0)],
+            );
             items.push((b, i));
             tree.insert(b, i);
         }

@@ -36,10 +36,7 @@ pub fn runs_in_sorted(sorted: &[u64]) -> usize {
     if sorted.is_empty() {
         return 0;
     }
-    1 + sorted
-        .windows(2)
-        .filter(|w| w[1] != w[0] + 1)
-        .count()
+    1 + sorted.windows(2).filter(|w| w[1] != w[0] + 1).count()
 }
 
 /// Average number of runs over all `q × q` query rectangles on the grid.

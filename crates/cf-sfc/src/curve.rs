@@ -26,7 +26,12 @@ pub enum Curve {
 
 impl Curve {
     /// All curve variants, for ablation sweeps.
-    pub const ALL: [Curve; 4] = [Curve::Hilbert, Curve::ZOrder, Curve::GrayCode, Curve::RowMajor];
+    pub const ALL: [Curve; 4] = [
+        Curve::Hilbert,
+        Curve::ZOrder,
+        Curve::GrayCode,
+        Curve::RowMajor,
+    ];
 
     /// Position of grid cell `(x, y)` along the curve.
     ///
@@ -103,8 +108,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Curve::ALL.iter().map(|c| c.name()).collect();
+        let names: std::collections::HashSet<_> = Curve::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), Curve::ALL.len());
     }
 }

@@ -39,7 +39,10 @@ pub fn gray_index_2d(x: u64, y: u64, order: u32) -> u64 {
 
 /// Inverse of [`gray_index_2d`].
 pub fn gray_point_2d(d: u64, order: u32) -> (u64, u64) {
-    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    assert!(
+        order <= MAX_ORDER_2D,
+        "order {order} exceeds {MAX_ORDER_2D}"
+    );
     morton_point_2d(gray_encode(d), order)
 }
 

@@ -29,7 +29,10 @@ fn rot(side: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
 ///
 /// Panics if `order > MAX_ORDER_2D` or a coordinate is out of range.
 pub fn hilbert_index_2d(mut x: u64, mut y: u64, order: u32) -> u64 {
-    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    assert!(
+        order <= MAX_ORDER_2D,
+        "order {order} exceeds {MAX_ORDER_2D}"
+    );
     let side = 1u64 << order;
     assert!(x < side && y < side, "({x}, {y}) outside 2^{order} grid");
     let mut d = 0u64;
@@ -50,7 +53,10 @@ pub fn hilbert_index_2d(mut x: u64, mut y: u64, order: u32) -> u64 {
 ///
 /// Panics if `order > MAX_ORDER_2D` or `d >= 4^order`.
 pub fn hilbert_point_2d(d: u64, order: u32) -> (u64, u64) {
-    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    assert!(
+        order <= MAX_ORDER_2D,
+        "order {order} exceeds {MAX_ORDER_2D}"
+    );
     let side = 1u64 << order;
     assert!(
         d < side.saturating_mul(side),

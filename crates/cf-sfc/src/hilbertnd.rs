@@ -206,11 +206,7 @@ mod tests {
         let mut prev = hilbert_point_nd(0, 3, bits);
         for d in 1..n {
             let cur = hilbert_point_nd(d, 3, bits);
-            let manhattan: u64 = prev
-                .iter()
-                .zip(&cur)
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let manhattan: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert_eq!(manhattan, 1, "jump at d={d}");
             prev = cur;
         }
@@ -223,11 +219,7 @@ mod tests {
         let mut prev = hilbert_point_nd(0, 4, bits);
         for d in 1..n {
             let cur = hilbert_point_nd(d, 4, bits);
-            let manhattan: u64 = prev
-                .iter()
-                .zip(&cur)
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let manhattan: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert_eq!(manhattan, 1, "jump at d={d}");
             prev = cur;
         }

@@ -35,7 +35,10 @@ fn compact1by1(v: u64) -> u64 {
 ///
 /// Panics if `order > MAX_ORDER_2D` or a coordinate is out of range.
 pub fn morton_index_2d(x: u64, y: u64, order: u32) -> u64 {
-    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    assert!(
+        order <= MAX_ORDER_2D,
+        "order {order} exceeds {MAX_ORDER_2D}"
+    );
     let side = 1u64 << order;
     assert!(x < side && y < side, "({x}, {y}) outside 2^{order} grid");
     part1by1(x) | (part1by1(y) << 1)
@@ -43,7 +46,10 @@ pub fn morton_index_2d(x: u64, y: u64, order: u32) -> u64 {
 
 /// Inverse of [`morton_index_2d`].
 pub fn morton_point_2d(d: u64, order: u32) -> (u64, u64) {
-    assert!(order <= MAX_ORDER_2D, "order {order} exceeds {MAX_ORDER_2D}");
+    assert!(
+        order <= MAX_ORDER_2D,
+        "order {order} exceeds {MAX_ORDER_2D}"
+    );
     (compact1by1(d), compact1by1(d >> 1))
 }
 

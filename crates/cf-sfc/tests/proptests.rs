@@ -1,8 +1,6 @@
 //! Property-based tests for the space-filling curves.
 
-use cf_sfc::{
-    hilbert_index_2d, hilbert_index_nd, hilbert_point_2d, hilbert_point_nd, Curve,
-};
+use cf_sfc::{hilbert_index_2d, hilbert_index_nd, hilbert_point_2d, hilbert_point_nd, Curve};
 use proptest::prelude::*;
 
 proptest! {

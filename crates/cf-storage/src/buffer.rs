@@ -1,14 +1,31 @@
-//! LRU buffer pool.
+//! Sharded LRU buffer pool.
 //!
 //! The pool sits between every index/file access and the simulated disk.
 //! It is deliberately write-through: the workloads in this workspace are
 //! build-once / query-many, so dirty-page management would add complexity
 //! without changing any measured behaviour.
+//!
+//! Concurrency: frames are partitioned into independently locked
+//! **shards** keyed by a multiplicative hash of the page id, so
+//! concurrent readers faulting different pages do not contend on one
+//! lock — the property the parallel batch executor in `cf-index`
+//! relies on. Small pools (fewer than [`MIN_FRAMES_PER_SHARD`] frames
+//! per would-be shard) collapse to a single shard and behave as an
+//! exact global LRU, which keeps eviction-order semantics deterministic
+//! for tests and tiny-cache experiments.
 
 use crate::disk::{DiskManager, PageBuf, PageId};
-use parking_lot::Mutex;
+use crate::stats::{tally, ShardStats};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Below this many frames per shard the pool stops splitting further;
+/// it also bounds how small an auto-selected shard can get.
+pub const MIN_FRAMES_PER_SHARD: usize = 64;
+
+/// Hard cap on the automatic shard count.
+const MAX_AUTO_SHARDS: usize = 64;
 
 struct Frame {
     data: Box<PageBuf>,
@@ -16,35 +33,24 @@ struct Frame {
     stamp: u64,
 }
 
-struct PoolInner {
+struct ShardInner {
     frames: HashMap<PageId, Frame>,
     /// Recency index: stamp → page. The smallest stamp is the LRU victim.
     lru: BTreeMap<u64, PageId>,
     next_stamp: u64,
 }
 
-/// A fixed-capacity LRU cache of disk pages.
-///
-/// Lookups go through [`BufferPool::with_page`], which hands the caller a
-/// borrowed view of the page bytes; there is no pinning API because the
-/// closure scope bounds the borrow.
-pub struct BufferPool {
-    inner: Mutex<PoolInner>,
+struct Shard {
+    inner: Mutex<ShardInner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl BufferPool {
-    /// Creates a pool holding at most `capacity` pages.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
+impl Shard {
+    fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(PoolInner {
+            inner: Mutex::new(ShardInner {
                 frames: HashMap::with_capacity(capacity),
                 lru: BTreeMap::new(),
                 next_stamp: 0,
@@ -54,21 +60,101 @@ impl BufferPool {
             misses: AtomicU64::new(0),
         }
     }
+}
+
+/// A fixed-capacity page cache: per-shard LRU over independently locked
+/// shards.
+///
+/// Lookups go through [`BufferPool::with_page`], which hands the caller a
+/// borrowed view of the page bytes; there is no pinning API because the
+/// closure scope bounds the borrow.
+pub struct BufferPool {
+    shards: Vec<Shard>,
+    /// Bit mask selecting a shard from the page-id hash
+    /// (`shards.len()` is always a power of two).
+    shard_mask: u64,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages, with an
+    /// automatically chosen shard count (1 shard below
+    /// [`MIN_FRAMES_PER_SHARD`]·2 frames, then doubling with capacity up
+    /// to 64 shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        let auto = (capacity / MIN_FRAMES_PER_SHARD)
+            .next_power_of_two()
+            .clamp(1, MAX_AUTO_SHARDS);
+        // next_power_of_two rounds up; only split when every shard keeps
+        // at least MIN_FRAMES_PER_SHARD frames.
+        let shards = if auto > 1 && capacity / auto < MIN_FRAMES_PER_SHARD {
+            auto / 2
+        } else {
+            auto
+        };
+        Self::with_shards(capacity, shards.max(1))
+    }
+
+    /// Creates a pool with an explicit shard count (rounded up to a
+    /// power of two, capped by `capacity` so no shard is empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        let n = shards.next_power_of_two().min(capacity.next_power_of_two());
+        let n = n.min(1usize << 32.min(usize::BITS - 1));
+        // Distribute capacity as evenly as possible; the first
+        // `capacity % n` shards take one extra frame.
+        let base = capacity / n;
+        let extra = capacity % n;
+        let shards: Vec<Shard> = (0..n)
+            .map(|i| Shard::new(base + usize::from(i < extra)))
+            .collect();
+        debug_assert!(shards.iter().all(|s| s.capacity > 0) || capacity < n);
+        Self {
+            shards,
+            shard_mask: (n - 1) as u64,
+            capacity,
+        }
+    }
 
     /// Maximum number of cached pages.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of independently locked shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        // Fibonacci (multiplicative) hash spreads consecutive page ids —
+        // the common allocation pattern — uniformly across shards.
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.shard_mask) as usize]
+    }
+
     /// Runs `f` over the bytes of page `id`, faulting it in from `disk`
-    /// on a miss (evicting the least-recently-used frame if full).
+    /// on a miss (evicting the shard's least-recently-used frame if the
+    /// shard is full).
     pub fn with_page<T>(&self, disk: &DiskManager, id: PageId, f: impl FnOnce(&PageBuf) -> T) -> T {
-        let mut inner = self.inner.lock();
+        let shard = self.shard_of(id);
+        let mut inner = shard.inner.lock().expect("buffer shard poisoned");
         let stamp = inner.next_stamp;
         inner.next_stamp += 1;
 
         if let Some(frame) = inner.frames.get_mut(&id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            tally::count_pool_hit();
             let old = frame.stamp;
             frame.stamp = stamp;
             inner.lru.remove(&old);
@@ -78,14 +164,19 @@ impl BufferPool {
             return f(&frame.data);
         }
 
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        if inner.frames.len() >= self.capacity {
-            // Evict the LRU victim (write-through pool: no writeback).
+        // Miss: the shard lock is held across the disk read, so two
+        // threads faulting the same page serialize and the second sees a
+        // hit — misses always equal physical reads.
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        tally::count_pool_miss();
+        if inner.frames.len() >= shard.capacity {
+            // Evict the shard's LRU victim (write-through pool: no
+            // writeback).
             let (&victim_stamp, &victim) = inner
                 .lru
                 .iter()
                 .next()
-                .expect("non-empty pool must have an LRU entry");
+                .expect("non-empty shard must have an LRU entry");
             inner.lru.remove(&victim_stamp);
             inner.frames.remove(&victim);
         }
@@ -99,39 +190,71 @@ impl BufferPool {
     /// Writes a page through the cache to disk: the cached copy (if any)
     /// is updated in place, and the disk copy always is.
     pub fn write_through(&self, disk: &DiskManager, id: PageId, buf: &PageBuf) {
-        let mut inner = self.inner.lock();
-        if let Some(frame) = inner.frames.get_mut(&id) {
-            frame.data.copy_from_slice(buf);
+        let shard = self.shard_of(id);
+        {
+            let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+            if let Some(frame) = inner.frames.get_mut(&id) {
+                frame.data.copy_from_slice(buf);
+            }
         }
         disk.write_page(id, buf);
     }
 
     /// Drops every cached frame (cold-cache benchmarking).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.frames.clear();
-        inner.lru.clear();
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+            inner.frames.clear();
+            inner.lru.clear();
+        }
     }
 
-    /// Number of currently cached pages.
+    /// Number of currently cached pages (sum over shards).
     pub fn cached_pages(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("buffer shard poisoned").frames.len())
+            .sum()
     }
 
-    /// Cache hits so far.
+    /// Cache hits so far (sum over shards).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Cache misses so far.
+    /// Cache misses so far (sum over shards).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard counters (capacity, cached frames, hits, misses) — the
+    /// aggregate of `hits`/`misses` over this snapshot equals
+    /// [`BufferPool::hits`]/[`BufferPool::misses`] when the pool is
+    /// quiescent.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                capacity: s.capacity,
+                cached_pages: s.inner.lock().expect("buffer shard poisoned").frames.len(),
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Resets hit/miss counters (cached contents are untouched).
     pub fn reset_counters(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -166,14 +289,47 @@ mod tests {
     }
 
     #[test]
+    fn small_pools_are_single_shard() {
+        assert_eq!(BufferPool::new(1).num_shards(), 1);
+        assert_eq!(BufferPool::new(64).num_shards(), 1);
+        assert_eq!(BufferPool::new(127).num_shards(), 1);
+    }
+
+    #[test]
+    fn large_pools_shard_with_full_capacity() {
+        for cap in [128usize, 256, 1000, 4096] {
+            let pool = BufferPool::new(cap);
+            assert!(pool.num_shards() > 1, "capacity {cap}");
+            assert!(pool.num_shards().is_power_of_two());
+            let total: usize = pool.shard_stats().iter().map(|s| s.capacity).sum();
+            assert_eq!(total, cap, "capacity {cap} split losslessly");
+            assert!(pool
+                .shard_stats()
+                .iter()
+                .all(|s| s.capacity >= MIN_FRAMES_PER_SHARD));
+        }
+    }
+
+    #[test]
+    fn explicit_shard_count_is_honored() {
+        let pool = BufferPool::with_shards(64, 8);
+        assert_eq!(pool.num_shards(), 8);
+        let total: usize = pool.shard_stats().iter().map(|s| s.capacity).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
     fn lru_eviction_order() {
         let disk = DiskManager::new();
-        let ids: Vec<PageId> = (0..4).map(|i| {
-            let id = disk.allocate();
-            disk.write_page(id, &page_with_tag(i as u8));
-            id
-        }).collect();
+        let ids: Vec<PageId> = (0..4)
+            .map(|i| {
+                let id = disk.allocate();
+                disk.write_page(id, &page_with_tag(i as u8));
+                id
+            })
+            .collect();
         let pool = BufferPool::new(2);
+        assert_eq!(pool.num_shards(), 1, "small pool must be one exact LRU");
 
         pool.with_page(&disk, ids[0], |_| ());
         pool.with_page(&disk, ids[1], |_| ());
@@ -236,5 +392,74 @@ mod tests {
         }
         assert_eq!(pool.cached_pages(), 10);
         assert_eq!(pool.misses(), 100);
+    }
+
+    #[test]
+    fn sharded_pool_respects_total_capacity_under_scan() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..2000).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::with_shards(256, 4);
+        for &id in &ids {
+            pool.with_page(&disk, id, |_| ());
+        }
+        assert!(pool.cached_pages() <= 256);
+        assert_eq!(pool.misses(), 2000);
+        // Every shard saw traffic (the hash spreads sequential ids).
+        assert!(pool.shard_stats().iter().all(|s| s.misses > 0));
+    }
+
+    #[test]
+    fn shard_counters_sum_to_pool_counters() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..512).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::with_shards(128, 8);
+        for &id in &ids {
+            pool.with_page(&disk, id, |_| ());
+        }
+        for &id in ids.iter().rev().take(64) {
+            pool.with_page(&disk, id, |_| ());
+        }
+        let stats = pool.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), pool.hits());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), pool.misses());
+        assert_eq!(
+            stats.iter().map(|s| s.cached_pages).sum::<usize>(),
+            pool.cached_pages()
+        );
+        // Conservation: every lookup was a hit or a miss, and every miss
+        // was one physical read.
+        assert_eq!(pool.hits() + pool.misses(), 512 + 64);
+        assert_eq!(pool.misses(), disk.reads());
+    }
+
+    #[test]
+    fn concurrent_readers_agree_and_account_exactly() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..64)
+            .map(|i| {
+                let id = disk.allocate();
+                disk.write_page(id, &page_with_tag(i as u8));
+                id
+            })
+            .collect();
+        let pool = BufferPool::with_shards(256, 8);
+
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let (pool, disk, ids) = (&pool, &disk, &ids);
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let i = (t * 7 + round * 13) % ids.len();
+                        let v = pool.with_page(disk, ids[i], |p| p[0]);
+                        assert_eq!(v, i as u8);
+                    }
+                });
+            }
+        });
+        // Conservation under concurrency: lookups = hits + misses and
+        // misses = physical reads (the shard lock spans the fault-in).
+        assert_eq!(pool.hits() + pool.misses(), 8 * 50);
+        assert_eq!(pool.misses(), disk.reads());
+        assert!(pool.cached_pages() <= 64);
     }
 }

@@ -63,7 +63,13 @@ mod tests {
     #[test]
     fn special_floats_round_trip() {
         let mut buf = [0u8; 8];
-        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, f64::MIN_POSITIVE] {
+        for v in [
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+        ] {
             put_f64(&mut buf, 0, v);
             assert_eq!(get_f64(&buf, 0).to_bits(), v.to_bits());
         }

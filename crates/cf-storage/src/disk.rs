@@ -1,11 +1,12 @@
 //! The simulated disk: an array of fixed-size pages with I/O accounting.
 
-use parking_lot::{Mutex, RwLock};
+use crate::stats::tally;
 use std::fs::File;
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Page size in bytes. The paper's experiments use 4 KB pages (§4).
@@ -103,7 +104,7 @@ impl DiskManager {
     /// Flushes file-backed contents to stable storage (no-op for the
     /// in-memory backing).
     pub fn sync(&self) -> io::Result<()> {
-        match &*self.backing.read() {
+        match &*self.backing.read().expect("disk lock poisoned") {
             Backing::Memory(_) => Ok(()),
             Backing::File { file, .. } => file.sync_data(),
         }
@@ -119,8 +120,8 @@ impl DiskManager {
     /// Consecutive allocation is what makes subfield record ranges
     /// physically contiguous.
     pub fn allocate_run(&self, n: usize) -> PageId {
-        let _guard = self.alloc_lock.lock();
-        let mut backing = self.backing.write();
+        let _guard = self.alloc_lock.lock().expect("disk lock poisoned");
+        let mut backing = self.backing.write().expect("disk lock poisoned");
         match &mut *backing {
             Backing::Memory(pages) => {
                 let id = PageId(pages.len() as u64);
@@ -139,7 +140,7 @@ impl DiskManager {
 
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
-        self.backing.read().num_pages()
+        self.backing.read().expect("disk lock poisoned").num_pages()
     }
 
     /// Reads a page into `buf`, counting one physical read.
@@ -149,10 +150,11 @@ impl DiskManager {
     /// Panics if the page was never allocated.
     pub fn read_page(&self, id: PageId, buf: &mut PageBuf) {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        tally::count_disk_read();
         if !self.read_latency.is_zero() {
-            spin_for(self.read_latency);
+            wait_for(self.read_latency);
         }
-        let backing = self.backing.read();
+        let backing = self.backing.read().expect("disk lock poisoned");
         assert!(
             id.index() < backing.num_pages(),
             "read of unallocated page {id:?}"
@@ -172,7 +174,8 @@ impl DiskManager {
     /// Panics if the page was never allocated.
     pub fn write_page(&self, id: PageId, buf: &PageBuf) {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        let mut backing = self.backing.write();
+        tally::count_disk_write();
+        let mut backing = self.backing.write().expect("disk lock poisoned");
         assert!(
             id.index() < backing.num_pages(),
             "write to unallocated page {id:?}"
@@ -208,10 +211,23 @@ impl Default for DiskManager {
     }
 }
 
-/// Busy-waits for the given duration (used for sub-millisecond latencies
-/// where `thread::sleep` is far too coarse).
-fn spin_for(d: Duration) {
+/// Longest latency served purely by busy-waiting. Below this,
+/// `thread::sleep` is too coarse to hit the target; above it, the bulk
+/// of the wait sleeps so the CPU is released — like a thread blocked on
+/// a real device — and only the final stretch spins for precision.
+/// Sleeping (not spinning) is what lets concurrent readers overlap
+/// their simulated I/O, which the parallel batch executor depends on.
+const SPIN_ONLY_MAX: Duration = Duration::from_micros(200);
+
+/// Waits for the given duration: pure spin for sub-[`SPIN_ONLY_MAX`]
+/// latencies, sleep-then-spin above it.
+fn wait_for(d: Duration) {
     let start = Instant::now();
+    if let Some(bulk) = d.checked_sub(SPIN_ONLY_MAX) {
+        if !bulk.is_zero() {
+            std::thread::sleep(bulk);
+        }
+    }
     while start.elapsed() < d {
         std::hint::spin_loop();
     }

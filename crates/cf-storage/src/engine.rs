@@ -8,6 +8,9 @@ use std::time::Duration;
 pub struct StorageConfig {
     /// Buffer pool capacity in pages.
     pub pool_pages: usize,
+    /// Buffer pool shard count; `0` (the default) picks automatically
+    /// from the capacity (see [`BufferPool::new`]).
+    pub pool_shards: usize,
     /// Artificial latency charged per physical page read.
     ///
     /// `Duration::ZERO` (the default) for correctness tests; benches use a
@@ -19,7 +22,18 @@ impl Default for StorageConfig {
     fn default() -> Self {
         Self {
             pool_pages: 256,
+            pool_shards: 0,
             read_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl StorageConfig {
+    fn build_pool(&self) -> BufferPool {
+        if self.pool_shards == 0 {
+            BufferPool::new(self.pool_pages)
+        } else {
+            BufferPool::with_shards(self.pool_pages, self.pool_shards)
         }
     }
 }
@@ -39,7 +53,7 @@ impl StorageEngine {
     pub fn new(config: StorageConfig) -> Self {
         Self {
             disk: DiskManager::with_read_latency(config.read_latency),
-            pool: BufferPool::new(config.pool_pages),
+            pool: config.build_pool(),
         }
     }
 
@@ -59,7 +73,7 @@ impl StorageEngine {
     ) -> std::io::Result<Self> {
         Ok(Self {
             disk: DiskManager::open_file(path, config.read_latency)?,
-            pool: BufferPool::new(config.pool_pages),
+            pool: config.build_pool(),
         })
     }
 
@@ -164,7 +178,7 @@ mod tests {
     fn small_pool_evicts_under_pressure() {
         let engine = StorageEngine::new(StorageConfig {
             pool_pages: 2,
-            read_latency: Duration::ZERO,
+            ..StorageConfig::default()
         });
         let ids: Vec<_> = (0..5).map(|_| engine.allocate_page()).collect();
         for &id in &ids {

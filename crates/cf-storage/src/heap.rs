@@ -127,7 +127,11 @@ impl<R: Record> RecordFile<R> {
     ///
     /// Panics if `idx >= len`.
     pub fn get(&self, engine: &StorageEngine, idx: usize) -> R {
-        assert!(idx < self.len, "record {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "record {idx} out of bounds (len {})",
+            self.len
+        );
         let per_page = Self::records_per_page();
         let slot = idx % per_page;
         engine.with_page(self.page_of(idx), |page| {
@@ -141,12 +145,15 @@ impl<R: Record> RecordFile<R> {
     ///
     /// Panics if `idx >= len`.
     pub fn put(&self, engine: &StorageEngine, idx: usize, record: &R) {
-        assert!(idx < self.len, "record {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "record {idx} out of bounds (len {})",
+            self.len
+        );
         let per_page = Self::records_per_page();
         let slot = idx % per_page;
         let page_id = self.page_of(idx);
-        let mut buf: PageBuf =
-            engine.with_page(page_id, |page| *page);
+        let mut buf: PageBuf = engine.with_page(page_id, |page| *page);
         record.encode(&mut buf[slot * R::SIZE..(slot + 1) * R::SIZE]);
         engine.write_page(page_id, &buf);
     }
@@ -180,6 +187,88 @@ impl<R: Record> RecordFile<R> {
                     f(idx, R::decode(&page[slot * R::SIZE..(slot + 1) * R::SIZE]));
                 }
             });
+        }
+    }
+
+    /// Invokes `f(index, record)` for every record in each of `ranges`,
+    /// touching every underlying page **at most once across all
+    /// ranges**.
+    ///
+    /// `ranges` must be sorted by start and non-overlapping. Unlike
+    /// calling [`RecordFile::for_each_in_range`] per range, a page
+    /// shared by the tail of one range and the head of the next (or by
+    /// several small ranges) is read a single time — the access pattern
+    /// of a subfield index retrieving many nearby record runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range extends past the end of the file or if the
+    /// ranges are unsorted or overlapping.
+    pub fn for_each_in_ranges(
+        &self,
+        engine: &StorageEngine,
+        ranges: &[Range<usize>],
+        mut f: impl FnMut(usize, R),
+    ) {
+        let per_page = Self::records_per_page();
+        for w in ranges.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "ranges unsorted or overlapping: {w:?}"
+            );
+        }
+        if let Some(last) = ranges.iter().rev().find(|r| !r.is_empty()) {
+            assert!(last.end <= self.len, "range {last:?} out of bounds");
+        }
+
+        let mut i = 0;
+        while i < ranges.len() {
+            if ranges[i].is_empty() {
+                i += 1;
+                continue;
+            }
+            // Grow a group of ranges whose page spans touch or overlap;
+            // every page in the group's span then holds records of at
+            // least one member range.
+            let first_page = ranges[i].start / per_page;
+            let mut last_page = (ranges[i].end - 1) / per_page;
+            let mut j = i + 1;
+            while j < ranges.len() {
+                if ranges[j].is_empty() {
+                    j += 1;
+                    continue;
+                }
+                if ranges[j].start / per_page <= last_page {
+                    last_page = last_page.max((ranges[j].end - 1) / per_page);
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+
+            let mut k = i; // first range that may still intersect the page
+            for page_no in first_page..=last_page {
+                let page_id = PageId(self.first_page.0 + page_no as u64);
+                let page_lo = page_no * per_page;
+                let page_hi = page_lo + per_page;
+                engine.with_page(page_id, |page| {
+                    for rg in &ranges[k..j] {
+                        if rg.start >= page_hi {
+                            break;
+                        }
+                        let lo = rg.start.max(page_lo);
+                        let hi = rg.end.min(page_hi);
+                        for idx in lo..hi {
+                            let slot = idx % per_page;
+                            f(idx, R::decode(&page[slot * R::SIZE..(slot + 1) * R::SIZE]));
+                        }
+                    }
+                });
+                while k < j && ranges[k].end <= page_hi {
+                    k += 1;
+                }
+            }
+            i = j;
         }
     }
 
@@ -297,11 +386,77 @@ mod tests {
     }
 
     #[test]
+    fn multi_range_scan_reads_shared_pages_once() {
+        let engine = StorageEngine::in_memory();
+        let file = RecordFile::create(&engine, sample(1000));
+        engine.clear_cache();
+        engine.reset_stats();
+
+        // 250..258 straddles pages 0|1 and 260..270 sits on page 1, so
+        // the two ranges share page 1; 700..705 lives alone on page 2.
+        let ranges = [250..258, 260..270, 700..705];
+        let mut seen = Vec::new();
+        file.for_each_in_ranges(&engine, &ranges, |idx, r| {
+            assert_eq!(idx as u64, r.key);
+            seen.push(idx);
+        });
+        let want: Vec<usize> = (250..258).chain(260..270).chain(700..705).collect();
+        assert_eq!(seen, want);
+        // Pages touched: {0, 1} for the first two ranges (page 1 shared,
+        // read once), {2} for 700..705 → 3 logical reads total, where
+        // per-range scans would pay 2 + 1 + 1 = 4.
+        assert_eq!(engine.io_stats().logical_reads(), 3);
+    }
+
+    #[test]
+    fn multi_range_scan_equals_per_range_scans() {
+        let engine = StorageEngine::in_memory();
+        let file = RecordFile::create(&engine, sample(777));
+        let ranges = [0..1, 1..2, 4..4, 100..300, 300..301, 511..513, 776..777];
+        let mut multi = Vec::new();
+        file.for_each_in_ranges(&engine, &ranges, |idx, r| multi.push((idx, r)));
+        let mut single = Vec::new();
+        for rg in &ranges {
+            file.for_each_in_range(&engine, rg.clone(), |idx, r| single.push((idx, r)));
+        }
+        assert_eq!(multi, single);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted or overlapping")]
+    fn multi_range_scan_rejects_overlap() {
+        let engine = StorageEngine::in_memory();
+        let file = RecordFile::create(&engine, sample(100));
+        file.for_each_in_ranges(&engine, &[0..10, 5..20], |_, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn multi_range_scan_rejects_out_of_bounds() {
+        let engine = StorageEngine::in_memory();
+        let file = RecordFile::create(&engine, sample(100));
+        file.for_each_in_ranges(&engine, &[0..10, 90..101], |_, _| ());
+    }
+
+    #[test]
     fn put_overwrites_in_place() {
         let engine = StorageEngine::in_memory();
         let file = RecordFile::create(&engine, sample(600));
-        file.put(&engine, 300, &KvRecord { key: 999, value: -1.0 });
-        assert_eq!(file.get(&engine, 300), KvRecord { key: 999, value: -1.0 });
+        file.put(
+            &engine,
+            300,
+            &KvRecord {
+                key: 999,
+                value: -1.0,
+            },
+        );
+        assert_eq!(
+            file.get(&engine, 300),
+            KvRecord {
+                key: 999,
+                value: -1.0
+            }
+        );
         // Neighbours untouched, also after a cold re-read.
         engine.clear_cache();
         assert_eq!(file.get(&engine, 299).key, 299);

@@ -9,17 +9,21 @@
 //!   counts every physical read/write and can charge a configurable
 //!   latency per physical read (modelling the 2002 testbed's I/O cost on
 //!   modern hardware; see DESIGN.md §3).
-//! * [`BufferPool`] — an LRU page cache with pin-free closure access,
-//!   hit/miss statistics and explicit invalidation (so benchmarks can run
-//!   queries cold, as the paper's setup effectively did).
+//! * [`BufferPool`] — a sharded LRU page cache with pin-free closure
+//!   access, per-shard hit/miss statistics and explicit invalidation (so
+//!   benchmarks can run queries cold, as the paper's setup effectively
+//!   did).
 //! * [`StorageEngine`] — the façade bundling the two; all index and cell
 //!   file accesses in the workspace go through it.
 //! * [`RecordFile`] — a fixed-size-record heap file; the Hilbert-ordered
 //!   cell file of the I-Hilbert method is a `RecordFile` whose record
 //!   ranges correspond to subfields.
 //!
-//! The engine is thread-safe (`parking_lot` locks) so read-only query
-//! benchmarks may fan out across threads.
+//! The engine is thread-safe: pool frames live in independently locked
+//! shards so concurrent queries mostly avoid lock contention, and every
+//! I/O event is tallied both globally (atomics) and per thread
+//! ([`thread_io_stats`]) so parallel query paths can cost themselves
+//! exactly.
 
 //!
 //! # Example
@@ -50,10 +54,10 @@ mod engine;
 mod heap;
 mod stats;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, MIN_FRAMES_PER_SHARD};
 pub use disk::{DiskManager, PageBuf, PageId, PAGE_SIZE};
 pub use engine::{StorageConfig, StorageEngine};
 pub use heap::{KvRecord, Record, RecordFile};
-pub use stats::IoStats;
+pub use stats::{thread_io_stats, IoStats, ShardStats};
 
 pub mod codec;

@@ -1,5 +1,16 @@
 //! I/O statistics snapshots.
+//!
+//! Two accounting planes exist side by side:
+//!
+//! * **Global counters** on [`crate::DiskManager`] and
+//!   [`crate::BufferPool`] (atomics, summed over all threads) — what
+//!   `StorageEngine::io_stats` reports.
+//! * **Thread-local counters** ([`thread_io_stats`]) — bumped on the
+//!   same events, but private to the calling thread. Per-query deltas
+//!   taken from these are exact even while other queries run
+//!   concurrently, which global-counter deltas are not.
 
+use std::cell::Cell;
 use std::fmt;
 use std::ops::Sub;
 
@@ -76,6 +87,76 @@ impl fmt::Display for IoStats {
     }
 }
 
+/// Counters of a single buffer-pool shard (see
+/// [`crate::BufferPool::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Frames this shard may hold.
+    pub capacity: usize,
+    /// Frames currently held.
+    pub cached_pages: usize,
+    /// Lookups answered from this shard's cache.
+    pub hits: u64,
+    /// Lookups this shard sent to disk.
+    pub misses: u64,
+}
+
+thread_local! {
+    static THREAD_IO: Cell<IoStats> = const { Cell::new(IoStats {
+        disk_reads: 0,
+        disk_writes: 0,
+        pool_hits: 0,
+        pool_misses: 0,
+    }) };
+}
+
+/// Snapshot of the I/O performed **by the calling thread** since it
+/// started.
+///
+/// Like the global counters, these only ever increase; take a snapshot
+/// before and after an operation and subtract to cost it. Because no
+/// other thread can touch this counter, the delta is exact under
+/// concurrency — the property the parallel query paths in `cf-index`
+/// rely on for per-query accounting.
+pub fn thread_io_stats() -> IoStats {
+    THREAD_IO.with(|c| c.get())
+}
+
+/// Internal hooks: the disk manager and buffer pool report every event
+/// to the calling thread's tally as well as their global atomics.
+pub(crate) mod tally {
+    use super::{IoStats, THREAD_IO};
+
+    #[inline]
+    fn bump(f: impl FnOnce(&mut IoStats)) {
+        THREAD_IO.with(|c| {
+            let mut s = c.get();
+            f(&mut s);
+            c.set(s);
+        });
+    }
+
+    #[inline]
+    pub(crate) fn count_disk_read() {
+        bump(|s| s.disk_reads += 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_disk_write() {
+        bump(|s| s.disk_writes += 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_pool_hit() {
+        bump(|s| s.pool_hits += 1);
+    }
+
+    #[inline]
+    pub(crate) fn count_pool_miss() {
+        bump(|s| s.pool_misses += 1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,9 +193,43 @@ mod tests {
     }
 
     #[test]
+    fn thread_tally_is_per_thread() {
+        let before = thread_io_stats();
+        tally::count_pool_hit();
+        tally::count_disk_read();
+        let delta = thread_io_stats() - before;
+        assert_eq!(delta.pool_hits, 1);
+        assert_eq!(delta.disk_reads, 1);
+        assert_eq!(delta.disk_writes, 0);
+
+        // Another thread's tally starts at zero and our counts are
+        // invisible to it.
+        std::thread::spawn(|| {
+            let fresh = thread_io_stats();
+            assert_eq!(fresh, IoStats::default());
+            tally::count_disk_write();
+            assert_eq!(thread_io_stats().disk_writes, 1);
+        })
+        .join()
+        .expect("tally thread");
+        let delta = thread_io_stats() - before;
+        assert_eq!(delta.disk_writes, 0, "other thread's writes leaked in");
+    }
+
+    #[test]
     fn addition_accumulates() {
-        let a = IoStats { disk_reads: 1, disk_writes: 2, pool_hits: 3, pool_misses: 4 };
-        let b = IoStats { disk_reads: 10, disk_writes: 20, pool_hits: 30, pool_misses: 40 };
+        let a = IoStats {
+            disk_reads: 1,
+            disk_writes: 2,
+            pool_hits: 3,
+            pool_misses: 4,
+        };
+        let b = IoStats {
+            disk_reads: 10,
+            disk_writes: 20,
+            pool_hits: 30,
+            pool_misses: 40,
+        };
         let s = a + b;
         assert_eq!(s.disk_reads, 11);
         assert_eq!(s.pool_misses, 44);

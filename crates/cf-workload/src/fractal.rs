@@ -58,7 +58,11 @@ pub fn diamond_square(k: u32, h: f64, seed: u64) -> GridField {
         // their (up to four) diamond neighbours with wrap-free handling
         // at the borders.
         for y in (0..=size).step_by(half) {
-            let x_start = if (y / half).is_multiple_of(2) { half } else { 0 };
+            let x_start = if (y / half).is_multiple_of(2) {
+                half
+            } else {
+                0
+            };
             for x in (x_start..=size).step_by(step) {
                 let mut sum = 0.0;
                 let mut cnt = 0.0;

@@ -37,7 +37,8 @@ pub fn ocean_field(cells: usize, seed: u64) -> VectorGridField<2> {
             let temp = 8.0
                 + 12.0 * (1.0 - fy) // warmer "south"
                 + 8.0 * (-((fx - warm.0).powi(2) + (fy - warm.1).powi(2)) * 10.0).exp();
-            let sal = 13.5 - 1.0 * fy
+            let sal = 13.5
+                - 1.0 * fy
                 - 2.5 * (-((fx - plume.0).powi(2) + (fy - plume.1).powi(2)) * 14.0).exp();
             values.push([temp, sal]);
         }
@@ -53,8 +54,14 @@ mod tests {
     fn ranges_are_oceanographic() {
         let f = ocean_field(64, 1);
         let dom = f.value_domain();
-        assert!(dom.lo[TEMPERATURE] >= 5.0 && dom.hi[TEMPERATURE] <= 30.0, "{dom:?}");
-        assert!(dom.lo[SALINITY] >= 9.0 && dom.hi[SALINITY] <= 15.0, "{dom:?}");
+        assert!(
+            dom.lo[TEMPERATURE] >= 5.0 && dom.hi[TEMPERATURE] <= 30.0,
+            "{dom:?}"
+        );
+        assert!(
+            dom.lo[SALINITY] >= 9.0 && dom.hi[SALINITY] <= 15.0,
+            "{dom:?}"
+        );
     }
 
     #[test]

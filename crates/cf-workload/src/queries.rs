@@ -39,11 +39,7 @@ pub fn interval_queries(
 }
 
 /// Random point-query positions inside a spatial box (for Q1 workloads).
-pub fn point_queries(
-    domain: cf_geom::Aabb<2>,
-    count: usize,
-    seed: u64,
-) -> Vec<cf_geom::Point2> {
+pub fn point_queries(domain: cf_geom::Aabb<2>, count: usize, seed: u64) -> Vec<cf_geom::Point2> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {

@@ -82,7 +82,11 @@ fn main() {
     }
 
     // Sanity: the dome month dominates.
-    let july = field.value_at([0.6 * 64.0, 0.35 * 64.0, 7.0]).expect("in cube");
-    let january = field.value_at([0.6 * 64.0, 0.35 * 64.0, 0.0]).expect("in cube");
+    let july = field
+        .value_at([0.6 * 64.0, 0.35 * 64.0, 7.0])
+        .expect("in cube");
+    let january = field
+        .value_at([0.6 * 64.0, 0.35 * 64.0, 0.0])
+        .expect("in cube");
     assert!(july > january + 5.0, "seasonal + dome signal present");
 }

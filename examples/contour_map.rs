@@ -65,9 +65,7 @@ fn main() {
                 }
             });
 
-        let cells = candidates
-            .iter()
-            .flat_map(|rec| rec.triangles());
+        let cells = candidates.iter().flat_map(|rec| rec.triangles());
         let lines: Vec<Polyline> = extract_isolines(cells, level);
         total_lines += lines.len();
 

@@ -56,8 +56,9 @@ fn main() {
     );
 
     // Baseline scan over a native-order copy.
-    let records: Vec<VolumeCellRecord> =
-        (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+    let records: Vec<VolumeCellRecord> = (0..field.num_cells())
+        .map(|c| field.cell_record(c))
+        .collect();
     let scan_file = RecordFile::create(&engine, records);
     engine.clear_cache();
     let s = volume_linear_scan(&engine, &scan_file, band);

@@ -54,8 +54,9 @@ fn main() {
     );
 
     // Baseline: scan a native-order copy of the cell file.
-    let records: Vec<VectorCellRecord<2>> =
-        (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+    let records: Vec<VectorCellRecord<2>> = (0..field.num_cells())
+        .map(|c| field.cell_record(c))
+        .collect();
     let scan_file = RecordFile::create(&engine, records);
     engine.clear_cache();
     let s = vector_linear_scan(&engine, &scan_file, &salmon);

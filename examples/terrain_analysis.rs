@@ -28,9 +28,7 @@ fn main() {
     let ihilbert = IHilbert::build(&engine, &field);
     let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
 
-    println!(
-        "\nmean page reads over 50 random queries per Qinterval (cold cache):"
-    );
+    println!("\nmean page reads over 50 random queries per Qinterval (cold cache):");
     print!("{:>10}", "Qinterval");
     for m in &methods {
         print!("{:>12}", m.name());

@@ -225,8 +225,17 @@ mod tests {
     #[test]
     fn create_info_query_point_cycle() {
         let db = tmp("cycle");
-        let out = run(&argv(&["create", &db, "--workload", "fractal", "--k", "5", "--h", "0.8"]))
-            .expect("create");
+        let out = run(&argv(&[
+            "create",
+            &db,
+            "--workload",
+            "fractal",
+            "--k",
+            "5",
+            "--h",
+            "0.8",
+        ]))
+        .expect("create");
         assert!(out.contains("1024 cells"), "{out}");
 
         let out = run(&argv(&["info", &db])).expect("info");
@@ -246,7 +255,10 @@ mod tests {
         let db = tmp("refuse");
         run(&argv(&["create", &db, "--k", "4"])).expect("create");
         assert!(run(&argv(&["create", &db])).is_err(), "must not overwrite");
-        assert!(run(&argv(&["query", &db, "5", "1"])).is_err(), "inverted band");
+        assert!(
+            run(&argv(&["query", &db, "5", "1"])).is_err(),
+            "inverted band"
+        );
         assert!(run(&argv(&["bogus"])).is_err());
         assert!(run(&[]).is_err());
         std::fs::remove_file(&db).expect("cleanup");

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use cf_field::{FieldModel, GridField, TinField, VectorGridField};
     pub use cf_geom::{Aabb, Interval, Point2, Polygon, Triangle};
     pub use cf_index::{
-        IAll, IHilbert, IHilbertConfig, IntervalQuadtree, LinearScan, PointIndex, QueryStats,
-        SubfieldConfig, ValueIndex, VectorIHilbert,
+        BatchReport, IAll, IHilbert, IHilbertConfig, IntervalQuadtree, LinearScan, PointIndex,
+        QueryBatch, QueryStats, SubfieldConfig, ValueIndex, VectorIHilbert,
     };
     pub use cf_sfc::Curve;
     pub use cf_storage::{IoStats, StorageConfig, StorageEngine};

@@ -16,7 +16,10 @@ fn concurrent_queries_agree_with_sequential() {
     let bands: Vec<Interval> = (0..32)
         .map(|i| {
             let t = i as f64 / 32.0;
-            Interval::new(dom.denormalize(t * 0.9), dom.denormalize((t * 0.9 + 0.08).min(1.0)))
+            Interval::new(
+                dom.denormalize(t * 0.9),
+                dom.denormalize((t * 0.9 + 0.08).min(1.0)),
+            )
         })
         .collect();
     let sequential: Vec<QueryStats> = bands
@@ -104,7 +107,10 @@ fn global_io_counters_sum_across_threads() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
     });
     // Each per-query delta includes reads from concurrent threads (the
     // counters are global), so the per-thread sums can overcount — but

@@ -48,8 +48,9 @@ fn record_file_survives_reopen() {
     let (first_page, len);
     {
         let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("create");
-        let records: Vec<GridCellRecord> =
-            (0..field.num_cells()).map(|c| field.cell_record(c)).collect();
+        let records: Vec<GridCellRecord> = (0..field.num_cells())
+            .map(|c| field.cell_record(c))
+            .collect();
         let file = RecordFile::create(&engine, records);
         first_page = file.first_page();
         len = file.len();

@@ -105,6 +105,72 @@ fn subfield_contiguity_bounds_estimation_reads() {
 }
 
 #[test]
+fn concurrent_read_range_accounting_is_exact() {
+    // Eight threads hammer overlapping record ranges of one file on one
+    // engine. Accounting must stay exact on both planes: the per-thread
+    // tallies must sum to the engine's global counters, every logical
+    // access must be either a cached hit or a physical read, and the
+    // sharded pool's own counters must agree.
+    use contfield::storage::{thread_io_stats, RecordFile};
+
+    let field = diamond_square(6, 0.6, 9);
+    let engine = StorageEngine::in_memory();
+    let records: Vec<_> = (0..field.num_cells())
+        .map(|c| field.cell_record(c))
+        .collect();
+    let file = RecordFile::create(&engine, records);
+    engine.clear_cache();
+    engine.reset_stats();
+
+    let threads = 8;
+    let span = 200;
+    let per_thread: Vec<IoStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (file, engine) = (&file, &engine);
+                scope.spawn(move || {
+                    let before = thread_io_stats();
+                    for i in 0..10 {
+                        let start = (t * 37 + i * 113) % (file.len() - span);
+                        let got = file.read_range(engine, start..start + span);
+                        assert_eq!(got.len(), span);
+                    }
+                    thread_io_stats() - before
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+
+    let sum = per_thread
+        .into_iter()
+        .fold(IoStats::default(), |acc, s| acc + s);
+    let global = engine.io_stats();
+    assert_eq!(sum.pool_hits, global.pool_hits, "hit tallies must sum");
+    assert_eq!(sum.pool_misses, global.pool_misses, "miss tallies must sum");
+    assert_eq!(sum.disk_reads, global.disk_reads, "disk tallies must sum");
+    // Conservation: every logical access was served exactly once, from
+    // cache or from disk — no double counts, no lost updates.
+    assert_eq!(global.pool_misses, global.disk_reads);
+    assert_eq!(sum.logical_reads(), sum.pool_hits + sum.pool_misses);
+    assert!(
+        sum.pool_hits > 0,
+        "overlapping ranges must share cached pages"
+    );
+    assert!(sum.pool_misses > 0, "cold file must fault");
+    // The pool's per-shard counters describe the same history.
+    let shards = engine.pool().shard_stats();
+    assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), global.pool_hits);
+    assert_eq!(
+        shards.iter().map(|s| s.misses).sum::<u64>(),
+        global.pool_misses
+    );
+}
+
+#[test]
 fn buffer_pool_capacity_affects_repeat_queries_only() {
     let field = diamond_square(5, 0.5, 21);
     let dom = field.value_domain();

@@ -19,9 +19,7 @@ fn polygon_contains(poly: &Polygon, p: Point2) -> bool {
     let mut j = n - 1;
     for i in 0..n {
         let (a, b) = (poly.vertices[i], poly.vertices[j]);
-        if ((a.y > p.y) != (b.y > p.y))
-            && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
-        {
+        if ((a.y > p.y) != (b.y > p.y)) && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x) {
             inside = !inside;
         }
         j = i;
