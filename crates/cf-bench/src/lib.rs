@@ -104,7 +104,7 @@ pub struct SweepResult {
 
 /// Builds the paper's three methods (plus optionally I-Quad) over
 /// `field` and runs the `Qinterval` sweep.
-pub fn run_sweep<F: FieldModel>(
+pub fn run_sweep<F: FieldModel + Sync>(
     figure: &str,
     field: &F,
     qintervals: &[f64],

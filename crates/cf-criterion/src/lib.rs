@@ -8,6 +8,12 @@
 //! `group/id: mean ± spread (iters)` on stdout. No plots, no stats
 //! beyond mean/min/max — enough for the relative comparisons the
 //! figure benches make.
+//!
+//! Like the real crate, `cargo bench -- --test` runs every benchmark in
+//! *test mode*: a single pass per benchmark with no warm-up or timing
+//! budget, so CI can smoke-test the bench binaries in seconds. In test
+//! mode the per-group `sample_size`/`measurement_time`/`warm_up_time`
+//! overrides are ignored.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,14 +32,27 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self {
-            sample_size: 20,
-            measurement_time: Duration::from_secs(2),
-            warm_up_time: Duration::from_millis(300),
+        let test_mode =
+            std::env::args().any(|a| a == "--test") || std::env::var_os("CF_BENCH_TEST").is_some();
+        if test_mode {
+            Self {
+                sample_size: 1,
+                measurement_time: Duration::ZERO,
+                warm_up_time: Duration::ZERO,
+                test_mode,
+            }
+        } else {
+            Self {
+                sample_size: 20,
+                measurement_time: Duration::from_secs(2),
+                warm_up_time: Duration::from_millis(300),
+                test_mode,
+            }
         }
     }
 }
@@ -51,6 +70,7 @@ impl Criterion {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
+            test_mode: self.test_mode,
             _parent: std::marker::PhantomData,
         }
     }
@@ -85,25 +105,32 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    test_mode: bool,
     _parent: std::marker::PhantomData<&'a ()>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Number of measured samples per benchmark.
+    /// Number of measured samples per benchmark (ignored in test mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
-    /// Total measurement budget per benchmark.
+    /// Total measurement budget per benchmark (ignored in test mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        if !self.test_mode {
+            self.measurement_time = d;
+        }
         self
     }
 
-    /// Warm-up budget per benchmark.
+    /// Warm-up budget per benchmark (ignored in test mode).
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-        self.warm_up_time = d;
+        if !self.test_mode {
+            self.warm_up_time = d;
+        }
         self
     }
 
@@ -117,9 +144,21 @@ impl BenchmarkGroup<'_> {
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
             samples: self.sample_size,
+            test_mode: self.test_mode,
             result: None,
         };
         f(&mut bencher);
+        if self.test_mode {
+            let line = match bencher.result {
+                Some(_) => format!("Testing {}/{}: ok", self.name, id.0),
+                None => format!(
+                    "Testing {}/{}: no routine (b.iter never called)",
+                    self.name, id.0
+                ),
+            };
+            println!("{line}");
+            return self;
+        }
         let line = match bencher.result {
             Some(m) => format!(
                 "{}/{}: {} .. {} (mean {}, {} iters)",
@@ -156,12 +195,27 @@ pub struct Bencher {
     warm_up_time: Duration,
     measurement_time: Duration,
     samples: usize,
+    test_mode: bool,
     result: Option<Measurement>,
 }
 
 impl Bencher {
     /// Times `routine`, recording per-iteration wall time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // Test mode (`cargo bench -- --test`): a single pass proves
+            // the routine runs; no warm-up, no timing loop.
+            let t0 = Instant::now();
+            black_box(routine());
+            let ns = t0.elapsed().as_secs_f64() * 1e9;
+            self.result = Some(Measurement {
+                mean_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+                iters: 1,
+            });
+            return;
+        }
         // Warm-up: also estimates a batch size so each sample is at
         // least ~1% of the measurement budget and timer noise amortizes.
         let warm_start = Instant::now();
@@ -266,6 +320,32 @@ mod tests {
             })
         });
         g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once_and_ignores_overrides() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 1,
+            measurement_time: Duration::ZERO,
+            warm_up_time: Duration::ZERO,
+        };
+        let mut g = c.benchmark_group("smoke");
+        // Overrides must not re-enable a multi-second budget.
+        g.sample_size(100)
+            .measurement_time(Duration::from_secs(60))
+            .warm_up_time(Duration::from_secs(10));
+        let mut calls = 0u64;
+        let t0 = Instant::now();
+        g.bench_function("once", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 1, "test mode runs the routine exactly once");
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -96,25 +96,30 @@ impl QueryBatch {
         let slots = std::sync::Mutex::new(&mut results);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&band) = self.queries.get(i) else {
-                        break;
-                    };
-                    let qt0 = Instant::now();
-                    let mut regions = Vec::new();
-                    let stats = if self.collect_regions {
-                        index.query_with(engine, band, &mut |p| regions.push(p))
-                    } else {
-                        index.query_stats(engine, band)
-                    };
-                    let result = BatchQueryResult {
-                        band,
-                        stats,
-                        wall: qt0.elapsed(),
-                        regions,
-                    };
-                    slots.lock().expect("batch result lock poisoned")[i] = Some(result);
+                scope.spawn(|| {
+                    // One scratch per worker: the per-query transient
+                    // vectors keep their capacity across the whole run.
+                    let mut scratch = crate::stats::QueryScratch::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&band) = self.queries.get(i) else {
+                            break;
+                        };
+                        let qt0 = Instant::now();
+                        let mut regions = Vec::new();
+                        let stats = if self.collect_regions {
+                            index.query_with(engine, band, &mut |p| regions.push(p))
+                        } else {
+                            index.query_stats_scratch(engine, band, &mut scratch)
+                        };
+                        let result = BatchQueryResult {
+                            band,
+                            stats,
+                            wall: qt0.elapsed(),
+                            regions,
+                        };
+                        slots.lock().expect("batch result lock poisoned")[i] = Some(result);
+                    }
                 });
             }
         });

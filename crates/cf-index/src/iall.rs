@@ -10,7 +10,7 @@
 use crate::stats::{QueryStats, ValueIndex};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
-use cf_rtree::{PagedRTree, RStarTree, RTreeConfig};
+use cf_rtree::{FrozenTree, PagedRTree, RStarTree, RTreeConfig};
 use cf_storage::{RecordFile, StorageEngine};
 use std::marker::PhantomData;
 
@@ -18,6 +18,9 @@ use std::marker::PhantomData;
 pub struct IAll<F: FieldModel> {
     file: RecordFile<F::CellRec>,
     tree: PagedRTree<1>,
+    /// Frozen query plane (see [`crate::QueryPlane`]): when present, the
+    /// filtering step searches this flattened copy of `tree`.
+    frozen: Option<FrozenTree<1>>,
     _field: PhantomData<fn() -> F>,
 }
 
@@ -38,8 +41,55 @@ impl<F: FieldModel> IAll<F> {
         Self {
             file,
             tree,
+            frozen: None,
             _field: PhantomData,
         }
+    }
+
+    /// Enters the frozen query plane: the filtering step searches a
+    /// cache-resident flattening of the interval tree from now on —
+    /// identical answers and `filter_nodes`, zero filter-step page reads.
+    pub fn freeze(&mut self, engine: &StorageEngine) {
+        self.frozen = Some(self.tree.freeze(engine));
+    }
+
+    fn query_impl(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        candidates: &mut Vec<u64>,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> QueryStats {
+        let before = cf_storage::thread_io_stats();
+        let mut stats = QueryStats::default();
+
+        // Filtering step: every intersecting cell interval.
+        candidates.clear();
+        let mut on_hit = |cell: u64, _mbr: &cf_geom::Aabb<1>| candidates.push(cell);
+        let search = match &self.frozen {
+            Some(frozen) => frozen.search(&band.into(), &mut on_hit),
+            None => self.tree.search(engine, &band.into(), &mut on_hit),
+        };
+        stats.filter_nodes = search.nodes_visited;
+        stats.intervals_retrieved = candidates.len();
+        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
+
+        // Estimation step: read the candidate cells (sorted for page
+        // locality) and compute exact regions.
+        candidates.sort_unstable();
+        for &cell in candidates.iter() {
+            let rec = self.file.get(engine, cell as usize);
+            stats.cells_examined += 1;
+            debug_assert!(F::record_interval(&rec).intersects(band));
+            stats.cells_qualifying += 1;
+            for region in F::record_band_region(&rec, band) {
+                stats.num_regions += 1;
+                stats.area += region.area();
+                sink(region);
+            }
+        }
+        stats.io = cf_storage::thread_io_stats() - before;
+        stats
     }
 }
 
@@ -54,34 +104,17 @@ impl<F: FieldModel> ValueIndex for IAll<F> {
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
     ) -> QueryStats {
-        let before = cf_storage::thread_io_stats();
-        let mut stats = QueryStats::default();
+        let mut candidates = Vec::new();
+        self.query_impl(engine, band, &mut candidates, sink)
+    }
 
-        // Filtering step: every intersecting cell interval.
-        let mut candidates: Vec<u64> = Vec::new();
-        let search = self.tree.search(engine, &band.into(), |cell, _| {
-            candidates.push(cell);
-        });
-        stats.filter_nodes = search.nodes_visited;
-        stats.intervals_retrieved = candidates.len();
-        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
-
-        // Estimation step: read the candidate cells (sorted for page
-        // locality) and compute exact regions.
-        candidates.sort_unstable();
-        for cell in candidates {
-            let rec = self.file.get(engine, cell as usize);
-            stats.cells_examined += 1;
-            debug_assert!(F::record_interval(&rec).intersects(band));
-            stats.cells_qualifying += 1;
-            for region in F::record_band_region(&rec, band) {
-                stats.num_regions += 1;
-                stats.area += region.area();
-                sink(region);
-            }
-        }
-        stats.io = cf_storage::thread_io_stats() - before;
-        stats
+    fn query_stats_scratch(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        scratch: &mut crate::stats::QueryScratch,
+    ) -> QueryStats {
+        self.query_impl(engine, band, &mut scratch.candidates, &mut |_| {})
     }
 
     fn index_pages(&self) -> usize {
@@ -132,6 +165,30 @@ mod tests {
             let a = scan.query_stats(&engine, band);
             let b = iall.query_stats(&engine, band);
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert!((a.area - b.area).abs() < 1e-9, "band {band}");
+        }
+    }
+
+    #[test]
+    fn frozen_plane_matches_paged_plane() {
+        use crate::stats::ValueIndex;
+        let engine = StorageEngine::in_memory();
+        let field = ramp_field(12);
+        let paged = IAll::build(&engine, &field);
+        let mut frozen = IAll::build(&engine, &field);
+        frozen.freeze(&engine);
+        for band in [
+            Interval::new(3.0, 5.0),
+            Interval::point(7.0),
+            Interval::new(-10.0, 100.0),
+            Interval::new(50.0, 60.0),
+        ] {
+            let a = paged.query_stats(&engine, band);
+            let b = frozen.query_stats(&engine, band);
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert_eq!(a.filter_nodes, b.filter_nodes, "band {band}");
+            assert_eq!(a.intervals_retrieved, b.intervals_retrieved);
+            assert_eq!(b.filter_pages, 0, "band {band}");
             assert!((a.area - b.area).abs() < 1e-9, "band {band}");
         }
     }

@@ -6,9 +6,9 @@
 //! contiguous in the cell file, so the estimation step reads compact
 //! page runs.
 
-use crate::order::cell_order;
+use crate::order::{cell_order, par_cell_order};
 use crate::sfindex::SubfieldIndex;
-pub use crate::sfindex::TreeBuild;
+pub use crate::sfindex::{QueryPlane, TreeBuild};
 use crate::stats::{QueryStats, ValueIndex};
 use crate::subfield::{build_subfields, SubfieldConfig};
 use cf_field::FieldModel;
@@ -26,6 +26,18 @@ pub struct IHilbertConfig {
     pub subfield: SubfieldConfig,
     /// R\*-tree build strategy.
     pub tree_build: TreeBuild,
+    /// Worker threads for the build pipeline (key extraction, cell
+    /// ordering, interval extraction, record writing). `0` and `1` both
+    /// select the sequential build; any count produces a **byte-identical**
+    /// index (see DESIGN.md §8 for the determinism argument). The greedy
+    /// subfield grouping and the subfield R\*-tree build stay sequential,
+    /// as in the paper.
+    pub build_threads: usize,
+    /// Which representation of the subfield R\*-tree serves the
+    /// filtering step. [`QueryPlane::Frozen`] flattens the tree into a
+    /// cache-resident copy after the build — identical answers and
+    /// visited-node counts, no filter-step page traffic.
+    pub plane: QueryPlane,
 }
 
 /// Wrapper defaulting the curve to Hilbert.
@@ -48,16 +60,50 @@ pub struct IHilbert<F: FieldModel> {
 
 impl<F: FieldModel> IHilbert<F> {
     /// Builds the index with paper-default parameters.
-    pub fn build(engine: &StorageEngine, field: &F) -> Self {
+    pub fn build(engine: &StorageEngine, field: &F) -> Self
+    where
+        F: Sync,
+    {
         Self::build_with(engine, field, IHilbertConfig::default())
     }
 
     /// Builds the index with explicit parameters.
-    pub fn build_with(engine: &StorageEngine, field: &F, config: IHilbertConfig) -> Self {
-        let order = cell_order(field, config.curve.0);
-        let intervals: Vec<Interval> = order.iter().map(|&c| field.cell_interval(c)).collect();
-        let subfields = build_subfields(&intervals, config.subfield);
-        let inner = SubfieldIndex::build(engine, field, &order, &subfields, config.tree_build);
+    ///
+    /// With `config.build_threads > 1` the pipeline's per-cell phases
+    /// (curve keys, cell ordering, value intervals, record writes) fan
+    /// out over scoped worker threads; the resulting index is
+    /// byte-identical to the sequential build.
+    pub fn build_with(engine: &StorageEngine, field: &F, config: IHilbertConfig) -> Self
+    where
+        F: Sync,
+    {
+        let threads = config.build_threads.max(1);
+        let order;
+        let mut inner;
+        if threads > 1 {
+            order = par_cell_order(field, config.curve.0, threads);
+            let intervals: Vec<Interval> = crate::par::par_map_chunks(order.len(), threads, {
+                let order = &order;
+                move |r, out| out.extend(order[r].iter().map(|&c| field.cell_interval(c)))
+            });
+            let subfields = build_subfields(&intervals, config.subfield);
+            inner = SubfieldIndex::build_par(
+                engine,
+                field,
+                &order,
+                &subfields,
+                config.tree_build,
+                threads,
+            );
+        } else {
+            order = cell_order(field, config.curve.0);
+            let intervals: Vec<Interval> = order.iter().map(|&c| field.cell_interval(c)).collect();
+            let subfields = build_subfields(&intervals, config.subfield);
+            inner = SubfieldIndex::build(engine, field, &order, &subfields, config.tree_build);
+        }
+        if config.plane == QueryPlane::Frozen {
+            inner.freeze(engine);
+        }
         assert!(
             order.len() <= u32::MAX as usize,
             "cell file too large for u32 positions ({} cells)",
@@ -142,6 +188,14 @@ impl<F: FieldModel> IHilbert<F> {
         }
     }
 
+    /// Enters the frozen query plane after the fact — e.g. on an index
+    /// reopened from its catalog ([`IHilbert::open`]), which always
+    /// starts on the paged plane. One pass over the tree's pages;
+    /// subsequent filter steps touch no pages at all.
+    pub fn freeze(&mut self, engine: &StorageEngine) {
+        self.inner.freeze(engine);
+    }
+
     /// Runs the query with the estimation step parallelized across
     /// `threads` workers (see `SubfieldIndex::par_query_stats`). Returns
     /// the same counts and exact area as [`ValueIndex::query_stats`].
@@ -201,6 +255,15 @@ impl<F: FieldModel> ValueIndex for IHilbert<F> {
         sink: &mut dyn FnMut(Polygon),
     ) -> QueryStats {
         self.inner.query_with(engine, band, sink)
+    }
+
+    fn query_stats_scratch(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        scratch: &mut crate::stats::QueryScratch,
+    ) -> QueryStats {
+        self.inner.query_stats_scratch(engine, band, scratch)
     }
 
     fn index_pages(&self) -> usize {
@@ -346,6 +409,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        use cf_storage::PageId;
+        // 80×80 = 6400 cells — above the work-stealing chunk size, so
+        // the parallel phases actually engage.
+        let field = smooth_field(80);
+        let seq_engine = StorageEngine::in_memory();
+        let seq = IHilbert::build(&seq_engine, &field);
+        for threads in [2usize, 4] {
+            let par_engine = StorageEngine::in_memory();
+            let par = IHilbert::build_with(
+                &par_engine,
+                &field,
+                IHilbertConfig {
+                    build_threads: threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(par.num_subfields(), seq.num_subfields(), "t={threads}");
+            assert_eq!(par.cell_to_pos(), seq.cell_to_pos(), "t={threads}");
+            // The strongest possible check: every page of the two
+            // engines is byte-for-byte equal.
+            assert_eq!(par_engine.num_pages(), seq_engine.num_pages());
+            for p in 0..seq_engine.num_pages() {
+                let a = seq_engine.with_page(PageId(p as u64), |page| *page);
+                let b = par_engine.with_page(PageId(p as u64), |page| *page);
+                assert!(a == b, "page {p} differs at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn parallel_query_matches_sequential() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(32);
@@ -366,6 +460,86 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn frozen_plane_matches_paged_plane() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(32);
+        let paged = IHilbert::build(&engine, &field);
+        let frozen = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                plane: QueryPlane::Frozen,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let lo: f64 = rng.gen_range(-5.0..105.0);
+            let band = Interval::new(lo, lo + rng.gen_range(0.0..20.0));
+            let a = paged.query_stats(&engine, band);
+            let b = frozen.query_stats(&engine, band);
+            assert_eq!(a.cells_examined, b.cells_examined, "band {band}");
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert_eq!(a.num_regions, b.num_regions, "band {band}");
+            assert_eq!(a.filter_nodes, b.filter_nodes, "band {band}");
+            assert_eq!(a.intervals_retrieved, b.intervals_retrieved);
+            assert_eq!(b.filter_pages, 0, "frozen filter reads no pages");
+            assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
+            // The parallel estimation path rides the same frozen filter.
+            let c = frozen.par_query_stats(&engine, band, 3);
+            assert_eq!(c.cells_qualifying, a.cells_qualifying, "band {band}");
+            assert_eq!(c.filter_nodes, a.filter_nodes, "band {band}");
+        }
+    }
+
+    #[test]
+    fn scratch_query_matches_plain_query() {
+        use crate::stats::QueryScratch;
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(24);
+        let ih = IHilbert::build(&engine, &field);
+        let mut scratch = QueryScratch::default();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..25 {
+            let lo: f64 = rng.gen_range(-5.0..105.0);
+            let band = Interval::new(lo, lo + rng.gen_range(0.0..20.0));
+            let a = ih.query_stats(&engine, band);
+            let b = ih.query_stats_scratch(&engine, band, &mut scratch);
+            assert_eq!(a.cells_examined, b.cells_examined, "band {band}");
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert_eq!(a.num_regions, b.num_regions, "band {band}");
+            assert_eq!(a.filter_nodes, b.filter_nodes, "band {band}");
+            assert_eq!(a.intervals_retrieved, b.intervals_retrieved);
+            assert_eq!(a.area.to_bits(), b.area.to_bits(), "area bit-exact");
+        }
+    }
+
+    #[test]
+    fn frozen_plane_stays_current_through_updates() {
+        let engine = StorageEngine::in_memory();
+        let field = smooth_field(12);
+        let mut index = IHilbert::build_with(
+            &engine,
+            &field,
+            IHilbertConfig {
+                plane: QueryPlane::Frozen,
+                ..Default::default()
+            },
+        );
+        // Push one cell far outside the field range: the containing
+        // subfield's tree entry moves, and the frozen copy must follow.
+        let cell = 7;
+        let rec = cf_field::GridCellRecord {
+            vals: [777.0; 4],
+            ..field.cell_record(cell)
+        };
+        index.update_cell(&engine, cell, rec);
+        let stats = index.query_stats(&engine, Interval::new(776.0, 778.0));
+        assert_eq!(stats.cells_qualifying, 1);
+        assert_eq!(stats.filter_pages, 0, "still on the frozen plane");
     }
 
     #[test]

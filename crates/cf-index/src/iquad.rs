@@ -165,6 +165,15 @@ impl<F: FieldModel> ValueIndex for IntervalQuadtree<F> {
         self.inner.query_with(engine, band, sink)
     }
 
+    fn query_stats_scratch(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        scratch: &mut crate::stats::QueryScratch,
+    ) -> QueryStats {
+        self.inner.query_stats_scratch(engine, band, scratch)
+    }
+
     fn index_pages(&self) -> usize {
         self.inner.tree.num_pages()
     }

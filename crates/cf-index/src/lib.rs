@@ -41,6 +41,7 @@ mod ihilbert;
 mod iquad;
 mod linear;
 mod order;
+mod par;
 mod planner;
 mod q1;
 mod sfindex;
@@ -52,13 +53,13 @@ mod volume3d;
 pub use batch::{BatchQueryResult, BatchReport, QueryBatch};
 pub use catalog::PosRecord;
 pub use iall::IAll;
-pub use ihilbert::{CurveChoice, IHilbert, IHilbertConfig, TreeBuild};
+pub use ihilbert::{CurveChoice, IHilbert, IHilbertConfig, QueryPlane, TreeBuild};
 pub use iquad::IntervalQuadtree;
 pub use linear::LinearScan;
-pub use order::{cell_order, CURVE_ORDER};
+pub use order::{cell_order, par_cell_order, CURVE_ORDER};
 pub use planner::{AdaptiveIndex, Plan, SelectivityEstimator};
 pub use q1::{PointIndex, PointQueryStats};
-pub use stats::{QueryStats, ValueIndex};
+pub use stats::{QueryScratch, QueryStats, ValueIndex};
 pub use subfield::{build_subfields, Subfield, SubfieldConfig};
 pub use vector::{vector_linear_scan, VectorIHilbert};
 pub use volume3d::{volume_linear_scan, VolumeIHilbert};

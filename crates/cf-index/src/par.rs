@@ -1,0 +1,172 @@
+//! Work-stealing helpers of the parallel build pipeline.
+//!
+//! The batch executor (`crate::batch`) fans *queries* over scoped
+//! threads with an atomic-cursor work list; this module applies the same
+//! pattern to *building* an index. Two primitives cover the pipeline's
+//! parallel phases:
+//!
+//! * [`par_map_chunks`] — embarrassingly parallel per-cell work (curve
+//!   key extraction, value-interval extraction, record materialization):
+//!   workers claim fixed-size chunks of the input range off an atomic
+//!   cursor and the chunk outputs are stitched back in input order, so
+//!   the result is identical to the sequential map.
+//! * [`par_sort_keyed`] — a deterministic parallel merge sort for the
+//!   `(curve key, cell)` tuples of the cell ordering. All tuples are
+//!   distinct (cell ids are unique), so the sorted sequence is the
+//!   *unique* ascending permutation — any correct sort, parallel or not,
+//!   produces exactly the bytes `sort_unstable` would.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cells claimed per cursor fetch. Large enough to amortize the atomic
+/// and keep each worker streaming, small enough to balance skewed
+/// per-cell costs (TIN cells vary in vertex fan-out).
+pub(crate) const CHUNK: usize = 4096;
+
+/// Maps the index range `0..n` through `f` on `threads` workers and
+/// returns the concatenated outputs in input order.
+///
+/// `f(range, out)` must append exactly one output element per index of
+/// `range`, computed independently of every other index — that is what
+/// makes the stitched result identical to the sequential map.
+pub(crate) fn par_map_chunks<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>, &mut Vec<T>) + Sync,
+{
+    let num_chunks = n.div_ceil(CHUNK);
+    if threads <= 1 || num_chunks <= 1 {
+        let mut out = Vec::with_capacity(n);
+        f(0..n, &mut out);
+        debug_assert_eq!(out.len(), n, "f must produce one output per index");
+        return out;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let tagged: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(num_chunks))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        let range = c * CHUNK..((c + 1) * CHUNK).min(n);
+                        let mut out = Vec::with_capacity(range.len());
+                        f(range, &mut out);
+                        mine.push((c, out));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("build worker panicked"))
+            .collect()
+    });
+
+    let mut parts = tagged;
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(n);
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    debug_assert_eq!(out.len(), n, "f must produce one output per index");
+    out
+}
+
+/// Sorts `(curve key, cell)` tuples ascending with a parallel merge
+/// sort: `threads` contiguous runs are sorted concurrently, then merged
+/// pairwise in rounds (each round's merges write disjoint output slices
+/// on their own threads).
+///
+/// Deterministic by construction — the tuples are pairwise distinct, so
+/// the ascending order is unique and the output equals what
+/// `sort_unstable` produces on one thread.
+pub(crate) fn par_sort_keyed(keyed: &mut Vec<(u64, usize)>, threads: usize) {
+    let n = keyed.len();
+    if threads <= 1 || n < 2 * CHUNK {
+        keyed.sort_unstable();
+        return;
+    }
+
+    let run = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in keyed.chunks_mut(run) {
+            scope.spawn(move || part.sort_unstable());
+        }
+    });
+
+    let mut src = std::mem::take(keyed);
+    let mut dst = vec![(0u64, 0usize); n];
+    let mut width = run;
+    while width < n {
+        std::thread::scope(|scope| {
+            for (out, pair) in dst.chunks_mut(2 * width).zip(src.chunks(2 * width)) {
+                scope.spawn(move || merge_runs(pair, width, out));
+            }
+        });
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+    *keyed = src;
+}
+
+/// Merges the sorted runs `pair[..width]` and `pair[width..]` into `out`
+/// (`pair.len() == out.len()`; a lone run is copied through).
+fn merge_runs(pair: &[(u64, usize)], width: usize, out: &mut [(u64, usize)]) {
+    if pair.len() <= width {
+        out.copy_from_slice(pair);
+        return;
+    }
+    let (a, b) = pair.split_at(width);
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn par_map_equals_sequential_map() {
+        for n in [0usize, 1, CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK + 17] {
+            let want: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+            for threads in [1usize, 2, 3, 8] {
+                let got = par_map_chunks(n, threads, |range, out| {
+                    out.extend(range.map(|i| (i as u64).wrapping_mul(0x9E37)));
+                });
+                assert_eq!(got, want, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_sort_equals_sort_unstable() {
+        let mut rng = StdRng::seed_from_u64(0x50_47);
+        for n in [0usize, 5, 2 * CHUNK, 4 * CHUNK + 311, 10 * CHUNK + 1] {
+            // Heavy key ties stress determinism: ties are broken by the
+            // distinct cell component.
+            let base: Vec<(u64, usize)> = (0..n).map(|i| (rng.gen_range(0..64u64), i)).collect();
+            let mut want = base.clone();
+            want.sort_unstable();
+            for threads in [1usize, 2, 3, 4, 7] {
+                let mut got = base.clone();
+                par_sort_keyed(&mut got, threads);
+                assert_eq!(got, want, "n={n} threads={threads}");
+            }
+        }
+    }
+}

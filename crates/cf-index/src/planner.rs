@@ -142,7 +142,10 @@ pub struct AdaptiveIndex<F: FieldModel> {
 
 impl<F: FieldModel> AdaptiveIndex<F> {
     /// Builds the index and its statistics (64-bucket histogram).
-    pub fn build(engine: &StorageEngine, field: &F) -> Self {
+    pub fn build(engine: &StorageEngine, field: &F) -> Self
+    where
+        F: Sync,
+    {
         let index = IHilbert::build(engine, field);
         let estimator =
             SelectivityEstimator::build((0..field.num_cells()).map(|c| field.cell_interval(c)), 64);

@@ -7,8 +7,8 @@
 use crate::stats::QueryStats;
 use crate::subfield::Subfield;
 use cf_field::FieldModel;
-use cf_geom::{Interval, Polygon};
-use cf_rtree::{bulk_load_str, PagedRTree, RStarTree, RTreeConfig};
+use cf_geom::{Aabb, Interval, Polygon};
+use cf_rtree::{bulk_load_str, FrozenTree, PagedRTree, RStarTree, RTreeConfig};
 use cf_storage::{RecordFile, StorageEngine};
 use std::marker::PhantomData;
 
@@ -22,6 +22,21 @@ pub enum TreeBuild {
     Bulk,
 }
 
+/// Which representation of the interval R\*-tree serves the filtering
+/// step of queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryPlane {
+    /// Search the paged tree through the buffer pool — the paper's
+    /// disk-resident cost model, where filter I/O counts as page reads.
+    #[default]
+    Paged,
+    /// Search a frozen cache-resident flattening of the tree
+    /// ([`cf_rtree::FrozenTree`]): identical answers and visited-node
+    /// counts (`QueryStats::filter_nodes`), but the filter step touches
+    /// no pages, so `QueryStats::filter_pages` reports 0.
+    Frozen,
+}
+
 /// A cell file in subfield order plus the interval tree over subfields.
 pub(crate) struct SubfieldIndex<F: FieldModel> {
     pub(crate) file: RecordFile<F::CellRec>,
@@ -33,6 +48,9 @@ pub(crate) struct SubfieldIndex<F: FieldModel> {
     pub(crate) sf_file: RecordFile<Subfield>,
     /// File position → subfield index.
     pub(crate) pos_to_subfield: Vec<u32>,
+    /// Frozen query plane: when present, the filtering step searches
+    /// this flattened copy of `tree` instead of faulting tree pages.
+    frozen: Option<FrozenTree<1>>,
     _field: PhantomData<fn() -> F>,
 }
 
@@ -69,7 +87,45 @@ impl<F: FieldModel> SubfieldIndex<F> {
         debug_assert_eq!(order.len(), field.num_cells());
         let records: Vec<F::CellRec> = order.iter().map(|&c| field.cell_record(c)).collect();
         let file = RecordFile::create(engine, records);
+        Self::finish(engine, file, subfields, tree_build)
+    }
 
+    /// Parallel [`SubfieldIndex::build`]: record materialization fans
+    /// out over work-stealing chunks and the cell file's pages are
+    /// written by [`RecordFile::create_parallel`]. The page-allocation
+    /// call sequence is identical to the sequential build (cell-file
+    /// run, then tree pages, then subfield catalog), so the resulting
+    /// engine state is byte-identical. The subfield R\*-tree itself is
+    /// built sequentially — it holds one entry per *subfield*, orders of
+    /// magnitude fewer than cells.
+    pub(crate) fn build_par(
+        engine: &StorageEngine,
+        field: &F,
+        order: &[usize],
+        subfields: &[Subfield],
+        tree_build: TreeBuild,
+        threads: usize,
+    ) -> Self
+    where
+        F: Sync,
+    {
+        debug_assert_eq!(order.len(), field.num_cells());
+        let records: Vec<F::CellRec> =
+            crate::par::par_map_chunks(order.len(), threads, |r, out| {
+                out.extend(order[r].iter().map(|&c| field.cell_record(c)));
+            });
+        let file = RecordFile::create_parallel(engine, &records, threads);
+        Self::finish(engine, file, subfields, tree_build)
+    }
+
+    /// Shared tail of both builds: index the subfield intervals and
+    /// persist the catalog.
+    fn finish(
+        engine: &StorageEngine,
+        file: RecordFile<F::CellRec>,
+        subfields: &[Subfield],
+        tree_build: TreeBuild,
+    ) -> Self {
         let config = RTreeConfig::page_sized::<1>();
         let tree = match tree_build {
             TreeBuild::Dynamic => {
@@ -123,7 +179,34 @@ impl<F: FieldModel> SubfieldIndex<F> {
             subfields,
             sf_file,
             pos_to_subfield,
+            frozen: None,
             _field: PhantomData,
+        }
+    }
+
+    /// Enters the frozen query plane: flattens the paged tree into a
+    /// cache-resident [`FrozenTree`] (one pass over its pages) that the
+    /// filtering step searches from then on. Incremental updates that
+    /// mutate the tree re-freeze it automatically.
+    pub(crate) fn freeze(&mut self, engine: &StorageEngine) {
+        self.frozen = Some(self.tree.freeze(engine));
+    }
+
+    /// Runs the filtering step on whichever plane is active, feeding
+    /// every retrieved subfield's record range to `ranges`.
+    fn filter_step(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        ranges: &mut Vec<(u32, u32)>,
+    ) -> cf_rtree::SearchStats {
+        let mut on_hit = |data: u64, mbr: &Aabb<1>| {
+            let sf = Subfield::unpack(data, Interval::new(mbr.lo[0], mbr.hi[0]));
+            ranges.push((sf.start, sf.end));
+        };
+        match &self.frozen {
+            Some(frozen) => frozen.search(&band.into(), &mut on_hit),
+            None => self.tree.search(engine, &band.into(), &mut on_hit),
         }
     }
 
@@ -147,10 +230,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         let mut stats = QueryStats::default();
 
         let mut ranges: Vec<(u32, u32)> = Vec::new();
-        let search = self.tree.search(engine, &band.into(), |data, mbr| {
-            let sf = Subfield::unpack(data, Interval::new(mbr.lo[0], mbr.hi[0]));
-            ranges.push((sf.start, sf.end));
-        });
+        let search = self.filter_step(engine, band, &mut ranges);
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
@@ -248,6 +328,10 @@ impl<F: FieldModel> SubfieldIndex<F> {
             self.tree.insert(engine, new_iv.into(), sf.pack());
             self.subfields[sf_idx].interval = new_iv;
             self.sf_file.put(engine, sf_idx, &self.subfields[sf_idx]);
+            // The frozen plane is a copy of the tree — keep it current.
+            if self.frozen.is_some() {
+                self.freeze(engine);
+            }
         }
     }
 
@@ -259,26 +343,53 @@ impl<F: FieldModel> SubfieldIndex<F> {
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
     ) -> QueryStats {
+        let mut ranges = Vec::new();
+        let mut runs = Vec::new();
+        self.query_impl(engine, band, &mut ranges, &mut runs, sink)
+    }
+
+    /// [`SubfieldIndex::query_with`] minus region geometry, reusing the
+    /// caller's scratch buffers (the batch executor's hot loop).
+    pub(crate) fn query_stats_scratch(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        scratch: &mut crate::stats::QueryScratch,
+    ) -> QueryStats {
+        let crate::stats::QueryScratch { ranges, runs, .. } = scratch;
+        self.query_impl(engine, band, ranges, runs, &mut |_| {})
+    }
+
+    fn query_impl(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        ranges: &mut Vec<(u32, u32)>,
+        runs: &mut Vec<std::ops::Range<usize>>,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> QueryStats {
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         // Step 1 (filtering): subfields whose interval intersects w.
-        let mut ranges: Vec<(u32, u32)> = Vec::new();
-        let search = self.tree.search(engine, &band.into(), |data, mbr| {
-            let sf = Subfield::unpack(data, Interval::new(mbr.lo[0], mbr.hi[0]));
-            ranges.push((sf.start, sf.end));
-        });
+        ranges.clear();
+        let search = self.filter_step(engine, band, ranges);
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
 
         // Step 2 (estimation): read the contiguous cell runs, merging
-        // adjacent subfields and visiting every data page exactly once.
-        let runs: Vec<std::ops::Range<usize>> = coalesce_ranges(ranges)
-            .into_iter()
-            .map(|(s, e)| s as usize..e as usize)
-            .collect();
-        self.file.for_each_in_ranges(engine, &runs, |_, rec| {
+        // adjacent subfields and visiting every data page exactly once
+        // (same merge rule as `coalesce_ranges`, building runs in place).
+        ranges.sort_unstable();
+        runs.clear();
+        for &(s, e) in ranges.iter() {
+            match runs.last_mut() {
+                Some(last) if s as usize <= last.end => last.end = last.end.max(e as usize),
+                _ => runs.push(s as usize..e as usize),
+            }
+        }
+        self.file.for_each_in_ranges(engine, runs, |_, rec| {
             stats.cells_examined += 1;
             if F::record_interval(&rec).intersects(band) {
                 stats.cells_qualifying += 1;

@@ -29,6 +29,24 @@ pub struct QueryStats {
     pub io: IoStats,
 }
 
+/// Reusable buffers for the query hot path.
+///
+/// Every query allocates a handful of transient vectors (retrieved
+/// ranges, coalesced runs, candidate lists). A caller running many
+/// queries — the batch executor gives each worker thread one of these —
+/// can pass the same scratch to [`ValueIndex::query_stats_scratch`] so
+/// those vectors keep their capacity from query to query instead of
+/// being reallocated.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Retrieved `[start, end)` record ranges (subfield filter step).
+    pub(crate) ranges: Vec<(u32, u32)>,
+    /// Coalesced record runs handed to the estimation step.
+    pub(crate) runs: Vec<std::ops::Range<usize>>,
+    /// Candidate payloads (I-All's per-cell filter step).
+    pub(crate) candidates: Vec<u64>,
+}
+
 /// A value-domain index over one field, queryable by value interval.
 ///
 /// Implementations own their cell file and index pages inside a shared
@@ -50,6 +68,20 @@ pub trait ValueIndex: Send + Sync {
     /// Runs the query and discards region geometry (keeps area/counts).
     fn query_stats(&self, engine: &StorageEngine, band: Interval) -> QueryStats {
         self.query_with(engine, band, &mut |_| {})
+    }
+
+    /// Like [`ValueIndex::query_stats`], but reusing caller-provided
+    /// scratch buffers across calls. Answers and statistics are
+    /// identical; only the transient allocations differ. The default
+    /// implementation ignores the scratch — indexes with allocating hot
+    /// paths override it.
+    fn query_stats_scratch(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        _scratch: &mut QueryScratch,
+    ) -> QueryStats {
+        self.query_stats(engine, band)
     }
 
     /// Runs the query and collects the answer regions.

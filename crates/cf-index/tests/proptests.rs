@@ -8,7 +8,8 @@ use cf_index::{
     ValueIndex,
 };
 use cf_sfc::Curve;
-use cf_storage::StorageEngine;
+use cf_storage::{PageId, StorageEngine};
+use cf_workload::noise::urban_noise_tin;
 use proptest::prelude::*;
 
 /// Arbitrary small grid fields: dimensions 2..=9 vertices, values from a
@@ -22,6 +23,71 @@ fn grid_field() -> impl Strategy<Value = GridField> {
 
 fn band() -> impl Strategy<Value = Interval> {
     (-120.0..120.0f64, 0.0..80.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+/// Grid fields large enough that the parallel build's chunked phases
+/// sometimes engage for real (> one 4096-cell chunk) and sometimes take
+/// the sequential fallback — both must be byte-identical.
+fn grid_field_large() -> impl Strategy<Value = GridField> {
+    (16usize..72).prop_flat_map(|vw| {
+        prop::collection::vec(-100.0..100.0f64, vw * vw)
+            .prop_map(move |values| GridField::from_values(vw, vw, values))
+    })
+}
+
+/// Builds the index sequentially and with `threads` workers on separate
+/// engines and requires the two engines to be byte-for-byte equal.
+fn assert_parallel_build_identical<F: FieldModel + Sync>(field: &F, curve: Curve, threads: usize) {
+    let mk = |build_threads| {
+        let engine = StorageEngine::in_memory();
+        let index = IHilbert::build_with(
+            &engine,
+            field,
+            IHilbertConfig {
+                curve: CurveChoice(curve),
+                build_threads,
+                ..Default::default()
+            },
+        );
+        (engine, index)
+    };
+    let (seq_engine, seq) = mk(1);
+    let (par_engine, par) = mk(threads);
+    assert_eq!(
+        par.num_subfields(),
+        seq.num_subfields(),
+        "{curve:?} t={threads}"
+    );
+    assert_eq!(par_engine.num_pages(), seq_engine.num_pages());
+    for p in 0..seq_engine.num_pages() {
+        let a = seq_engine.with_page(PageId(p as u64), |page| *page);
+        let b = par_engine.with_page(PageId(p as u64), |page| *page);
+        assert!(a == b, "page {p} differs ({curve:?}, {threads} threads)");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_build_is_byte_identical_on_grids(
+        field in grid_field_large(),
+        curve_idx in 0usize..4,
+        threads in 2usize..6,
+    ) {
+        assert_parallel_build_identical(&field, Curve::ALL[curve_idx], threads);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_on_tins(
+        tris in 60usize..500,
+        seed in any::<u64>(),
+        curve_idx in 0usize..4,
+        threads in 2usize..6,
+    ) {
+        let field = urban_noise_tin(tris, seed);
+        assert_parallel_build_identical(&field, Curve::ALL[curve_idx], threads);
+    }
 }
 
 proptest! {

@@ -24,6 +24,10 @@
 //! * [`PagedRTree`] — the tree serialized to 4 KiB pages of a
 //!   [`cf_storage::StorageEngine`]; searches fault node pages through
 //!   the buffer pool so query cost is measured in real page accesses.
+//! * [`FrozenTree`] — a read-optimized flattening of a built tree into
+//!   contiguous cache-aligned SoA arrays (separate `lo[]`/`hi[]` lanes,
+//!   implicit child offsets, branchless chunked leaf scan) for serving
+//!   queries out of memory while keeping the same visit counts.
 
 //!
 //! # Example
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod bulk;
+mod frozen;
 mod knn;
 mod node;
 mod paged;
@@ -59,6 +64,7 @@ mod split;
 mod tree;
 
 pub use bulk::bulk_load_str;
+pub use frozen::FrozenTree;
 pub use knn::Neighbor;
 pub use node::{ChildRef, Node, NodeEntry};
 pub use paged::PagedRTree;

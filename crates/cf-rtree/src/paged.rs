@@ -199,6 +199,13 @@ impl<const N: usize> PagedRTree<N> {
         self.height
     }
 
+    /// Flattens this tree into a [`crate::FrozenTree`] for cache-resident
+    /// query serving, reading each node page once. Shorthand for
+    /// [`crate::FrozenTree::from_paged`].
+    pub fn freeze(&self, engine: &StorageEngine) -> crate::FrozenTree<N> {
+        crate::FrozenTree::from_paged(engine, self)
+    }
+
     /// Pages occupied by the index (its disk size).
     pub fn num_pages(&self) -> usize {
         self.num_pages
@@ -499,9 +506,21 @@ impl<const N: usize> PagedRTree<N> {
 
     /// Collects the payloads of all entries intersecting `query`.
     pub fn search_collect(&self, engine: &StorageEngine, query: &Aabb<N>) -> Vec<u64> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.len.min(64));
         self.search(engine, query, |d, _| out.push(d));
         out
+    }
+
+    /// Reusable-buffer variant of [`PagedRTree::search_collect`]: clears
+    /// `out` and fills it, keeping its capacity across calls.
+    pub fn search_into(
+        &self,
+        engine: &StorageEngine,
+        query: &Aabb<N>,
+        out: &mut Vec<u64>,
+    ) -> SearchStats {
+        out.clear();
+        self.search(engine, query, |d, _| out.push(d))
     }
 }
 

@@ -446,9 +446,19 @@ impl<const N: usize> RStarTree<N> {
 
     /// Collects the payloads of all entries intersecting `query`.
     pub fn search_collect(&self, query: &Aabb<N>) -> Vec<u64> {
-        let mut out = Vec::new();
+        // Pre-size from the tree's population: selective queries stay
+        // cheap (capped) and broad ones avoid regrowth doublings.
+        let mut out = Vec::with_capacity(self.len.min(64));
         self.search(query, |d, _| out.push(d));
         out
+    }
+
+    /// Reusable-buffer variant of [`RStarTree::search_collect`]: clears
+    /// `out` and fills it with the matching payloads, keeping its
+    /// capacity across calls (the batch executor's hot loop).
+    pub fn search_into(&self, query: &Aabb<N>, out: &mut Vec<u64>) -> SearchStats {
+        out.clear();
+        self.search(query, |d, _| out.push(d))
     }
 
     /// Iterates over every `(mbr, data)` pair in the tree.

@@ -2,7 +2,7 @@
 //! under any sequence of inserts and removes.
 
 use cf_geom::Aabb;
-use cf_rtree::{bulk_load_str, PagedRTree, RStarTree, RTreeConfig};
+use cf_rtree::{bulk_load_str, FrozenTree, PagedRTree, RStarTree, RTreeConfig};
 use cf_storage::StorageEngine;
 use proptest::prelude::*;
 
@@ -84,6 +84,52 @@ proptest! {
             a.sort_unstable();
             b.sort_unstable();
             prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn frozen_tree_matches_paged_results_and_visits(
+        items in prop::collection::vec((0.0..100.0f64, 0.0..5.0f64), 0..250),
+        queries in prop::collection::vec((-20.0..120.0f64, 0.0..15.0f64), 1..8),
+        fanout in 4usize..16,
+    ) {
+        let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::new(fanout));
+        for (i, &(lo, w)) in items.iter().enumerate() {
+            tree.insert(Aabb::new([lo], [lo + w]), i as u64);
+        }
+        let engine = StorageEngine::in_memory();
+        let paged = PagedRTree::persist(&tree, &engine);
+        let frozen = paged.freeze(&engine);
+        let from_dynamic = FrozenTree::from_tree(&tree);
+
+        // The random queries plus the edge cases: a zero-width point
+        // probe and a band entirely outside the data range (empty
+        // answer) — both must still agree, node-for-node.
+        let mut qs: Vec<Aabb<1>> = queries
+            .iter()
+            .map(|&(lo, w)| Aabb::new([lo], [lo + w]))
+            .collect();
+        qs.push(Aabb::new([50.0], [50.0]));
+        qs.push(Aabb::new([-1e6], [-1e6 + 1.0]));
+
+        let (mut a, mut b, mut c, mut d) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for q in &qs {
+            let sa = paged.search_into(&engine, q, &mut a);
+            let sb = frozen.search_into(q, &mut b);
+            let sc = from_dynamic.search_into(q, &mut c);
+            tree.search_into(q, &mut d);
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            d.sort_unstable();
+            prop_assert_eq!(&a, &b, "frozen-from-paged results");
+            prop_assert_eq!(&a, &c, "frozen-from-dynamic results");
+            prop_assert_eq!(&a, &d, "dynamic results");
+            // The frozen plane's visited-node count must equal the page
+            // reads the paged filter step would have done.
+            prop_assert_eq!(sa.nodes_visited, sb.nodes_visited);
+            prop_assert_eq!(sb.nodes_visited, sc.nodes_visited);
+            prop_assert_eq!(sb.results, a.len() as u64);
         }
     }
 

@@ -40,6 +40,7 @@ pub struct DiskManager {
     reads: AtomicU64,
     writes: AtomicU64,
     read_latency: Duration,
+    write_latency: Duration,
 }
 
 /// Where the pages live.
@@ -68,12 +69,24 @@ impl DiskManager {
 
     /// Creates an empty disk charging `read_latency` per physical read.
     pub fn with_read_latency(read_latency: Duration) -> Self {
+        Self::with_latency(read_latency, Duration::ZERO)
+    }
+
+    /// Creates an empty disk charging `read_latency` per physical read
+    /// and `write_latency` per physical write.
+    ///
+    /// The write wait happens *before* the page lock is taken, so
+    /// concurrent writers overlap their simulated device time — which is
+    /// what makes the parallel index-build pipeline's chunked record
+    /// writes scale in the disk-resident regime.
+    pub fn with_latency(read_latency: Duration, write_latency: Duration) -> Self {
         Self {
             backing: RwLock::new(Backing::Memory(Vec::new())),
             alloc_lock: Mutex::new(()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             read_latency,
+            write_latency,
         }
     }
 
@@ -98,6 +111,7 @@ impl DiskManager {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             read_latency,
+            write_latency: Duration::ZERO,
         })
     }
 
@@ -175,6 +189,9 @@ impl DiskManager {
     pub fn write_page(&self, id: PageId, buf: &PageBuf) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         tally::count_disk_write();
+        if !self.write_latency.is_zero() {
+            wait_for(self.write_latency);
+        }
         let mut backing = self.backing.write().expect("disk lock poisoned");
         assert!(
             id.index() < backing.num_pages(),
@@ -292,6 +309,18 @@ mod tests {
         let disk = DiskManager::new();
         let mut buf = [0u8; PAGE_SIZE];
         disk.read_page(PageId(7), &mut buf);
+    }
+
+    #[test]
+    fn write_latency_is_charged() {
+        let disk = DiskManager::with_latency(Duration::ZERO, Duration::from_micros(200));
+        let id = disk.allocate();
+        let buf = [0u8; PAGE_SIZE];
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            disk.write_page(id, &buf);
+        }
+        assert!(t0.elapsed() >= Duration::from_micros(1000));
     }
 
     #[test]

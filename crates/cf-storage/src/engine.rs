@@ -16,6 +16,11 @@ pub struct StorageConfig {
     /// `Duration::ZERO` (the default) for correctness tests; benches use a
     /// value modelling the paper's disk-resident setting (see DESIGN.md).
     pub read_latency: Duration,
+    /// Artificial latency charged per physical page write (same model as
+    /// `read_latency`; the wait releases the CPU, so concurrent writers —
+    /// e.g. the parallel build pipeline's record-write phase — overlap
+    /// their simulated device time).
+    pub write_latency: Duration,
 }
 
 impl Default for StorageConfig {
@@ -24,6 +29,7 @@ impl Default for StorageConfig {
             pool_pages: 256,
             pool_shards: 0,
             read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
         }
     }
 }
@@ -52,7 +58,7 @@ impl StorageEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: StorageConfig) -> Self {
         Self {
-            disk: DiskManager::with_read_latency(config.read_latency),
+            disk: DiskManager::with_latency(config.read_latency, config.write_latency),
             pool: config.build_pool(),
         }
     }

@@ -10,6 +10,7 @@
 use crate::{codec, PageBuf, PageId, StorageEngine, PAGE_SIZE};
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A value with a fixed-size on-page encoding.
 pub trait Record: Sized {
@@ -73,6 +74,52 @@ impl<R: Record> RecordFile<R> {
         if in_page > 0 || written_pages == 0 {
             engine.write_page(page, &buf);
         }
+
+        Self {
+            first_page,
+            num_pages,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Parallel variant of [`RecordFile::create`]: allocates the same
+    /// consecutive page run, then `threads` workers claim page indexes
+    /// off an atomic cursor (work-stealing), encode their records into a
+    /// local buffer, and write the page.
+    ///
+    /// Records never span page boundaries, so each page's bytes depend
+    /// only on its own record range plus zero padding — the file is
+    /// **byte-identical** to [`RecordFile::create`] on the same input
+    /// regardless of thread count or scheduling.
+    pub fn create_parallel(engine: &StorageEngine, records: &[R], threads: usize) -> Self
+    where
+        R: Sync,
+    {
+        let len = records.len();
+        let per_page = Self::records_per_page();
+        let num_pages = len.div_ceil(per_page).max(1);
+        let first_page = engine.allocate_run(num_pages);
+
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.clamp(1, num_pages);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let p = cursor.fetch_add(1, Ordering::Relaxed);
+                    if p >= num_pages {
+                        break;
+                    }
+                    let mut buf: PageBuf = [0u8; PAGE_SIZE];
+                    let lo = p * per_page;
+                    let hi = (lo + per_page).min(len);
+                    for (slot, r) in records[lo..hi].iter().enumerate() {
+                        r.encode(&mut buf[slot * R::SIZE..(slot + 1) * R::SIZE]);
+                    }
+                    engine.write_page(PageId(first_page.0 + p as u64), &buf);
+                });
+            }
+        });
 
         Self {
             first_page,
@@ -340,6 +387,30 @@ mod tests {
             let r = file.get(&engine, idx);
             assert_eq!(r.key, idx as u64);
             assert_eq!(r.value, idx as f64 * 0.5);
+        }
+    }
+
+    #[test]
+    fn create_parallel_is_byte_identical_to_create() {
+        // Sizes straddling page boundaries (256 records per page) plus
+        // the empty file; every thread count must reproduce the exact
+        // page bytes of the sequential writer.
+        for n in [0usize, 1, 255, 256, 257, 1000] {
+            let seq_engine = StorageEngine::in_memory();
+            let seq = RecordFile::create(&seq_engine, sample(n));
+            for threads in [1usize, 2, 4, 7] {
+                let par_engine = StorageEngine::in_memory();
+                let par = RecordFile::create_parallel(&par_engine, &sample(n), threads);
+                assert_eq!(par.len(), seq.len());
+                assert_eq!(par.num_pages(), seq.num_pages());
+                assert_eq!(par.first_page(), seq.first_page());
+                assert_eq!(par_engine.num_pages(), seq_engine.num_pages());
+                for p in 0..seq_engine.num_pages() {
+                    let a = seq_engine.with_page(PageId(p as u64), |page| *page);
+                    let b = par_engine.with_page(PageId(p as u64), |page| *page);
+                    assert!(a == b, "page {p} differs (n={n}, threads={threads})");
+                }
+            }
         }
     }
 

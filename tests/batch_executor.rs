@@ -25,7 +25,7 @@ fn sweep(dom: Interval, seed: u64) -> Vec<Interval> {
 
 /// Runs `queries` through the batch executor at several thread counts
 /// and demands byte-identical answers to the sequential loop.
-fn assert_batch_equals_sequential<F: FieldModel>(field: &F, queries: &[Interval]) {
+fn assert_batch_equals_sequential<F: FieldModel + Sync>(field: &F, queries: &[Interval]) {
     let engine = StorageEngine::in_memory();
     let scan = LinearScan::build(&engine, field);
     let iall = IAll::build(&engine, field);

@@ -11,7 +11,7 @@ use contfield::workload::{
 /// scan on `queries`.
 fn assert_all_methods_agree<F>(field: &F, queries: &[Interval])
 where
-    F: FieldModel,
+    F: FieldModel + Sync,
 {
     let engine = StorageEngine::in_memory();
     let scan = LinearScan::build(&engine, field);
