@@ -20,33 +20,39 @@ fn build_cost(c: &mut Criterion) {
     g.bench_function("IHilbert_dynamic", |b| {
         b.iter(|| {
             let engine = StorageEngine::in_memory();
-            std::hint::black_box(IHilbert::build_with(
-                &engine,
-                &field,
-                IHilbertConfig {
-                    tree_build: TreeBuild::Dynamic,
-                    ..Default::default()
-                },
-            ))
+            std::hint::black_box(
+                IHilbert::build_with(
+                    &engine,
+                    &field,
+                    IHilbertConfig {
+                        tree_build: TreeBuild::Dynamic,
+                        ..Default::default()
+                    },
+                )
+                .expect("build"),
+            )
         })
     });
     g.bench_function("IHilbert_bulk", |b| {
         b.iter(|| {
             let engine = StorageEngine::in_memory();
-            std::hint::black_box(IHilbert::build_with(
-                &engine,
-                &field,
-                IHilbertConfig {
-                    tree_build: TreeBuild::Bulk,
-                    ..Default::default()
-                },
-            ))
+            std::hint::black_box(
+                IHilbert::build_with(
+                    &engine,
+                    &field,
+                    IHilbertConfig {
+                        tree_build: TreeBuild::Bulk,
+                        ..Default::default()
+                    },
+                )
+                .expect("build"),
+            )
         })
     });
     g.bench_function("IAll_dynamic", |b| {
         b.iter(|| {
             let engine = StorageEngine::in_memory();
-            std::hint::black_box(IAll::build(&engine, &field))
+            std::hint::black_box(IAll::build(&engine, &field).expect("build"))
         })
     });
     g.finish();

@@ -28,7 +28,8 @@ fn curve_choice(c: &mut Criterion) {
                 curve: CurveChoice(curve),
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         common::bench_method_queries(c, "ablation_curve", &engine, &index, dom, 0.02, 0xAB);
     }
 }
@@ -39,10 +40,10 @@ fn division_strategy(c: &mut Criterion) {
     let engine = config.engine();
     let dom = field.value_domain();
 
-    let ihilbert = IHilbert::build(&engine, &field);
+    let ihilbert = IHilbert::build(&engine, &field).expect("build");
     common::bench_method_queries(c, "ablation_division", &engine, &ihilbert, dom, 0.02, 0xAD);
     for frac in [0.02, 0.1, 0.3] {
-        let iq = IntervalQuadtree::build(&engine, &field, frac * dom.width());
+        let iq = IntervalQuadtree::build(&engine, &field, frac * dom.width()).expect("build");
         let queries = cf_workload::queries::interval_queries(dom, 0.02, 64, 0xAD);
         let cursor = Cell::new(0usize);
         let mut g = c.benchmark_group("ablation_division");
@@ -53,7 +54,7 @@ fn division_strategy(c: &mut Criterion) {
                 let i = cursor.get();
                 cursor.set((i + 1) % queries.len());
                 engine.clear_cache();
-                std::hint::black_box(iq.query_stats(&engine, queries[i]))
+                std::hint::black_box(iq.query_stats(&engine, queries[i]).expect("query"))
             })
         });
         g.finish();
@@ -64,7 +65,7 @@ fn vector_extension(c: &mut Criterion) {
     let field = ocean_field(128, 7);
     let config = common::bench_config();
     let engine = config.engine();
-    let index = VectorIHilbert::build(&engine, &field);
+    let index = VectorIHilbert::build(&engine, &field).expect("build");
     let salmon = cf_geom::Aabb::new([20.0, 12.0], [25.0, 13.0]);
 
     let mut g = c.benchmark_group("vector_field");
@@ -73,7 +74,7 @@ fn vector_extension(c: &mut Criterion) {
     g.bench_function("salmon_query_ihilbert", |b| {
         b.iter(|| {
             engine.clear_cache();
-            std::hint::black_box(index.query_stats(&engine, &salmon))
+            std::hint::black_box(index.query_stats(&engine, &salmon).expect("query"))
         })
     });
     g.finish();
@@ -86,7 +87,7 @@ fn volume_extension(c: &mut Criterion) {
     let field = geology_field(32, 7);
     let config = common::bench_config();
     let engine = config.engine();
-    let index = VolumeIHilbert::build(&engine, &field);
+    let index = VolumeIHilbert::build(&engine, &field).expect("build");
     let dom = {
         // Ore-grade band: top 8 % of the density domain.
         let d = field.value_domain();
@@ -99,7 +100,7 @@ fn volume_extension(c: &mut Criterion) {
     g.bench_function("ore_grade_query_ihilbert_3d", |b| {
         b.iter(|| {
             engine.clear_cache();
-            std::hint::black_box(index.query_stats(&engine, dom))
+            std::hint::black_box(index.query_stats(&engine, dom).expect("query"))
         })
     });
     g.finish();
@@ -114,7 +115,7 @@ fn incremental_updates(c: &mut Criterion) {
     let field = diamond_square(6, 0.7, 3);
     let config = common::bench_config();
     let engine = config.engine();
-    let mut index = IHilbert::build(&engine, &field);
+    let mut index = IHilbert::build(&engine, &field).expect("build");
     let mut rng = StdRng::seed_from_u64(1);
     let n = field.num_cells();
 
@@ -126,7 +127,7 @@ fn incremental_updates(c: &mut Criterion) {
             rec.vals[0] += rng.gen_range(-0.05..0.05);
             let hull = rec.vals.iter().cloned().fold(f64::INFINITY, f64::min);
             std::hint::black_box(hull);
-            index.update_cell(&engine, cell, rec);
+            index.update_cell(&engine, cell, rec).expect("update");
         })
     });
     g.finish();

@@ -20,7 +20,7 @@ fn batch_throughput(c: &mut Criterion) {
         read_latency: Duration::from_millis(1),
         ..StorageConfig::default()
     });
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
     let queries = interval_queries(field.value_domain(), 0.05, 48, 0xBA7C);
 
     let mut g = c.benchmark_group("batch_throughput");

@@ -46,7 +46,7 @@ pub fn bench_method_queries(
                 let i = cursor.get();
                 cursor.set((i + 1) % queries.len());
                 engine.clear_cache();
-                std::hint::black_box(method.query_stats(engine, queries[i]))
+                std::hint::black_box(method.query_stats(engine, queries[i]).expect("query"))
             })
         },
     );

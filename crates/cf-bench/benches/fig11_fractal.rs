@@ -19,9 +19,9 @@ fn fig11(c: &mut Criterion) {
     for h in [0.1, 0.9] {
         let field = diamond_square(7, h, 0xF1C + (h * 10.0) as u64);
         let engine = config.engine();
-        let scan = LinearScan::build(&engine, &field);
-        let iall = IAll::build(&engine, &field);
-        let ihilbert = IHilbert::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let iall = IAll::build(&engine, &field).expect("build");
+        let ihilbert = IHilbert::build(&engine, &field).expect("build");
         let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
         let dom = field.value_domain();
         let group = format!("fig11_fractal_H{h}");

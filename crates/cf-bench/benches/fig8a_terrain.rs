@@ -17,9 +17,9 @@ fn fig8a(c: &mut Criterion) {
     let field = roseburg_standin(7);
     let config = common::bench_config();
     let engine = config.engine();
-    let scan = LinearScan::build(&engine, &field);
-    let iall = IAll::build(&engine, &field);
-    let ihilbert = IHilbert::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
+    let iall = IAll::build(&engine, &field).expect("build");
+    let ihilbert = IHilbert::build(&engine, &field).expect("build");
     let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
     let dom = field.value_domain();
 

@@ -79,12 +79,16 @@ fn rtree(c: &mut Criterion) {
     });
 
     let engine = StorageEngine::in_memory();
-    let paged = PagedRTree::persist(&tree, &engine);
+    let paged = PagedRTree::persist(&tree, &engine).expect("persist");
     g.bench_function("search_paged_cold", |b| {
         b.iter(|| {
             q = (q + 37.77) % 990.0;
             engine.clear_cache();
-            std::hint::black_box(paged.search(&engine, &Aabb::new([q], [q + 5.0]), |_, _| {}))
+            std::hint::black_box(
+                paged
+                    .search(&engine, &Aabb::new([q], [q + 5.0]), |_, _| {})
+                    .expect("search"),
+            )
         })
     });
     g.finish();
@@ -111,14 +115,15 @@ fn storage(c: &mut Criterion) {
             value: i as f64,
         })
         .collect();
-    let file = RecordFile::create(&engine, records);
+    let file = RecordFile::create(&engine, records).expect("create");
     let mut g = c.benchmark_group("storage");
     let mut start = 0usize;
     g.bench_function("range_scan_1000_records_warm", |b| {
         b.iter(|| {
             start = (start + 997) % 99_000;
             let mut acc = 0.0;
-            file.for_each_in_range(&engine, start..start + 1000, |_, r| acc += r.value);
+            file.for_each_in_range(&engine, start..start + 1000, |_, r| acc += r.value)
+                .expect("scan");
             std::hint::black_box(acc)
         })
     });
@@ -127,7 +132,8 @@ fn storage(c: &mut Criterion) {
             start = (start + 997) % 99_000;
             engine.clear_cache();
             let mut acc = 0.0;
-            file.for_each_in_range(&engine, start..start + 1000, |_, r| acc += r.value);
+            file.for_each_in_range(&engine, start..start + 1000, |_, r| acc += r.value)
+                .expect("scan");
             std::hint::black_box(acc)
         })
     });

@@ -218,7 +218,7 @@ fn batch(opts: &Opts) {
         read_latency: Duration::from_micros(latency_us),
         ..StorageConfig::default()
     });
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
     let dom = field.value_domain();
     let queries = interval_queries(dom, 0.05, opts.queries.unwrap_or(48), 0xBA7C);
     eprintln!(
@@ -294,7 +294,7 @@ fn bench(opts: &Opts) {
     );
     let seq_engine = mk_engine();
     let t0 = Instant::now();
-    let seq_index = IHilbert::build(&seq_engine, &field);
+    let seq_index = IHilbert::build(&seq_engine, &field).expect("build");
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     struct BuildPoint {
@@ -314,7 +314,8 @@ fn bench(opts: &Opts) {
                 build_threads: threads,
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let identical = idx.num_subfields() == seq_index.num_subfields()
             && engines_identical(&seq_engine, &engine);
@@ -367,7 +368,7 @@ fn bench(opts: &Opts) {
         for q in queries {
             engine.clear_cache();
             let t0 = Instant::now();
-            let stats = index.query_stats(engine, *q);
+            let stats = index.query_stats(engine, *q).expect("query");
             ms += t0.elapsed().as_secs_f64() * 1e3;
             pages += stats.io.logical_reads();
             fpages += stats.filter_pages;
@@ -400,7 +401,7 @@ fn bench(opts: &Opts) {
             read_latency: Duration::from_micros(read_latency_us),
             ..StorageConfig::default()
         });
-        let mut index = IHilbert::build(&engine, field);
+        let mut index = IHilbert::build(&engine, field).expect("build");
         let batches: Vec<(f64, Vec<Interval>)> = qintervals
             .iter()
             .map(|&qi| (qi, interval_queries(field.value_domain(), qi, nq, 0xF0_2E)))
@@ -409,7 +410,7 @@ fn bench(opts: &Opts) {
             .iter()
             .map(|(_, qs)| measure_plane(&engine, &index, qs))
             .collect();
-        index.freeze(&engine);
+        index.freeze(&engine).expect("freeze");
         for ((qi, qs), paged) in batches.into_iter().zip(paged_sides) {
             let frozen = measure_plane(&engine, &index, &qs);
             assert_eq!(
@@ -474,8 +475,8 @@ fn bench(opts: &Opts) {
     for c in 0..scan_field.num_cells() {
         dynamic.insert(scan_field.cell_interval(c).into(), c as u64);
     }
-    let paged_tree = PagedRTree::persist(&dynamic, &scan_engine);
-    let frozen_tree = paged_tree.freeze(&scan_engine);
+    let paged_tree = PagedRTree::persist(&dynamic, &scan_engine).expect("persist");
+    let frozen_tree = paged_tree.freeze(&scan_engine).expect("freeze");
     let scan_queries: Vec<cf_geom::Aabb<1>> =
         interval_queries(scan_field.value_domain(), 0.02, 64, 0x5CA9)
             .into_iter()
@@ -486,7 +487,9 @@ fn bench(opts: &Opts) {
         // Warm the pool (every tree page cached) before timing.
         let mut out = Vec::new();
         for q in &scan_queries {
-            paged_tree.search_into(&scan_engine, q, &mut out);
+            paged_tree
+                .search_into(&scan_engine, q, &mut out)
+                .expect("search");
         }
     }
     type ScanFn<'a> = Box<dyn FnMut(&cf_geom::Aabb<1>, &mut Vec<u64>) + 'a>;
@@ -506,7 +509,9 @@ fn bench(opts: &Opts) {
         dynamic.search_into(q, out);
     }));
     let (paged_ms, paged_n) = time_ms(Box::new(|q, out| {
-        paged_tree.search_into(&scan_engine, q, out);
+        paged_tree
+            .search_into(&scan_engine, q, out)
+            .expect("search");
     }));
     let (frozen_ms, frozen_n) = time_ms(Box::new(|q, out| {
         frozen_tree.search_into(q, out);
@@ -605,8 +610,8 @@ fn engines_identical(a: &cf_storage::StorageEngine, b: &cf_storage::StorageEngin
         return false;
     }
     (0..a.num_pages()).all(|p| {
-        let pa = a.with_page(PageId(p as u64), |page| *page);
-        let pb = b.with_page(PageId(p as u64), |page| *page);
+        let pa = a.with_page(PageId(p as u64), |page| *page).expect("read");
+        let pb = b.with_page(PageId(p as u64), |page| *page).expect("read");
         pa == pb
     })
 }
@@ -631,7 +636,8 @@ fn ablation(opts: &Opts) {
                 curve: cf_index::CurveChoice(curve),
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         let p = cf_bench::run_method_point(&engine, &idx, 0.02, &queries, &config);
         println!(
             "| {} | {} | {:.0} | {:.2} |",
@@ -663,7 +669,8 @@ fn ablation(opts: &Opts) {
                 },
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         let p = cf_bench::run_method_point(&engine, &idx, 0.02, &queries, &config);
         println!(
             "| {base:.2} | {qlen:.2} | {} | {:.0} |",
@@ -676,7 +683,7 @@ fn ablation(opts: &Opts) {
     println!("| threshold | leaves | mean pages |");
     println!("|---|---|---|");
     for frac in [0.01, 0.05, 0.1, 0.25, 0.5] {
-        let iq = IntervalQuadtree::build(&engine, &field, frac * width);
+        let iq = IntervalQuadtree::build(&engine, &field, frac * width).expect("build");
         let p = cf_bench::run_method_point(&engine, &iq, 0.02, &queries, &config);
         println!(
             "| {frac:.2} | {} | {:.0} |",
@@ -686,7 +693,7 @@ fn ablation(opts: &Opts) {
     }
 
     // Reference points for the table reader.
-    let scan = LinearScan::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
     let p = cf_bench::run_method_point(&engine, &scan, 0.02, &queries, &config);
     println!(
         "\n(LinearScan reference: {:.0} pages, {:.2} ms; {} cells)\n",
@@ -699,8 +706,8 @@ fn ablation(opts: &Opts) {
     {
         use cf_field::CompactGridField;
         let compact_field = CompactGridField::new(&field);
-        let full_idx = IHilbert::build(&engine, &field);
-        let compact_idx = IHilbert::build(&engine, &compact_field);
+        let full_idx = IHilbert::build(&engine, &field).expect("build");
+        let compact_idx = IHilbert::build(&engine, &compact_field).expect("build");
         let pf = cf_bench::run_method_point(&engine, &full_idx, 0.02, &queries, &config);
         let pc = cf_bench::run_method_point(&engine, &compact_idx, 0.02, &queries, &config);
         println!("### ablation — record layout (Qinterval 0.02)\n");
@@ -724,8 +731,8 @@ fn ablation(opts: &Opts) {
     // Adaptive planner: scan fallback for wide bands.
     {
         use cf_index::AdaptiveIndex;
-        let probe = IHilbert::build(&engine, &field);
-        let adaptive = AdaptiveIndex::build(&engine, &field);
+        let probe = IHilbert::build(&engine, &field).expect("build");
+        let adaptive = AdaptiveIndex::build(&engine, &field).expect("build");
         println!("### ablation — adaptive planner (probe vs scan fallback)\n");
         println!("| Qinterval | probe pages | adaptive pages | plan |");
         println!("|---|---|---|---|");

@@ -111,12 +111,12 @@ pub fn run_sweep<F: FieldModel + Sync>(
     config: &ExperimentConfig,
 ) -> SweepResult {
     let engine = config.engine();
-    let scan = LinearScan::build(&engine, field);
-    let iall = IAll::build(&engine, field);
-    let ihilbert = IHilbert::build(&engine, field);
+    let scan = LinearScan::build(&engine, field).expect("build LinearScan");
+    let iall = IAll::build(&engine, field).expect("build I-All");
+    let ihilbert = IHilbert::build(&engine, field).expect("build I-Hilbert");
     let iquad = config.with_iquad.then(|| {
         let dom = field.value_domain();
-        IntervalQuadtree::build(&engine, field, dom.width() / 32.0)
+        IntervalQuadtree::build(&engine, field, dom.width() / 32.0).expect("build I-Quad")
     });
 
     let mut methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
@@ -170,7 +170,7 @@ pub fn run_method_point(
             engine.clear_cache();
         }
         let t0 = Instant::now();
-        let stats = method.query_stats(engine, *q);
+        let stats = method.query_stats(engine, *q).expect("query");
         total_time += t0.elapsed();
         pages += stats.io.logical_reads();
         disk += stats.io.disk_reads;
@@ -271,6 +271,7 @@ pub fn run_batch_scaling(
             QueryBatch::new(queries.to_vec())
                 .threads(threads)
                 .run(engine, method)
+                .expect("batch run")
         })
         .collect()
 }
@@ -364,7 +365,7 @@ mod tests {
             read_latency: Duration::from_millis(3),
             ..StorageConfig::default()
         });
-        let index = IHilbert::build(&engine, &field);
+        let index = IHilbert::build(&engine, &field).expect("build");
         let queries = interval_queries(field.value_domain(), 0.05, 48, 0xBA7C);
 
         let reports = run_batch_scaling(&engine, &index, &queries, &[1, 4]);

@@ -20,7 +20,7 @@
 
 use crate::stats::{QueryStats, ValueIndex};
 use cf_geom::{Interval, Polygon};
-use cf_storage::{IoStats, StorageEngine};
+use cf_storage::{CfResult, IoStats, StorageEngine};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -33,13 +33,16 @@ use std::time::{Duration, Instant};
 /// use cf_geom::Interval;
 /// use cf_storage::StorageEngine;
 ///
+/// # fn main() -> cf_storage::CfResult<()> {
 /// let engine = StorageEngine::in_memory();
 /// let field = GridField::from_values(3, 3, vec![0., 1., 2., 3., 4., 5., 6., 7., 8.]);
-/// let index = IHilbert::build(&engine, &field);
+/// let index = IHilbert::build(&engine, &field)?;
 /// let queries = vec![Interval::new(1.0, 2.0), Interval::new(5.0, 7.0)];
-/// let report = QueryBatch::new(queries).threads(2).run(&engine, &index);
+/// let report = QueryBatch::new(queries).threads(2).run(&engine, &index)?;
 /// assert_eq!(report.results.len(), 2);
 /// assert!(report.total_io().logical_reads() > 0);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct QueryBatch {
@@ -80,7 +83,11 @@ impl QueryBatch {
     /// worker; parallelism is across queries, so the per-query answers
     /// (counts, areas, regions) are identical to calling
     /// [`ValueIndex::query_with`] in a loop.
-    pub fn run(&self, engine: &StorageEngine, index: &dyn ValueIndex) -> BatchReport {
+    ///
+    /// If any query fails (injected fault, corrupt page), the batch
+    /// aborts and returns the first failing worker's error; partial
+    /// results are discarded.
+    pub fn run(&self, engine: &StorageEngine, index: &dyn ValueIndex) -> CfResult<BatchReport> {
         let threads = if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -94,37 +101,55 @@ impl QueryBatch {
 
         let cursor = AtomicUsize::new(0);
         let slots = std::sync::Mutex::new(&mut results);
+        let mut first_err = None;
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    // One scratch per worker: the per-query transient
-                    // vectors keep their capacity across the whole run.
-                    let mut scratch = crate::stats::QueryScratch::default();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&band) = self.queries.get(i) else {
-                            break;
-                        };
-                        let qt0 = Instant::now();
-                        let mut regions = Vec::new();
-                        let stats = if self.collect_regions {
-                            index.query_with(engine, band, &mut |p| regions.push(p))
-                        } else {
-                            index.query_stats_scratch(engine, band, &mut scratch)
-                        };
-                        let result = BatchQueryResult {
-                            band,
-                            stats,
-                            wall: qt0.elapsed(),
-                            regions,
-                        };
-                        slots.lock().expect("batch result lock poisoned")[i] = Some(result);
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| -> CfResult<()> {
+                        // One scratch per worker: the per-query transient
+                        // vectors keep their capacity across the whole run.
+                        let mut scratch = crate::stats::QueryScratch::default();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&band) = self.queries.get(i) else {
+                                break;
+                            };
+                            let qt0 = Instant::now();
+                            let mut regions = Vec::new();
+                            let stats = if self.collect_regions {
+                                index.query_with(engine, band, &mut |p| regions.push(p))?
+                            } else {
+                                index.query_stats_scratch(engine, band, &mut scratch)?
+                            };
+                            let result = BatchQueryResult {
+                                band,
+                                stats,
+                                wall: qt0.elapsed(),
+                                regions,
+                            };
+                            slots.lock().expect("batch result lock poisoned")[i] = Some(result);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
-                });
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
 
-        BatchReport {
+        Ok(BatchReport {
             method: index.name(),
             threads,
             wall: t0.elapsed(),
@@ -132,7 +157,7 @@ impl QueryBatch {
                 .into_iter()
                 .map(|r| r.expect("every query produces a result"))
                 .collect(),
-        }
+        })
     }
 }
 
@@ -271,20 +296,21 @@ mod tests {
     fn batch_matches_sequential_loop_exactly() {
         let engine = StorageEngine::in_memory();
         let field = wavy_field(32);
-        let index = IHilbert::build(&engine, &field);
+        let index = IHilbert::build(&engine, &field).expect("build");
         let queries = bands();
 
         let report = QueryBatch::new(queries.clone())
             .threads(4)
             .collect_regions(true)
-            .run(&engine, &index);
+            .run(&engine, &index)
+            .expect("run");
         assert_eq!(report.results.len(), queries.len());
         assert_eq!(report.threads, 4);
 
         for (i, q) in queries.iter().enumerate() {
             let r = &report.results[i];
             assert_eq!(r.band, *q, "results keep query order");
-            let (want, want_regions) = index.query_regions(&engine, *q);
+            let (want, want_regions) = index.query_regions(&engine, *q).expect("query");
             assert_eq!(r.stats.cells_examined, want.cells_examined);
             assert_eq!(r.stats.cells_qualifying, want.cells_qualifying);
             assert_eq!(r.stats.num_regions, want.num_regions);
@@ -304,20 +330,23 @@ mod tests {
     fn per_query_io_is_exact_under_concurrency() {
         let engine = StorageEngine::in_memory();
         let field = wavy_field(48);
-        let index = IHilbert::build(&engine, &field);
+        let index = IHilbert::build(&engine, &field).expect("build");
         let queries = bands();
 
         // Warm the cache fully, then batch: per-query accounting must
         // show zero disk reads and hits exactly equal to a sequential
         // warm run, even with 8 workers interleaving.
         for q in &queries {
-            index.query_stats(&engine, *q);
+            index.query_stats(&engine, *q).expect("warmup query");
         }
         let warm: Vec<QueryStats> = queries
             .iter()
-            .map(|q| index.query_stats(&engine, *q))
+            .map(|q| index.query_stats(&engine, *q).expect("query"))
             .collect();
-        let report = QueryBatch::new(queries).threads(8).run(&engine, &index);
+        let report = QueryBatch::new(queries)
+            .threads(8)
+            .run(&engine, &index)
+            .expect("run");
         for (r, w) in report.results.iter().zip(&warm) {
             assert_eq!(r.stats.io.disk_reads, 0, "warm batch must not fault");
             assert_eq!(r.stats.io.logical_reads(), w.io.logical_reads());
@@ -330,16 +359,19 @@ mod tests {
     fn single_thread_and_empty_batch_work() {
         let engine = StorageEngine::in_memory();
         let field = wavy_field(8);
-        let index = LinearScan::build(&engine, &field);
+        let index = LinearScan::build(&engine, &field).expect("build");
 
-        let empty = QueryBatch::new(Vec::new()).run(&engine, &index);
+        let empty = QueryBatch::new(Vec::new())
+            .run(&engine, &index)
+            .expect("run");
         assert!(empty.results.is_empty());
         assert_eq!(empty.queries_per_second(), 0.0);
         assert_eq!(empty.total_io(), IoStats::default());
 
         let one = QueryBatch::new(vec![Interval::new(0.0, 5.0)])
             .threads(1)
-            .run(&engine, &index);
+            .run(&engine, &index)
+            .expect("run");
         assert_eq!(one.results.len(), 1);
         assert_eq!(one.threads, 1);
         let display = format!("{one}");
@@ -351,10 +383,11 @@ mod tests {
     fn thread_count_is_capped_by_query_count() {
         let engine = StorageEngine::in_memory();
         let field = wavy_field(8);
-        let index = LinearScan::build(&engine, &field);
+        let index = LinearScan::build(&engine, &field).expect("build");
         let report = QueryBatch::new(vec![Interval::new(0.0, 1.0); 3])
             .threads(16)
-            .run(&engine, &index);
+            .run(&engine, &index)
+            .expect("run");
         assert_eq!(report.threads, 3);
     }
 }

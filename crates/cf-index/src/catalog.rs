@@ -3,9 +3,22 @@
 //!
 //! Everything the index owns already lives on pages — the cell file, the
 //! subfield metadata file, the position-map file and the R\*-tree. The
-//! catalog is one more page recording where each of those starts, plus a
-//! magic/version header; [`IHilbert::save`] writes it and
-//! [`IHilbert::open`] reattaches.
+//! catalog records where each of those starts, plus a magic/version
+//! header; [`IHilbert::save`] writes it and [`IHilbert::open`]
+//! reattaches.
+//!
+//! # Shadow-paged atomic commit
+//!
+//! The catalog occupies a run of **two** pages — two versioned slots.
+//! Each slot carries an epoch counter and a CRC-32 over its contents.
+//! [`IHilbert::save_to`] never overwrites the live slot: it writes the
+//! freshly serialized catalog into the *inactive* slot with
+//! `epoch = live_epoch + 1`. That single page write is the commit point;
+//! a crash (or injected fault) anywhere before it leaves the old slot
+//! untouched, and a torn write of the new slot fails its CRC, so
+//! [`IHilbert::open`] — which picks the highest-epoch slot that
+//! validates — falls back to the previous consistent catalog. See
+//! DESIGN.md §9 for the full protocol and its caveats.
 
 use crate::ihilbert::IHilbert;
 use crate::sfindex::SubfieldIndex;
@@ -13,12 +26,19 @@ use crate::subfield::Subfield;
 use cf_field::FieldModel;
 use cf_rtree::PagedRTree;
 use cf_sfc::Curve;
-use cf_storage::{codec, PageBuf, PageId, Record, RecordFile, StorageEngine, PAGE_SIZE};
+use cf_storage::{
+    checksum, codec, CfError, CfResult, PageBuf, PageId, Record, RecordFile, StorageEngine,
+    PAGE_SIZE,
+};
 
 /// Catalog page magic ("CFIELDB1" in LE bytes).
 const MAGIC: u64 = 0x3142_444C_4549_4643;
-/// Catalog format version.
-const VERSION: u32 = 1;
+/// Catalog format version (2 = two-slot epoch commit).
+const VERSION: u32 = 2;
+/// Number of slot pages a catalog occupies.
+const NUM_SLOTS: u64 = 2;
+/// Bytes covered by the slot checksum (header + payload).
+const CRC_COVER: usize = 100;
 
 /// A `u32` cell→position mapping entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,105 +65,276 @@ fn curve_tag(curve: Curve) -> u32 {
     }
 }
 
-fn curve_from_tag(tag: u32) -> Curve {
+fn curve_from_tag(tag: u32) -> Option<Curve> {
     match tag {
-        0 => Curve::Hilbert,
-        1 => Curve::ZOrder,
-        2 => Curve::GrayCode,
-        3 => Curve::RowMajor,
-        other => panic!("corrupt catalog: unknown curve tag {other}"),
+        0 => Some(Curve::Hilbert),
+        1 => Some(Curve::ZOrder),
+        2 => Some(Curve::GrayCode),
+        3 => Some(Curve::RowMajor),
+        _ => None,
     }
 }
 
+/// One decoded catalog slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    curve: Curve,
+    epoch: u64,
+    cell_first: u64,
+    cell_len: usize,
+    sf_first: u64,
+    sf_len: usize,
+    pos_first: u64,
+    pos_len: usize,
+    t_root: u64,
+    t_height: u32,
+    t_len: u64,
+    t_pages: u64,
+}
+
+fn encode_slot(slot: &Slot) -> PageBuf {
+    let mut buf: PageBuf = [0u8; PAGE_SIZE];
+    let mut off = 0;
+    off = codec::put_u64(&mut buf, off, MAGIC);
+    off = codec::put_u32(&mut buf, off, VERSION);
+    off = codec::put_u32(&mut buf, off, curve_tag(slot.curve));
+    off = codec::put_u64(&mut buf, off, slot.epoch);
+    off = codec::put_u64(&mut buf, off, slot.cell_first);
+    off = codec::put_u64(&mut buf, off, slot.cell_len as u64);
+    off = codec::put_u64(&mut buf, off, slot.sf_first);
+    off = codec::put_u64(&mut buf, off, slot.sf_len as u64);
+    off = codec::put_u64(&mut buf, off, slot.pos_first);
+    off = codec::put_u64(&mut buf, off, slot.pos_len as u64);
+    off = codec::put_u64(&mut buf, off, slot.t_root);
+    off = codec::put_u32(&mut buf, off, slot.t_height);
+    off = codec::put_u64(&mut buf, off, slot.t_len);
+    let end = codec::put_u64(&mut buf, off, slot.t_pages);
+    debug_assert_eq!(end, CRC_COVER);
+    let crc = checksum::crc32(&buf[..CRC_COVER]);
+    codec::put_u32(&mut buf, CRC_COVER, crc);
+    buf
+}
+
+/// Decodes one slot page, validating magic, version, curve tag and the
+/// slot CRC. Every failure is a typed [`CfError::Corrupt`] naming the
+/// slot page and what was wrong with it.
+fn decode_slot(page: PageId, buf: &PageBuf) -> CfResult<Slot> {
+    let mut off = 0;
+    let magic = codec::get_u64(buf, off);
+    off += 8;
+    if magic != MAGIC {
+        return Err(CfError::corrupt(
+            page,
+            format!("not a contfield catalog page (magic {magic:#018x}, expected {MAGIC:#018x})"),
+        ));
+    }
+    let version = codec::get_u32(buf, off);
+    off += 4;
+    if version != VERSION {
+        return Err(CfError::corrupt(
+            page,
+            format!("unsupported catalog version {version} (this build reads version {VERSION})"),
+        ));
+    }
+    let stored_crc = codec::get_u32(buf, CRC_COVER);
+    let computed = checksum::crc32(&buf[..CRC_COVER]);
+    if stored_crc != computed {
+        return Err(CfError::corrupt(
+            page,
+            format!(
+                "catalog slot checksum mismatch (stored {stored_crc:#010x}, computed \
+                 {computed:#010x}) — torn or partial commit"
+            ),
+        ));
+    }
+    let tag = codec::get_u32(buf, off);
+    off += 4;
+    let curve = curve_from_tag(tag).ok_or_else(|| {
+        CfError::corrupt(
+            page,
+            format!("unknown curve tag {tag} (known: 0=Hilbert, 1=ZOrder, 2=GrayCode, 3=RowMajor)"),
+        )
+    })?;
+    let epoch = codec::get_u64(buf, off);
+    off += 8;
+    let cell_first = codec::get_u64(buf, off);
+    off += 8;
+    let cell_len = codec::get_u64(buf, off) as usize;
+    off += 8;
+    let sf_first = codec::get_u64(buf, off);
+    off += 8;
+    let sf_len = codec::get_u64(buf, off) as usize;
+    off += 8;
+    let pos_first = codec::get_u64(buf, off);
+    off += 8;
+    let pos_len = codec::get_u64(buf, off) as usize;
+    off += 8;
+    let t_root = codec::get_u64(buf, off);
+    off += 8;
+    let t_height = codec::get_u32(buf, off);
+    off += 4;
+    let t_len = codec::get_u64(buf, off);
+    off += 8;
+    let t_pages = codec::get_u64(buf, off);
+    Ok(Slot {
+        curve,
+        epoch,
+        cell_first,
+        cell_len,
+        sf_first,
+        sf_len,
+        pos_first,
+        pos_len,
+        t_root,
+        t_height,
+        t_len,
+        t_pages,
+    })
+}
+
+/// Reads and decodes one slot page; any failure (unreadable page,
+/// failed page checksum, bad slot contents) comes back as `Err`.
+fn read_slot(engine: &StorageEngine, page: PageId) -> CfResult<Slot> {
+    engine.try_with_page(page, |buf| decode_slot(page, buf))
+}
+
 impl<F: FieldModel> IHilbert<F> {
-    /// Persists the index catalog, returning the catalog page id (the
-    /// database's "bootstrap" pointer — store it at a known location,
-    /// e.g. page 0, or externally).
+    /// Persists the index catalog into a freshly allocated two-slot
+    /// catalog run, returning its first page id (the database's
+    /// "bootstrap" pointer — store it at a known location, e.g. page 0,
+    /// or externally).
+    pub fn save(&self, engine: &StorageEngine) -> CfResult<PageId> {
+        let catalog = engine.allocate_run(NUM_SLOTS as usize)?;
+        self.save_to(engine, catalog)?;
+        Ok(catalog)
+    }
+
+    /// Persists the index catalog into an existing two-slot catalog run
+    /// (allocated by a previous [`IHilbert::save`]), committing via the
+    /// shadow-slot protocol.
     ///
     /// The cell file, subfield file and tree pages are already on disk;
-    /// this writes the cell→position map plus one catalog page.
-    pub fn save(&self, engine: &StorageEngine) -> PageId {
+    /// this writes the cell→position map to fresh pages, then commits by
+    /// writing the serialized catalog into the slot that is *not*
+    /// currently live. The old catalog stays intact (and wins on
+    /// [`IHilbert::open`]) until that final single-page write lands
+    /// whole.
+    pub fn save_to(&self, engine: &StorageEngine, catalog: PageId) -> CfResult<()> {
+        // Lenient look at both slots: an unreadable or invalid slot is
+        // simply not live. `max_by_key` breaks ties toward slot 1, so a
+        // (never-produced) epoch tie still yields a deterministic pick.
+        let epochs: Vec<Option<u64>> = (0..NUM_SLOTS)
+            .map(|i| {
+                read_slot(engine, PageId(catalog.0 + i))
+                    .ok()
+                    .map(|s| s.epoch)
+            })
+            .collect();
+        let live = epochs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .max_by_key(|&(_, e)| e);
+        let (target, epoch) = match live {
+            Some((live_idx, live_epoch)) => (1 - live_idx as u64, live_epoch + 1),
+            None => (0, 1),
+        };
+
+        // The only index state not already on its own pages: the
+        // cell→position map. Written to fresh pages, never in place, so
+        // the slot still referencing the old copy stays consistent.
         let pos_file = RecordFile::create(
             engine,
             self.cell_to_pos()
                 .iter()
                 .map(|&p| PosRecord(p))
                 .collect::<Vec<_>>(),
-        );
+        )?;
         let inner = self.inner();
         let (t_root, t_height, t_len, t_pages) = inner.tree.to_parts();
-
-        let page = engine.allocate_page();
-        let mut buf: PageBuf = [0u8; PAGE_SIZE];
-        let mut off = 0;
-        off = codec::put_u64(&mut buf, off, MAGIC);
-        off = codec::put_u32(&mut buf, off, VERSION);
-        off = codec::put_u32(&mut buf, off, curve_tag(self.curve()));
-        off = codec::put_u64(&mut buf, off, inner.file.first_page().0);
-        off = codec::put_u64(&mut buf, off, inner.file.len() as u64);
-        off = codec::put_u64(&mut buf, off, inner.sf_file.first_page().0);
-        off = codec::put_u64(&mut buf, off, inner.sf_file.len() as u64);
-        off = codec::put_u64(&mut buf, off, pos_file.first_page().0);
-        off = codec::put_u64(&mut buf, off, pos_file.len() as u64);
-        off = codec::put_u64(&mut buf, off, t_root);
-        off = codec::put_u32(&mut buf, off, t_height);
-        off = codec::put_u64(&mut buf, off, t_len);
-        let _ = codec::put_u64(&mut buf, off, t_pages);
-        engine.write_page(page, &buf);
-        page
+        let slot = Slot {
+            curve: self.curve(),
+            epoch,
+            cell_first: inner.file.first_page().0,
+            cell_len: inner.file.len(),
+            sf_first: inner.sf_file.first_page().0,
+            sf_len: inner.sf_file.len(),
+            pos_first: pos_file.first_page().0,
+            pos_len: pos_file.len(),
+            t_root,
+            t_height,
+            t_len,
+            t_pages,
+        };
+        // Commit point: one full-page write. Torn → CRC mismatch → the
+        // slot is not live and the previous epoch still wins.
+        engine.write_page(PageId(catalog.0 + target), &encode_slot(&slot))
     }
 
     /// Reattaches to an index saved with [`IHilbert::save`] — typically
     /// on a file-backed engine reopened by a new process.
     ///
-    /// # Panics
-    ///
-    /// Panics on a bad magic number or unsupported version (a corrupt
-    /// or foreign catalog page).
-    pub fn open(engine: &StorageEngine, catalog: PageId) -> Self {
-        let buf: PageBuf = engine.with_page(catalog, |p| *p);
-        let mut off = 0;
-        let magic = codec::get_u64(&buf, off);
-        off += 8;
-        assert_eq!(magic, MAGIC, "not a contfield catalog page");
-        let version = codec::get_u32(&buf, off);
-        off += 4;
-        assert_eq!(version, VERSION, "unsupported catalog version");
-        let curve = curve_from_tag(codec::get_u32(&buf, off));
-        off += 4;
-        let cell_first = codec::get_u64(&buf, off);
-        off += 8;
-        let cell_len = codec::get_u64(&buf, off) as usize;
-        off += 8;
-        let sf_first = codec::get_u64(&buf, off);
-        off += 8;
-        let sf_len = codec::get_u64(&buf, off) as usize;
-        off += 8;
-        let pos_first = codec::get_u64(&buf, off);
-        off += 8;
-        let pos_len = codec::get_u64(&buf, off) as usize;
-        off += 8;
-        let t_root = codec::get_u64(&buf, off);
-        off += 8;
-        let t_height = codec::get_u32(&buf, off);
-        off += 4;
-        let t_len = codec::get_u64(&buf, off);
-        off += 8;
-        let t_pages = codec::get_u64(&buf, off);
+    /// Picks the highest-epoch slot that validates (magic, version,
+    /// CRC). Returns [`CfError::Corrupt`] when neither slot holds a
+    /// consistent catalog, or when the winning slot references pages
+    /// past the end of the database (a corrupt length field).
+    pub fn open(engine: &StorageEngine, catalog: PageId) -> CfResult<Self> {
+        let mut winner: Option<Slot> = None;
+        let mut failures: Vec<String> = Vec::new();
+        for i in 0..NUM_SLOTS {
+            match read_slot(engine, PageId(catalog.0 + i)) {
+                Ok(slot) => {
+                    if winner.is_none_or(|w| slot.epoch > w.epoch) {
+                        winner = Some(slot);
+                    }
+                }
+                Err(e) => failures.push(format!("slot {i}: {e}")),
+            }
+        }
+        let Some(slot) = winner else {
+            return Err(CfError::corrupt(
+                catalog,
+                format!("no valid catalog slot ({})", failures.join("; ")),
+            ));
+        };
 
-        let file = RecordFile::<F::CellRec>::open(PageId(cell_first), cell_len);
-        let sf_file = RecordFile::<Subfield>::open(PageId(sf_first), sf_len);
-        let tree = PagedRTree::from_parts(t_root, t_height, t_len, t_pages);
-        let inner = SubfieldIndex::open(engine, file, tree, sf_file);
+        let file = RecordFile::<F::CellRec>::open(PageId(slot.cell_first), slot.cell_len);
+        let sf_file = RecordFile::<Subfield>::open(PageId(slot.sf_first), slot.sf_len);
+        let pos_file = RecordFile::<PosRecord>::open(PageId(slot.pos_first), slot.pos_len);
 
-        let pos_file = RecordFile::<PosRecord>::open(PageId(pos_first), pos_len);
+        // Validate every referenced span against the database size
+        // before reading (or allocating buffers for) any of it: a
+        // corrupt length would otherwise demand absurd memory or fault
+        // unallocated pages one by one.
+        let num_pages = engine.num_pages() as u64;
+        let spans = [
+            ("cell file", slot.cell_first, file.num_pages() as u64),
+            ("subfield file", slot.sf_first, sf_file.num_pages() as u64),
+            ("position map", slot.pos_first, pos_file.num_pages() as u64),
+            ("tree root", slot.t_root, 1),
+        ];
+        for (what, first, len) in spans {
+            if first.saturating_add(len) > num_pages {
+                return Err(CfError::corrupt(
+                    catalog,
+                    format!(
+                        "catalog {what} spans pages {first}..{} but the database has {num_pages} \
+                         pages",
+                        first.saturating_add(len)
+                    ),
+                ));
+            }
+        }
+
+        let tree = PagedRTree::from_parts(slot.t_root, slot.t_height, slot.t_len, slot.t_pages);
+        let inner = SubfieldIndex::open(engine, file, tree, sf_file)?;
         let cell_to_pos: Vec<u32> = pos_file
-            .read_range(engine, 0..pos_len)
+            .read_range(engine, 0..slot.pos_len)?
             .into_iter()
             .map(|r| r.0)
             .collect();
 
-        Self::from_parts(inner, curve, cell_to_pos)
+        Ok(Self::from_parts(inner, slot.curve, cell_to_pos))
     }
 }
 
@@ -170,18 +361,18 @@ mod tests {
     fn save_open_round_trip_in_memory() {
         let engine = StorageEngine::in_memory();
         let field = bumpy_field(24);
-        let built = IHilbert::build(&engine, &field);
-        let catalog = built.save(&engine);
+        let built = IHilbert::build(&engine, &field).expect("build");
+        let catalog = built.save(&engine).expect("save");
 
-        let reopened: IHilbert<GridField> = IHilbert::open(&engine, catalog);
+        let reopened: IHilbert<GridField> = IHilbert::open(&engine, catalog).expect("open");
         assert_eq!(reopened.num_subfields(), built.num_subfields());
         for band in [
             Interval::new(-10.0, 10.0),
             Interval::point(0.0),
             Interval::new(30.0, 40.0),
         ] {
-            let a = built.query_stats(&engine, band);
-            let b = reopened.query_stats(&engine, band);
+            let a = built.query_stats(&engine, band).expect("query");
+            let b = reopened.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert!((a.area - b.area).abs() < 1e-12);
         }
@@ -191,8 +382,9 @@ mod tests {
     fn reopened_index_supports_updates() {
         let engine = StorageEngine::in_memory();
         let field = bumpy_field(12);
-        let catalog = IHilbert::build(&engine, &field).save(&engine);
-        let mut reopened: IHilbert<GridField> = IHilbert::open(&engine, catalog);
+        let built = IHilbert::build(&engine, &field).expect("build");
+        let catalog = built.save(&engine).expect("save");
+        let mut reopened: IHilbert<GridField> = IHilbert::open(&engine, catalog).expect("open");
 
         // Update through the reopened handle and verify against a scan.
         let cell = 17;
@@ -200,37 +392,149 @@ mod tests {
             vals: [500.0; 4],
             ..field.cell_record(cell)
         };
-        reopened.update_cell(&engine, cell, rec);
-        let stats = reopened.query_stats(&engine, Interval::new(499.0, 501.0));
+        reopened.update_cell(&engine, cell, rec).expect("update");
+        let stats = reopened
+            .query_stats(&engine, Interval::new(499.0, 501.0))
+            .expect("query");
         assert_eq!(stats.cells_qualifying, 1);
 
         // A second save/open carries the update forward.
-        let catalog2 = reopened.save(&engine);
-        let third: IHilbert<GridField> = IHilbert::open(&engine, catalog2);
-        let stats = third.query_stats(&engine, Interval::new(499.0, 501.0));
+        let catalog2 = reopened.save(&engine).expect("save");
+        let third: IHilbert<GridField> = IHilbert::open(&engine, catalog2).expect("open");
+        let stats = third
+            .query_stats(&engine, Interval::new(499.0, 501.0))
+            .expect("query");
         assert_eq!(stats.cells_qualifying, 1);
     }
 
     #[test]
-    #[should_panic(expected = "not a contfield catalog")]
-    fn rejects_garbage_page() {
+    fn rejects_garbage_page_with_typed_error() {
         let engine = StorageEngine::in_memory();
-        let page = engine.allocate_page();
-        let _: IHilbert<GridField> = IHilbert::open(&engine, page);
+        let page = engine.allocate_run(2).expect("allocate");
+        let err = IHilbert::<GridField>::open(&engine, page)
+            .map(|_| ())
+            .expect_err("garbage catalog");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(page));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("not a contfield catalog page"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_curve_tag() {
+        let engine = StorageEngine::in_memory();
+        let field = bumpy_field(8);
+        let built = IHilbert::build(&engine, &field).expect("build");
+        let catalog = built.save(&engine).expect("save");
+        // Corrupt the live slot's curve tag and re-seal its CRC so only
+        // the tag validation can reject it.
+        let mut buf = engine.with_page(catalog, |p| *p).expect("read");
+        codec::put_u32(&mut buf, 12, 99);
+        let crc = checksum::crc32(&buf[..CRC_COVER]);
+        codec::put_u32(&mut buf, CRC_COVER, crc);
+        engine.write_page(catalog, &buf).expect("write");
+        // Also clobber the second slot so no fallback exists.
+        engine
+            .write_page(PageId(catalog.0 + 1), &[0u8; PAGE_SIZE])
+            .expect("write");
+        let err = IHilbert::<GridField>::open(&engine, catalog)
+            .map(|_| ())
+            .expect_err("bad curve tag");
+        assert!(err.is_corrupt());
+        assert!(
+            err.to_string().contains("unknown curve tag 99"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_version_from_the_future() {
+        let engine = StorageEngine::in_memory();
+        let field = bumpy_field(8);
+        let built = IHilbert::build(&engine, &field).expect("build");
+        let catalog = built.save(&engine).expect("save");
+        let mut buf = engine.with_page(catalog, |p| *p).expect("read");
+        codec::put_u32(&mut buf, 8, VERSION + 7);
+        let crc = checksum::crc32(&buf[..CRC_COVER]);
+        codec::put_u32(&mut buf, CRC_COVER, crc);
+        engine.write_page(catalog, &buf).expect("write");
+        engine
+            .write_page(PageId(catalog.0 + 1), &[0u8; PAGE_SIZE])
+            .expect("write");
+        let err = IHilbert::<GridField>::open(&engine, catalog)
+            .map(|_| ())
+            .expect_err("future version");
+        assert!(
+            err.to_string().contains("unsupported catalog version"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_spans_past_database_end() {
+        let engine = StorageEngine::in_memory();
+        let field = bumpy_field(8);
+        let built = IHilbert::build(&engine, &field).expect("build");
+        let catalog = built.save(&engine).expect("save");
+        let mut buf = engine.with_page(catalog, |p| *p).expect("read");
+        // cell_len at offset 32: claim an absurd record count.
+        codec::put_u64(&mut buf, 32, u64::MAX / 8);
+        let crc = checksum::crc32(&buf[..CRC_COVER]);
+        codec::put_u32(&mut buf, CRC_COVER, crc);
+        engine.write_page(catalog, &buf).expect("write");
+        engine
+            .write_page(PageId(catalog.0 + 1), &[0u8; PAGE_SIZE])
+            .expect("write");
+        let err = IHilbert::<GridField>::open(&engine, catalog)
+            .map(|_| ())
+            .expect_err("absurd span");
+        assert!(err.is_corrupt());
+        assert!(
+            err.to_string().contains("spans pages"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn save_to_alternates_slots_and_bumps_epochs() {
+        let engine = StorageEngine::in_memory();
+        let field = bumpy_field(8);
+        let built = IHilbert::build(&engine, &field).expect("build");
+        let catalog = built.save(&engine).expect("save");
+        let epoch_of = |page: PageId| read_slot(&engine, page).map(|s| s.epoch);
+        assert_eq!(epoch_of(catalog).expect("slot 0"), 1);
+        assert!(epoch_of(PageId(catalog.0 + 1)).is_err(), "slot 1 unused");
+
+        built.save_to(&engine, catalog).expect("save 2");
+        assert_eq!(epoch_of(catalog).expect("slot 0"), 1, "slot 0 untouched");
+        assert_eq!(epoch_of(PageId(catalog.0 + 1)).expect("slot 1"), 2);
+
+        built.save_to(&engine, catalog).expect("save 3");
+        assert_eq!(epoch_of(catalog).expect("slot 0"), 3, "oldest slot reused");
+        assert_eq!(epoch_of(PageId(catalog.0 + 1)).expect("slot 1"), 2);
+
+        let reopened: IHilbert<GridField> = IHilbert::open(&engine, catalog).expect("open");
+        assert_eq!(reopened.num_subfields(), built.num_subfields());
     }
 
     #[test]
     fn answers_match_scan_after_reopen() {
         let engine = StorageEngine::in_memory();
         let field = bumpy_field(16);
-        let catalog = IHilbert::build(&engine, &field).save(&engine);
-        let scan = LinearScan::build(&engine, &field);
-        let reopened: IHilbert<GridField> = IHilbert::open(&engine, catalog);
+        let catalog = IHilbert::build(&engine, &field)
+            .expect("build")
+            .save(&engine)
+            .expect("save");
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let reopened: IHilbert<GridField> = IHilbert::open(&engine, catalog).expect("open");
         let dom = cf_field::FieldModel::value_domain(&field);
         for t in [0.0, 0.3, 0.7] {
             let band = Interval::new(dom.denormalize(t), dom.denormalize((t + 0.2).min(1.0)));
-            let a = scan.query_stats(&engine, band);
-            let b = reopened.query_stats(&engine, band);
+            let a = scan.query_stats(&engine, band).expect("query");
+            let b = reopened.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying);
             assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
         }

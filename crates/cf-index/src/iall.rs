@@ -11,7 +11,7 @@ use crate::stats::{QueryStats, ValueIndex};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
 use cf_rtree::{FrozenTree, PagedRTree, RStarTree, RTreeConfig};
-use cf_storage::{RecordFile, StorageEngine};
+use cf_storage::{CfResult, RecordFile, StorageEngine};
 use std::marker::PhantomData;
 
 /// One R\*-tree entry per cell: `interval → cell index`.
@@ -28,29 +28,30 @@ impl<F: FieldModel> IAll<F> {
     /// Builds the index: cells in native order plus a page-fanout 1-D
     /// R\*-tree with one entry per cell, built by dynamic R\* insertion
     /// (as the paper's implementation would).
-    pub fn build(engine: &StorageEngine, field: &F) -> Self {
+    pub fn build(engine: &StorageEngine, field: &F) -> CfResult<Self> {
         let n = field.num_cells();
         let records: Vec<F::CellRec> = (0..n).map(|c| field.cell_record(c)).collect();
-        let file = RecordFile::create(engine, records);
+        let file = RecordFile::create(engine, records)?;
 
         let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::page_sized::<1>());
         for cell in 0..n {
             tree.insert(field.cell_interval(cell).into(), cell as u64);
         }
-        let tree = PagedRTree::persist(&tree, engine);
-        Self {
+        let tree = PagedRTree::persist(&tree, engine)?;
+        Ok(Self {
             file,
             tree,
             frozen: None,
             _field: PhantomData,
-        }
+        })
     }
 
     /// Enters the frozen query plane: the filtering step searches a
     /// cache-resident flattening of the interval tree from now on —
     /// identical answers and `filter_nodes`, zero filter-step page reads.
-    pub fn freeze(&mut self, engine: &StorageEngine) {
-        self.frozen = Some(self.tree.freeze(engine));
+    pub fn freeze(&mut self, engine: &StorageEngine) -> CfResult<()> {
+        self.frozen = Some(self.tree.freeze(engine)?);
+        Ok(())
     }
 
     fn query_impl(
@@ -59,7 +60,7 @@ impl<F: FieldModel> IAll<F> {
         band: Interval,
         candidates: &mut Vec<u64>,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
@@ -68,7 +69,7 @@ impl<F: FieldModel> IAll<F> {
         let mut on_hit = |cell: u64, _mbr: &cf_geom::Aabb<1>| candidates.push(cell);
         let search = match &self.frozen {
             Some(frozen) => frozen.search(&band.into(), &mut on_hit),
-            None => self.tree.search(engine, &band.into(), &mut on_hit),
+            None => self.tree.search(engine, &band.into(), &mut on_hit)?,
         };
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = candidates.len();
@@ -78,7 +79,7 @@ impl<F: FieldModel> IAll<F> {
         // locality) and compute exact regions.
         candidates.sort_unstable();
         for &cell in candidates.iter() {
-            let rec = self.file.get(engine, cell as usize);
+            let rec = self.file.get(engine, cell as usize)?;
             stats.cells_examined += 1;
             debug_assert!(F::record_interval(&rec).intersects(band));
             stats.cells_qualifying += 1;
@@ -89,7 +90,7 @@ impl<F: FieldModel> IAll<F> {
             }
         }
         stats.io = cf_storage::thread_io_stats() - before;
-        stats
+        Ok(stats)
     }
 }
 
@@ -103,7 +104,7 @@ impl<F: FieldModel> ValueIndex for IAll<F> {
         engine: &StorageEngine,
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         let mut candidates = Vec::new();
         self.query_impl(engine, band, &mut candidates, sink)
     }
@@ -113,7 +114,7 @@ impl<F: FieldModel> ValueIndex for IAll<F> {
         engine: &StorageEngine,
         band: Interval,
         scratch: &mut crate::stats::QueryScratch,
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         self.query_impl(engine, band, &mut scratch.candidates, &mut |_| {})
     }
 
@@ -151,8 +152,8 @@ mod tests {
     fn matches_linear_scan_answers() {
         let engine = StorageEngine::in_memory();
         let field = ramp_field(12);
-        let scan = LinearScan::build(&engine, &field);
-        let iall = IAll::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let iall = IAll::build(&engine, &field).expect("build");
         assert_eq!(iall.num_intervals(), field.num_cells());
 
         for band in [
@@ -162,8 +163,8 @@ mod tests {
             Interval::new(23.5, 23.6),
             Interval::new(50.0, 60.0), // out of range
         ] {
-            let a = scan.query_stats(&engine, band);
-            let b = iall.query_stats(&engine, band);
+            let a = scan.query_stats(&engine, band).expect("query");
+            let b = iall.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert!((a.area - b.area).abs() < 1e-9, "band {band}");
         }
@@ -174,17 +175,17 @@ mod tests {
         use crate::stats::ValueIndex;
         let engine = StorageEngine::in_memory();
         let field = ramp_field(12);
-        let paged = IAll::build(&engine, &field);
-        let mut frozen = IAll::build(&engine, &field);
-        frozen.freeze(&engine);
+        let paged = IAll::build(&engine, &field).expect("build");
+        let mut frozen = IAll::build(&engine, &field).expect("build");
+        frozen.freeze(&engine).expect("freeze");
         for band in [
             Interval::new(3.0, 5.0),
             Interval::point(7.0),
             Interval::new(-10.0, 100.0),
             Interval::new(50.0, 60.0),
         ] {
-            let a = paged.query_stats(&engine, band);
-            let b = frozen.query_stats(&engine, band);
+            let a = paged.query_stats(&engine, band).expect("query");
+            let b = frozen.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert_eq!(a.filter_nodes, b.filter_nodes, "band {band}");
             assert_eq!(a.intervals_retrieved, b.intervals_retrieved);
@@ -197,8 +198,10 @@ mod tests {
     fn filtering_visits_index_nodes() {
         let engine = StorageEngine::in_memory();
         let field = ramp_field(12);
-        let iall = IAll::build(&engine, &field);
-        let stats = iall.query_stats(&engine, Interval::new(3.0, 4.0));
+        let iall = IAll::build(&engine, &field).expect("build");
+        let stats = iall
+            .query_stats(&engine, Interval::new(3.0, 4.0))
+            .expect("query");
         assert!(stats.filter_nodes >= 1);
         assert!(iall.index_pages() >= 1);
         // Only qualifying cells are examined (unlike LinearScan).

@@ -14,7 +14,7 @@ use crate::subfield::{build_subfields, SubfieldConfig};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
 use cf_sfc::Curve;
-use cf_storage::StorageEngine;
+use cf_storage::{CfResult, StorageEngine};
 
 /// Construction parameters of [`IHilbert`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,7 +60,7 @@ pub struct IHilbert<F: FieldModel> {
 
 impl<F: FieldModel> IHilbert<F> {
     /// Builds the index with paper-default parameters.
-    pub fn build(engine: &StorageEngine, field: &F) -> Self
+    pub fn build(engine: &StorageEngine, field: &F) -> CfResult<Self>
     where
         F: Sync,
     {
@@ -73,7 +73,7 @@ impl<F: FieldModel> IHilbert<F> {
     /// (curve keys, cell ordering, value intervals, record writes) fan
     /// out over scoped worker threads; the resulting index is
     /// byte-identical to the sequential build.
-    pub fn build_with(engine: &StorageEngine, field: &F, config: IHilbertConfig) -> Self
+    pub fn build_with(engine: &StorageEngine, field: &F, config: IHilbertConfig) -> CfResult<Self>
     where
         F: Sync,
     {
@@ -94,15 +94,15 @@ impl<F: FieldModel> IHilbert<F> {
                 &subfields,
                 config.tree_build,
                 threads,
-            );
+            )?;
         } else {
             order = cell_order(field, config.curve.0);
             let intervals: Vec<Interval> = order.iter().map(|&c| field.cell_interval(c)).collect();
             let subfields = build_subfields(&intervals, config.subfield);
-            inner = SubfieldIndex::build(engine, field, &order, &subfields, config.tree_build);
+            inner = SubfieldIndex::build(engine, field, &order, &subfields, config.tree_build)?;
         }
         if config.plane == QueryPlane::Frozen {
-            inner.freeze(engine);
+            inner.freeze(engine)?;
         }
         assert!(
             order.len() <= u32::MAX as usize,
@@ -118,11 +118,11 @@ impl<F: FieldModel> IHilbert<F> {
         for (pos, &cell) in order.iter().enumerate() {
             cell_to_pos[cell] = pos as u32;
         }
-        Self {
+        Ok(Self {
             inner,
             curve: config.curve.0,
             cell_to_pos,
-        }
+        })
     }
 
     /// Number of subfields the cost function produced.
@@ -149,7 +149,11 @@ impl<F: FieldModel> IHilbert<F> {
     /// probe of the cell file, no spatial index) — the fallback path a
     /// reopened database uses when only the value index was persisted.
     /// Prefer [`crate::PointIndex`] for Q1-heavy workloads.
-    pub fn value_at_via_records(&self, engine: &StorageEngine, p: cf_geom::Point2) -> Option<f64> {
+    pub fn value_at_via_records(
+        &self,
+        engine: &StorageEngine,
+        p: cf_geom::Point2,
+    ) -> CfResult<Option<f64>> {
         let mut answer = None;
         self.inner
             .file
@@ -159,8 +163,8 @@ impl<F: FieldModel> IHilbert<F> {
                         answer = Some(v);
                     }
                 }
-            });
-        answer
+            })?;
+        Ok(answer)
     }
 
     pub(crate) fn inner(&self) -> &SubfieldIndex<F> {
@@ -192,8 +196,8 @@ impl<F: FieldModel> IHilbert<F> {
     /// reopened from its catalog ([`IHilbert::open`]), which always
     /// starts on the paged plane. One pass over the tree's pages;
     /// subsequent filter steps touch no pages at all.
-    pub fn freeze(&mut self, engine: &StorageEngine) {
-        self.inner.freeze(engine);
+    pub fn freeze(&mut self, engine: &StorageEngine) -> CfResult<()> {
+        self.inner.freeze(engine)
     }
 
     /// Runs the query with the estimation step parallelized across
@@ -204,7 +208,7 @@ impl<F: FieldModel> IHilbert<F> {
         engine: &StorageEngine,
         band: Interval,
         threads: usize,
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         self.inner.par_query_stats(engine, band, threads)
     }
 
@@ -223,10 +227,15 @@ impl<F: FieldModel> IHilbert<F> {
     /// (out of range or unmapped under non-dense ids), or if a
     /// reopened catalog maps it past the cell file — both would
     /// otherwise rewrite some other cell's record.
-    pub fn update_cell(&mut self, engine: &StorageEngine, cell: usize, record: F::CellRec) {
+    pub fn update_cell(
+        &mut self,
+        engine: &StorageEngine,
+        cell: usize,
+        record: F::CellRec,
+    ) -> CfResult<()> {
         let pos = match self.cell_to_pos.get(cell) {
             Some(&p) if p != u32::MAX => p as usize,
-            _ => panic!(
+            _ => unreachable!(
                 "cell id {cell} is not mapped by this index ({} cells indexed)",
                 self.inner.file.len()
             ),
@@ -236,7 +245,7 @@ impl<F: FieldModel> IHilbert<F> {
             "corrupt catalog: cell {cell} maps to position {pos}, but the cell file holds {} records",
             self.inner.file.len()
         );
-        self.inner.update_record(engine, pos, &record);
+        self.inner.update_record(engine, pos, &record)
     }
 }
 
@@ -253,7 +262,7 @@ impl<F: FieldModel> ValueIndex for IHilbert<F> {
         engine: &StorageEngine,
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         self.inner.query_with(engine, band, sink)
     }
 
@@ -262,7 +271,7 @@ impl<F: FieldModel> ValueIndex for IHilbert<F> {
         engine: &StorageEngine,
         band: Interval,
         scratch: &mut crate::stats::QueryScratch,
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         self.inner.query_stats_scratch(engine, band, scratch)
     }
 
@@ -306,7 +315,7 @@ mod tests {
     fn far_fewer_intervals_than_cells() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(32);
-        let ih = IHilbert::build(&engine, &field);
+        let ih = IHilbert::build(&engine, &field).expect("build");
         assert!(ih.num_subfields() >= 1);
         assert!(
             ih.num_subfields() < field.num_cells() / 2,
@@ -320,14 +329,14 @@ mod tests {
     fn matches_linear_scan_answers() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(24);
-        let scan = LinearScan::build(&engine, &field);
-        let ih = IHilbert::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let ih = IHilbert::build(&engine, &field).expect("build");
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..25 {
             let lo: f64 = rng.gen_range(-5.0..105.0);
             let band = Interval::new(lo, lo + rng.gen_range(0.0..20.0));
-            let a = scan.query_stats(&engine, band);
-            let b = ih.query_stats(&engine, band);
+            let a = scan.query_stats(&engine, band).expect("query");
+            let b = ih.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert!(
                 (a.area - b.area).abs() < 1e-9 * a.area.max(1.0),
@@ -342,13 +351,13 @@ mod tests {
     fn reads_fewer_pages_than_linear_scan_on_selective_query() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(48);
-        let scan = LinearScan::build(&engine, &field);
-        let ih = IHilbert::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let ih = IHilbert::build(&engine, &field).expect("build");
         let band = Interval::new(95.0, 100.0); // only the first bump's peak
         engine.clear_cache();
-        let s = scan.query_stats(&engine, band);
+        let s = scan.query_stats(&engine, band).expect("query");
         engine.clear_cache();
-        let h = ih.query_stats(&engine, band);
+        let h = ih.query_stats(&engine, band).expect("query");
         assert_eq!(s.cells_qualifying, h.cells_qualifying);
         assert!(
             h.io.logical_reads() < s.io.logical_reads() / 2,
@@ -362,7 +371,7 @@ mod tests {
     fn curve_ablation_still_correct() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(16);
-        let scan = LinearScan::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
         for curve in Curve::ALL {
             let idx = IHilbert::build_with(
                 &engine,
@@ -371,10 +380,11 @@ mod tests {
                     curve: CurveChoice(curve),
                     ..Default::default()
                 },
-            );
+            )
+            .expect("build");
             let band = Interval::new(20.0, 40.0);
-            let a = scan.query_stats(&engine, band);
-            let b = idx.query_stats(&engine, band);
+            let a = scan.query_stats(&engine, band).expect("query");
+            let b = idx.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "curve {curve:?}");
             assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
         }
@@ -391,7 +401,8 @@ mod tests {
                 tree_build: TreeBuild::Dynamic,
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         let bulk = IHilbert::build_with(
             &engine,
             &field,
@@ -399,10 +410,11 @@ mod tests {
                 tree_build: TreeBuild::Bulk,
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         let band = Interval::new(10.0, 30.0);
-        let a = dynamic.query_stats(&engine, band);
-        let b = bulk.query_stats(&engine, band);
+        let a = dynamic.query_stats(&engine, band).expect("query");
+        let b = bulk.query_stats(&engine, band).expect("query");
         assert_eq!(a.cells_qualifying, b.cells_qualifying);
         assert_eq!(a.cells_examined, b.cells_examined);
         assert!((a.area - b.area).abs() < 1e-9);
@@ -415,7 +427,7 @@ mod tests {
         // the parallel phases actually engage.
         let field = smooth_field(80);
         let seq_engine = StorageEngine::in_memory();
-        let seq = IHilbert::build(&seq_engine, &field);
+        let seq = IHilbert::build(&seq_engine, &field).expect("build");
         for threads in [2usize, 4] {
             let par_engine = StorageEngine::in_memory();
             let par = IHilbert::build_with(
@@ -425,15 +437,20 @@ mod tests {
                     build_threads: threads,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("build");
             assert_eq!(par.num_subfields(), seq.num_subfields(), "t={threads}");
             assert_eq!(par.cell_to_pos(), seq.cell_to_pos(), "t={threads}");
             // The strongest possible check: every page of the two
             // engines is byte-for-byte equal.
             assert_eq!(par_engine.num_pages(), seq_engine.num_pages());
             for p in 0..seq_engine.num_pages() {
-                let a = seq_engine.with_page(PageId(p as u64), |page| *page);
-                let b = par_engine.with_page(PageId(p as u64), |page| *page);
+                let a = seq_engine
+                    .with_page(PageId(p as u64), |page| *page)
+                    .expect("read");
+                let b = par_engine
+                    .with_page(PageId(p as u64), |page| *page)
+                    .expect("read");
                 assert!(a == b, "page {p} differs at {threads} threads");
             }
         }
@@ -443,14 +460,14 @@ mod tests {
     fn parallel_query_matches_sequential() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(32);
-        let ih = IHilbert::build(&engine, &field);
+        let ih = IHilbert::build(&engine, &field).expect("build");
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..15 {
             let lo: f64 = rng.gen_range(-5.0..100.0);
             let band = Interval::new(lo, lo + rng.gen_range(0.0..25.0));
-            let seq = ih.query_stats(&engine, band);
+            let seq = ih.query_stats(&engine, band).expect("query");
             for threads in [1, 2, 4, 7] {
-                let par = ih.par_query_stats(&engine, band, threads);
+                let par = ih.par_query_stats(&engine, band, threads).expect("query");
                 assert_eq!(par.cells_examined, seq.cells_examined, "t={threads}");
                 assert_eq!(par.cells_qualifying, seq.cells_qualifying, "t={threads}");
                 assert_eq!(par.num_regions, seq.num_regions, "t={threads}");
@@ -466,7 +483,7 @@ mod tests {
     fn frozen_plane_matches_paged_plane() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(32);
-        let paged = IHilbert::build(&engine, &field);
+        let paged = IHilbert::build(&engine, &field).expect("build");
         let frozen = IHilbert::build_with(
             &engine,
             &field,
@@ -474,13 +491,14 @@ mod tests {
                 plane: QueryPlane::Frozen,
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let lo: f64 = rng.gen_range(-5.0..105.0);
             let band = Interval::new(lo, lo + rng.gen_range(0.0..20.0));
-            let a = paged.query_stats(&engine, band);
-            let b = frozen.query_stats(&engine, band);
+            let a = paged.query_stats(&engine, band).expect("query");
+            let b = frozen.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_examined, b.cells_examined, "band {band}");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert_eq!(a.num_regions, b.num_regions, "band {band}");
@@ -489,7 +507,7 @@ mod tests {
             assert_eq!(b.filter_pages, 0, "frozen filter reads no pages");
             assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
             // The parallel estimation path rides the same frozen filter.
-            let c = frozen.par_query_stats(&engine, band, 3);
+            let c = frozen.par_query_stats(&engine, band, 3).expect("query");
             assert_eq!(c.cells_qualifying, a.cells_qualifying, "band {band}");
             assert_eq!(c.filter_nodes, a.filter_nodes, "band {band}");
         }
@@ -500,14 +518,16 @@ mod tests {
         use crate::stats::QueryScratch;
         let engine = StorageEngine::in_memory();
         let field = smooth_field(24);
-        let ih = IHilbert::build(&engine, &field);
+        let ih = IHilbert::build(&engine, &field).expect("build");
         let mut scratch = QueryScratch::default();
         let mut rng = StdRng::seed_from_u64(41);
         for _ in 0..25 {
             let lo: f64 = rng.gen_range(-5.0..105.0);
             let band = Interval::new(lo, lo + rng.gen_range(0.0..20.0));
-            let a = ih.query_stats(&engine, band);
-            let b = ih.query_stats_scratch(&engine, band, &mut scratch);
+            let a = ih.query_stats(&engine, band).expect("query");
+            let b = ih
+                .query_stats_scratch(&engine, band, &mut scratch)
+                .expect("query");
             assert_eq!(a.cells_examined, b.cells_examined, "band {band}");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert_eq!(a.num_regions, b.num_regions, "band {band}");
@@ -528,7 +548,8 @@ mod tests {
                 plane: QueryPlane::Frozen,
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         // Push one cell far outside the field range: the containing
         // subfield's tree entry moves, and the frozen copy must follow.
         let cell = 7;
@@ -536,8 +557,10 @@ mod tests {
             vals: [777.0; 4],
             ..field.cell_record(cell)
         };
-        index.update_cell(&engine, cell, rec);
-        let stats = index.query_stats(&engine, Interval::new(776.0, 778.0));
+        index.update_cell(&engine, cell, rec).expect("update");
+        let stats = index
+            .query_stats(&engine, Interval::new(776.0, 778.0))
+            .expect("query");
         assert_eq!(stats.cells_qualifying, 1);
         assert_eq!(stats.filter_pages, 0, "still on the frozen plane");
     }
@@ -547,7 +570,7 @@ mod tests {
         use cf_field::GridField;
         let engine = StorageEngine::in_memory();
         let mut field = smooth_field(24);
-        let mut index = IHilbert::build(&engine, &field);
+        let mut index = IHilbert::build(&engine, &field).expect("build");
         let mut rng = StdRng::seed_from_u64(77);
 
         // Mutate 60 random vertices; push the changed cells into the
@@ -570,17 +593,19 @@ mod tests {
             for cy in y.saturating_sub(1)..=y.min(ch - 1) {
                 for cx in x.saturating_sub(1)..=x.min(cw - 1) {
                     let cell = field.cell_index(cx, cy);
-                    index.update_cell(&engine, cell, field.cell_record(cell));
+                    index
+                        .update_cell(&engine, cell, field.cell_record(cell))
+                        .expect("update");
                 }
             }
         }
 
-        let scan = LinearScan::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
         for _ in 0..15 {
             let lo: f64 = rng.gen_range(-60.0..150.0);
             let band = Interval::new(lo, lo + rng.gen_range(0.0..30.0));
-            let a = scan.query_stats(&engine, band);
-            let b = index.query_stats(&engine, band);
+            let a = scan.query_stats(&engine, band).expect("query");
+            let b = index.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert!(
                 (a.area - b.area).abs() < 1e-9 * a.area.max(1.0),
@@ -596,9 +621,9 @@ mod tests {
     fn update_rejects_out_of_range_cell_id() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(4);
-        let mut index = IHilbert::build(&engine, &field);
+        let mut index = IHilbert::build(&engine, &field).expect("build");
         let rec = field.cell_record(0);
-        index.update_cell(&engine, field.num_cells() + 5, rec);
+        let _ = index.update_cell(&engine, field.num_cells() + 5, rec);
     }
 
     #[test]
@@ -609,29 +634,31 @@ mod tests {
         // redirect the update to position 0.
         let engine = StorageEngine::in_memory();
         let field = smooth_field(4);
-        let built = IHilbert::build(&engine, &field);
+        let built = IHilbert::build(&engine, &field).expect("build");
         let mut sparse = built.cell_to_pos().to_vec();
         let hole = 3;
         sparse[hole] = u32::MAX;
         let mut index: IHilbert<cf_field::GridField> =
             IHilbert::from_parts(built.into_inner(), Curve::Hilbert, sparse);
         let rec = field.cell_record(hole);
-        index.update_cell(&engine, hole, rec);
+        let _ = index.update_cell(&engine, hole, rec);
     }
 
     #[test]
     fn update_that_shrinks_interval_keeps_answers_exact() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(8);
-        let mut index = IHilbert::build(&engine, &field);
+        let mut index = IHilbert::build(&engine, &field).expect("build");
         // Flatten one cell to a constant far outside the field range.
         let cell = 13;
         let rec = cf_field::GridCellRecord {
             vals: [999.0; 4],
             ..field.cell_record(cell)
         };
-        index.update_cell(&engine, cell, rec);
-        let stats = index.query_stats(&engine, Interval::new(998.0, 1000.0));
+        index.update_cell(&engine, cell, rec).expect("update");
+        let stats = index
+            .query_stats(&engine, Interval::new(998.0, 1000.0))
+            .expect("query");
         assert_eq!(stats.cells_qualifying, 1);
         assert!((stats.area - 1.0).abs() < 1e-9, "whole cell qualifies");
     }

@@ -18,7 +18,7 @@ use crate::stats::{QueryStats, ValueIndex};
 use crate::subfield::Subfield;
 use cf_field::FieldModel;
 use cf_geom::{Aabb, Interval, Polygon};
-use cf_storage::StorageEngine;
+use cf_storage::{CfResult, StorageEngine};
 
 /// Hard recursion cap: guards against non-termination when many cell
 /// centroids coincide.
@@ -34,7 +34,7 @@ impl<F: FieldModel> IntervalQuadtree<F> {
     /// Builds the index with the given interval-size threshold
     /// (absolute, in value units: a leaf subspace is not divided further
     /// once the width of its value interval is at most `threshold`).
-    pub fn build(engine: &StorageEngine, field: &F, threshold: f64) -> Self {
+    pub fn build(engine: &StorageEngine, field: &F, threshold: f64) -> CfResult<Self> {
         assert!(threshold >= 0.0, "threshold must be non-negative");
         let n = field.num_cells();
         assert!(
@@ -64,8 +64,8 @@ impl<F: FieldModel> IntervalQuadtree<F> {
         );
         debug_assert_eq!(order.len(), n);
 
-        let inner = SubfieldIndex::build(engine, field, &order, &subfields, TreeBuild::Dynamic);
-        Self { inner, threshold }
+        let inner = SubfieldIndex::build(engine, field, &order, &subfields, TreeBuild::Dynamic)?;
+        Ok(Self { inner, threshold })
     }
 
     /// The division threshold used at build time.
@@ -161,7 +161,7 @@ impl<F: FieldModel> ValueIndex for IntervalQuadtree<F> {
         engine: &StorageEngine,
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         self.inner.query_with(engine, band, sink)
     }
 
@@ -170,7 +170,7 @@ impl<F: FieldModel> ValueIndex for IntervalQuadtree<F> {
         engine: &StorageEngine,
         band: Interval,
         scratch: &mut crate::stats::QueryScratch,
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         self.inner.query_stats_scratch(engine, band, scratch)
     }
 
@@ -209,14 +209,14 @@ mod tests {
     fn matches_linear_scan() {
         let engine = StorageEngine::in_memory();
         let field = ramp(16);
-        let scan = LinearScan::build(&engine, &field);
-        let iq = IntervalQuadtree::build(&engine, &field, 4.0);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let iq = IntervalQuadtree::build(&engine, &field, 4.0).expect("build");
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let lo: f64 = rng.gen_range(-2.0..34.0);
             let band = Interval::new(lo, lo + rng.gen_range(0.0..6.0));
-            let a = scan.query_stats(&engine, band);
-            let b = iq.query_stats(&engine, band);
+            let a = scan.query_stats(&engine, band).expect("query");
+            let b = iq.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
         }
@@ -226,8 +226,8 @@ mod tests {
     fn threshold_controls_leaf_count() {
         let engine = StorageEngine::in_memory();
         let field = ramp(16);
-        let fine = IntervalQuadtree::build(&engine, &field, 1.0);
-        let coarse = IntervalQuadtree::build(&engine, &field, 100.0);
+        let fine = IntervalQuadtree::build(&engine, &field, 1.0).expect("build");
+        let coarse = IntervalQuadtree::build(&engine, &field, 100.0).expect("build");
         assert!(fine.num_subfields() > coarse.num_subfields());
         // Threshold larger than the whole value domain: one subfield.
         assert_eq!(coarse.num_subfields(), 1);
@@ -240,9 +240,11 @@ mod tests {
         // the recursion.
         let engine = StorageEngine::in_memory();
         let field = ramp(4);
-        let iq = IntervalQuadtree::build(&engine, &field, 0.0);
+        let iq = IntervalQuadtree::build(&engine, &field, 0.0).expect("build");
         assert!(iq.num_subfields() >= 1);
-        let stats = iq.query_stats(&engine, Interval::new(0.0, 10.0));
+        let stats = iq
+            .query_stats(&engine, Interval::new(0.0, 10.0))
+            .expect("query");
         assert!(stats.cells_qualifying > 0);
     }
 }

@@ -7,7 +7,7 @@
 use crate::stats::{QueryStats, ValueIndex};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
-use cf_storage::{RecordFile, StorageEngine};
+use cf_storage::{CfResult, RecordFile, StorageEngine};
 use std::marker::PhantomData;
 
 /// The unindexed baseline: all cells stored in native order, every query
@@ -20,14 +20,14 @@ pub struct LinearScan<F: FieldModel> {
 impl<F: FieldModel> LinearScan<F> {
     /// Writes the field's cells (in native order) into `engine` and
     /// returns the scan-based "index".
-    pub fn build(engine: &StorageEngine, field: &F) -> Self {
+    pub fn build(engine: &StorageEngine, field: &F) -> CfResult<Self> {
         let records: Vec<F::CellRec> = (0..field.num_cells())
             .map(|c| field.cell_record(c))
             .collect();
-        Self {
-            file: RecordFile::create(engine, records),
+        Ok(Self {
+            file: RecordFile::create(engine, records)?,
             _field: PhantomData,
-        }
+        })
     }
 
     /// The underlying cell file.
@@ -46,7 +46,7 @@ impl<F: FieldModel> ValueIndex for LinearScan<F> {
         engine: &StorageEngine,
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
         self.file
@@ -60,9 +60,9 @@ impl<F: FieldModel> ValueIndex for LinearScan<F> {
                         sink(region);
                     }
                 }
-            });
+            })?;
         stats.io = cf_storage::thread_io_stats() - before;
-        stats
+        Ok(stats)
     }
 
     fn index_pages(&self) -> usize {
@@ -98,8 +98,10 @@ mod tests {
     fn scan_examines_every_cell() {
         let engine = StorageEngine::in_memory();
         let field = small_field();
-        let scan = LinearScan::build(&engine, &field);
-        let stats = scan.query_stats(&engine, Interval::new(3.0, 4.0));
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let stats = scan
+            .query_stats(&engine, Interval::new(3.0, 4.0))
+            .expect("query");
         assert_eq!(stats.cells_examined, 16);
         assert!(stats.cells_qualifying > 0);
         assert!(stats.cells_qualifying < 16);
@@ -111,8 +113,10 @@ mod tests {
     fn full_band_covers_domain_area() {
         let engine = StorageEngine::in_memory();
         let field = small_field();
-        let scan = LinearScan::build(&engine, &field);
-        let stats = scan.query_stats(&engine, Interval::new(-1.0, 9.0));
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let stats = scan
+            .query_stats(&engine, Interval::new(-1.0, 9.0))
+            .expect("query");
         assert_eq!(stats.cells_qualifying, 16);
         assert!((stats.area - 16.0).abs() < 1e-9, "area {}", stats.area);
     }
@@ -121,8 +125,10 @@ mod tests {
     fn empty_band_finds_nothing() {
         let engine = StorageEngine::in_memory();
         let field = small_field();
-        let scan = LinearScan::build(&engine, &field);
-        let stats = scan.query_stats(&engine, Interval::new(100.0, 200.0));
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let stats = scan
+            .query_stats(&engine, Interval::new(100.0, 200.0))
+            .expect("query");
         assert_eq!(stats.cells_qualifying, 0);
         assert_eq!(stats.area, 0.0);
         // Still scans everything — that is the point of the baseline.

@@ -18,7 +18,7 @@ use crate::ihilbert::IHilbert;
 use crate::stats::{QueryStats, ValueIndex};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
-use cf_storage::StorageEngine;
+use cf_storage::{CfResult, StorageEngine};
 
 /// Equi-width histogram estimator for interval-intersection queries.
 ///
@@ -142,18 +142,18 @@ pub struct AdaptiveIndex<F: FieldModel> {
 
 impl<F: FieldModel> AdaptiveIndex<F> {
     /// Builds the index and its statistics (64-bucket histogram).
-    pub fn build(engine: &StorageEngine, field: &F) -> Self
+    pub fn build(engine: &StorageEngine, field: &F) -> CfResult<Self>
     where
         F: Sync,
     {
-        let index = IHilbert::build(engine, field);
+        let index = IHilbert::build(engine, field)?;
         let estimator =
             SelectivityEstimator::build((0..field.num_cells()).map(|c| field.cell_interval(c)), 64);
-        Self {
+        Ok(Self {
             index,
             estimator,
             scan_threshold: 0.35,
-        }
+        })
     }
 
     /// Overrides the scan-fallback threshold (fraction of cells).
@@ -188,7 +188,7 @@ impl<F: FieldModel> ValueIndex for AdaptiveIndex<F> {
         engine: &StorageEngine,
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         match self.plan(band) {
             Plan::IndexProbe => self.index.query_with(engine, band, sink),
             Plan::FullScan => {
@@ -208,9 +208,9 @@ impl<F: FieldModel> ValueIndex for AdaptiveIndex<F> {
                                 sink(region);
                             }
                         }
-                    });
+                    })?;
                 stats.io = cf_storage::thread_io_stats() - before;
-                stats
+                Ok(stats)
             }
         }
     }
@@ -302,7 +302,7 @@ mod tests {
     fn planner_routes_by_selectivity() {
         let field = random_field(24, 7);
         let engine = StorageEngine::in_memory();
-        let adaptive = AdaptiveIndex::build(&engine, &field);
+        let adaptive = AdaptiveIndex::build(&engine, &field).expect("build");
         let dom = cf_field::FieldModel::value_domain(&field);
         // Whole domain: must scan. Random-value cells have wide
         // intervals, so even a narrow band stabs many cells; an
@@ -318,8 +318,8 @@ mod tests {
     fn both_plans_return_identical_answers() {
         let field = random_field(16, 11);
         let engine = StorageEngine::in_memory();
-        let scan = LinearScan::build(&engine, &field);
-        let adaptive = AdaptiveIndex::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let adaptive = AdaptiveIndex::build(&engine, &field).expect("build");
         let dom = cf_field::FieldModel::value_domain(&field);
         let mut rng = StdRng::seed_from_u64(13);
         let mut bands: Vec<Interval> = (0..40)
@@ -342,12 +342,85 @@ mod tests {
                 Plan::FullScan => saw_scan = true,
                 Plan::IndexProbe => saw_probe = true,
             }
-            let a = scan.query_stats(&engine, band);
-            let b = adaptive.query_stats(&engine, band);
+            let a = scan.query_stats(&engine, band).expect("query");
+            let b = adaptive.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
         }
         assert!(saw_scan && saw_probe, "test should exercise both plans");
+    }
+
+    #[test]
+    fn plan_selection_at_exact_crossover_is_deterministic() {
+        // A band whose estimated selectivity equals the threshold
+        // exactly must still pick a plan (the planner uses `>=`, so the
+        // tie goes to FullScan) — no panic, no unstable flip-flop.
+        let field = random_field(16, 19);
+        let engine = StorageEngine::in_memory();
+        let adaptive = AdaptiveIndex::build(&engine, &field).expect("build");
+        let dom = cf_field::FieldModel::value_domain(&field);
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut pinned = 0;
+        for _ in 0..200 {
+            let t: f64 = rng.gen();
+            let band = Interval::new(
+                dom.denormalize(t * 0.9),
+                dom.denormalize((t * 0.9 + rng.gen::<f64>() * 0.4).min(1.0)),
+            );
+            let s = adaptive.estimator().estimate_selectivity(band);
+            // Pin the threshold to this band's own selectivity: the band
+            // now sits exactly on the crossover.
+            let at_crossover = AdaptiveIndex::build(&engine, &field)
+                .expect("build")
+                .with_scan_threshold(s.clamp(0.0, 1.0));
+            assert_eq!(
+                at_crossover.plan(band),
+                Plan::FullScan,
+                "selectivity == threshold must choose the scan (>= rule), band {band}"
+            );
+            pinned += 1;
+        }
+        assert_eq!(pinned, 200);
+    }
+
+    #[test]
+    fn answers_identical_on_either_side_of_crossover() {
+        // Force each plan in turn for the same band: threshold just
+        // above the band's selectivity routes to the probe, just below
+        // (or equal) routes to the scan. Answers must match exactly.
+        let field = random_field(16, 23);
+        let engine = StorageEngine::in_memory();
+        let base = AdaptiveIndex::build(&engine, &field).expect("build");
+        let dom = cf_field::FieldModel::value_domain(&field);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let t: f64 = rng.gen();
+            let band = Interval::new(
+                dom.denormalize(t * 0.8),
+                dom.denormalize((t * 0.8 + 0.15).min(1.0)),
+            );
+            let s = base.estimator().estimate_selectivity(band);
+            let as_probe = AdaptiveIndex::build(&engine, &field)
+                .expect("build")
+                .with_scan_threshold((s + 1e-9).min(1.0));
+            let as_scan = AdaptiveIndex::build(&engine, &field)
+                .expect("build")
+                .with_scan_threshold(s.clamp(0.0, 1.0));
+            if s + 1e-9 <= 1.0 {
+                assert_eq!(as_probe.plan(band), Plan::IndexProbe, "band {band}");
+            }
+            assert_eq!(as_scan.plan(band), Plan::FullScan, "band {band}");
+            let a = as_probe.query_stats(&engine, band).expect("query");
+            let b = as_scan.query_stats(&engine, band).expect("query");
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert_eq!(a.num_regions, b.num_regions, "band {band}");
+            assert!(
+                (a.area - b.area).abs() < 1e-9 * a.area.max(1.0),
+                "band {band}: probe area {} vs scan area {}",
+                a.area,
+                b.area
+            );
+        }
     }
 
     #[test]
@@ -363,18 +436,30 @@ mod tests {
         }
         let field = GridField::from_values(vw, vw, values);
         let engine = StorageEngine::in_memory();
-        let scan = LinearScan::build(&engine, &field);
-        let probe = IHilbert::build(&engine, &field);
-        let adaptive = AdaptiveIndex::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let probe = IHilbert::build(&engine, &field).expect("build");
+        let adaptive = AdaptiveIndex::build(&engine, &field).expect("build");
         let dom = cf_field::FieldModel::value_domain(&field);
         for t in [0.0, 0.2, 0.5, 0.8] {
             let band = Interval::new(dom.denormalize(t), dom.denormalize((t + 0.3).min(1.0)));
             engine.clear_cache();
-            let s = scan.query_stats(&engine, band).io.logical_reads();
+            let s = scan
+                .query_stats(&engine, band)
+                .expect("query")
+                .io
+                .logical_reads();
             engine.clear_cache();
-            let p = probe.query_stats(&engine, band).io.logical_reads();
+            let p = probe
+                .query_stats(&engine, band)
+                .expect("query")
+                .io
+                .logical_reads();
             engine.clear_cache();
-            let a = adaptive.query_stats(&engine, band).io.logical_reads();
+            let a = adaptive
+                .query_stats(&engine, band)
+                .expect("query")
+                .io
+                .logical_reads();
             // The tiny 16-page test field makes fixed index overheads
             // loom large; the bound is correspondingly loose. The
             // figure-scale behaviour is covered by the benches.

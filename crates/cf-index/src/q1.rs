@@ -10,7 +10,7 @@
 use cf_field::FieldModel;
 use cf_geom::{Aabb, Point2};
 use cf_rtree::{PagedRTree, RStarTree, RTreeConfig};
-use cf_storage::{IoStats, RecordFile, StorageEngine};
+use cf_storage::{CfResult, IoStats, RecordFile, StorageEngine};
 use std::marker::PhantomData;
 
 /// Statistics of one point query.
@@ -33,20 +33,20 @@ pub struct PointIndex<F: FieldModel> {
 
 impl<F: FieldModel> PointIndex<F> {
     /// Builds the spatial index (2-D R\*-tree over cell bounding boxes).
-    pub fn build(engine: &StorageEngine, field: &F) -> Self {
+    pub fn build(engine: &StorageEngine, field: &F) -> CfResult<Self> {
         let n = field.num_cells();
         let records: Vec<F::CellRec> = (0..n).map(|c| field.cell_record(c)).collect();
-        let file = RecordFile::create(engine, records);
+        let file = RecordFile::create(engine, records)?;
         let mut tree: RStarTree<2> = RStarTree::new(RTreeConfig::page_sized::<2>());
         for cell in 0..n {
             tree.insert(field.cell_bbox(cell), cell as u64);
         }
-        let tree = PagedRTree::persist(&tree, engine);
-        Self {
+        let tree = PagedRTree::persist(&tree, engine)?;
+        Ok(Self {
             file,
             tree,
             _field: PhantomData,
-        }
+        })
     }
 
     /// Q1 query: the field value at `p`, or `None` outside the domain.
@@ -55,27 +55,31 @@ impl<F: FieldModel> PointIndex<F> {
     /// may have several candidates; the first cell that actually
     /// contains the point answers (their interpolants agree on shared
     /// boundaries because the field is continuous).
-    pub fn value_at(&self, engine: &StorageEngine, p: Point2) -> (Option<f64>, PointQueryStats) {
+    pub fn value_at(
+        &self,
+        engine: &StorageEngine,
+        p: Point2,
+    ) -> CfResult<(Option<f64>, PointQueryStats)> {
         let before = cf_storage::thread_io_stats();
         let mut stats = PointQueryStats::default();
         let query = Aabb::point([p.x, p.y]);
         let mut candidates: Vec<u64> = Vec::new();
         let search = self
             .tree
-            .search(engine, &query, |cell, _| candidates.push(cell));
+            .search(engine, &query, |cell, _| candidates.push(cell))?;
         stats.filter_nodes = search.nodes_visited;
         candidates.sort_unstable();
         stats.candidates = candidates.len();
         let mut answer = None;
         for cell in candidates {
-            let rec = self.file.get(engine, cell as usize);
+            let rec = self.file.get(engine, cell as usize)?;
             if let Some(v) = F::record_value_at(&rec, p) {
                 answer = Some(v);
                 break;
             }
         }
         stats.io = cf_storage::thread_io_stats() - before;
-        (answer, stats)
+        Ok((answer, stats))
     }
 
     /// Pages occupied by the spatial index.
@@ -101,12 +105,12 @@ mod tests {
         }
         let field = GridField::from_values(vw, vw, values);
         let engine = StorageEngine::in_memory();
-        let index = PointIndex::build(&engine, &field);
+        let index = PointIndex::build(&engine, &field).expect("build");
 
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..100 {
             let p = Point2::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0));
-            let (got, stats) = index.value_at(&engine, p);
+            let (got, stats) = index.value_at(&engine, p).expect("query");
             let want = field.value_at(p);
             assert!(stats.candidates >= 1);
             match (got, want) {
@@ -115,7 +119,9 @@ mod tests {
             }
         }
         // Outside the domain.
-        let (got, _) = index.value_at(&engine, Point2::new(100.0, 0.0));
+        let (got, _) = index
+            .value_at(&engine, Point2::new(100.0, 0.0))
+            .expect("query");
         assert_eq!(got, None);
     }
 
@@ -128,11 +134,11 @@ mod tests {
         let values: Vec<f64> = points.iter().map(|p| p.x * 2.0 - p.y).collect();
         let field = TinField::from_samples(&points, values).unwrap();
         let engine = StorageEngine::in_memory();
-        let index = PointIndex::build(&engine, &field);
+        let index = PointIndex::build(&engine, &field).expect("build");
 
         for _ in 0..60 {
             let p = Point2::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
-            let (got, _) = index.value_at(&engine, p);
+            let (got, _) = index.value_at(&engine, p).expect("query");
             let want = field.value_at(p);
             match (got, want) {
                 (Some(g), Some(w)) => assert!((g - w).abs() < 1e-6, "at {p}: {g} vs {w}"),
@@ -148,8 +154,10 @@ mod tests {
         let values = vec![0.0; vw * vw];
         let field = GridField::from_values(vw, vw, values);
         let engine = StorageEngine::in_memory();
-        let index = PointIndex::build(&engine, &field);
-        let (_, stats) = index.value_at(&engine, Point2::new(32.4, 18.7));
+        let index = PointIndex::build(&engine, &field).expect("build");
+        let (_, stats) = index
+            .value_at(&engine, Point2::new(32.4, 18.7))
+            .expect("query");
         assert!(
             (stats.filter_nodes as usize) < index.index_pages() / 4,
             "visited {} of {} index pages",

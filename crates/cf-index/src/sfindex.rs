@@ -9,7 +9,7 @@ use crate::subfield::Subfield;
 use cf_field::FieldModel;
 use cf_geom::{Aabb, Interval, Polygon};
 use cf_rtree::{bulk_load_str, FrozenTree, PagedRTree, RStarTree, RTreeConfig};
-use cf_storage::{RecordFile, StorageEngine};
+use cf_storage::{CfResult, RecordFile, StorageEngine};
 use std::marker::PhantomData;
 
 /// How the subfield R\*-tree is constructed.
@@ -83,10 +83,10 @@ impl<F: FieldModel> SubfieldIndex<F> {
         order: &[usize],
         subfields: &[Subfield],
         tree_build: TreeBuild,
-    ) -> Self {
+    ) -> CfResult<Self> {
         debug_assert_eq!(order.len(), field.num_cells());
         let records: Vec<F::CellRec> = order.iter().map(|&c| field.cell_record(c)).collect();
-        let file = RecordFile::create(engine, records);
+        let file = RecordFile::create(engine, records)?;
         Self::finish(engine, file, subfields, tree_build)
     }
 
@@ -105,7 +105,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         subfields: &[Subfield],
         tree_build: TreeBuild,
         threads: usize,
-    ) -> Self
+    ) -> CfResult<Self>
     where
         F: Sync,
     {
@@ -114,7 +114,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
             crate::par::par_map_chunks(order.len(), threads, |r, out| {
                 out.extend(order[r].iter().map(|&c| field.cell_record(c)));
             });
-        let file = RecordFile::create_parallel(engine, &records, threads);
+        let file = RecordFile::create_parallel(engine, &records, threads)?;
         Self::finish(engine, file, subfields, tree_build)
     }
 
@@ -125,7 +125,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         file: RecordFile<F::CellRec>,
         subfields: &[Subfield],
         tree_build: TreeBuild,
-    ) -> Self {
+    ) -> CfResult<Self> {
         let config = RTreeConfig::page_sized::<1>();
         let tree = match tree_build {
             TreeBuild::Dynamic => {
@@ -143,9 +143,9 @@ impl<F: FieldModel> SubfieldIndex<F> {
                 config,
             ),
         };
-        let tree = PagedRTree::persist(&tree, engine);
-        let sf_file = RecordFile::create(engine, subfields.to_vec());
-        Self::assemble(file, tree, subfields.to_vec(), sf_file)
+        let tree = PagedRTree::persist(&tree, engine)?;
+        let sf_file = RecordFile::create(engine, subfields.to_vec())?;
+        Ok(Self::assemble(file, tree, subfields.to_vec(), sf_file))
     }
 
     /// Reattaches to an index persisted in `engine` from its catalog
@@ -156,9 +156,9 @@ impl<F: FieldModel> SubfieldIndex<F> {
         file: RecordFile<F::CellRec>,
         tree: PagedRTree<1>,
         sf_file: RecordFile<Subfield>,
-    ) -> Self {
-        let subfields = sf_file.read_range(engine, 0..sf_file.len());
-        Self::assemble(file, tree, subfields, sf_file)
+    ) -> CfResult<Self> {
+        let subfields = sf_file.read_range(engine, 0..sf_file.len())?;
+        Ok(Self::assemble(file, tree, subfields, sf_file))
     }
 
     fn assemble(
@@ -188,8 +188,9 @@ impl<F: FieldModel> SubfieldIndex<F> {
     /// cache-resident [`FrozenTree`] (one pass over its pages) that the
     /// filtering step searches from then on. Incremental updates that
     /// mutate the tree re-freeze it automatically.
-    pub(crate) fn freeze(&mut self, engine: &StorageEngine) {
-        self.frozen = Some(self.tree.freeze(engine));
+    pub(crate) fn freeze(&mut self, engine: &StorageEngine) -> CfResult<()> {
+        self.frozen = Some(self.tree.freeze(engine)?);
+        Ok(())
     }
 
     /// Runs the filtering step on whichever plane is active, feeding
@@ -199,13 +200,13 @@ impl<F: FieldModel> SubfieldIndex<F> {
         engine: &StorageEngine,
         band: Interval,
         ranges: &mut Vec<(u32, u32)>,
-    ) -> cf_rtree::SearchStats {
+    ) -> CfResult<cf_rtree::SearchStats> {
         let mut on_hit = |data: u64, mbr: &Aabb<1>| {
             let sf = Subfield::unpack(data, Interval::new(mbr.lo[0], mbr.hi[0]));
             ranges.push((sf.start, sf.end));
         };
         match &self.frozen {
-            Some(frozen) => frozen.search(&band.into(), &mut on_hit),
+            Some(frozen) => Ok(frozen.search(&band.into(), &mut on_hit)),
             None => self.tree.search(engine, &band.into(), &mut on_hit),
         }
     }
@@ -224,13 +225,13 @@ impl<F: FieldModel> SubfieldIndex<F> {
         engine: &StorageEngine,
         band: Interval,
         threads: usize,
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         assert!(threads >= 1, "need at least one thread");
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         let mut ranges: Vec<(u32, u32)> = Vec::new();
-        let search = self.filter_step(engine, band, &mut ranges);
+        let search = self.filter_step(engine, band, &mut ranges)?;
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
@@ -254,11 +255,11 @@ impl<F: FieldModel> SubfieldIndex<F> {
             shares[k].push(r);
         }
 
-        let partials: Vec<QueryStats> = std::thread::scope(|scope| {
+        let partials: Vec<CfResult<QueryStats>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shares
                 .iter()
                 .map(|share| {
-                    scope.spawn(move || {
+                    scope.spawn(move || -> CfResult<QueryStats> {
                         // Worker I/O lands in the worker's thread tally,
                         // so snapshot it here and carry the delta back.
                         let worker_before = cf_storage::thread_io_stats();
@@ -275,18 +276,22 @@ impl<F: FieldModel> SubfieldIndex<F> {
                                     part.area += region.area();
                                 }
                             }
-                        });
+                        })?;
                         part.io = cf_storage::thread_io_stats() - worker_before;
-                        part
+                        Ok(part)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("estimation worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         for p in partials {
+            let p = p?;
             stats.cells_examined += p.cells_examined;
             stats.cells_qualifying += p.cells_qualifying;
             stats.num_regions += p.num_regions;
@@ -297,7 +302,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         // back with the worker partials. The sum is exact per query even
         // while other queries run concurrently on the same engine.
         stats.io = stats.io + (cf_storage::thread_io_stats() - before);
-        stats
+        Ok(stats)
     }
 
     /// Rewrites the cell record at file position `pos` and incrementally
@@ -307,8 +312,8 @@ impl<F: FieldModel> SubfieldIndex<F> {
         engine: &StorageEngine,
         pos: usize,
         record: &F::CellRec,
-    ) {
-        self.file.put(engine, pos, record);
+    ) -> CfResult<()> {
+        self.file.put(engine, pos, record)?;
         let sf_idx = self.pos_to_subfield[pos] as usize;
         let sf = self.subfields[sf_idx];
         // Recompute the subfield interval from its (updated) records.
@@ -320,19 +325,20 @@ impl<F: FieldModel> SubfieldIndex<F> {
                     Some(a) => a.union(iv),
                     None => iv,
                 });
-            });
+            })?;
         let new_iv = new_iv.expect("subfields are non-empty");
         if new_iv != sf.interval {
-            let removed = self.tree.remove(engine, &sf.interval.into(), sf.pack());
+            let removed = self.tree.remove(engine, &sf.interval.into(), sf.pack())?;
             debug_assert!(removed, "stale subfield entry must exist in the tree");
-            self.tree.insert(engine, new_iv.into(), sf.pack());
+            self.tree.insert(engine, new_iv.into(), sf.pack())?;
             self.subfields[sf_idx].interval = new_iv;
-            self.sf_file.put(engine, sf_idx, &self.subfields[sf_idx]);
+            self.sf_file.put(engine, sf_idx, &self.subfields[sf_idx])?;
             // The frozen plane is a copy of the tree — keep it current.
             if self.frozen.is_some() {
-                self.freeze(engine);
+                self.freeze(engine)?;
             }
         }
+        Ok(())
     }
 
     /// The two-step query of §3.2: filter subfields through the R\*-tree,
@@ -342,7 +348,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         engine: &StorageEngine,
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         let mut ranges = Vec::new();
         let mut runs = Vec::new();
         self.query_impl(engine, band, &mut ranges, &mut runs, sink)
@@ -355,7 +361,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         engine: &StorageEngine,
         band: Interval,
         scratch: &mut crate::stats::QueryScratch,
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         let crate::stats::QueryScratch { ranges, runs, .. } = scratch;
         self.query_impl(engine, band, ranges, runs, &mut |_| {})
     }
@@ -367,13 +373,13 @@ impl<F: FieldModel> SubfieldIndex<F> {
         ranges: &mut Vec<(u32, u32)>,
         runs: &mut Vec<std::ops::Range<usize>>,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         // Step 1 (filtering): subfields whose interval intersects w.
         ranges.clear();
-        let search = self.filter_step(engine, band, ranges);
+        let search = self.filter_step(engine, band, ranges)?;
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
@@ -399,8 +405,8 @@ impl<F: FieldModel> SubfieldIndex<F> {
                     sink(region);
                 }
             }
-        });
+        })?;
         stats.io = cf_storage::thread_io_stats() - before;
-        stats
+        Ok(stats)
     }
 }

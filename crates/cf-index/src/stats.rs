@@ -1,7 +1,7 @@
 //! The common query interface and per-query statistics.
 
 use cf_geom::{Interval, Polygon};
-use cf_storage::{IoStats, StorageEngine};
+use cf_storage::{CfResult, IoStats, StorageEngine};
 
 /// Everything a value query reports besides its answer regions.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -58,15 +58,19 @@ pub trait ValueIndex: Send + Sync {
 
     /// Runs the full query pipeline, passing each non-empty answer
     /// region to `sink`, and returns the statistics.
+    ///
+    /// I/O failures — injected faults, corrupt pages — abort the query
+    /// with the underlying [`cf_storage::CfError`]; regions already
+    /// passed to `sink` before the failure must be discarded.
     fn query_with(
         &self,
         engine: &StorageEngine,
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats;
+    ) -> CfResult<QueryStats>;
 
     /// Runs the query and discards region geometry (keeps area/counts).
-    fn query_stats(&self, engine: &StorageEngine, band: Interval) -> QueryStats {
+    fn query_stats(&self, engine: &StorageEngine, band: Interval) -> CfResult<QueryStats> {
         self.query_with(engine, band, &mut |_| {})
     }
 
@@ -80,15 +84,19 @@ pub trait ValueIndex: Send + Sync {
         engine: &StorageEngine,
         band: Interval,
         _scratch: &mut QueryScratch,
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         self.query_stats(engine, band)
     }
 
     /// Runs the query and collects the answer regions.
-    fn query_regions(&self, engine: &StorageEngine, band: Interval) -> (QueryStats, Vec<Polygon>) {
+    fn query_regions(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+    ) -> CfResult<(QueryStats, Vec<Polygon>)> {
         let mut regions = Vec::new();
-        let stats = self.query_with(engine, band, &mut |p| regions.push(p));
-        (stats, regions)
+        let stats = self.query_with(engine, band, &mut |p| regions.push(p))?;
+        Ok((stats, regions))
     }
 
     /// Pages occupied by the index structure (0 for LinearScan).

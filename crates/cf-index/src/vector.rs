@@ -23,7 +23,7 @@ use cf_field::{VectorCellRecord, VectorGridField};
 use cf_geom::{Aabb, Polygon};
 use cf_rtree::{PagedRTree, RStarTree, RTreeConfig};
 use cf_sfc::Curve;
-use cf_storage::{RecordFile, StorageEngine};
+use cf_storage::{CfResult, RecordFile, StorageEngine};
 
 /// The vector-field I-Hilbert index.
 pub struct VectorIHilbert<const K: usize> {
@@ -83,12 +83,16 @@ fn build_vector_subfields<const K: usize>(boxes: &[Aabb<K>], base: f64) -> Vec<V
 
 impl<const K: usize> VectorIHilbert<K> {
     /// Builds the index with the paper-default `base = 1.0`.
-    pub fn build(engine: &StorageEngine, field: &VectorGridField<K>) -> Self {
+    pub fn build(engine: &StorageEngine, field: &VectorGridField<K>) -> CfResult<Self> {
         Self::build_with(engine, field, 1.0)
     }
 
     /// Builds the index with an explicit interval-size base.
-    pub fn build_with(engine: &StorageEngine, field: &VectorGridField<K>, base: f64) -> Self {
+    pub fn build_with(
+        engine: &StorageEngine,
+        field: &VectorGridField<K>,
+        base: f64,
+    ) -> CfResult<Self> {
         let n = field.num_cells();
         // Hilbert-order the cells by centroid.
         let domain = field.domain();
@@ -118,18 +122,18 @@ impl<const K: usize> VectorIHilbert<K> {
 
         let records: Vec<VectorCellRecord<K>> =
             order.iter().map(|&c| field.cell_record(c)).collect();
-        let file = RecordFile::create(engine, records);
+        let file = RecordFile::create(engine, records)?;
 
         let mut tree: RStarTree<K> = RStarTree::new(RTreeConfig::page_sized::<K>());
         for sf in &subfields {
             tree.insert(sf.bbox, (u64::from(sf.start) << 32) | u64::from(sf.end));
         }
-        let tree = PagedRTree::persist(&tree, engine);
-        Self {
+        let tree = PagedRTree::persist(&tree, engine)?;
+        Ok(Self {
             file,
             tree,
             num_subfields: subfields.len(),
-        }
+        })
     }
 
     /// Number of subfields.
@@ -149,13 +153,13 @@ impl<const K: usize> VectorIHilbert<K> {
         engine: &StorageEngine,
         query: &Aabb<K>,
         sink: &mut dyn FnMut(Polygon),
-    ) -> QueryStats {
+    ) -> CfResult<QueryStats> {
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
         let mut ranges: Vec<(u32, u32)> = Vec::new();
         let search = self.tree.search(engine, query, |data, _| {
             ranges.push(((data >> 32) as u32, data as u32));
-        });
+        })?;
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
@@ -172,14 +176,14 @@ impl<const K: usize> VectorIHilbert<K> {
                             sink(region);
                         }
                     }
-                });
+                })?;
         }
         stats.io = cf_storage::thread_io_stats() - before;
-        stats
+        Ok(stats)
     }
 
     /// Query collecting statistics only.
-    pub fn query_stats(&self, engine: &StorageEngine, query: &Aabb<K>) -> QueryStats {
+    pub fn query_stats(&self, engine: &StorageEngine, query: &Aabb<K>) -> CfResult<QueryStats> {
         self.query_with(engine, query, &mut |_| {})
     }
 }
@@ -190,7 +194,7 @@ pub fn vector_linear_scan<const K: usize>(
     engine: &StorageEngine,
     file: &RecordFile<VectorCellRecord<K>>,
     query: &Aabb<K>,
-) -> QueryStats {
+) -> CfResult<QueryStats> {
     let before = cf_storage::thread_io_stats();
     let mut stats = QueryStats::default();
     file.for_each_in_range(engine, 0..file.len(), |_, rec| {
@@ -202,9 +206,9 @@ pub fn vector_linear_scan<const K: usize>(
                 stats.area += region.area();
             }
         }
-    });
+    })?;
     stats.io = cf_storage::thread_io_stats() - before;
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -230,12 +234,12 @@ mod tests {
     fn matches_linear_scan() {
         let engine = StorageEngine::in_memory();
         let field = sample_field(24);
-        let index = VectorIHilbert::build(&engine, &field);
+        let index = VectorIHilbert::build(&engine, &field).expect("build");
         // Separate file in native order for the scan baseline.
         let records: Vec<VectorCellRecord<2>> = (0..field.num_cells())
             .map(|c| field.cell_record(c))
             .collect();
-        let scan_file = RecordFile::create(&engine, records);
+        let scan_file = RecordFile::create(&engine, records).expect("create");
 
         for q in [
             Aabb::new([20.0, 12.0], [25.0, 13.0]),
@@ -243,8 +247,8 @@ mod tests {
             Aabb::new([29.9, 10.0], [30.5, 15.0]),
             Aabb::new([100.0, 100.0], [101.0, 101.0]),
         ] {
-            let a = vector_linear_scan(&engine, &scan_file, &q);
-            let b = index.query_stats(&engine, &q);
+            let a = vector_linear_scan(&engine, &scan_file, &q).expect("scan");
+            let b = index.query_stats(&engine, &q).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "query {q:?}");
             assert!(
                 (a.area - b.area).abs() < 1e-9 * a.area.max(1.0),
@@ -259,7 +263,7 @@ mod tests {
     fn fewer_subfields_than_cells() {
         let engine = StorageEngine::in_memory();
         let field = sample_field(32);
-        let index = VectorIHilbert::build(&engine, &field);
+        let index = VectorIHilbert::build(&engine, &field).expect("build");
         assert!(index.num_subfields() < field.num_cells());
         assert!(index.num_subfields() >= 1);
     }
@@ -268,17 +272,17 @@ mod tests {
     fn selective_query_reads_less_than_scan() {
         let engine = StorageEngine::in_memory();
         let field = sample_field(48);
-        let index = VectorIHilbert::build(&engine, &field);
+        let index = VectorIHilbert::build(&engine, &field).expect("build");
         let records: Vec<VectorCellRecord<2>> = (0..field.num_cells())
             .map(|c| field.cell_record(c))
             .collect();
-        let scan_file = RecordFile::create(&engine, records);
+        let scan_file = RecordFile::create(&engine, records).expect("create");
 
         let q = Aabb::new([29.0, 10.0], [30.0, 12.0]); // peak temp + low salinity
         engine.clear_cache();
-        let a = vector_linear_scan(&engine, &scan_file, &q);
+        let a = vector_linear_scan(&engine, &scan_file, &q).expect("scan");
         engine.clear_cache();
-        let b = index.query_stats(&engine, &q);
+        let b = index.query_stats(&engine, &q).expect("query");
         assert_eq!(a.cells_qualifying, b.cells_qualifying);
         assert!(
             b.io.logical_reads() < a.io.logical_reads(),

@@ -13,7 +13,7 @@ use cf_field::{Grid3Field, VolumeCellRecord};
 use cf_geom::Interval;
 use cf_rtree::{PagedRTree, RStarTree, RTreeConfig};
 use cf_sfc::hilbert_index_nd;
-use cf_storage::{RecordFile, StorageEngine};
+use cf_storage::{CfResult, RecordFile, StorageEngine};
 
 /// Bits per axis for the 3-D Hilbert ordering (1024³ positions).
 const BITS_3D: u32 = 10;
@@ -27,12 +27,16 @@ pub struct VolumeIHilbert {
 
 impl VolumeIHilbert {
     /// Builds the index with paper-default subfield parameters.
-    pub fn build(engine: &StorageEngine, field: &Grid3Field) -> Self {
+    pub fn build(engine: &StorageEngine, field: &Grid3Field) -> CfResult<Self> {
         Self::build_with(engine, field, SubfieldConfig::default())
     }
 
     /// Builds the index with explicit cost-function parameters.
-    pub fn build_with(engine: &StorageEngine, field: &Grid3Field, config: SubfieldConfig) -> Self {
+    pub fn build_with(
+        engine: &StorageEngine,
+        field: &Grid3Field,
+        config: SubfieldConfig,
+    ) -> CfResult<Self> {
         let n = field.num_cells();
         let (cx, cy, cz) = field.cell_dims();
         let max_dim = cx.max(cy).max(cz) as f64;
@@ -56,18 +60,18 @@ impl VolumeIHilbert {
         let subfields = build_subfields(&intervals, config);
 
         let records: Vec<VolumeCellRecord> = order.iter().map(|&c| field.cell_record(c)).collect();
-        let file = RecordFile::create(engine, records);
+        let file = RecordFile::create(engine, records)?;
 
         let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::page_sized::<1>());
         for sf in &subfields {
             tree.insert(sf.interval.into(), sf.pack());
         }
-        let tree = PagedRTree::persist(&tree, engine);
-        Self {
+        let tree = PagedRTree::persist(&tree, engine)?;
+        Ok(Self {
             file,
             tree,
             num_subfields: subfields.len(),
-        }
+        })
     }
 
     /// Number of subfields.
@@ -88,14 +92,14 @@ impl VolumeIHilbert {
     /// Volume value query: filter subfields, read cell runs, and return
     /// statistics where [`QueryStats::area`] is the exact answer
     /// *volume* (in cell units).
-    pub fn query_stats(&self, engine: &StorageEngine, band: Interval) -> QueryStats {
+    pub fn query_stats(&self, engine: &StorageEngine, band: Interval) -> CfResult<QueryStats> {
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
         let mut ranges: Vec<(u32, u32)> = Vec::new();
         let search = self.tree.search(engine, &band.into(), |data, mbr| {
             let sf = Subfield::unpack(data, Interval::new(mbr.lo[0], mbr.hi[0]));
             ranges.push((sf.start, sf.end));
-        });
+        })?;
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
@@ -112,10 +116,10 @@ impl VolumeIHilbert {
                             stats.area += v;
                         }
                     }
-                });
+                })?;
         }
         stats.io = cf_storage::thread_io_stats() - before;
-        stats
+        Ok(stats)
     }
 }
 
@@ -124,7 +128,7 @@ pub fn volume_linear_scan(
     engine: &StorageEngine,
     file: &RecordFile<VolumeCellRecord>,
     band: Interval,
-) -> QueryStats {
+) -> CfResult<QueryStats> {
     let before = cf_storage::thread_io_stats();
     let mut stats = QueryStats::default();
     file.for_each_in_range(engine, 0..file.len(), |_, rec| {
@@ -137,9 +141,9 @@ pub fn volume_linear_scan(
                 stats.area += v;
             }
         }
-    });
+    })?;
     stats.io = cf_storage::thread_io_stats() - before;
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -165,17 +169,17 @@ mod tests {
     fn matches_linear_scan() {
         let engine = StorageEngine::in_memory();
         let field = layered_field(12);
-        let index = VolumeIHilbert::build(&engine, &field);
+        let index = VolumeIHilbert::build(&engine, &field).expect("build");
         let records: Vec<VolumeCellRecord> = (0..field.num_cells())
             .map(|c| field.cell_record(c))
             .collect();
-        let scan_file = RecordFile::create(&engine, records);
+        let scan_file = RecordFile::create(&engine, records).expect("create");
 
         let dom = field.value_domain();
         for t in [0.0, 0.25, 0.5, 0.9] {
             let band = Interval::new(dom.denormalize(t), dom.denormalize((t + 0.1).min(1.0)));
-            let a = volume_linear_scan(&engine, &scan_file, band);
-            let b = index.query_stats(&engine, band);
+            let a = volume_linear_scan(&engine, &scan_file, band).expect("scan");
+            let b = index.query_stats(&engine, band).expect("query");
             assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
             assert!(
                 (a.area - b.area).abs() < 1e-9 * a.area.max(1.0),
@@ -190,7 +194,7 @@ mod tests {
     fn layered_data_forms_few_subfields() {
         let engine = StorageEngine::in_memory();
         let field = layered_field(16);
-        let index = VolumeIHilbert::build(&engine, &field);
+        let index = VolumeIHilbert::build(&engine, &field).expect("build");
         assert!(
             index.num_subfields() < field.num_cells() / 4,
             "{} subfields for {} cells",
@@ -203,18 +207,18 @@ mod tests {
     fn selective_query_beats_scan_on_pages() {
         let engine = StorageEngine::in_memory();
         let field = layered_field(16);
-        let index = VolumeIHilbert::build(&engine, &field);
+        let index = VolumeIHilbert::build(&engine, &field).expect("build");
         let records: Vec<VolumeCellRecord> = (0..field.num_cells())
             .map(|c| field.cell_record(c))
             .collect();
-        let scan_file = RecordFile::create(&engine, records);
+        let scan_file = RecordFile::create(&engine, records).expect("create");
 
         let dom = field.value_domain();
         let band = Interval::new(dom.denormalize(0.98), dom.hi);
         engine.clear_cache();
-        let a = volume_linear_scan(&engine, &scan_file, band);
+        let a = volume_linear_scan(&engine, &scan_file, band).expect("scan");
         engine.clear_cache();
-        let b = index.query_stats(&engine, band);
+        let b = index.query_stats(&engine, band).expect("query");
         assert_eq!(a.cells_qualifying, b.cells_qualifying);
         assert!(
             b.io.logical_reads() < a.io.logical_reads(),
@@ -229,7 +233,7 @@ mod tests {
     fn band_volumes_tile_the_domain() {
         let engine = StorageEngine::in_memory();
         let field = layered_field(8);
-        let index = VolumeIHilbert::build(&engine, &field);
+        let index = VolumeIHilbert::build(&engine, &field).expect("build");
         let dom = field.value_domain();
         let cuts = 5;
         let mut total = 0.0;
@@ -238,7 +242,7 @@ mod tests {
                 dom.denormalize(i as f64 / cuts as f64),
                 dom.denormalize((i + 1) as f64 / cuts as f64),
             );
-            total += index.query_stats(&engine, band).area;
+            total += index.query_stats(&engine, band).expect("query").area;
         }
         let volume = field.num_cells() as f64;
         assert!(

@@ -1,0 +1,207 @@
+//! Crash-consistency of the two-slot catalog commit, driven by the
+//! deterministic fault injector.
+//!
+//! The property under test: **every** physical-write prefix of
+//! [`IHilbert::save_to`] — including a torn final commit write — leaves
+//! a catalog that [`IHilbert::open`] accepts, and the reopened index
+//! answers queries exactly like the live one. The cell/subfield/tree
+//! pages are updated in place before the save, so whichever slot wins
+//! after the crash, the answers must reflect the current data.
+
+use cf_field::{FieldModel, GridField};
+use cf_geom::Interval;
+use cf_index::{
+    CurveChoice, IHilbert, IHilbertConfig, LinearScan, QueryPlane, QueryStats, ValueIndex,
+};
+use cf_sfc::Curve;
+use cf_storage::{Fault, StorageEngine};
+
+fn wavy_field(n: usize, phase: f64) -> GridField {
+    let vw = n + 1;
+    let mut values = Vec::new();
+    for y in 0..vw {
+        for x in 0..vw {
+            values.push((x as f64 * 0.4 + phase).sin() * 30.0 + (y as f64 * 0.3).cos() * 20.0);
+        }
+    }
+    GridField::from_values(vw, vw, values)
+}
+
+fn bands() -> Vec<Interval> {
+    (0..12)
+        .map(|i| {
+            let lo = -50.0 + i as f64 * 8.0;
+            Interval::new(lo, lo + 11.0)
+        })
+        .collect()
+}
+
+fn answers(index: &IHilbert<GridField>, engine: &StorageEngine) -> Vec<QueryStats> {
+    bands()
+        .iter()
+        .map(|&b| index.query_stats(engine, b).expect("query"))
+        .collect()
+}
+
+fn assert_same_answers(got: &[QueryStats], want: &[QueryStats], ctx: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.cells_qualifying, w.cells_qualifying, "{ctx}: band {i}");
+        assert_eq!(g.num_regions, w.num_regions, "{ctx}: band {i}");
+        assert_eq!(
+            g.area.to_bits(),
+            w.area.to_bits(),
+            "{ctx}: band {i} area {} vs {}",
+            g.area,
+            w.area
+        );
+    }
+}
+
+/// Builds an index over `field_a`, saves it, then updates every cell to
+/// `field_b`'s records — the persisted data pages now hold state B while
+/// the live catalog epoch still describes the same layout.
+fn build_saved_and_updated(
+    engine: &StorageEngine,
+) -> (IHilbert<GridField>, cf_storage::PageId, Vec<QueryStats>) {
+    let field_a = wavy_field(24, 0.0);
+    let field_b = wavy_field(24, 1.7);
+    let mut index = IHilbert::build(engine, &field_a).expect("build");
+    let catalog = index.save(engine).expect("save");
+    for cell in 0..field_b.num_cells() {
+        index
+            .update_cell(engine, cell, field_b.cell_record(cell))
+            .expect("update");
+    }
+    let expected = answers(&index, engine);
+    // Sanity: the expected answers really are state B, not state A.
+    let scan = LinearScan::build(engine, &field_b).expect("build");
+    for (s, b) in expected.iter().zip(bands()) {
+        let w = scan.query_stats(engine, b).expect("query");
+        assert_eq!(s.cells_qualifying, w.cells_qualifying);
+    }
+    (index, catalog, expected)
+}
+
+#[test]
+fn every_write_prefix_of_save_leaves_an_openable_catalog() {
+    let engine = StorageEngine::in_memory();
+    let (index, catalog, expected) = build_saved_and_updated(&engine);
+
+    // Count the physical writes of one full save_to.
+    engine.clear_faults();
+    index.save_to(&engine, catalog).expect("baseline save");
+    let (_, writes) = engine.fault_ops();
+    assert!(writes >= 2, "save_to must write pos pages + commit slot");
+
+    for k in 0..writes {
+        engine.clear_faults();
+        engine.inject_fault(Fault::FailWrite { nth: k });
+        let err = index
+            .save_to(&engine, catalog)
+            .expect_err("armed write fault must fire");
+        assert!(err.is_injected(), "crash at write {k}: {err}");
+        engine.clear_faults();
+        // A crash loses the buffer pool; reopen reads the disk's truth.
+        engine.clear_cache();
+        let reopened = IHilbert::<GridField>::open(&engine, catalog)
+            .unwrap_or_else(|e| panic!("reopen after crash at write {k}: {e}"));
+        let got = answers(&reopened, &engine);
+        assert_same_answers(&got, &expected, &format!("crash at write {k}"));
+    }
+
+    // After surviving every crash point, a clean save still commits.
+    engine.clear_faults();
+    index.save_to(&engine, catalog).expect("final save");
+    engine.clear_cache();
+    let reopened = IHilbert::<GridField>::open(&engine, catalog).expect("final open");
+    assert_same_answers(&answers(&reopened, &engine), &expected, "final");
+}
+
+#[test]
+fn torn_commit_write_falls_back_to_previous_slot() {
+    let engine = StorageEngine::in_memory();
+    let (index, catalog, expected) = build_saved_and_updated(&engine);
+
+    engine.clear_faults();
+    index.save_to(&engine, catalog).expect("baseline save");
+    let (_, writes) = engine.fault_ops();
+
+    // Tear the *commit* write — the last physical write of save_to — at
+    // several cut points, including one byte and almost-whole.
+    for keep in [1usize, 96, 1024, 4095] {
+        engine.clear_faults();
+        engine.inject_fault(Fault::TornWrite {
+            nth: writes - 1,
+            keep,
+        });
+        let err = index
+            .save_to(&engine, catalog)
+            .expect_err("torn commit must report the crash");
+        assert!(err.is_injected(), "keep={keep}: {err}");
+        engine.clear_faults();
+        engine.clear_cache();
+        let reopened = IHilbert::<GridField>::open(&engine, catalog)
+            .unwrap_or_else(|e| panic!("reopen after torn commit (keep={keep}): {e}"));
+        assert_same_answers(
+            &answers(&reopened, &engine),
+            &expected,
+            &format!("torn commit keep={keep}"),
+        );
+    }
+}
+
+#[test]
+fn open_survives_one_unreadable_slot() {
+    let engine = StorageEngine::in_memory();
+    let (index, catalog, expected) = build_saved_and_updated(&engine);
+    engine.clear_faults();
+    index.save_to(&engine, catalog).expect("save");
+
+    // Fail the first physical read (slot 0's page) during open: the
+    // lenient slot scan must fall through to the other slot.
+    engine.clear_cache();
+    engine.clear_faults();
+    engine.inject_fault(Fault::FailRead { nth: 0 });
+    let reopened = IHilbert::<GridField>::open(&engine, catalog).expect("open with one dead slot");
+    engine.clear_faults();
+    assert_same_answers(&answers(&reopened, &engine), &expected, "one dead slot");
+}
+
+/// Satellite: catalog round-trip across every curve and both query
+/// planes — the reopened index must answer Q2 identically, including
+/// the filter-step visit counts.
+#[test]
+fn round_trip_preserves_answers_for_all_curves_and_planes() {
+    let field = wavy_field(20, 0.6);
+    for curve in Curve::ALL {
+        for plane in [QueryPlane::Paged, QueryPlane::Frozen] {
+            let engine = StorageEngine::in_memory();
+            let index = IHilbert::build_with(
+                &engine,
+                &field,
+                IHilbertConfig {
+                    curve: CurveChoice(curve),
+                    plane,
+                    ..Default::default()
+                },
+            )
+            .expect("build");
+            let want: Vec<QueryStats> = answers(&index, &engine);
+            let catalog = index.save(&engine).expect("save");
+
+            engine.clear_cache();
+            let mut reopened = IHilbert::<GridField>::open(&engine, catalog).expect("open");
+            if plane == QueryPlane::Frozen {
+                reopened.freeze(&engine).expect("freeze");
+            }
+            let got = answers(&reopened, &engine);
+            assert_same_answers(&got, &want, &format!("{curve:?}/{plane:?}"));
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.filter_nodes, w.filter_nodes,
+                    "{curve:?}/{plane:?}: band {i} filter_nodes"
+                );
+            }
+        }
+    }
+}

@@ -48,7 +48,8 @@ fn assert_parallel_build_identical<F: FieldModel + Sync>(field: &F, curve: Curve
                 build_threads,
                 ..Default::default()
             },
-        );
+        )
+        .expect("build");
         (engine, index)
     };
     let (seq_engine, seq) = mk(1);
@@ -60,8 +61,12 @@ fn assert_parallel_build_identical<F: FieldModel + Sync>(field: &F, curve: Curve
     );
     assert_eq!(par_engine.num_pages(), seq_engine.num_pages());
     for p in 0..seq_engine.num_pages() {
-        let a = seq_engine.with_page(PageId(p as u64), |page| *page);
-        let b = par_engine.with_page(PageId(p as u64), |page| *page);
+        let a = seq_engine
+            .with_page(PageId(p as u64), |page| *page)
+            .expect("read");
+        let b = par_engine
+            .with_page(PageId(p as u64), |page| *page)
+            .expect("read");
         assert!(a == b, "page {p} differs ({curve:?}, {threads} threads)");
     }
 }
@@ -96,15 +101,16 @@ proptest! {
     #[test]
     fn all_methods_agree_with_scan(field in grid_field(), bands in prop::collection::vec(band(), 1..6)) {
         let engine = StorageEngine::in_memory();
-        let scan = LinearScan::build(&engine, &field);
-        let iall = IAll::build(&engine, &field);
-        let ihilbert = IHilbert::build(&engine, &field);
-        let iquad = IntervalQuadtree::build(&engine, &field, field.value_domain().width() / 8.0);
+        let scan = LinearScan::build(&engine, &field).expect("build");
+        let iall = IAll::build(&engine, &field).expect("build");
+        let ihilbert = IHilbert::build(&engine, &field).expect("build");
+        let iquad = IntervalQuadtree::build(&engine, &field, field.value_domain().width() / 8.0)
+            .expect("build");
         let methods: Vec<&dyn ValueIndex> = vec![&iall, &ihilbert, &iquad];
         for b in bands {
-            let want = scan.query_stats(&engine, b);
+            let want = scan.query_stats(&engine, b).expect("query");
             for m in &methods {
-                let got = m.query_stats(&engine, b);
+                let got = m.query_stats(&engine, b).expect("query");
                 prop_assert_eq!(got.cells_qualifying, want.cells_qualifying,
                     "{} on {}", m.name(), b);
                 prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0),
@@ -120,7 +126,7 @@ proptest! {
         curve_idx in 0usize..4,
     ) {
         let engine = StorageEngine::in_memory();
-        let scan = LinearScan::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
         let idx = IHilbert::build_with(
             &engine,
             &field,
@@ -128,9 +134,10 @@ proptest! {
                 curve: CurveChoice(Curve::ALL[curve_idx]),
                 ..Default::default()
             },
-        );
-        let want = scan.query_stats(&engine, b);
-        let got = idx.query_stats(&engine, b);
+        )
+        .expect("build");
+        let want = scan.query_stats(&engine, b).expect("query");
+        let got = idx.query_stats(&engine, b).expect("query");
         prop_assert_eq!(got.cells_qualifying, want.cells_qualifying);
         prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0));
     }
@@ -143,7 +150,7 @@ proptest! {
         qlen in 0.0..100.0f64,
     ) {
         let engine = StorageEngine::in_memory();
-        let scan = LinearScan::build(&engine, &field);
+        let scan = LinearScan::build(&engine, &field).expect("build");
         let idx = IHilbert::build_with(
             &engine,
             &field,
@@ -151,9 +158,10 @@ proptest! {
                 subfield: SubfieldConfig { base, query_len: qlen },
                 ..Default::default()
             },
-        );
-        let want = scan.query_stats(&engine, b);
-        let got = idx.query_stats(&engine, b);
+        )
+        .expect("build");
+        let want = scan.query_stats(&engine, b).expect("query");
+        let got = idx.query_stats(&engine, b).expect("query");
         prop_assert_eq!(got.cells_qualifying, want.cells_qualifying);
         prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0));
     }
@@ -165,7 +173,7 @@ proptest! {
         b in band(),
     ) {
         let engine = StorageEngine::in_memory();
-        let mut index = IHilbert::build(&engine, &field);
+        let mut index = IHilbert::build(&engine, &field).expect("build");
         // Apply vertex updates to a model copy of the field and push the
         // affected cell records into the index.
         let (vw, vh) = field.vertex_dims();
@@ -183,13 +191,15 @@ proptest! {
             for cy in y.saturating_sub(1)..=y.min(ch - 1) {
                 for cx in x.saturating_sub(1)..=x.min(cw - 1) {
                     let cell = current.cell_index(cx, cy);
-                    index.update_cell(&engine, cell, current.cell_record(cell));
+                    index
+                        .update_cell(&engine, cell, current.cell_record(cell))
+                        .expect("update");
                 }
             }
         }
-        let scan = LinearScan::build(&engine, &current);
-        let want = scan.query_stats(&engine, b);
-        let got = index.query_stats(&engine, b);
+        let scan = LinearScan::build(&engine, &current).expect("build");
+        let want = scan.query_stats(&engine, b).expect("query");
+        let got = index.query_stats(&engine, b).expect("query");
         prop_assert_eq!(got.cells_qualifying, want.cells_qualifying);
         prop_assert!((got.area - want.area).abs() <= 1e-9 * want.area.max(1.0));
     }
@@ -197,9 +207,9 @@ proptest! {
     #[test]
     fn stats_invariants_hold(field in grid_field(), b in band()) {
         let engine = StorageEngine::in_memory();
-        let ihilbert = IHilbert::build(&engine, &field);
+        let ihilbert = IHilbert::build(&engine, &field).expect("build");
         engine.clear_cache();
-        let s = ihilbert.query_stats(&engine, b);
+        let s = ihilbert.query_stats(&engine, b).expect("query");
         prop_assert!(s.cells_qualifying <= s.cells_examined);
         prop_assert!(s.area >= 0.0);
         prop_assert!(s.area <= field.domain().volume() + 1e-9);

@@ -32,7 +32,7 @@ use crate::node::ChildRef;
 use crate::tree::{RStarTree, SearchStats};
 use crate::PagedRTree;
 use cf_geom::Aabb;
-use cf_storage::{PageId, StorageEngine};
+use cf_storage::{CfResult, PageId, StorageEngine};
 
 /// Entries per bounds lane: 8 × f64 fills one 64-byte cache line.
 const LANE: usize = 8;
@@ -95,7 +95,7 @@ impl<const N: usize> FrozenTree<N> {
             tree.root_index(),
             |idx: &usize| {
                 let node = tree.node(*idx);
-                FlatNode {
+                Ok(FlatNode {
                     entries: node
                         .entries
                         .iter()
@@ -108,16 +108,17 @@ impl<const N: usize> FrozenTree<N> {
                         })
                         .collect(),
                     is_leaf: node.is_leaf(),
-                }
+                })
             },
             |child| child as usize,
         )
+        .expect("in-memory freeze performs no I/O")
     }
 
     /// Freezes a persisted [`PagedRTree`], reading each node page once
     /// through the buffer pool (the one-time cost of entering the frozen
     /// plane; subsequent searches touch no pages at all).
-    pub fn from_paged(engine: &StorageEngine, paged: &PagedRTree<N>) -> Self {
+    pub fn from_paged(engine: &StorageEngine, paged: &PagedRTree<N>) -> CfResult<Self> {
         Self::build_bfs(
             paged.len(),
             paged.height(),
@@ -128,15 +129,15 @@ impl<const N: usize> FrozenTree<N> {
                 paged.for_each_entry(engine, *page, |mbr, child, is_leaf| {
                     leaf = is_leaf;
                     entries.push((*mbr, child));
-                });
+                })?;
                 // A childless page is a (possibly empty) leaf root.
                 if entries.is_empty() {
                     leaf = true;
                 }
-                FlatNode {
+                Ok(FlatNode {
                     entries,
                     is_leaf: leaf,
-                }
+                })
             },
             PageId,
         )
@@ -144,9 +145,9 @@ impl<const N: usize> FrozenTree<N> {
 
     /// Shared BFS flattening: `decode` materializes a node from its
     /// source id, `to_id` maps a stored child reference back to one.
-    fn build_bfs<Id, D, C>(len: usize, height: u32, root: Id, decode: D, to_id: C) -> Self
+    fn build_bfs<Id, D, C>(len: usize, height: u32, root: Id, decode: D, to_id: C) -> CfResult<Self>
     where
-        D: Fn(&Id) -> FlatNode<N>,
+        D: Fn(&Id) -> CfResult<FlatNode<N>>,
         C: Fn(u64) -> Id,
     {
         // Pass 1: BFS to fix node ids and slot bases. Children of each
@@ -156,7 +157,7 @@ impl<const N: usize> FrozenTree<N> {
         queue.push_back(root);
         let mut nodes: Vec<FlatNode<N>> = Vec::new();
         while let Some(id) = queue.pop_front() {
-            let node = decode(&id);
+            let node = decode(&id)?;
             if !node.is_leaf {
                 for &(_, child) in &node.entries {
                     queue.push_back(to_id(child));
@@ -210,7 +211,7 @@ impl<const N: usize> FrozenTree<N> {
             }
         }
 
-        Self {
+        Ok(Self {
             slot_base,
             entry_count,
             first_child,
@@ -222,7 +223,7 @@ impl<const N: usize> FrozenTree<N> {
             lanes_per_dim,
             len,
             height,
-        }
+        })
     }
 
     /// Number of data entries.
@@ -379,12 +380,12 @@ mod tests {
     fn frozen_matches_paged_visit_counts() {
         let tree = build_tree(2000, 32);
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
-        let frozen = FrozenTree::from_paged(&engine, &paged);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
+        let frozen = FrozenTree::from_paged(&engine, &paged).expect("freeze");
         assert_eq!(frozen.num_nodes(), paged.num_pages());
         for qlo in [0.0, 250.0, 700.0, 1399.5] {
             let q = iv(qlo, qlo + 3.0);
-            let ps = paged.search(&engine, &q, |_, _| {});
+            let ps = paged.search(&engine, &q, |_, _| {}).expect("search");
             let fs = frozen.search(&q, |_, _| {});
             assert_eq!(fs.nodes_visited, ps.nodes_visited, "query {qlo}");
             assert_eq!(fs.results, ps.results, "query {qlo}");

@@ -108,7 +108,7 @@ impl<const N: usize> PagedRTree<N> {
         engine: &StorageEngine,
         point: &[f64; N],
         k: usize,
-    ) -> (Vec<Neighbor>, u64) {
+    ) -> cf_storage::CfResult<(Vec<Neighbor>, u64)> {
         let mut heap: BinaryHeap<Item<N>> = BinaryHeap::new();
         heap.push(Item::Node {
             dist_sq: 0.0,
@@ -141,11 +141,11 @@ impl<const N: usize> PagedRTree<N> {
                                 });
                             }
                         },
-                    );
+                    )?;
                 }
             }
         }
-        (out, visited)
+        Ok((out, visited))
     }
 }
 
@@ -232,12 +232,12 @@ mod tests {
     fn paged_knn_matches_in_memory() {
         let (tree, _) = build_points(400, 12);
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let q = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
             let a: Vec<f64> = tree.nearest(&q, 7).iter().map(|n| n.dist_sq).collect();
-            let (res, visited) = paged.nearest(&engine, &q, 7);
+            let (res, visited) = paged.nearest(&engine, &q, 7).expect("nearest");
             let b: Vec<f64> = res.iter().map(|n| n.dist_sq).collect();
             assert_eq!(a.len(), b.len());
             for (x, y) in a.iter().zip(&b) {

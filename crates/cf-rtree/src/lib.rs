@@ -35,21 +35,25 @@
 //! ```
 //! use cf_geom::Aabb;
 //! use cf_rtree::{PagedRTree, RStarTree, RTreeConfig};
-//! use cf_storage::StorageEngine;
+//! use cf_storage::{CfResult, StorageEngine};
 //!
-//! // Index 1-D value intervals (the paper's use of the R*-tree).
-//! let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::page_sized::<1>());
-//! for i in 0..1000u64 {
-//!     let lo = i as f64;
-//!     tree.insert(Aabb::new([lo], [lo + 1.5]), i);
+//! fn main() -> CfResult<()> {
+//!     // Index 1-D value intervals (the paper's use of the R*-tree).
+//!     let mut tree: RStarTree<1> = RStarTree::new(RTreeConfig::page_sized::<1>());
+//!     for i in 0..1000u64 {
+//!         let lo = i as f64;
+//!         tree.insert(Aabb::new([lo], [lo + 1.5]), i);
+//!     }
+//!     let hits = tree.search_collect(&Aabb::new([10.2], [11.0]));
+//!     assert!(hits.contains(&9) && hits.contains(&10));
+//!
+//!     // Persist to 4 KiB pages and search through the buffer pool.
+//!     let engine = StorageEngine::in_memory();
+//!     let paged = PagedRTree::persist(&tree, &engine)?;
+//!     let paged_hits = paged.search_collect(&engine, &Aabb::new([10.2], [11.0]))?;
+//!     assert_eq!(paged_hits.len(), hits.len());
+//!     Ok(())
 //! }
-//! let hits = tree.search_collect(&Aabb::new([10.2], [11.0]));
-//! assert!(hits.contains(&9) && hits.contains(&10));
-//!
-//! // Persist to 4 KiB pages and search through the buffer pool.
-//! let engine = StorageEngine::in_memory();
-//! let paged = PagedRTree::persist(&tree, &engine);
-//! assert_eq!(paged.search_collect(&engine, &Aabb::new([10.2], [11.0])).len(), hits.len());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -30,7 +30,7 @@ use crate::node::{ChildRef, NodeEntry};
 use crate::split::rstar_split;
 use crate::tree::{entry_size, RStarTree, SearchStats, NODE_HEADER_SIZE};
 use cf_geom::Aabb;
-use cf_storage::{codec, PageBuf, PageId, StorageEngine, PAGE_SIZE};
+use cf_storage::{codec, CfError, CfResult, PageBuf, PageId, StorageEngine, PAGE_SIZE};
 
 /// An R\*-tree stored on pages of a [`StorageEngine`].
 #[derive(Debug, Clone)]
@@ -68,7 +68,7 @@ impl<const N: usize> PagedRTree<N> {
     /// # Panics
     ///
     /// Panics if the tree's fanout exceeds the page capacity.
-    pub fn persist(tree: &RStarTree<N>, engine: &StorageEngine) -> Self {
+    pub fn persist(tree: &RStarTree<N>, engine: &StorageEngine) -> CfResult<Self> {
         assert!(
             tree.config().max_entries <= Self::page_fanout(),
             "tree fanout {} exceeds page capacity {}",
@@ -94,7 +94,7 @@ impl<const N: usize> PagedRTree<N> {
         // Assign page ids level by level (leaves first) from one
         // contiguous run.
         let total: usize = by_level.iter().map(|v| v.len()).sum();
-        let first = engine.allocate_run(total);
+        let first = engine.allocate_run(total)?;
         let mut page_of = std::collections::HashMap::with_capacity(total);
         let mut next = first.0;
         for level in &by_level {
@@ -126,16 +126,16 @@ impl<const N: usize> PagedRTree<N> {
                     };
                     off = codec::put_u64(&mut buf, off, child);
                 }
-                engine.write_page(page_of[&idx], &buf);
+                engine.write_page(page_of[&idx], &buf)?;
             }
         }
 
-        Self {
+        Ok(Self {
             root_page: page_of[&root_idx],
             height,
             len: tree.len(),
             num_pages: total,
-        }
+        })
     }
 
     /// Number of data entries.
@@ -161,12 +161,13 @@ impl<const N: usize> PagedRTree<N> {
         engine: &StorageEngine,
         page: PageId,
         mut f: impl FnMut(&Aabb<N>, u64, bool),
-    ) {
-        let node = Self::read_node(engine, page);
+    ) -> CfResult<()> {
+        let node = Self::read_node(engine, page)?;
         let is_leaf = node.level == 0;
         for (mbr, child) in &node.entries {
             f(mbr, *child, is_leaf);
         }
+        Ok(())
     }
 
     /// Dismantles the handle into catalog fields
@@ -202,7 +203,7 @@ impl<const N: usize> PagedRTree<N> {
     /// Flattens this tree into a [`crate::FrozenTree`] for cache-resident
     /// query serving, reading each node page once. Shorthand for
     /// [`crate::FrozenTree::from_paged`].
-    pub fn freeze(&self, engine: &StorageEngine) -> crate::FrozenTree<N> {
+    pub fn freeze(&self, engine: &StorageEngine) -> CfResult<crate::FrozenTree<N>> {
         crate::FrozenTree::from_paged(engine, self)
     }
 
@@ -215,10 +216,33 @@ impl<const N: usize> PagedRTree<N> {
     // Node page I/O
     // ------------------------------------------------------------------
 
-    fn read_node(engine: &StorageEngine, page: PageId) -> RawNode<N> {
-        engine.with_page(page, |buf| {
+    /// Validates a node header decoded from raw page bytes: entry
+    /// counts past the page fanout or absurd levels mean the page is
+    /// not (or no longer) an R-tree node of this dimension.
+    fn check_header(page: PageId, level: u32, count: usize) -> CfResult<()> {
+        if count > Self::page_fanout() {
+            return Err(CfError::corrupt(
+                page,
+                format!(
+                    "R-tree node entry count {count} exceeds page fanout {}",
+                    Self::page_fanout()
+                ),
+            ));
+        }
+        if level >= 64 {
+            return Err(CfError::corrupt(
+                page,
+                format!("implausible R-tree node level {level}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn read_node(engine: &StorageEngine, page: PageId) -> CfResult<RawNode<N>> {
+        engine.try_with_page(page, |buf| {
             let level = codec::get_u32(buf, 0);
             let count = codec::get_u32(buf, 4) as usize;
+            Self::check_header(page, level, count)?;
             let mut entries = Vec::with_capacity(count);
             let mut off = NODE_HEADER_SIZE;
             for _ in 0..count {
@@ -236,11 +260,11 @@ impl<const N: usize> PagedRTree<N> {
                 off += 8;
                 entries.push((Aabb::new(lo, hi), child));
             }
-            RawNode { level, entries }
+            Ok(RawNode { level, entries })
         })
     }
 
-    fn write_node(engine: &StorageEngine, page: PageId, node: &RawNode<N>) {
+    fn write_node(engine: &StorageEngine, page: PageId, node: &RawNode<N>) -> CfResult<()> {
         debug_assert!(node.entries.len() <= Self::page_fanout());
         let mut buf: PageBuf = [0u8; PAGE_SIZE];
         codec::put_u32(&mut buf, 0, node.level);
@@ -255,7 +279,7 @@ impl<const N: usize> PagedRTree<N> {
             }
             off = codec::put_u64(&mut buf, off, *child);
         }
-        engine.write_page(page, &buf);
+        engine.write_page(page, &buf)
     }
 
     // ------------------------------------------------------------------
@@ -269,13 +293,13 @@ impl<const N: usize> PagedRTree<N> {
     /// up), splits overflowing pages with the R\* margin/overlap split,
     /// and grows a new root page when the root splits. Every touched
     /// node is one page read/write through the buffer pool.
-    pub fn insert(&mut self, engine: &StorageEngine, mbr: Aabb<N>, data: u64) {
+    pub fn insert(&mut self, engine: &StorageEngine, mbr: Aabb<N>, data: u64) -> CfResult<()> {
         assert!(!mbr.is_empty(), "cannot insert an empty MBR");
         // Descend to the leaf, keeping the path and chosen entry slots.
         let mut path: Vec<(PageId, RawNode<N>, usize)> = Vec::new();
         let mut cur = self.root_page;
         loop {
-            let node = Self::read_node(engine, cur);
+            let node = Self::read_node(engine, cur)?;
             if node.level == 0 {
                 path.push((cur, node, usize::MAX));
                 break;
@@ -297,13 +321,13 @@ impl<const N: usize> PagedRTree<N> {
             if let Some((e_mbr, e_child)) = pending.take() {
                 node.entries.push((e_mbr, e_child));
                 if node.entries.len() > Self::page_fanout() {
-                    let sibling = self.split_page(engine, page, &mut node);
+                    let sibling = self.split_page(engine, page, &mut node)?;
                     pending = Some(sibling);
                 }
             }
             if pending.is_none() && child_hull.is_none() {
                 // Plain MBR refresh / insert without split.
-                Self::write_node(engine, page, &node);
+                Self::write_node(engine, page, &node)?;
             }
             child_hull = Some(node.mbr());
             if pending.is_some() && path.is_empty() {
@@ -314,14 +338,15 @@ impl<const N: usize> PagedRTree<N> {
                     level: node.level + 1,
                     entries: vec![(old_root_hull, page.0), (s_mbr, s_page)],
                 };
-                let new_root_page = engine.allocate_page();
-                Self::write_node(engine, new_root_page, &new_root);
+                let new_root_page = engine.allocate_page()?;
+                Self::write_node(engine, new_root_page, &new_root)?;
                 self.root_page = new_root_page;
                 self.height += 1;
                 self.num_pages += 1;
             }
         }
         self.len += 1;
+        Ok(())
     }
 
     /// Splits an overflowing decoded node: the first group is written
@@ -332,7 +357,7 @@ impl<const N: usize> PagedRTree<N> {
         engine: &StorageEngine,
         page: PageId,
         node: &mut RawNode<N>,
-    ) -> (Aabb<N>, u64) {
+    ) -> CfResult<(Aabb<N>, u64)> {
         let min_entries = (Self::page_fanout() * 2 / 5).max(2);
         let entries: Vec<NodeEntry<N>> = node
             .entries
@@ -357,11 +382,11 @@ impl<const N: usize> PagedRTree<N> {
                 .map(|e| (e.mbr, e.child.data()))
                 .collect(),
         };
-        Self::write_node(engine, page, node);
-        let sibling_page = engine.allocate_page();
-        Self::write_node(engine, sibling_page, &sibling);
+        Self::write_node(engine, page, node)?;
+        let sibling_page = engine.allocate_page()?;
+        Self::write_node(engine, sibling_page, &sibling)?;
         self.num_pages += 1;
-        (sibling.mbr(), sibling_page.0)
+        Ok((sibling.mbr(), sibling_page.0))
     }
 
     /// Choose-subtree on a decoded node.
@@ -405,15 +430,15 @@ impl<const N: usize> PagedRTree<N> {
     ///
     /// Underfull pages are not condensed; ancestor MBRs are shrunk where
     /// possible and otherwise left as (correct) supersets.
-    pub fn remove(&mut self, engine: &StorageEngine, mbr: &Aabb<N>, data: u64) -> bool {
-        let Some(path) = self.find_leaf_path(engine, self.root_page, mbr, data) else {
-            return false;
+    pub fn remove(&mut self, engine: &StorageEngine, mbr: &Aabb<N>, data: u64) -> CfResult<bool> {
+        let Some(path) = self.find_leaf_path(engine, self.root_page, mbr, data)? else {
+            return Ok(false);
         };
         // path: (page, chosen entry index) from root to leaf; last entry
         // index refers to the matching entry in the leaf.
         let mut child_hull: Option<Aabb<N>> = None;
         for (depth, &(page, entry_idx)) in path.iter().enumerate().rev() {
-            let mut node = Self::read_node(engine, page);
+            let mut node = Self::read_node(engine, page)?;
             if depth == path.len() - 1 {
                 node.entries.remove(entry_idx);
             } else {
@@ -423,11 +448,11 @@ impl<const N: usize> PagedRTree<N> {
                 }
                 // An empty child keeps its stale (superset) MBR.
             }
-            Self::write_node(engine, page, &node);
+            Self::write_node(engine, page, &node)?;
             child_hull = Some(node.mbr());
         }
         self.len -= 1;
-        true
+        Ok(true)
     }
 
     /// DFS for the leaf holding `(mbr, data)`; returns the path as
@@ -438,24 +463,24 @@ impl<const N: usize> PagedRTree<N> {
         page: PageId,
         mbr: &Aabb<N>,
         data: u64,
-    ) -> Option<Vec<(PageId, usize)>> {
-        let node = Self::read_node(engine, page);
+    ) -> CfResult<Option<Vec<(PageId, usize)>>> {
+        let node = Self::read_node(engine, page)?;
         if node.level == 0 {
             let idx = node
                 .entries
                 .iter()
-                .position(|&(b, d)| d == data && b == *mbr)?;
-            return Some(vec![(page, idx)]);
+                .position(|&(b, d)| d == data && b == *mbr);
+            return Ok(idx.map(|idx| vec![(page, idx)]));
         }
         for (j, &(b, child)) in node.entries.iter().enumerate() {
             if b.contains(mbr) {
-                if let Some(mut rest) = self.find_leaf_path(engine, PageId(child), mbr, data) {
+                if let Some(mut rest) = self.find_leaf_path(engine, PageId(child), mbr, data)? {
                     rest.insert(0, (page, j));
-                    return Some(rest);
+                    return Ok(Some(rest));
                 }
             }
         }
-        None
+        Ok(None)
     }
 
     /// Invokes `f(data, mbr)` for every entry intersecting `query`.
@@ -467,14 +492,15 @@ impl<const N: usize> PagedRTree<N> {
         engine: &StorageEngine,
         query: &Aabb<N>,
         mut f: impl FnMut(u64, &Aabb<N>),
-    ) -> SearchStats {
+    ) -> CfResult<SearchStats> {
         let mut stats = SearchStats::default();
         let mut stack = vec![self.root_page];
         while let Some(page_id) = stack.pop() {
             stats.nodes_visited += 1;
-            engine.with_page(page_id, |page| {
+            engine.try_with_page(page_id, |page| {
                 let level = codec::get_u32(page, 0);
                 let count = codec::get_u32(page, 4) as usize;
+                Self::check_header(page_id, level, count)?;
                 let mut off = NODE_HEADER_SIZE;
                 for _ in 0..count {
                     let mut lo = [0.0; N];
@@ -499,16 +525,17 @@ impl<const N: usize> PagedRTree<N> {
                         }
                     }
                 }
-            });
+                Ok(())
+            })?;
         }
-        stats
+        Ok(stats)
     }
 
     /// Collects the payloads of all entries intersecting `query`.
-    pub fn search_collect(&self, engine: &StorageEngine, query: &Aabb<N>) -> Vec<u64> {
+    pub fn search_collect(&self, engine: &StorageEngine, query: &Aabb<N>) -> CfResult<Vec<u64>> {
         let mut out = Vec::with_capacity(self.len.min(64));
-        self.search(engine, query, |d, _| out.push(d));
-        out
+        self.search(engine, query, |d, _| out.push(d))?;
+        Ok(out)
     }
 
     /// Reusable-buffer variant of [`PagedRTree::search_collect`]: clears
@@ -518,7 +545,7 @@ impl<const N: usize> PagedRTree<N> {
         engine: &StorageEngine,
         query: &Aabb<N>,
         out: &mut Vec<u64>,
-    ) -> SearchStats {
+    ) -> CfResult<SearchStats> {
         out.clear();
         self.search(engine, query, |d, _| out.push(d))
     }
@@ -545,13 +572,13 @@ mod tests {
     fn paged_search_matches_in_memory() {
         let tree = build_tree(1000);
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
         assert_eq!(paged.len(), 1000);
         assert_eq!(paged.height(), tree.height());
 
         for qlo in [0.0, 123.4, 500.0, 999.0, 2000.0] {
             let q = iv(qlo, qlo + 7.0);
-            let mut got = paged.search_collect(&engine, &q);
+            let mut got = paged.search_collect(&engine, &q).expect("search");
             got.sort_unstable();
             let mut want = tree.search_collect(&q);
             want.sort_unstable();
@@ -563,10 +590,12 @@ mod tests {
     fn search_cost_is_logarithmic_not_linear() {
         let tree = build_tree(10_000);
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
         engine.clear_cache();
         engine.reset_stats();
-        let stats = paged.search(&engine, &iv(5000.0, 5001.0), |_, _| {});
+        let stats = paged
+            .search(&engine, &iv(5000.0, 5001.0), |_, _| {})
+            .expect("search");
         // A point-ish query on 10k sorted intervals should touch a tiny
         // fraction of the index pages.
         assert!(
@@ -588,9 +617,9 @@ mod tests {
             tree.insert(Aabb::new([x, y], [x + 0.9, y + 0.9]), i);
         }
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
         let q = Aabb::new([3.5, 3.5], [6.5, 6.5]);
-        let mut got = paged.search_collect(&engine, &q);
+        let mut got = paged.search_collect(&engine, &q).expect("search");
         got.sort_unstable();
         let mut want = tree.search_collect(&q);
         want.sort_unstable();
@@ -602,10 +631,12 @@ mod tests {
     fn empty_tree_persists() {
         let tree: RStarTree<1> = RStarTree::default();
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
         assert!(paged.is_empty());
         assert_eq!(
-            paged.search_collect(&engine, &iv(0.0, 1.0)),
+            paged
+                .search_collect(&engine, &iv(0.0, 1.0))
+                .expect("search"),
             Vec::<u64>::new()
         );
     }
@@ -622,7 +653,7 @@ mod tests {
     fn oversized_fanout_rejected() {
         let tree: RStarTree<1> = RStarTree::new(RTreeConfig::new(500));
         let engine = StorageEngine::in_memory();
-        let _ = PagedRTree::persist(&tree, &engine);
+        let _ = PagedRTree::persist(&tree, &engine).expect("persist");
     }
 
     // ------------------------------------------------------------------
@@ -633,9 +664,11 @@ mod tests {
     fn incremental_insert_from_empty() {
         let engine = StorageEngine::in_memory();
         let tree: RStarTree<1> = RStarTree::default();
-        let mut paged = PagedRTree::persist(&tree, &engine);
+        let mut paged = PagedRTree::persist(&tree, &engine).expect("persist");
         for i in 0..2000u64 {
-            paged.insert(&engine, iv(i as f64, i as f64 + 1.5), i);
+            paged
+                .insert(&engine, iv(i as f64, i as f64 + 1.5), i)
+                .expect("insert");
         }
         assert_eq!(paged.len(), 2000);
         assert!(paged.height() >= 2);
@@ -643,7 +676,7 @@ mod tests {
         // Agreement with a brute-force model.
         for qlo in [0.0, 555.5, 1999.0, 5000.0] {
             let q = iv(qlo, qlo + 10.0);
-            let mut got = paged.search_collect(&engine, &q);
+            let mut got = paged.search_collect(&engine, &q).expect("search");
             got.sort_unstable();
             let want: Vec<u64> = (0..2000u64)
                 .filter(|&i| i as f64 <= q.hi[0] && q.lo[0] <= i as f64 + 1.5)
@@ -656,12 +689,16 @@ mod tests {
     fn incremental_insert_into_persisted_tree() {
         let tree = build_tree(500);
         let engine = StorageEngine::in_memory();
-        let mut paged = PagedRTree::persist(&tree, &engine);
+        let mut paged = PagedRTree::persist(&tree, &engine).expect("persist");
         for i in 500..800u64 {
-            paged.insert(&engine, iv(i as f64, i as f64 + 1.5), i);
+            paged
+                .insert(&engine, iv(i as f64, i as f64 + 1.5), i)
+                .expect("insert");
         }
         assert_eq!(paged.len(), 800);
-        let mut got = paged.search_collect(&engine, &iv(0.0, 1000.0));
+        let mut got = paged
+            .search_collect(&engine, &iv(0.0, 1000.0))
+            .expect("search");
         got.sort_unstable();
         assert_eq!(got, (0..800).collect::<Vec<u64>>());
     }
@@ -670,13 +707,20 @@ mod tests {
     fn incremental_remove() {
         let tree = build_tree(300);
         let engine = StorageEngine::in_memory();
-        let mut paged = PagedRTree::persist(&tree, &engine);
+        let mut paged = PagedRTree::persist(&tree, &engine).expect("persist");
         for i in (0..300u64).step_by(3) {
-            assert!(paged.remove(&engine, &iv(i as f64, i as f64 + 1.5), i));
+            assert!(paged
+                .remove(&engine, &iv(i as f64, i as f64 + 1.5), i)
+                .expect("remove"));
         }
         assert_eq!(paged.len(), 200);
-        assert!(!paged.remove(&engine, &iv(0.0, 1.5), 0), "already removed");
-        let mut got = paged.search_collect(&engine, &iv(-10.0, 1000.0));
+        assert!(
+            !paged.remove(&engine, &iv(0.0, 1.5), 0).expect("remove"),
+            "already removed"
+        );
+        let mut got = paged
+            .search_collect(&engine, &iv(-10.0, 1000.0))
+            .expect("search");
         got.sort_unstable();
         let want: Vec<u64> = (0..300).filter(|i| i % 3 != 0).collect();
         assert_eq!(got, want);
@@ -688,7 +732,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let engine = StorageEngine::in_memory();
         let tree: RStarTree<2> = RStarTree::default();
-        let mut paged: PagedRTree<2> = PagedRTree::persist(&tree, &engine);
+        let mut paged: PagedRTree<2> = PagedRTree::persist(&tree, &engine).expect("persist");
         let mut model: Vec<(Aabb<2>, u64)> = Vec::new();
         let mut next = 0u64;
         for _ in 0..1500 {
@@ -699,13 +743,13 @@ mod tests {
                     [x, y],
                     [x + rng.gen_range(0.0..4.0), y + rng.gen_range(0.0..4.0)],
                 );
-                paged.insert(&engine, b, next);
+                paged.insert(&engine, b, next).expect("insert");
                 model.push((b, next));
                 next += 1;
             } else {
                 let victim = rng.gen_range(0..model.len());
                 let (b, d) = model.swap_remove(victim);
-                assert!(paged.remove(&engine, &b, d));
+                assert!(paged.remove(&engine, &b, d).expect("remove"));
             }
         }
         assert_eq!(paged.len(), model.len());
@@ -713,7 +757,7 @@ mod tests {
             let x: f64 = rng.gen_range(0.0..100.0);
             let y: f64 = rng.gen_range(0.0..100.0);
             let q = Aabb::new([x, y], [x + 15.0, y + 15.0]);
-            let mut got = paged.search_collect(&engine, &q);
+            let mut got = paged.search_collect(&engine, &q).expect("search");
             got.sort_unstable();
             let mut want: Vec<u64> = model
                 .iter()
@@ -732,14 +776,16 @@ mod tests {
         // universe query and checking visit counts stay plausible.
         let engine = StorageEngine::in_memory();
         let tree: RStarTree<1> = RStarTree::default();
-        let mut paged = PagedRTree::persist(&tree, &engine);
+        let mut paged = PagedRTree::persist(&tree, &engine).expect("persist");
         let n = 3000u64;
         for i in 0..n {
             // Clustered values stress the split paths.
             let v = (i % 100) as f64 + (i as f64) * 1e-4;
-            paged.insert(&engine, iv(v, v + 0.5), i);
+            paged.insert(&engine, iv(v, v + 0.5), i).expect("insert");
         }
-        let stats = paged.search(&engine, &iv(-1.0, 200.0), |_, _| {});
+        let stats = paged
+            .search(&engine, &iv(-1.0, 200.0), |_, _| {})
+            .expect("search");
         assert_eq!(stats.results, n);
         // A tree with fanout 170 holding 3000 entries needs at least
         // ceil(3000/170) = 18 leaf pages and visits every page once.

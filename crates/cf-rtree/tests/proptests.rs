@@ -98,8 +98,8 @@ proptest! {
             tree.insert(Aabb::new([lo], [lo + w]), i as u64);
         }
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
-        let frozen = paged.freeze(&engine);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
+        let frozen = paged.freeze(&engine).expect("freeze");
         let from_dynamic = FrozenTree::from_tree(&tree);
 
         // The random queries plus the edge cases: a zero-width point
@@ -114,7 +114,7 @@ proptest! {
 
         let (mut a, mut b, mut c, mut d) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         for q in &qs {
-            let sa = paged.search_into(&engine, q, &mut a);
+            let sa = paged.search_into(&engine, q, &mut a).expect("search");
             let sb = frozen.search_into(q, &mut b);
             let sc = from_dynamic.search_into(q, &mut c);
             tree.search_into(q, &mut d);
@@ -143,10 +143,10 @@ proptest! {
             tree.insert(Aabb::new([lo], [lo + w]), i as u64);
         }
         let engine = StorageEngine::in_memory();
-        let paged = PagedRTree::persist(&tree, &engine);
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
         for &(qlo, qw) in &queries {
             let q = Aabb::new([qlo], [qlo + qw]);
-            let mut a = paged.search_collect(&engine, &q);
+            let mut a = paged.search_collect(&engine, &q).expect("search");
             let mut b = tree.search_collect(&q);
             a.sort_unstable();
             b.sort_unstable();

@@ -15,6 +15,7 @@
 //! for tests and tiny-cache experiments.
 
 use crate::disk::{DiskManager, PageBuf, PageId};
+use crate::error::CfResult;
 use crate::stats::{tally, ShardStats};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,7 +147,16 @@ impl BufferPool {
     /// Runs `f` over the bytes of page `id`, faulting it in from `disk`
     /// on a miss (evicting the shard's least-recently-used frame if the
     /// shard is full).
-    pub fn with_page<T>(&self, disk: &DiskManager, id: PageId, f: impl FnOnce(&PageBuf) -> T) -> T {
+    ///
+    /// Pages enter the cache only after the physical read verified
+    /// their checksum, so buffer hits never re-verify; a failed read
+    /// caches nothing and the error propagates.
+    pub fn with_page<T>(
+        &self,
+        disk: &DiskManager,
+        id: PageId,
+        f: impl FnOnce(&PageBuf) -> T,
+    ) -> CfResult<T> {
         let shard = self.shard_of(id);
         let mut inner = shard.inner.lock().expect("buffer shard poisoned");
         let stamp = inner.next_stamp;
@@ -161,7 +171,7 @@ impl BufferPool {
             inner.lru.insert(stamp, id);
             // Re-borrow immutably for the closure.
             let frame = &inner.frames[&id];
-            return f(&frame.data);
+            return Ok(f(&frame.data));
         }
 
         // Miss: the shard lock is held across the disk read, so two
@@ -181,23 +191,36 @@ impl BufferPool {
             inner.frames.remove(&victim);
         }
         let mut data = Box::new([0u8; crate::PAGE_SIZE]);
-        disk.read_page(id, &mut data);
+        disk.read_page(id, &mut data)?;
         inner.lru.insert(stamp, id);
         inner.frames.insert(id, Frame { data, stamp });
-        f(&inner.frames[&id].data)
+        Ok(f(&inner.frames[&id].data))
     }
 
-    /// Writes a page through the cache to disk: the cached copy (if any)
-    /// is updated in place, and the disk copy always is.
-    pub fn write_through(&self, disk: &DiskManager, id: PageId, buf: &PageBuf) {
-        let shard = self.shard_of(id);
-        {
-            let mut inner = shard.inner.lock().expect("buffer shard poisoned");
-            if let Some(frame) = inner.frames.get_mut(&id) {
-                frame.data.copy_from_slice(buf);
+    /// Writes a page through the cache to disk: the disk copy is
+    /// written first, then the cached copy (if any) is updated in
+    /// place. If the disk write fails, any cached frame for the page is
+    /// invalidated — the disk may hold a torn image and the next read
+    /// must see the disk's truth (typically [`crate::CfError::Corrupt`]).
+    pub fn write_through(&self, disk: &DiskManager, id: PageId, buf: &PageBuf) -> CfResult<()> {
+        match disk.write_page(id, buf) {
+            Ok(()) => {
+                let shard = self.shard_of(id);
+                let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+                if let Some(frame) = inner.frames.get_mut(&id) {
+                    frame.data.copy_from_slice(buf);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let shard = self.shard_of(id);
+                let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+                if let Some(frame) = inner.frames.remove(&id) {
+                    inner.lru.remove(&frame.stamp);
+                }
+                Err(e)
             }
         }
-        disk.write_page(id, buf);
     }
 
     /// Drops every cached frame (cold-cache benchmarking).
@@ -272,16 +295,16 @@ mod tests {
     #[test]
     fn hit_after_first_access() {
         let disk = DiskManager::new();
-        let id = disk.allocate();
-        disk.write_page(id, &page_with_tag(9));
+        let id = disk.allocate().expect("allocate");
+        disk.write_page(id, &page_with_tag(9)).expect("write");
         let pool = BufferPool::new(4);
 
-        let v = pool.with_page(&disk, id, |p| p[0]);
+        let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
         assert_eq!(v, 9);
         assert_eq!(pool.misses(), 1);
         assert_eq!(pool.hits(), 0);
 
-        let v = pool.with_page(&disk, id, |p| p[0]);
+        let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
         assert_eq!(v, 9);
         assert_eq!(pool.hits(), 1);
         // Only one physical read happened.
@@ -323,56 +346,57 @@ mod tests {
         let disk = DiskManager::new();
         let ids: Vec<PageId> = (0..4)
             .map(|i| {
-                let id = disk.allocate();
-                disk.write_page(id, &page_with_tag(i as u8));
+                let id = disk.allocate().expect("allocate");
+                disk.write_page(id, &page_with_tag(i as u8)).expect("write");
                 id
             })
             .collect();
         let pool = BufferPool::new(2);
         assert_eq!(pool.num_shards(), 1, "small pool must be one exact LRU");
 
-        pool.with_page(&disk, ids[0], |_| ());
-        pool.with_page(&disk, ids[1], |_| ());
+        pool.with_page(&disk, ids[0], |_| ()).expect("read");
+        pool.with_page(&disk, ids[1], |_| ()).expect("read");
         // Touch 0 so 1 becomes the LRU victim.
-        pool.with_page(&disk, ids[0], |_| ());
-        pool.with_page(&disk, ids[2], |_| ()); // evicts 1
+        pool.with_page(&disk, ids[0], |_| ()).expect("read");
+        pool.with_page(&disk, ids[2], |_| ()).expect("read"); // evicts 1
         assert_eq!(pool.cached_pages(), 2);
 
         disk.reset_counters();
-        pool.with_page(&disk, ids[0], |_| ()); // still cached
+        pool.with_page(&disk, ids[0], |_| ()).expect("read"); // still cached
         assert_eq!(disk.reads(), 0);
-        pool.with_page(&disk, ids[1], |_| ()); // was evicted
+        pool.with_page(&disk, ids[1], |_| ()).expect("read"); // was evicted
         assert_eq!(disk.reads(), 1);
     }
 
     #[test]
     fn write_through_updates_cache_and_disk() {
         let disk = DiskManager::new();
-        let id = disk.allocate();
+        let id = disk.allocate().expect("allocate");
         let pool = BufferPool::new(2);
-        pool.with_page(&disk, id, |_| ()); // cache the zero page
-        pool.write_through(&disk, id, &page_with_tag(7));
+        pool.with_page(&disk, id, |_| ()).expect("read"); // cache the zero page
+        pool.write_through(&disk, id, &page_with_tag(7))
+            .expect("write");
         // Cached copy was updated: no new physical read needed.
         disk.reset_counters();
-        let v = pool.with_page(&disk, id, |p| p[0]);
+        let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
         assert_eq!(v, 7);
         assert_eq!(disk.reads(), 0);
         // Disk copy was updated too.
         pool.clear();
-        let v = pool.with_page(&disk, id, |p| p[0]);
+        let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
         assert_eq!(v, 7);
     }
 
     #[test]
     fn clear_forces_refetch() {
         let disk = DiskManager::new();
-        let id = disk.allocate();
+        let id = disk.allocate().expect("allocate");
         let pool = BufferPool::new(2);
-        pool.with_page(&disk, id, |_| ());
+        pool.with_page(&disk, id, |_| ()).expect("read");
         pool.clear();
         assert_eq!(pool.cached_pages(), 0);
         disk.reset_counters();
-        pool.with_page(&disk, id, |_| ());
+        pool.with_page(&disk, id, |_| ()).expect("read");
         assert_eq!(disk.reads(), 1);
     }
 
@@ -385,10 +409,12 @@ mod tests {
     #[test]
     fn capacity_is_respected_under_scan() {
         let disk = DiskManager::new();
-        let ids: Vec<PageId> = (0..100).map(|_| disk.allocate()).collect();
+        let ids: Vec<PageId> = (0..100)
+            .map(|_| disk.allocate().expect("allocate"))
+            .collect();
         let pool = BufferPool::new(10);
         for &id in &ids {
-            pool.with_page(&disk, id, |_| ());
+            pool.with_page(&disk, id, |_| ()).expect("read");
         }
         assert_eq!(pool.cached_pages(), 10);
         assert_eq!(pool.misses(), 100);
@@ -397,10 +423,12 @@ mod tests {
     #[test]
     fn sharded_pool_respects_total_capacity_under_scan() {
         let disk = DiskManager::new();
-        let ids: Vec<PageId> = (0..2000).map(|_| disk.allocate()).collect();
+        let ids: Vec<PageId> = (0..2000)
+            .map(|_| disk.allocate().expect("allocate"))
+            .collect();
         let pool = BufferPool::with_shards(256, 4);
         for &id in &ids {
-            pool.with_page(&disk, id, |_| ());
+            pool.with_page(&disk, id, |_| ()).expect("read");
         }
         assert!(pool.cached_pages() <= 256);
         assert_eq!(pool.misses(), 2000);
@@ -411,13 +439,15 @@ mod tests {
     #[test]
     fn shard_counters_sum_to_pool_counters() {
         let disk = DiskManager::new();
-        let ids: Vec<PageId> = (0..512).map(|_| disk.allocate()).collect();
+        let ids: Vec<PageId> = (0..512)
+            .map(|_| disk.allocate().expect("allocate"))
+            .collect();
         let pool = BufferPool::with_shards(128, 8);
         for &id in &ids {
-            pool.with_page(&disk, id, |_| ());
+            pool.with_page(&disk, id, |_| ()).expect("read");
         }
         for &id in ids.iter().rev().take(64) {
-            pool.with_page(&disk, id, |_| ());
+            pool.with_page(&disk, id, |_| ()).expect("read");
         }
         let stats = pool.shard_stats();
         assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), pool.hits());
@@ -437,8 +467,8 @@ mod tests {
         let disk = DiskManager::new();
         let ids: Vec<PageId> = (0..64)
             .map(|i| {
-                let id = disk.allocate();
-                disk.write_page(id, &page_with_tag(i as u8));
+                let id = disk.allocate().expect("allocate");
+                disk.write_page(id, &page_with_tag(i as u8)).expect("write");
                 id
             })
             .collect();
@@ -450,7 +480,7 @@ mod tests {
                 scope.spawn(move || {
                     for round in 0..50 {
                         let i = (t * 7 + round * 13) % ids.len();
-                        let v = pool.with_page(disk, ids[i], |p| p[0]);
+                        let v = pool.with_page(disk, ids[i], |p| p[0]).expect("read");
                         assert_eq!(v, i as u8);
                     }
                 });
@@ -461,5 +491,32 @@ mod tests {
         assert_eq!(pool.hits() + pool.misses(), 8 * 50);
         assert_eq!(pool.misses(), disk.reads());
         assert!(pool.cached_pages() <= 64);
+    }
+
+    #[test]
+    fn failed_reads_cache_nothing_and_failed_writes_invalidate() {
+        use crate::Fault;
+        let disk = DiskManager::new();
+        let id = disk.allocate().expect("allocate");
+        disk.write_page(id, &page_with_tag(1)).expect("write");
+        let pool = BufferPool::new(4);
+
+        disk.inject_fault(Fault::FailRead { nth: 0 });
+        assert!(pool.with_page(&disk, id, |_| ()).is_err());
+        assert_eq!(pool.cached_pages(), 0, "failed fault-in must not cache");
+        disk.clear_faults();
+        let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
+        assert_eq!(v, 1);
+
+        // A torn write drops the stale frame so the next read sees the
+        // disk's (corrupt) truth instead of a cached pre-write image.
+        disk.inject_fault(Fault::TornWrite { nth: 0, keep: 8 });
+        assert!(pool.write_through(&disk, id, &page_with_tag(2)).is_err());
+        assert_eq!(pool.cached_pages(), 0, "failed write must invalidate");
+        let err = pool
+            .with_page(&disk, id, |_| ())
+            .expect_err("torn page is corrupt");
+        assert!(err.is_corrupt());
+        disk.clear_faults();
     }
 }

@@ -1,8 +1,16 @@
-//! The simulated disk: an array of fixed-size pages with I/O accounting.
+//! The simulated disk: an array of fixed-size pages with I/O accounting,
+//! per-page checksums, and deterministic fault injection.
+//!
+//! This file is on the on-disk decode path and is covered by the CI
+//! grep gate: no `panic!` / `unwrap` — every failure surfaces as a
+//! typed [`CfError`].
 
+use crate::checksum;
+use crate::error::{CfError, CfResult, FaultOp};
+use crate::fault::{FaultInjector, ReadPlan, WritePlan};
 use crate::stats::tally;
+use crate::Fault;
 use std::fs::File;
-use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +42,12 @@ impl PageId {
 /// RAM-resident modern hardware (a *documented substitution*, see
 /// DESIGN.md). Counters are atomic so concurrent readers do not contend
 /// on the page data lock for accounting.
+///
+/// Every page carries an 8-byte sidecar checksum entry (see
+/// [`crate::checksum`]) updated on write and verified on every
+/// **physical** read, so torn writes and bit rot surface as
+/// [`CfError::Corrupt`] with the page id instead of garbage answers.
+/// Buffer-pool hits never re-verify.
 pub struct DiskManager {
     backing: RwLock<Backing>,
     alloc_lock: Mutex<()>,
@@ -41,21 +55,31 @@ pub struct DiskManager {
     writes: AtomicU64,
     read_latency: Duration,
     write_latency: Duration,
+    faults: FaultInjector,
 }
 
 /// Where the pages live.
 enum Backing {
-    /// In-memory vector of pages (the default, fully deterministic).
-    Memory(Vec<Box<PageBuf>>),
+    /// In-memory pages plus their sidecar checksum entries (the
+    /// default, fully deterministic).
+    Memory {
+        pages: Vec<Box<PageBuf>>,
+        sums: Vec<u64>,
+    },
     /// A real file on disk: pages are 4 KiB slots addressed by
-    /// `page_id * PAGE_SIZE` via positional I/O.
-    File { file: File, num_pages: usize },
+    /// `page_id * PAGE_SIZE` via positional I/O; checksum entries live
+    /// in a `<path>.crc` sidecar file, 8 bytes per page.
+    File {
+        file: File,
+        sums: File,
+        num_pages: usize,
+    },
 }
 
 impl Backing {
     fn num_pages(&self) -> usize {
         match self {
-            Backing::Memory(pages) => pages.len(),
+            Backing::Memory { pages, .. } => pages.len(),
             Backing::File { num_pages, .. } => *num_pages,
         }
     }
@@ -81,12 +105,16 @@ impl DiskManager {
     /// writes scale in the disk-resident regime.
     pub fn with_latency(read_latency: Duration, write_latency: Duration) -> Self {
         Self {
-            backing: RwLock::new(Backing::Memory(Vec::new())),
+            backing: RwLock::new(Backing::Memory {
+                pages: Vec::new(),
+                sums: Vec::new(),
+            }),
             alloc_lock: Mutex::new(()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             read_latency,
             write_latency,
+            faults: FaultInjector::new(),
         }
     }
 
@@ -97,35 +125,96 @@ impl DiskManager {
     /// can be reopened across processes. Page-level persistence only —
     /// callers keep their own catalog of what lives where (see the
     /// `file_backed_db` integration test).
-    pub fn open_file(path: impl AsRef<Path>, read_latency: Duration) -> io::Result<Self> {
+    ///
+    /// Checksums live in a `<path>.crc` sidecar; a pre-existing data
+    /// file without one (or with a shorter one, e.g. written by an
+    /// older build) has the missing entries backfilled from the page
+    /// bytes currently on disk.
+    pub fn open_file(path: impl AsRef<Path>, read_latency: Duration) -> CfResult<Self> {
+        let path = path.as_ref();
         let file = File::options()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path)?;
-        let num_pages = (file.metadata()?.len() as usize) / PAGE_SIZE;
+            .open(path)
+            .map_err(|e| CfError::io(format!("opening database file {}", path.display()), e))?;
+        let meta = file
+            .metadata()
+            .map_err(|e| CfError::io("reading database file metadata", e))?;
+        let num_pages = (meta.len() as usize) / PAGE_SIZE;
+
+        let mut sums_path = path.as_os_str().to_owned();
+        sums_path.push(".crc");
+        let sums = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&sums_path)
+            .map_err(|e| CfError::io("opening checksum sidecar file", e))?;
+        let sums_meta = sums
+            .metadata()
+            .map_err(|e| CfError::io("reading checksum sidecar metadata", e))?;
+        let have = (sums_meta.len() as usize) / checksum::ENTRY_SIZE;
+
+        // Backfill entries for pages the sidecar does not cover yet.
+        let mut buf: PageBuf = [0u8; PAGE_SIZE];
+        for idx in have..num_pages {
+            file.read_exact_at(&mut buf, (idx * PAGE_SIZE) as u64)
+                .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
+            let entry = checksum::page_entry(&buf);
+            sums.write_all_at(&entry.to_le_bytes(), (idx * checksum::ENTRY_SIZE) as u64)
+                .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
+        }
+
         Ok(Self {
-            backing: RwLock::new(Backing::File { file, num_pages }),
+            backing: RwLock::new(Backing::File {
+                file,
+                sums,
+                num_pages,
+            }),
             alloc_lock: Mutex::new(()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             read_latency,
             write_latency: Duration::ZERO,
+            faults: FaultInjector::new(),
         })
     }
 
     /// Flushes file-backed contents to stable storage (no-op for the
     /// in-memory backing).
-    pub fn sync(&self) -> io::Result<()> {
+    pub fn sync(&self) -> CfResult<()> {
         match &*self.backing.read().expect("disk lock poisoned") {
-            Backing::Memory(_) => Ok(()),
-            Backing::File { file, .. } => file.sync_data(),
+            Backing::Memory { .. } => Ok(()),
+            Backing::File { file, sums, .. } => {
+                file.sync_data()
+                    .map_err(|e| CfError::io("syncing database file", e))?;
+                sums.sync_data()
+                    .map_err(|e| CfError::io("syncing checksum sidecar", e))
+            }
         }
     }
 
+    /// Arms a deterministic fault on this disk (see [`Fault`]).
+    pub fn inject_fault(&self, fault: Fault) {
+        self.faults.arm(fault);
+    }
+
+    /// Disarms all faults and resets the fault ordinal counters.
+    pub fn clear_faults(&self) {
+        self.faults.clear();
+    }
+
+    /// Physical `(reads, writes)` in the fault-ordinal space — counted
+    /// since the last [`DiskManager::clear_faults`].
+    pub fn fault_ops(&self) -> (u64, u64) {
+        self.faults.ops()
+    }
+
     /// Allocates a zero-filled page and returns its id.
-    pub fn allocate(&self) -> PageId {
+    pub fn allocate(&self) -> CfResult<PageId> {
         self.allocate_run(1)
     }
 
@@ -133,21 +222,35 @@ impl DiskManager {
     ///
     /// Consecutive allocation is what makes subfield record ranges
     /// physically contiguous.
-    pub fn allocate_run(&self, n: usize) -> PageId {
+    pub fn allocate_run(&self, n: usize) -> CfResult<PageId> {
         let _guard = self.alloc_lock.lock().expect("disk lock poisoned");
         let mut backing = self.backing.write().expect("disk lock poisoned");
         match &mut *backing {
-            Backing::Memory(pages) => {
+            Backing::Memory { pages, sums } => {
                 let id = PageId(pages.len() as u64);
                 pages.extend((0..n).map(|_| Box::new([0u8; PAGE_SIZE])));
-                id
+                sums.extend((0..n).map(|_| checksum::zero_page_entry()));
+                Ok(id)
             }
-            Backing::File { file, num_pages } => {
+            Backing::File {
+                file,
+                sums,
+                num_pages,
+            } => {
                 let id = PageId(*num_pages as u64);
+                let first = *num_pages;
                 *num_pages += n;
                 file.set_len((*num_pages * PAGE_SIZE) as u64)
-                    .expect("extend database file");
-                id
+                    .map_err(|e| CfError::io("extending database file", e))?;
+                // Fresh pages read back as zeroes; record matching
+                // sidecar entries so reading them verifies.
+                let mut entries = Vec::with_capacity(n * checksum::ENTRY_SIZE);
+                for _ in 0..n {
+                    entries.extend_from_slice(&checksum::zero_page_entry().to_le_bytes());
+                }
+                sums.write_all_at(&entries, (first * checksum::ENTRY_SIZE) as u64)
+                    .map_err(|e| CfError::io("extending checksum sidecar", e))?;
+                Ok(id)
             }
         }
     }
@@ -157,52 +260,134 @@ impl DiskManager {
         self.backing.read().expect("disk lock poisoned").num_pages()
     }
 
-    /// Reads a page into `buf`, counting one physical read.
+    /// Reads a page into `buf`, counting one physical read and
+    /// verifying the page checksum.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page was never allocated.
-    pub fn read_page(&self, id: PageId, buf: &mut PageBuf) {
+    /// [`CfError::Corrupt`] if the page was never allocated or its
+    /// bytes fail checksum verification; [`CfError::Io`] if the backing
+    /// file read fails; [`CfError::Injected`] under fault injection.
+    pub fn read_page(&self, id: PageId, buf: &mut PageBuf) -> CfResult<()> {
         self.reads.fetch_add(1, Ordering::Relaxed);
         tally::count_disk_read();
         if !self.read_latency.is_zero() {
             wait_for(self.read_latency);
         }
-        let backing = self.backing.read().expect("disk lock poisoned");
-        assert!(
-            id.index() < backing.num_pages(),
-            "read of unallocated page {id:?}"
-        );
-        match &*backing {
-            Backing::Memory(pages) => buf.copy_from_slice(&pages[id.index()][..]),
-            Backing::File { file, .. } => file
-                .read_exact_at(buf, (id.index() * PAGE_SIZE) as u64)
-                .expect("read database page"),
+        let plan = self.faults.plan_read();
+        if let ReadPlan::Fail(ordinal) = plan {
+            return Err(CfError::Injected {
+                op: FaultOp::Read,
+                ordinal,
+            });
         }
+        let expected = {
+            let backing = self.backing.read().expect("disk lock poisoned");
+            if id.index() >= backing.num_pages() {
+                return Err(CfError::corrupt(
+                    id,
+                    format!(
+                        "read of unallocated page (disk has {} pages)",
+                        backing.num_pages()
+                    ),
+                ));
+            }
+            match &*backing {
+                Backing::Memory { pages, sums } => {
+                    buf.copy_from_slice(&pages[id.index()][..]);
+                    sums[id.index()]
+                }
+                Backing::File { file, sums, .. } => {
+                    file.read_exact_at(buf, (id.index() * PAGE_SIZE) as u64)
+                        .map_err(|e| CfError::io(format!("reading page {}", id.0), e))?;
+                    let mut entry = [0u8; checksum::ENTRY_SIZE];
+                    sums.read_exact_at(&mut entry, (id.index() * checksum::ENTRY_SIZE) as u64)
+                        .map_err(|e| {
+                            CfError::io(format!("reading checksum entry for page {}", id.0), e)
+                        })?;
+                    u64::from_le_bytes(entry)
+                }
+            }
+        };
+        if let ReadPlan::Short { len } = plan {
+            // The "device" returned only the first `len` bytes; the
+            // tail reads as zeroes and verification below catches the
+            // truncation (unless the tail was all-zero anyway, in which
+            // case the data is bit-identical and the read is sound).
+            let len = len.min(PAGE_SIZE);
+            buf[len..].fill(0);
+        }
+        checksum::verify_page(buf, expected, id)
     }
 
-    /// Writes `buf` to a page, counting one physical write.
+    /// Writes `buf` to a page, counting one physical write and
+    /// updating the page's sidecar checksum.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page was never allocated.
-    pub fn write_page(&self, id: PageId, buf: &PageBuf) {
+    /// [`CfError::Corrupt`] if the page was never allocated;
+    /// [`CfError::Io`] if the backing file write fails;
+    /// [`CfError::Injected`] under fault injection (a torn write lands
+    /// a prefix of the bytes and skips the checksum update, so the next
+    /// physical read reports corruption).
+    pub fn write_page(&self, id: PageId, buf: &PageBuf) -> CfResult<()> {
         self.writes.fetch_add(1, Ordering::Relaxed);
         tally::count_disk_write();
         if !self.write_latency.is_zero() {
             wait_for(self.write_latency);
         }
-        let mut backing = self.backing.write().expect("disk lock poisoned");
-        assert!(
-            id.index() < backing.num_pages(),
-            "write to unallocated page {id:?}"
-        );
-        match &mut *backing {
-            Backing::Memory(pages) => pages[id.index()].copy_from_slice(buf),
-            Backing::File { file, .. } => file
-                .write_all_at(buf, (id.index() * PAGE_SIZE) as u64)
-                .expect("write database page"),
+        let plan = self.faults.plan_write();
+        if let WritePlan::Fail(ordinal) = plan {
+            return Err(CfError::Injected {
+                op: FaultOp::Write,
+                ordinal,
+            });
         }
+        // Checksum computed outside the page lock so parallel writers
+        // do not serialize on it.
+        let entry = checksum::page_entry(buf);
+        let mut backing = self.backing.write().expect("disk lock poisoned");
+        if id.index() >= backing.num_pages() {
+            return Err(CfError::corrupt(
+                id,
+                format!(
+                    "write to unallocated page (disk has {} pages)",
+                    backing.num_pages()
+                ),
+            ));
+        }
+        if let WritePlan::Torn { keep, ordinal } = plan {
+            let keep = keep.min(PAGE_SIZE);
+            match &mut *backing {
+                Backing::Memory { pages, .. } => {
+                    pages[id.index()][..keep].copy_from_slice(&buf[..keep]);
+                }
+                Backing::File { file, .. } => {
+                    file.write_all_at(&buf[..keep], (id.index() * PAGE_SIZE) as u64)
+                        .map_err(|e| CfError::io(format!("writing page {}", id.0), e))?;
+                }
+            }
+            return Err(CfError::Injected {
+                op: FaultOp::Write,
+                ordinal,
+            });
+        }
+        match &mut *backing {
+            Backing::Memory { pages, sums } => {
+                pages[id.index()].copy_from_slice(buf);
+                sums[id.index()] = entry;
+            }
+            Backing::File { file, sums, .. } => {
+                file.write_all_at(buf, (id.index() * PAGE_SIZE) as u64)
+                    .map_err(|e| CfError::io(format!("writing page {}", id.0), e))?;
+                sums.write_all_at(
+                    &entry.to_le_bytes(),
+                    (id.index() * checksum::ENTRY_SIZE) as u64,
+                )
+                .map_err(|e| CfError::io(format!("writing checksum entry for page {}", id.0), e))?;
+            }
+        }
+        Ok(())
     }
 
     /// Physical reads performed so far.
@@ -257,8 +442,8 @@ mod tests {
     #[test]
     fn allocate_and_round_trip() {
         let disk = DiskManager::new();
-        let a = disk.allocate();
-        let b = disk.allocate();
+        let a = disk.allocate().expect("allocate");
+        let b = disk.allocate().expect("allocate");
         assert_eq!(a, PageId(0));
         assert_eq!(b, PageId(1));
         assert_eq!(disk.num_pages(), 2);
@@ -266,27 +451,28 @@ mod tests {
         let mut buf = [0u8; PAGE_SIZE];
         buf[0] = 0xAB;
         buf[PAGE_SIZE - 1] = 0xCD;
-        disk.write_page(b, &buf);
+        disk.write_page(b, &buf).expect("write");
 
         let mut out = [0u8; PAGE_SIZE];
-        disk.read_page(b, &mut out);
+        disk.read_page(b, &mut out).expect("read");
         assert_eq!(out[0], 0xAB);
         assert_eq!(out[PAGE_SIZE - 1], 0xCD);
 
-        // Page `a` is still zeroed.
-        disk.read_page(a, &mut out);
+        // Page `a` is still zeroed — and verifies against its fresh
+        // zero-page checksum entry.
+        disk.read_page(a, &mut out).expect("read fresh page");
         assert!(out.iter().all(|&x| x == 0));
     }
 
     #[test]
     fn counters_track_physical_io() {
         let disk = DiskManager::new();
-        let id = disk.allocate();
+        let id = disk.allocate().expect("allocate");
         let buf = [0u8; PAGE_SIZE];
         let mut out = [0u8; PAGE_SIZE];
-        disk.write_page(id, &buf);
-        disk.read_page(id, &mut out);
-        disk.read_page(id, &mut out);
+        disk.write_page(id, &buf).expect("write");
+        disk.read_page(id, &mut out).expect("read");
+        disk.read_page(id, &mut out).expect("read");
         assert_eq!(disk.writes(), 1);
         assert_eq!(disk.reads(), 2);
         disk.reset_counters();
@@ -297,28 +483,122 @@ mod tests {
     #[test]
     fn allocate_run_is_consecutive() {
         let disk = DiskManager::new();
-        let _ = disk.allocate();
-        let first = disk.allocate_run(5);
+        let _ = disk.allocate().expect("allocate");
+        let first = disk.allocate_run(5).expect("allocate run");
         assert_eq!(first, PageId(1));
         assert_eq!(disk.num_pages(), 6);
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn read_of_unallocated_page_panics() {
+    fn read_of_unallocated_page_is_typed_corruption() {
         let disk = DiskManager::new();
         let mut buf = [0u8; PAGE_SIZE];
-        disk.read_page(PageId(7), &mut buf);
+        let err = disk
+            .read_page(PageId(7), &mut buf)
+            .expect_err("unallocated read must fail");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(PageId(7)));
+        assert!(err.to_string().contains("unallocated"), "{err}");
+    }
+
+    #[test]
+    fn write_to_unallocated_page_is_typed_corruption() {
+        let disk = DiskManager::new();
+        let buf = [0u8; PAGE_SIZE];
+        let err = disk
+            .write_page(PageId(3), &buf)
+            .expect_err("unallocated write must fail");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(PageId(3)));
+    }
+
+    #[test]
+    fn fail_nth_write_is_deterministic_and_leaves_old_bytes() {
+        let disk = DiskManager::new();
+        let id = disk.allocate().expect("allocate");
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 1;
+        disk.write_page(id, &buf).expect("write");
+
+        disk.clear_faults();
+        disk.inject_fault(Fault::FailWrite { nth: 0 });
+        buf[0] = 2;
+        let err = disk.write_page(id, &buf).expect_err("injected write fault");
+        assert!(err.is_injected());
+
+        // Nothing reached the page; the old image still verifies.
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut out)
+            .expect("read after failed write");
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn torn_write_surfaces_as_corrupt_on_next_read() {
+        let disk = DiskManager::new();
+        let id = disk.allocate().expect("allocate");
+        let mut buf = [0u8; PAGE_SIZE];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        disk.write_page(id, &buf).expect("write");
+
+        disk.clear_faults();
+        disk.inject_fault(Fault::TornWrite { nth: 0, keep: 100 });
+        let mut torn = [0xFFu8; PAGE_SIZE];
+        torn[0] = 9;
+        let err = disk.write_page(id, &torn).expect_err("torn write faults");
+        assert!(err.is_injected());
+
+        let mut out = [0u8; PAGE_SIZE];
+        let err = disk
+            .read_page(id, &mut out)
+            .expect_err("torn page must fail verification");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(id));
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn fail_nth_read_fires_once() {
+        let disk = DiskManager::new();
+        let id = disk.allocate().expect("allocate");
+        disk.clear_faults();
+        disk.inject_fault(Fault::FailRead { nth: 1 });
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut out).expect("read 0 unaffected");
+        let err = disk.read_page(id, &mut out).expect_err("read 1 faults");
+        assert!(err.is_injected());
+        disk.read_page(id, &mut out).expect("read 2 unaffected");
+        assert_eq!(disk.fault_ops().0, 3);
+    }
+
+    #[test]
+    fn short_read_of_nonzero_tail_is_corrupt() {
+        let disk = DiskManager::new();
+        let id = disk.allocate().expect("allocate");
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[PAGE_SIZE - 1] = 0x5A; // nonzero tail gets truncated away
+        disk.write_page(id, &buf).expect("write");
+
+        disk.clear_faults();
+        disk.inject_fault(Fault::ShortRead { nth: 0, len: 512 });
+        let mut out = [0u8; PAGE_SIZE];
+        let err = disk
+            .read_page(id, &mut out)
+            .expect_err("short read loses the tail");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(id));
     }
 
     #[test]
     fn write_latency_is_charged() {
         let disk = DiskManager::with_latency(Duration::ZERO, Duration::from_micros(200));
-        let id = disk.allocate();
+        let id = disk.allocate().expect("allocate");
         let buf = [0u8; PAGE_SIZE];
         let t0 = Instant::now();
         for _ in 0..5 {
-            disk.write_page(id, &buf);
+            disk.write_page(id, &buf).expect("write");
         }
         assert!(t0.elapsed() >= Duration::from_micros(1000));
     }
@@ -326,12 +606,97 @@ mod tests {
     #[test]
     fn read_latency_is_charged() {
         let disk = DiskManager::with_read_latency(Duration::from_micros(200));
-        let id = disk.allocate();
+        let id = disk.allocate().expect("allocate");
         let mut buf = [0u8; PAGE_SIZE];
         let t0 = Instant::now();
         for _ in 0..5 {
-            disk.read_page(id, &mut buf);
+            disk.read_page(id, &mut buf).expect("read");
         }
         assert!(t0.elapsed() >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn file_backing_persists_checksums_across_reopen() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "cf_disk_crc_test_{}_{:?}.db",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut crc_path = path.clone().into_os_string();
+        crc_path.push(".crc");
+        let _ = std::fs::remove_file(&crc_path);
+
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[7] = 0x77;
+        {
+            let disk = DiskManager::open_file(&path, Duration::ZERO).expect("open");
+            let id = disk.allocate().expect("allocate");
+            disk.write_page(id, &buf).expect("write");
+            disk.sync().expect("sync");
+        }
+        {
+            let disk = DiskManager::open_file(&path, Duration::ZERO).expect("reopen");
+            assert_eq!(disk.num_pages(), 1);
+            let mut out = [0u8; PAGE_SIZE];
+            disk.read_page(PageId(0), &mut out)
+                .expect("reopened page verifies");
+            assert_eq!(out[7], 0x77);
+        }
+        // Corrupting the data file behind the sidecar's back is caught.
+        {
+            let f = File::options().write(true).open(&path).expect("raw open");
+            f.write_all_at(&[0xEE], 7).expect("flip byte");
+            f.sync_data().expect("sync");
+        }
+        {
+            let disk = DiskManager::open_file(&path, Duration::ZERO).expect("reopen");
+            let mut out = [0u8; PAGE_SIZE];
+            let err = disk
+                .read_page(PageId(0), &mut out)
+                .expect_err("bit rot must be caught");
+            assert!(err.is_corrupt());
+            assert_eq!(err.page(), Some(PageId(0)));
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&crc_path);
+    }
+
+    #[test]
+    fn legacy_file_without_sidecar_is_backfilled() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "cf_disk_backfill_test_{}_{:?}.db",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut crc_path = path.clone().into_os_string();
+        crc_path.push(".crc");
+        let _ = std::fs::remove_file(&crc_path);
+
+        // Write a raw page image with no sidecar, as an older build
+        // would have.
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[100] = 0x42;
+        {
+            let f = File::options()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .expect("raw create");
+            f.write_all_at(&buf, 0).expect("raw write");
+            f.sync_data().expect("sync");
+        }
+        let disk = DiskManager::open_file(&path, Duration::ZERO).expect("open backfills");
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(PageId(0), &mut out)
+            .expect("backfilled page verifies");
+        assert_eq!(out[100], 0x42);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&crc_path);
     }
 }

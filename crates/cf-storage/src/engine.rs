@@ -1,6 +1,6 @@
 //! The storage façade bundling disk + buffer pool.
 
-use crate::{BufferPool, DiskManager, IoStats, PageBuf, PageId};
+use crate::{BufferPool, CfResult, DiskManager, Fault, IoStats, PageBuf, PageId};
 use std::time::Duration;
 
 /// Configuration for a [`StorageEngine`].
@@ -73,10 +73,7 @@ impl StorageEngine {
     ///
     /// Existing pages are preserved, so a database file survives process
     /// restarts; see [`DiskManager::open_file`].
-    pub fn open_file(
-        path: impl AsRef<std::path::Path>,
-        config: StorageConfig,
-    ) -> std::io::Result<Self> {
+    pub fn open_file(path: impl AsRef<std::path::Path>, config: StorageConfig) -> CfResult<Self> {
         Ok(Self {
             disk: DiskManager::open_file(path, config.read_latency)?,
             pool: config.build_pool(),
@@ -84,28 +81,60 @@ impl StorageEngine {
     }
 
     /// Flushes a file-backed engine to stable storage (no-op in memory).
-    pub fn sync(&self) -> std::io::Result<()> {
+    pub fn sync(&self) -> CfResult<()> {
         self.disk.sync()
     }
 
     /// Allocates one page.
-    pub fn allocate_page(&self) -> PageId {
+    pub fn allocate_page(&self) -> CfResult<PageId> {
         self.disk.allocate()
     }
 
     /// Allocates `n` physically consecutive pages, returning the first id.
-    pub fn allocate_run(&self, n: usize) -> PageId {
+    pub fn allocate_run(&self, n: usize) -> CfResult<PageId> {
         self.disk.allocate_run(n)
     }
 
     /// Reads page `id` through the buffer pool and passes its bytes to `f`.
-    pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&PageBuf) -> T) -> T {
+    pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&PageBuf) -> T) -> CfResult<T> {
         self.pool.with_page(&self.disk, id, f)
     }
 
+    /// Like [`StorageEngine::with_page`] for fallible `f`: decode
+    /// errors from the closure and I/O errors from the fault-in share
+    /// one `CfResult`.
+    pub fn try_with_page<T>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&PageBuf) -> CfResult<T>,
+    ) -> CfResult<T> {
+        self.pool.with_page(&self.disk, id, f)?
+    }
+
     /// Writes a full page through the pool to disk.
-    pub fn write_page(&self, id: PageId, buf: &PageBuf) {
-        self.pool.write_through(&self.disk, id, buf);
+    pub fn write_page(&self, id: PageId, buf: &PageBuf) -> CfResult<()> {
+        self.pool.write_through(&self.disk, id, buf)
+    }
+
+    /// Arms a deterministic fault on the underlying disk (see [`Fault`]).
+    ///
+    /// Faults fire on *physical* I/O ordinals, so buffer-pool hits do
+    /// not advance them; clear the cache first for fully deterministic
+    /// read ordinals.
+    pub fn inject_fault(&self, fault: Fault) {
+        self.disk.inject_fault(fault);
+    }
+
+    /// Disarms all faults and resets the fault-ordinal counters.
+    pub fn clear_faults(&self) {
+        self.disk.clear_faults();
+    }
+
+    /// Physical `(reads, writes)` since the last
+    /// [`StorageEngine::clear_faults`] — the ordinal space faults are
+    /// keyed in.
+    pub fn fault_ops(&self) -> (u64, u64) {
+        self.disk.fault_ops()
     }
 
     /// Total pages allocated on the disk.
@@ -145,20 +174,20 @@ impl StorageEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PAGE_SIZE;
+    use crate::{CfError, PAGE_SIZE};
 
     #[test]
     fn stats_cover_pool_and_disk() {
         let engine = StorageEngine::in_memory();
-        let id = engine.allocate_page();
+        let id = engine.allocate_page().expect("allocate");
         let mut buf = [0u8; PAGE_SIZE];
         buf[10] = 42;
-        engine.write_page(id, &buf);
+        engine.write_page(id, &buf).expect("write");
 
         let before = engine.io_stats();
-        let v = engine.with_page(id, |p| p[10]);
+        let v = engine.with_page(id, |p| p[10]).expect("read");
         assert_eq!(v, 42);
-        let v = engine.with_page(id, |p| p[10]);
+        let v = engine.with_page(id, |p| p[10]).expect("read");
         assert_eq!(v, 42);
         let delta = engine.io_stats() - before;
         assert_eq!(delta.logical_reads(), 2);
@@ -170,11 +199,11 @@ mod tests {
     #[test]
     fn clear_cache_makes_reads_cold() {
         let engine = StorageEngine::in_memory();
-        let id = engine.allocate_page();
-        engine.with_page(id, |_| ());
+        let id = engine.allocate_page().expect("allocate");
+        engine.with_page(id, |_| ()).expect("read");
         engine.clear_cache();
         engine.reset_stats();
-        engine.with_page(id, |_| ());
+        engine.with_page(id, |_| ()).expect("read");
         let s = engine.io_stats();
         assert_eq!(s.pool_misses, 1);
         assert_eq!(s.disk_reads, 1);
@@ -186,10 +215,38 @@ mod tests {
             pool_pages: 2,
             ..StorageConfig::default()
         });
-        let ids: Vec<_> = (0..5).map(|_| engine.allocate_page()).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|_| engine.allocate_page().expect("allocate"))
+            .collect();
         for &id in &ids {
-            engine.with_page(id, |_| ());
+            engine.with_page(id, |_| ()).expect("read");
         }
         assert_eq!(engine.pool().cached_pages(), 2);
+    }
+
+    #[test]
+    fn try_with_page_flattens_decode_errors() {
+        let engine = StorageEngine::in_memory();
+        let id = engine.allocate_page().expect("allocate");
+        let ok: CfResult<u8> = engine.try_with_page(id, |p| Ok(p[0]));
+        assert_eq!(ok.expect("decode"), 0);
+        let err = engine
+            .try_with_page::<u8>(id, |_| Err(CfError::corrupt(id, "bad node header")))
+            .expect_err("closure error propagates");
+        assert!(err.is_corrupt());
+    }
+
+    #[test]
+    fn injected_faults_reach_engine_callers() {
+        let engine = StorageEngine::in_memory();
+        let id = engine.allocate_page().expect("allocate");
+        engine.inject_fault(Fault::FailRead { nth: 0 });
+        let err = engine
+            .with_page(id, |_| ())
+            .expect_err("injected read fault");
+        assert!(err.is_injected());
+        engine.clear_faults();
+        assert_eq!(engine.fault_ops(), (0, 0));
+        engine.with_page(id, |_| ()).expect("read after clear");
     }
 }

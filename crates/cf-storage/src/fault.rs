@@ -1,0 +1,202 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! A [`FaultInjector`] sits on every [`crate::DiskManager`]. Tests arm
+//! faults keyed to the zero-based ordinal of a *physical* page
+//! operation — "fail the 3rd write", "tear the 5th write after 100
+//! bytes", "return a short read on the 2nd read" — and the disk
+//! consults the injector on every physical I/O. Ordinals count from the
+//! last [`FaultInjector::clear`], so a test can replay an operation and
+//! crash it at every possible point:
+//!
+//! 1. run the operation once cleanly and snapshot the write count;
+//! 2. for each `k` in `0..writes`: reset state, `clear`, arm
+//!    `Fault::FailWrite { nth: k }`, rerun, and assert the recovery
+//!    invariant.
+//!
+//! Injection is entirely passive when nothing is armed: one relaxed
+//! atomic increment plus one relaxed load per physical I/O.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A deterministic fault, keyed to a physical I/O ordinal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the `nth` physical read outright.
+    FailRead {
+        /// Zero-based read ordinal to fail.
+        nth: u64,
+    },
+    /// Fail the `nth` physical write outright (nothing reaches disk).
+    FailWrite {
+        /// Zero-based write ordinal to fail.
+        nth: u64,
+    },
+    /// Tear the `nth` physical write: only the first `keep` bytes of
+    /// the page image reach disk and the sidecar checksum is **not**
+    /// updated, so the next physical read of the page reports
+    /// [`crate::CfError::Corrupt`].
+    TornWrite {
+        /// Zero-based write ordinal to tear.
+        nth: u64,
+        /// Bytes of the page image that land before the "crash".
+        keep: usize,
+    },
+    /// Truncate the `nth` physical read: only the first `len` bytes
+    /// come back (the tail reads as zeroes), which the page checksum
+    /// catches unless the lost tail was all zeroes anyway.
+    ShortRead {
+        /// Zero-based read ordinal to truncate.
+        nth: u64,
+        /// Bytes actually "returned by the device".
+        len: usize,
+    },
+}
+
+/// What the disk should do with the current physical read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReadPlan {
+    /// Proceed normally.
+    Proceed,
+    /// Fail with `CfError::Injected` at this ordinal.
+    Fail(u64),
+    /// Read, then keep only the first `len` bytes.
+    Short { len: usize },
+}
+
+/// What the disk should do with the current physical write.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WritePlan {
+    /// Proceed normally.
+    Proceed,
+    /// Fail with `CfError::Injected` at this ordinal.
+    Fail(u64),
+    /// Write only the first `keep` bytes, skip the checksum update,
+    /// and fail with `CfError::Injected` at this ordinal.
+    Torn { keep: usize, ordinal: u64 },
+}
+
+/// Deterministic per-disk fault state. See the module docs.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    armed: AtomicBool,
+    faults: Mutex<Vec<Fault>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a fault. Several faults may be armed at once; each fires at
+    /// most once (it is consumed when its ordinal arrives).
+    pub fn arm(&self, fault: Fault) {
+        let mut faults = self.faults.lock().expect("fault injector poisoned");
+        faults.push(fault);
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarms every fault and resets both ordinal counters to zero.
+    pub fn clear(&self) {
+        let mut faults = self.faults.lock().expect("fault injector poisoned");
+        faults.clear();
+        self.armed.store(false, Ordering::Release);
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Physical `(reads, writes)` observed since the last
+    /// [`FaultInjector::clear`] — the ordinal space faults are keyed in.
+    pub fn ops(&self) -> (u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Claims the next read ordinal and reports what to do with it.
+    pub(crate) fn plan_read(&self) -> ReadPlan {
+        let ord = self.reads.fetch_add(1, Ordering::Relaxed);
+        if !self.armed.load(Ordering::Acquire) {
+            return ReadPlan::Proceed;
+        }
+        let mut faults = self.faults.lock().expect("fault injector poisoned");
+        let hit = faults.iter().position(
+            |f| matches!(f, Fault::FailRead { nth } | Fault::ShortRead { nth, .. } if *nth == ord),
+        );
+        match hit.map(|i| faults.remove(i)) {
+            Some(Fault::FailRead { .. }) => ReadPlan::Fail(ord),
+            Some(Fault::ShortRead { len, .. }) => ReadPlan::Short { len },
+            _ => ReadPlan::Proceed,
+        }
+    }
+
+    /// Claims the next write ordinal and reports what to do with it.
+    pub(crate) fn plan_write(&self) -> WritePlan {
+        let ord = self.writes.fetch_add(1, Ordering::Relaxed);
+        if !self.armed.load(Ordering::Acquire) {
+            return WritePlan::Proceed;
+        }
+        let mut faults = self.faults.lock().expect("fault injector poisoned");
+        let hit = faults.iter().position(
+            |f| matches!(f, Fault::FailWrite { nth } | Fault::TornWrite { nth, .. } if *nth == ord),
+        );
+        match hit.map(|i| faults.remove(i)) {
+            Some(Fault::FailWrite { .. }) => WritePlan::Fail(ord),
+            Some(Fault::TornWrite { keep, .. }) => WritePlan::Torn { keep, ordinal: ord },
+            _ => WritePlan::Proceed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinals_count_from_clear() {
+        let inj = FaultInjector::new();
+        let _ = inj.plan_read();
+        let _ = inj.plan_write();
+        let _ = inj.plan_write();
+        assert_eq!(inj.ops(), (1, 2));
+        inj.clear();
+        assert_eq!(inj.ops(), (0, 0));
+    }
+
+    #[test]
+    fn faults_fire_on_their_ordinal_and_are_consumed() {
+        let inj = FaultInjector::new();
+        inj.arm(Fault::FailWrite { nth: 1 });
+        assert!(matches!(inj.plan_write(), WritePlan::Proceed));
+        assert!(matches!(inj.plan_write(), WritePlan::Fail(1)));
+        // Consumed: the same ordinal space keeps counting, no re-fire.
+        assert!(matches!(inj.plan_write(), WritePlan::Proceed));
+    }
+
+    #[test]
+    fn read_and_write_ordinals_are_independent() {
+        let inj = FaultInjector::new();
+        inj.arm(Fault::FailRead { nth: 0 });
+        assert!(matches!(inj.plan_write(), WritePlan::Proceed));
+        assert!(matches!(inj.plan_read(), ReadPlan::Fail(0)));
+    }
+
+    #[test]
+    fn torn_and_short_carry_their_sizes() {
+        let inj = FaultInjector::new();
+        inj.arm(Fault::TornWrite { nth: 0, keep: 100 });
+        inj.arm(Fault::ShortRead { nth: 0, len: 64 });
+        assert!(matches!(
+            inj.plan_write(),
+            WritePlan::Torn {
+                keep: 100,
+                ordinal: 0
+            }
+        ));
+        assert!(matches!(inj.plan_read(), ReadPlan::Short { len: 64 }));
+    }
+}

@@ -6,8 +6,14 @@
 //! exactly that: records of a fixed size packed into consecutive pages,
 //! addressable by record index, with range scans that touch the minimal
 //! page run.
+//!
+//! This file drives record decoding from on-disk pages and is covered
+//! by the CI grep gate: no `panic!` / `unwrap` — I/O and corruption
+//! surface as [`crate::CfError`]. (Caller-contract violations — an
+//! index or range past `len` — remain `assert!`s: the lengths come from
+//! the validated catalog, not raw disk bytes.)
 
-use crate::{codec, PageBuf, PageId, StorageEngine, PAGE_SIZE};
+use crate::{codec, CfResult, PageBuf, PageId, StorageEngine, PAGE_SIZE};
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,6 +27,10 @@ pub trait Record: Sized {
     fn encode(&self, buf: &mut [u8]);
 
     /// Decodes a value from `buf` (exactly `SIZE` bytes).
+    ///
+    /// Decoding is infallible by design: records are plain numeric
+    /// payloads, and byte-level corruption is caught below this layer
+    /// by the per-page checksums on physical read.
     fn decode(buf: &[u8]) -> Self;
 }
 
@@ -45,7 +55,7 @@ impl<R: Record> RecordFile<R> {
     }
 
     /// Writes `records` in order into freshly allocated consecutive pages.
-    pub fn create<I>(engine: &StorageEngine, records: I) -> Self
+    pub fn create<I>(engine: &StorageEngine, records: I) -> CfResult<Self>
     where
         I: IntoIterator<Item = R>,
         I::IntoIter: ExactSizeIterator,
@@ -54,7 +64,7 @@ impl<R: Record> RecordFile<R> {
         let len = iter.len();
         let per_page = Self::records_per_page();
         let num_pages = len.div_ceil(per_page).max(1);
-        let first_page = engine.allocate_run(num_pages);
+        let first_page = engine.allocate_run(num_pages)?;
 
         let mut buf: PageBuf = [0u8; PAGE_SIZE];
         let mut in_page = 0usize;
@@ -64,7 +74,7 @@ impl<R: Record> RecordFile<R> {
             r.encode(&mut buf[in_page * R::SIZE..(in_page + 1) * R::SIZE]);
             in_page += 1;
             if in_page == per_page {
-                engine.write_page(page, &buf);
+                engine.write_page(page, &buf)?;
                 written_pages += 1;
                 page = PageId(page.0 + 1);
                 in_page = 0;
@@ -72,15 +82,15 @@ impl<R: Record> RecordFile<R> {
             }
         }
         if in_page > 0 || written_pages == 0 {
-            engine.write_page(page, &buf);
+            engine.write_page(page, &buf)?;
         }
 
-        Self {
+        Ok(Self {
             first_page,
             num_pages,
             len,
             _marker: PhantomData,
-        }
+        })
     }
 
     /// Parallel variant of [`RecordFile::create`]: allocates the same
@@ -91,42 +101,64 @@ impl<R: Record> RecordFile<R> {
     /// Records never span page boundaries, so each page's bytes depend
     /// only on its own record range plus zero padding — the file is
     /// **byte-identical** to [`RecordFile::create`] on the same input
-    /// regardless of thread count or scheduling.
-    pub fn create_parallel(engine: &StorageEngine, records: &[R], threads: usize) -> Self
+    /// regardless of thread count or scheduling. On error the first
+    /// failure (in join order) is reported; other workers may have
+    /// written more pages, which is harmless because the whole run is
+    /// freshly allocated.
+    pub fn create_parallel(engine: &StorageEngine, records: &[R], threads: usize) -> CfResult<Self>
     where
         R: Sync,
     {
         let len = records.len();
         let per_page = Self::records_per_page();
         let num_pages = len.div_ceil(per_page).max(1);
-        let first_page = engine.allocate_run(num_pages);
+        let first_page = engine.allocate_run(num_pages)?;
 
         let cursor = AtomicUsize::new(0);
         let workers = threads.clamp(1, num_pages);
+        let mut first_err = None;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let p = cursor.fetch_add(1, Ordering::Relaxed);
-                    if p >= num_pages {
-                        break;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| -> CfResult<()> {
+                        loop {
+                            let p = cursor.fetch_add(1, Ordering::Relaxed);
+                            if p >= num_pages {
+                                return Ok(());
+                            }
+                            let mut buf: PageBuf = [0u8; PAGE_SIZE];
+                            let lo = p * per_page;
+                            let hi = (lo + per_page).min(len);
+                            for (slot, r) in records[lo..hi].iter().enumerate() {
+                                r.encode(&mut buf[slot * R::SIZE..(slot + 1) * R::SIZE]);
+                            }
+                            engine.write_page(PageId(first_page.0 + p as u64), &buf)?;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
-                    let mut buf: PageBuf = [0u8; PAGE_SIZE];
-                    let lo = p * per_page;
-                    let hi = (lo + per_page).min(len);
-                    for (slot, r) in records[lo..hi].iter().enumerate() {
-                        r.encode(&mut buf[slot * R::SIZE..(slot + 1) * R::SIZE]);
-                    }
-                    engine.write_page(PageId(first_page.0 + p as u64), &buf);
-                });
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
 
-        Self {
+        Ok(Self {
             first_page,
             num_pages,
             len,
             _marker: PhantomData,
-        }
+        })
     }
 
     /// Reopens a record file from its catalog entry (`first_page`,
@@ -173,7 +205,7 @@ impl<R: Record> RecordFile<R> {
     /// # Panics
     ///
     /// Panics if `idx >= len`.
-    pub fn get(&self, engine: &StorageEngine, idx: usize) -> R {
+    pub fn get(&self, engine: &StorageEngine, idx: usize) -> CfResult<R> {
         assert!(
             idx < self.len,
             "record {idx} out of bounds (len {})",
@@ -191,7 +223,7 @@ impl<R: Record> RecordFile<R> {
     /// # Panics
     ///
     /// Panics if `idx >= len`.
-    pub fn put(&self, engine: &StorageEngine, idx: usize, record: &R) {
+    pub fn put(&self, engine: &StorageEngine, idx: usize, record: &R) -> CfResult<()> {
         assert!(
             idx < self.len,
             "record {idx} out of bounds (len {})",
@@ -200,9 +232,9 @@ impl<R: Record> RecordFile<R> {
         let per_page = Self::records_per_page();
         let slot = idx % per_page;
         let page_id = self.page_of(idx);
-        let mut buf: PageBuf = engine.with_page(page_id, |page| *page);
+        let mut buf: PageBuf = engine.with_page(page_id, |page| *page)?;
         record.encode(&mut buf[slot * R::SIZE..(slot + 1) * R::SIZE]);
-        engine.write_page(page_id, &buf);
+        engine.write_page(page_id, &buf)
     }
 
     /// Invokes `f(index, record)` for every record in `range`, reading
@@ -216,10 +248,10 @@ impl<R: Record> RecordFile<R> {
         engine: &StorageEngine,
         range: Range<usize>,
         mut f: impl FnMut(usize, R),
-    ) {
+    ) -> CfResult<()> {
         assert!(range.end <= self.len, "range {range:?} out of bounds");
         if range.is_empty() {
-            return;
+            return Ok(());
         }
         let per_page = Self::records_per_page();
         let first = range.start / per_page;
@@ -233,8 +265,9 @@ impl<R: Record> RecordFile<R> {
                     let slot = idx % per_page;
                     f(idx, R::decode(&page[slot * R::SIZE..(slot + 1) * R::SIZE]));
                 }
-            });
+            })?;
         }
+        Ok(())
     }
 
     /// Invokes `f(index, record)` for every record in each of `ranges`,
@@ -256,7 +289,7 @@ impl<R: Record> RecordFile<R> {
         engine: &StorageEngine,
         ranges: &[Range<usize>],
         mut f: impl FnMut(usize, R),
-    ) {
+    ) -> CfResult<()> {
         let per_page = Self::records_per_page();
         for w in ranges.windows(2) {
             assert!(
@@ -310,20 +343,21 @@ impl<R: Record> RecordFile<R> {
                             f(idx, R::decode(&page[slot * R::SIZE..(slot + 1) * R::SIZE]));
                         }
                     }
-                });
+                })?;
                 while k < j && ranges[k].end <= page_hi {
                     k += 1;
                 }
             }
             i = j;
         }
+        Ok(())
     }
 
     /// Collects the records in `range` into a vector.
-    pub fn read_range(&self, engine: &StorageEngine, range: Range<usize>) -> Vec<R> {
+    pub fn read_range(&self, engine: &StorageEngine, range: Range<usize>) -> CfResult<Vec<R>> {
         let mut out = Vec::with_capacity(range.len());
-        self.for_each_in_range(engine, range, |_, r| out.push(r));
-        out
+        self.for_each_in_range(engine, range, |_, r| out.push(r))?;
+        Ok(out)
     }
 
     /// Number of pages a scan of `range` touches (the unit the paper's
@@ -365,6 +399,7 @@ impl Record for KvRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Fault;
 
     fn sample(n: usize) -> Vec<KvRecord> {
         (0..n)
@@ -378,13 +413,13 @@ mod tests {
     #[test]
     fn create_and_read_back() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(1000));
+        let file = RecordFile::create(&engine, sample(1000)).expect("create");
         assert_eq!(file.len(), 1000);
         assert_eq!(KvRecord::SIZE, 16);
         assert_eq!(RecordFile::<KvRecord>::records_per_page(), 256);
         assert_eq!(file.num_pages(), 4);
         for idx in [0usize, 1, 255, 256, 999] {
-            let r = file.get(&engine, idx);
+            let r = file.get(&engine, idx).expect("get");
             assert_eq!(r.key, idx as u64);
             assert_eq!(r.value, idx as f64 * 0.5);
         }
@@ -397,17 +432,22 @@ mod tests {
         // page bytes of the sequential writer.
         for n in [0usize, 1, 255, 256, 257, 1000] {
             let seq_engine = StorageEngine::in_memory();
-            let seq = RecordFile::create(&seq_engine, sample(n));
+            let seq = RecordFile::create(&seq_engine, sample(n)).expect("create");
             for threads in [1usize, 2, 4, 7] {
                 let par_engine = StorageEngine::in_memory();
-                let par = RecordFile::create_parallel(&par_engine, &sample(n), threads);
+                let par =
+                    RecordFile::create_parallel(&par_engine, &sample(n), threads).expect("create");
                 assert_eq!(par.len(), seq.len());
                 assert_eq!(par.num_pages(), seq.num_pages());
                 assert_eq!(par.first_page(), seq.first_page());
                 assert_eq!(par_engine.num_pages(), seq_engine.num_pages());
                 for p in 0..seq_engine.num_pages() {
-                    let a = seq_engine.with_page(PageId(p as u64), |page| *page);
-                    let b = par_engine.with_page(PageId(p as u64), |page| *page);
+                    let a = seq_engine
+                        .with_page(PageId(p as u64), |page| *page)
+                        .expect("read");
+                    let b = par_engine
+                        .with_page(PageId(p as u64), |page| *page)
+                        .expect("read");
                     assert!(a == b, "page {p} differs (n={n}, threads={threads})");
                 }
             }
@@ -415,13 +455,23 @@ mod tests {
     }
 
     #[test]
+    fn create_parallel_propagates_write_faults() {
+        let engine = StorageEngine::in_memory();
+        engine.inject_fault(Fault::FailWrite { nth: 2 });
+        let err = RecordFile::create_parallel(&engine, &sample(1000), 4)
+            .expect_err("injected write fault must surface");
+        assert!(err.is_injected());
+        engine.clear_faults();
+    }
+
+    #[test]
     fn range_scan_reads_minimal_pages() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(1000));
+        let file = RecordFile::create(&engine, sample(1000)).expect("create");
         engine.clear_cache();
         engine.reset_stats();
 
-        let got = file.read_range(&engine, 250..260);
+        let got = file.read_range(&engine, 250..260).expect("read range");
         assert_eq!(got.len(), 10);
         assert_eq!(got[0].key, 250);
         assert_eq!(got[9].key, 259);
@@ -434,7 +484,7 @@ mod tests {
     #[test]
     fn pages_in_range_formula() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(1000));
+        let file = RecordFile::create(&engine, sample(1000)).expect("create");
         assert_eq!(file.pages_in_range(0..0), 0);
         assert_eq!(file.pages_in_range(0..1), 1);
         assert_eq!(file.pages_in_range(0..256), 1);
@@ -447,19 +497,20 @@ mod tests {
     fn full_scan_matches_input() {
         let engine = StorageEngine::in_memory();
         let data = sample(513);
-        let file = RecordFile::create(&engine, data.clone());
+        let file = RecordFile::create(&engine, data.clone()).expect("create");
         let mut seen = Vec::new();
         file.for_each_in_range(&engine, 0..513, |idx, r| {
             assert_eq!(idx as u64, r.key);
             seen.push(r);
-        });
+        })
+        .expect("scan");
         assert_eq!(seen, data);
     }
 
     #[test]
     fn multi_range_scan_reads_shared_pages_once() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(1000));
+        let file = RecordFile::create(&engine, sample(1000)).expect("create");
         engine.clear_cache();
         engine.reset_stats();
 
@@ -470,7 +521,8 @@ mod tests {
         file.for_each_in_ranges(&engine, &ranges, |idx, r| {
             assert_eq!(idx as u64, r.key);
             seen.push(idx);
-        });
+        })
+        .expect("scan");
         let want: Vec<usize> = (250..258).chain(260..270).chain(700..705).collect();
         assert_eq!(seen, want);
         // Pages touched: {0, 1} for the first two ranges (page 1 shared,
@@ -482,13 +534,15 @@ mod tests {
     #[test]
     fn multi_range_scan_equals_per_range_scans() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(777));
+        let file = RecordFile::create(&engine, sample(777)).expect("create");
         let ranges = [0..1, 1..2, 4..4, 100..300, 300..301, 511..513, 776..777];
         let mut multi = Vec::new();
-        file.for_each_in_ranges(&engine, &ranges, |idx, r| multi.push((idx, r)));
+        file.for_each_in_ranges(&engine, &ranges, |idx, r| multi.push((idx, r)))
+            .expect("scan");
         let mut single = Vec::new();
         for rg in &ranges {
-            file.for_each_in_range(&engine, rg.clone(), |idx, r| single.push((idx, r)));
+            file.for_each_in_range(&engine, rg.clone(), |idx, r| single.push((idx, r)))
+                .expect("scan");
         }
         assert_eq!(multi, single);
     }
@@ -497,22 +551,22 @@ mod tests {
     #[should_panic(expected = "unsorted or overlapping")]
     fn multi_range_scan_rejects_overlap() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(100));
-        file.for_each_in_ranges(&engine, &[0..10, 5..20], |_, _| ());
+        let file = RecordFile::create(&engine, sample(100)).expect("create");
+        let _ = file.for_each_in_ranges(&engine, &[0..10, 5..20], |_, _| ());
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn multi_range_scan_rejects_out_of_bounds() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(100));
-        file.for_each_in_ranges(&engine, &[0..10, 90..101], |_, _| ());
+        let file = RecordFile::create(&engine, sample(100)).expect("create");
+        let _ = file.for_each_in_ranges(&engine, &[0..10, 90..101], |_, _| ());
     }
 
     #[test]
     fn put_overwrites_in_place() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(600));
+        let file = RecordFile::create(&engine, sample(600)).expect("create");
         file.put(
             &engine,
             300,
@@ -520,9 +574,10 @@ mod tests {
                 key: 999,
                 value: -1.0,
             },
-        );
+        )
+        .expect("put");
         assert_eq!(
-            file.get(&engine, 300),
+            file.get(&engine, 300).expect("get"),
             KvRecord {
                 key: 999,
                 value: -1.0
@@ -530,25 +585,26 @@ mod tests {
         );
         // Neighbours untouched, also after a cold re-read.
         engine.clear_cache();
-        assert_eq!(file.get(&engine, 299).key, 299);
-        assert_eq!(file.get(&engine, 301).key, 301);
-        assert_eq!(file.get(&engine, 300).key, 999);
+        assert_eq!(file.get(&engine, 299).expect("get").key, 299);
+        assert_eq!(file.get(&engine, 301).expect("get").key, 301);
+        assert_eq!(file.get(&engine, 300).expect("get").key, 999);
     }
 
     #[test]
     fn empty_file() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::<KvRecord>::create(&engine, Vec::new());
+        let file = RecordFile::<KvRecord>::create(&engine, Vec::new()).expect("create");
         assert!(file.is_empty());
         assert_eq!(file.num_pages(), 1); // one allocated page, zero records
-        file.for_each_in_range(&engine, 0..0, |_, _| panic!("no records"));
+        file.for_each_in_range(&engine, 0..0, |_, _| unreachable!("no records"))
+            .expect("empty scan");
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(10));
+        let file = RecordFile::create(&engine, sample(10)).expect("create");
         let _ = file.get(&engine, 10);
     }
 
@@ -556,7 +612,27 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn range_out_of_bounds_panics() {
         let engine = StorageEngine::in_memory();
-        let file = RecordFile::create(&engine, sample(10));
-        file.for_each_in_range(&engine, 5..11, |_, _| ());
+        let file = RecordFile::create(&engine, sample(10)).expect("create");
+        let _ = file.for_each_in_range(&engine, 5..11, |_, _| ());
+    }
+
+    #[test]
+    fn scan_surfaces_corruption_with_page_context() {
+        let engine = StorageEngine::in_memory();
+        let file = RecordFile::create(&engine, sample(1000)).expect("create");
+        // Tear page 2 of the file behind the pool's back.
+        engine.clear_cache();
+        engine.clear_faults(); // reset write ordinals past create's writes
+        engine.inject_fault(Fault::TornWrite { nth: 0, keep: 64 });
+        let torn = PageId(file.first_page().0 + 2);
+        let junk = [0xA5u8; PAGE_SIZE];
+        assert!(engine.write_page(torn, &junk).is_err());
+        engine.clear_faults();
+
+        let err = file
+            .for_each_in_range(&engine, 0..1000, |_, _| ())
+            .expect_err("scan must hit the torn page");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(torn));
     }
 }

@@ -25,24 +25,31 @@
 //! ([`thread_io_stats`]) so parallel query paths can cost themselves
 //! exactly.
 
+//! Every operation touching pages is fallible: physical reads verify a
+//! per-page checksum ([`checksum`]), failures surface as typed
+//! [`CfError`]s instead of panics, and a deterministic [`Fault`]
+//! injector on the disk drives crash-safety property tests.
 //!
 //! # Example
 //!
 //! ```
-//! use cf_storage::{KvRecord, RecordFile, StorageEngine};
+//! use cf_storage::{CfResult, KvRecord, RecordFile, StorageEngine};
 //!
-//! let engine = StorageEngine::in_memory();
-//! let records: Vec<KvRecord> = (0..1000)
-//!     .map(|i| KvRecord { key: i, value: i as f64 * 0.5 })
-//!     .collect();
-//! let file = RecordFile::create(&engine, records);
+//! fn main() -> CfResult<()> {
+//!     let engine = StorageEngine::in_memory();
+//!     let records: Vec<KvRecord> = (0..1000)
+//!         .map(|i| KvRecord { key: i, value: i as f64 * 0.5 })
+//!         .collect();
+//!     let file = RecordFile::create(&engine, records)?;
 //!
-//! // Reading a contiguous range touches the minimal page run…
-//! engine.reset_stats();
-//! let some = file.read_range(&engine, 100..110);
-//! assert_eq!(some[0].key, 100);
-//! // …(256 records fit a 4 KiB page, so 10 records = 1 page).
-//! assert_eq!(engine.io_stats().logical_reads(), 1);
+//!     // Reading a contiguous range touches the minimal page run…
+//!     engine.reset_stats();
+//!     let some = file.read_range(&engine, 100..110)?;
+//!     assert_eq!(some[0].key, 100);
+//!     // …(256 records fit a 4 KiB page, so 10 records = 1 page).
+//!     assert_eq!(engine.io_stats().logical_reads(), 1);
+//!     Ok(())
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,13 +58,18 @@
 mod buffer;
 mod disk;
 mod engine;
+mod error;
+mod fault;
 mod heap;
 mod stats;
 
 pub use buffer::{BufferPool, MIN_FRAMES_PER_SHARD};
 pub use disk::{DiskManager, PageBuf, PageId, PAGE_SIZE};
 pub use engine::{StorageConfig, StorageEngine};
+pub use error::{CfError, CfResult, FaultOp};
+pub use fault::{Fault, FaultInjector};
 pub use heap::{KvRecord, Record, RecordFile};
 pub use stats::{thread_io_stats, IoStats, ShardStats};
 
+pub mod checksum;
 pub mod codec;

@@ -31,7 +31,7 @@ proptest! {
             pool_pages,
             ..Default::default()
         });
-        let ids: Vec<PageId> = (0..12).map(|_| engine.allocate_page()).collect();
+        let ids: Vec<PageId> = (0..12).map(|_| engine.allocate_page().expect("allocate")).collect();
         // Model: expected first byte per page.
         let mut model = [0u8; 12];
         for op in ops {
@@ -40,11 +40,11 @@ proptest! {
                     let mut buf = [0u8; PAGE_SIZE];
                     buf[0] = tag;
                     buf[PAGE_SIZE - 1] = tag.wrapping_add(1);
-                    engine.write_page(ids[page], &buf);
+                    engine.write_page(ids[page], &buf).expect("write");
                     model[page] = tag;
                 }
                 Op::Read { page } => {
-                    let (a, b) = engine.with_page(ids[page], |p| (p[0], p[PAGE_SIZE - 1]));
+                    let (a, b) = engine.with_page(ids[page], |p| (p[0], p[PAGE_SIZE - 1])).expect("read");
                     prop_assert_eq!(a, model[page]);
                     let want_b = if model[page] == 0 && b == 0 {
                         0
@@ -59,7 +59,7 @@ proptest! {
         // Cold re-read of every page matches the model.
         engine.clear_cache();
         for (i, &id) in ids.iter().enumerate() {
-            let a = engine.with_page(id, |p| p[0]);
+            let a = engine.with_page(id, |p| p[0]).expect("read");
             prop_assert_eq!(a, model[i]);
         }
     }
@@ -74,21 +74,21 @@ proptest! {
         let records: Vec<KvRecord> = (0..len)
             .map(|i| KvRecord { key: i as u64, value: -(i as f64) })
             .collect();
-        let file = RecordFile::create(&engine, records);
+        let file = RecordFile::create(&engine, records).expect("create");
         let mut model: Vec<u64> = (0..len as u64).collect();
 
         for (idx, key) in puts {
             let idx = idx % len;
-            file.put(&engine, idx, &KvRecord { key, value: 0.0 });
+            file.put(&engine, idx, &KvRecord { key, value: 0.0 }).expect("put");
             model[idx] = key;
         }
         for probe in probes {
             let idx = probe % len;
-            prop_assert_eq!(file.get(&engine, idx).key, model[idx]);
+            prop_assert_eq!(file.get(&engine, idx).expect("get").key, model[idx]);
         }
         // Range scans agree with point reads after updates.
         let mid = len / 2;
-        let scanned = file.read_range(&engine, 0..mid);
+        let scanned = file.read_range(&engine, 0..mid).expect("scan");
         for (i, r) in scanned.iter().enumerate() {
             prop_assert_eq!(r.key, model[i]);
         }
@@ -100,10 +100,10 @@ proptest! {
             pool_pages,
             ..Default::default()
         });
-        let ids: Vec<PageId> = (0..10).map(|_| engine.allocate_page()).collect();
+        let ids: Vec<PageId> = (0..10).map(|_| engine.allocate_page().expect("allocate")).collect();
         let mut last = engine.io_stats();
         for i in 0..nreads {
-            engine.with_page(ids[i % ids.len()], |_| ());
+            engine.with_page(ids[i % ids.len()], |_| ()).expect("read");
             let now = engine.io_stats();
             prop_assert!(now.logical_reads() == last.logical_reads() + 1);
             prop_assert!(now.disk_reads >= last.disk_reads);

@@ -52,7 +52,7 @@ fn main() {
     );
 
     let engine = StorageEngine::in_memory();
-    let index = VolumeIHilbert::build(&engine, &field);
+    let index = VolumeIHilbert::build(&engine, &field).expect("build");
     println!(
         "3-D I-Hilbert: {} subfields over {} cells ({} index pages)",
         index.num_subfields(),
@@ -63,7 +63,7 @@ fn main() {
     // Where and when was it hotter than 28 °C?
     let band = Interval::new(28.0, dom.hi);
     engine.clear_cache();
-    let stats = index.query_stats(&engine, band);
+    let stats = index.query_stats(&engine, band).expect("query");
     println!(
         "\nheat above 28 °C: measure {:.1} cell·months across {} qualifying space-time cells ({} page reads)",
         stats.area,

@@ -21,7 +21,7 @@ fn main() {
     let field = roseburg_standin(7); // 128x128 cells
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
     println!(
         "terrain: {} cells, elevation [{:.0}, {:.0}] m",
         field.num_cells(),
@@ -44,7 +44,7 @@ fn main() {
     // interpolation yields the contour segments.
     let mut total_lines = 0usize;
     let mut total_pages = 0u64;
-    let scan = LinearScan::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
     for i in 1..10 {
         let level = dom.denormalize(i as f64 / 10.0);
         engine.clear_cache();
@@ -54,7 +54,7 @@ fn main() {
         let band = Interval::point(level);
         // query_with estimates regions; here we want the raw cells, so
         // run the same filter and collect per-cell triangles instead.
-        let stats = index.query_stats(&engine, band);
+        let stats = index.query_stats(&engine, band).expect("query");
         total_pages += stats.io.logical_reads();
         // Re-read qualifying cells for triangle extraction (cheap: the
         // pages are now cached).
@@ -63,7 +63,8 @@ fn main() {
                 if GridField::record_interval(&rec).contains(level) {
                     candidates.push(rec);
                 }
-            });
+            })
+            .expect("scan");
 
         let cells = candidates.iter().flat_map(|rec| rec.triangles());
         let lines: Vec<Polyline> = extract_isolines(cells, level);

@@ -28,7 +28,7 @@ fn main() {
     );
 
     let engine = StorageEngine::in_memory();
-    let index = VolumeIHilbert::build(&engine, &field);
+    let index = VolumeIHilbert::build(&engine, &field).expect("build");
     println!(
         "volume I-Hilbert (3-D Hilbert cell order): {} subfields, {} index pages, {} data pages",
         index.num_subfields(),
@@ -44,7 +44,7 @@ fn main() {
     );
 
     engine.clear_cache();
-    let stats = index.query_stats(&engine, band);
+    let stats = index.query_stats(&engine, band).expect("query");
     let total_volume = field.num_cells() as f64;
     println!(
         "index: {:>6} cells examined, {:>6} qualify, ore volume {:.1} cells ({:.3} % of rock), {:>5} page reads",
@@ -59,9 +59,9 @@ fn main() {
     let records: Vec<VolumeCellRecord> = (0..field.num_cells())
         .map(|c| field.cell_record(c))
         .collect();
-    let scan_file = RecordFile::create(&engine, records);
+    let scan_file = RecordFile::create(&engine, records).expect("create");
     engine.clear_cache();
-    let s = volume_linear_scan(&engine, &scan_file, band);
+    let s = volume_linear_scan(&engine, &scan_file, band).expect("scan");
     println!(
         "scan:  {:>6} cells examined, {:>6} qualify, ore volume {:.1} cells,                    {:>5} page reads",
         s.cells_examined,
@@ -80,7 +80,7 @@ fn main() {
             dom.denormalize((i + 1) as f64 / 10.0),
         );
         engine.clear_cache();
-        let p = index.query_stats(&engine, b);
+        let p = index.query_stats(&engine, b).expect("query");
         println!("  [{:>6.2}, {:>6.2}]    {:>14.1}", b.lo, b.hi, p.area);
     }
 

@@ -16,7 +16,7 @@ fn main() {
     // A temperature-like field over a 64×64 sensor grid.
     let mut field = diamond_square(6, 0.8, 99);
     let engine = StorageEngine::in_memory();
-    let mut index = IHilbert::build(&engine, &field);
+    let mut index = IHilbert::build(&engine, &field).expect("build");
     let dom = field.value_domain();
     println!(
         "initial field: {} cells, values [{:.2}, {:.2}], {} subfields",
@@ -50,7 +50,9 @@ fn main() {
         for cy in y.saturating_sub(1)..=y.min(ch - 1) {
             for cx in x.saturating_sub(1)..=x.min(cw - 1) {
                 let cell = field.cell_index(cx, cy);
-                index.update_cell(&engine, cell, field.cell_record(cell));
+                index
+                    .update_cell(&engine, cell, field.cell_record(cell))
+                    .expect("update");
             }
         }
     }
@@ -63,7 +65,7 @@ fn main() {
 
     // The standing alert query now finds the plume.
     engine.clear_cache();
-    let (stats, regions) = index.query_regions(&engine, hot);
+    let (stats, regions) = index.query_regions(&engine, hot).expect("query");
     println!(
         "\nalert query w in [{:.2}, {:.2}]: {} cells qualify, {} regions, area {:.2}, {} page reads",
         hot.lo,
@@ -75,9 +77,9 @@ fn main() {
     );
 
     // Cross-check against a fresh scan of the mutated field.
-    let scan = LinearScan::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
     engine.clear_cache();
-    let s = scan.query_stats(&engine, hot);
+    let s = scan.query_stats(&engine, hot).expect("query");
     assert_eq!(s.cells_qualifying, stats.cells_qualifying);
     assert!((s.area - stats.area).abs() < 1e-9 * s.area.max(1.0));
     println!("verified against a fresh LinearScan of the mutated field ✓");

@@ -30,7 +30,7 @@ fn main() {
     );
 
     let engine = StorageEngine::in_memory();
-    let index = VectorIHilbert::build(&engine, &field);
+    let index = VectorIHilbert::build(&engine, &field).expect("build");
     println!(
         "vector I-Hilbert: {} subfield boxes, {} index pages",
         index.num_subfields(),
@@ -43,7 +43,9 @@ fn main() {
 
     engine.clear_cache();
     let mut regions = Vec::new();
-    let stats = index.query_with(&engine, &salmon, &mut |p| regions.push(p));
+    let stats = index
+        .query_with(&engine, &salmon, &mut |p| regions.push(p))
+        .expect("query");
     println!(
         "index:  {:>6} cells examined, {:>6} qualify, {:>5} regions, area {:>10.2}, {:>5} page reads",
         stats.cells_examined,
@@ -57,9 +59,9 @@ fn main() {
     let records: Vec<VectorCellRecord<2>> = (0..field.num_cells())
         .map(|c| field.cell_record(c))
         .collect();
-    let scan_file = RecordFile::create(&engine, records);
+    let scan_file = RecordFile::create(&engine, records).expect("create");
     engine.clear_cache();
-    let s = vector_linear_scan(&engine, &scan_file, &salmon);
+    let s = vector_linear_scan(&engine, &scan_file, &salmon).expect("scan");
     println!(
         "scan:   {:>6} cells examined, {:>6} qualify, {:>5} regions, area {:>10.2}, {:>5} page reads",
         s.cells_examined,

@@ -24,9 +24,9 @@ fn main() {
     let engine = StorageEngine::in_memory();
 
     // The three methods of the paper's evaluation.
-    let scan = LinearScan::build(&engine, &field);
-    let iall = IAll::build(&engine, &field);
-    let ihilbert = IHilbert::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
+    let iall = IAll::build(&engine, &field).expect("build");
+    let ihilbert = IHilbert::build(&engine, &field).expect("build");
     println!(
         "I-Hilbert stores {} subfield intervals for {} cells ({} index pages; I-All: {} intervals, {} pages)",
         ihilbert.num_intervals(),
@@ -47,7 +47,7 @@ fn main() {
     let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
     for m in methods {
         engine.clear_cache(); // cold-cache query, as in the paper
-        let stats = m.query_stats(&engine, band);
+        let stats = m.query_stats(&engine, band).expect("query");
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>12.4} {:>10}",
             m.name(),
@@ -61,7 +61,7 @@ fn main() {
 
     // The answer regions themselves are exact polygons.
     engine.clear_cache();
-    let (_, regions) = ihilbert.query_regions(&engine, band);
+    let (_, regions) = ihilbert.query_regions(&engine, band).expect("query");
     if let Some(r) = regions.first() {
         let c = r.centroid().unwrap_or(Point2::ORIGIN);
         println!(

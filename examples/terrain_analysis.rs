@@ -23,9 +23,9 @@ fn main() {
     );
 
     let engine = StorageEngine::in_memory();
-    let scan = LinearScan::build(&engine, &field);
-    let iall = IAll::build(&engine, &field);
-    let ihilbert = IHilbert::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
+    let iall = IAll::build(&engine, &field).expect("build");
+    let ihilbert = IHilbert::build(&engine, &field).expect("build");
     let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert];
 
     println!("\nmean page reads over 50 random queries per Qinterval (cold cache):");
@@ -42,7 +42,11 @@ fn main() {
             let mut total_reads = 0u64;
             for q in &queries {
                 engine.clear_cache();
-                total_reads += m.query_stats(&engine, *q).io.logical_reads();
+                total_reads += m
+                    .query_stats(&engine, *q)
+                    .expect("query")
+                    .io
+                    .logical_reads();
             }
             print!("{:>12.1}", total_reads as f64 / queries.len() as f64);
         }
@@ -52,7 +56,7 @@ fn main() {
     // A concrete analysis task: how much land lies above 500 m?
     let band = Interval::new(500.0, dom.hi);
     engine.clear_cache();
-    let stats = ihilbert.query_stats(&engine, band);
+    let stats = ihilbert.query_stats(&engine, band).expect("query");
     let total = {
         let d = field.domain();
         d.volume()

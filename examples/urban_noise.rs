@@ -26,16 +26,16 @@ fn main() {
     );
 
     let engine = StorageEngine::in_memory();
-    let ihilbert = IHilbert::build(&engine, &tin);
-    let scan = LinearScan::build(&engine, &tin);
+    let ihilbert = IHilbert::build(&engine, &tin).expect("build");
+    let scan = LinearScan::build(&engine, &tin).expect("build");
 
     // Q2: "find the noisy regions" — the paper's example asks for 80 dB;
     // on this city 90 dB isolates the immediate vicinity of the sources.
     let band = Interval::new(90.0, dom.hi);
     engine.clear_cache();
-    let (stats, regions) = ihilbert.query_regions(&engine, band);
+    let (stats, regions) = ihilbert.query_regions(&engine, band).expect("query");
     engine.clear_cache();
-    let s = scan.query_stats(&engine, band);
+    let s = scan.query_stats(&engine, band).expect("query");
     assert_eq!(s.cells_qualifying, stats.cells_qualifying);
 
     let domain_area = tin.triangulation().area();
@@ -69,10 +69,10 @@ fn main() {
     }
 
     // Q1: noise level at a specific address, via the spatial index.
-    let point_index = PointIndex::build(&engine, &tin);
+    let point_index = PointIndex::build(&engine, &tin).expect("build");
     let home = Point2::new(512.0, 377.0);
     engine.clear_cache();
-    let (level, q1) = point_index.value_at(&engine, home);
+    let (level, q1) = point_index.value_at(&engine, home).expect("query");
     match level {
         Some(db) => println!(
             "\nnoise at ({}, {}): {:.1} dB ({} index nodes, {} page reads)",

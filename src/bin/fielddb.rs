@@ -105,16 +105,18 @@ fn open_index(engine: &StorageEngine) -> Result<IHilbert<GridField>, String> {
     if engine.num_pages() == 0 {
         return Err("empty database file".into());
     }
-    let (magic, catalog) = engine.with_page(PageId(0), |p| {
-        (
-            u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
-            u64::from_le_bytes(p[8..16].try_into().expect("8 bytes")),
-        )
-    });
+    let (magic, catalog) = engine
+        .with_page(PageId(0), |p| {
+            (
+                u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(p[8..16].try_into().expect("8 bytes")),
+            )
+        })
+        .map_err(|e| format!("cannot read bootstrap page: {e}"))?;
     if magic != BOOT_MAGIC {
         return Err("not a fielddb database (bad bootstrap magic)".into());
     }
-    Ok(IHilbert::open(engine, PageId(catalog)))
+    IHilbert::open(engine, PageId(catalog)).map_err(|e| format!("cannot open catalog: {e}"))
 }
 
 fn create(path: &str, workload: &str, k: u32, h: f64, seed: u64) -> Result<String, String> {
@@ -129,14 +131,14 @@ fn create(path: &str, workload: &str, k: u32, h: f64, seed: u64) -> Result<Strin
     };
     let engine = open_engine(path)?;
     // Reserve page 0 for the bootstrap pointer.
-    let boot = engine.allocate_page();
+    let boot = engine.allocate_page().map_err(|e| e.to_string())?;
     assert_eq!(boot, PageId(0), "bootstrap must be page 0");
-    let index = IHilbert::build(&engine, &field);
-    let catalog = index.save(&engine);
+    let index = IHilbert::build(&engine, &field).map_err(|e| e.to_string())?;
+    let catalog = index.save(&engine).map_err(|e| e.to_string())?;
     let mut buf = [0u8; PAGE_SIZE];
     buf[0..8].copy_from_slice(&BOOT_MAGIC.to_le_bytes());
     buf[8..16].copy_from_slice(&catalog.0.to_le_bytes());
-    engine.write_page(boot, &buf);
+    engine.write_page(boot, &buf).map_err(|e| e.to_string())?;
     engine.sync().map_err(|e| e.to_string())?;
     Ok(format!(
         "created {path}: {} cells ({} data pages), {} subfields ({} index pages), value domain [{:.3}, {:.3}]\n",
@@ -171,7 +173,9 @@ fn query(path: &str, lo: f64, hi: f64, max_regions: usize) -> Result<String, Str
     }
     let engine = open_engine(path)?;
     let index = open_index(&engine)?;
-    let (stats, mut regions) = index.query_regions(&engine, Interval::new(lo, hi));
+    let (stats, mut regions) = index
+        .query_regions(&engine, Interval::new(lo, hi))
+        .map_err(|e| e.to_string())?;
     let mut out = format!(
         "w in [{lo}, {hi}]: {} cells qualify, {} regions, total area {:.3} ({} page reads)\n",
         stats.cells_qualifying,
@@ -201,7 +205,10 @@ fn point(path: &str, x: f64, y: f64) -> Result<String, String> {
     // contains the point by scanning candidate subfields is overkill —
     // the clean Q1 path needs the spatial index, which the CLI database
     // does not persist. Interpolate via the cell file directly.
-    match index.value_at_via_records(&engine, contfield::geom::Point2::new(x, y)) {
+    match index
+        .value_at_via_records(&engine, contfield::geom::Point2::new(x, y))
+        .map_err(|e| e.to_string())?
+    {
         Some(v) => Ok(format!("value at ({x}, {y}): {v:.6}\n")),
         None => Ok(format!("({x}, {y}) is outside the field domain\n")),
     }

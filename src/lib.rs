@@ -24,19 +24,19 @@
 //!
 //! // Build the paper's index and run a selective field value query
 //! // (top 5 % of the value domain).
-//! let index = IHilbert::build(&engine, &field);
+//! let index = IHilbert::build(&engine, &field).expect("build");
 //! let band = {
 //!     let dom = field.value_domain();
 //!     Interval::new(dom.denormalize(0.95), dom.denormalize(1.0))
 //! };
 //! engine.clear_cache();
-//! let (stats, regions) = index.query_regions(&engine, band);
+//! let (stats, regions) = index.query_regions(&engine, band).expect("query");
 //! assert_eq!(stats.num_regions, regions.len());
 //!
 //! // The same query by exhaustive scan gives the same answer…
-//! let scan = LinearScan::build(&engine, &field);
+//! let scan = LinearScan::build(&engine, &field).expect("build");
 //! engine.clear_cache();
-//! let s = scan.query_stats(&engine, band);
+//! let s = scan.query_stats(&engine, band).expect("query");
 //! assert_eq!(s.cells_qualifying, stats.cells_qualifying);
 //! // …but the index reads far fewer pages.
 //! assert!(stats.io.logical_reads() < s.io.logical_reads());

@@ -27,12 +27,12 @@ fn sweep(dom: Interval, seed: u64) -> Vec<Interval> {
 /// and demands byte-identical answers to the sequential loop.
 fn assert_batch_equals_sequential<F: FieldModel + Sync>(field: &F, queries: &[Interval]) {
     let engine = StorageEngine::in_memory();
-    let scan = LinearScan::build(&engine, field);
-    let iall = IAll::build(&engine, field);
-    let ihilbert = IHilbert::build(&engine, field);
+    let scan = LinearScan::build(&engine, field).expect("build");
+    let iall = IAll::build(&engine, field).expect("build");
+    let ihilbert = IHilbert::build(&engine, field).expect("build");
     let iquad = {
         let dom = field.value_domain();
-        IntervalQuadtree::build(&engine, field, dom.width() / 16.0)
+        IntervalQuadtree::build(&engine, field, dom.width() / 16.0).expect("build")
     };
     let methods: Vec<&dyn ValueIndex> = vec![&scan, &iall, &ihilbert, &iquad];
 
@@ -40,13 +40,14 @@ fn assert_batch_equals_sequential<F: FieldModel + Sync>(field: &F, queries: &[In
         // Sequential reference, regions included.
         let want: Vec<_> = queries
             .iter()
-            .map(|q| m.query_regions(&engine, *q))
+            .map(|q| m.query_regions(&engine, *q).expect("query"))
             .collect();
         for threads in [1, 4] {
             let report = QueryBatch::new(queries.to_vec())
                 .threads(threads)
                 .collect_regions(true)
-                .run(&engine, *m);
+                .run(&engine, *m)
+                .expect("run");
             assert_eq!(report.results.len(), queries.len());
             for (i, r) in report.results.iter().enumerate() {
                 let (ws, wr) = &want[i];
@@ -98,9 +99,12 @@ fn batch_aggregates_are_sums_of_per_query_stats() {
     let field = diamond_square(5, 0.7, 9);
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
     let queries = sweep(dom, 4);
-    let report = QueryBatch::new(queries).threads(4).run(&engine, &index);
+    let report = QueryBatch::new(queries)
+        .threads(4)
+        .run(&engine, &index)
+        .expect("run");
 
     let mut cells = 0;
     let mut io = IoStats::default();

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 fn concurrent_queries_agree_with_sequential() {
     let field = diamond_square(6, 0.6, 77);
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
     let dom = field.value_domain();
 
     let bands: Vec<Interval> = (0..32)
@@ -24,7 +24,7 @@ fn concurrent_queries_agree_with_sequential() {
         .collect();
     let sequential: Vec<QueryStats> = bands
         .iter()
-        .map(|b| index.query_stats(&engine, *b))
+        .map(|b| index.query_stats(&engine, *b).expect("query"))
         .collect();
 
     let next = AtomicUsize::new(0);
@@ -38,7 +38,7 @@ fn concurrent_queries_agree_with_sequential() {
                         if i >= bands.len() {
                             break;
                         }
-                        out.push((i, index.query_stats(&engine, bands[i])));
+                        out.push((i, index.query_stats(&engine, bands[i]).expect("query")));
                     }
                     out
                 })
@@ -68,15 +68,15 @@ fn concurrent_cold_scans_share_the_pool_safely() {
         pool_pages: 4,
         ..Default::default()
     });
-    let scan = LinearScan::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
     let dom = field.value_domain();
-    let expected = scan.query_stats(&engine, dom);
+    let expected = scan.query_stats(&engine, dom).expect("query");
 
     std::thread::scope(|scope| {
         for _ in 0..8 {
             scope.spawn(|| {
                 for _ in 0..5 {
-                    let got = scan.query_stats(&engine, dom);
+                    let got = scan.query_stats(&engine, dom).expect("query");
                     assert_eq!(got.cells_qualifying, expected.cells_qualifying);
                     assert!((got.area - expected.area).abs() < 1e-9);
                 }
@@ -90,7 +90,7 @@ fn concurrent_cold_scans_share_the_pool_safely() {
 fn global_io_counters_sum_across_threads() {
     let field = diamond_square(5, 0.5, 4);
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
     let dom = field.value_domain();
     let band = Interval::new(dom.denormalize(0.4), dom.denormalize(0.5));
 
@@ -101,7 +101,11 @@ fn global_io_counters_sum_across_threads() {
                 scope.spawn(|| {
                     let mut total = 0;
                     for _ in 0..10 {
-                        total += index.query_stats(&engine, band).io.logical_reads();
+                        total += index
+                            .query_stats(&engine, band)
+                            .expect("query")
+                            .io
+                            .logical_reads();
                     }
                     total
                 })

@@ -14,19 +14,19 @@ where
     F: FieldModel + Sync,
 {
     let engine = StorageEngine::in_memory();
-    let scan = LinearScan::build(&engine, field);
-    let iall = IAll::build(&engine, field);
-    let ihilbert = IHilbert::build(&engine, field);
+    let scan = LinearScan::build(&engine, field).expect("build");
+    let iall = IAll::build(&engine, field).expect("build");
+    let ihilbert = IHilbert::build(&engine, field).expect("build");
     let iquad = {
         let dom = field.value_domain();
-        IntervalQuadtree::build(&engine, field, dom.width() / 16.0)
+        IntervalQuadtree::build(&engine, field, dom.width() / 16.0).expect("build")
     };
     let methods: Vec<&dyn ValueIndex> = vec![&iall, &ihilbert, &iquad];
 
     for q in queries {
-        let want = scan.query_stats(&engine, *q);
+        let want = scan.query_stats(&engine, *q).expect("query");
         for m in &methods {
-            let got = m.query_stats(&engine, *q);
+            let got = m.query_stats(&engine, *q).expect("query");
             assert_eq!(
                 got.cells_qualifying,
                 want.cells_qualifying,

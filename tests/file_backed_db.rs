@@ -23,18 +23,20 @@ fn pages_survive_reopen() {
     let _ = std::fs::remove_file(&path);
     {
         let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("create");
-        let id = engine.allocate_page();
+        let id = engine.allocate_page().expect("allocate");
         let mut buf = [0u8; 4096];
         buf[7] = 0xA7;
         buf[4095] = 0x5C;
-        engine.write_page(id, &buf);
+        engine.write_page(id, &buf).expect("write");
         engine.sync().expect("sync");
         assert_eq!(engine.num_pages(), 1);
     }
     {
         let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("reopen");
         assert_eq!(engine.num_pages(), 1, "page count derived from file length");
-        let (a, b) = engine.with_page(contfield::storage::PageId(0), |p| (p[7], p[4095]));
+        let (a, b) = engine
+            .with_page(contfield::storage::PageId(0), |p| (p[7], p[4095]))
+            .expect("read");
         assert_eq!((a, b), (0xA7, 0x5C));
     }
     std::fs::remove_file(&path).expect("cleanup");
@@ -51,7 +53,7 @@ fn record_file_survives_reopen() {
         let records: Vec<GridCellRecord> = (0..field.num_cells())
             .map(|c| field.cell_record(c))
             .collect();
-        let file = RecordFile::create(&engine, records);
+        let file = RecordFile::create(&engine, records).expect("create");
         first_page = file.first_page();
         len = file.len();
         engine.sync().expect("sync");
@@ -60,7 +62,10 @@ fn record_file_survives_reopen() {
         let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("reopen");
         let file = RecordFile::<GridCellRecord>::open(first_page, len);
         for cell in [0usize, 7, len - 1] {
-            assert_eq!(file.get(&engine, cell), field.cell_record(cell));
+            assert_eq!(
+                file.get(&engine, cell).expect("get"),
+                field.cell_record(cell)
+            );
         }
     }
     std::fs::remove_file(&path).expect("cleanup");
@@ -73,15 +78,15 @@ fn queries_run_against_a_file_backed_database() {
     let field = diamond_square(5, 0.6, 17);
     let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("create");
 
-    let scan = LinearScan::build(&engine, &field);
-    let index = IHilbert::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
+    let index = IHilbert::build(&engine, &field).expect("build");
     let dom = field.value_domain();
     for t in [0.1, 0.5, 0.85] {
         let band = Interval::new(dom.denormalize(t), dom.denormalize((t + 0.1).min(1.0)));
         engine.clear_cache();
-        let a = scan.query_stats(&engine, band);
+        let a = scan.query_stats(&engine, band).expect("query");
         engine.clear_cache();
-        let b = index.query_stats(&engine, band);
+        let b = index.query_stats(&engine, band).expect("query");
         assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
         assert!((a.area - b.area).abs() < 1e-9 * a.area.max(1.0));
         // Real file reads happened.

@@ -11,8 +11,8 @@ fn index_size_ordering() {
     // a few subfield intervals.
     let field = diamond_square(6, 0.7, 3);
     let engine = StorageEngine::in_memory();
-    let iall = IAll::build(&engine, &field);
-    let ihilbert = IHilbert::build(&engine, &field);
+    let iall = IAll::build(&engine, &field).expect("build");
+    let ihilbert = IHilbert::build(&engine, &field).expect("build");
     assert!(ihilbert.num_intervals() < iall.num_intervals() / 4);
     assert!(ihilbert.index_pages() < iall.index_pages());
 }
@@ -22,16 +22,16 @@ fn cold_queries_hit_the_disk_warm_queries_do_not() {
     let field = diamond_square(5, 0.5, 4);
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
     let band = Interval::new(dom.denormalize(0.4), dom.denormalize(0.45));
 
     engine.clear_cache();
-    let cold = index.query_stats(&engine, band);
+    let cold = index.query_stats(&engine, band).expect("query");
     assert_eq!(cold.io.pool_misses, cold.io.disk_reads);
     assert!(cold.io.pool_misses > 0);
 
     // Same query warm: all logical reads come from the pool.
-    let warm = index.query_stats(&engine, band);
+    let warm = index.query_stats(&engine, band).expect("query");
     assert_eq!(warm.io.disk_reads, 0, "warm query must not touch disk");
     assert_eq!(warm.io.logical_reads(), cold.io.logical_reads());
 }
@@ -41,12 +41,17 @@ fn linear_scan_cost_is_constant_in_query_width() {
     let field = diamond_square(5, 0.5, 5);
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let scan = LinearScan::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
     let mut reads = Vec::new();
     for qi in [0.0, 0.05, 0.1] {
         let q = interval_queries(dom, qi, 1, 9)[0];
         engine.clear_cache();
-        reads.push(scan.query_stats(&engine, q).io.logical_reads());
+        reads.push(
+            scan.query_stats(&engine, q)
+                .expect("query")
+                .io
+                .logical_reads(),
+        );
     }
     assert!(reads.windows(2).all(|w| w[0] == w[1]), "{reads:?}");
 }
@@ -58,8 +63,8 @@ fn ihilbert_beats_linear_scan_at_paper_scale_queries() {
     let field = diamond_square(7, 0.8, 6); // 128x128 cells
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let scan = LinearScan::build(&engine, &field);
-    let ih = IHilbert::build(&engine, &field);
+    let scan = LinearScan::build(&engine, &field).expect("build");
+    let ih = IHilbert::build(&engine, &field).expect("build");
 
     // Factors are conservative at this deliberately small test scale
     // (128² cells); the benches demonstrate the paper-scale gaps.
@@ -68,9 +73,17 @@ fn ihilbert_beats_linear_scan_at_paper_scale_queries() {
         let mut ih_reads = 0u64;
         for q in interval_queries(dom, qi, 20, 100) {
             engine.clear_cache();
-            scan_reads += scan.query_stats(&engine, q).io.logical_reads();
+            scan_reads += scan
+                .query_stats(&engine, q)
+                .expect("query")
+                .io
+                .logical_reads();
             engine.clear_cache();
-            ih_reads += ih.query_stats(&engine, q).io.logical_reads();
+            ih_reads += ih
+                .query_stats(&engine, q)
+                .expect("query")
+                .io
+                .logical_reads();
         }
         assert!(
             ih_reads * factor < scan_reads,
@@ -87,11 +100,11 @@ fn subfield_contiguity_bounds_estimation_reads() {
     let field = diamond_square(6, 0.8, 13);
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
 
     let band = Interval::new(dom.denormalize(0.3), dom.denormalize(0.32));
     engine.clear_cache();
-    let stats = index.query_stats(&engine, band);
+    let stats = index.query_stats(&engine, band).expect("query");
     let per_page = 4096 / 64; // GridCellRecord::SIZE == 64
     let max_pages = stats.filter_nodes
         + (stats.cells_examined as u64).div_ceil(per_page)
@@ -118,7 +131,7 @@ fn concurrent_read_range_accounting_is_exact() {
     let records: Vec<_> = (0..field.num_cells())
         .map(|c| field.cell_record(c))
         .collect();
-    let file = RecordFile::create(&engine, records);
+    let file = RecordFile::create(&engine, records).expect("create");
     engine.clear_cache();
     engine.reset_stats();
 
@@ -132,7 +145,7 @@ fn concurrent_read_range_accounting_is_exact() {
                     let before = thread_io_stats();
                     for i in 0..10 {
                         let start = (t * 37 + i * 113) % (file.len() - span);
-                        let got = file.read_range(engine, start..start + span);
+                        let got = file.read_range(engine, start..start + span).expect("read");
                         assert_eq!(got.len(), span);
                     }
                     thread_io_stats() - before
@@ -182,14 +195,14 @@ fn buffer_pool_capacity_affects_repeat_queries_only() {
         pool_pages: 2,
         ..Default::default()
     });
-    let index_small = IHilbert::build(&small, &field);
+    let index_small = IHilbert::build(&small, &field).expect("build");
     small.clear_cache();
-    let cold_small = index_small.query_stats(&small, band);
+    let cold_small = index_small.query_stats(&small, band).expect("query");
 
     let big = StorageEngine::in_memory();
-    let index_big = IHilbert::build(&big, &field);
+    let index_big = IHilbert::build(&big, &field).expect("build");
     big.clear_cache();
-    let cold_big = index_big.query_stats(&big, band);
+    let cold_big = index_big.query_stats(&big, band).expect("query");
 
     assert_eq!(
         cold_small.io.logical_reads(),
@@ -197,8 +210,8 @@ fn buffer_pool_capacity_affects_repeat_queries_only() {
         "cold logical reads are pool-independent"
     );
     // Warm repeat: big pool serves from cache.
-    let warm_big = index_big.query_stats(&big, band);
+    let warm_big = index_big.query_stats(&big, band).expect("query");
     assert_eq!(warm_big.io.disk_reads, 0);
-    let warm_small = index_small.query_stats(&small, band);
+    let warm_small = index_small.query_stats(&small, band).expect("query");
     assert!(warm_small.io.disk_reads > 0, "2-page pool must re-fault");
 }

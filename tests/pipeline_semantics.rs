@@ -32,10 +32,10 @@ fn regions_are_sound_and_complete() {
     let field = diamond_square(5, 0.6, 31);
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
 
     let band = Interval::new(dom.denormalize(0.45), dom.denormalize(0.6));
-    let (stats, regions) = index.query_regions(&engine, band);
+    let (stats, regions) = index.query_regions(&engine, band).expect("query");
     assert!(stats.num_regions > 0, "query should match something");
 
     let mut rng = StdRng::seed_from_u64(9);
@@ -87,7 +87,7 @@ fn total_region_area_equals_band_measure() {
     let field = diamond_square(4, 0.4, 8);
     let dom = field.value_domain();
     let engine = StorageEngine::in_memory();
-    let index = IHilbert::build(&engine, &field);
+    let index = IHilbert::build(&engine, &field).expect("build");
 
     let cuts = 8;
     let mut total = 0.0;
@@ -96,7 +96,7 @@ fn total_region_area_equals_band_measure() {
             dom.denormalize(i as f64 / cuts as f64),
             dom.denormalize((i + 1) as f64 / cuts as f64),
         );
-        total += index.query_stats(&engine, band).area;
+        total += index.query_stats(&engine, band).expect("query").area;
     }
     let domain_area = field.domain().volume();
     assert!(
@@ -111,15 +111,15 @@ fn q1_and_q2_are_consistent() {
     // the regions a Q2 value query returns around that value.
     let field = diamond_square(4, 0.7, 12);
     let engine = StorageEngine::in_memory();
-    let q1 = PointIndex::build(&engine, &field);
-    let q2 = IHilbert::build(&engine, &field);
+    let q1 = PointIndex::build(&engine, &field).expect("build");
+    let q2 = IHilbert::build(&engine, &field).expect("build");
 
     let p = Point2::new(7.3, 4.8);
-    let (Some(v), _) = q1.value_at(&engine, p) else {
+    let (Some(v), _) = q1.value_at(&engine, p).expect("query") else {
         panic!("point inside domain")
     };
     let band = Interval::new(v - 1e-9, v + 1e-9);
-    let (_, regions) = q2.query_regions(&engine, band);
+    let (_, regions) = q2.query_regions(&engine, band).expect("query");
     let covered = regions
         .iter()
         .any(|r| polygon_contains(r, p) || r.vertices.iter().any(|&q| q.distance(p) < 1e-6));
