@@ -6,9 +6,15 @@
 //! ```
 //!
 //! Subcommands: `fig5`, `fig8a`, `fig8b`, `fig11`, `fig12`,
-//! `ablation`, `batch`, `bench`, `all`. Flags: `--full` (paper-scale
-//! datasets and 200 queries/point), `--queries N`, `--latency-us N`,
-//! `--json` (with `bench`: also write `BENCH_pr2.json`).
+//! `ablation`, `batch`, `bench`, `obs-overhead`, `all`. Flags: `--full`
+//! (paper-scale datasets and 200 queries/point), `--queries N`,
+//! `--latency-us N`, `--json` (with `bench`: also write
+//! `BENCH_pr2.json`), `--metrics` (with `batch`/`bench`: dump the
+//! engine's metrics-registry snapshot after the run).
+//!
+//! `obs-overhead` prints a parseable `OBS_OVERHEAD_US_PER_QUERY` line;
+//! CI runs it once per feature set (default vs `obs-off`) and fails if
+//! the instrumented build is more than 3 % slower.
 
 use cf_bench::{
     render_batch_scaling, render_markdown, run_batch_scaling, run_sweep, speedups,
@@ -31,6 +37,7 @@ struct Opts {
     queries: Option<usize>,
     latency_us: u64,
     json: bool,
+    metrics: bool,
 }
 
 impl Opts {
@@ -51,12 +58,14 @@ fn main() {
         queries: None,
         latency_us: 20,
         json: false,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--json" => opts.json = true,
+            "--metrics" => opts.metrics = true,
             "--queries" => {
                 opts.queries = Some(
                     it.next()
@@ -93,6 +102,7 @@ fn main() {
         "ablation" => ablation(&opts),
         "batch" => batch(&opts),
         "bench" => bench(&opts),
+        "obs-overhead" => obs_overhead(&opts),
         "all" => {
             fig5();
             print_sweep(&fig8a(&opts));
@@ -104,7 +114,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|batch|bench|all"
+                "unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|batch|bench|obs-overhead|all"
             );
             std::process::exit(2);
         }
@@ -261,6 +271,51 @@ fn batch(opts: &Opts) {
         println!("  {r}");
     }
     println!();
+    if opts.metrics {
+        println!("### metrics snapshot (batch engine)\n");
+        print!("{}", engine.metrics().render_text());
+        println!();
+    }
+}
+
+/// Measures the per-query cost of the observability plane on its most
+/// sensitive workload: warm, zero-latency, frozen-plane queries where no
+/// simulated I/O wait can hide the counter updates. Prints a parseable
+/// `OBS_OVERHEAD_US_PER_QUERY` line; CI runs this once with default
+/// features and once with `obs-off` and compares the two numbers.
+fn obs_overhead(opts: &Opts) {
+    use cf_storage::StorageEngine;
+    use std::time::Instant;
+
+    let field = roseburg_standin(7);
+    let engine = StorageEngine::in_memory();
+    let mut index = IHilbert::build(&engine, &field).expect("build");
+    index.freeze(&engine).expect("freeze");
+    let queries = interval_queries(field.value_domain(), 0.01, 64, 0x0B5);
+    let mut scratch = cf_index::QueryScratch::default();
+    for q in &queries {
+        index
+            .query_stats_scratch(&engine, *q, &mut scratch)
+            .expect("warmup query");
+    }
+    let reps = if opts.full { 500 } else { 100 };
+    let mut cells = 0usize; // fold the answers so the loop isn't dead code
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for q in &queries {
+            let stats = index
+                .query_stats_scratch(&engine, *q, &mut scratch)
+                .expect("query");
+            cells += stats.cells_examined;
+        }
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / (reps * queries.len()) as f64;
+    println!(
+        "obs-overhead: {} warm frozen-plane queries, {} cells examined",
+        reps * queries.len(),
+        cells
+    );
+    println!("OBS_OVERHEAD_US_PER_QUERY: {us:.4}");
 }
 
 /// PR-2 performance benches: parallel build scaling, frozen vs paged
@@ -600,6 +655,12 @@ fn bench(opts: &Opts) {
         );
         std::fs::write("BENCH_pr2.json", &j).expect("write BENCH_pr2.json");
         println!("wrote BENCH_pr2.json");
+    }
+
+    if opts.metrics {
+        println!("\n### metrics snapshot (filter-scan engine)\n");
+        print!("{}", scan_engine.metrics().render_text());
+        println!();
     }
 }
 

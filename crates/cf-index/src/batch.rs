@@ -20,7 +20,7 @@
 
 use crate::stats::{QueryStats, ValueIndex};
 use cf_geom::{Interval, Polygon};
-use cf_storage::{CfResult, IoStats, StorageEngine};
+use cf_storage::{CfResult, Counter, IoStats, StorageEngine};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -99,21 +99,39 @@ impl QueryBatch {
         results.resize_with(self.queries.len(), || None);
         let t0 = Instant::now();
 
+        // Executor metrics: how deep the unclaimed queue is right now,
+        // and how much wall time each worker spent inside queries (their
+        // ratio to batch wall time is the utilization).
+        let registry = engine.metrics();
+        let queue_depth = registry.gauge("batch_queue_depth");
+        queue_depth.set(self.queries.len() as f64);
+        let busy_counters: Vec<Counter> = (0..threads)
+            .map(|w| {
+                registry.counter_with("batch_worker_busy_ns_total", &[("worker", &w.to_string())])
+            })
+            .collect();
+
         let cursor = AtomicUsize::new(0);
         let slots = std::sync::Mutex::new(&mut results);
         let mut first_err = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| -> CfResult<()> {
+                .map(|w| {
+                    let busy = &busy_counters[w];
+                    let queue_depth = &queue_depth;
+                    let cursor = &cursor;
+                    let slots = &slots;
+                    scope.spawn(move || -> CfResult<()> {
                         // One scratch per worker: the per-query transient
                         // vectors keep their capacity across the whole run.
                         let mut scratch = crate::stats::QueryScratch::default();
+                        let mut busy_ns = 0u64;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&band) = self.queries.get(i) else {
                                 break;
                             };
+                            queue_depth.set(self.queries.len().saturating_sub(i + 1) as f64);
                             let qt0 = Instant::now();
                             let mut regions = Vec::new();
                             let stats = if self.collect_regions {
@@ -127,8 +145,10 @@ impl QueryBatch {
                                 wall: qt0.elapsed(),
                                 regions,
                             };
+                            busy_ns += result.wall.as_nanos() as u64;
                             slots.lock().expect("batch result lock poisoned")[i] = Some(result);
                         }
+                        busy.add(busy_ns);
                         Ok(())
                     })
                 })

@@ -326,7 +326,8 @@ impl<F: FieldModel> IHilbert<F> {
             }
         }
 
-        let tree = PagedRTree::from_parts(slot.t_root, slot.t_height, slot.t_len, slot.t_pages);
+        let mut tree = PagedRTree::from_parts(slot.t_root, slot.t_height, slot.t_len, slot.t_pages);
+        tree.attach_metrics(engine);
         let inner = SubfieldIndex::open(engine, file, tree, sf_file)?;
         let cell_to_pos: Vec<u32> = pos_file
             .read_range(engine, 0..slot.pos_len)?
@@ -334,7 +335,12 @@ impl<F: FieldModel> IHilbert<F> {
             .map(|r| r.0)
             .collect();
 
-        Ok(Self::from_parts(inner, slot.curve, cell_to_pos))
+        let index = Self::from_parts(inner, slot.curve, cell_to_pos);
+        // Structural health gauges come straight from the reopened
+        // metadata; the cost-C distribution needs per-cell intervals and
+        // reappears on the first update.
+        index.inner().publish_health(engine.metrics(), None);
+        Ok(index)
     }
 }
 

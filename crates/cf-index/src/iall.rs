@@ -7,12 +7,13 @@
 //! … the search speed will also suffer because of the overlapping of so
 //! many similar intervals."
 
-use crate::stats::{QueryStats, ValueIndex};
+use crate::stats::{QueryMetrics, QueryStats, ValueIndex};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
 use cf_rtree::{FrozenTree, PagedRTree, RStarTree, RTreeConfig};
-use cf_storage::{CfResult, RecordFile, StorageEngine};
+use cf_storage::{CfResult, RecordFile, Stopwatch, StorageEngine, TraceEvent};
 use std::marker::PhantomData;
+use std::sync::OnceLock;
 
 /// One R\*-tree entry per cell: `interval → cell index`.
 pub struct IAll<F: FieldModel> {
@@ -21,6 +22,8 @@ pub struct IAll<F: FieldModel> {
     /// Frozen query plane (see [`crate::QueryPlane`]): when present, the
     /// filtering step searches this flattened copy of `tree`.
     frozen: Option<FrozenTree<1>>,
+    /// `index_*` registry handles, wired at first query.
+    qmetrics: OnceLock<QueryMetrics>,
     _field: PhantomData<fn() -> F>,
 }
 
@@ -42,6 +45,7 @@ impl<F: FieldModel> IAll<F> {
             file,
             tree,
             frozen: None,
+            qmetrics: OnceLock::new(),
             _field: PhantomData,
         })
     }
@@ -61,10 +65,14 @@ impl<F: FieldModel> IAll<F> {
         candidates: &mut Vec<u64>,
         sink: &mut dyn FnMut(Polygon),
     ) -> CfResult<QueryStats> {
+        let tracer = engine.metrics().tracer();
+        let query_id = tracer.is_enabled().then(|| tracer.next_query_id());
+        let query_clock = Stopwatch::start();
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         // Filtering step: every intersecting cell interval.
+        let filter_clock = Stopwatch::start();
         candidates.clear();
         let mut on_hit = |cell: u64, _mbr: &cf_geom::Aabb<1>| candidates.push(cell);
         let search = match &self.frozen {
@@ -74,6 +82,8 @@ impl<F: FieldModel> IAll<F> {
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = candidates.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
+        let filter_ns = filter_clock.elapsed_ns();
+        let refine_clock = Stopwatch::start();
 
         // Estimation step: read the candidate cells (sorted for page
         // locality) and compute exact regions.
@@ -90,6 +100,40 @@ impl<F: FieldModel> IAll<F> {
             }
         }
         stats.io = cf_storage::thread_io_stats() - before;
+        let refine_ns = refine_clock.elapsed_ns();
+        let query_ns = query_clock.elapsed_ns();
+        self.qmetrics
+            .get_or_init(|| QueryMetrics::wire(engine.metrics(), "I-All"))
+            .publish(&stats, query_ns, filter_ns, refine_ns);
+        if let Some(query_id) = query_id {
+            let phases = [
+                TraceEvent {
+                    query_id,
+                    phase: "filter",
+                    pages: stats.filter_pages,
+                    nanos: filter_ns,
+                    depth: 1,
+                },
+                TraceEvent {
+                    query_id,
+                    phase: "refine",
+                    pages: stats.io.logical_reads() - stats.filter_pages,
+                    nanos: refine_ns,
+                    depth: 1,
+                },
+            ];
+            for event in &phases {
+                tracer.record(*event);
+            }
+            tracer.record(TraceEvent {
+                query_id,
+                phase: "query",
+                pages: stats.io.logical_reads(),
+                nanos: query_ns,
+                depth: 0,
+            });
+            tracer.finish_query(query_id, query_ns, &phases);
+        }
         Ok(stats)
     }
 }

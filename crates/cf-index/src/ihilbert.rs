@@ -79,14 +79,16 @@ impl<F: FieldModel> IHilbert<F> {
     {
         let threads = config.build_threads.max(1);
         let order;
+        let intervals: Vec<Interval>;
+        let subfields;
         let mut inner;
         if threads > 1 {
             order = par_cell_order(field, config.curve.0, threads);
-            let intervals: Vec<Interval> = crate::par::par_map_chunks(order.len(), threads, {
+            intervals = crate::par::par_map_chunks(order.len(), threads, {
                 let order = &order;
                 move |r, out| out.extend(order[r].iter().map(|&c| field.cell_interval(c)))
             });
-            let subfields = build_subfields(&intervals, config.subfield);
+            subfields = build_subfields(&intervals, config.subfield);
             inner = SubfieldIndex::build_par(
                 engine,
                 field,
@@ -97,13 +99,28 @@ impl<F: FieldModel> IHilbert<F> {
             )?;
         } else {
             order = cell_order(field, config.curve.0);
-            let intervals: Vec<Interval> = order.iter().map(|&c| field.cell_interval(c)).collect();
-            let subfields = build_subfields(&intervals, config.subfield);
+            intervals = order.iter().map(|&c| field.cell_interval(c)).collect();
+            subfields = build_subfields(&intervals, config.subfield);
             inner = SubfieldIndex::build(engine, field, &order, &subfields, config.tree_build)?;
         }
         if config.plane == QueryPlane::Frozen {
             inner.freeze(engine)?;
         }
+        inner.set_metric_label(method_label(config.curve.0));
+        // Exact per-subfield cost C = P/SI — the per-cell intervals are
+        // in hand only here at build time, so this is where the health
+        // metrics get the full distribution.
+        let costs: Vec<f64> = subfields
+            .iter()
+            .map(|sf| {
+                let si: f64 = intervals[sf.start as usize..sf.end as usize]
+                    .iter()
+                    .map(|iv| iv.size_with_base(1.0))
+                    .sum();
+                sf.interval.size_with_base(1.0) / si
+            })
+            .collect();
+        inner.publish_health(engine.metrics(), Some(&costs));
         assert!(
             order.len() <= u32::MAX as usize,
             "cell file too large for u32 positions ({} cells)",
@@ -184,7 +201,12 @@ impl<F: FieldModel> IHilbert<F> {
         &self.cell_to_pos
     }
 
-    pub(crate) fn from_parts(inner: SubfieldIndex<F>, curve: Curve, cell_to_pos: Vec<u32>) -> Self {
+    pub(crate) fn from_parts(
+        mut inner: SubfieldIndex<F>,
+        curve: Curve,
+        cell_to_pos: Vec<u32>,
+    ) -> Self {
+        inner.set_metric_label(method_label(curve));
         Self {
             inner,
             curve,
@@ -249,12 +271,18 @@ impl<F: FieldModel> IHilbert<F> {
     }
 }
 
+/// Method name for a curve choice, as used in the paper's figures and as
+/// the `index` metric label.
+fn method_label(curve: Curve) -> String {
+    match curve {
+        Curve::Hilbert => "I-Hilbert".into(),
+        other => format!("I-{}", other.name()),
+    }
+}
+
 impl<F: FieldModel> ValueIndex for IHilbert<F> {
     fn name(&self) -> String {
-        match self.curve {
-            Curve::Hilbert => "I-Hilbert".into(),
-            other => format!("I-{}", other.name()),
-        }
+        method_label(self.curve)
     }
 
     fn query_with(

@@ -64,7 +64,20 @@ impl<F: FieldModel> IntervalQuadtree<F> {
         );
         debug_assert_eq!(order.len(), n);
 
-        let inner = SubfieldIndex::build(engine, field, &order, &subfields, TreeBuild::Dynamic)?;
+        let mut inner =
+            SubfieldIndex::build(engine, field, &order, &subfields, TreeBuild::Dynamic)?;
+        inner.set_metric_label("I-Quad");
+        let costs: Vec<f64> = subfields
+            .iter()
+            .map(|sf| {
+                let si: f64 = order[sf.start as usize..sf.end as usize]
+                    .iter()
+                    .map(|&c| intervals[c].size_with_base(1.0))
+                    .sum();
+                sf.interval.size_with_base(1.0) / si
+            })
+            .collect();
+        inner.publish_health(engine.metrics(), Some(&costs));
         Ok(Self { inner, threshold })
     }
 

@@ -15,10 +15,11 @@
 //!   based on estimated cost, so no second copy of the data is needed.
 
 use crate::ihilbert::IHilbert;
-use crate::stats::{QueryStats, ValueIndex};
+use crate::stats::{QueryMetrics, QueryStats, ValueIndex};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
-use cf_storage::{CfResult, StorageEngine};
+use cf_storage::{CfResult, Counter, Stopwatch, StorageEngine, TraceEvent};
+use std::sync::OnceLock;
 
 /// Equi-width histogram estimator for interval-intersection queries.
 ///
@@ -129,6 +130,17 @@ pub enum Plan {
     FullScan,
 }
 
+/// Registry handles for the optimizer's own metrics: one
+/// `planner_plans_total` series per plan, plus `index_*` series for the
+/// scan fallback (the probe path publishes under the wrapped index's own
+/// label).
+#[derive(Debug)]
+struct PlannerMetrics {
+    probe_plans: Counter,
+    scan_plans: Counter,
+    scan_query: QueryMetrics,
+}
+
 /// [`IHilbert`] plus an optimizer that falls back to scanning the (same)
 /// cell file when the estimated selectivity makes a probe pointless.
 pub struct AdaptiveIndex<F: FieldModel> {
@@ -138,6 +150,8 @@ pub struct AdaptiveIndex<F: FieldModel> {
     /// drag in co-located cells and re-read straddled pages, so the
     /// break-even sits well below 1.0; 0.5 is a robust default.
     scan_threshold: f64,
+    /// Wired at first query (the registry arrives with the engine).
+    pmetrics: OnceLock<PlannerMetrics>,
 }
 
 impl<F: FieldModel> AdaptiveIndex<F> {
@@ -153,6 +167,7 @@ impl<F: FieldModel> AdaptiveIndex<F> {
             index,
             estimator,
             scan_threshold: 0.35,
+            pmetrics: OnceLock::new(),
         })
     }
 
@@ -189,9 +204,25 @@ impl<F: FieldModel> ValueIndex for AdaptiveIndex<F> {
         band: Interval,
         sink: &mut dyn FnMut(Polygon),
     ) -> CfResult<QueryStats> {
+        let pm = self.pmetrics.get_or_init(|| {
+            let registry = engine.metrics();
+            PlannerMetrics {
+                probe_plans: registry
+                    .counter_with("planner_plans_total", &[("plan", "index_probe")]),
+                scan_plans: registry.counter_with("planner_plans_total", &[("plan", "full_scan")]),
+                scan_query: QueryMetrics::wire(registry, "adaptive-scan"),
+            }
+        });
         match self.plan(band) {
-            Plan::IndexProbe => self.index.query_with(engine, band, sink),
+            Plan::IndexProbe => {
+                pm.probe_plans.inc();
+                self.index.query_with(engine, band, sink)
+            }
             Plan::FullScan => {
+                pm.scan_plans.inc();
+                let tracer = engine.metrics().tracer();
+                let query_id = tracer.is_enabled().then(|| tracer.next_query_id());
+                let query_clock = Stopwatch::start();
                 // Sequential scan of the Hilbert-ordered cell file.
                 let before = cf_storage::thread_io_stats();
                 let mut stats = QueryStats::default();
@@ -210,6 +241,30 @@ impl<F: FieldModel> ValueIndex for AdaptiveIndex<F> {
                         }
                     })?;
                 stats.io = cf_storage::thread_io_stats() - before;
+                let query_ns = query_clock.elapsed_ns();
+                // The scan has no filter step: the whole query is one
+                // refinement pass over the cell file.
+                pm.scan_query.publish(&stats, query_ns, 0, query_ns);
+                if let Some(query_id) = query_id {
+                    let phases = [TraceEvent {
+                        query_id,
+                        phase: "scan",
+                        pages: stats.io.logical_reads(),
+                        nanos: query_ns,
+                        depth: 1,
+                    }];
+                    for event in &phases {
+                        tracer.record(*event);
+                    }
+                    tracer.record(TraceEvent {
+                        query_id,
+                        phase: "query",
+                        pages: stats.io.logical_reads(),
+                        nanos: query_ns,
+                        depth: 0,
+                    });
+                    tracer.finish_query(query_id, query_ns, &phases);
+                }
                 Ok(stats)
             }
         }

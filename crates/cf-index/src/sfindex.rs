@@ -4,13 +4,14 @@
 //! over the subfield intervals whose leaf payloads are the packed
 //! ranges (paper Fig. 6: leaf entries store `ptr_start, ptr_end`).
 
-use crate::stats::QueryStats;
+use crate::stats::{QueryMetrics, QueryStats};
 use crate::subfield::Subfield;
 use cf_field::FieldModel;
 use cf_geom::{Aabb, Interval, Polygon};
 use cf_rtree::{bulk_load_str, FrozenTree, PagedRTree, RStarTree, RTreeConfig};
-use cf_storage::{CfResult, RecordFile, StorageEngine};
+use cf_storage::{CfResult, MetricsRegistry, RecordFile, Stopwatch, StorageEngine, TraceEvent};
 use std::marker::PhantomData;
+use std::sync::OnceLock;
 
 /// How the subfield R\*-tree is constructed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +38,12 @@ pub enum QueryPlane {
     Frozen,
 }
 
+/// Bucket bounds of the `index_health_cost_c` histogram. `C = P/SI` is
+/// 1.0 for a single-cell subfield and falls toward 0 as a subfield
+/// absorbs more cells of similar values, so the deciles of `(0, 1]`
+/// resolve the whole distribution.
+const COST_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
 /// A cell file in subfield order plus the interval tree over subfields.
 pub(crate) struct SubfieldIndex<F: FieldModel> {
     pub(crate) file: RecordFile<F::CellRec>,
@@ -51,6 +58,12 @@ pub(crate) struct SubfieldIndex<F: FieldModel> {
     /// Frozen query plane: when present, the filtering step searches
     /// this flattened copy of `tree` instead of faulting tree pages.
     frozen: Option<FrozenTree<1>>,
+    /// `index` label value of every metric this index publishes
+    /// (overridden by the owning method — `"I-Hilbert"`, `"I-Quad"` — via
+    /// [`SubfieldIndex::set_metric_label`]).
+    metric_label: String,
+    /// Cached registry handles, wired against the first engine queried.
+    qmetrics: OnceLock<QueryMetrics>,
     _field: PhantomData<fn() -> F>,
 }
 
@@ -180,7 +193,73 @@ impl<F: FieldModel> SubfieldIndex<F> {
             sf_file,
             pos_to_subfield,
             frozen: None,
+            metric_label: "subfield".to_owned(),
+            qmetrics: OnceLock::new(),
             _field: PhantomData,
+        }
+    }
+
+    /// Sets the `index` label of this index's metrics. Must be called
+    /// before the first query (the label is baked into the cached
+    /// handles then); the owning method does so right after build/open.
+    pub(crate) fn set_metric_label(&mut self, label: impl Into<String>) {
+        self.metric_label = label.into();
+    }
+
+    fn query_metrics(&self, registry: &MetricsRegistry) -> &QueryMetrics {
+        self.qmetrics
+            .get_or_init(|| QueryMetrics::wire(registry, &self.metric_label))
+    }
+
+    /// Publishes the derived index-health gauges, labeled with this
+    /// index's method name:
+    ///
+    /// * `index_health_subfields` — subfield count;
+    /// * `index_health_mean_interval_len` — mean subfield interval size
+    ///   `L` (with the paper's `+1` base, the numerator of `C = P/SI`);
+    /// * `index_health_mean_cells_per_subfield` — clustering quality
+    ///   proxy: the better the curve clusters similar values, the more
+    ///   cells each subfield absorbs before the cost rule closes it.
+    ///
+    /// When the per-subfield cost distribution is known (`costs`, exact
+    /// only at build time, when the per-cell intervals are in hand),
+    /// also sets `index_health_mean_cost_c` and fills the
+    /// `index_health_cost_c` histogram. Indexes reopened from a catalog
+    /// publish the gauges but leave the cost distribution empty rather
+    /// than re-reading the whole cell file.
+    pub(crate) fn publish_health(&self, registry: &MetricsRegistry, costs: Option<&[f64]>) {
+        let labels: &[(&str, &str)] = &[("index", &self.metric_label)];
+        let n = self.subfields.len();
+        registry
+            .gauge_with("index_health_subfields", labels)
+            .set(n as f64);
+        if n > 0 {
+            let mean_len = self
+                .subfields
+                .iter()
+                .map(|sf| sf.interval.size_with_base(1.0))
+                .sum::<f64>()
+                / n as f64;
+            registry
+                .gauge_with("index_health_mean_interval_len", labels)
+                .set(mean_len);
+            registry
+                .gauge_with("index_health_mean_cells_per_subfield", labels)
+                .set(self.file.len() as f64 / n as f64);
+        }
+        if let Some(costs) = costs {
+            // The mean is only meaningful over the full distribution
+            // (build time); incremental updates contribute single costs
+            // to the histogram without skewing the build-time mean.
+            if costs.len() == n {
+                registry
+                    .gauge_with("index_health_mean_cost_c", labels)
+                    .set(costs.iter().sum::<f64>() / n.max(1) as f64);
+            }
+            let hist = registry.histogram_with("index_health_cost_c", labels, &COST_BUCKETS);
+            for &c in costs {
+                hist.observe(c);
+            }
         }
     }
 
@@ -227,14 +306,20 @@ impl<F: FieldModel> SubfieldIndex<F> {
         threads: usize,
     ) -> CfResult<QueryStats> {
         assert!(threads >= 1, "need at least one thread");
+        let tracer = engine.metrics().tracer();
+        let query_id = tracer.is_enabled().then(|| tracer.next_query_id());
+        let query_clock = Stopwatch::start();
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
+        let filter_clock = Stopwatch::start();
         let mut ranges: Vec<(u32, u32)> = Vec::new();
         let search = self.filter_step(engine, band, &mut ranges)?;
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
+        let filter_ns = filter_clock.elapsed_ns();
+        let refine_clock = Stopwatch::start();
 
         // Balance by cell count: assign maximal runs to the least-loaded
         // worker, largest first (LPT heuristic). Runs (not raw subfield
@@ -302,6 +387,13 @@ impl<F: FieldModel> SubfieldIndex<F> {
         // back with the worker partials. The sum is exact per query even
         // while other queries run concurrently on the same engine.
         stats.io = stats.io + (cf_storage::thread_io_stats() - before);
+        let refine_ns = refine_clock.elapsed_ns();
+        let query_ns = query_clock.elapsed_ns();
+        self.query_metrics(engine.metrics())
+            .publish(&stats, query_ns, filter_ns, refine_ns);
+        if let Some(query_id) = query_id {
+            self.trace_query(engine, query_id, &stats, query_ns, filter_ns, refine_ns);
+        }
         Ok(stats)
     }
 
@@ -316,11 +408,15 @@ impl<F: FieldModel> SubfieldIndex<F> {
         self.file.put(engine, pos, record)?;
         let sf_idx = self.pos_to_subfield[pos] as usize;
         let sf = self.subfields[sf_idx];
-        // Recompute the subfield interval from its (updated) records.
+        // Recompute the subfield interval from its (updated) records,
+        // accumulating SI (the denominator of `C = P/SI`) in the same
+        // scan so the health metrics get the subfield's fresh cost.
         let mut new_iv: Option<Interval> = None;
+        let mut si = 0.0;
         self.file
             .for_each_in_range(engine, sf.start as usize..sf.end as usize, |_, rec| {
                 let iv = F::record_interval(&rec);
+                si += iv.size_with_base(1.0);
                 new_iv = Some(match new_iv {
                     Some(a) => a.union(iv),
                     None => iv,
@@ -337,6 +433,11 @@ impl<F: FieldModel> SubfieldIndex<F> {
             if self.frozen.is_some() {
                 self.freeze(engine)?;
             }
+            // Gauges derive from the subfield catalog, which just
+            // changed; the touched subfield's new cost joins the
+            // distribution (build-time costs stay, as a history).
+            let cost = new_iv.size_with_base(1.0) / si;
+            self.publish_health(engine.metrics(), Some(&[cost]));
         }
         Ok(())
     }
@@ -374,19 +475,25 @@ impl<F: FieldModel> SubfieldIndex<F> {
         runs: &mut Vec<std::ops::Range<usize>>,
         sink: &mut dyn FnMut(Polygon),
     ) -> CfResult<QueryStats> {
+        let tracer = engine.metrics().tracer();
+        let query_id = tracer.is_enabled().then(|| tracer.next_query_id());
+        let query_clock = Stopwatch::start();
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
 
         // Step 1 (filtering): subfields whose interval intersects w.
+        let filter_clock = Stopwatch::start();
         ranges.clear();
         let search = self.filter_step(engine, band, ranges)?;
         stats.filter_nodes = search.nodes_visited;
         stats.intervals_retrieved = ranges.len();
         stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
+        let filter_ns = filter_clock.elapsed_ns();
 
         // Step 2 (estimation): read the contiguous cell runs, merging
         // adjacent subfields and visiting every data page exactly once
         // (same merge rule as `coalesce_ranges`, building runs in place).
+        let refine_clock = Stopwatch::start();
         ranges.sort_unstable();
         runs.clear();
         for &(s, e) in ranges.iter() {
@@ -407,6 +514,57 @@ impl<F: FieldModel> SubfieldIndex<F> {
             }
         })?;
         stats.io = cf_storage::thread_io_stats() - before;
+        let refine_ns = refine_clock.elapsed_ns();
+        let query_ns = query_clock.elapsed_ns();
+
+        self.query_metrics(engine.metrics())
+            .publish(&stats, query_ns, filter_ns, refine_ns);
+        if let Some(query_id) = query_id {
+            self.trace_query(engine, query_id, &stats, query_ns, filter_ns, refine_ns);
+        }
         Ok(stats)
+    }
+
+    /// Records the query's phase breakdown into the trace ring and, when
+    /// it crossed the slow-query threshold, captures a full
+    /// [`cf_storage::SlowQueryReport`]. Only called when tracing is
+    /// enabled, so the ordinary hot path never builds these events.
+    fn trace_query(
+        &self,
+        engine: &StorageEngine,
+        query_id: u64,
+        stats: &QueryStats,
+        query_ns: u64,
+        filter_ns: u64,
+        refine_ns: u64,
+    ) {
+        let tracer = engine.metrics().tracer();
+        let phases = [
+            TraceEvent {
+                query_id,
+                phase: "filter",
+                pages: stats.filter_pages,
+                nanos: filter_ns,
+                depth: 1,
+            },
+            TraceEvent {
+                query_id,
+                phase: "refine",
+                pages: stats.io.logical_reads() - stats.filter_pages,
+                nanos: refine_ns,
+                depth: 1,
+            },
+        ];
+        for event in &phases {
+            tracer.record(*event);
+        }
+        tracer.record(TraceEvent {
+            query_id,
+            phase: "query",
+            pages: stats.io.logical_reads(),
+            nanos: query_ns,
+            depth: 0,
+        });
+        tracer.finish_query(query_id, query_ns, &phases);
     }
 }

@@ -1,7 +1,7 @@
 //! The common query interface and per-query statistics.
 
 use cf_geom::{Interval, Polygon};
-use cf_storage::{CfResult, IoStats, StorageEngine};
+use cf_storage::{CfResult, Counter, Histogram, IoStats, MetricsRegistry, StorageEngine};
 
 /// Everything a value query reports besides its answer regions.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -45,6 +45,66 @@ pub struct QueryScratch {
     pub(crate) runs: Vec<std::ops::Range<usize>>,
     /// Candidate payloads (I-All's per-cell filter step).
     pub(crate) candidates: Vec<u64>,
+}
+
+/// Registry handles for the per-query metrics an index publishes, cached
+/// so the query hot path pays one atomic add per counter instead of a
+/// name lookup. Wired lazily on an index's first query (the engine — and
+/// with it the registry — is a query-time parameter).
+#[derive(Debug)]
+pub(crate) struct QueryMetrics {
+    queries: Counter,
+    filter_pages: Counter,
+    refine_pages: Counter,
+    filter_nodes: Counter,
+    intervals: Counter,
+    cells_examined: Counter,
+    cells_qualifying: Counter,
+    query_ns: Histogram,
+    filter_ns: Histogram,
+    refine_ns: Histogram,
+}
+
+impl QueryMetrics {
+    /// Registers (or reattaches to) the `index_*` families, every series
+    /// labeled with the index's method name.
+    pub(crate) fn wire(registry: &MetricsRegistry, index: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("index", index)];
+        Self {
+            queries: registry.counter_with("index_queries_total", labels),
+            filter_pages: registry.counter_with("index_filter_pages_total", labels),
+            refine_pages: registry.counter_with("index_refine_pages_total", labels),
+            filter_nodes: registry.counter_with("index_filter_nodes_total", labels),
+            intervals: registry.counter_with("index_intervals_retrieved_total", labels),
+            cells_examined: registry.counter_with("index_cells_examined_total", labels),
+            cells_qualifying: registry.counter_with("index_cells_qualifying_total", labels),
+            query_ns: registry.time_histogram("index_query_ns", labels),
+            filter_ns: registry.time_histogram("index_filter_ns", labels),
+            refine_ns: registry.time_histogram("index_refine_ns", labels),
+        }
+    }
+
+    /// Flushes one finished query into the registry. Counter bumps stay
+    /// real under `obs-off`; the latency observations compile out.
+    pub(crate) fn publish(
+        &self,
+        stats: &QueryStats,
+        query_ns: u64,
+        filter_ns: u64,
+        refine_ns: u64,
+    ) {
+        self.queries.inc();
+        self.filter_pages.add(stats.filter_pages);
+        self.refine_pages
+            .add(stats.io.logical_reads() - stats.filter_pages);
+        self.filter_nodes.add(stats.filter_nodes);
+        self.intervals.add(stats.intervals_retrieved as u64);
+        self.cells_examined.add(stats.cells_examined as u64);
+        self.cells_qualifying.add(stats.cells_qualifying as u64);
+        self.query_ns.observe_ns(query_ns);
+        self.filter_ns.observe_ns(filter_ns);
+        self.refine_ns.observe_ns(refine_ns);
+    }
 }
 
 /// A value-domain index over one field, queryable by value interval.

@@ -14,7 +14,7 @@ use cf_index::{
     CurveChoice, IHilbert, IHilbertConfig, LinearScan, QueryPlane, QueryStats, ValueIndex,
 };
 use cf_sfc::Curve;
-use cf_storage::{Fault, StorageEngine};
+use cf_storage::{Fault, FaultOp, StorageEngine};
 
 fn wavy_field(n: usize, phase: f64) -> GridField {
     let vw = n + 1;
@@ -93,6 +93,10 @@ fn every_write_prefix_of_save_leaves_an_openable_catalog() {
     let (_, writes) = engine.fault_ops();
     assert!(writes >= 2, "save_to must write pos pages + commit slot");
 
+    let metrics = engine.metrics().clone();
+    let fired_before = metrics
+        .counter_value("storage_faults_injected_total", &[("op", "write")])
+        .unwrap_or(0);
     for k in 0..writes {
         engine.clear_faults();
         engine.inject_fault(Fault::FailWrite { nth: k });
@@ -100,6 +104,13 @@ fn every_write_prefix_of_save_leaves_an_openable_catalog() {
             .save_to(&engine, catalog)
             .expect_err("armed write fault must fire");
         assert!(err.is_injected(), "crash at write {k}: {err}");
+        // The injector recorded exactly the armed crash point: the
+        // fault we configured, fired at its own ordinal, on a write.
+        let fired = engine.fired_faults();
+        assert_eq!(fired.len(), 1, "crash at write {k}: {fired:?}");
+        assert_eq!(fired[0].op, FaultOp::Write, "crash at write {k}");
+        assert_eq!(fired[0].ordinal, k, "crash at write {k}");
+        assert_eq!(fired[0].fault, Fault::FailWrite { nth: k });
         engine.clear_faults();
         // A crash loses the buffer pool; reopen reads the disk's truth.
         engine.clear_cache();
@@ -108,6 +119,17 @@ fn every_write_prefix_of_save_leaves_an_openable_catalog() {
         let got = answers(&reopened, &engine);
         assert_same_answers(&got, &expected, &format!("crash at write {k}"));
     }
+
+    // Every injected crash also landed in the metrics registry: one
+    // fired write fault per loop iteration, none lost to clear_faults.
+    assert_eq!(
+        metrics
+            .counter_value("storage_faults_injected_total", &[("op", "write")])
+            .unwrap_or(0)
+            - fired_before,
+        writes,
+        "registry must count every fired write fault"
+    );
 
     // After surviving every crash point, a clean save still commits.
     engine.clear_faults();
@@ -138,6 +160,17 @@ fn torn_commit_write_falls_back_to_previous_slot() {
             .save_to(&engine, catalog)
             .expect_err("torn commit must report the crash");
         assert!(err.is_injected(), "keep={keep}: {err}");
+        let fired = engine.fired_faults();
+        assert_eq!(fired.len(), 1, "keep={keep}: {fired:?}");
+        assert_eq!(
+            fired[0].fault,
+            Fault::TornWrite {
+                nth: writes - 1,
+                keep
+            },
+            "keep={keep}"
+        );
+        assert_eq!(fired[0].ordinal, writes - 1, "keep={keep}");
         engine.clear_faults();
         engine.clear_cache();
         let reopened = IHilbert::<GridField>::open(&engine, catalog)
@@ -163,6 +196,10 @@ fn open_survives_one_unreadable_slot() {
     engine.clear_faults();
     engine.inject_fault(Fault::FailRead { nth: 0 });
     let reopened = IHilbert::<GridField>::open(&engine, catalog).expect("open with one dead slot");
+    let fired = engine.fired_faults();
+    assert_eq!(fired.len(), 1, "{fired:?}");
+    assert_eq!(fired[0].op, FaultOp::Read);
+    assert_eq!(fired[0].ordinal, 0);
     engine.clear_faults();
     assert_same_answers(&answers(&reopened, &engine), &expected, "one dead slot");
 }

@@ -32,7 +32,7 @@ use crate::node::ChildRef;
 use crate::tree::{RStarTree, SearchStats};
 use crate::PagedRTree;
 use cf_geom::Aabb;
-use cf_storage::{CfResult, PageId, StorageEngine};
+use cf_storage::{CfResult, Counter, PageId, StorageEngine};
 
 /// Entries per bounds lane: 8 × f64 fills one 64-byte cache line.
 const LANE: usize = 8;
@@ -78,6 +78,10 @@ pub struct FrozenTree<const N: usize> {
     len: usize,
     /// Tree height (1 = single leaf root).
     height: u32,
+    /// `rtree_node_visits_total{plane="frozen"}` in the source engine's
+    /// registry; `None` for trees frozen from memory
+    /// ([`FrozenTree::from_tree`]), which have no engine to report to.
+    nodes_counter: Option<Counter>,
 }
 
 /// Transient decoded node used while freezing.
@@ -119,7 +123,7 @@ impl<const N: usize> FrozenTree<N> {
     /// through the buffer pool (the one-time cost of entering the frozen
     /// plane; subsequent searches touch no pages at all).
     pub fn from_paged(engine: &StorageEngine, paged: &PagedRTree<N>) -> CfResult<Self> {
-        Self::build_bfs(
+        let mut tree = Self::build_bfs(
             paged.len(),
             paged.height(),
             paged.root_page_id(),
@@ -140,7 +144,13 @@ impl<const N: usize> FrozenTree<N> {
                 })
             },
             PageId,
-        )
+        )?;
+        tree.nodes_counter = Some(
+            engine
+                .metrics()
+                .counter_with("rtree_node_visits_total", &[("plane", "frozen")]),
+        );
+        Ok(tree)
     }
 
     /// Shared BFS flattening: `decode` materializes a node from its
@@ -223,6 +233,7 @@ impl<const N: usize> FrozenTree<N> {
             lanes_per_dim,
             len,
             height,
+            nodes_counter: None,
         })
     }
 
@@ -311,6 +322,9 @@ impl<const N: usize> FrozenTree<N> {
                     }
                 }
             }
+        }
+        if let Some(counter) = &self.nodes_counter {
+            counter.add(stats.nodes_visited);
         }
         stats
     }
@@ -438,6 +452,38 @@ mod tests {
         let s2 = frozen.search_into(&iv(10.0, 20.0), &mut buf);
         assert_eq!(buf.len() as u64, s2.results);
         assert!(buf.capacity() >= cap, "capacity kept across calls");
+    }
+
+    #[test]
+    fn node_visits_flow_into_the_engine_registry() {
+        let tree = build_tree(2000, 32);
+        let engine = StorageEngine::in_memory();
+        let paged = PagedRTree::persist(&tree, &engine).expect("persist");
+        let frozen = FrozenTree::from_paged(&engine, &paged).expect("freeze");
+        engine.reset_stats();
+
+        let q = iv(250.0, 260.0);
+        let ps = paged.search(&engine, &q, |_, _| {}).expect("search");
+        let fs = frozen.search(&q, |_, _| {});
+        let m = engine.metrics();
+        assert_eq!(
+            m.counter_value("rtree_node_visits_total", &[("plane", "paged")]),
+            Some(ps.nodes_visited)
+        );
+        assert_eq!(
+            m.counter_value("rtree_node_visits_total", &[("plane", "frozen")]),
+            Some(fs.nodes_visited)
+        );
+        assert_eq!(
+            m.counter_total("rtree_node_visits_total"),
+            ps.nodes_visited + fs.nodes_visited
+        );
+
+        // In-memory freezes have no engine and stay silent.
+        let silent = FrozenTree::from_tree(&tree);
+        engine.reset_stats();
+        silent.search(&q, |_, _| {});
+        assert_eq!(m.counter_total("rtree_node_visits_total"), 0);
     }
 
     #[test]

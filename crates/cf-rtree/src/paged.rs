@@ -30,7 +30,7 @@ use crate::node::{ChildRef, NodeEntry};
 use crate::split::rstar_split;
 use crate::tree::{entry_size, RStarTree, SearchStats, NODE_HEADER_SIZE};
 use cf_geom::Aabb;
-use cf_storage::{codec, CfError, CfResult, PageBuf, PageId, StorageEngine, PAGE_SIZE};
+use cf_storage::{codec, CfError, CfResult, Counter, PageBuf, PageId, StorageEngine, PAGE_SIZE};
 
 /// An R\*-tree stored on pages of a [`StorageEngine`].
 #[derive(Debug, Clone)]
@@ -39,6 +39,11 @@ pub struct PagedRTree<const N: usize> {
     height: u32,
     len: usize,
     num_pages: usize,
+    /// `rtree_node_visits_total{plane="paged"}` in the engine's registry;
+    /// `None` until attached (trees persisted through [`PagedRTree::persist`]
+    /// attach automatically, catalog reopens via
+    /// [`PagedRTree::attach_metrics`]).
+    nodes_counter: Option<Counter>,
 }
 
 /// Decoded form of one node page.
@@ -130,12 +135,15 @@ impl<const N: usize> PagedRTree<N> {
             }
         }
 
-        Ok(Self {
+        let mut tree = Self {
             root_page: page_of[&root_idx],
             height,
             len: tree.len(),
             num_pages: total,
-        })
+            nodes_counter: None,
+        };
+        tree.attach_metrics(engine);
+        Ok(tree)
     }
 
     /// Number of data entries.
@@ -192,7 +200,21 @@ impl<const N: usize> PagedRTree<N> {
             height,
             len: len as usize,
             num_pages: num_pages as usize,
+            nodes_counter: None,
         }
+    }
+
+    /// Binds this tree's node-visit counter
+    /// (`rtree_node_visits_total{plane="paged"}`) to `engine`'s metrics
+    /// registry. [`PagedRTree::persist`] does this automatically; call it
+    /// after [`PagedRTree::from_parts`] so catalog-reopened trees report
+    /// into the engine they were reattached to.
+    pub fn attach_metrics(&mut self, engine: &StorageEngine) {
+        self.nodes_counter = Some(
+            engine
+                .metrics()
+                .counter_with("rtree_node_visits_total", &[("plane", "paged")]),
+        );
     }
 
     /// Tree height (1 = a single leaf page).
@@ -527,6 +549,9 @@ impl<const N: usize> PagedRTree<N> {
                 }
                 Ok(())
             })?;
+        }
+        if let Some(counter) = &self.nodes_counter {
+            counter.add(stats.nodes_visited);
         }
         Ok(stats)
     }

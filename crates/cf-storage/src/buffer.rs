@@ -17,9 +17,10 @@
 use crate::disk::{DiskManager, PageBuf, PageId};
 use crate::error::CfResult;
 use crate::stats::{tally, ShardStats};
+use cf_obs::{Counter, MetricsRegistry};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Below this many frames per shard the pool stops splitting further;
 /// it also bounds how small an auto-selected shard can get.
@@ -43,22 +44,49 @@ struct ShardInner {
 
 struct Shard {
     inner: Mutex<ShardInner>,
-    capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Adjustable so [`BufferPool::resize`] can re-balance frames
+    /// without rebuilding shards (which would reset counters).
+    capacity: AtomicUsize,
+    /// Hit/miss/eviction counters live in the engine's metrics registry
+    /// (`pool_*_total{shard="i"}`); `ShardStats` is a view over them.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl Shard {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, index: usize, registry: &MetricsRegistry) -> Self {
+        let label = index.to_string();
+        let labels: [(&str, &str); 1] = [("shard", &label)];
         Self {
             inner: Mutex::new(ShardInner {
                 frames: HashMap::with_capacity(capacity),
                 lru: BTreeMap::new(),
                 next_stamp: 0,
             }),
-            capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            capacity: AtomicUsize::new(capacity),
+            hits: registry.counter_with("pool_hits_total", &labels),
+            misses: registry.counter_with("pool_misses_total", &labels),
+            evictions: registry.counter_with("pool_evictions_total", &labels),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Evicts LRU victims until the shard holds at most its capacity,
+    /// counting each eviction. Call with the shard lock held.
+    fn evict_to_capacity(&self, inner: &mut ShardInner, headroom: usize) {
+        let limit = self.capacity().saturating_sub(headroom);
+        while inner.frames.len() > limit {
+            let (&victim_stamp, &victim) = match inner.lru.iter().next() {
+                Some(entry) => entry,
+                None => break,
+            };
+            inner.lru.remove(&victim_stamp);
+            inner.frames.remove(&victim);
+            self.evictions.inc();
         }
     }
 }
@@ -74,7 +102,8 @@ pub struct BufferPool {
     /// Bit mask selecting a shard from the page-id hash
     /// (`shards.len()` is always a power of two).
     shard_mask: u64,
-    capacity: usize,
+    capacity: AtomicUsize,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl BufferPool {
@@ -87,6 +116,11 @@ impl BufferPool {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Self::auto_shards(capacity))
+    }
+
+    /// The shard count [`BufferPool::new`] would pick for `capacity`.
+    pub fn auto_shards(capacity: usize) -> usize {
         let auto = (capacity / MIN_FRAMES_PER_SHARD)
             .next_power_of_two()
             .clamp(1, MAX_AUTO_SHARDS);
@@ -97,7 +131,7 @@ impl BufferPool {
         } else {
             auto
         };
-        Self::with_shards(capacity, shards.max(1))
+        shards.max(1)
     }
 
     /// Creates a pool with an explicit shard count (rounded up to a
@@ -107,28 +141,66 @@ impl BufferPool {
     ///
     /// Panics if `capacity` or `shards` is zero.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        Self::with_shards_on(capacity, shards, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Like [`BufferPool::with_shards`], publishing the per-shard
+    /// counters into the caller's registry (the
+    /// [`crate::StorageEngine`] shares one registry between its disk
+    /// and its pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn with_shards_on(capacity: usize, shards: usize, metrics: Arc<MetricsRegistry>) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         assert!(shards > 0, "buffer pool needs at least one shard");
         let n = shards.next_power_of_two().min(capacity.next_power_of_two());
         let n = n.min(1usize << 32.min(usize::BITS - 1));
-        // Distribute capacity as evenly as possible; the first
-        // `capacity % n` shards take one extra frame.
-        let base = capacity / n;
-        let extra = capacity % n;
-        let shards: Vec<Shard> = (0..n)
-            .map(|i| Shard::new(base + usize::from(i < extra)))
+        let shards: Vec<Shard> = split_capacity(capacity, n)
+            .enumerate()
+            .map(|(i, cap)| Shard::new(cap, i, &metrics))
             .collect();
-        debug_assert!(shards.iter().all(|s| s.capacity > 0) || capacity < n);
+        debug_assert!(shards.iter().all(|s| s.capacity() > 0) || capacity < n);
         Self {
             shards,
             shard_mask: (n - 1) as u64,
-            capacity,
+            capacity: AtomicUsize::new(capacity),
+            metrics,
         }
     }
 
     /// Maximum number of cached pages.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// The registry the pool's counters live in.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Changes the pool capacity in place, redistributing frames over
+    /// the existing shards and evicting LRU victims from shards that
+    /// shrank. Hit/miss/eviction counters survive (they describe
+    /// history, not configuration); shrink-evictions are counted like
+    /// any other eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity` is zero.
+    pub fn resize(&self, new_capacity: usize) {
+        assert!(new_capacity > 0, "buffer pool needs at least one frame");
+        self.capacity.store(new_capacity, Ordering::Relaxed);
+        for (shard, cap) in self
+            .shards
+            .iter()
+            .zip(split_capacity(new_capacity, self.shards.len()))
+        {
+            shard.capacity.store(cap, Ordering::Relaxed);
+            let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+            shard.evict_to_capacity(&mut inner, 0);
+        }
     }
 
     /// Number of independently locked shards.
@@ -163,7 +235,7 @@ impl BufferPool {
         inner.next_stamp += 1;
 
         if let Some(frame) = inner.frames.get_mut(&id) {
-            shard.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.inc();
             tally::count_pool_hit();
             let old = frame.stamp;
             frame.stamp = stamp;
@@ -177,19 +249,11 @@ impl BufferPool {
         // Miss: the shard lock is held across the disk read, so two
         // threads faulting the same page serialize and the second sees a
         // hit — misses always equal physical reads.
-        shard.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses.inc();
         tally::count_pool_miss();
-        if inner.frames.len() >= shard.capacity {
-            // Evict the shard's LRU victim (write-through pool: no
-            // writeback).
-            let (&victim_stamp, &victim) = inner
-                .lru
-                .iter()
-                .next()
-                .expect("non-empty shard must have an LRU entry");
-            inner.lru.remove(&victim_stamp);
-            inner.frames.remove(&victim);
-        }
+        // Make room for the incoming frame (write-through pool: no
+        // writeback). The loop also absorbs a concurrent shrink.
+        shard.evict_to_capacity(&mut inner, 1);
         let mut data = Box::new([0u8; crate::PAGE_SIZE]);
         disk.read_page(id, &mut data)?;
         inner.lru.insert(stamp, id);
@@ -242,43 +306,58 @@ impl BufferPool {
 
     /// Cache hits so far (sum over shards).
     pub fn hits(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.hits.load(Ordering::Relaxed))
-            .sum()
+        self.shards.iter().map(|s| s.hits.get()).sum()
     }
 
     /// Cache misses so far (sum over shards).
     pub fn misses(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.misses.load(Ordering::Relaxed))
-            .sum()
+        self.shards.iter().map(|s| s.misses.get()).sum()
     }
 
-    /// Per-shard counters (capacity, cached frames, hits, misses) — the
-    /// aggregate of `hits`/`misses` over this snapshot equals
-    /// [`BufferPool::hits`]/[`BufferPool::misses`] when the pool is
-    /// quiescent.
+    /// Evictions so far (sum over shards), including evictions forced
+    /// by [`BufferPool::resize`].
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions.get()).sum()
+    }
+
+    /// Per-shard counters (capacity, cached frames, hits, misses,
+    /// evictions) — the aggregate of `hits`/`misses` over this snapshot
+    /// equals [`BufferPool::hits`]/[`BufferPool::misses`] when the pool
+    /// is quiescent. Counters survive [`BufferPool::clear`] and
+    /// [`BufferPool::resize`]; only the explicit
+    /// [`BufferPool::reset_counters`] zeroes them.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
             .iter()
             .map(|s| ShardStats {
-                capacity: s.capacity,
+                capacity: s.capacity(),
                 cached_pages: s.inner.lock().expect("buffer shard poisoned").frames.len(),
-                hits: s.hits.load(Ordering::Relaxed),
-                misses: s.misses.load(Ordering::Relaxed),
+                hits: s.hits.get(),
+                misses: s.misses.get(),
+                evictions: s.evictions.get(),
             })
             .collect()
     }
 
-    /// Resets hit/miss counters (cached contents are untouched).
+    /// Explicitly resets hit/miss/eviction counters (cached contents
+    /// are untouched) — the warmup reset used by the bench harness so
+    /// warm-path numbers aren't polluted by build-time I/O.
     pub fn reset_counters(&self) {
         for shard in &self.shards {
-            shard.hits.store(0, Ordering::Relaxed);
-            shard.misses.store(0, Ordering::Relaxed);
+            shard.hits.reset();
+            shard.misses.reset();
+            shard.evictions.reset();
         }
     }
+}
+
+/// Per-shard capacities for a pool of `capacity` frames over `n`
+/// shards: as even as possible, the first `capacity % n` shards taking
+/// one extra frame.
+fn split_capacity(capacity: usize, n: usize) -> impl Iterator<Item = usize> {
+    let base = capacity / n;
+    let extra = capacity % n;
+    (0..n).map(move |i| base + usize::from(i < extra))
 }
 
 #[cfg(test)]
@@ -404,6 +483,86 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
         let _ = BufferPool::new(0);
+    }
+
+    #[test]
+    fn counters_survive_clear_and_resize() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..32)
+            .map(|_| disk.allocate().expect("allocate"))
+            .collect();
+        let pool = BufferPool::with_shards(16, 2);
+        for &id in &ids {
+            pool.with_page(&disk, id, |_| ()).expect("read");
+        }
+        for &id in ids.iter().take(8) {
+            pool.with_page(&disk, id, |_| ()).expect("read");
+        }
+        let (hits, misses) = (pool.hits(), pool.misses());
+        assert!(misses > 0);
+
+        // clear() drops frames but history counters must survive.
+        pool.clear();
+        assert_eq!(pool.cached_pages(), 0);
+        assert_eq!((pool.hits(), pool.misses()), (hits, misses));
+
+        // resize() rebalances capacity but history counters survive too.
+        pool.with_page(&disk, ids[0], |_| ()).expect("refill");
+        pool.with_page(&disk, ids[1], |_| ()).expect("refill");
+        pool.resize(64);
+        assert_eq!(pool.capacity(), 64);
+        assert_eq!(pool.hits(), hits, "grow must not reset hits");
+        assert_eq!(pool.misses(), misses + 2, "grow must not reset misses");
+        let per_shard: usize = pool.shard_stats().iter().map(|s| s.capacity).sum();
+        assert_eq!(per_shard, 64, "new capacity splits losslessly");
+
+        // Only the explicit reset zeroes the counters.
+        pool.reset_counters();
+        assert_eq!((pool.hits(), pool.misses(), pool.evictions()), (0, 0, 0));
+    }
+
+    #[test]
+    fn shrink_resize_evicts_lru_and_counts_evictions() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..8).map(|_| disk.allocate().expect("allocate")).collect();
+        let pool = BufferPool::new(8);
+        assert_eq!(pool.num_shards(), 1);
+        for &id in &ids {
+            pool.with_page(&disk, id, |_| ()).expect("read");
+        }
+        assert_eq!(pool.cached_pages(), 8);
+        assert_eq!(pool.evictions(), 0);
+
+        // Touch the first two so they are the most recently used.
+        pool.with_page(&disk, ids[0], |_| ()).expect("read");
+        pool.with_page(&disk, ids[1], |_| ()).expect("read");
+        pool.resize(2);
+        assert_eq!(pool.cached_pages(), 2);
+        assert_eq!(pool.evictions(), 6, "shrink evictions are counted");
+
+        // The survivors are exactly the two most recently used pages.
+        disk.reset_counters();
+        pool.with_page(&disk, ids[0], |_| ()).expect("read");
+        pool.with_page(&disk, ids[1], |_| ()).expect("read");
+        assert_eq!(disk.reads(), 0, "MRU pages survived the shrink");
+    }
+
+    #[test]
+    fn steady_state_evictions_are_counted() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..20)
+            .map(|_| disk.allocate().expect("allocate"))
+            .collect();
+        let pool = BufferPool::new(4);
+        for &id in &ids {
+            pool.with_page(&disk, id, |_| ()).expect("read");
+        }
+        // 20 faults into 4 frames: the first 4 fill, the rest each evict.
+        assert_eq!(pool.evictions(), 16);
+        assert_eq!(
+            pool.shard_stats().iter().map(|s| s.evictions).sum::<u64>(),
+            16
+        );
     }
 
     #[test]

@@ -7,14 +7,14 @@
 
 use crate::checksum;
 use crate::error::{CfError, CfResult, FaultOp};
-use crate::fault::{FaultInjector, ReadPlan, WritePlan};
+use crate::fault::{FaultInjector, FiredFault, ReadPlan, WritePlan};
 use crate::stats::tally;
 use crate::Fault;
+use cf_obs::{Counter, Histogram, MetricsRegistry, Stopwatch};
 use std::fs::File;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Page size in bytes. The paper's experiments use 4 KB pages (§4).
@@ -51,11 +51,43 @@ impl PageId {
 pub struct DiskManager {
     backing: RwLock<Backing>,
     alloc_lock: Mutex<()>,
-    reads: AtomicU64,
-    writes: AtomicU64,
+    metrics: DiskMetrics,
     read_latency: Duration,
     write_latency: Duration,
     faults: FaultInjector,
+}
+
+/// Handles into the engine's [`MetricsRegistry`], cached at
+/// construction so the per-I/O cost stays one relaxed atomic add. The
+/// legacy `reads()`/`writes()` accessors are views over the same
+/// counters, so registry totals and `IoStats` can never drift.
+struct DiskMetrics {
+    registry: Arc<MetricsRegistry>,
+    reads: Counter,
+    writes: Counter,
+    checksum_verifications: Counter,
+    checksum_failures: Counter,
+    faults_read: Counter,
+    faults_write: Counter,
+    read_ns: Histogram,
+    write_ns: Histogram,
+}
+
+impl DiskMetrics {
+    fn wire(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            reads: registry.counter("storage_disk_reads_total"),
+            writes: registry.counter("storage_disk_writes_total"),
+            checksum_verifications: registry.counter("storage_checksum_verifications_total"),
+            checksum_failures: registry.counter("storage_checksum_failures_total"),
+            faults_read: registry.counter_with("storage_faults_injected_total", &[("op", "read")]),
+            faults_write: registry
+                .counter_with("storage_faults_injected_total", &[("op", "write")]),
+            read_ns: registry.time_histogram("storage_disk_read_ns", &[]),
+            write_ns: registry.time_histogram("storage_disk_write_ns", &[]),
+            registry,
+        }
+    }
 }
 
 /// Where the pages live.
@@ -104,14 +136,28 @@ impl DiskManager {
     /// what makes the parallel index-build pipeline's chunked record
     /// writes scale in the disk-resident regime.
     pub fn with_latency(read_latency: Duration, write_latency: Duration) -> Self {
+        Self::with_latency_on(
+            read_latency,
+            write_latency,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    /// Like [`DiskManager::with_latency`], publishing counters into the
+    /// caller's registry (the [`crate::StorageEngine`] shares one
+    /// registry between its disk and its buffer pool).
+    pub fn with_latency_on(
+        read_latency: Duration,
+        write_latency: Duration,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
         Self {
             backing: RwLock::new(Backing::Memory {
                 pages: Vec::new(),
                 sums: Vec::new(),
             }),
             alloc_lock: Mutex::new(()),
-            reads: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
+            metrics: DiskMetrics::wire(registry),
             read_latency,
             write_latency,
             faults: FaultInjector::new(),
@@ -131,6 +177,16 @@ impl DiskManager {
     /// older build) has the missing entries backfilled from the page
     /// bytes currently on disk.
     pub fn open_file(path: impl AsRef<Path>, read_latency: Duration) -> CfResult<Self> {
+        Self::open_file_on(path, read_latency, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Like [`DiskManager::open_file`], publishing counters into the
+    /// caller's registry.
+    pub fn open_file_on(
+        path: impl AsRef<Path>,
+        read_latency: Duration,
+        registry: Arc<MetricsRegistry>,
+    ) -> CfResult<Self> {
         let path = path.as_ref();
         let file = File::options()
             .read(true)
@@ -175,8 +231,7 @@ impl DiskManager {
                 num_pages,
             }),
             alloc_lock: Mutex::new(()),
-            reads: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
+            metrics: DiskMetrics::wire(registry),
             read_latency,
             write_latency: Duration::ZERO,
             faults: FaultInjector::new(),
@@ -269,12 +324,16 @@ impl DiskManager {
     /// bytes fail checksum verification; [`CfError::Io`] if the backing
     /// file read fails; [`CfError::Injected`] under fault injection.
     pub fn read_page(&self, id: PageId, buf: &mut PageBuf) -> CfResult<()> {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        let clock = Stopwatch::start();
+        self.metrics.reads.inc();
         tally::count_disk_read();
         if !self.read_latency.is_zero() {
             wait_for(self.read_latency);
         }
-        let plan = self.faults.plan_read();
+        let plan = self.faults.plan_read(id);
+        if !matches!(plan, ReadPlan::Proceed) {
+            self.metrics.faults_read.inc();
+        }
         if let ReadPlan::Fail(ordinal) = plan {
             return Err(CfError::Injected {
                 op: FaultOp::Read,
@@ -317,7 +376,13 @@ impl DiskManager {
             let len = len.min(PAGE_SIZE);
             buf[len..].fill(0);
         }
-        checksum::verify_page(buf, expected, id)
+        self.metrics.checksum_verifications.inc();
+        let verdict = checksum::verify_page(buf, expected, id);
+        if verdict.is_err() {
+            self.metrics.checksum_failures.inc();
+        }
+        self.metrics.read_ns.observe_ns(clock.elapsed_ns());
+        verdict
     }
 
     /// Writes `buf` to a page, counting one physical write and
@@ -331,12 +396,16 @@ impl DiskManager {
     /// a prefix of the bytes and skips the checksum update, so the next
     /// physical read reports corruption).
     pub fn write_page(&self, id: PageId, buf: &PageBuf) -> CfResult<()> {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        let clock = Stopwatch::start();
+        self.metrics.writes.inc();
         tally::count_disk_write();
         if !self.write_latency.is_zero() {
             wait_for(self.write_latency);
         }
-        let plan = self.faults.plan_write();
+        let plan = self.faults.plan_write(id);
+        if !matches!(plan, WritePlan::Proceed) {
+            self.metrics.faults_write.inc();
+        }
         if let WritePlan::Fail(ordinal) = plan {
             return Err(CfError::Injected {
                 op: FaultOp::Write,
@@ -387,23 +456,36 @@ impl DiskManager {
                 .map_err(|e| CfError::io(format!("writing checksum entry for page {}", id.0), e))?;
             }
         }
+        drop(backing);
+        self.metrics.write_ns.observe_ns(clock.elapsed_ns());
         Ok(())
     }
 
     /// Physical reads performed so far.
     pub fn reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.metrics.reads.get()
     }
 
     /// Physical writes performed so far.
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.metrics.writes.get()
     }
 
     /// Resets both counters to zero.
     pub fn reset_counters(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
+        self.metrics.reads.reset();
+        self.metrics.writes.reset();
+    }
+
+    /// The registry this disk publishes into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
+    }
+
+    /// Every injected fault that actually fired since the last
+    /// [`DiskManager::clear_faults`], in firing order.
+    pub fn fired_faults(&self) -> Vec<FiredFault> {
+        self.faults.fired()
     }
 }
 

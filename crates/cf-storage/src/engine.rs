@@ -1,6 +1,9 @@
 //! The storage façade bundling disk + buffer pool.
 
+use crate::fault::FiredFault;
 use crate::{BufferPool, CfResult, DiskManager, Fault, IoStats, PageBuf, PageId};
+use cf_obs::MetricsRegistry;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration for a [`StorageEngine`].
@@ -35,11 +38,12 @@ impl Default for StorageConfig {
 }
 
 impl StorageConfig {
-    fn build_pool(&self) -> BufferPool {
+    fn build_pool(&self, registry: Arc<MetricsRegistry>) -> BufferPool {
         if self.pool_shards == 0 {
-            BufferPool::new(self.pool_pages)
+            let auto = BufferPool::auto_shards(self.pool_pages);
+            BufferPool::with_shards_on(self.pool_pages, auto, registry)
         } else {
-            BufferPool::with_shards(self.pool_pages, self.pool_shards)
+            BufferPool::with_shards_on(self.pool_pages, self.pool_shards, registry)
         }
     }
 }
@@ -52,14 +56,21 @@ impl StorageConfig {
 pub struct StorageEngine {
     disk: DiskManager,
     pool: BufferPool,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl StorageEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: StorageConfig) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
         Self {
-            disk: DiskManager::with_latency(config.read_latency, config.write_latency),
-            pool: config.build_pool(),
+            disk: DiskManager::with_latency_on(
+                config.read_latency,
+                config.write_latency,
+                Arc::clone(&metrics),
+            ),
+            pool: config.build_pool(Arc::clone(&metrics)),
+            metrics,
         }
     }
 
@@ -74,10 +85,20 @@ impl StorageEngine {
     /// Existing pages are preserved, so a database file survives process
     /// restarts; see [`DiskManager::open_file`].
     pub fn open_file(path: impl AsRef<std::path::Path>, config: StorageConfig) -> CfResult<Self> {
+        let metrics = Arc::new(MetricsRegistry::new());
         Ok(Self {
-            disk: DiskManager::open_file(path, config.read_latency)?,
-            pool: config.build_pool(),
+            disk: DiskManager::open_file_on(path, config.read_latency, Arc::clone(&metrics))?,
+            pool: config.build_pool(Arc::clone(&metrics)),
+            metrics,
         })
+    }
+
+    /// The engine's unified metrics registry: the disk, pool, R-tree
+    /// and index layers all publish into it, so one
+    /// [`MetricsRegistry::render_text`] snapshot covers a query end to
+    /// end.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Flushes a file-backed engine to stable storage (no-op in memory).
@@ -152,10 +173,19 @@ impl StorageEngine {
         }
     }
 
-    /// Resets all I/O counters (cache contents are untouched).
+    /// Resets all I/O counters — and, because they live in the shared
+    /// registry, every other metric published against this engine
+    /// (cache contents are untouched). This is the explicit "forget
+    /// warmup" reset the bench harness uses.
     pub fn reset_stats(&self) {
-        self.disk.reset_counters();
-        self.pool.reset_counters();
+        self.metrics.reset();
+    }
+
+    /// Every injected fault that actually fired since the last
+    /// [`StorageEngine::clear_faults`], in firing order — crash-safety
+    /// tests assert these match the faults they armed.
+    pub fn fired_faults(&self) -> Vec<FiredFault> {
+        self.disk.fired_faults()
     }
 
     /// Empties the buffer pool so the next accesses hit the disk — used
@@ -234,6 +264,59 @@ mod tests {
             .try_with_page::<u8>(id, |_| Err(CfError::corrupt(id, "bad node header")))
             .expect_err("closure error propagates");
         assert!(err.is_corrupt());
+    }
+
+    #[test]
+    fn registry_totals_are_the_same_atomics_as_io_stats() {
+        let engine = StorageEngine::in_memory();
+        let ids: Vec<_> = (0..8)
+            .map(|_| engine.allocate_page().expect("allocate"))
+            .collect();
+        let buf = [1u8; PAGE_SIZE];
+        for &id in &ids {
+            engine.write_page(id, &buf).expect("write");
+        }
+        for &id in ids.iter().chain(ids.iter()) {
+            engine.with_page(id, |_| ()).expect("read");
+        }
+        let io = engine.io_stats();
+        let m = engine.metrics();
+        assert_eq!(m.counter_total("storage_disk_reads_total"), io.disk_reads);
+        assert_eq!(m.counter_total("storage_disk_writes_total"), io.disk_writes);
+        assert_eq!(m.counter_total("pool_hits_total"), io.pool_hits);
+        assert_eq!(m.counter_total("pool_misses_total"), io.pool_misses);
+        // Checksums are verified on physical reads only.
+        assert_eq!(
+            m.counter_total("storage_checksum_verifications_total"),
+            io.disk_reads
+        );
+        assert_eq!(m.counter_total("storage_checksum_failures_total"), 0);
+        // reset_stats is registry-wide.
+        engine.reset_stats();
+        assert_eq!(engine.io_stats(), IoStats::default());
+        assert_eq!(m.counter_total("storage_checksum_verifications_total"), 0);
+    }
+
+    #[test]
+    fn fired_faults_surface_through_the_engine() {
+        let engine = StorageEngine::in_memory();
+        let id = engine.allocate_page().expect("allocate");
+        engine.clear_faults();
+        engine.inject_fault(Fault::FailRead { nth: 0 });
+        let err = engine.with_page(id, |_| ()).expect_err("injected");
+        assert!(err.is_injected());
+        let fired = engine.fired_faults();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fault, Fault::FailRead { nth: 0 });
+        assert_eq!(fired[0].page, id);
+        assert_eq!(
+            engine
+                .metrics()
+                .counter_total("storage_faults_injected_total"),
+            1
+        );
+        engine.clear_faults();
+        assert!(engine.fired_faults().is_empty());
     }
 
     #[test]

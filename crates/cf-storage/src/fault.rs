@@ -16,6 +16,8 @@
 //! Injection is entirely passive when nothing is armed: one relaxed
 //! atomic increment plus one relaxed load per physical I/O.
 
+use crate::disk::PageId;
+use crate::error::FaultOp;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -76,11 +78,28 @@ pub(crate) enum WritePlan {
     Torn { keep: usize, ordinal: u64 },
 }
 
+/// The record of one fault that actually fired: which operation, which
+/// armed [`Fault`], at which ordinal, against which page. The injector
+/// keeps these so crash-safety tests can assert that every armed fault
+/// was exercised (no silently skipped injection points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Whether the fault hit a physical read or write.
+    pub op: FaultOp,
+    /// The armed fault that fired (as configured, with its `nth`).
+    pub fault: Fault,
+    /// The I/O ordinal it fired at (equals the fault's `nth`).
+    pub ordinal: u64,
+    /// The page the faulted operation targeted.
+    pub page: PageId,
+}
+
 /// Deterministic per-disk fault state. See the module docs.
 #[derive(Debug, Default)]
 pub struct FaultInjector {
     armed: AtomicBool,
     faults: Mutex<Vec<Fault>>,
+    fired: Mutex<Vec<FiredFault>>,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -99,13 +118,21 @@ impl FaultInjector {
         self.armed.store(true, Ordering::Release);
     }
 
-    /// Disarms every fault and resets both ordinal counters to zero.
+    /// Disarms every fault, resets both ordinal counters to zero and
+    /// forgets the fired-fault history.
     pub fn clear(&self) {
         let mut faults = self.faults.lock().expect("fault injector poisoned");
         faults.clear();
+        self.fired.lock().expect("fault injector poisoned").clear();
         self.armed.store(false, Ordering::Release);
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Every fault that fired since the last [`FaultInjector::clear`],
+    /// in firing order.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        self.fired.lock().expect("fault injector poisoned").clone()
     }
 
     /// Physical `(reads, writes)` observed since the last
@@ -117,8 +144,22 @@ impl FaultInjector {
         )
     }
 
-    /// Claims the next read ordinal and reports what to do with it.
-    pub(crate) fn plan_read(&self) -> ReadPlan {
+    fn record_fired(&self, op: FaultOp, fault: Fault, ordinal: u64, page: PageId) {
+        self.fired
+            .lock()
+            .expect("fault injector poisoned")
+            .push(FiredFault {
+                op,
+                fault,
+                ordinal,
+                page,
+            });
+    }
+
+    /// Claims the next read ordinal and reports what to do with the
+    /// physical read of `page`. A firing fault is consumed and recorded
+    /// (see [`FaultInjector::fired`]).
+    pub(crate) fn plan_read(&self, page: PageId) -> ReadPlan {
         let ord = self.reads.fetch_add(1, Ordering::Relaxed);
         if !self.armed.load(Ordering::Acquire) {
             return ReadPlan::Proceed;
@@ -128,14 +169,24 @@ impl FaultInjector {
             |f| matches!(f, Fault::FailRead { nth } | Fault::ShortRead { nth, .. } if *nth == ord),
         );
         match hit.map(|i| faults.remove(i)) {
-            Some(Fault::FailRead { .. }) => ReadPlan::Fail(ord),
-            Some(Fault::ShortRead { len, .. }) => ReadPlan::Short { len },
+            Some(fault @ Fault::FailRead { .. }) => {
+                drop(faults);
+                self.record_fired(FaultOp::Read, fault, ord, page);
+                ReadPlan::Fail(ord)
+            }
+            Some(fault @ Fault::ShortRead { len, .. }) => {
+                drop(faults);
+                self.record_fired(FaultOp::Read, fault, ord, page);
+                ReadPlan::Short { len }
+            }
             _ => ReadPlan::Proceed,
         }
     }
 
-    /// Claims the next write ordinal and reports what to do with it.
-    pub(crate) fn plan_write(&self) -> WritePlan {
+    /// Claims the next write ordinal and reports what to do with the
+    /// physical write of `page`. A firing fault is consumed and
+    /// recorded (see [`FaultInjector::fired`]).
+    pub(crate) fn plan_write(&self, page: PageId) -> WritePlan {
         let ord = self.writes.fetch_add(1, Ordering::Relaxed);
         if !self.armed.load(Ordering::Acquire) {
             return WritePlan::Proceed;
@@ -145,8 +196,16 @@ impl FaultInjector {
             |f| matches!(f, Fault::FailWrite { nth } | Fault::TornWrite { nth, .. } if *nth == ord),
         );
         match hit.map(|i| faults.remove(i)) {
-            Some(Fault::FailWrite { .. }) => WritePlan::Fail(ord),
-            Some(Fault::TornWrite { keep, .. }) => WritePlan::Torn { keep, ordinal: ord },
+            Some(fault @ Fault::FailWrite { .. }) => {
+                drop(faults);
+                self.record_fired(FaultOp::Write, fault, ord, page);
+                WritePlan::Fail(ord)
+            }
+            Some(fault @ Fault::TornWrite { keep, .. }) => {
+                drop(faults);
+                self.record_fired(FaultOp::Write, fault, ord, page);
+                WritePlan::Torn { keep, ordinal: ord }
+            }
             _ => WritePlan::Proceed,
         }
     }
@@ -156,12 +215,14 @@ impl FaultInjector {
 mod tests {
     use super::*;
 
+    const P: PageId = PageId(0);
+
     #[test]
     fn ordinals_count_from_clear() {
         let inj = FaultInjector::new();
-        let _ = inj.plan_read();
-        let _ = inj.plan_write();
-        let _ = inj.plan_write();
+        let _ = inj.plan_read(P);
+        let _ = inj.plan_write(P);
+        let _ = inj.plan_write(P);
         assert_eq!(inj.ops(), (1, 2));
         inj.clear();
         assert_eq!(inj.ops(), (0, 0));
@@ -171,18 +232,18 @@ mod tests {
     fn faults_fire_on_their_ordinal_and_are_consumed() {
         let inj = FaultInjector::new();
         inj.arm(Fault::FailWrite { nth: 1 });
-        assert!(matches!(inj.plan_write(), WritePlan::Proceed));
-        assert!(matches!(inj.plan_write(), WritePlan::Fail(1)));
+        assert!(matches!(inj.plan_write(PageId(8)), WritePlan::Proceed));
+        assert!(matches!(inj.plan_write(PageId(9)), WritePlan::Fail(1)));
         // Consumed: the same ordinal space keeps counting, no re-fire.
-        assert!(matches!(inj.plan_write(), WritePlan::Proceed));
+        assert!(matches!(inj.plan_write(PageId(9)), WritePlan::Proceed));
     }
 
     #[test]
     fn read_and_write_ordinals_are_independent() {
         let inj = FaultInjector::new();
         inj.arm(Fault::FailRead { nth: 0 });
-        assert!(matches!(inj.plan_write(), WritePlan::Proceed));
-        assert!(matches!(inj.plan_read(), ReadPlan::Fail(0)));
+        assert!(matches!(inj.plan_write(P), WritePlan::Proceed));
+        assert!(matches!(inj.plan_read(P), ReadPlan::Fail(0)));
     }
 
     #[test]
@@ -191,12 +252,45 @@ mod tests {
         inj.arm(Fault::TornWrite { nth: 0, keep: 100 });
         inj.arm(Fault::ShortRead { nth: 0, len: 64 });
         assert!(matches!(
-            inj.plan_write(),
+            inj.plan_write(P),
             WritePlan::Torn {
                 keep: 100,
                 ordinal: 0
             }
         ));
-        assert!(matches!(inj.plan_read(), ReadPlan::Short { len: 64 }));
+        assert!(matches!(inj.plan_read(P), ReadPlan::Short { len: 64 }));
+    }
+
+    #[test]
+    fn fired_faults_record_op_kind_ordinal_and_page() {
+        let inj = FaultInjector::new();
+        inj.arm(Fault::FailWrite { nth: 1 });
+        inj.arm(Fault::ShortRead { nth: 0, len: 64 });
+        let _ = inj.plan_write(PageId(4)); // ordinal 0: clean
+        let _ = inj.plan_write(PageId(5)); // ordinal 1: fires
+        let _ = inj.plan_read(PageId(6)); // ordinal 0: fires
+        let fired = inj.fired();
+        assert_eq!(fired.len(), 2);
+        assert_eq!(
+            fired[0],
+            FiredFault {
+                op: FaultOp::Write,
+                fault: Fault::FailWrite { nth: 1 },
+                ordinal: 1,
+                page: PageId(5),
+            }
+        );
+        assert_eq!(fired[1].op, FaultOp::Read);
+        assert_eq!(fired[1].page, PageId(6));
+        inj.clear();
+        assert!(inj.fired().is_empty(), "clear forgets fired history");
+    }
+
+    #[test]
+    fn unfired_faults_leave_no_record() {
+        let inj = FaultInjector::new();
+        inj.arm(Fault::FailRead { nth: 10 });
+        let _ = inj.plan_read(P);
+        assert!(inj.fired().is_empty());
     }
 }

@@ -64,10 +64,13 @@ mod heap;
 mod stats;
 
 pub use buffer::{BufferPool, MIN_FRAMES_PER_SHARD};
+pub use cf_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, SlowQueryReport, Stopwatch, TraceEvent, Tracer,
+};
 pub use disk::{DiskManager, PageBuf, PageId, PAGE_SIZE};
 pub use engine::{StorageConfig, StorageEngine};
 pub use error::{CfError, CfResult, FaultOp};
-pub use fault::{Fault, FaultInjector};
+pub use fault::{Fault, FaultInjector, FiredFault};
 pub use heap::{KvRecord, Record, RecordFile};
 pub use stats::{thread_io_stats, IoStats, ShardStats};
 

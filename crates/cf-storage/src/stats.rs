@@ -99,6 +99,8 @@ pub struct ShardStats {
     pub hits: u64,
     /// Lookups this shard sent to disk.
     pub misses: u64,
+    /// Frames this shard evicted (LRU pressure plus resize shrinks).
+    pub evictions: u64,
 }
 
 thread_local! {

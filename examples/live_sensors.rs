@@ -16,6 +16,14 @@ fn main() {
     // A temperature-like field over a 64×64 sensor grid.
     let mut field = diamond_square(6, 0.8, 99);
     let engine = StorageEngine::in_memory();
+
+    // Slow-query profiler: trace every query's phase breakdown and flag
+    // any query slower than 100 µs — a monitoring deployment would log
+    // these outliers instead of printing them.
+    let tracer = engine.metrics().tracer();
+    tracer.set_enabled(true);
+    tracer.set_slow_threshold(std::time::Duration::from_micros(100));
+
     let mut index = IHilbert::build(&engine, &field).expect("build");
     let dom = field.value_domain();
     println!(
@@ -63,7 +71,10 @@ fn main() {
         maint.disk_writes
     );
 
-    // The standing alert query now finds the plume.
+    // The standing alert query now finds the plume. Drop the profiler
+    // threshold to zero first: alert queries are always worth a full
+    // phase breakdown, however fast they run.
+    tracer.set_slow_threshold(std::time::Duration::ZERO);
     engine.clear_cache();
     let (stats, regions) = index.query_regions(&engine, hot).expect("query");
     println!(
@@ -75,6 +86,14 @@ fn main() {
         stats.area,
         stats.io.logical_reads()
     );
+
+    // The profiler kept the alert query's full phase breakdown.
+    let slow = tracer.take_slow_reports();
+    println!("\nslow-query profiler ({} report(s)):", slow.len());
+    for report in &slow {
+        println!("  {report}");
+    }
+    assert!(!slow.is_empty(), "the alert query must be profiled");
 
     // Cross-check against a fresh scan of the mutated field.
     let scan = LinearScan::build(&engine, &field).expect("build");

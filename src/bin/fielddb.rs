@@ -16,7 +16,7 @@
 
 use contfield::field::{FieldModel, GridField};
 use contfield::geom::Interval;
-use contfield::index::{IHilbert, ValueIndex};
+use contfield::index::{AdaptiveIndex, IHilbert, Plan, ValueIndex};
 use contfield::storage::{PageId, StorageConfig, StorageEngine, PAGE_SIZE};
 use contfield::workload::{fractal::diamond_square, monotonic::monotonic_field, terrain};
 
@@ -78,12 +78,26 @@ fn run(args: &[String]) -> Result<String, String> {
             let y: f64 = parse(it.next().ok_or_else(usage)?)?;
             point(&path, x, y)
         }
+        "metrics" => {
+            let mut k = 6u32;
+            let mut lo = f64::NAN;
+            let mut hi = f64::NAN;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--k" => k = parse(&take(&mut it, flag)?)?,
+                    "--lo" => lo = parse(&take(&mut it, flag)?)?,
+                    "--hi" => hi = parse(&take(&mut it, flag)?)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            metrics_demo(k, lo, hi)
+        }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>".into()
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]".into()
 }
 
 fn take(it: &mut std::slice::Iter<String>, flag: &str) -> Result<String, String> {
@@ -214,6 +228,152 @@ fn point(path: &str, x: f64, y: f64) -> Result<String, String> {
     }
 }
 
+/// Traces one Q2 band query end-to-end through the observability plane:
+/// builds the fig-8a-style terrain in memory under the adaptive planner,
+/// runs the query with tracing on, and prints the phase breakdown, a
+/// legacy-vs-registry cross-check, and the full metrics snapshot.
+fn metrics_demo(k: u32, lo: f64, hi: f64) -> Result<String, String> {
+    let field = terrain::roseburg_standin(k);
+    let engine = StorageEngine::in_memory();
+    let index = AdaptiveIndex::build(&engine, &field).map_err(|e| e.to_string())?;
+    let registry = engine.metrics();
+    let tracer = registry.tracer();
+    tracer.set_enabled(true);
+    // Threshold zero: the demo query always yields a slow-query report.
+    tracer.set_slow_threshold(std::time::Duration::ZERO);
+
+    let dom = field.value_domain();
+    let band = if lo.is_nan() || hi.is_nan() {
+        Interval::new(dom.denormalize(0.30), dom.denormalize(0.40))
+    } else {
+        Interval::new(lo, hi)
+    };
+    let plan = index.plan(band);
+    let label = match plan {
+        Plan::IndexProbe => "I-Hilbert",
+        Plan::FullScan => "adaptive-scan",
+    };
+
+    let indexed = |name: &str| {
+        registry
+            .counter_value(name, &[("index", label)])
+            .unwrap_or(0)
+    };
+    let names = [
+        "index_filter_pages_total",
+        "index_refine_pages_total",
+        "index_filter_nodes_total",
+        "index_intervals_retrieved_total",
+        "index_cells_examined_total",
+    ];
+    let before: Vec<u64> = names.iter().map(|n| indexed(n)).collect();
+    let pool_before = (
+        registry.counter_total("pool_hits_total"),
+        registry.counter_total("pool_misses_total"),
+        registry.counter_total("storage_disk_reads_total"),
+        registry.counter_total("rtree_node_visits_total"),
+    );
+
+    let stats = index
+        .query_stats(&engine, band)
+        .map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "terrain k={k}: {} cells, value domain [{:.3}, {:.3}]\n\
+         Q2 band [{:.3}, {:.3}] → plan {:?} (selectivity {:.3})\n\
+         answer: {} cells qualify, {} regions, area {:.3}, {} page reads\n\n",
+        field.num_cells(),
+        dom.lo,
+        dom.hi,
+        band.lo,
+        band.hi,
+        plan,
+        index.estimator().estimate_selectivity(band),
+        stats.cells_qualifying,
+        stats.num_regions,
+        stats.area,
+        stats.io.logical_reads(),
+    );
+
+    out.push_str("trace:\n");
+    for event in tracer.events() {
+        out.push_str(&format!(
+            "{}#{} {}: {} pages, {:.1} us\n",
+            "  ".repeat(event.depth as usize + 1),
+            event.query_id,
+            event.phase,
+            event.pages,
+            event.nanos as f64 / 1e3,
+        ));
+    }
+    for report in tracer.take_slow_reports() {
+        out.push_str(&format!("  {report}\n"));
+    }
+
+    out.push_str("\nlegacy stats vs registry deltas:\n");
+    let after: Vec<u64> = names.iter().map(|n| indexed(n)).collect();
+    let pool_after = (
+        registry.counter_total("pool_hits_total"),
+        registry.counter_total("pool_misses_total"),
+        registry.counter_total("storage_disk_reads_total"),
+        registry.counter_total("rtree_node_visits_total"),
+    );
+    let legacy = [
+        stats.filter_pages,
+        stats.io.logical_reads() - stats.filter_pages,
+        stats.filter_nodes,
+        stats.intervals_retrieved as u64,
+        stats.cells_examined as u64,
+    ];
+    let mut all_ok = true;
+    {
+        let mut row = |name: &str, legacy: u64, registry: u64| {
+            let ok = legacy == registry;
+            all_ok &= ok;
+            out.push_str(&format!(
+                "  {name:<34} legacy {legacy:>8}  registry {registry:>8}  {}\n",
+                if ok { "OK" } else { "MISMATCH" },
+            ));
+        };
+        for ((name, &b), (&a, &l)) in names
+            .iter()
+            .zip(&before)
+            .zip(after.iter().zip(legacy.iter()))
+        {
+            row(name, l, a - b);
+        }
+        row(
+            "pool_hits_total",
+            stats.io.pool_hits,
+            pool_after.0 - pool_before.0,
+        );
+        row(
+            "pool_misses_total",
+            stats.io.pool_misses,
+            pool_after.1 - pool_before.1,
+        );
+        row(
+            "storage_disk_reads_total",
+            stats.io.disk_reads,
+            pool_after.2 - pool_before.2,
+        );
+        row(
+            "rtree_node_visits_total",
+            stats.filter_nodes,
+            pool_after.3 - pool_before.3,
+        );
+    }
+    out.push_str(if all_ok {
+        "  registry totals match legacy stats exactly\n"
+    } else {
+        "  REGISTRY / LEGACY DISAGREEMENT\n"
+    });
+
+    out.push_str("\nmetrics snapshot:\n");
+    out.push_str(&registry.render_text());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +429,25 @@ mod tests {
         assert!(run(&argv(&["bogus"])).is_err());
         assert!(run(&[]).is_err());
         std::fs::remove_file(&db).expect("cleanup");
+    }
+
+    #[test]
+    fn metrics_demo_traces_a_query_end_to_end() {
+        let out = run(&argv(&["metrics", "--k", "5"])).expect("metrics");
+        assert!(out.contains("plan "), "{out}");
+        assert!(out.contains("slow query #"), "{out}");
+        assert!(
+            out.contains("registry totals match legacy stats exactly"),
+            "{out}"
+        );
+        assert!(out.contains("# TYPE index_queries_total counter"), "{out}");
+        assert!(out.contains("planner_plans_total"), "{out}");
+        assert!(out.contains("index_health_subfields"), "{out}");
+        assert!(out.contains("pool_hits_total"), "{out}");
+        assert!(
+            out.contains("storage_checksum_verifications_total"),
+            "{out}"
+        );
     }
 
     #[test]

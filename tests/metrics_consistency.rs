@@ -1,0 +1,127 @@
+//! Registry/legacy consistency under the parallel batch executor: the
+//! shared metrics registry must report exactly the same totals as the
+//! summed per-query [`QueryStats`], whether the batch ran on one worker
+//! or four (fig8a-style terrain, cold cache each run).
+
+use contfield::field::FieldModel;
+use contfield::index::{IHilbert, QueryBatch};
+use contfield::storage::StorageEngine;
+use contfield::workload::{queries::interval_queries, terrain::roseburg_standin};
+
+const NAMES: &[&str] = &[
+    "index_queries_total",
+    "index_filter_pages_total",
+    "index_refine_pages_total",
+    "index_filter_nodes_total",
+    "index_intervals_retrieved_total",
+    "index_cells_examined_total",
+    "index_cells_qualifying_total",
+];
+
+/// Runs the same batch on a fresh engine with `threads` workers and
+/// returns (registry totals, summed legacy per-query stats) in the
+/// order of [`NAMES`].
+fn run_batch(threads: usize) -> (Vec<u64>, Vec<u64>) {
+    let field = roseburg_standin(6);
+    let engine = StorageEngine::in_memory();
+    let index = IHilbert::build(&engine, &field).expect("build");
+    engine.reset_stats();
+
+    let queries = interval_queries(field.value_domain(), 0.03, 32, 0xC0FFE);
+    let report = QueryBatch::new(queries)
+        .threads(threads)
+        .run(&engine, &index)
+        .expect("run");
+    assert_eq!(report.threads, threads);
+
+    let registry = engine.metrics();
+    let labels: &[(&str, &str)] = &[("index", "I-Hilbert")];
+    let got: Vec<u64> = NAMES
+        .iter()
+        .map(|n| registry.counter_value(n, labels).unwrap_or(0))
+        .collect();
+    let legacy = vec![
+        report.results.len() as u64,
+        report.results.iter().map(|r| r.stats.filter_pages).sum(),
+        report
+            .results
+            .iter()
+            .map(|r| r.stats.io.logical_reads() - r.stats.filter_pages)
+            .sum(),
+        report.results.iter().map(|r| r.stats.filter_nodes).sum(),
+        report
+            .results
+            .iter()
+            .map(|r| r.stats.intervals_retrieved as u64)
+            .sum(),
+        report
+            .results
+            .iter()
+            .map(|r| r.stats.cells_examined as u64)
+            .sum(),
+        report
+            .results
+            .iter()
+            .map(|r| r.stats.cells_qualifying as u64)
+            .sum(),
+    ];
+
+    // The storage plane agrees too: every logical read of the batch hit
+    // some shard's hit- or miss-counter.
+    assert_eq!(
+        registry.counter_total("pool_hits_total") + registry.counter_total("pool_misses_total"),
+        report.total_io().logical_reads(),
+        "{threads} threads: pool counters vs summed per-query I/O"
+    );
+    assert_eq!(
+        registry.counter_total("storage_disk_reads_total"),
+        report.total_io().disk_reads,
+        "{threads} threads: disk counters vs summed per-query I/O"
+    );
+
+    (got, legacy)
+}
+
+#[test]
+fn registry_totals_match_legacy_stats_at_any_thread_count() {
+    let (one, legacy_one) = run_batch(1);
+    let (four, legacy_four) = run_batch(4);
+    assert_eq!(
+        one, legacy_one,
+        "single-threaded registry totals must equal summed QueryStats ({NAMES:?})"
+    );
+    assert_eq!(
+        four, legacy_four,
+        "4-thread registry totals must equal summed QueryStats ({NAMES:?})"
+    );
+    assert_eq!(
+        one, four,
+        "registry totals must not depend on the worker count ({NAMES:?})"
+    );
+    // The batch actually did work.
+    assert!(one[0] == 32 && one[5] > 0, "{one:?}");
+}
+
+#[test]
+fn batch_executor_publishes_utilization_metrics() {
+    let field = roseburg_standin(5);
+    let engine = StorageEngine::in_memory();
+    let index = IHilbert::build(&engine, &field).expect("build");
+    let queries = interval_queries(field.value_domain(), 0.03, 16, 0xBEEF);
+    QueryBatch::new(queries)
+        .threads(4)
+        .run(&engine, &index)
+        .expect("run");
+    let registry = engine.metrics();
+    // Every worker flushed its busy time, and the queue drained.
+    assert!(registry.counter_total("batch_worker_busy_ns_total") > 0);
+    for w in 0..4 {
+        assert!(
+            registry
+                .counter_value("batch_worker_busy_ns_total", &[("worker", &w.to_string())])
+                .is_some(),
+            "worker {w} series missing"
+        );
+    }
+    assert_eq!(registry.gauge_value("batch_queue_depth", &[]), Some(0.0));
+}
