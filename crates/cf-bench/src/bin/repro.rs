@@ -6,11 +6,19 @@
 //! ```
 //!
 //! Subcommands: `fig5`, `fig8a`, `fig8b`, `fig11`, `fig12`,
-//! `ablation`, `batch`, `bench`, `obs-overhead`, `all`. Flags: `--full`
-//! (paper-scale datasets and 200 queries/point), `--queries N`,
-//! `--latency-us N`, `--json` (with `bench`: also write
-//! `BENCH_pr2.json`), `--metrics` (with `batch`/`bench`: dump the
-//! engine's metrics-registry snapshot after the run).
+//! `ablation`, `batch`, `bench`, `regress`, `obs-overhead`, `all`.
+//! Flags: `--full` (paper-scale datasets and 200 queries/point),
+//! `--queries N`, `--latency-us N`, `--json` (with `bench`: also write
+//! `BENCH_pr5.json` and append a flattened record to the committed
+//! bench history), `--metrics` (with `batch`/`bench`: dump the engine's
+//! metrics-registry snapshot after the run), `--history PATH` (default
+//! `BENCH_history.jsonl`), `--window N` / `--tol-time F` /
+//! `--tol-count F` (regression-gate knobs, see `cf_bench::history`).
+//!
+//! `regress` compares the newest history record against a median-of-N
+//! baseline over the previous runs and exits 1 on regression (0 with a
+//! warning when the history is too short to gate); CI runs it right
+//! after `bench --json` on every PR.
 //!
 //! `obs-overhead` prints a parseable `OBS_OVERHEAD_US_PER_QUERY` line;
 //! CI runs it once per feature set (default vs `obs-off`) and fails if
@@ -38,6 +46,10 @@ struct Opts {
     latency_us: u64,
     json: bool,
     metrics: bool,
+    history: String,
+    window: usize,
+    tol_time: f64,
+    tol_count: f64,
 }
 
 impl Opts {
@@ -59,6 +71,10 @@ fn main() {
         latency_us: 20,
         json: false,
         metrics: false,
+        history: String::from("BENCH_history.jsonl"),
+        window: 5,
+        tol_time: 0.30,
+        tol_count: 0.02,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -78,6 +94,25 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--latency-us needs a number")
+            }
+            "--history" => opts.history = it.next().expect("--history needs a path").clone(),
+            "--window" => {
+                opts.window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--window needs a number")
+            }
+            "--tol-time" => {
+                opts.tol_time = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tol-time needs a fraction")
+            }
+            "--tol-count" => {
+                opts.tol_count = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tol-count needs a fraction")
             }
             c if !c.starts_with('-') => cmd = c.to_string(),
             other => {
@@ -102,6 +137,7 @@ fn main() {
         "ablation" => ablation(&opts),
         "batch" => batch(&opts),
         "bench" => bench(&opts),
+        "regress" => regress(&opts),
         "obs-overhead" => obs_overhead(&opts),
         "all" => {
             fig5();
@@ -114,7 +150,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|batch|bench|obs-overhead|all"
+                "unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|batch|bench|regress|obs-overhead|all"
             );
             std::process::exit(2);
         }
@@ -318,9 +354,11 @@ fn obs_overhead(opts: &Opts) {
     println!("OBS_OVERHEAD_US_PER_QUERY: {us:.4}");
 }
 
-/// PR-2 performance benches: parallel build scaling, frozen vs paged
-/// query plane, and the raw filter-step scan comparison. With `--json`
-/// the measurements are also written to `BENCH_pr2.json`.
+/// Performance benches: parallel build scaling, frozen vs paged query
+/// plane, and the raw filter-step scan comparison. With `--json` the
+/// measurements are written to `BENCH_pr5.json` and a flattened record
+/// is appended to the committed bench history (`--history`, default
+/// `BENCH_history.jsonl`) for the `regress` gate.
 fn bench(opts: &Opts) {
     use cf_rtree::{PagedRTree, RStarTree, RTreeConfig};
     use cf_storage::{StorageConfig, StorageEngine};
@@ -600,7 +638,7 @@ fn bench(opts: &Opts) {
     if opts.json {
         use std::fmt::Write as _;
         let mut j = String::new();
-        j.push_str("{\n  \"bench\": \"pr2\",\n");
+        j.push_str("{\n  \"bench\": \"pr5\",\n");
         let _ = writeln!(
             j,
             "  \"build_scaling\": {{\n    \"dataset\": \"fig8a terrain {0}x{0}\",\n    \"cells\": {1},\n    \"write_latency_us\": {2},\n    \"sequential_ms\": {3:.3},\n    \"points\": [",
@@ -653,14 +691,99 @@ fn bench(opts: &Opts) {
             per_query(frozen_ms),
             paged_ms / frozen_ms.max(1e-9)
         );
-        std::fs::write("BENCH_pr2.json", &j).expect("write BENCH_pr2.json");
-        println!("wrote BENCH_pr2.json");
+        std::fs::write("BENCH_pr5.json", &j).expect("write BENCH_pr5.json");
+        println!("wrote BENCH_pr5.json");
+
+        // Flattened record for the committed history → `repro regress`.
+        let mut rec = cf_bench::history::BenchRecord::new("pr5");
+        rec.push("cells", field.num_cells() as f64);
+        rec.push("build_sequential_ms", seq_ms);
+        for p in &build_points {
+            rec.push(format!("build_{}t_ms", p.threads), p.ms);
+            rec.push(format!("build_{}t_speedup", p.threads), p.speedup);
+            rec.push(
+                format!("build_{}t_identical", p.threads),
+                if p.identical { 1.0 } else { 0.0 },
+            );
+        }
+        for p in &plane_points {
+            let prefix = format!("{}_qi{}", p.figure, p.qinterval);
+            rec.push(format!("{prefix}_paged_ms"), p.paged.mean_ms);
+            rec.push(format!("{prefix}_paged_pages"), p.paged.mean_pages);
+            rec.push(
+                format!("{prefix}_paged_filter_pages"),
+                p.paged.mean_filter_pages,
+            );
+            rec.push(format!("{prefix}_frozen_ms"), p.frozen.mean_ms);
+            rec.push(format!("{prefix}_frozen_pages"), p.frozen.mean_pages);
+            rec.push(
+                format!("{prefix}_plane_speedup"),
+                p.paged.mean_ms / p.frozen.mean_ms.max(1e-9),
+            );
+        }
+        rec.push("filter_scan_paged_us", per_query(paged_ms));
+        rec.push("filter_scan_dynamic_us", per_query(dyn_ms));
+        rec.push("filter_scan_frozen_us", per_query(frozen_ms));
+        rec.push("filter_scan_frozen_speedup", paged_ms / frozen_ms.max(1e-9));
+        cf_bench::history::append_history(&opts.history, &rec).expect("append bench history");
+        println!("appended run to {}", opts.history);
     }
 
     if opts.metrics {
         println!("\n### metrics snapshot (filter-scan engine)\n");
         print!("{}", scan_engine.metrics().render_text());
         println!();
+    }
+}
+
+/// The regression gate: compares the newest record of the bench history
+/// against a median-of-N baseline over the previous runs (noise-aware,
+/// per-metric-kind tolerances — see `cf_bench::history`). Exits 1 on
+/// regression; exits 0 with a warning when the history holds fewer than
+/// two records, so the gate bootstraps cleanly on a fresh branch.
+fn regress(opts: &Opts) {
+    use cf_bench::history::{compare, load_history};
+
+    let history = match load_history(&opts.history) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            std::process::exit(2);
+        }
+    };
+    match compare(&history, opts.window, opts.tol_time, opts.tol_count) {
+        None => {
+            println!(
+                "regress: only {} record(s) in {} — need at least 2 for a baseline; skipping gate",
+                history.len(),
+                opts.history
+            );
+        }
+        Some(report) => {
+            print!("{report}");
+            let regressions = report.regressions();
+            if regressions.is_empty() {
+                println!(
+                    "\nregress: OK — no regressions vs median of {} previous run(s)",
+                    report.baseline_runs
+                );
+            } else {
+                println!(
+                    "\nregress: FAIL — {} metric(s) regressed:",
+                    regressions.len()
+                );
+                for d in &regressions {
+                    println!(
+                        "  {}: baseline {:.4} → current {:.4} (tol {:.0}%)",
+                        d.name,
+                        d.baseline,
+                        d.current,
+                        d.tolerance * 100.0
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
     }
 }
 

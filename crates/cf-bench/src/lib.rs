@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
+
 use cf_field::FieldModel;
 use cf_geom::Interval;
 use cf_index::{BatchReport, IAll, IHilbert, IntervalQuadtree, LinearScan, QueryBatch, ValueIndex};

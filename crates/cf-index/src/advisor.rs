@@ -1,0 +1,394 @@
+//! The workload-aware cost-model advisor: the first telemetry →
+//! planner feedback path.
+//!
+//! The paper's subfield grouping minimizes `C = P / SI` with an
+//! *assumed* access probability `P = L + 0.5` on a normalized domain —
+//! i.e. it bakes in an average query-interval length of half the
+//! domain. Kamel & Faloutsos' packing model says the right `P` depends
+//! on the actual query distribution: a 1-D interval of length `L` is
+//! hit by a uniformly placed query of length `q` with probability
+//! `(L + q) / (W + q)` over a domain of width `W`.
+//!
+//! cf-obs measures exactly the missing quantity: every index publishes
+//! the raw band length of each Q2 query into the
+//! `index_query_band_len` histogram, whose `sum / count` is the exact
+//! empirical mean `E[|q|]` regardless of bucket bounds. The advisor
+//!
+//! 1. reads `E[|q|]` off the registry ([`WorkloadProfile`]),
+//! 2. re-scores every subfield under the empirical model and reports
+//!    predicted data-page cost per subfield decile, next to the static
+//!    model's prediction and the observed per-query page counters
+//!    ([`CostModelReport`]),
+//! 3. feeds `query_len = E[|q|]` back into the greedy grouping via
+//!    [`IHilbert::repack_with_observed_workload`](crate::IHilbert::repack_with_observed_workload),
+//!    which regroups the *unchanged* cell file under the empirical cost
+//!    — answers stay byte-identical, only the subfield boundaries (and
+//!    with them the filter cost) move.
+//!
+//! Under `obs-off` the histogram never observes anything, the profile
+//! reports zero queries, and the advisor degrades to an explicit no-op
+//! (reports carry the static model only; repack declines to run).
+
+use cf_geom::Interval;
+use cf_storage::MetricsRegistry;
+use std::fmt;
+
+/// The observed Q2 workload of one index, read off the registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Queries observed by the `index_query_band_len` histogram. Zero
+    /// when no query ran — or under `obs-off`, where observation is
+    /// compiled out.
+    pub queries: u64,
+    /// Empirical mean query-interval length `E[|q|]` (0 when
+    /// `queries == 0`).
+    pub mean_query_len: f64,
+}
+
+impl WorkloadProfile {
+    /// Reads the profile of the index labeled `index` (its method name,
+    /// e.g. `"I-Hilbert"`) from `registry`.
+    pub fn from_registry(registry: &MetricsRegistry, index: &str) -> Self {
+        match registry.histogram_stats("index_query_band_len", &[("index", index)]) {
+            Some((queries, sum)) if queries > 0 => Self {
+                queries,
+                mean_query_len: sum / queries as f64,
+            },
+            _ => Self {
+                queries: 0,
+                mean_query_len: 0.0,
+            },
+        }
+    }
+
+    /// Whether enough workload was observed to ground the empirical
+    /// model.
+    pub fn is_informed(&self) -> bool {
+        self.queries > 0
+    }
+}
+
+/// Kamel–Faloutsos hit probability of a 1-D interval of raw length
+/// `len` under uniformly placed queries of length `q` on a domain of
+/// width `w` (clamped to `[0, 1]`; a degenerate domain is always hit).
+pub fn hit_probability(len: f64, q: f64, w: f64) -> f64 {
+    if w + q <= 0.0 {
+        return 1.0;
+    }
+    ((len + q) / (w + q)).clamp(0.0, 1.0)
+}
+
+/// Expected data pages a single query touches in the estimation step:
+/// `Σ P(hit subfield_i) × pages_i` over `(interval, pages)` spans.
+pub fn expected_pages(spans: &[(Interval, f64)], q: f64, w: f64) -> f64 {
+    spans
+        .iter()
+        .map(|&(iv, pages)| hit_probability(iv.hi - iv.lo, q, w) * pages)
+        .sum()
+}
+
+/// One row of the per-decile breakdown: subfields ranked by interval
+/// length and split into ten groups (decile 0 = shortest intervals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecileRow {
+    /// Decile number, 0..10.
+    pub decile: usize,
+    /// Subfields in the decile.
+    pub subfields: usize,
+    /// Mean raw interval length of the decile's subfields.
+    pub mean_interval_len: f64,
+    /// Expected pages/query contributed by the decile under the static
+    /// model (`q = W/2`, the paper's `+0.5` on a normalized domain).
+    pub predicted_pages_static: f64,
+    /// Expected pages/query contributed under the empirical model
+    /// (`q = E[|q|]`).
+    pub predicted_pages_empirical: f64,
+}
+
+/// Predicted-vs-observed filter cost of one index under the static and
+/// the empirical query model. Produced by
+/// [`IHilbert::workload_report`](crate::IHilbert::workload_report).
+#[derive(Debug, Clone)]
+pub struct CostModelReport {
+    /// Method name (`index` metric label).
+    pub index: String,
+    /// The observed workload the empirical columns are grounded in.
+    pub profile: WorkloadProfile,
+    /// Subfield count.
+    pub subfields: usize,
+    /// Value-domain hull of the index.
+    pub domain: Interval,
+    /// Total expected pages/query under the static model (`q = W/2`).
+    pub predicted_pages_static: f64,
+    /// Total expected pages/query under the empirical model
+    /// (`q = E[|q|]`; equals the static column when uninformed).
+    pub predicted_pages_empirical: f64,
+    /// Observed mean estimation-step (refine) pages per query, from the
+    /// `index_refine_pages_total` / `index_queries_total` counters
+    /// (`None` before the first query).
+    pub observed_refine_pages_per_query: Option<f64>,
+    /// Observed mean filter-step pages per query (tree traversal I/O).
+    pub observed_filter_pages_per_query: Option<f64>,
+    /// Per-decile breakdown (empty when the index has no subfields).
+    pub deciles: Vec<DecileRow>,
+}
+
+impl CostModelReport {
+    /// Builds the report from the index's subfield `(interval, pages)`
+    /// spans and its registry.
+    pub(crate) fn build(
+        registry: &MetricsRegistry,
+        index: &str,
+        spans: &[(Interval, f64)],
+    ) -> Self {
+        let profile = WorkloadProfile::from_registry(registry, index);
+        let domain = spans
+            .iter()
+            .map(|&(iv, _)| iv)
+            .reduce(|a, b| a.union(b))
+            .unwrap_or(Interval::point(0.0));
+        let w = domain.hi - domain.lo;
+        let q_static = w / 2.0;
+        let q_emp = if profile.is_informed() {
+            profile.mean_query_len
+        } else {
+            q_static
+        };
+
+        // Decile split by interval length, shortest first.
+        let mut ranked: Vec<(Interval, f64)> = spans.to_vec();
+        ranked.sort_by(|a, b| {
+            (a.0.hi - a.0.lo)
+                .partial_cmp(&(b.0.hi - b.0.lo))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut deciles = Vec::new();
+        if !ranked.is_empty() {
+            let n = ranked.len();
+            for d in 0..10 {
+                let lo = d * n / 10;
+                let hi = ((d + 1) * n / 10).max(lo);
+                let group = &ranked[lo..hi];
+                if group.is_empty() {
+                    continue;
+                }
+                let mean_len =
+                    group.iter().map(|&(iv, _)| iv.hi - iv.lo).sum::<f64>() / group.len() as f64;
+                deciles.push(DecileRow {
+                    decile: d,
+                    subfields: group.len(),
+                    mean_interval_len: mean_len,
+                    predicted_pages_static: expected_pages(group, q_static, w),
+                    predicted_pages_empirical: expected_pages(group, q_emp, w),
+                });
+            }
+        }
+
+        let queries = registry
+            .counter_value("index_queries_total", &[("index", index)])
+            .unwrap_or(0);
+        let per_query = |name: &str| {
+            (queries > 0).then(|| {
+                registry
+                    .counter_value(name, &[("index", index)])
+                    .unwrap_or(0) as f64
+                    / queries as f64
+            })
+        };
+        Self {
+            index: index.to_owned(),
+            profile,
+            subfields: spans.len(),
+            domain,
+            predicted_pages_static: expected_pages(spans, q_static, w),
+            predicted_pages_empirical: expected_pages(spans, q_emp, w),
+            observed_refine_pages_per_query: per_query("index_refine_pages_total"),
+            observed_filter_pages_per_query: per_query("index_filter_pages_total"),
+            deciles,
+        }
+    }
+}
+
+impl fmt::Display for CostModelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cost model report for {} ({} subfields, domain [{:.3}, {:.3}])",
+            self.index, self.subfields, self.domain.lo, self.domain.hi
+        )?;
+        if self.profile.is_informed() {
+            writeln!(
+                f,
+                "observed workload: {} queries, E[|q|] = {:.4}",
+                self.profile.queries, self.profile.mean_query_len
+            )?;
+        } else {
+            writeln!(
+                f,
+                "observed workload: none (empirical columns fall back to the static model)"
+            )?;
+        }
+        writeln!(
+            f,
+            "predicted pages/query: static (q=W/2) {:.3}, empirical {:.3}",
+            self.predicted_pages_static, self.predicted_pages_empirical
+        )?;
+        match (
+            self.observed_filter_pages_per_query,
+            self.observed_refine_pages_per_query,
+        ) {
+            (Some(fp), Some(rp)) => {
+                writeln!(f, "observed pages/query: filter {fp:.3}, refine {rp:.3}")?
+            }
+            _ => writeln!(f, "observed pages/query: no queries recorded")?,
+        }
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>12} {:>16} {:>16}",
+            "decile", "subfields", "mean |L|", "pred(static)", "pred(empirical)"
+        )?;
+        for row in &self.deciles {
+            writeln!(
+                f,
+                "{:>6} {:>10} {:>12.4} {:>16.4} {:>16.4}",
+                row.decile,
+                row.subfields,
+                row.mean_interval_len,
+                row.predicted_pages_static,
+                row.predicted_pages_empirical
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`IHilbert::repack_with_observed_workload`](crate::IHilbert::repack_with_observed_workload)
+/// did, and the predicted cost either side of it (both evaluated under
+/// the *empirical* query length, so the two numbers are comparable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepackOutcome {
+    /// Whether the subfield catalog was regrouped. `false` when no
+    /// workload was observed (e.g. under `obs-off`) or when the
+    /// empirical grouping is identical to the current one.
+    pub repacked: bool,
+    /// The workload profile the decision was based on.
+    pub profile: WorkloadProfile,
+    /// Subfield count before.
+    pub subfields_before: usize,
+    /// Subfield count after (equals `subfields_before` when not
+    /// repacked).
+    pub subfields_after: usize,
+    /// Expected pages/query of the old grouping under `q = E[|q|]`.
+    pub predicted_pages_before: f64,
+    /// Expected pages/query of the new grouping under `q = E[|q|]`.
+    pub predicted_pages_after: f64,
+}
+
+impl fmt::Display for RepackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.repacked {
+            return write!(
+                f,
+                "repack declined ({}; {} subfields unchanged)",
+                if self.profile.is_informed() {
+                    "grouping already optimal for the observed workload"
+                } else {
+                    "no workload observed"
+                },
+                self.subfields_before
+            );
+        }
+        write!(
+            f,
+            "repacked {} -> {} subfields under E[|q|] = {:.4} ({} queries); \
+             predicted pages/query {:.3} -> {:.3}",
+            self.subfields_before,
+            self.subfields_after,
+            self.profile.mean_query_len,
+            self.profile.queries,
+            self.predicted_pages_before,
+            self.predicted_pages_after
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_probability_matches_kamel_faloutsos() {
+        // Point query on a unit domain: probability is the length.
+        assert!((hit_probability(0.25, 0.0, 1.0) - 0.25).abs() < 1e-12);
+        // Adding query length raises the probability.
+        assert!(hit_probability(0.25, 0.5, 1.0) > 0.25);
+        // Never above 1.
+        assert_eq!(hit_probability(5.0, 3.0, 1.0), 1.0);
+        // Degenerate domain.
+        assert_eq!(hit_probability(0.0, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn expected_pages_weighs_by_span_pages() {
+        let spans = [
+            (Interval::new(0.0, 50.0), 4.0),
+            (Interval::new(50.0, 100.0), 1.0),
+        ];
+        let ep = expected_pages(&spans, 0.0, 100.0);
+        assert!((ep - (0.5 * 4.0 + 0.5 * 1.0)).abs() < 1e-12);
+        // Longer queries raise the expectation toward the page total.
+        assert!(expected_pages(&spans, 100.0, 100.0) > ep);
+        assert!(expected_pages(&spans, 1e12, 100.0) <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn uninformed_profile_reads_as_zero() {
+        let reg = MetricsRegistry::new();
+        let p = WorkloadProfile::from_registry(&reg, "I-Hilbert");
+        assert!(!p.is_informed());
+        assert_eq!(p.mean_query_len, 0.0);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn profile_reads_exact_mean_off_the_histogram() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with(
+            "index_query_band_len",
+            &[("index", "I-Hilbert")],
+            &crate::stats::BAND_LEN_BUCKETS,
+        );
+        h.observe(2.0);
+        h.observe(10.0);
+        let p = WorkloadProfile::from_registry(&reg, "I-Hilbert");
+        assert_eq!(p.queries, 2);
+        assert!((p.mean_query_len - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_deciles_partition_the_subfields() {
+        let reg = MetricsRegistry::new();
+        let spans: Vec<(Interval, f64)> = (0..37)
+            .map(|i| (Interval::new(0.0, 1.0 + i as f64), 1.0 + (i % 3) as f64))
+            .collect();
+        let report = CostModelReport::build(&reg, "I-Hilbert", &spans);
+        assert_eq!(report.subfields, 37);
+        assert_eq!(
+            report.deciles.iter().map(|d| d.subfields).sum::<usize>(),
+            37
+        );
+        // Decile sums reproduce the totals.
+        let static_sum: f64 = report
+            .deciles
+            .iter()
+            .map(|d| d.predicted_pages_static)
+            .sum();
+        assert!((static_sum - report.predicted_pages_static).abs() < 1e-9);
+        // Shortest-interval deciles come first.
+        for w in report.deciles.windows(2) {
+            assert!(w[0].mean_interval_len <= w[1].mean_interval_len);
+        }
+        let text = report.to_string();
+        assert!(text.contains("cost model report for I-Hilbert"), "{text}");
+    }
+}

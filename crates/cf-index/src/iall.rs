@@ -104,7 +104,7 @@ impl<F: FieldModel> IAll<F> {
         let query_ns = query_clock.elapsed_ns();
         self.qmetrics
             .get_or_init(|| QueryMetrics::wire(engine.metrics(), "I-All"))
-            .publish(&stats, query_ns, filter_ns, refine_ns);
+            .publish(&stats, band, query_ns, filter_ns, refine_ns);
         if let Some(query_id) = query_id {
             let phases = [
                 TraceEvent {

@@ -6,6 +6,7 @@
 //! contiguous in the cell file, so the estimation step reads compact
 //! page runs.
 
+use crate::advisor::{expected_pages, CostModelReport, RepackOutcome, WorkloadProfile};
 use crate::order::{cell_order, par_cell_order};
 use crate::sfindex::SubfieldIndex;
 pub use crate::sfindex::{QueryPlane, TreeBuild};
@@ -232,6 +233,67 @@ impl<F: FieldModel> IHilbert<F> {
         threads: usize,
     ) -> CfResult<QueryStats> {
         self.inner.par_query_stats(engine, band, threads)
+    }
+
+    /// Scores the current subfield grouping under the static cost model
+    /// (`q = W/2`, the paper's `P = L + 0.5` on a normalized domain)
+    /// and the empirical model grounded in the observed
+    /// `index_query_band_len` histogram, with a per-decile
+    /// predicted-vs-observed breakdown. Pure catalog + registry math —
+    /// no I/O.
+    pub fn workload_report(&self, engine: &StorageEngine) -> CostModelReport {
+        CostModelReport::build(
+            engine.metrics(),
+            &self.name(),
+            &self.inner.subfield_page_spans(),
+        )
+    }
+
+    /// Regroups the cell file's subfields under the *observed* workload:
+    /// the empirical mean query length `E[|q|]` replaces the cost
+    /// function's assumed query term, and the greedy grouping of §3.1.2
+    /// reruns over the unchanged Hilbert-ordered cell file.
+    ///
+    /// Cell records never move — only the subfield boundaries, the
+    /// interval R\*-tree, and the on-disk subfield catalog are rebuilt —
+    /// so query answers are byte-identical before and after. Declines
+    /// (returning `repacked: false`) when no workload has been observed
+    /// (always the case under `obs-off`) or when the empirical grouping
+    /// is identical to the current one.
+    pub fn repack_with_observed_workload(
+        &mut self,
+        engine: &StorageEngine,
+    ) -> CfResult<RepackOutcome> {
+        let profile = WorkloadProfile::from_registry(engine.metrics(), &self.name());
+        let before_spans = self.inner.subfield_page_spans();
+        let domain = self.value_domain();
+        let w = domain.hi - domain.lo;
+        let subfields_before = before_spans.len();
+        let predicted_before = expected_pages(&before_spans, profile.mean_query_len, w);
+        if !profile.is_informed() {
+            return Ok(RepackOutcome {
+                repacked: false,
+                profile,
+                subfields_before,
+                subfields_after: subfields_before,
+                predicted_pages_before: predicted_before,
+                predicted_pages_after: predicted_before,
+            });
+        }
+        let config = SubfieldConfig {
+            base: 1.0,
+            query_len: profile.mean_query_len,
+        };
+        let repacked = self.inner.repack(engine, config)?;
+        let after_spans = self.inner.subfield_page_spans();
+        Ok(RepackOutcome {
+            repacked,
+            profile,
+            subfields_before,
+            subfields_after: after_spans.len(),
+            predicted_pages_before: predicted_before,
+            predicted_pages_after: expected_pages(&after_spans, profile.mean_query_len, w),
+        })
     }
 
     /// Incremental maintenance: applies an updated record for `cell`

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advisor;
 mod batch;
 mod catalog;
 mod iall;
@@ -50,6 +51,7 @@ mod subfield;
 mod vector;
 mod volume3d;
 
+pub use advisor::{CostModelReport, DecileRow, RepackOutcome, WorkloadProfile};
 pub use batch::{BatchQueryResult, BatchReport, QueryBatch};
 pub use catalog::PosRecord;
 pub use iall::IAll;

@@ -244,7 +244,7 @@ impl<F: FieldModel> ValueIndex for AdaptiveIndex<F> {
                 let query_ns = query_clock.elapsed_ns();
                 // The scan has no filter step: the whole query is one
                 // refinement pass over the cell file.
-                pm.scan_query.publish(&stats, query_ns, 0, query_ns);
+                pm.scan_query.publish(&stats, band, query_ns, 0, query_ns);
                 if let Some(query_id) = query_id {
                     let phases = [TraceEvent {
                         query_id,

@@ -5,7 +5,7 @@
 //! ranges (paper Fig. 6: leaf entries store `ptr_start, ptr_end`).
 
 use crate::stats::{QueryMetrics, QueryStats};
-use crate::subfield::Subfield;
+use crate::subfield::{build_subfields, Subfield, SubfieldConfig};
 use cf_field::FieldModel;
 use cf_geom::{Aabb, Interval, Polygon};
 use cf_rtree::{bulk_load_str, FrozenTree, PagedRTree, RStarTree, RTreeConfig};
@@ -263,6 +263,80 @@ impl<F: FieldModel> SubfieldIndex<F> {
         }
     }
 
+    /// `(interval, data pages spanned)` of every subfield — the spans
+    /// the cost-model advisor scores. Pages come from the record
+    /// geometry alone (`ceil`-spans of the `[start, end)` range over
+    /// the cell file's page grid), no I/O.
+    pub(crate) fn subfield_page_spans(&self) -> Vec<(Interval, f64)> {
+        let per_page = RecordFile::<F::CellRec>::records_per_page() as u32;
+        self.subfields
+            .iter()
+            .map(|sf| {
+                let pages = (sf.end - 1) / per_page - sf.start / per_page + 1;
+                (sf.interval, pages as f64)
+            })
+            .collect()
+    }
+
+    /// Regroups the *unchanged* cell file into fresh subfields under
+    /// `config`, rebuilding the interval tree and the on-disk subfield
+    /// catalog. Cell records never move, so query answers are
+    /// byte-identical before and after — only the filter cost changes.
+    /// Returns `false` (leaving everything untouched) when the new
+    /// grouping equals the current one.
+    ///
+    /// The old tree and catalog pages are abandoned in place; like a
+    /// dropped index in the storage engine, they are reclaimed only by
+    /// a full rebuild. A repack allocates far fewer pages than a build,
+    /// so this is an acceptable cost for a maintenance operation.
+    pub(crate) fn repack(
+        &mut self,
+        engine: &StorageEngine,
+        config: SubfieldConfig,
+    ) -> CfResult<bool> {
+        let mut intervals: Vec<Interval> = Vec::with_capacity(self.file.len());
+        self.file
+            .for_each_in_range(engine, 0..self.file.len(), |_, rec| {
+                intervals.push(F::record_interval(&rec));
+            })?;
+        let subfields = build_subfields(&intervals, config);
+        if subfields == self.subfields {
+            return Ok(false);
+        }
+        let tree_config = RTreeConfig::page_sized::<1>();
+        let mut tree: RStarTree<1> = RStarTree::new(tree_config);
+        for sf in &subfields {
+            tree.insert(sf.interval.into(), sf.pack());
+        }
+        self.tree = PagedRTree::persist(&tree, engine)?;
+        self.sf_file = RecordFile::create(engine, subfields.clone())?;
+        for (i, sf) in subfields.iter().enumerate() {
+            for pos in sf.start..sf.end {
+                self.pos_to_subfield[pos as usize] = i as u32;
+            }
+        }
+        self.subfields = subfields;
+        // The frozen plane is a copy of the tree — rebuild it too.
+        if self.frozen.is_some() {
+            self.freeze(engine)?;
+        }
+        // Health gauges derive from the subfield catalog; refresh them
+        // with the exact new cost distribution (intervals are in hand).
+        let costs: Vec<f64> = self
+            .subfields
+            .iter()
+            .map(|sf| {
+                let si: f64 = intervals[sf.start as usize..sf.end as usize]
+                    .iter()
+                    .map(|iv| iv.size_with_base(config.base))
+                    .sum();
+                (sf.interval.size_with_base(config.base) + config.query_len) / si
+            })
+            .collect();
+        self.publish_health(engine.metrics(), Some(&costs));
+        Ok(true)
+    }
+
     /// Enters the frozen query plane: flattens the paged tree into a
     /// cache-resident [`FrozenTree`] (one pass over its pages) that the
     /// filtering step searches from then on. Incremental updates that
@@ -390,7 +464,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         let refine_ns = refine_clock.elapsed_ns();
         let query_ns = query_clock.elapsed_ns();
         self.query_metrics(engine.metrics())
-            .publish(&stats, query_ns, filter_ns, refine_ns);
+            .publish(&stats, band, query_ns, filter_ns, refine_ns);
         if let Some(query_id) = query_id {
             self.trace_query(engine, query_id, &stats, query_ns, filter_ns, refine_ns);
         }
@@ -518,7 +592,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         let query_ns = query_clock.elapsed_ns();
 
         self.query_metrics(engine.metrics())
-            .publish(&stats, query_ns, filter_ns, refine_ns);
+            .publish(&stats, band, query_ns, filter_ns, refine_ns);
         if let Some(query_id) = query_id {
             self.trace_query(engine, query_id, &stats, query_ns, filter_ns, refine_ns);
         }

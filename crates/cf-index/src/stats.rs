@@ -47,6 +47,15 @@ pub struct QueryScratch {
     pub(crate) candidates: Vec<u64>,
 }
 
+/// Bucket bounds of the `index_query_band_len` histogram: geometric
+/// steps covering raw value-domain band lengths from sub-unit up to
+/// thousands. The workload advisor only consumes the histogram's exact
+/// `sum / count` mean, so the bucket resolution matters for dashboards,
+/// not for the empirical cost model.
+pub(crate) const BAND_LEN_BUCKETS: [f64; 13] = [
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
 /// Registry handles for the per-query metrics an index publishes, cached
 /// so the query hot path pays one atomic add per counter instead of a
 /// name lookup. Wired lazily on an index's first query (the engine — and
@@ -63,6 +72,7 @@ pub(crate) struct QueryMetrics {
     query_ns: Histogram,
     filter_ns: Histogram,
     refine_ns: Histogram,
+    band_len: Histogram,
 }
 
 impl QueryMetrics {
@@ -81,14 +91,18 @@ impl QueryMetrics {
             query_ns: registry.time_histogram("index_query_ns", labels),
             filter_ns: registry.time_histogram("index_filter_ns", labels),
             refine_ns: registry.time_histogram("index_refine_ns", labels),
+            band_len: registry.histogram_with("index_query_band_len", labels, &BAND_LEN_BUCKETS),
         }
     }
 
     /// Flushes one finished query into the registry. Counter bumps stay
-    /// real under `obs-off`; the latency observations compile out.
+    /// real under `obs-off`; the latency and band-length observations
+    /// compile out (which is why the workload advisor degrades to a
+    /// no-op under `obs-off`: it never sees a query).
     pub(crate) fn publish(
         &self,
         stats: &QueryStats,
+        band: Interval,
         query_ns: u64,
         filter_ns: u64,
         refine_ns: u64,
@@ -104,6 +118,7 @@ impl QueryMetrics {
         self.query_ns.observe_ns(query_ns);
         self.filter_ns.observe_ns(filter_ns);
         self.refine_ns.observe_ns(refine_ns);
+        self.band_len.observe(band.hi - band.lo);
     }
 }
 

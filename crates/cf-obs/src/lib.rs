@@ -34,8 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
+mod json;
+pub mod serve;
 mod trace;
 
+pub use json::{Json, JsonError};
 pub use trace::{SlowQueryReport, Span, Stopwatch, TraceEvent, Tracer};
 
 use std::collections::BTreeMap;
@@ -437,6 +441,22 @@ impl MetricsRegistry {
         })
     }
 
+    /// `(count, sum)` of a histogram series (`None` when absent). The
+    /// mean `sum / count` is exact regardless of bucket bounds, which is
+    /// what the workload advisor relies on.
+    pub fn histogram_stats(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, f64)> {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        families.get(name).and_then(|f| {
+            f.series
+                .iter()
+                .find(|(have, _)| labels_eq(have, labels))
+                .and_then(|(_, m)| match m {
+                    Metric::Histogram(h) => Some((h.count(), h.sum())),
+                    _ => None,
+                })
+        })
+    }
+
     /// Zeroes every counter, gauge and histogram and clears the trace
     /// rings. Handles stay valid; tracer enablement and thresholds are
     /// preserved. This is the engine-wide "forget warmup I/O" reset.
@@ -456,7 +476,9 @@ impl MetricsRegistry {
     }
 
     /// Renders the registry in the Prometheus text exposition format.
-    /// Families appear in name order; series in registration order.
+    /// The output is deterministic: families appear in name order and
+    /// series in label order, so two snapshots of the same state are
+    /// byte-identical and diffable.
     pub fn render_text(&self) -> String {
         let families = self.families.lock().expect("metrics registry poisoned");
         let mut out = String::new();
@@ -466,7 +488,9 @@ impl MetricsRegistry {
                 None => continue,
             };
             let _ = writeln!(out, "# TYPE {name} {kind}");
-            for (labels, metric) in &family.series {
+            let mut series: Vec<&(Vec<(String, String)>, Metric)> = family.series.iter().collect();
+            series.sort_by(|a, b| a.0.cmp(&b.0));
+            for (labels, metric) in series {
                 match metric {
                     Metric::Counter(c) => {
                         let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, &[]), c.get());
@@ -651,6 +675,22 @@ mod tests {
         );
         assert!(text.contains("q_ns_sum{index=\"ih\"} 440"), "{text}");
         assert!(text.contains("q_ns_count{index=\"ih\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn render_text_series_are_label_sorted() {
+        let reg = MetricsRegistry::new();
+        // Registered out of order on purpose.
+        reg.counter_with("hits_total", &[("shard", "2")]).add(2);
+        reg.counter_with("hits_total", &[("shard", "0")]).add(1);
+        reg.counter_with("hits_total", &[("shard", "1")]).add(3);
+        let text = reg.render_text();
+        let s0 = text.find("shard=\"0\"").expect("shard 0");
+        let s1 = text.find("shard=\"1\"").expect("shard 1");
+        let s2 = text.find("shard=\"2\"").expect("shard 2");
+        assert!(s0 < s1 && s1 < s2, "{text}");
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(text, reg.render_text());
     }
 
     #[test]

@@ -236,6 +236,18 @@ impl Tracer {
             .collect()
     }
 
+    /// Snapshot of the retained slow-query reports (oldest first)
+    /// without draining them — the HTTP `/traces` endpoint uses this so
+    /// repeated scrapes see the same outliers.
+    pub fn slow_reports(&self) -> Vec<SlowQueryReport> {
+        self.slow
+            .lock()
+            .expect("slow ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
     /// Drains every pending slow-query report (oldest first).
     pub fn take_slow_reports(&self) -> Vec<SlowQueryReport> {
         self.slow

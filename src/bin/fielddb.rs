@@ -8,6 +8,9 @@
 //! fielddb info   /tmp/terrain.db
 //! fielddb query  /tmp/terrain.db 300 350 --regions 3
 //! fielddb point  /tmp/terrain.db 17.5 42.25
+//! fielddb serve-metrics --port 9184   # HTTP /metrics + /traces
+//! fielddb top --port 9184             # one-shot scrape view
+//! fielddb advise --k 7                # workload-aware cost advisor
 //! ```
 //!
 //! Layout: page 0 is the bootstrap page (magic + catalog page pointer);
@@ -92,12 +95,67 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             metrics_demo(k, lo, hi)
         }
+        "serve-metrics" => {
+            let mut port = 9184u16;
+            let mut k = 6u32;
+            let mut queries = 32usize;
+            let mut max_requests: Option<u64> = None;
+            let mut port_file: Option<String> = None;
+            let mut event_log: Option<String> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--port" => port = parse(&take(&mut it, flag)?)?,
+                    "--k" => k = parse(&take(&mut it, flag)?)?,
+                    "--queries" => queries = parse(&take(&mut it, flag)?)?,
+                    "--max-requests" => max_requests = Some(parse(&take(&mut it, flag)?)?),
+                    "--port-file" => port_file = Some(take(&mut it, flag)?),
+                    "--event-log" => event_log = Some(take(&mut it, flag)?),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            serve_metrics(
+                port,
+                k,
+                queries,
+                max_requests,
+                port_file.as_deref(),
+                event_log.as_deref(),
+            )
+        }
+        "top" => {
+            let mut addr = String::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => addr = take(&mut it, flag)?,
+                    "--port" => addr = format!("127.0.0.1:{}", take(&mut it, flag)?),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if addr.is_empty() {
+                addr = "127.0.0.1:9184".into();
+            }
+            top(&addr)
+        }
+        "advise" => {
+            let mut k = 6u32;
+            let mut queries = 48usize;
+            let mut qinterval = 0.4f64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--k" => k = parse(&take(&mut it, flag)?)?,
+                    "--queries" => queries = parse(&take(&mut it, flag)?)?,
+                    "--qinterval" => qinterval = parse(&take(&mut it, flag)?)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            advise(k, queries, qinterval)
+        }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]".into()
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]".into()
 }
 
 fn take(it: &mut std::slice::Iter<String>, flag: &str) -> Result<String, String> {
@@ -374,6 +432,165 @@ fn metrics_demo(k: u32, lo: f64, hi: f64) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs a traced demo workload over an in-memory terrain, then serves
+/// the telemetry plane over HTTP (`/metrics` Prometheus snapshot,
+/// `/traces` Chrome-trace dump) until `max_requests` are answered (or
+/// forever with no cap). `--port 0` picks a free port; `--port-file`
+/// writes the real bound address for scripted clients, and
+/// `--event-log` additionally appends the trace snapshot to a rotating
+/// JSONL log before serving.
+fn serve_metrics(
+    port: u16,
+    k: u32,
+    queries: usize,
+    max_requests: Option<u64>,
+    port_file: Option<&str>,
+    event_log: Option<&str>,
+) -> Result<String, String> {
+    use contfield::obs::export::EventLog;
+    use contfield::obs::serve::MetricsServer;
+    use contfield::workload::queries::interval_queries;
+
+    let field = terrain::roseburg_standin(k);
+    let engine = StorageEngine::in_memory();
+    let index = AdaptiveIndex::build(&engine, &field).map_err(|e| e.to_string())?;
+    let registry = engine.metrics();
+    let tracer = registry.tracer();
+    tracer.set_enabled(true);
+    tracer.set_slow_threshold(std::time::Duration::ZERO);
+    let qs = interval_queries(field.value_domain(), 0.05, queries, 0x5E2E);
+    for q in &qs {
+        index.query_stats(&engine, *q).map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = event_log {
+        let mut log = EventLog::open(path, 1 << 20, 3).map_err(|e| e.to_string())?;
+        log.append_trace(&tracer.events(), &tracer.slow_reports())
+            .map_err(|e| format!("event log {path}: {e}"))?;
+    }
+
+    let server =
+        MetricsServer::bind(("127.0.0.1", port)).map_err(|e| format!("bind port {port}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = port_file {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("port file {path}: {e}"))?;
+    }
+    // Print the banner before blocking in the serve loop.
+    println!(
+        "serving telemetry for terrain k={k} ({} traced queries) on http://{addr}/  (routes: /metrics, /traces)",
+        qs.len()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let served = server
+        .serve(registry, max_requests)
+        .map_err(|e| e.to_string())?;
+    Ok(format!("served {served} request(s) on {addr}\n"))
+}
+
+/// One-shot `top`-style view: scrapes `/metrics` (and `/traces`) from a
+/// running `serve-metrics` endpoint and renders the headline numbers
+/// plus a per-index table.
+fn top(addr: &str) -> Result<String, String> {
+    use contfield::obs::export::parse_prometheus;
+    use contfield::obs::serve::http_get;
+    use contfield::obs::Json;
+
+    let body = http_get(addr, "/metrics").map_err(|e| format!("scrape {addr}/metrics: {e}"))?;
+    let snap = parse_prometheus(&body)?;
+    let hits = snap.total("pool_hits_total");
+    let misses = snap.total("pool_misses_total");
+    let mut out = format!("fielddb top — one-shot scrape of http://{addr}/\n\n");
+    out.push_str(&format!(
+        "queries: {:.0}   pool: {:.0} hits / {:.0} misses ({:.1}% hit rate)   disk reads: {:.0}\n",
+        snap.total("index_queries_total"),
+        hits,
+        misses,
+        100.0 * hits / (hits + misses).max(1.0),
+        snap.total("storage_disk_reads_total"),
+    ));
+    let slow = http_get(addr, "/traces")
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|doc| {
+            doc.get("slowQueries")
+                .and_then(|s| s.as_arr().map(|a| a.len()))
+        });
+    if let Some(n) = slow {
+        out.push_str(&format!("slow-query reports retained: {n}\n"));
+    }
+
+    let mut indexes: Vec<String> = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "index_queries_total")
+        .filter_map(|s| {
+            s.labels
+                .iter()
+                .find(|(key, _)| key == "index")
+                .map(|(_, v)| v.clone())
+        })
+        .collect();
+    indexes.sort();
+    indexes.dedup();
+    let val = |name: &str, index: &str| -> f64 {
+        snap.samples
+            .iter()
+            .filter(|s| {
+                s.name == name && s.labels.iter().any(|(key, v)| key == "index" && v == index)
+            })
+            .map(|s| s.value)
+            .sum()
+    };
+    out.push_str(&format!(
+        "\n{:<16} {:>8} {:>13} {:>13} {:>15}\n",
+        "index", "queries", "filter pages", "refine pages", "cells examined"
+    ));
+    for index in &indexes {
+        out.push_str(&format!(
+            "{:<16} {:>8.0} {:>13.0} {:>13.0} {:>15.0}\n",
+            index,
+            val("index_queries_total", index),
+            val("index_filter_pages_total", index),
+            val("index_refine_pages_total", index),
+            val("index_cells_examined_total", index),
+        ));
+    }
+    Ok(out)
+}
+
+/// The workload-aware cost-model advisor demo: runs an observed
+/// workload over an in-memory terrain, prints the predicted-vs-observed
+/// cost report, then repacks the subfield grouping under the empirical
+/// `P = L + E[|q|]` and reports the outcome (declining when no workload
+/// was observed — always the case under `obs-off`).
+fn advise(k: u32, queries: usize, qinterval: f64) -> Result<String, String> {
+    use contfield::workload::queries::interval_queries;
+
+    let field = terrain::roseburg_standin(k);
+    let engine = StorageEngine::in_memory();
+    let mut index = IHilbert::build(&engine, &field).map_err(|e| e.to_string())?;
+    let qs = interval_queries(field.value_domain(), qinterval, queries, 0xAD_5E);
+    for q in &qs {
+        index.query_stats(&engine, *q).map_err(|e| e.to_string())?;
+    }
+    let mut out = format!(
+        "terrain k={k}: ran {} Q2 queries at Qinterval {qinterval}\n\n{}\n",
+        qs.len(),
+        index.workload_report(&engine)
+    );
+    let outcome = index
+        .repack_with_observed_workload(&engine)
+        .map_err(|e| e.to_string())?;
+    out.push_str(&format!("{outcome}\n"));
+    if outcome.repacked {
+        out.push_str(&format!(
+            "\nafter repack:\n{}",
+            index.workload_report(&engine)
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +652,9 @@ mod tests {
     fn metrics_demo_traces_a_query_end_to_end() {
         let out = run(&argv(&["metrics", "--k", "5"])).expect("metrics");
         assert!(out.contains("plan "), "{out}");
+        // The span tracer is compiled out under obs-off, so no
+        // slow-query report is retained there.
+        #[cfg(not(feature = "obs-off"))]
         assert!(out.contains("slow query #"), "{out}");
         assert!(
             out.contains("registry totals match legacy stats exactly"),
@@ -446,6 +666,99 @@ mod tests {
         assert!(out.contains("pool_hits_total"), "{out}");
         assert!(
             out.contains("storage_checksum_verifications_total"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_metrics_and_top_round_trip() {
+        let dir = std::env::temp_dir();
+        let port_file = dir.join(format!("fielddb_port_{}", std::process::id()));
+        let event_log = dir.join(format!("fielddb_events_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        let _ = std::fs::remove_file(&event_log);
+
+        let pf = port_file.to_string_lossy().into_owned();
+        let el = event_log.to_string_lossy().into_owned();
+        let server = std::thread::spawn(move || {
+            run(&argv(&[
+                "serve-metrics",
+                "--port",
+                "0",
+                "--k",
+                "5",
+                "--queries",
+                "8",
+                "--max-requests",
+                "3",
+                "--port-file",
+                &pf,
+                "--event-log",
+                &el,
+            ]))
+        });
+
+        // The port file appears once the listener is bound.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve-metrics never wrote its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        // `top` scrapes /metrics and /traces: two of the three requests.
+        let out = run(&argv(&["top", "--addr", &addr])).expect("top");
+        assert!(out.contains("queries: 8"), "{out}");
+        assert!(out.contains("pool:"), "{out}");
+        assert!(
+            out.contains("I-Hilbert") || out.contains("adaptive"),
+            "{out}"
+        );
+        #[cfg(not(feature = "obs-off"))]
+        assert!(out.contains("slow-query reports retained: 8"), "{out}");
+
+        // Burn the last request so the serve loop exits.
+        let metrics =
+            contfield::obs::serve::http_get(addr.trim(), "/metrics").expect("final scrape");
+        assert!(metrics.contains("index_queries_total"), "{metrics}");
+        let out = server.join().expect("no panic").expect("serve");
+        assert!(out.contains("served 3 request(s)"), "{out}");
+
+        // The event log captured the traced demo workload.
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let log = std::fs::read_to_string(&event_log).expect("event log written");
+            assert!(log.lines().count() >= 8, "{log}");
+            assert!(log.contains("\"seq\":0"), "{log}");
+        }
+        let _ = std::fs::remove_file(&port_file);
+        let _ = std::fs::remove_file(&event_log);
+        let _ = std::fs::remove_file(format!("{}.1", event_log.display()));
+    }
+
+    #[test]
+    fn advise_reports_and_repacks() {
+        let out = run(&argv(&["advise", "--k", "5", "--queries", "24"])).expect("advise");
+        assert!(out.contains("cost model report"), "{out}");
+        assert!(out.contains("predicted pages/query"), "{out}");
+        // With observation on, the long-band workload shifts E[|q|] far
+        // from the build-time assumption and the grouping moves; with
+        // obs-off the advisor must decline explicitly.
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert!(out.contains("repacked"), "{out}");
+            assert!(out.contains("after repack:"), "{out}");
+        }
+        #[cfg(feature = "obs-off")]
+        assert!(
+            out.contains("repack declined (no workload observed"),
             "{out}"
         );
     }

@@ -54,6 +54,7 @@
 //! | [`field`] | DEM / TIN / vector field models, estimation step |
 //! | [`index`] | LinearScan, I-All, I-Hilbert, Interval Quadtree, Q1 |
 //! | [`workload`] | fractal / monotonic / noise / ocean generators |
+//! | [`obs`] | metrics registry, span tracer, exporters, HTTP endpoint |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +63,7 @@ pub use cf_delaunay as delaunay;
 pub use cf_field as field;
 pub use cf_geom as geom;
 pub use cf_index as index;
+pub use cf_obs as obs;
 pub use cf_rtree as rtree;
 pub use cf_sfc as sfc;
 pub use cf_storage as storage;
