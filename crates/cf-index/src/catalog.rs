@@ -223,22 +223,25 @@ impl<F: FieldModel> IHilbert<F> {
         // Lenient look at both slots: an unreadable or invalid slot is
         // simply not live. `max_by_key` breaks ties toward slot 1, so a
         // (never-produced) epoch tie still yields a deterministic pick.
-        let epochs: Vec<Option<u64>> = (0..NUM_SLOTS)
-            .map(|i| {
-                read_slot(engine, PageId(catalog.0 + i))
-                    .ok()
-                    .map(|s| s.epoch)
-            })
+        let slots: Vec<Option<Slot>> = (0..NUM_SLOTS)
+            .map(|i| read_slot(engine, PageId(catalog.0 + i)).ok())
             .collect();
-        let live = epochs
+        let live = slots
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .filter_map(|(i, s)| s.map(|s| (i, s.epoch)))
             .max_by_key(|&(_, e)| e);
         let (target, epoch) = match live {
             Some((live_idx, live_epoch)) => (1 - live_idx as u64, live_epoch + 1),
             None => (0, 1),
         };
+        // The slot about to be overwritten references the
+        // previous-but-one epoch's position map; once the commit below
+        // lands, no slot references it and its run can be freed.
+        let replaced_pos = slots[target as usize].map(|s| {
+            let pages = RecordFile::<PosRecord>::open(PageId(s.pos_first), s.pos_len).num_pages();
+            (PageId(s.pos_first), pages)
+        });
 
         // The only index state not already on its own pages: the
         // cell→position map. Written to fresh pages, never in place, so
@@ -250,6 +253,12 @@ impl<F: FieldModel> IHilbert<F> {
                 .map(|&p| PosRecord(p))
                 .collect::<Vec<_>>(),
         )?;
+        // Commit-ordering invariant: everything the new slot references
+        // must be physically on disk before the slot write. Record-file
+        // creation (including the pos file above) buffers its writes,
+        // so flush the pool here — ascending page order, deterministic
+        // fault ordinals — before the commit point below.
+        engine.flush()?;
         let inner = self.inner();
         let (t_root, t_height, t_len, t_pages) = inner.tree.to_parts();
         let slot = Slot {
@@ -268,7 +277,19 @@ impl<F: FieldModel> IHilbert<F> {
         };
         // Commit point: one full-page write. Torn → CRC mismatch → the
         // slot is not live and the previous epoch still wins.
-        engine.write_page(PageId(catalog.0 + target), &encode_slot(&slot))
+        engine.write_page(PageId(catalog.0 + target), &encode_slot(&slot))?;
+        // Garbage-collect the superseded position map, keeping repeated
+        // saves from growing the file without bound (two pos files stay
+        // in flight: the live epoch's and the fallback slot's). Ordered
+        // after the commit, so a crash anywhere earlier leaves it
+        // intact for the fallback slot; a crash between the commit and
+        // this free leaks the run, never corrupts.
+        if let Some((first, pages)) = replaced_pos {
+            if first.0 != slot.pos_first {
+                engine.free_run(first, pages)?;
+            }
+        }
+        Ok(())
     }
 
     /// Reattaches to an index saved with [`IHilbert::save`] — typically

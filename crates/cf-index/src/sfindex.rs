@@ -285,10 +285,14 @@ impl<F: FieldModel> SubfieldIndex<F> {
     /// Returns `false` (leaving everything untouched) when the new
     /// grouping equals the current one.
     ///
-    /// The old tree and catalog pages are abandoned in place; like a
-    /// dropped index in the storage engine, they are reclaimed only by
-    /// a full rebuild. A repack allocates far fewer pages than a build,
-    /// so this is an acceptable cost for a maintenance operation.
+    /// The old tree and subfield-catalog pages are handed back to the
+    /// engine's freelist once the replacements are fully written: later
+    /// allocations reuse the holes, and a run at the end of a
+    /// file-backed engine shrinks the file. (Pages the old tree gained
+    /// from incremental splits after its own persist are not tracked
+    /// and stay leaked until a full rebuild.) Freeing the old pages
+    /// invalidates any database catalog saved *before* the repack —
+    /// callers that persist the index must save again afterwards.
     pub(crate) fn repack(
         &mut self,
         engine: &StorageEngine,
@@ -308,8 +312,17 @@ impl<F: FieldModel> SubfieldIndex<F> {
         for sf in &subfields {
             tree.insert(sf.interval.into(), sf.pack());
         }
+        let old_tree_run = self.tree.page_run();
+        let old_sf_run = (self.sf_file.first_page(), self.sf_file.num_pages());
         self.tree = PagedRTree::persist(&tree, engine)?;
         self.sf_file = RecordFile::create(engine, subfields.clone())?;
+        // Both replacements exist on fresh pages now; the old tree and
+        // subfield catalog are dead. Return them to the freelist (a
+        // failure here would leak pages, never double-allocate).
+        if let Some((first, pages)) = old_tree_run {
+            engine.free_run(first, pages)?;
+        }
+        engine.free_run(old_sf_run.0, old_sf_run.1)?;
         for (i, sf) in subfields.iter().enumerate() {
             for pos in sf.start..sf.end {
                 self.pos_to_subfield[pos as usize] = i as u32;

@@ -14,7 +14,8 @@ use cf_index::{
     CurveChoice, IHilbert, IHilbertConfig, LinearScan, QueryPlane, QueryStats, ValueIndex,
 };
 use cf_sfc::Curve;
-use cf_storage::{Fault, FaultOp, StorageEngine};
+use cf_storage::{Fault, FaultOp, PageBuf, PageId, StorageConfig, StorageEngine, PAGE_SIZE};
+use std::path::{Path, PathBuf};
 
 fn wavy_field(n: usize, phase: f64) -> GridField {
     let vw = n + 1;
@@ -79,6 +80,10 @@ fn build_saved_and_updated(
         let w = scan.query_stats(engine, b).expect("query");
         assert_eq!(s.cells_qualifying, w.cells_qualifying);
     }
+    // Record-file creation buffers its writes, so the scan above left
+    // dirty pages in the pool. Drain them now so the callers' baseline
+    // write counts measure save_to alone, not leftover flush traffic.
+    engine.flush().expect("drain pool");
     (index, catalog, expected)
 }
 
@@ -202,6 +207,248 @@ fn open_survives_one_unreadable_slot() {
     assert_eq!(fired[0].ordinal, 0);
     engine.clear_faults();
     assert_same_answers(&answers(&reopened, &engine), &expected, "one dead slot");
+}
+
+// ---------------------------------------------------------------------
+// The same properties over real file backing: a crash is simulated by
+// opening a *second* engine on the same path — it sees only the bytes
+// that physically reached the file, never the first engine's buffer
+// pool.
+// ---------------------------------------------------------------------
+
+fn cleanup(path: &Path) {
+    for ext in ["", ".crc", ".fsm"] {
+        let _ = std::fs::remove_file(format!("{}{ext}", path.display()));
+    }
+}
+
+fn file_engine(tag: &str) -> (StorageEngine, PathBuf) {
+    let path = std::env::temp_dir().join(format!(
+        "cf_crash_{tag}_{}_{:?}.db",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    cleanup(&path);
+    let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("open file");
+    (engine, path)
+}
+
+#[test]
+fn save_crash_points_leave_an_openable_catalog_on_file_backing() {
+    let (engine, path) = file_engine("save");
+    let (index, catalog, expected) = build_saved_and_updated(&engine);
+
+    engine.clear_faults();
+    index.save_to(&engine, catalog).expect("baseline save");
+    let (_, writes) = engine.fault_ops();
+    assert!(writes >= 2, "save_to must write pos pages + commit slot");
+
+    for k in 0..writes {
+        engine.clear_faults();
+        engine.inject_fault(Fault::FailWrite { nth: k });
+        let err = index
+            .save_to(&engine, catalog)
+            .expect_err("armed write fault must fire");
+        assert!(err.is_injected(), "crash at write {k}: {err}");
+        engine.clear_faults();
+        // The post-crash disk view: a second engine on the same file.
+        // The crashed engine's dirty frames are invisible to it.
+        let after = StorageEngine::open_file(&path, StorageConfig::default())
+            .unwrap_or_else(|e| panic!("reopen engine after crash at write {k}: {e}"));
+        let reopened = IHilbert::<GridField>::open(&after, catalog)
+            .unwrap_or_else(|e| panic!("reopen catalog after crash at write {k}: {e}"));
+        assert_same_answers(
+            &answers(&reopened, &after),
+            &expected,
+            &format!("file crash at write {k}"),
+        );
+        drop(after);
+        // Drain the crashed save's orphaned buffers so every loop
+        // iteration starts from the same pool state (deterministic
+        // write ordinals).
+        engine.clear_cache();
+    }
+
+    engine.clear_faults();
+    index.save_to(&engine, catalog).expect("final save");
+    engine.sync().expect("sync");
+    drop(index);
+    drop(engine);
+    let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("final reopen");
+    let reopened = IHilbert::<GridField>::open(&engine, catalog).expect("final open");
+    assert_same_answers(&answers(&reopened, &engine), &expected, "file final");
+    drop(reopened);
+    drop(engine);
+    cleanup(&path);
+}
+
+/// Crashes a free+reallocate cycle at every physical-write ordinal —
+/// including the freelist superblock commit writes — and checks the
+/// storage-level invariant: a crash may *leak* pages, but a reopened
+/// engine never hands out a page that still holds live data.
+#[test]
+fn freelist_crash_points_on_file_backing_never_double_allocate() {
+    const LIVE: [u64; 4] = [0, 1, 6, 7];
+
+    fn stamp(i: u64) -> PageBuf {
+        let mut page = [0u8; PAGE_SIZE];
+        page[..8].copy_from_slice(&(0xC0FF_EE00 + i).to_le_bytes());
+        page
+    }
+
+    // One fresh file per crash point: the cycle's write sequence is
+    // deterministic, so the ordinal count measured once carries over.
+    fn setup(tag: &str) -> (StorageEngine, PathBuf) {
+        let (engine, path) = file_engine(tag);
+        let first = engine.allocate_run(8).expect("allocate");
+        assert_eq!(first, PageId(0));
+        for i in 0..8u64 {
+            engine.write_page(PageId(i), &stamp(i)).expect("write");
+        }
+        engine.sync().expect("sync");
+        engine.clear_faults();
+        (engine, path)
+    }
+
+    let (engine, path) = setup("fsm_baseline");
+    engine.free_run(PageId(2), 4).expect("free");
+    let reused = engine.allocate_run(4).expect("reallocate");
+    assert_eq!(reused, PageId(2), "the hole must be reused");
+    let (_, writes) = engine.fault_ops();
+    assert!(writes >= 2, "cycle must hit the superblock and zero pages");
+    drop(engine);
+    cleanup(&path);
+
+    for k in 0..writes {
+        let (engine, path) = setup(&format!("fsm_{k}"));
+        engine.inject_fault(Fault::FailWrite { nth: k });
+        let err = engine
+            .free_run(PageId(2), 4)
+            .and_then(|()| engine.allocate_run(4).map(|_| ()))
+            .expect_err("armed write fault must fire");
+        assert!(err.is_injected(), "crash at write {k}: {err}");
+        drop(engine);
+
+        let after = StorageEngine::open_file(&path, StorageConfig::default())
+            .unwrap_or_else(|e| panic!("reopen after crash at write {k}: {e}"));
+        for i in LIVE {
+            let got = after
+                .with_page(PageId(i), |buf| buf[..8].to_vec())
+                .unwrap_or_else(|e| panic!("live page {i} after crash at write {k}: {e}"));
+            assert_eq!(
+                got,
+                stamp(i)[..8].to_vec(),
+                "live page {i}, crash at write {k}"
+            );
+        }
+        // Whatever the freelist recovered to, it must never hand the
+        // live pages out again.
+        let run = after.allocate_run(4).expect("allocate after crash");
+        for i in LIVE {
+            assert!(
+                !(run.0..run.0 + 4).contains(&i),
+                "crash at write {k}: reallocated live page {i} (run starts at {})",
+                run.0
+            );
+        }
+        for off in 0..4u64 {
+            after
+                .write_page(PageId(run.0 + off), &stamp(100 + off))
+                .expect("write to fresh run");
+        }
+        for i in LIVE {
+            let got = after
+                .with_page(PageId(i), |buf| buf[..8].to_vec())
+                .expect("live page");
+            assert_eq!(
+                got,
+                stamp(i)[..8].to_vec(),
+                "live page {i} clobbered, crash at write {k}"
+            );
+        }
+        drop(after);
+        cleanup(&path);
+    }
+}
+
+/// Repeated `save_to` cycles on file backing must not grow the file
+/// without bound: each commit frees the position map its slot replaced,
+/// so allocation recycles the holes and the size plateaus.
+#[test]
+fn repeated_saves_on_file_backing_reach_a_steady_state_size() {
+    let (engine, path) = file_engine("steady");
+    let field = wavy_field(24, 0.3);
+    let index = IHilbert::build(&engine, &field).expect("build");
+    let catalog = index.save(&engine).expect("save");
+    let mut sizes = Vec::new();
+    for _ in 0..8 {
+        index.save_to(&engine, catalog).expect("save");
+        sizes.push(engine.num_pages());
+    }
+    // Two position maps stay in flight (live slot + fallback slot); the
+    // rest recycle. Once the pipeline fills, the size may oscillate by
+    // one pos-map run as tail frees truncate, but never trends upward.
+    assert!(
+        *sizes.last().unwrap() <= sizes[2],
+        "file must stop growing under repeated saves: {sizes:?}"
+    );
+    let reused = engine.metrics().counter_total("storage_pages_reused_total");
+    assert!(reused > 0, "steady state requires hole reuse: {sizes:?}");
+    // And the recycled file still opens with the right answers.
+    engine.sync().expect("sync");
+    let expected = answers(&index, &engine);
+    drop(index);
+    drop(engine);
+    let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("reopen");
+    let reopened = IHilbert::<GridField>::open(&engine, catalog).expect("open");
+    assert_same_answers(&answers(&reopened, &engine), &expected, "steady state");
+    drop(reopened);
+    drop(engine);
+    cleanup(&path);
+}
+
+/// Acceptance: the file-backed database answers byte-identically after
+/// a real close-and-reopen, for all four curves on both query planes.
+#[test]
+fn file_backed_round_trip_preserves_answers_for_all_curves_and_planes() {
+    let field = wavy_field(20, 0.6);
+    for curve in Curve::ALL {
+        for plane in [QueryPlane::Paged, QueryPlane::Frozen] {
+            let (engine, path) = file_engine(&format!("rt_{curve:?}_{plane:?}"));
+            let index = IHilbert::build_with(
+                &engine,
+                &field,
+                IHilbertConfig {
+                    curve: CurveChoice(curve),
+                    plane,
+                    ..Default::default()
+                },
+            )
+            .expect("build");
+            let want: Vec<QueryStats> = answers(&index, &engine);
+            let catalog = index.save(&engine).expect("save");
+            engine.sync().expect("sync");
+            drop(index);
+            drop(engine);
+
+            let engine = StorageEngine::open_file(&path, StorageConfig::default()).expect("reopen");
+            let mut reopened = IHilbert::<GridField>::open(&engine, catalog).expect("open");
+            if plane == QueryPlane::Frozen {
+                reopened.freeze(&engine).expect("freeze");
+            }
+            let got = answers(&reopened, &engine);
+            assert_same_answers(&got, &want, &format!("file {curve:?}/{plane:?}"));
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.filter_nodes, w.filter_nodes,
+                    "file {curve:?}/{plane:?}: band {i} filter_nodes"
+                );
+            }
+            drop(reopened);
+            drop(engine);
+            cleanup(&path);
+        }
+    }
 }
 
 /// Satellite: catalog round-trip across every curve and both query

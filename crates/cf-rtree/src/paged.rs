@@ -39,6 +39,11 @@ pub struct PagedRTree<const N: usize> {
     height: u32,
     len: usize,
     num_pages: usize,
+    /// The contiguous page run [`PagedRTree::persist`] wrote this tree
+    /// onto, when known — `None` after [`PagedRTree::from_parts`] (the
+    /// catalog does not record allocations). Lets a rebuild hand the
+    /// dead tree back to the engine's freelist.
+    run: Option<(PageId, usize)>,
     /// `rtree_node_visits_total{plane="paged"}` in the engine's registry;
     /// `None` until attached (trees persisted through [`PagedRTree::persist`]
     /// attach automatically, catalog reopens via
@@ -131,7 +136,9 @@ impl<const N: usize> PagedRTree<N> {
                     };
                     off = codec::put_u64(&mut buf, off, child);
                 }
-                engine.write_page(page_of[&idx], &buf)?;
+                // Buffered: bulk persistence goes through the pool's
+                // write-back path; callers flush/sync for durability.
+                engine.write_page_buffered(page_of[&idx], &buf)?;
             }
         }
 
@@ -140,6 +147,7 @@ impl<const N: usize> PagedRTree<N> {
             height,
             len: tree.len(),
             num_pages: total,
+            run: Some((first, total)),
             nodes_counter: None,
         };
         tree.attach_metrics(engine);
@@ -200,8 +208,19 @@ impl<const N: usize> PagedRTree<N> {
             height,
             len: len as usize,
             num_pages: num_pages as usize,
+            run: None,
             nodes_counter: None,
         }
+    }
+
+    /// The contiguous page run this tree was persisted onto, as
+    /// `(first page, page count)`, or `None` when unknown (trees
+    /// reattached through [`PagedRTree::from_parts`]). Pages later
+    /// allocated by incremental splits are *not* part of the run; a
+    /// rebuild that frees the run leaks them until a full rebuild of
+    /// the storage.
+    pub fn page_run(&self) -> Option<(PageId, usize)> {
+        self.run
     }
 
     /// Binds this tree's node-visit counter

@@ -1,9 +1,15 @@
-//! Sharded LRU buffer pool.
+//! Sharded LRU buffer pool with write-back caching.
 //!
-//! The pool sits between every index/file access and the simulated disk.
-//! It is deliberately write-through: the workloads in this workspace are
-//! build-once / query-many, so dirty-page management would add complexity
-//! without changing any measured behaviour.
+//! The pool sits between every index/file access and the disk. Reads
+//! fault pages in through [`BufferPool::with_page`]; writers choose
+//! between [`BufferPool::write_through`] (disk first, then cache — the
+//! right call for commit points that must be durable in a known order)
+//! and [`BufferPool::write_back`] (dirty the frame now, reach disk when
+//! evicted or at the next [`BufferPool::flush_all`] — the right call
+//! for bulk builds, which otherwise pay one physical write per page
+//! touched per pass). `flush_all` writes dirty pages in ascending
+//! [`PageId`] order — one seek pass over the file — and the engine
+//! follows it with a single `sync()`.
 //!
 //! Concurrency: frames are partitioned into independently locked
 //! **shards** keyed by a multiplicative hash of the page id, so
@@ -15,7 +21,7 @@
 //! for tests and tiny-cache experiments.
 
 use crate::disk::{DiskManager, PageBuf, PageId};
-use crate::error::CfResult;
+use crate::error::{CfError, CfResult};
 use crate::stats::{tally, ShardStats};
 use cf_obs::{Counter, MetricsRegistry};
 use std::collections::{BTreeMap, HashMap};
@@ -33,6 +39,13 @@ struct Frame {
     data: Box<PageBuf>,
     /// Recency stamp; key into `lru`.
     stamp: u64,
+    /// The frame holds bytes the disk does not have yet.
+    dirty: bool,
+    /// Pin count: a pinned frame is never evicted. Pins are held for
+    /// the duration of a [`BufferPool::with_page`] closure, guarding
+    /// the borrow against any eviction path that might run under the
+    /// same shard lock.
+    pins: u32,
 }
 
 struct ShardInner {
@@ -52,6 +65,8 @@ struct Shard {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    /// Dirty pages written to disk by eviction or flush.
+    writebacks: Counter,
 }
 
 impl Shard {
@@ -68,6 +83,7 @@ impl Shard {
             hits: registry.counter_with("pool_hits_total", &labels),
             misses: registry.counter_with("pool_misses_total", &labels),
             evictions: registry.counter_with("pool_evictions_total", &labels),
+            writebacks: registry.counter_with("pool_writebacks_total", &labels),
         }
     }
 
@@ -75,28 +91,57 @@ impl Shard {
         self.capacity.load(Ordering::Relaxed)
     }
 
-    /// Evicts LRU victims until the shard holds at most its capacity,
-    /// counting each eviction. Call with the shard lock held.
-    fn evict_to_capacity(&self, inner: &mut ShardInner, headroom: usize) {
+    /// Evicts LRU victims until the shard holds at most its capacity
+    /// minus `headroom`, counting each eviction. Pinned frames are
+    /// skipped. Dirty victims are written back through `disk` first —
+    /// with `disk` absent (infallible callers like
+    /// [`BufferPool::resize`]) dirty frames are skipped instead, so the
+    /// shard may transiently exceed capacity until the next flush. A
+    /// failed write-back leaves the victim cached and dirty and
+    /// propagates the error. Call with the shard lock held.
+    fn evict_to_capacity(
+        &self,
+        inner: &mut ShardInner,
+        headroom: usize,
+        disk: Option<&DiskManager>,
+    ) -> CfResult<()> {
         let limit = self.capacity().saturating_sub(headroom);
-        while inner.frames.len() > limit {
-            let (&victim_stamp, &victim) = match inner.lru.iter().next() {
-                Some(entry) => entry,
-                None => break,
-            };
-            inner.lru.remove(&victim_stamp);
-            inner.frames.remove(&victim);
+        let mut skipped = 0usize;
+        while inner.frames.len() - skipped > limit {
+            let victim = inner
+                .lru
+                .iter()
+                .map(|(&stamp, &id)| (stamp, id))
+                .nth(skipped);
+            let Some((stamp, id)) = victim else { break };
+            let frame = &inner.frames[&id];
+            if frame.pins > 0 {
+                skipped += 1;
+                continue;
+            }
+            if frame.dirty {
+                let Some(disk) = disk else {
+                    skipped += 1;
+                    continue;
+                };
+                disk.write_page(id, &frame.data)?;
+                self.writebacks.inc();
+            }
+            inner.lru.remove(&stamp);
+            inner.frames.remove(&id);
             self.evictions.inc();
         }
+        Ok(())
     }
 }
 
 /// A fixed-capacity page cache: per-shard LRU over independently locked
-/// shards.
+/// shards, with per-frame dirty bits ([`BufferPool::write_back`]) and
+/// group flushing ([`BufferPool::flush_all`]).
 ///
 /// Lookups go through [`BufferPool::with_page`], which hands the caller a
-/// borrowed view of the page bytes; there is no pinning API because the
-/// closure scope bounds the borrow.
+/// borrowed view of the page bytes; the frame is pinned for the closure's
+/// duration and the closure scope bounds the borrow.
 pub struct BufferPool {
     shards: Vec<Shard>,
     /// Bit mask selecting a shard from the page-id hash
@@ -184,7 +229,9 @@ impl BufferPool {
     /// the existing shards and evicting LRU victims from shards that
     /// shrank. Hit/miss/eviction counters survive (they describe
     /// history, not configuration); shrink-evictions are counted like
-    /// any other eviction.
+    /// any other eviction. Dirty frames are never dropped by a resize —
+    /// a shrunken shard may exceed its capacity until the next
+    /// [`BufferPool::flush_all`].
     ///
     /// # Panics
     ///
@@ -199,7 +246,8 @@ impl BufferPool {
         {
             shard.capacity.store(cap, Ordering::Relaxed);
             let mut inner = shard.inner.lock().expect("buffer shard poisoned");
-            shard.evict_to_capacity(&mut inner, 0);
+            // No disk: dirty frames are retained, so this cannot fail.
+            let _ = shard.evict_to_capacity(&mut inner, 0, None);
         }
     }
 
@@ -217,8 +265,9 @@ impl BufferPool {
     }
 
     /// Runs `f` over the bytes of page `id`, faulting it in from `disk`
-    /// on a miss (evicting the shard's least-recently-used frame if the
-    /// shard is full).
+    /// on a miss (evicting the shard's least-recently-used frame — with
+    /// write-back if it is dirty — if the shard is full). The frame is
+    /// pinned while `f` runs.
     ///
     /// Pages enter the cache only after the physical read verified
     /// their checksum, so buffer hits never re-verify; a failed read
@@ -239,11 +288,16 @@ impl BufferPool {
             tally::count_pool_hit();
             let old = frame.stamp;
             frame.stamp = stamp;
+            frame.pins += 1;
             inner.lru.remove(&old);
             inner.lru.insert(stamp, id);
             // Re-borrow immutably for the closure.
             let frame = &inner.frames[&id];
-            return Ok(f(&frame.data));
+            let out = f(&frame.data);
+            if let Some(frame) = inner.frames.get_mut(&id) {
+                frame.pins -= 1;
+            }
+            return Ok(out);
         }
 
         // Miss: the shard lock is held across the disk read, so two
@@ -251,21 +305,34 @@ impl BufferPool {
         // hit — misses always equal physical reads.
         shard.misses.inc();
         tally::count_pool_miss();
-        // Make room for the incoming frame (write-through pool: no
-        // writeback). The loop also absorbs a concurrent shrink.
-        shard.evict_to_capacity(&mut inner, 1);
+        // Make room for the incoming frame, writing back a dirty victim
+        // if that is what the LRU order serves up. The loop also absorbs
+        // a concurrent shrink.
+        shard.evict_to_capacity(&mut inner, 1, Some(disk))?;
         let mut data = Box::new([0u8; crate::PAGE_SIZE]);
         disk.read_page(id, &mut data)?;
         inner.lru.insert(stamp, id);
-        inner.frames.insert(id, Frame { data, stamp });
+        inner.frames.insert(
+            id,
+            Frame {
+                data,
+                stamp,
+                dirty: false,
+                pins: 0,
+            },
+        );
         Ok(f(&inner.frames[&id].data))
     }
 
     /// Writes a page through the cache to disk: the disk copy is
     /// written first, then the cached copy (if any) is updated in
-    /// place. If the disk write fails, any cached frame for the page is
-    /// invalidated — the disk may hold a torn image and the next read
-    /// must see the disk's truth (typically [`crate::CfError::Corrupt`]).
+    /// place (and marked clean). If the disk write fails, any cached
+    /// frame for the page is invalidated — the disk may hold a torn
+    /// image and the next read must see the disk's truth (typically
+    /// [`crate::CfError::Corrupt`]).
+    ///
+    /// Use this for pages whose durability *order* matters (commit
+    /// points); use [`BufferPool::write_back`] for bulk data.
     pub fn write_through(&self, disk: &DiskManager, id: PageId, buf: &PageBuf) -> CfResult<()> {
         match disk.write_page(id, buf) {
             Ok(()) => {
@@ -273,6 +340,7 @@ impl BufferPool {
                 let mut inner = shard.inner.lock().expect("buffer shard poisoned");
                 if let Some(frame) = inner.frames.get_mut(&id) {
                     frame.data.copy_from_slice(buf);
+                    frame.dirty = false;
                 }
                 Ok(())
             }
@@ -287,12 +355,124 @@ impl BufferPool {
         }
     }
 
-    /// Drops every cached frame (cold-cache benchmarking).
+    /// Writes a page into the cache only, marking the frame dirty. The
+    /// bytes reach disk when the frame is evicted or at the next
+    /// [`BufferPool::flush_all`] — until then a crash loses them, which
+    /// is the write-back contract: callers that need durability call
+    /// `flush_all` + `sync` (or use [`BufferPool::write_through`]).
+    ///
+    /// The page must already be allocated on `disk`; writing an
+    /// unallocated page is reported now (as the disk itself would)
+    /// rather than surfacing at some distant eviction.
+    pub fn write_back(&self, disk: &DiskManager, id: PageId, buf: &PageBuf) -> CfResult<()> {
+        if id.index() >= disk.num_pages() {
+            return Err(CfError::corrupt(
+                id,
+                format!(
+                    "buffered write to unallocated page (disk has {} pages)",
+                    disk.num_pages()
+                ),
+            ));
+        }
+        let shard = self.shard_of(id);
+        let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some(frame) = inner.frames.get_mut(&id) {
+            let old = frame.stamp;
+            frame.stamp = stamp;
+            frame.data.copy_from_slice(buf);
+            frame.dirty = true;
+            inner.lru.remove(&old);
+            inner.lru.insert(stamp, id);
+            return Ok(());
+        }
+        shard.evict_to_capacity(&mut inner, 1, Some(disk))?;
+        inner.lru.insert(stamp, id);
+        inner.frames.insert(
+            id,
+            Frame {
+                data: Box::new(*buf),
+                stamp,
+                dirty: true,
+                pins: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Writes every dirty frame to `disk` in ascending [`PageId`] order
+    /// — one seek pass over the file — marking each clean. Returns the
+    /// number of pages written. Callers wanting durability follow with
+    /// `disk.sync()` (the [`crate::StorageEngine::sync`] facade does).
+    ///
+    /// On a write failure the failed frame stays cached and dirty and
+    /// the error propagates; pages already flushed stay clean, so a
+    /// retry resumes where it stopped.
+    pub fn flush_all(&self, disk: &DiskManager) -> CfResult<usize> {
+        let mut dirty: Vec<PageId> = Vec::new();
+        for shard in &self.shards {
+            let inner = shard.inner.lock().expect("buffer shard poisoned");
+            dirty.extend(
+                inner
+                    .frames
+                    .iter()
+                    .filter(|(_, f)| f.dirty)
+                    .map(|(&id, _)| id),
+            );
+        }
+        dirty.sort_unstable();
+        let mut flushed = 0usize;
+        for id in dirty {
+            let shard = self.shard_of(id);
+            let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+            // Re-check under the lock: the frame may have been flushed
+            // by an eviction (or dropped) since the scan.
+            let Some(frame) = inner.frames.get_mut(&id) else {
+                continue;
+            };
+            if !frame.dirty {
+                continue;
+            }
+            disk.write_page(id, &frame.data)?;
+            frame.dirty = false;
+            shard.writebacks.inc();
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// Drops every *clean* cached frame (cold-cache benchmarking).
+    /// Dirty frames are retained — their bytes exist nowhere else; call
+    /// [`BufferPool::flush_all`] first for a truly empty pool (the
+    /// engine's `clear_cache` does).
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut inner = shard.inner.lock().expect("buffer shard poisoned");
-            inner.frames.clear();
+            let keep: Vec<(PageId, Frame)> = inner
+                .frames
+                .drain()
+                .filter(|(_, f)| f.dirty || f.pins > 0)
+                .collect();
             inner.lru.clear();
+            for (id, frame) in keep {
+                inner.lru.insert(frame.stamp, id);
+                inner.frames.insert(id, frame);
+            }
+        }
+    }
+
+    /// Drops any cached frames for the `n` pages starting at `id`,
+    /// dirty or not — for pages being freed, whose bytes must not
+    /// resurface from the cache after the disk reuses them.
+    pub fn invalidate_run(&self, id: PageId, n: usize) {
+        for offset in 0..n as u64 {
+            let page = PageId(id.0 + offset);
+            let shard = self.shard_of(page);
+            let mut inner = shard.inner.lock().expect("buffer shard poisoned");
+            if let Some(frame) = inner.frames.remove(&page) {
+                inner.lru.remove(&frame.stamp);
+            }
         }
     }
 
@@ -301,6 +481,22 @@ impl BufferPool {
         self.shards
             .iter()
             .map(|s| s.inner.lock().expect("buffer shard poisoned").frames.len())
+            .sum()
+    }
+
+    /// Number of cached pages holding bytes the disk does not have yet.
+    pub fn dirty_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .expect("buffer shard poisoned")
+                    .frames
+                    .values()
+                    .filter(|f| f.dirty)
+                    .count()
+            })
             .sum()
     }
 
@@ -318,6 +514,12 @@ impl BufferPool {
     /// by [`BufferPool::resize`].
     pub fn evictions(&self) -> u64 {
         self.shards.iter().map(|s| s.evictions.get()).sum()
+    }
+
+    /// Dirty pages written back to disk so far (by eviction or
+    /// [`BufferPool::flush_all`]), summed over shards.
+    pub fn writebacks(&self) -> u64 {
+        self.shards.iter().map(|s| s.writebacks.get()).sum()
     }
 
     /// Per-shard counters (capacity, cached frames, hits, misses,
@@ -347,6 +549,7 @@ impl BufferPool {
             shard.hits.reset();
             shard.misses.reset();
             shard.evictions.reset();
+            shard.writebacks.reset();
         }
     }
 }
@@ -677,5 +880,144 @@ mod tests {
             .expect_err("torn page is corrupt");
         assert!(err.is_corrupt());
         disk.clear_faults();
+    }
+
+    #[test]
+    fn write_back_defers_the_disk_write_until_flush() {
+        let disk = DiskManager::new();
+        let id = disk.allocate().expect("allocate");
+        let pool = BufferPool::new(4);
+
+        pool.write_back(&disk, id, &page_with_tag(5))
+            .expect("write");
+        assert_eq!(disk.writes(), 0, "no physical write yet");
+        assert_eq!(pool.dirty_pages(), 1);
+        // The cache serves the buffered bytes.
+        let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
+        assert_eq!(v, 5);
+        assert_eq!(disk.reads(), 0, "served from the dirty frame");
+
+        let flushed = pool.flush_all(&disk).expect("flush");
+        assert_eq!(flushed, 1);
+        assert_eq!(disk.writes(), 1);
+        assert_eq!(pool.dirty_pages(), 0);
+        assert_eq!(pool.writebacks(), 1);
+        // Idempotent: nothing left to flush.
+        assert_eq!(pool.flush_all(&disk).expect("flush"), 0);
+        // The disk really has the bytes.
+        pool.clear();
+        let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_the_victim_back() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..3).map(|_| disk.allocate().expect("allocate")).collect();
+        let pool = BufferPool::new(2);
+        assert_eq!(pool.num_shards(), 1);
+
+        pool.write_back(&disk, ids[0], &page_with_tag(10))
+            .expect("write");
+        pool.write_back(&disk, ids[1], &page_with_tag(11))
+            .expect("write");
+        assert_eq!(disk.writes(), 0);
+        // Third dirty page: the pool is full, so the LRU dirty victim
+        // (ids[0]) is written back to make room.
+        pool.write_back(&disk, ids[2], &page_with_tag(12))
+            .expect("write");
+        assert_eq!(disk.writes(), 1, "one write-back, not a drop");
+        assert_eq!(pool.writebacks(), 1);
+        assert_eq!(pool.evictions(), 1);
+        // Nothing was lost: every page reads back with its bytes.
+        for (i, &id) in ids.iter().enumerate() {
+            let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
+            assert_eq!(v, 10 + i as u8);
+        }
+    }
+
+    #[test]
+    fn flush_all_writes_in_ascending_page_order() {
+        use crate::Fault;
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..4).map(|_| disk.allocate().expect("allocate")).collect();
+        let pool = BufferPool::new(8);
+        // Dirty the pages in descending order; the flush must not
+        // follow insertion order.
+        for &id in ids.iter().rev() {
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 0x40 + id.0 as u8;
+            pool.write_back(&disk, id, &buf).expect("write");
+        }
+        // Fail the *second* write: with ascending order, exactly the
+        // lowest page id reaches the disk before the error.
+        disk.clear_faults();
+        disk.inject_fault(Fault::FailWrite { nth: 1 });
+        let err = pool.flush_all(&disk).expect_err("second write faults");
+        assert!(err.is_injected());
+        assert_eq!(disk.writes(), 2, "write 0 succeeded, write 1 faulted");
+        assert_eq!(pool.dirty_pages(), 3, "only the lowest page is clean");
+        disk.clear_faults();
+        // Retry resumes with the remaining dirty pages.
+        assert_eq!(pool.flush_all(&disk).expect("flush"), 3);
+        pool.clear();
+        for &id in &ids {
+            let v = pool.with_page(&disk, id, |p| p[0]).expect("read");
+            assert_eq!(v, 0x40 + id.0 as u8);
+        }
+    }
+
+    #[test]
+    fn clear_retains_dirty_frames() {
+        let disk = DiskManager::new();
+        let a = disk.allocate().expect("allocate");
+        let b = disk.allocate().expect("allocate");
+        let pool = BufferPool::new(4);
+        pool.with_page(&disk, a, |_| ()).expect("read"); // clean frame
+        pool.write_back(&disk, b, &page_with_tag(3)).expect("write");
+
+        pool.clear();
+        assert_eq!(pool.cached_pages(), 1, "clean dropped, dirty kept");
+        assert_eq!(pool.dirty_pages(), 1);
+        // The buffered bytes were not lost.
+        let v = pool.with_page(&disk, b, |p| p[0]).expect("read");
+        assert_eq!(v, 3);
+        // After a flush, clear really empties the pool.
+        pool.flush_all(&disk).expect("flush");
+        pool.clear();
+        assert_eq!(pool.cached_pages(), 0);
+    }
+
+    #[test]
+    fn invalidate_run_drops_frames_dirty_or_not() {
+        let disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..4).map(|_| disk.allocate().expect("allocate")).collect();
+        let pool = BufferPool::new(8);
+        pool.with_page(&disk, ids[0], |_| ()).expect("read");
+        pool.write_back(&disk, ids[1], &page_with_tag(1))
+            .expect("write");
+        pool.write_back(&disk, ids[3], &page_with_tag(3))
+            .expect("write");
+
+        pool.invalidate_run(ids[0], 3); // pages 0, 1, 2
+        assert_eq!(pool.cached_pages(), 1, "only page 3 remains");
+        assert_eq!(pool.dirty_pages(), 1);
+        // The invalidated dirty page never reaches the disk.
+        assert_eq!(pool.flush_all(&disk).expect("flush"), 1);
+        pool.clear();
+        let v = pool.with_page(&disk, ids[1], |p| p[0]).expect("read");
+        assert_eq!(v, 0, "freed page's buffered bytes were discarded");
+    }
+
+    #[test]
+    fn write_back_to_unallocated_page_is_reported_now() {
+        let disk = DiskManager::new();
+        let _ = disk.allocate().expect("allocate");
+        let pool = BufferPool::new(4);
+        let err = pool
+            .write_back(&disk, PageId(9), &page_with_tag(1))
+            .expect_err("unallocated");
+        assert!(err.is_corrupt());
+        assert_eq!(pool.dirty_pages(), 0);
     }
 }

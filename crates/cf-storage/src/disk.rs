@@ -1,5 +1,12 @@
-//! The simulated disk: an array of fixed-size pages with I/O accounting,
-//! per-page checksums, and deterministic fault injection.
+//! The disk: an array of fixed-size pages with I/O accounting, per-page
+//! checksums, free-space tracking and deterministic fault injection.
+//!
+//! Two backings share one page-level contract: a fully deterministic
+//! in-memory array (the default) and a real database file addressed by
+//! positional I/O, with an optional read-only mmap fast path. Pages
+//! freed by [`DiskManager::free_run`] are reused by
+//! [`DiskManager::allocate_run`] before the file grows (see
+//! [`crate::freelist`]'s module docs for the on-disk superblock).
 //!
 //! This file is on the on-disk decode path and is covered by the CI
 //! grep gate: no `panic!` / `unwrap` — every failure surfaces as a
@@ -8,6 +15,8 @@
 use crate::checksum;
 use crate::error::{CfError, CfResult, FaultOp};
 use crate::fault::{FaultInjector, FiredFault, ReadPlan, WritePlan};
+use crate::freelist::{FreeState, NUM_SLOTS, SLOT_SIZE};
+use crate::mmap::MmapRegion;
 use crate::stats::tally;
 use crate::Fault;
 use cf_obs::{Counter, Histogram, MetricsRegistry, Stopwatch};
@@ -35,13 +44,20 @@ impl PageId {
     }
 }
 
-/// An in-memory simulated disk.
+/// Sentinel "page" the freelist superblock commit claims its write
+/// ordinal under, so crash-safety tests can target the commit point
+/// with [`Fault::FailWrite`] / [`Fault::TornWrite`] like any other
+/// write. Never a real page id.
+pub const FSM_COMMIT_PAGE: PageId = PageId(u64::MAX);
+
+/// A paged disk with two interchangeable backings.
 ///
-/// Every physical page read and write is counted, and reads can be
-/// charged a configurable latency to model the I/O-bound 2002 testbed on
-/// RAM-resident modern hardware (a *documented substitution*, see
-/// DESIGN.md). Counters are atomic so concurrent readers do not contend
-/// on the page data lock for accounting.
+/// Every physical page read and write is counted. The **in-memory**
+/// backing can additionally charge a configurable latency per physical
+/// I/O (modelling the 2002 testbed's I/O cost on RAM-resident modern
+/// hardware — a *documented substitution*, see DESIGN.md §3); the
+/// **file** backing performs real I/O and never charges simulated
+/// latency on top of it.
 ///
 /// Every page carries an 8-byte sidecar checksum entry (see
 /// [`crate::checksum`]) updated on write and verified on every
@@ -51,8 +67,15 @@ impl PageId {
 pub struct DiskManager {
     backing: RwLock<Backing>,
     alloc_lock: Mutex<()>,
+    free: Mutex<FreeState>,
+    /// Read-only mapping of the data file (lazily created / remapped;
+    /// `None` until the first mmap read or after a file shrink).
+    map: RwLock<Option<MmapRegion>>,
+    use_mmap: bool,
     metrics: DiskMetrics,
+    /// Simulated per-read latency — Memory backing only.
     read_latency: Duration,
+    /// Simulated per-write latency — Memory backing only.
     write_latency: Duration,
     faults: FaultInjector,
 }
@@ -69,6 +92,11 @@ struct DiskMetrics {
     checksum_failures: Counter,
     faults_read: Counter,
     faults_write: Counter,
+    mmap_reads: Counter,
+    sidecar_backfilled: Counter,
+    sidecar_suspect: Counter,
+    pages_freed: Counter,
+    pages_reused: Counter,
     read_ns: Histogram,
     write_ns: Histogram,
 }
@@ -83,6 +111,11 @@ impl DiskMetrics {
             faults_read: registry.counter_with("storage_faults_injected_total", &[("op", "read")]),
             faults_write: registry
                 .counter_with("storage_faults_injected_total", &[("op", "write")]),
+            mmap_reads: registry.counter("storage_mmap_reads_total"),
+            sidecar_backfilled: registry.counter("storage_sidecar_backfilled_total"),
+            sidecar_suspect: registry.counter("storage_sidecar_suspect_total"),
+            pages_freed: registry.counter("storage_pages_freed_total"),
+            pages_reused: registry.counter("storage_pages_reused_total"),
             read_ns: registry.time_histogram("storage_disk_read_ns", &[]),
             write_ns: registry.time_histogram("storage_disk_write_ns", &[]),
             registry,
@@ -100,10 +133,12 @@ enum Backing {
     },
     /// A real file on disk: pages are 4 KiB slots addressed by
     /// `page_id * PAGE_SIZE` via positional I/O; checksum entries live
-    /// in a `<path>.crc` sidecar file, 8 bytes per page.
+    /// in a `<path>.crc` sidecar file, 8 bytes per page; the freelist
+    /// superblock lives in `<path>.fsm`.
     File {
         file: File,
         sums: File,
+        fsm: File,
         num_pages: usize,
     },
 }
@@ -134,7 +169,9 @@ impl DiskManager {
     /// The write wait happens *before* the page lock is taken, so
     /// concurrent writers overlap their simulated device time — which is
     /// what makes the parallel index-build pipeline's chunked record
-    /// writes scale in the disk-resident regime.
+    /// writes scale in the disk-resident regime. Simulated latency is a
+    /// property of the **in-memory** backing only; the file backing
+    /// pays its real device cost instead (see [`DiskManager::open_file`]).
     pub fn with_latency(read_latency: Duration, write_latency: Duration) -> Self {
         Self::with_latency_on(
             read_latency,
@@ -157,6 +194,9 @@ impl DiskManager {
                 sums: Vec::new(),
             }),
             alloc_lock: Mutex::new(()),
+            free: Mutex::new(FreeState::default()),
+            map: RwLock::new(None),
+            use_mmap: false,
             metrics: DiskMetrics::wire(registry),
             read_latency,
             write_latency,
@@ -167,25 +207,40 @@ impl DiskManager {
     /// Opens (or creates) a disk backed by a real file.
     ///
     /// An existing file's pages are preserved: `num_pages` is derived
-    /// from its length (rounded down to whole pages), so a database file
-    /// can be reopened across processes. Page-level persistence only —
-    /// callers keep their own catalog of what lives where (see the
-    /// `file_backed_db` integration test).
+    /// from its length, so a database file can be reopened across
+    /// processes. A length that is not a whole number of pages (the
+    /// signature of an append torn by a crash) is **rejected** as
+    /// [`CfError::Corrupt`] instead of silently losing the ragged tail.
+    /// Page-level persistence only — callers keep their own catalog of
+    /// what lives where (see the `file_backed_db` integration test).
     ///
-    /// Checksums live in a `<path>.crc` sidecar; a pre-existing data
-    /// file without one (or with a shorter one, e.g. written by an
-    /// older build) has the missing entries backfilled from the page
-    /// bytes currently on disk.
-    pub fn open_file(path: impl AsRef<Path>, read_latency: Duration) -> CfResult<Self> {
-        Self::open_file_on(path, read_latency, Arc::new(MetricsRegistry::new()))
+    /// Checksums live in a `<path>.crc` sidecar and the page freelist
+    /// in a `<path>.fsm` superblock. A data file with **no** sidecar at
+    /// all (written by an older build) has every entry backfilled from
+    /// the page bytes currently on disk — trust on first use. A sidecar
+    /// that is merely *shorter* than the data file is different: the
+    /// missing tail could be a crash between a data write and its
+    /// checksum update, so only provably-fresh (all-zero, as `set_len`
+    /// extension leaves them) pages are blessed; the rest get a poisoned
+    /// entry that fails verification on read, and are counted in
+    /// `storage_sidecar_suspect_total`.
+    ///
+    /// The file backing never charges simulated latency — real I/O is
+    /// its own cost model. (Simulated latency remains available on the
+    /// in-memory backing via [`DiskManager::with_latency`].)
+    pub fn open_file(path: impl AsRef<Path>) -> CfResult<Self> {
+        Self::open_file_on(path, Arc::new(MetricsRegistry::new()), false)
     }
 
     /// Like [`DiskManager::open_file`], publishing counters into the
-    /// caller's registry.
+    /// caller's registry; `use_mmap` enables the read-only mmap fast
+    /// path for physical page reads (checksum-verified like any other
+    /// physical read, falling back to positional I/O if the kernel
+    /// refuses the mapping).
     pub fn open_file_on(
         path: impl AsRef<Path>,
-        read_latency: Duration,
         registry: Arc<MetricsRegistry>,
+        use_mmap: bool,
     ) -> CfResult<Self> {
         let path = path.as_ref();
         let file = File::options()
@@ -198,7 +253,19 @@ impl DiskManager {
         let meta = file
             .metadata()
             .map_err(|e| CfError::io("reading database file metadata", e))?;
-        let num_pages = (meta.len() as usize) / PAGE_SIZE;
+        let len = meta.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(CfError::corrupt(
+                PageId(len / PAGE_SIZE as u64),
+                format!(
+                    "database file length {len} is not a whole number of {PAGE_SIZE}-byte pages \
+                     ({} ragged tail bytes — likely an append torn by a crash); refusing to \
+                     silently drop the tail",
+                    len % PAGE_SIZE as u64
+                ),
+            ));
+        }
+        let num_pages = (len / PAGE_SIZE as u64) as usize;
 
         let mut sums_path = path.as_os_str().to_owned();
         sums_path.push(".crc");
@@ -214,25 +281,87 @@ impl DiskManager {
             .map_err(|e| CfError::io("reading checksum sidecar metadata", e))?;
         let have = (sums_meta.len() as usize) / checksum::ENTRY_SIZE;
 
+        let metrics = DiskMetrics::wire(registry);
+
         // Backfill entries for pages the sidecar does not cover yet.
         let mut buf: PageBuf = [0u8; PAGE_SIZE];
-        for idx in have..num_pages {
-            file.read_exact_at(&mut buf, (idx * PAGE_SIZE) as u64)
-                .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
-            let entry = checksum::page_entry(&buf);
-            sums.write_all_at(&entry.to_le_bytes(), (idx * checksum::ENTRY_SIZE) as u64)
-                .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
+        if have == 0 && num_pages > 0 {
+            // Legacy file with no sidecar at all: no crash can have
+            // raced a checksum scheme that didn't exist yet, so trust
+            // the bytes on first use and checksum them as-is.
+            for idx in 0..num_pages {
+                file.read_exact_at(&mut buf, (idx * PAGE_SIZE) as u64)
+                    .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
+                let entry = checksum::page_entry(&buf);
+                sums.write_all_at(&entry.to_le_bytes(), (idx * checksum::ENTRY_SIZE) as u64)
+                    .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
+                metrics.sidecar_backfilled.inc();
+            }
+        } else {
+            // The sidecar exists but stops short of the data file: the
+            // gap may be a crash between a data write and its checksum
+            // update. Bless only pages that are provably fresh (all
+            // zero, as `set_len` extension leaves them); poison the
+            // rest so reads report the uncertainty instead of blessing
+            // possibly-torn bytes.
+            for idx in have..num_pages {
+                file.read_exact_at(&mut buf, (idx * PAGE_SIZE) as u64)
+                    .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
+                let (entry, counter) = if buf.iter().all(|&b| b == 0) {
+                    (checksum::zero_page_entry(), &metrics.sidecar_backfilled)
+                } else {
+                    (0u64, &metrics.sidecar_suspect)
+                };
+                sums.write_all_at(&entry.to_le_bytes(), (idx * checksum::ENTRY_SIZE) as u64)
+                    .map_err(|e| CfError::io("backfilling checksum sidecar", e))?;
+                counter.inc();
+            }
         }
+
+        // Recover the freelist from the two-slot superblock: highest
+        // valid epoch wins; a torn commit fails its CRC and the other
+        // slot (the previous epoch) carries on.
+        let mut fsm_path = path.as_os_str().to_owned();
+        fsm_path.push(".fsm");
+        let fsm = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&fsm_path)
+            .map_err(|e| CfError::io("opening freelist superblock file", e))?;
+        let mut free = FreeState::default();
+        let mut slot = Box::new([0u8; SLOT_SIZE]);
+        for slot_idx in 0..NUM_SLOTS {
+            if fsm
+                .read_exact_at(&mut slot[..], (slot_idx * SLOT_SIZE) as u64)
+                .is_err()
+            {
+                continue; // unwritten slot
+            }
+            if let Some((epoch, runs)) = FreeState::decode_slot(&slot) {
+                if free.runs.is_empty() && free.epoch == 0 || epoch > free.epoch {
+                    free = FreeState { runs, epoch };
+                }
+            }
+        }
+        // A crash between a superblock commit and the file truncate it
+        // announced can leave runs past the end of file; clamp them.
+        free.clamp_to(num_pages as u64);
 
         Ok(Self {
             backing: RwLock::new(Backing::File {
                 file,
                 sums,
+                fsm,
                 num_pages,
             }),
             alloc_lock: Mutex::new(()),
-            metrics: DiskMetrics::wire(registry),
-            read_latency,
+            free: Mutex::new(free),
+            map: RwLock::new(None),
+            use_mmap,
+            metrics,
+            read_latency: Duration::ZERO,
             write_latency: Duration::ZERO,
             faults: FaultInjector::new(),
         })
@@ -243,11 +372,15 @@ impl DiskManager {
     pub fn sync(&self) -> CfResult<()> {
         match &*self.backing.read().expect("disk lock poisoned") {
             Backing::Memory { .. } => Ok(()),
-            Backing::File { file, sums, .. } => {
+            Backing::File {
+                file, sums, fsm, ..
+            } => {
                 file.sync_data()
                     .map_err(|e| CfError::io("syncing database file", e))?;
                 sums.sync_data()
-                    .map_err(|e| CfError::io("syncing checksum sidecar", e))
+                    .map_err(|e| CfError::io("syncing checksum sidecar", e))?;
+                fsm.sync_data()
+                    .map_err(|e| CfError::io("syncing freelist superblock", e))
             }
         }
     }
@@ -263,7 +396,9 @@ impl DiskManager {
     }
 
     /// Physical `(reads, writes)` in the fault-ordinal space — counted
-    /// since the last [`DiskManager::clear_faults`].
+    /// since the last [`DiskManager::clear_faults`]. Freelist
+    /// superblock commits claim write ordinals here (against
+    /// [`FSM_COMMIT_PAGE`]) without counting as page writes.
     pub fn fault_ops(&self) -> (u64, u64) {
         self.faults.ops()
     }
@@ -276,9 +411,29 @@ impl DiskManager {
     /// Allocates `n` consecutive pages, returning the id of the first.
     ///
     /// Consecutive allocation is what makes subfield record ranges
-    /// physically contiguous.
+    /// physically contiguous. Freed runs (see [`DiskManager::free_run`])
+    /// are reused best-fit before the file grows; reused pages are
+    /// zeroed first, so every allocation reads back as fresh zeroes.
     pub fn allocate_run(&self, n: usize) -> CfResult<PageId> {
         let _guard = self.alloc_lock.lock().expect("disk lock poisoned");
+        if n > 0 {
+            // Serve from the freelist first. The superblock is
+            // persisted *before* the pages are handed out: a crash
+            // right after the commit leaks the run (the caller never
+            // learned of it), but can never double-allocate it.
+            let mut free = self.free.lock().expect("freelist lock poisoned");
+            let snapshot = free.runs.clone();
+            if let Some(start) = free.take_best_fit(n as u64) {
+                if let Err(e) = self.persist_freelist(&mut free) {
+                    free.runs = snapshot;
+                    return Err(e);
+                }
+                drop(free);
+                self.zero_run(start, n)?;
+                self.metrics.pages_reused.add(n as u64);
+                return Ok(PageId(start));
+            }
+        }
         let mut backing = self.backing.write().expect("disk lock poisoned");
         match &mut *backing {
             Backing::Memory { pages, sums } => {
@@ -291,6 +446,7 @@ impl DiskManager {
                 file,
                 sums,
                 num_pages,
+                ..
             } => {
                 let id = PageId(*num_pages as u64);
                 let first = *num_pages;
@@ -310,9 +466,207 @@ impl DiskManager {
         }
     }
 
+    /// Returns one page to the freelist. See [`DiskManager::free_run`].
+    pub fn free_page(&self, id: PageId) -> CfResult<()> {
+        self.free_run(id, 1)
+    }
+
+    /// Returns `n` consecutive pages starting at `id` to the freelist.
+    ///
+    /// Freed pages are reused by later [`DiskManager::allocate_run`]
+    /// calls; a freed run ending at the current end of file shrinks the
+    /// data file (and its sidecars) instead. On the file backing the
+    /// freelist superblock is committed (shadow-paged, epoch + CRC)
+    /// before the in-memory state is considered changed — a crash
+    /// during the commit falls back to the previous epoch and at worst
+    /// leaks the run.
+    ///
+    /// Freeing is a contract, not a fence: the caller promises nothing
+    /// references the run anymore. Reading a freed-but-unreused page is
+    /// a caller bug (its content is unspecified until reallocation
+    /// zeroes it).
+    ///
+    /// # Errors
+    ///
+    /// [`CfError::Corrupt`] if the run extends past the allocated page
+    /// count or overlaps an already-free run (double free);
+    /// [`CfError::Io`]/[`CfError::Injected`] if the superblock commit
+    /// or file truncate fails (the freelist is then unchanged).
+    pub fn free_run(&self, id: PageId, n: usize) -> CfResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        let _guard = self.alloc_lock.lock().expect("disk lock poisoned");
+        let total = self.num_pages() as u64;
+        let end = match id.0.checked_add(n as u64) {
+            Some(end) if end <= total => end,
+            _ => {
+                return Err(CfError::corrupt(
+                    id,
+                    format!("free of unallocated pages (run of {n} pages, disk has {total})"),
+                ))
+            }
+        };
+        let mut free = self.free.lock().expect("freelist lock poisoned");
+        let snapshot = free.runs.clone();
+        if !free.insert_run(id.0, n as u64) {
+            return Err(CfError::corrupt(
+                id,
+                format!("double free: run of {n} pages ending at {end} overlaps a free run"),
+            ));
+        }
+        // A free run ending at EOF truncates the file instead of
+        // lingering on the freelist: commit the superblock *without*
+        // it, then shrink. A crash in between leaks the tail pages
+        // (file longer than anything references) — never corrupts.
+        let new_tail = free.pop_tail_run(total);
+        if let Err(e) = self.persist_freelist(&mut free) {
+            free.runs = snapshot;
+            return Err(e);
+        }
+        drop(free);
+        if let Some(new_num) = new_tail {
+            let mut backing = self.backing.write().expect("disk lock poisoned");
+            match &mut *backing {
+                Backing::Memory { pages, sums } => {
+                    pages.truncate(new_num as usize);
+                    sums.truncate(new_num as usize);
+                }
+                Backing::File {
+                    file,
+                    sums,
+                    num_pages,
+                    ..
+                } => {
+                    file.set_len(new_num * PAGE_SIZE as u64)
+                        .map_err(|e| CfError::io("truncating database file", e))?;
+                    sums.set_len(new_num * checksum::ENTRY_SIZE as u64)
+                        .map_err(|e| CfError::io("truncating checksum sidecar", e))?;
+                    *num_pages = new_num as usize;
+                }
+            }
+            drop(backing);
+            // A shrunk file invalidates any longer mapping.
+            *self.map.write().expect("mmap lock poisoned") = None;
+        }
+        self.metrics.pages_freed.add(n as u64);
+        Ok(())
+    }
+
+    /// Total pages currently on the freelist (excluding pages returned
+    /// to the OS by tail truncation).
+    pub fn free_pages(&self) -> usize {
+        self.free
+            .lock()
+            .expect("freelist lock poisoned")
+            .total_free() as usize
+    }
+
+    /// Commits the freelist superblock (file backing; no-op in memory).
+    /// Claims a write ordinal against [`FSM_COMMIT_PAGE`] so the commit
+    /// point is crash-testable, but does not count as a page write.
+    /// Bumps `fs.epoch` on success only.
+    fn persist_freelist(&self, fs: &mut FreeState) -> CfResult<()> {
+        // Bound the state to one slot; overflow leaks the smallest runs.
+        let _ = fs.truncate_to_capacity();
+        let backing = self.backing.read().expect("disk lock poisoned");
+        let Backing::File { fsm, .. } = &*backing else {
+            return Ok(());
+        };
+        let epoch = fs.epoch + 1;
+        let slot = fs.encode_slot(epoch);
+        let offset = ((epoch % NUM_SLOTS as u64) as usize * SLOT_SIZE) as u64;
+        let plan = self.faults.plan_write(FSM_COMMIT_PAGE);
+        if !matches!(plan, WritePlan::Proceed) {
+            self.metrics.faults_write.inc();
+        }
+        match plan {
+            WritePlan::Fail(ordinal) => {
+                return Err(CfError::Injected {
+                    op: FaultOp::Write,
+                    ordinal,
+                })
+            }
+            WritePlan::Torn { keep, ordinal } => {
+                let keep = keep.min(SLOT_SIZE);
+                fsm.write_all_at(&slot[..keep], offset)
+                    .map_err(|e| CfError::io("committing freelist superblock", e))?;
+                return Err(CfError::Injected {
+                    op: FaultOp::Write,
+                    ordinal,
+                });
+            }
+            WritePlan::Proceed => {}
+        }
+        fsm.write_all_at(&slot[..], offset)
+            .map_err(|e| CfError::io("committing freelist superblock", e))?;
+        fs.epoch = epoch;
+        Ok(())
+    }
+
+    /// Zeroes a reclaimed run's pages and sidecar entries so the
+    /// allocation contract (fresh pages read as zeroes) holds for
+    /// reused pages too.
+    fn zero_run(&self, start: u64, n: usize) -> CfResult<()> {
+        let mut backing = self.backing.write().expect("disk lock poisoned");
+        match &mut *backing {
+            Backing::Memory { pages, sums } => {
+                for i in start as usize..start as usize + n {
+                    pages[i].fill(0);
+                    sums[i] = checksum::zero_page_entry();
+                }
+                Ok(())
+            }
+            Backing::File { file, sums, .. } => {
+                let zero: PageBuf = [0u8; PAGE_SIZE];
+                let mut entries = Vec::with_capacity(n * checksum::ENTRY_SIZE);
+                for i in start as usize..start as usize + n {
+                    file.write_all_at(&zero, (i * PAGE_SIZE) as u64)
+                        .map_err(|e| CfError::io("zeroing reclaimed pages", e))?;
+                    entries.extend_from_slice(&checksum::zero_page_entry().to_le_bytes());
+                }
+                sums.write_all_at(&entries, (start as usize * checksum::ENTRY_SIZE) as u64)
+                    .map_err(|e| CfError::io("zeroing reclaimed checksum entries", e))
+            }
+        }
+    }
+
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
         self.backing.read().expect("disk lock poisoned").num_pages()
+    }
+
+    /// Serves a file-backed physical read from the shared read-only
+    /// mapping, (re)mapping on demand. `false` means "use positional
+    /// I/O instead" — never an error. Called with the backing lock held
+    /// (shared), which is what makes the copy race-free against writes
+    /// and truncation.
+    fn read_via_mmap(&self, file: &File, id: PageId, buf: &mut PageBuf, file_pages: usize) -> bool {
+        let offset = id.index() * PAGE_SIZE;
+        {
+            let map = self.map.read().expect("mmap lock poisoned");
+            if let Some(region) = &*map {
+                if region.copy_into(offset, buf) {
+                    return true;
+                }
+            }
+        }
+        // Mapping absent or too short (the file has grown): remap.
+        let mut map = self.map.write().expect("mmap lock poisoned");
+        if let Some(region) = &*map {
+            if region.copy_into(offset, buf) {
+                return true; // another thread remapped first
+            }
+        }
+        let file_len = file_pages * PAGE_SIZE;
+        if offset + PAGE_SIZE <= file_len {
+            if let Some(region) = MmapRegion::map(file, file_len) {
+                let ok = region.copy_into(offset, buf);
+                *map = Some(region);
+                return ok;
+            }
+        }
+        false
     }
 
     /// Reads a page into `buf`, counting one physical read and
@@ -356,9 +710,19 @@ impl DiskManager {
                     buf.copy_from_slice(&pages[id.index()][..]);
                     sums[id.index()]
                 }
-                Backing::File { file, sums, .. } => {
-                    file.read_exact_at(buf, (id.index() * PAGE_SIZE) as u64)
-                        .map_err(|e| CfError::io(format!("reading page {}", id.0), e))?;
+                Backing::File {
+                    file,
+                    sums,
+                    num_pages,
+                    ..
+                } => {
+                    let mapped = self.use_mmap && self.read_via_mmap(file, id, buf, *num_pages);
+                    if mapped {
+                        self.metrics.mmap_reads.inc();
+                    } else {
+                        file.read_exact_at(buf, (id.index() * PAGE_SIZE) as u64)
+                            .map_err(|e| CfError::io(format!("reading page {}", id.0), e))?;
+                    }
                     let mut entry = [0u8; checksum::ENTRY_SIZE];
                     sums.read_exact_at(&mut entry, (id.index() * checksum::ENTRY_SIZE) as u64)
                         .map_err(|e| {
@@ -520,6 +884,22 @@ fn wait_for(d: Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "cf_disk_{tag}_{}_{:?}.db",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn cleanup(path: &std::path::Path) {
+        for suffix in ["", ".crc", ".fsm"] {
+            let mut p = path.as_os_str().to_owned();
+            p.push(suffix);
+            let _ = std::fs::remove_file(std::path::PathBuf::from(p));
+        }
+    }
 
     #[test]
     fn allocate_and_round_trip() {
@@ -699,27 +1079,19 @@ mod tests {
 
     #[test]
     fn file_backing_persists_checksums_across_reopen() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!(
-            "cf_disk_crc_test_{}_{:?}.db",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_file(&path);
-        let mut crc_path = path.clone().into_os_string();
-        crc_path.push(".crc");
-        let _ = std::fs::remove_file(&crc_path);
+        let path = temp_path("crc");
+        cleanup(&path);
 
         let mut buf = [0u8; PAGE_SIZE];
         buf[7] = 0x77;
         {
-            let disk = DiskManager::open_file(&path, Duration::ZERO).expect("open");
+            let disk = DiskManager::open_file(&path).expect("open");
             let id = disk.allocate().expect("allocate");
             disk.write_page(id, &buf).expect("write");
             disk.sync().expect("sync");
         }
         {
-            let disk = DiskManager::open_file(&path, Duration::ZERO).expect("reopen");
+            let disk = DiskManager::open_file(&path).expect("reopen");
             assert_eq!(disk.num_pages(), 1);
             let mut out = [0u8; PAGE_SIZE];
             disk.read_page(PageId(0), &mut out)
@@ -733,7 +1105,7 @@ mod tests {
             f.sync_data().expect("sync");
         }
         {
-            let disk = DiskManager::open_file(&path, Duration::ZERO).expect("reopen");
+            let disk = DiskManager::open_file(&path).expect("reopen");
             let mut out = [0u8; PAGE_SIZE];
             let err = disk
                 .read_page(PageId(0), &mut out)
@@ -741,22 +1113,13 @@ mod tests {
             assert!(err.is_corrupt());
             assert_eq!(err.page(), Some(PageId(0)));
         }
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_file(&crc_path);
+        cleanup(&path);
     }
 
     #[test]
     fn legacy_file_without_sidecar_is_backfilled() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!(
-            "cf_disk_backfill_test_{}_{:?}.db",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_file(&path);
-        let mut crc_path = path.clone().into_os_string();
-        crc_path.push(".crc");
-        let _ = std::fs::remove_file(&crc_path);
+        let path = temp_path("backfill");
+        cleanup(&path);
 
         // Write a raw page image with no sidecar, as an older build
         // would have.
@@ -772,13 +1135,313 @@ mod tests {
             f.write_all_at(&buf, 0).expect("raw write");
             f.sync_data().expect("sync");
         }
-        let disk = DiskManager::open_file(&path, Duration::ZERO).expect("open backfills");
+        let disk = DiskManager::open_file(&path).expect("open backfills");
         let mut out = [0u8; PAGE_SIZE];
         disk.read_page(PageId(0), &mut out)
             .expect("backfilled page verifies");
         assert_eq!(out[100], 0x42);
+        assert_eq!(
+            disk.metrics()
+                .counter_total("storage_sidecar_backfilled_total"),
+            1
+        );
 
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_file(&crc_path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn ragged_file_length_is_reported_not_rounded_away() {
+        let path = temp_path("ragged");
+        cleanup(&path);
+
+        // A page and a half: the half is a torn append.
+        {
+            let f = File::options()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .expect("raw create");
+            f.set_len(PAGE_SIZE as u64 + 1000).expect("set_len");
+            f.sync_data().expect("sync");
+        }
+        let err = DiskManager::open_file(&path)
+            .map(|_| ())
+            .expect_err("ragged tail must be surfaced");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(PageId(1)), "the torn tail page");
+        assert!(err.to_string().contains("ragged tail"), "{err}");
+
+        cleanup(&path);
+    }
+
+    #[test]
+    fn short_sidecar_blesses_only_provably_fresh_pages() {
+        let path = temp_path("suspect");
+        cleanup(&path);
+
+        // Build a 1-page database normally, so the sidecar covers page 0…
+        {
+            let disk = DiskManager::open_file(&path).expect("open");
+            let id = disk.allocate().expect("allocate");
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 0x11;
+            disk.write_page(id, &buf).expect("write");
+            disk.sync().expect("sync");
+        }
+        // …then grow the data file behind the sidecar's back: page 1
+        // all-zero (as a crashed `set_len` extension leaves it), page 2
+        // carrying bytes whose checksum was never recorded — the shape
+        // of a crash between a data write and its sidecar update.
+        {
+            let f = File::options().write(true).open(&path).expect("raw open");
+            f.set_len(3 * PAGE_SIZE as u64).expect("grow");
+            let mut torn = [0u8; PAGE_SIZE];
+            torn[50] = 0x99;
+            f.write_all_at(&torn, 2 * PAGE_SIZE as u64).expect("write");
+            f.sync_data().expect("sync");
+        }
+        let disk = DiskManager::open_file(&path).expect("reopen");
+        assert_eq!(disk.num_pages(), 3);
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(PageId(0), &mut out).expect("covered page");
+        assert_eq!(out[0], 0x11);
+        disk.read_page(PageId(1), &mut out)
+            .expect("all-zero page is provably fresh");
+        let err = disk
+            .read_page(PageId(2), &mut out)
+            .expect_err("unproven bytes must not be blessed");
+        assert!(err.is_corrupt());
+        assert_eq!(err.page(), Some(PageId(2)));
+        assert_eq!(
+            disk.metrics()
+                .counter_total("storage_sidecar_suspect_total"),
+            1
+        );
+        // Rewriting the suspect page re-establishes its checksum.
+        let fresh = [0x55u8; PAGE_SIZE];
+        disk.write_page(PageId(2), &fresh).expect("rewrite");
+        disk.read_page(PageId(2), &mut out).expect("verifies again");
+        assert_eq!(out[0], 0x55);
+
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_data_write_is_caught_across_reopen() {
+        let path = temp_path("torn_reopen");
+        cleanup(&path);
+        {
+            let disk = DiskManager::open_file(&path).expect("open");
+            let id = disk.allocate().expect("allocate");
+            let mut buf = [0u8; PAGE_SIZE];
+            buf.fill(0x3C);
+            disk.write_page(id, &buf).expect("write");
+            // "Crash" between the data write and the sidecar update:
+            // the full page image lands, the checksum entry does not.
+            disk.clear_faults();
+            disk.inject_fault(Fault::TornWrite {
+                nth: 0,
+                keep: PAGE_SIZE,
+            });
+            buf.fill(0xC3);
+            let err = disk.write_page(id, &buf).expect_err("torn write");
+            assert!(err.is_injected());
+            disk.sync().expect("sync");
+        }
+        let disk = DiskManager::open_file(&path).expect("reopen");
+        let mut out = [0u8; PAGE_SIZE];
+        let err = disk
+            .read_page(PageId(0), &mut out)
+            .expect_err("stale checksum exposes the torn write");
+        assert!(err.is_corrupt());
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn freed_pages_are_reused_before_the_file_grows() {
+        let disk = DiskManager::new();
+        let first = disk.allocate_run(10).expect("allocate");
+        assert_eq!(first, PageId(0));
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAA;
+        disk.write_page(PageId(4), &buf).expect("write");
+
+        disk.free_run(PageId(3), 3).expect("free");
+        assert_eq!(disk.free_pages(), 3);
+
+        // Best fit: the 2-page request carves the 3-page hole.
+        let reused = disk.allocate_run(2).expect("reuse");
+        assert_eq!(reused, PageId(3));
+        assert_eq!(disk.free_pages(), 1);
+        assert_eq!(disk.num_pages(), 10, "no growth");
+        // Reused pages read back as fresh zeroes, not stale bytes.
+        let mut out = [0xFFu8; PAGE_SIZE];
+        disk.read_page(PageId(4), &mut out).expect("read reused");
+        assert!(out.iter().all(|&b| b == 0));
+
+        // A request too big for the hole appends instead.
+        let appended = disk.allocate_run(4).expect("append");
+        assert_eq!(appended, PageId(10));
+        assert_eq!(disk.num_pages(), 14);
+    }
+
+    #[test]
+    fn tail_free_shrinks_the_disk() {
+        let disk = DiskManager::new();
+        let _ = disk.allocate_run(8).expect("allocate");
+        disk.free_run(PageId(2), 2).expect("free interior");
+        disk.free_run(PageId(6), 2).expect("free tail");
+        // The tail run is gone entirely; the interior hole remains.
+        assert_eq!(disk.num_pages(), 6);
+        assert_eq!(disk.free_pages(), 2);
+        // Freeing the pages between the interior hole and the end
+        // coalesces with it, so the whole tail run truncates away.
+        disk.free_run(PageId(4), 2).expect("free new tail");
+        assert_eq!(disk.num_pages(), 2);
+        assert_eq!(disk.free_pages(), 0);
+    }
+
+    #[test]
+    fn double_free_and_out_of_range_free_are_rejected() {
+        let disk = DiskManager::new();
+        let _ = disk.allocate_run(4).expect("allocate");
+        disk.free_run(PageId(1), 2).expect("free");
+        let err = disk.free_run(PageId(2), 1).expect_err("double free");
+        assert!(err.is_corrupt());
+        assert!(err.to_string().contains("double free"), "{err}");
+        let err = disk.free_run(PageId(3), 5).expect_err("past the end");
+        assert!(err.is_corrupt());
+        assert_eq!(disk.free_pages(), 2, "failed frees change nothing");
+    }
+
+    #[test]
+    fn freelist_survives_reopen_on_file_backing() {
+        let path = temp_path("fsm");
+        cleanup(&path);
+        {
+            let disk = DiskManager::open_file(&path).expect("open");
+            let _ = disk.allocate_run(10).expect("allocate");
+            let buf = [0x5Au8; PAGE_SIZE];
+            disk.write_page(PageId(9), &buf).expect("pin the tail");
+            disk.free_run(PageId(2), 4).expect("free");
+            disk.sync().expect("sync");
+            assert_eq!(disk.free_pages(), 4);
+        }
+        {
+            let disk = DiskManager::open_file(&path).expect("reopen");
+            assert_eq!(disk.num_pages(), 10);
+            assert_eq!(disk.free_pages(), 4, "freelist recovered");
+            let reused = disk.allocate_run(4).expect("reuse");
+            assert_eq!(reused, PageId(2));
+            assert_eq!(disk.num_pages(), 10, "hole reused, no growth");
+        }
+        {
+            let disk = DiskManager::open_file(&path).expect("reopen again");
+            assert_eq!(disk.free_pages(), 0, "reuse was committed");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_superblock_commit_falls_back_to_previous_epoch() {
+        let path = temp_path("fsm_torn");
+        cleanup(&path);
+        {
+            let disk = DiskManager::open_file(&path).expect("open");
+            let _ = disk.allocate_run(10).expect("allocate");
+            let buf = [0x77u8; PAGE_SIZE];
+            disk.write_page(PageId(9), &buf).expect("pin the tail");
+            disk.free_run(PageId(1), 2).expect("free (epoch 1)");
+
+            // Tear the next superblock commit mid-run-entry (keep = 40
+            // lands inside the first run pair, so the stored CRC cannot
+            // match the truncated payload).
+            disk.clear_faults();
+            disk.inject_fault(Fault::TornWrite { nth: 0, keep: 40 });
+            let err = disk
+                .free_run(PageId(5), 2)
+                .expect_err("torn commit must surface");
+            assert!(err.is_injected());
+            assert_eq!(disk.free_pages(), 2, "in-memory state rolled back");
+            disk.clear_faults();
+            disk.sync().expect("sync");
+        }
+        {
+            let disk = DiskManager::open_file(&path).expect("reopen");
+            // The torn slot fails its CRC; epoch 1 (with one 2-page
+            // run) carries on.
+            assert_eq!(disk.free_pages(), 2, "previous epoch recovered");
+            let reused = disk.allocate_run(2).expect("reuse");
+            assert_eq!(reused, PageId(1));
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn failed_superblock_commit_rolls_back_allocation() {
+        let path = temp_path("fsm_fail");
+        cleanup(&path);
+        let disk = DiskManager::open_file(&path).expect("open");
+        let _ = disk.allocate_run(6).expect("allocate");
+        let buf = [0x11u8; PAGE_SIZE];
+        disk.write_page(PageId(5), &buf).expect("pin the tail");
+        disk.free_run(PageId(1), 3).expect("free");
+
+        disk.clear_faults();
+        disk.inject_fault(Fault::FailWrite { nth: 0 });
+        let err = disk.allocate_run(2).expect_err("commit fails");
+        assert!(err.is_injected());
+        assert_eq!(disk.free_pages(), 3, "hole back on the freelist");
+        disk.clear_faults();
+        let reused = disk.allocate_run(2).expect("retry succeeds");
+        assert_eq!(reused, PageId(1));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn mmap_reads_match_positional_reads() {
+        let path = temp_path("mmap");
+        cleanup(&path);
+        let registry = Arc::new(MetricsRegistry::new());
+        let disk = DiskManager::open_file_on(&path, Arc::clone(&registry), true).expect("open");
+        let n = 20usize;
+        let _ = disk.allocate_run(n).expect("allocate");
+        for i in 0..n {
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = i as u8;
+            buf[PAGE_SIZE - 1] = (n - i) as u8;
+            disk.write_page(PageId(i as u64), &buf).expect("write");
+        }
+        for i in 0..n {
+            let mut out = [0u8; PAGE_SIZE];
+            disk.read_page(PageId(i as u64), &mut out).expect("read");
+            assert_eq!(out[0], i as u8);
+            assert_eq!(out[PAGE_SIZE - 1], (n - i) as u8);
+        }
+        assert!(
+            registry.counter_total("storage_mmap_reads_total") > 0,
+            "the mmap path actually served reads"
+        );
+        // Growth after mapping: new pages are served too (remap).
+        let id = disk.allocate().expect("grow");
+        let buf = [0xEEu8; PAGE_SIZE];
+        disk.write_page(id, &buf).expect("write");
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut out).expect("read grown page");
+        assert_eq!(out[0], 0xEE);
+        // Corruption is still caught through the mmap path.
+        {
+            let f = File::options().write(true).open(&path).expect("raw open");
+            f.write_all_at(&[0xBA], 3 * PAGE_SIZE as u64 + 17)
+                .expect("flip byte");
+            f.sync_data().expect("sync");
+        }
+        let err = disk
+            .read_page(PageId(3), &mut out)
+            .expect_err("mmap reads verify checksums");
+        assert!(err.is_corrupt());
+        cleanup(&path);
     }
 }

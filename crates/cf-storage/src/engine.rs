@@ -23,7 +23,16 @@ pub struct StorageConfig {
     /// `read_latency`; the wait releases the CPU, so concurrent writers —
     /// e.g. the parallel build pipeline's record-write phase — overlap
     /// their simulated device time).
+    ///
+    /// Both latencies apply to the **in-memory** backing only: a
+    /// file-backed engine pays its real device cost and ignores them
+    /// (see [`DiskManager::open_file`]).
     pub write_latency: Duration,
+    /// File backing only: serve physical page reads from a read-only
+    /// `mmap` of the database file instead of positional reads
+    /// (checksum-verified either way; falls back to positional I/O if
+    /// the kernel refuses the mapping). Ignored in memory.
+    pub use_mmap: bool,
 }
 
 impl Default for StorageConfig {
@@ -33,6 +42,7 @@ impl Default for StorageConfig {
             pool_shards: 0,
             read_latency: Duration::ZERO,
             write_latency: Duration::ZERO,
+            use_mmap: false,
         }
     }
 }
@@ -83,11 +93,13 @@ impl StorageEngine {
     /// Opens (or creates) an engine backed by a real database file.
     ///
     /// Existing pages are preserved, so a database file survives process
-    /// restarts; see [`DiskManager::open_file`].
+    /// restarts; see [`DiskManager::open_file`]. The simulated
+    /// `read_latency`/`write_latency` in `config` are ignored — real
+    /// file I/O is its own cost model.
     pub fn open_file(path: impl AsRef<std::path::Path>, config: StorageConfig) -> CfResult<Self> {
         let metrics = Arc::new(MetricsRegistry::new());
         Ok(Self {
-            disk: DiskManager::open_file_on(path, config.read_latency, Arc::clone(&metrics))?,
+            disk: DiskManager::open_file_on(path, Arc::clone(&metrics), config.use_mmap)?,
             pool: config.build_pool(Arc::clone(&metrics)),
             metrics,
         })
@@ -101,9 +113,21 @@ impl StorageEngine {
         &self.metrics
     }
 
-    /// Flushes a file-backed engine to stable storage (no-op in memory).
+    /// Flushes every dirty buffer-pool frame to the disk (ascending
+    /// page order), then flushes a file-backed disk to stable storage
+    /// (the disk flush is a no-op in memory). After `sync` returns, all
+    /// buffered writes are durable.
     pub fn sync(&self) -> CfResult<()> {
+        self.pool.flush_all(&self.disk)?;
         self.disk.sync()
+    }
+
+    /// Writes every dirty buffer-pool frame to the disk in ascending
+    /// page order, returning how many pages were written. Unlike
+    /// [`StorageEngine::sync`] this does not force the file to stable
+    /// storage.
+    pub fn flush(&self) -> CfResult<usize> {
+        self.pool.flush_all(&self.disk)
     }
 
     /// Allocates one page.
@@ -132,9 +156,40 @@ impl StorageEngine {
         self.pool.with_page(&self.disk, id, f)?
     }
 
-    /// Writes a full page through the pool to disk.
+    /// Writes a full page through the pool to disk (write-through: the
+    /// disk has the bytes when this returns — the right call for
+    /// commit-point pages whose durability order matters).
     pub fn write_page(&self, id: PageId, buf: &PageBuf) -> CfResult<()> {
         self.pool.write_through(&self.disk, id, buf)
+    }
+
+    /// Writes a full page into the buffer pool only, deferring the
+    /// physical write to eviction or the next [`StorageEngine::flush`]/
+    /// [`StorageEngine::sync`] — the right call for bulk builds. A
+    /// crash before the flush loses the buffered bytes.
+    pub fn write_page_buffered(&self, id: PageId, buf: &PageBuf) -> CfResult<()> {
+        self.pool.write_back(&self.disk, id, buf)
+    }
+
+    /// Returns one page to the disk's freelist. See
+    /// [`StorageEngine::free_run`].
+    pub fn free_page(&self, id: PageId) -> CfResult<()> {
+        self.free_run(id, 1)
+    }
+
+    /// Returns `n` consecutive pages starting at `id` to the disk's
+    /// freelist, dropping any cached frames for them (dirty or not —
+    /// the caller is declaring the bytes dead). Later allocations reuse
+    /// the hole before the file grows; a hole at the end of the file
+    /// shrinks it. See [`DiskManager::free_run`].
+    pub fn free_run(&self, id: PageId, n: usize) -> CfResult<()> {
+        self.pool.invalidate_run(id, n);
+        self.disk.free_run(id, n)
+    }
+
+    /// Total pages currently on the disk's freelist.
+    pub fn free_pages(&self) -> usize {
+        self.disk.free_pages()
     }
 
     /// Arms a deterministic fault on the underlying disk (see [`Fault`]).
@@ -191,7 +246,13 @@ impl StorageEngine {
     /// Empties the buffer pool so the next accesses hit the disk — used
     /// by benchmarks to measure cold-cache query cost, which is the
     /// regime the paper's numbers were taken in.
+    ///
+    /// Dirty frames are flushed first (best effort — on a flush failure
+    /// the affected frames stay cached and dirty rather than losing
+    /// bytes; the error will resurface on the next fallible
+    /// [`StorageEngine::flush`]/[`StorageEngine::sync`]).
     pub fn clear_cache(&self) {
+        let _ = self.pool.flush_all(&self.disk);
         self.pool.clear();
     }
 
@@ -317,6 +378,62 @@ mod tests {
         );
         engine.clear_faults();
         assert!(engine.fired_faults().is_empty());
+    }
+
+    #[test]
+    fn buffered_writes_reach_disk_on_sync() {
+        let engine = StorageEngine::in_memory();
+        let ids: Vec<_> = (0..4)
+            .map(|_| engine.allocate_page().expect("allocate"))
+            .collect();
+        let mut buf = [0u8; PAGE_SIZE];
+        for (i, &id) in ids.iter().enumerate() {
+            buf[0] = i as u8 + 1;
+            engine.write_page_buffered(id, &buf).expect("write");
+        }
+        assert_eq!(engine.io_stats().disk_writes, 0, "deferred");
+        assert_eq!(engine.pool().dirty_pages(), 4);
+        engine.sync().expect("sync");
+        assert_eq!(engine.io_stats().disk_writes, 4);
+        assert_eq!(engine.pool().dirty_pages(), 0);
+        engine.clear_cache();
+        for (i, &id) in ids.iter().enumerate() {
+            let v = engine.with_page(id, |p| p[0]).expect("read");
+            assert_eq!(v, i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn clear_cache_flushes_buffered_writes_first() {
+        let engine = StorageEngine::in_memory();
+        let id = engine.allocate_page().expect("allocate");
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0x21;
+        engine.write_page_buffered(id, &buf).expect("write");
+        engine.clear_cache();
+        assert_eq!(engine.pool().cached_pages(), 0);
+        let v = engine.with_page(id, |p| p[0]).expect("read");
+        assert_eq!(v, 0x21, "buffered bytes survived the cache clear");
+    }
+
+    #[test]
+    fn freed_pages_leave_the_cache_and_get_reused() {
+        let engine = StorageEngine::in_memory();
+        let first = engine.allocate_run(6).expect("allocate");
+        assert_eq!(first, PageId(0));
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0x77;
+        engine.write_page(PageId(2), &buf).expect("write");
+        engine.with_page(PageId(2), |_| ()).expect("warm the cache");
+
+        engine.free_run(PageId(1), 3).expect("free");
+        assert_eq!(engine.free_pages(), 3);
+        let reused = engine.allocate_run(3).expect("reuse");
+        assert_eq!(reused, PageId(1));
+        assert_eq!(engine.num_pages(), 6, "hole reused, no growth");
+        // The pre-free cached frame must not resurface.
+        let v = engine.with_page(PageId(2), |p| p[0]).expect("read");
+        assert_eq!(v, 0, "reused page reads as fresh zeroes");
     }
 
     #[test]

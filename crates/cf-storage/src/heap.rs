@@ -54,7 +54,11 @@ impl<R: Record> RecordFile<R> {
         PAGE_SIZE / R::SIZE
     }
 
-    /// Writes `records` in order into freshly allocated consecutive pages.
+    /// Writes `records` in order into freshly allocated consecutive
+    /// pages. Writes are buffered (write-back): they reach the disk on
+    /// pool eviction or at the caller's next
+    /// [`StorageEngine::flush`]/[`StorageEngine::sync`] — call `sync`
+    /// before relying on the file surviving a crash.
     pub fn create<I>(engine: &StorageEngine, records: I) -> CfResult<Self>
     where
         I: IntoIterator<Item = R>,
@@ -74,7 +78,7 @@ impl<R: Record> RecordFile<R> {
             r.encode(&mut buf[in_page * R::SIZE..(in_page + 1) * R::SIZE]);
             in_page += 1;
             if in_page == per_page {
-                engine.write_page(page, &buf)?;
+                engine.write_page_buffered(page, &buf)?;
                 written_pages += 1;
                 page = PageId(page.0 + 1);
                 in_page = 0;
@@ -82,7 +86,7 @@ impl<R: Record> RecordFile<R> {
             }
         }
         if in_page > 0 || written_pages == 0 {
-            engine.write_page(page, &buf)?;
+            engine.write_page_buffered(page, &buf)?;
         }
 
         Ok(Self {
@@ -101,10 +105,13 @@ impl<R: Record> RecordFile<R> {
     /// Records never span page boundaries, so each page's bytes depend
     /// only on its own record range plus zero padding — the file is
     /// **byte-identical** to [`RecordFile::create`] on the same input
-    /// regardless of thread count or scheduling. On error the first
-    /// failure (in join order) is reported; other workers may have
-    /// written more pages, which is harmless because the whole run is
-    /// freshly allocated.
+    /// regardless of thread count or scheduling. Unlike the sequential
+    /// path, workers write **through** to the disk: the parallel build's
+    /// speedup comes from overlapping the physical writes themselves,
+    /// which buffering would serialize into one flush. On error the
+    /// first failure (in join order) is reported; other workers may
+    /// have written more pages, which is harmless because the whole run
+    /// is freshly allocated.
     pub fn create_parallel(engine: &StorageEngine, records: &[R], threads: usize) -> CfResult<Self>
     where
         R: Sync,
@@ -455,13 +462,47 @@ mod tests {
     }
 
     #[test]
-    fn create_parallel_propagates_write_faults() {
+    fn create_surfaces_write_faults_at_flush() {
+        // Sequential creation buffers its writes, so a physical write
+        // fault fires at the flush (or at a dirty eviction), not inside
+        // create.
+        let engine = StorageEngine::in_memory();
+        engine.inject_fault(Fault::FailWrite { nth: 2 });
+        let _file = RecordFile::create(&engine, sample(1000)).expect("buffered create");
+        let err = engine
+            .flush()
+            .expect_err("injected write fault must surface at flush");
+        assert!(err.is_injected());
+        engine.clear_faults();
+        engine.flush().expect("retry flushes the rest");
+    }
+
+    #[test]
+    fn create_parallel_writes_through_and_surfaces_faults_inline() {
+        // The parallel path writes through — its speedup is overlapped
+        // physical writes — so an injected fault fails create itself.
         let engine = StorageEngine::in_memory();
         engine.inject_fault(Fault::FailWrite { nth: 2 });
         let err = RecordFile::create_parallel(&engine, &sample(1000), 4)
-            .expect_err("injected write fault must surface");
+            .map(|_| ())
+            .expect_err("write-through create must hit the fault");
         assert!(err.is_injected());
-        engine.clear_faults();
+    }
+
+    #[test]
+    fn create_with_tiny_pool_spills_through_writeback() {
+        // A pool far smaller than the file forces dirty evictions
+        // during create; nothing may be lost.
+        let engine = StorageEngine::new(crate::StorageConfig {
+            pool_pages: 2,
+            ..crate::StorageConfig::default()
+        });
+        let file = RecordFile::create(&engine, sample(1000)).expect("create");
+        engine.sync().expect("sync");
+        engine.clear_cache();
+        for idx in [0usize, 255, 256, 511, 999] {
+            assert_eq!(file.get(&engine, idx).expect("get").key, idx as u64);
+        }
     }
 
     #[test]

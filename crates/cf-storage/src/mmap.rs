@@ -1,0 +1,165 @@
+//! Read-only memory mapping of the database file (opt-in).
+//!
+//! The file backing can serve physical page reads by copying out of a
+//! `MAP_SHARED` read-only mapping instead of issuing a `pread` per
+//! page. Checksums are still verified on every physical read, so a
+//! mapping that goes stale or returns garbage is caught the same way a
+//! failed positional read would be; any mapping failure silently falls
+//! back to positional reads.
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the
+//! crate root carries `#![deny(unsafe_code)]`): the raw `mmap(2)` /
+//! `munmap(2)` calls and the lifetime argument for the mapped slice
+//! live here, behind a safe copy-out API.
+//!
+//! Safety argument: the mapping is created `PROT_READ | MAP_SHARED`
+//! over a file the [`crate::DiskManager`] keeps open for its own
+//! lifetime. Readers only *copy* page-sized ranges that the caller has
+//! already bounds-checked against the allocated page count, and the
+//! disk's backing lock serializes reads against writes and truncation
+//! — a reader never touches bytes past the current end of file, so no
+//! `SIGBUS` from a shrunk file is reachable. The region is unmapped
+//! exactly once, on drop.
+
+#![allow(unsafe_code)]
+
+use std::ffi::c_void;
+use std::fs::File;
+use std::os::unix::io::AsRawFd;
+use std::ptr::NonNull;
+
+const PROT_READ: i32 = 1;
+const MAP_SHARED: i32 = 1;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> i32;
+}
+
+/// A read-only shared mapping of the first `len` bytes of a file.
+pub(crate) struct MmapRegion {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// The region is an immutable view of file bytes; concurrent copies out
+// of it are as safe as concurrent preads of the same file.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    /// Maps the first `len` bytes of `file` read-only, or `None` if the
+    /// kernel refuses (callers fall back to positional reads).
+    pub(crate) fn map(file: &File, len: usize) -> Option<Self> {
+        if len == 0 {
+            return None;
+        }
+        // SAFETY: a fresh PROT_READ/MAP_SHARED mapping over an open fd;
+        // the result is checked against MAP_FAILED ((void*)-1) and NULL
+        // before use.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return None;
+        }
+        NonNull::new(ptr as *mut u8).map(|ptr| Self { ptr, len })
+    }
+
+    /// Mapped length in bytes.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Copies `[offset, offset + out.len())` of the mapping into `out`.
+    /// Returns `false` (copying nothing) if the range is not fully
+    /// inside the mapping.
+    pub(crate) fn copy_into(&self, offset: usize, out: &mut [u8]) -> bool {
+        let Some(end) = offset.checked_add(out.len()) else {
+            return false;
+        };
+        if end > self.len {
+            return false;
+        }
+        // SAFETY: the range was bounds-checked against the mapping, the
+        // mapping outlives this call (self is borrowed), and `out`
+        // cannot alias the private mapping.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.ptr.as_ptr().add(offset),
+                out.as_mut_ptr(),
+                out.len(),
+            );
+        }
+        true
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: mapped by us with this exact length, unmapped once.
+        unsafe {
+            munmap(self.ptr.as_ptr() as *mut c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_and_copies_file_bytes() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "cf_mmap_test_{}_{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut f = File::create(&path).expect("create");
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        f.write_all(&payload).expect("write");
+        f.sync_all().expect("sync");
+        let f = File::open(&path).expect("open");
+
+        let region = MmapRegion::map(&f, payload.len()).expect("map");
+        assert_eq!(region.len(), payload.len());
+        let mut out = [0u8; 4096];
+        assert!(region.copy_into(4096, &mut out));
+        assert_eq!(out[..], payload[4096..8192]);
+        // Out-of-range copies are refused, not UB.
+        assert!(!region.copy_into(8000, &mut out));
+        assert!(!region.copy_into(usize::MAX - 100, &mut out));
+        drop(region);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_mapping_is_declined() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "cf_mmap_empty_{}_{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let f = File::create(&path).expect("create");
+        assert!(MmapRegion::map(&f, 0).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

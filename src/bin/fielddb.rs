@@ -47,39 +47,49 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut k = 7u32;
             let mut h = 0.7f64;
             let mut seed = 42u64;
+            let mut eng = EngineOpts::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--workload" => workload = take(&mut it, flag)?,
                     "--k" => k = parse(&take(&mut it, flag)?)?,
                     "--h" => h = parse(&take(&mut it, flag)?)?,
                     "--seed" => seed = parse(&take(&mut it, flag)?)?,
-                    other => return Err(format!("unknown flag {other}")),
+                    other => eng.parse_flag(other, &mut it)?,
                 }
             }
-            create(&path, &workload, k, h, seed)
+            create(&path, &workload, k, h, seed, eng)
         }
         "info" => {
-            let path = it.next().ok_or_else(usage)?;
-            info(path)
+            let path = it.next().ok_or_else(usage)?.clone();
+            let mut eng = EngineOpts::default();
+            while let Some(flag) = it.next() {
+                eng.parse_flag(flag, &mut it)?;
+            }
+            info(&path, eng)
         }
         "query" => {
             let path = it.next().ok_or_else(usage)?.clone();
             let lo: f64 = parse(it.next().ok_or_else(usage)?)?;
             let hi: f64 = parse(it.next().ok_or_else(usage)?)?;
             let mut regions = 0usize;
+            let mut eng = EngineOpts::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--regions" => regions = parse(&take(&mut it, flag)?)?,
-                    other => return Err(format!("unknown flag {other}")),
+                    other => eng.parse_flag(other, &mut it)?,
                 }
             }
-            query(&path, lo, hi, regions)
+            query(&path, lo, hi, regions, eng)
         }
         "point" => {
             let path = it.next().ok_or_else(usage)?.clone();
             let x: f64 = parse(it.next().ok_or_else(usage)?)?;
             let y: f64 = parse(it.next().ok_or_else(usage)?)?;
-            point(&path, x, y)
+            let mut eng = EngineOpts::default();
+            while let Some(flag) = it.next() {
+                eng.parse_flag(flag, &mut it)?;
+            }
+            point(&path, x, y, eng)
         }
         "metrics" => {
             let mut k = 6u32;
@@ -155,7 +165,27 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]".into()
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap]".into()
+}
+
+/// Storage-engine tuning flags shared by every file-backed command:
+/// `--pool PAGES` sizes the buffer pool, `--mmap` serves reads through
+/// the read-only memory map instead of positional I/O.
+#[derive(Default, Clone, Copy)]
+struct EngineOpts {
+    pool: Option<usize>,
+    mmap: bool,
+}
+
+impl EngineOpts {
+    fn parse_flag(&mut self, flag: &str, it: &mut std::slice::Iter<String>) -> Result<(), String> {
+        match flag {
+            "--pool" => self.pool = Some(parse(&take(it, flag)?)?),
+            "--mmap" => self.mmap = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        Ok(())
+    }
 }
 
 fn take(it: &mut std::slice::Iter<String>, flag: &str) -> Result<String, String> {
@@ -168,9 +198,13 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("cannot parse {s:?}"))
 }
 
-fn open_engine(path: &str) -> Result<StorageEngine, String> {
-    StorageEngine::open_file(path, StorageConfig::default())
-        .map_err(|e| format!("cannot open {path}: {e}"))
+fn open_engine(path: &str, opts: EngineOpts) -> Result<StorageEngine, String> {
+    let mut config = StorageConfig::default();
+    if let Some(pool) = opts.pool {
+        config.pool_pages = pool;
+    }
+    config.use_mmap = opts.mmap;
+    StorageEngine::open_file(path, config).map_err(|e| format!("cannot open {path}: {e}"))
 }
 
 fn open_index(engine: &StorageEngine) -> Result<IHilbert<GridField>, String> {
@@ -191,7 +225,14 @@ fn open_index(engine: &StorageEngine) -> Result<IHilbert<GridField>, String> {
     IHilbert::open(engine, PageId(catalog)).map_err(|e| format!("cannot open catalog: {e}"))
 }
 
-fn create(path: &str, workload: &str, k: u32, h: f64, seed: u64) -> Result<String, String> {
+fn create(
+    path: &str,
+    workload: &str,
+    k: u32,
+    h: f64,
+    seed: u64,
+    eng: EngineOpts,
+) -> Result<String, String> {
     if std::path::Path::new(path).exists() {
         return Err(format!("{path} already exists; refusing to overwrite"));
     }
@@ -201,7 +242,7 @@ fn create(path: &str, workload: &str, k: u32, h: f64, seed: u64) -> Result<Strin
         "monotonic" => monotonic_field(1 << k),
         other => return Err(format!("unknown workload {other}")),
     };
-    let engine = open_engine(path)?;
+    let engine = open_engine(path, eng)?;
     // Reserve page 0 for the bootstrap pointer.
     let boot = engine.allocate_page().map_err(|e| e.to_string())?;
     assert_eq!(boot, PageId(0), "bootstrap must be page 0");
@@ -223,8 +264,8 @@ fn create(path: &str, workload: &str, k: u32, h: f64, seed: u64) -> Result<Strin
     ))
 }
 
-fn info(path: &str) -> Result<String, String> {
-    let engine = open_engine(path)?;
+fn info(path: &str, eng: EngineOpts) -> Result<String, String> {
+    let engine = open_engine(path, eng)?;
     let index = open_index(&engine)?;
     let dom = index.value_domain();
     Ok(format!(
@@ -239,11 +280,17 @@ fn info(path: &str) -> Result<String, String> {
     ))
 }
 
-fn query(path: &str, lo: f64, hi: f64, max_regions: usize) -> Result<String, String> {
+fn query(
+    path: &str,
+    lo: f64,
+    hi: f64,
+    max_regions: usize,
+    eng: EngineOpts,
+) -> Result<String, String> {
     if lo > hi {
         return Err(format!("inverted band [{lo}, {hi}]"));
     }
-    let engine = open_engine(path)?;
+    let engine = open_engine(path, eng)?;
     let index = open_index(&engine)?;
     let (stats, mut regions) = index
         .query_regions(&engine, Interval::new(lo, hi))
@@ -269,8 +316,8 @@ fn query(path: &str, lo: f64, hi: f64, max_regions: usize) -> Result<String, Str
     Ok(out)
 }
 
-fn point(path: &str, x: f64, y: f64) -> Result<String, String> {
-    let engine = open_engine(path)?;
+fn point(path: &str, x: f64, y: f64, eng: EngineOpts) -> Result<String, String> {
+    let engine = open_engine(path, eng)?;
     let index = open_index(&engine)?;
     // Exact-value pipeline: probe an epsilon band around every value is
     // not a point query; instead interpolate from the cell record that
@@ -627,6 +674,21 @@ mod tests {
 
         let out = run(&argv(&["query", &db, "-0.2", "0.2", "--regions", "2"])).expect("query");
         assert!(out.contains("cells qualify"), "{out}");
+
+        // The mmap read path with a tiny pool must answer identically.
+        let mmap = run(&argv(&[
+            "query",
+            &db,
+            "-0.2",
+            "0.2",
+            "--regions",
+            "2",
+            "--pool",
+            "8",
+            "--mmap",
+        ]))
+        .expect("mmap query");
+        assert_eq!(out, mmap, "mmap/pool tuning must not change answers");
 
         let out = run(&argv(&["point", &db, "3.5", "7.25"])).expect("point");
         assert!(out.contains("value at"), "{out}");
