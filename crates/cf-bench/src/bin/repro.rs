@@ -576,7 +576,127 @@ fn bench(opts: &Opts) {
         );
     }
 
-    // ---- 3. Raw filter-step scan: frozen vs paged vs dynamic ---------
+    // ---- 3. Compressed vs raw cell pages (fig8a + fig8b Q2 sweep) ----
+    //
+    // Same disk-bound regime as the plane sweep: page counts set the
+    // cost, so packing more cells per page is a direct pages/query win.
+    // Answers must be byte-identical — the codec is a layout change,
+    // not an approximation — and that is asserted per query.
+    struct CodecSide {
+        mean_ms: f64,
+        mean_pages: f64,
+    }
+    struct CodecPoint {
+        figure: String,
+        num_cells: usize,
+        qinterval: f64,
+        queries: usize,
+        read_latency_us: u64,
+        raw: CodecSide,
+        comp: CodecSide,
+        pages_speedup: f64,
+        identical: bool,
+    }
+    fn codec_points_for<F: FieldModel + Sync>(
+        figure: &str,
+        field: &F,
+        opts: &Opts,
+        out: &mut Vec<CodecPoint>,
+    ) {
+        use cf_storage::PageCodec;
+        let qintervals = [0.01, 0.05];
+        let nq = opts.queries.unwrap_or(if opts.full { 48 } else { 12 });
+        let read_latency_us = opts.latency_us.max(500);
+        let mk = |codec| {
+            let engine = StorageEngine::new(StorageConfig {
+                read_latency: Duration::from_micros(read_latency_us),
+                codec,
+                ..StorageConfig::default()
+            });
+            let index = IHilbert::build(&engine, field).expect("build");
+            (engine, index)
+        };
+        let (raw_engine, raw_index) = mk(PageCodec::Raw);
+        let (comp_engine, comp_index) = mk(PageCodec::Compressed);
+        let measure = |engine: &StorageEngine, index: &dyn ValueIndex, queries: &[Interval]| {
+            let mut ms = 0.0;
+            let mut pages = 0u64;
+            let mut areas = Vec::with_capacity(queries.len());
+            for q in queries {
+                engine.clear_cache();
+                let t0 = Instant::now();
+                let stats = index.query_stats(engine, *q).expect("query");
+                ms += t0.elapsed().as_secs_f64() * 1e3;
+                pages += stats.io.logical_reads();
+                areas.push(stats.area.to_bits());
+            }
+            let n = queries.len() as f64;
+            (
+                CodecSide {
+                    mean_ms: ms / n,
+                    mean_pages: pages as f64 / n,
+                },
+                areas,
+            )
+        };
+        for &qi in &qintervals {
+            let queries = interval_queries(field.value_domain(), qi, nq, 0xF0_2E);
+            let (raw, raw_areas) = measure(&raw_engine, &raw_index, &queries);
+            let (comp, comp_areas) = measure(&comp_engine, &comp_index, &queries);
+            let identical = raw_areas == comp_areas;
+            assert!(
+                identical,
+                "{figure} qi {qi}: compressed answers diverge from raw"
+            );
+            out.push(CodecPoint {
+                figure: figure.to_string(),
+                num_cells: field.num_cells(),
+                qinterval: qi,
+                queries: queries.len(),
+                read_latency_us,
+                pages_speedup: raw.mean_pages / comp.mean_pages.max(1e-9),
+                raw,
+                comp,
+                identical,
+            });
+        }
+    }
+    eprintln!(
+        "[bench] cell-page codec: fig8a + fig8b, {} µs/page read…",
+        opts.latency_us.max(500)
+    );
+    let mut codec_points = Vec::new();
+    codec_points_for("fig8a", &field, opts, &mut codec_points);
+    // Larger TIN than the plane sweep's: the codec's page savings are a
+    // file-level ratio, and a bigger cell file keeps per-range boundary
+    // pages from diluting it in the per-query mean.
+    codec_points_for(
+        "fig8b",
+        &urban_noise_tin(60000, 42),
+        opts,
+        &mut codec_points,
+    );
+
+    println!("\n### bench — compressed vs raw cell pages (cold cache)\n");
+    println!(
+        "| figure | Qinterval | raw ms | comp ms | raw pages | comp pages | pages speedup | identical |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for p in &codec_points {
+        println!(
+            "| {} | {:.2} | {:.3} | {:.3} | {:.1} | {:.1} | {:.2}x | {} |",
+            p.figure,
+            p.qinterval,
+            p.raw.mean_ms,
+            p.comp.mean_ms,
+            p.raw.mean_pages,
+            p.comp.mean_pages,
+            p.pages_speedup,
+            p.identical,
+        );
+    }
+
+    // ---- 4. Raw filter-step scan: frozen vs paged vs dynamic ---------
     //
     // A worst-case interval tree (one entry per cell, I-All shape) with
     // everything cache-resident and zero simulated latency, so the only
@@ -708,6 +828,25 @@ fn bench(opts: &Opts) {
                 if i + 1 < plane_points.len() { "," } else { "" }
             );
         }
+        j.push_str("  ],\n  \"codec_sweep\": [\n");
+        for (i, p) in codec_points.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "    {{\"figure\": \"{}\", \"cells\": {}, \"qinterval\": {}, \"queries\": {}, \"read_latency_us\": {},\n     \"raw\": {{\"mean_ms\": {:.4}, \"mean_pages\": {:.2}}},\n     \"compressed\": {{\"mean_ms\": {:.4}, \"mean_pages\": {:.2}}},\n     \"pages_speedup\": {:.3}, \"identical\": {}}}{}",
+                p.figure,
+                p.num_cells,
+                p.qinterval,
+                p.queries,
+                p.read_latency_us,
+                p.raw.mean_ms,
+                p.raw.mean_pages,
+                p.comp.mean_ms,
+                p.comp.mean_pages,
+                p.pages_speedup,
+                p.identical,
+                if i + 1 < codec_points.len() { "," } else { "" }
+            );
+        }
         j.push_str("  ],\n");
         let _ = writeln!(
             j,
@@ -747,6 +886,18 @@ fn bench(opts: &Opts) {
             rec.push(
                 format!("{prefix}_plane_speedup"),
                 p.paged.mean_ms / p.frozen.mean_ms.max(1e-9),
+            );
+        }
+        for p in &codec_points {
+            let prefix = format!("codec_{}_qi{}", p.figure, p.qinterval);
+            rec.push(format!("{prefix}_raw_ms"), p.raw.mean_ms);
+            rec.push(format!("{prefix}_raw_pages"), p.raw.mean_pages);
+            rec.push(format!("{prefix}_comp_ms"), p.comp.mean_ms);
+            rec.push(format!("{prefix}_comp_pages"), p.comp.mean_pages);
+            rec.push(format!("{prefix}_pages_speedup"), p.pages_speedup);
+            rec.push(
+                format!("{prefix}_identical"),
+                if p.identical { 1.0 } else { 0.0 },
             );
         }
         rec.push("filter_scan_paged_us", per_query(paged_ms));

@@ -25,7 +25,7 @@ pub mod history;
 use cf_field::FieldModel;
 use cf_geom::Interval;
 use cf_index::{BatchReport, IAll, IHilbert, IntervalQuadtree, LinearScan, QueryBatch, ValueIndex};
-use cf_storage::{StorageConfig, StorageEngine};
+use cf_storage::{PageCodec, StorageConfig, StorageEngine};
 use cf_workload::queries::interval_queries;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,8 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Include the Interval-Quadtree ablation method.
     pub with_iquad: bool,
+    /// On-page layout for cell files (raw fixed-stride or compressed).
+    pub codec: PageCodec,
 }
 
 impl Default for ExperimentConfig {
@@ -55,6 +57,7 @@ impl Default for ExperimentConfig {
             cold_cache: true,
             seed: 0xED_B7,
             with_iquad: false,
+            codec: PageCodec::Raw,
         }
     }
 }
@@ -65,6 +68,7 @@ impl ExperimentConfig {
         StorageEngine::new(StorageConfig {
             pool_pages: self.pool_pages,
             read_latency: Duration::from_micros(self.read_latency_us),
+            codec: self.codec,
             ..StorageConfig::default()
         })
     }
@@ -357,14 +361,16 @@ mod tests {
     fn batch_scaling_keeps_answers_and_shows_speedup() {
         use cf_workload::terrain::roseburg_standin;
 
-        // I/O-bound regime: 3 ms per physical read (the wait sleeps, so
+        // I/O-bound regime: 8 ms per physical read (the wait sleeps, so
         // workers overlap their faults even on one core — like threads
         // blocked on a real device) and a pool large enough that every
-        // fault is a cold first touch paid exactly once per run.
+        // fault is a cold first touch paid exactly once per run. The
+        // latency is set high enough that sleep overlap, not the per-run
+        // CPU cost (which debug builds inflate), decides the ratio.
         let field = roseburg_standin(7);
         let engine = StorageEngine::new(StorageConfig {
             pool_pages: 1024,
-            read_latency: Duration::from_millis(3),
+            read_latency: Duration::from_millis(8),
             ..StorageConfig::default()
         });
         let index = IHilbert::build(&engine, &field).expect("build");

@@ -27,17 +27,100 @@ pub fn plane_coefficients(tri: &Triangle, values: [f64; 3]) -> Option<(f64, f64,
     Some((gx, gy, c))
 }
 
+/// Lane width of the portable SIMD-style kernels, matching the
+/// `FrozenTree` mask idiom (8 × f64 = one cache line).
+pub const LANE: usize = 8;
+
+/// Branchless band classification over one lane of interpolant values:
+/// returns `(below, above, inside)` bit masks where lane `i` sets bit
+/// `i` of `below` when `w[i] - lo < 0` (the first clip half-plane drops
+/// it), of `above` when `hi - w[i] < 0` (the second clip drops it), and
+/// of `inside` when both clips keep it. The comparisons are exactly the
+/// signed-distance tests Sutherland–Hodgman applies, so an
+/// all-below/all-above lane proves the clipped region empty and an
+/// all-inside lane proves the clip is the identity — no epsilon is
+/// involved. NaN values set no bit (they fall through to the exact
+/// clip).
+#[inline]
+pub fn band_masks_x8(w: &[f64; LANE], lo: f64, hi: f64) -> (u8, u8, u8) {
+    let mut below = 0u8;
+    let mut above = 0u8;
+    let mut inside = 0u8;
+    for (i, &wi) in w.iter().enumerate() {
+        let d_lo = wi - lo;
+        let d_hi = hi - wi;
+        below |= u8::from(d_lo < 0.0) << i;
+        above |= u8::from(d_hi < 0.0) << i;
+        inside |= u8::from(d_lo >= 0.0 && d_hi >= 0.0) << i;
+    }
+    (below, above, inside)
+}
+
+/// 8-wide branchless inverse interpolation: lane `i` solves
+/// [`inverse_on_segment`]`(w0[i], w1[i], w)` with bit-identical results,
+/// writing the parameter into `t[i]` and setting bit `i` of the returned
+/// hit mask. Missed lanes (including NaN inputs) leave `t[i] = 0.0`.
+#[inline]
+pub fn inverse_on_segment_x8(
+    w0: &[f64; LANE],
+    w1: &[f64; LANE],
+    w: f64,
+    t: &mut [f64; LANE],
+) -> u8 {
+    let mut hits = 0u8;
+    for i in 0..LANE {
+        let flat = (w0[i] - w1[i]).abs() < EPSILON;
+        let tv = (w - w0[i]) / (w1[i] - w0[i]);
+        // Select without branching: flat segments report t = 0 and hit
+        // iff the query value matches; sloped segments hit iff the
+        // parameter lands in [0, 1] (NaN fails both comparisons).
+        let hit_flat = (w - w0[i]).abs() < EPSILON;
+        let hit_slope = (0.0..=1.0).contains(&tv);
+        let hit = (flat & hit_flat) | (!flat & hit_slope);
+        t[i] = if flat | !hit { 0.0 } else { tv };
+        hits |= u8::from(hit) << i;
+    }
+    hits
+}
+
 /// The sub-region of `tri` where the linear interpolant of `values` lies
 /// in `[lo, hi]`.
 ///
 /// Returns the clipped polygon (possibly empty). For a degenerate
 /// triangle the empty polygon is returned.
+///
+/// The common cases — triangle entirely outside or entirely inside the
+/// band — are resolved by [`band_masks_x8`] over the vertex interpolant
+/// values without running the clipper; because the masks use the exact
+/// signed distances the clip would test, the result is bit-identical to
+/// the full Sutherland–Hodgman path.
 pub fn triangle_band(tri: &Triangle, values: [f64; 3], lo: f64, hi: f64) -> Polygon {
     debug_assert!(lo <= hi, "inverted band [{lo}, {hi}]");
     let Some((gx, gy, c)) = plane_coefficients(tri, values) else {
         return Polygon::empty();
     };
     let w = move |p: Point2| gx * p.x + gy * p.y + c;
+
+    // Fast classification over the vertex lane. Padding lanes carry lo
+    // (in-band, neither below nor above), so only the valid mask gates
+    // the three all-lane tests.
+    const VALID: u8 = 0b0000_0111;
+    let mut ws = [lo; LANE];
+    for (slot, p) in ws.iter_mut().zip(tri.vertices) {
+        *slot = w(p);
+    }
+    let (below, above, inside) = band_masks_x8(&ws, lo, hi);
+    if below & VALID == VALID || above & VALID == VALID {
+        // Every vertex is dropped by one of the two half-plane clips:
+        // the clipped region is empty.
+        return Polygon::empty();
+    }
+    if inside & VALID == VALID {
+        // Both clips keep every vertex: Sutherland–Hodgman emits the
+        // input polygon unchanged.
+        return (*tri).into();
+    }
+
     let poly: Polygon = (*tri).into();
     poly.clip_halfplane(|p| w(p) - lo)
         .clip_halfplane(|p| hi - w(p))
@@ -191,5 +274,150 @@ mod tests {
         assert_eq!(inverse_on_segment(0.0, 10.0, 11.0), None);
         assert_eq!(inverse_on_segment(3.0, 3.0, 3.0), Some(0.0));
         assert_eq!(inverse_on_segment(3.0, 3.0, 4.0), None);
+    }
+
+    #[test]
+    fn band_masks_handle_nan_and_boundaries() {
+        let ws = [
+            -1.0,
+            0.0, // exactly lo: kept by the first clip
+            0.5,
+            1.0, // exactly hi: kept by the second clip
+            2.0,
+            f64::NAN, // sets no bit anywhere
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+        ];
+        let (below, above, inside) = band_masks_x8(&ws, 0.0, 1.0);
+        assert_eq!(below, 0b0100_0001);
+        assert_eq!(above, 0b1001_0000);
+        assert_eq!(inside, 0b0000_1110);
+        // The three masks partition the non-NaN lanes.
+        assert_eq!(below | above | inside, 0b1101_1111);
+        assert_eq!(below & above, 0);
+        assert_eq!(below & inside, 0);
+    }
+
+    #[test]
+    fn vector_inverse_matches_scalar_on_edge_cases() {
+        let w0 = [0.0, 10.0, 3.0, 3.0, f64::NAN, 1.0, 0.0, -5.0];
+        let w1 = [10.0, 0.0, 3.0, 3.0, 1.0, f64::NAN, 0.0, 5.0];
+        for w in [-5.0, 0.0, 2.5, 3.0, 5.0, f64::NAN] {
+            let mut t = [f64::NAN; LANE];
+            let hits = inverse_on_segment_x8(&w0, &w1, w, &mut t);
+            for i in 0..LANE {
+                let want = inverse_on_segment(w0[i], w1[i], w);
+                assert_eq!(hits >> i & 1 == 1, want.is_some(), "lane {i}, w {w}");
+                let want_t = want.unwrap_or(0.0);
+                assert_eq!(
+                    t[i].to_bits(),
+                    want_t.to_bits(),
+                    "lane {i}, w {w}: {} vs {want_t}",
+                    t[i]
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod kernel_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Lane values that exercise the interesting regimes: ordinary
+    /// magnitudes, near-epsilon differences, exact ties and NaN.
+    fn lane_value() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            8 => -100.0..100.0f64,
+            2 => (-10.0..10.0f64).prop_map(|v| v * 1e-13),
+            1 => Just(3.0),
+            1 => Just(f64::NAN),
+        ]
+    }
+
+    fn lanes8() -> impl Strategy<Value = [f64; LANE]> {
+        prop::collection::vec(lane_value(), LANE).prop_map(|v| {
+            let mut a = [0.0; LANE];
+            a.copy_from_slice(&v);
+            a
+        })
+    }
+
+    fn triple(lo: f64, hi: f64) -> impl Strategy<Value = [f64; 3]> {
+        prop::collection::vec(lo..hi, 3).prop_map(|v| {
+            let mut a = [0.0; 3];
+            a.copy_from_slice(&v);
+            a
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn vector_inverse_is_bit_identical_to_scalar(
+            w0 in lanes8(),
+            w1 in lanes8(),
+            w in lane_value(),
+        ) {
+            let mut t = [f64::NAN; LANE];
+            let hits = inverse_on_segment_x8(&w0, &w1, w, &mut t);
+            for i in 0..LANE {
+                let want = inverse_on_segment(w0[i], w1[i], w);
+                prop_assert_eq!(hits >> i & 1 == 1, want.is_some(), "lane {}", i);
+                prop_assert_eq!(t[i].to_bits(), want.unwrap_or(0.0).to_bits(), "lane {}", i);
+            }
+        }
+
+        #[test]
+        fn band_masks_match_scalar_signed_distances(
+            ws in lanes8(),
+            lo in -100.0..100.0f64,
+            width in 0.0..50.0f64,
+        ) {
+            let hi = lo + width;
+            let (below, above, inside) = band_masks_x8(&ws, lo, hi);
+            for (i, &wi) in ws.iter().enumerate() {
+                prop_assert_eq!(below >> i & 1 == 1, wi - lo < 0.0, "lane {}", i);
+                prop_assert_eq!(above >> i & 1 == 1, hi - wi < 0.0, "lane {}", i);
+                prop_assert_eq!(
+                    inside >> i & 1 == 1,
+                    wi - lo >= 0.0 && hi - wi >= 0.0,
+                    "lane {}", i
+                );
+            }
+        }
+
+        /// The masked fast paths of `triangle_band` must be bit-identical
+        /// to the unconditional Sutherland–Hodgman pipeline.
+        #[test]
+        fn triangle_band_fast_paths_equal_full_clip(
+            xs in triple(-10.0, 10.0),
+            ys in triple(-10.0, 10.0),
+            vals in triple(-50.0, 50.0),
+            lo in -60.0..60.0f64,
+            width in 0.0..40.0f64,
+        ) {
+            let tri = Triangle::new(
+                Point2::new(xs[0], ys[0]),
+                Point2::new(xs[1], ys[1]),
+                Point2::new(xs[2], ys[2]),
+            );
+            let hi = lo + width;
+            let got = triangle_band(&tri, vals, lo, hi);
+            let want = match plane_coefficients(&tri, vals) {
+                None => Polygon::empty(),
+                Some((gx, gy, c)) => {
+                    let w = |p: Point2| gx * p.x + gy * p.y + c;
+                    Polygon::from(tri)
+                        .clip_halfplane(|p| w(p) - lo)
+                        .clip_halfplane(|p| hi - w(p))
+                }
+            };
+            prop_assert_eq!(got.vertices.len(), want.vertices.len());
+            for (g, e) in got.vertices.iter().zip(&want.vertices) {
+                prop_assert_eq!(g.x.to_bits(), e.x.to_bits());
+                prop_assert_eq!(g.y.to_bits(), e.y.to_bits());
+            }
+        }
     }
 }

@@ -116,6 +116,17 @@ impl Record for TinCellRecord {
             values: [g(6), g(7), g(8)],
         }
     }
+
+    /// The three vertex/value pairs are cyclically interchangeable:
+    /// rotating them preserves orientation, so the triangle, its
+    /// interpolant, and every band region are unchanged. Adjacent cells
+    /// in a Hilbert scan usually share an edge — two vertices and their
+    /// values — and the codec's rotation pass lines those shared words
+    /// up with columns it can reference.
+    fn column_rotation_groups() -> Vec<Vec<usize>> {
+        // Units: (p0.x, p0.y, v0), (p1.x, p1.y, v1), (p2.x, p2.y, v2).
+        vec![vec![0, 1, 6], vec![2, 3, 7], vec![4, 5, 8]]
+    }
 }
 
 impl FieldModel for TinField {

@@ -129,6 +129,16 @@ pub struct CostModelReport {
     pub observed_refine_pages_per_query: Option<f64>,
     /// Observed mean filter-step pages per query (tree traversal I/O).
     pub observed_filter_pages_per_query: Option<f64>,
+    /// Measured mean cells per cell-file data page, from the
+    /// `storage_cells_per_page` gauge the index publishes at build/open.
+    /// This is the denominator every page prediction above is built on —
+    /// fixed-slot arithmetic for raw pages, the page directory for
+    /// compressed ones. `None` under `obs-off`.
+    pub cells_per_page: Option<f64>,
+    /// Measured cell-file compression ratio (fixed-slot pages the file
+    /// would need ÷ data pages it has), from the
+    /// `storage_compression_ratio` gauge. 1.0 on a raw-codec file.
+    pub compression_ratio: Option<f64>,
     /// Per-decile breakdown (empty when the index has no subfields).
     pub deciles: Vec<DecileRow>,
 }
@@ -204,6 +214,9 @@ impl CostModelReport {
             predicted_pages_empirical: expected_pages(spans, q_emp, w),
             observed_refine_pages_per_query: per_query("index_refine_pages_total"),
             observed_filter_pages_per_query: per_query("index_filter_pages_total"),
+            cells_per_page: registry.gauge_value("storage_cells_per_page", &[("index", index)]),
+            compression_ratio: registry
+                .gauge_value("storage_compression_ratio", &[("index", index)]),
             deciles,
         }
     }
@@ -241,6 +254,12 @@ impl fmt::Display for CostModelReport {
                 writeln!(f, "observed pages/query: filter {fp:.3}, refine {rp:.3}")?
             }
             _ => writeln!(f, "observed pages/query: no queries recorded")?,
+        }
+        if let (Some(cpp), Some(ratio)) = (self.cells_per_page, self.compression_ratio) {
+            writeln!(
+                f,
+                "cell file geometry: {cpp:.1} cells/page, compression ratio {ratio:.2}x"
+            )?;
         }
         writeln!(
             f,

@@ -27,18 +27,20 @@ use cf_field::FieldModel;
 use cf_rtree::PagedRTree;
 use cf_sfc::Curve;
 use cf_storage::{
-    checksum, codec, CfError, CfResult, PageBuf, PageId, Record, RecordFile, StorageEngine,
-    PAGE_SIZE,
+    checksum, codec, CellFile, CfError, CfResult, CompressedRecordFile, PageBuf, PageCodec, PageId,
+    Record, RecordFile, StorageEngine, PAGE_SIZE,
 };
 
 /// Catalog page magic ("CFIELDB1" in LE bytes).
 const MAGIC: u64 = 0x3142_444C_4549_4643;
-/// Catalog format version (2 = two-slot epoch commit).
-const VERSION: u32 = 2;
+/// Catalog format version (2 = two-slot epoch commit; 3 appends the
+/// page codec tag and the cell/subfield files' data-page counts, which
+/// the compressed layout needs to locate its page directory).
+const VERSION: u32 = 3;
 /// Number of slot pages a catalog occupies.
 const NUM_SLOTS: u64 = 2;
 /// Bytes covered by the slot checksum (header + payload).
-const CRC_COVER: usize = 100;
+const CRC_COVER: usize = 120;
 
 /// A `u32` cell→position mapping entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +92,9 @@ struct Slot {
     t_height: u32,
     t_len: u64,
     t_pages: u64,
+    codec: PageCodec,
+    cell_data_pages: u64,
+    sf_data_pages: u64,
 }
 
 fn encode_slot(slot: &Slot) -> PageBuf {
@@ -108,7 +113,10 @@ fn encode_slot(slot: &Slot) -> PageBuf {
     off = codec::put_u64(&mut buf, off, slot.t_root);
     off = codec::put_u32(&mut buf, off, slot.t_height);
     off = codec::put_u64(&mut buf, off, slot.t_len);
-    let end = codec::put_u64(&mut buf, off, slot.t_pages);
+    off = codec::put_u64(&mut buf, off, slot.t_pages);
+    off = codec::put_u32(&mut buf, off, slot.codec.tag());
+    off = codec::put_u64(&mut buf, off, slot.cell_data_pages);
+    let end = codec::put_u64(&mut buf, off, slot.sf_data_pages);
     debug_assert_eq!(end, CRC_COVER);
     let crc = checksum::crc32(&buf[..CRC_COVER]);
     codec::put_u32(&mut buf, CRC_COVER, crc);
@@ -176,6 +184,18 @@ fn decode_slot(page: PageId, buf: &PageBuf) -> CfResult<Slot> {
     let t_len = codec::get_u64(buf, off);
     off += 8;
     let t_pages = codec::get_u64(buf, off);
+    off += 8;
+    let codec_tag = codec::get_u32(buf, off);
+    off += 4;
+    let codec = PageCodec::from_tag(codec_tag).ok_or_else(|| {
+        CfError::corrupt(
+            page,
+            format!("unknown page codec tag {codec_tag} (known: 0=raw, 1=compressed)"),
+        )
+    })?;
+    let cell_data_pages = codec::get_u64(buf, off);
+    off += 8;
+    let sf_data_pages = codec::get_u64(buf, off);
     Ok(Slot {
         curve,
         epoch,
@@ -189,6 +209,9 @@ fn decode_slot(page: PageId, buf: &PageBuf) -> CfResult<Slot> {
         t_height,
         t_len,
         t_pages,
+        codec,
+        cell_data_pages,
+        sf_data_pages,
     })
 }
 
@@ -274,6 +297,9 @@ impl<F: FieldModel> IHilbert<F> {
             t_height,
             t_len,
             t_pages,
+            codec: inner.file.codec(),
+            cell_data_pages: inner.file.data_pages() as u64,
+            sf_data_pages: inner.sf_file.data_pages() as u64,
         };
         // Commit point: one full-page write. Torn → CRC mismatch → the
         // slot is not live and the previous epoch still wins.
@@ -319,18 +345,31 @@ impl<F: FieldModel> IHilbert<F> {
             ));
         };
 
-        let file = RecordFile::<F::CellRec>::open(PageId(slot.cell_first), slot.cell_len);
-        let sf_file = RecordFile::<Subfield>::open(PageId(slot.sf_first), slot.sf_len);
         let pos_file = RecordFile::<PosRecord>::open(PageId(slot.pos_first), slot.pos_len);
 
         // Validate every referenced span against the database size
         // before reading (or allocating buffers for) any of it: a
         // corrupt length would otherwise demand absurd memory or fault
-        // unallocated pages one by one.
+        // unallocated pages one by one. Compressed spans (data pages +
+        // trailing directory) are computed from the slot fields alone —
+        // opening a compressed file reads its directory, which must not
+        // happen before this check.
+        let (cell_pages, sf_pages) = match slot.codec {
+            PageCodec::Raw => (
+                RecordFile::<F::CellRec>::open(PageId(slot.cell_first), slot.cell_len).num_pages()
+                    as u64,
+                RecordFile::<Subfield>::open(PageId(slot.sf_first), slot.sf_len).num_pages() as u64,
+            ),
+            PageCodec::Compressed => (
+                CompressedRecordFile::<F::CellRec>::total_pages(slot.cell_data_pages as usize)
+                    as u64,
+                CompressedRecordFile::<Subfield>::total_pages(slot.sf_data_pages as usize) as u64,
+            ),
+        };
         let num_pages = engine.num_pages() as u64;
         let spans = [
-            ("cell file", slot.cell_first, file.num_pages() as u64),
-            ("subfield file", slot.sf_first, sf_file.num_pages() as u64),
+            ("cell file", slot.cell_first, cell_pages),
+            ("subfield file", slot.sf_first, sf_pages),
             ("position map", slot.pos_first, pos_file.num_pages() as u64),
             ("tree root", slot.t_root, 1),
         ];
@@ -346,6 +385,20 @@ impl<F: FieldModel> IHilbert<F> {
                 ));
             }
         }
+        let file = CellFile::<F::CellRec>::open(
+            engine,
+            slot.codec,
+            PageId(slot.cell_first),
+            slot.cell_len,
+            slot.cell_data_pages as usize,
+        )?;
+        let sf_file = CellFile::<Subfield>::open(
+            engine,
+            slot.codec,
+            PageId(slot.sf_first),
+            slot.sf_len,
+            slot.sf_data_pages as usize,
+        )?;
 
         let mut tree = PagedRTree::from_parts(slot.t_root, slot.t_height, slot.t_len, slot.t_pages);
         tree.attach_metrics(engine);

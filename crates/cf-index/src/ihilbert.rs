@@ -153,6 +153,11 @@ impl<F: FieldModel> IHilbert<F> {
         self.inner.file.len()
     }
 
+    /// On-page layout of the cell file (raw or compressed).
+    pub fn cell_codec(&self) -> cf_storage::PageCodec {
+        self.inner.file.codec()
+    }
+
     /// Hull of all indexed values (union of subfield intervals).
     pub fn value_domain(&self) -> Interval {
         self.inner
@@ -370,7 +375,7 @@ impl<F: FieldModel> ValueIndex for IHilbert<F> {
     }
 
     fn data_pages(&self) -> usize {
-        self.inner.file.num_pages()
+        self.inner.file.data_pages()
     }
 
     fn num_intervals(&self) -> usize {

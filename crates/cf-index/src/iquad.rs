@@ -192,7 +192,7 @@ impl<F: FieldModel> ValueIndex for IntervalQuadtree<F> {
     }
 
     fn data_pages(&self) -> usize {
-        self.inner.file.num_pages()
+        self.inner.file.data_pages()
     }
 
     fn num_intervals(&self) -> usize {

@@ -9,7 +9,9 @@ use crate::subfield::{build_subfields, Subfield, SubfieldConfig};
 use cf_field::FieldModel;
 use cf_geom::{Aabb, Interval, Polygon};
 use cf_rtree::{bulk_load_str, FrozenTree, PagedRTree, RStarTree, RTreeConfig};
-use cf_storage::{CfResult, MetricsRegistry, RecordFile, Stopwatch, StorageEngine, TraceEvent};
+use cf_storage::{
+    CellFile, CfResult, MetricsRegistry, RecordFile, Stopwatch, StorageEngine, TraceEvent,
+};
 use std::marker::PhantomData;
 use std::sync::OnceLock;
 
@@ -46,13 +48,13 @@ const COST_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.
 
 /// A cell file in subfield order plus the interval tree over subfields.
 pub(crate) struct SubfieldIndex<F: FieldModel> {
-    pub(crate) file: RecordFile<F::CellRec>,
+    pub(crate) file: CellFile<F::CellRec>,
     pub(crate) tree: PagedRTree<1>,
     /// Subfield catalog (interval + record range), kept for incremental
     /// maintenance — the system-catalog analogue of Fig. 6's metadata.
     pub(crate) subfields: Vec<Subfield>,
     /// On-disk copy of the subfield catalog (for database reopen).
-    pub(crate) sf_file: RecordFile<Subfield>,
+    pub(crate) sf_file: CellFile<Subfield>,
     /// File position → subfield index.
     pub(crate) pos_to_subfield: Vec<u32>,
     /// Frozen query plane: when present, the filtering step searches
@@ -99,7 +101,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
     ) -> CfResult<Self> {
         debug_assert_eq!(order.len(), field.num_cells());
         let records: Vec<F::CellRec> = order.iter().map(|&c| field.cell_record(c)).collect();
-        let file = RecordFile::create(engine, records)?;
+        let file = CellFile::create(engine, records)?;
         Self::finish(engine, file, subfields, tree_build)
     }
 
@@ -127,7 +129,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
             crate::par::par_map_chunks(order.len(), threads, |r, out| {
                 out.extend(order[r].iter().map(|&c| field.cell_record(c)));
             });
-        let file = RecordFile::create_parallel(engine, &records, threads)?;
+        let file = CellFile::create_parallel(engine, &records, threads)?;
         Self::finish(engine, file, subfields, tree_build)
     }
 
@@ -135,7 +137,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
     /// persist the catalog.
     fn finish(
         engine: &StorageEngine,
-        file: RecordFile<F::CellRec>,
+        file: CellFile<F::CellRec>,
         subfields: &[Subfield],
         tree_build: TreeBuild,
     ) -> CfResult<Self> {
@@ -157,7 +159,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
             ),
         };
         let tree = PagedRTree::persist(&tree, engine)?;
-        let sf_file = RecordFile::create(engine, subfields.to_vec())?;
+        let sf_file = CellFile::create(engine, subfields.to_vec())?;
         Ok(Self::assemble(file, tree, subfields.to_vec(), sf_file))
     }
 
@@ -166,19 +168,19 @@ impl<F: FieldModel> SubfieldIndex<F> {
     /// copy.
     pub(crate) fn open(
         engine: &StorageEngine,
-        file: RecordFile<F::CellRec>,
+        file: CellFile<F::CellRec>,
         tree: PagedRTree<1>,
-        sf_file: RecordFile<Subfield>,
+        sf_file: CellFile<Subfield>,
     ) -> CfResult<Self> {
         let subfields = sf_file.read_range(engine, 0..sf_file.len())?;
         Ok(Self::assemble(file, tree, subfields, sf_file))
     }
 
     fn assemble(
-        file: RecordFile<F::CellRec>,
+        file: CellFile<F::CellRec>,
         tree: PagedRTree<1>,
         subfields: Vec<Subfield>,
-        sf_file: RecordFile<Subfield>,
+        sf_file: CellFile<Subfield>,
     ) -> Self {
         let mut pos_to_subfield = vec![0u32; file.len()];
         for (i, sf) in subfields.iter().enumerate() {
@@ -247,6 +249,19 @@ impl<F: FieldModel> SubfieldIndex<F> {
                 .gauge_with("index_health_mean_cells_per_subfield", labels)
                 .set(self.file.len() as f64 / n as f64);
         }
+        // Storage-side geometry of the cell file, the denominator of the
+        // paper's page-count metric: how many cells each data page holds
+        // and how much smaller the file is than its fixed-slot layout.
+        registry
+            .gauge_with("storage_cells_per_page", labels)
+            .set(self.file.records_per_page());
+        let raw_pages = self
+            .file
+            .len()
+            .div_ceil(RecordFile::<F::CellRec>::records_per_page());
+        registry
+            .gauge_with("storage_compression_ratio", labels)
+            .set(raw_pages as f64 / self.file.data_pages().max(1) as f64);
         if let Some(costs) = costs {
             // The mean is only meaningful over the full distribution
             // (build time); incremental updates contribute single costs
@@ -264,15 +279,14 @@ impl<F: FieldModel> SubfieldIndex<F> {
     }
 
     /// `(interval, data pages spanned)` of every subfield — the spans
-    /// the cost-model advisor scores. Pages come from the record
-    /// geometry alone (`ceil`-spans of the `[start, end)` range over
-    /// the cell file's page grid), no I/O.
+    /// the cost-model advisor scores. Pages come from the cell file's
+    /// measured page geometry (the fixed slot grid for raw pages, the
+    /// page directory for compressed ones), no I/O.
     pub(crate) fn subfield_page_spans(&self) -> Vec<(Interval, f64)> {
-        let per_page = RecordFile::<F::CellRec>::records_per_page() as u32;
         self.subfields
             .iter()
             .map(|sf| {
-                let pages = (sf.end - 1) / per_page - sf.start / per_page + 1;
+                let pages = self.file.pages_in_range(sf.start as usize..sf.end as usize);
                 (sf.interval, pages as f64)
             })
             .collect()
@@ -315,7 +329,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
         let old_tree_run = self.tree.page_run();
         let old_sf_run = (self.sf_file.first_page(), self.sf_file.num_pages());
         self.tree = PagedRTree::persist(&tree, engine)?;
-        self.sf_file = RecordFile::create(engine, subfields.clone())?;
+        self.sf_file = CellFile::create(engine, subfields.clone())?;
         // Both replacements exist on fresh pages now; the old tree and
         // subfield catalog are dead. Return them to the freelist (a
         // failure here would leak pages, never double-allocate).

@@ -126,6 +126,32 @@ impl cf_storage::Record for Subfield {
             ),
         }
     }
+
+    fn columns() -> Vec<cf_storage::compress::ColSpec> {
+        use cf_storage::compress::{ColKind, ColSpec};
+        // `start`/`end` of consecutive subfields are sorted (each equals
+        // its predecessor's `end`), so the zigzag deltas are tiny; the
+        // interval bounds drift slowly along the Hilbert order, which the
+        // xor codec trims well.
+        vec![
+            ColSpec {
+                offset: 0,
+                kind: ColKind::Delta4,
+            },
+            ColSpec {
+                offset: 4,
+                kind: ColKind::Delta4,
+            },
+            ColSpec {
+                offset: 8,
+                kind: ColKind::Xor8,
+            },
+            ColSpec {
+                offset: 16,
+                kind: ColKind::Xor8,
+            },
+        ]
+    }
 }
 
 /// Groups linearized cell intervals into subfields.

@@ -3,44 +3,112 @@
 //! All on-page structures in the workspace (R\*-tree nodes, cell records,
 //! file headers) are fixed-layout little-endian; these helpers keep the
 //! offset arithmetic in one audited place.
+//!
+//! The `get_*` readers are bounds-checked and total: a truncated slice
+//! yields a zero value instead of a panic, because the caller has already
+//! sized the buffer (records decode from `R::SIZE`-byte images cut from a
+//! checksum-verified page). Paths that decode *variable-length* on-disk
+//! bytes — where a short slice means corruption, not a programmer error —
+//! must use the fallible `try_get_*` variants and map `None` to
+//! [`crate::CfError::Corrupt`]. This file is covered by the CI no-unwrap
+//! grep gate.
 
 /// Writes a `u32` at `offset`, returning the offset just past it.
-#[inline]
+#[inline(always)]
 pub fn put_u32(buf: &mut [u8], offset: usize, v: u32) -> usize {
     buf[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
     offset + 4
 }
 
-/// Reads a `u32` at `offset`.
-#[inline]
+/// Reads a `u32` at `offset`. Returns 0 if the slice is too short; use
+/// [`try_get_u32`] when a short read must surface as corruption.
+#[inline(always)]
 pub fn get_u32(buf: &[u8], offset: usize) -> u32 {
-    u32::from_le_bytes(buf[offset..offset + 4].try_into().expect("4 bytes"))
+    if let Some(b) = buf.get(offset..offset + 4) {
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    } else {
+        0
+    }
+}
+
+/// Reads a `u32` at `offset`, or `None` if the slice is too short.
+#[inline(always)]
+pub fn try_get_u32(buf: &[u8], offset: usize) -> Option<u32> {
+    let b = buf.get(offset..offset.checked_add(4)?)?;
+    let mut le = [0u8; 4];
+    le.copy_from_slice(b);
+    Some(u32::from_le_bytes(le))
 }
 
 /// Writes a `u64` at `offset`, returning the offset just past it.
-#[inline]
+#[inline(always)]
 pub fn put_u64(buf: &mut [u8], offset: usize, v: u64) -> usize {
     buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
     offset + 8
 }
 
-/// Reads a `u64` at `offset`.
-#[inline]
+/// Reads a `u64` at `offset`. Returns 0 if the slice is too short; use
+/// [`try_get_u64`] when a short read must surface as corruption.
+#[inline(always)]
 pub fn get_u64(buf: &[u8], offset: usize) -> u64 {
-    u64::from_le_bytes(buf[offset..offset + 8].try_into().expect("8 bytes"))
+    if let Some(b) = buf.get(offset..offset + 8) {
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    } else {
+        0
+    }
+}
+
+/// Reads a `u64` at `offset`, or `None` if the slice is too short.
+#[inline(always)]
+pub fn try_get_u64(buf: &[u8], offset: usize) -> Option<u64> {
+    let b = buf.get(offset..offset.checked_add(8)?)?;
+    let mut le = [0u8; 8];
+    le.copy_from_slice(b);
+    Some(u64::from_le_bytes(le))
 }
 
 /// Writes an `f64` at `offset`, returning the offset just past it.
-#[inline]
+#[inline(always)]
 pub fn put_f64(buf: &mut [u8], offset: usize, v: f64) -> usize {
     buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
     offset + 8
 }
 
-/// Reads an `f64` at `offset`.
-#[inline]
+/// Reads an `f64` at `offset`. Returns 0.0 if the slice is too short; use
+/// [`try_get_f64`] when a short read must surface as corruption.
+#[inline(always)]
 pub fn get_f64(buf: &[u8], offset: usize) -> f64 {
-    f64::from_le_bytes(buf[offset..offset + 8].try_into().expect("8 bytes"))
+    f64::from_bits(get_u64(buf, offset))
+}
+
+/// Reads an `f64` at `offset`, or `None` if the slice is too short.
+#[inline(always)]
+pub fn try_get_f64(buf: &[u8], offset: usize) -> Option<f64> {
+    try_get_u64(buf, offset).map(f64::from_bits)
+}
+
+/// Reads a `u16` at `offset`, or `None` if the slice is too short.
+#[inline(always)]
+pub fn try_get_u16(buf: &[u8], offset: usize) -> Option<u16> {
+    let b = buf.get(offset..offset.checked_add(2)?)?;
+    let mut le = [0u8; 2];
+    le.copy_from_slice(b);
+    Some(u16::from_le_bytes(le))
+}
+
+/// Reads a `u16` at `offset`; a slice too short reads as 0 (total, like
+/// the other `get_*` accessors — prefer [`try_get_u16`] on untrusted
+/// offsets).
+#[inline(always)]
+pub fn get_u16(buf: &[u8], offset: usize) -> u16 {
+    try_get_u16(buf, offset).unwrap_or(0)
+}
+
+/// Writes a `u16` at `offset`, returning the offset just past it.
+#[inline(always)]
+pub fn put_u16(buf: &mut [u8], offset: usize, v: u16) -> usize {
+    buf[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+    offset + 2
 }
 
 #[cfg(test)]
@@ -51,13 +119,15 @@ mod tests {
     fn round_trip_all_types() {
         let mut buf = [0u8; 64];
         let mut off = 0;
+        off = put_u16(&mut buf, off, 0xBEEF);
         off = put_u32(&mut buf, off, 0xDEAD_BEEF);
         off = put_u64(&mut buf, off, u64::MAX - 5);
         off = put_f64(&mut buf, off, -123.456);
-        assert_eq!(off, 20);
-        assert_eq!(get_u32(&buf, 0), 0xDEAD_BEEF);
-        assert_eq!(get_u64(&buf, 4), u64::MAX - 5);
-        assert_eq!(get_f64(&buf, 12), -123.456);
+        assert_eq!(off, 22);
+        assert_eq!(try_get_u16(&buf, 0), Some(0xBEEF));
+        assert_eq!(get_u32(&buf, 2), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 6), u64::MAX - 5);
+        assert_eq!(get_f64(&buf, 14), -123.456);
     }
 
     #[test]
@@ -82,5 +152,23 @@ mod tests {
     fn out_of_bounds_write_panics() {
         let mut buf = [0u8; 4];
         let _ = put_u64(&mut buf, 0, 1);
+    }
+
+    #[test]
+    fn truncated_reads_are_total_not_panicking() {
+        let buf = [0xFFu8; 4];
+        // get_* never panics on a short slice…
+        assert_eq!(get_u32(&buf, 2), 0);
+        assert_eq!(get_u64(&buf, 0), 0);
+        assert_eq!(get_f64(&buf, 0), 0.0);
+        // …and try_get_* reports the truncation.
+        assert_eq!(try_get_u32(&buf, 0), Some(u32::MAX));
+        assert_eq!(try_get_u32(&buf, 1), None);
+        assert_eq!(try_get_u64(&buf, 0), None);
+        assert_eq!(try_get_f64(&buf, 0), None);
+        assert_eq!(try_get_u16(&buf, 3), None);
+        // Offsets near usize::MAX must not overflow.
+        assert_eq!(try_get_u32(&buf, usize::MAX - 1), None);
+        assert_eq!(try_get_u64(&buf, usize::MAX), None);
     }
 }

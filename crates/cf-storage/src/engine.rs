@@ -1,7 +1,7 @@
 //! The storage façade bundling disk + buffer pool.
 
 use crate::fault::FiredFault;
-use crate::{BufferPool, CfResult, DiskManager, Fault, IoStats, PageBuf, PageId};
+use crate::{BufferPool, CfResult, DiskManager, Fault, IoStats, PageBuf, PageCodec, PageId};
 use cf_obs::MetricsRegistry;
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,6 +33,11 @@ pub struct StorageConfig {
     /// (checksum-verified either way; falls back to positional I/O if
     /// the kernel refuses the mapping). Ignored in memory.
     pub use_mmap: bool,
+    /// Page codec new record files ([`crate::CellFile`]) are created
+    /// with: [`PageCodec::Raw`] fixed-slot pages (the default) or
+    /// [`PageCodec::Compressed`] delta/varint pages packing several
+    /// times more Hilbert-ordered cells per page.
+    pub codec: PageCodec,
 }
 
 impl Default for StorageConfig {
@@ -43,6 +48,7 @@ impl Default for StorageConfig {
             read_latency: Duration::ZERO,
             write_latency: Duration::ZERO,
             use_mmap: false,
+            codec: PageCodec::Raw,
         }
     }
 }
@@ -67,6 +73,7 @@ pub struct StorageEngine {
     disk: DiskManager,
     pool: BufferPool,
     metrics: Arc<MetricsRegistry>,
+    codec: PageCodec,
 }
 
 impl StorageEngine {
@@ -81,7 +88,13 @@ impl StorageEngine {
             ),
             pool: config.build_pool(Arc::clone(&metrics)),
             metrics,
+            codec: config.codec,
         }
+    }
+
+    /// The page codec new [`crate::CellFile`]s on this engine use.
+    pub fn codec(&self) -> PageCodec {
+        self.codec
     }
 
     /// Creates an engine with default configuration (256-page pool, no
@@ -102,6 +115,7 @@ impl StorageEngine {
             disk: DiskManager::open_file_on(path, Arc::clone(&metrics), config.use_mmap)?,
             pool: config.build_pool(Arc::clone(&metrics)),
             metrics,
+            codec: config.codec,
         })
     }
 

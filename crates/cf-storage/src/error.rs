@@ -61,6 +61,16 @@ pub enum CfError {
         /// last cleared.
         ordinal: u64,
     },
+    /// An in-place update of a compressed page did not fit: re-encoding
+    /// the page's records with the new value exceeds the page size. The
+    /// data on disk is untouched and still valid — the caller should
+    /// repack the file to restore per-page slack.
+    PageFull {
+        /// The page that could not absorb the update.
+        page: PageId,
+        /// Records on the page at the time of the update.
+        records: usize,
+    },
 }
 
 impl CfError {
@@ -114,6 +124,13 @@ impl fmt::Display for CfError {
             }
             CfError::Injected { op, ordinal } => {
                 write!(f, "injected fault on physical {op} #{ordinal}")
+            }
+            CfError::PageFull { page, records } => {
+                write!(
+                    f,
+                    "compressed page {} is full ({records} records): update does not fit, repack to restore slack",
+                    page.0
+                )
             }
         }
     }

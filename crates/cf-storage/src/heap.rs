@@ -32,6 +32,32 @@ pub trait Record: Sized {
     /// payloads, and byte-level corruption is caught below this layer
     /// by the per-page checksums on physical read.
     fn decode(buf: &[u8]) -> Self;
+
+    /// Column layout used by the compressed page codec
+    /// ([`crate::CompressedRecordFile`]). The default treats the record
+    /// as 8-byte XOR-delta words (plus one trailing 4-byte delta word
+    /// when `SIZE % 8 == 4`), which fits all-`f64` records; types with
+    /// small-integer columns should override with
+    /// [`crate::compress::ColKind::Delta4`] specs for those words.
+    fn columns() -> Vec<crate::compress::ColSpec> {
+        crate::compress::generic_columns(Self::SIZE)
+    }
+
+    /// Cyclically interchangeable column groups for the compressed
+    /// codec ([`crate::compress::PageEncoder`]). Each inner list names
+    /// columns (indices into [`Record::columns`]) forming one unit;
+    /// cyclic rotations of the unit list are alternative layouts of the
+    /// same record (a TIN cell's vertex/value triples, say). The codec
+    /// picks the rotation that lines shared words up with the previous
+    /// record's columns, stores a 2-bit tag, and restores the original
+    /// layout on decode — readers always see the bytes that were
+    /// written. At most 4 units, all of equal length with kind-aligned
+    /// columns. The default (no groups) is correct for records whose
+    /// word positions carry fixed meaning (grid corners, packed
+    /// intervals).
+    fn column_rotation_groups() -> Vec<Vec<usize>> {
+        Vec::new()
+    }
 }
 
 /// A file of fixed-size records packed into consecutive pages

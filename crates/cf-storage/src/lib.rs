@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod compressed;
 mod disk;
 mod engine;
 mod error;
@@ -72,6 +73,7 @@ pub use buffer::{BufferPool, MIN_FRAMES_PER_SHARD};
 pub use cf_obs::{
     Counter, Gauge, Histogram, MetricsRegistry, SlowQueryReport, Stopwatch, TraceEvent, Tracer,
 };
+pub use compressed::{CellFile, CompressedRecordFile, PageCodec};
 pub use disk::{DiskManager, PageBuf, PageId, FSM_COMMIT_PAGE, PAGE_SIZE};
 pub use engine::{StorageConfig, StorageEngine};
 pub use error::{CfError, CfResult, FaultOp};
@@ -81,3 +83,4 @@ pub use stats::{thread_io_stats, IoStats, ShardStats};
 
 pub mod checksum;
 pub mod codec;
+pub mod compress;

@@ -20,7 +20,7 @@
 use contfield::field::{FieldModel, GridField};
 use contfield::geom::Interval;
 use contfield::index::{AdaptiveIndex, IHilbert, Plan, ValueIndex};
-use contfield::storage::{PageId, StorageConfig, StorageEngine, PAGE_SIZE};
+use contfield::storage::{PageCodec, PageId, StorageConfig, StorageEngine, PAGE_SIZE};
 use contfield::workload::{fractal::diamond_square, monotonic::monotonic_field, terrain};
 
 const BOOT_MAGIC: u64 = 0x3142_444C_4649_4243; // "CBIFLDB1"
@@ -165,16 +165,19 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap]".into()
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap] [--codec raw|compressed]".into()
 }
 
 /// Storage-engine tuning flags shared by every file-backed command:
 /// `--pool PAGES` sizes the buffer pool, `--mmap` serves reads through
-/// the read-only memory map instead of positional I/O.
+/// the read-only memory map instead of positional I/O, and `--codec
+/// raw|compressed` picks the on-page cell layout for newly built files
+/// (existing files carry their codec in the catalog and ignore it).
 #[derive(Default, Clone, Copy)]
 struct EngineOpts {
     pool: Option<usize>,
     mmap: bool,
+    codec: Option<PageCodec>,
 }
 
 impl EngineOpts {
@@ -182,6 +185,13 @@ impl EngineOpts {
         match flag {
             "--pool" => self.pool = Some(parse(&take(it, flag)?)?),
             "--mmap" => self.mmap = true,
+            "--codec" => {
+                let name = take(it, flag)?;
+                self.codec = Some(
+                    PageCodec::parse(&name)
+                        .ok_or_else(|| format!("unknown codec {name:?} (raw or compressed)"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         Ok(())
@@ -204,6 +214,9 @@ fn open_engine(path: &str, opts: EngineOpts) -> Result<StorageEngine, String> {
         config.pool_pages = pool;
     }
     config.use_mmap = opts.mmap;
+    if let Some(codec) = opts.codec {
+        config.codec = codec;
+    }
     StorageEngine::open_file(path, config).map_err(|e| format!("cannot open {path}: {e}"))
 }
 
@@ -254,9 +267,10 @@ fn create(
     engine.write_page(boot, &buf).map_err(|e| e.to_string())?;
     engine.sync().map_err(|e| e.to_string())?;
     Ok(format!(
-        "created {path}: {} cells ({} data pages), {} subfields ({} index pages), value domain [{:.3}, {:.3}]\n",
+        "created {path}: {} cells ({} data pages, {} codec), {} subfields ({} index pages), value domain [{:.3}, {:.3}]\n",
         field.num_cells(),
         index.data_pages(),
+        index.cell_codec().name(),
         index.num_subfields(),
         index.index_pages(),
         field.value_domain().lo,
@@ -269,10 +283,11 @@ fn info(path: &str, eng: EngineOpts) -> Result<String, String> {
     let index = open_index(&engine)?;
     let dom = index.value_domain();
     Ok(format!(
-        "{path}: {} pages on disk\n  cells: {} ({} data pages)\n  subfields: {} ({} index pages)\n  value domain: [{:.3}, {:.3}]\n",
+        "{path}: {} pages on disk\n  cells: {} ({} data pages, {} codec)\n  subfields: {} ({} index pages)\n  value domain: [{:.3}, {:.3}]\n",
         engine.num_pages(),
         index.inner_len(),
         index.data_pages(),
+        index.cell_codec().name(),
         index.num_subfields(),
         index.index_pages(),
         dom.lo,
@@ -694,6 +709,56 @@ mod tests {
         assert!(out.contains("value at"), "{out}");
 
         std::fs::remove_file(&db).expect("cleanup");
+    }
+
+    #[test]
+    fn compressed_codec_cycle_answers_like_raw() {
+        let raw_db = tmp("codec_raw");
+        let comp_db = tmp("codec_comp");
+        let create = |db: &str, codec: &str| {
+            run(&argv(&[
+                "create",
+                db,
+                "--workload",
+                "fractal",
+                "--k",
+                "5",
+                "--codec",
+                codec,
+            ]))
+            .expect("create")
+        };
+        let raw_out = create(&raw_db, "raw");
+        let comp_out = create(&comp_db, "compressed");
+        assert!(raw_out.contains("raw codec"), "{raw_out}");
+        assert!(comp_out.contains("compressed codec"), "{comp_out}");
+
+        let info = run(&argv(&["info", &comp_db])).expect("info");
+        assert!(info.contains("compressed codec"), "{info}");
+
+        // Same answers across codecs, across a process-restart reopen —
+        // only the page-read count may differ (compressed reads fewer).
+        let q = |db: &str| {
+            let out = run(&argv(&["query", db, "-0.2", "0.2", "--regions", "2"])).expect("query");
+            let (head, tail) = out.split_once(" (").expect("page-read suffix");
+            let reads: u64 = tail
+                .split_once(' ')
+                .and_then(|(n, _)| n.parse().ok())
+                .expect("page-read count");
+            let answer = format!("{head}{}", tail.split_once(')').expect("suffix").1);
+            (answer, reads)
+        };
+        let (raw_answer, raw_reads) = q(&raw_db);
+        let (comp_answer, comp_reads) = q(&comp_db);
+        assert_eq!(raw_answer, comp_answer);
+        assert!(comp_reads <= raw_reads, "{comp_reads} vs {raw_reads}");
+
+        assert!(
+            run(&argv(&["create", &tmp("codec_bad"), "--codec", "zstd"])).is_err(),
+            "unknown codec must be rejected"
+        );
+        std::fs::remove_file(&raw_db).expect("cleanup");
+        std::fs::remove_file(&comp_db).expect("cleanup");
     }
 
     #[test]
