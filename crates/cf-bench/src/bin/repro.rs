@@ -13,8 +13,12 @@
 //! bench history), `--metrics` (with `batch`/`bench`: dump the engine's
 //! metrics-registry snapshot after the run), `--oocore` (with `bench`:
 //! run the out-of-core file-backing benchmark instead, appending to its
-//! own history, default `BENCH_oocore_history.jsonl`), `--k N` (oocore
-//! grid exponent, default 10 → 1,048,576 cells), `--history PATH`
+//! own history, default `BENCH_oocore_history.jsonl`), `--ingest` (with
+//! `bench`: run the live-ingest concurrency benchmark — a writer
+//! streaming epoch-published updates against concurrent snapshot
+//! readers, oracle-checked, appending `ingest_*` metrics to the main
+//! history), `--k N` (grid exponent: oocore default 10 → 1,048,576
+//! cells, ingest default 6 → 4,096 cells), `--history PATH`
 //! (default `BENCH_history.jsonl`), `--window N` / `--tol-time F` /
 //! `--tol-count F` (regression-gate knobs, see `cf_bench::history`).
 //!
@@ -50,6 +54,7 @@ struct Opts {
     json: bool,
     metrics: bool,
     oocore: bool,
+    ingest: bool,
     k: Option<u32>,
     history: Option<String>,
     window: usize,
@@ -77,6 +82,7 @@ fn main() {
         json: false,
         metrics: false,
         oocore: false,
+        ingest: false,
         k: None,
         history: None,
         window: 5,
@@ -90,6 +96,7 @@ fn main() {
             "--json" => opts.json = true,
             "--metrics" => opts.metrics = true,
             "--oocore" => opts.oocore = true,
+            "--ingest" => opts.ingest = true,
             "--k" => {
                 opts.k = Some(
                     it.next()
@@ -152,7 +159,9 @@ fn main() {
         "ablation" => ablation(&opts),
         "batch" => batch(&opts),
         "bench" => {
-            if opts.oocore {
+            if opts.ingest {
+                ingest_bench(&opts)
+            } else if opts.oocore {
                 oocore(&opts)
             } else {
                 bench(&opts)
@@ -1104,6 +1113,209 @@ fn oocore(opts: &Opts) {
             .as_deref()
             .unwrap_or("BENCH_oocore_history.jsonl");
         cf_bench::history::append_history(history, &rec).expect("append oocore history");
+        println!("appended run to {history}");
+    }
+}
+
+/// The live-ingest concurrency benchmark (`bench --ingest`): one writer
+/// streams cell updates through the epoch plane (`LiveIngest`) —
+/// including periodic explicit repacks that drain the delta ring into a
+/// fresh Hilbert-ordered segment — while several reader threads query
+/// pinned snapshots the whole time. Readers must make progress during
+/// both the streaming and the repack windows (no global stall), and the
+/// final snapshot must answer byte-identically to a sequential oracle
+/// that replays the same update plan through `IHilbert::update_cell`.
+/// With `--json` the measurements append `ingest_*` metrics to the main
+/// bench history (default `BENCH_history.jsonl`) for `repro regress`.
+fn ingest_bench(opts: &Opts) {
+    use cf_index::{IngestConfig, LiveIngest};
+    use cf_storage::StorageEngine;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Instant;
+
+    let k = opts.k.unwrap_or(6);
+    let updates: usize = if opts.full { 8192 } else { 2048 };
+    let num_readers = 3usize;
+    let repack_every = 509usize; // prime, so repacks interleave unevenly
+    let field = diamond_square(k, 0.6, 0x1A6E57);
+    let dom = field.value_domain();
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build base");
+    let live = LiveIngest::new(
+        &engine,
+        base,
+        IngestConfig {
+            capacity: 256,
+            ..Default::default()
+        },
+    )
+    .expect("wrap live ingest plane");
+    let bands = interval_queries(dom, 0.05, 8, 0x0E9);
+    eprintln!(
+        "[ingest] {} cells, {updates} streamed updates, {num_readers} snapshot readers…",
+        field.num_cells()
+    );
+
+    let stop = AtomicBool::new(false);
+    let repack_inflight = AtomicBool::new(false);
+    let reads_during_repack = AtomicU64::new(0);
+    let reader_queries: Vec<AtomicU64> = (0..num_readers).map(|_| AtomicU64::new(0)).collect();
+
+    // Deterministic update plan (split-mix), recorded as the writer
+    // generates it so the oracle can replay it verbatim afterwards.
+    let mut rng_state = 0x1_7E57_u64;
+    let mut next = move || {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let t0 = Instant::now();
+    let (plan, ingest_ns, repack_ns, repacks) = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut plan = Vec::with_capacity(updates);
+            let mut ingest_ns = 0u64;
+            let mut repack_ns = 0u64;
+            let mut repacks = 0u64;
+            for i in 0..updates {
+                let cell = (next() % field.num_cells() as u64) as usize;
+                let mut rec = live.cell_record(&engine, cell).expect("cell record");
+                for v in rec.vals.iter_mut() {
+                    *v = dom.denormalize((next() >> 11) as f64 / (1u64 << 53) as f64);
+                }
+                plan.push((cell, rec));
+                let t = Instant::now();
+                live.ingest(&engine, cell, rec).expect("ingest");
+                ingest_ns += t.elapsed().as_nanos() as u64;
+                if i % repack_every == repack_every - 1 {
+                    repack_inflight.store(true, Ordering::SeqCst);
+                    let t = Instant::now();
+                    live.repack(&engine).expect("repack");
+                    repack_ns += t.elapsed().as_nanos() as u64;
+                    repack_inflight.store(false, Ordering::SeqCst);
+                    repacks += 1;
+                }
+            }
+            // Final drain so the published epoch is fully repacked
+            // before the oracle comparison.
+            repack_inflight.store(true, Ordering::SeqCst);
+            let t = Instant::now();
+            live.repack(&engine).expect("final repack");
+            repack_ns += t.elapsed().as_nanos() as u64;
+            repack_inflight.store(false, Ordering::SeqCst);
+            repacks += 1;
+            stop.store(true, Ordering::SeqCst);
+            (plan, ingest_ns, repack_ns, repacks)
+        });
+        for counter in &reader_queries {
+            s.spawn(|| {
+                let mut i = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let snap = live.snapshot();
+                    let was_repacking = repack_inflight.load(Ordering::SeqCst);
+                    snap.query_stats(&engine, bands[i % bands.len()])
+                        .expect("snapshot query");
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    if was_repacking {
+                        reads_during_repack.fetch_add(1, Ordering::SeqCst);
+                    }
+                    i += 1;
+                }
+            });
+        }
+        writer.join().expect("writer thread")
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let total_reads: u64 = reader_queries
+        .iter()
+        .map(|c| c.load(Ordering::SeqCst))
+        .sum();
+    let min_reads = reader_queries
+        .iter()
+        .map(|c| c.load(Ordering::SeqCst))
+        .min()
+        .unwrap_or(0);
+    assert!(
+        min_reads > 0,
+        "every reader must make progress while the writer streams"
+    );
+
+    // Sequential oracle: the same plan through the synchronous
+    // update-in-place path on an independent index. The published
+    // snapshot must agree bit-for-bit on every probe band.
+    let mut oracle = IHilbert::build(&engine, &field).expect("build oracle");
+    for (cell, rec) in &plan {
+        oracle
+            .update_cell(&engine, *cell, *rec)
+            .expect("oracle update");
+    }
+    let snap = live.snapshot();
+    let mut identical = true;
+    for q in &bands {
+        let got = snap.query_stats(&engine, *q).expect("snapshot query");
+        let want = oracle.query_stats(&engine, *q).expect("oracle query");
+        identical &= got.cells_qualifying == want.cells_qualifying
+            && got.num_regions == want.num_regions
+            && got.area.to_bits() == want.area.to_bits();
+    }
+    assert!(
+        identical,
+        "the epoch plane must answer byte-identically to the sequential oracle"
+    );
+    let (delta_pending, epoch, _) = live.status();
+    assert_eq!(delta_pending, 0, "final repack must drain the delta ring");
+
+    println!(
+        "### bench --ingest — live epoch plane under concurrent readers ({} cells)\n",
+        field.num_cells()
+    );
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| cells | {} |", field.num_cells());
+    println!("| streamed updates | {updates} |");
+    println!("| published epoch | {epoch} |");
+    println!("| repacks (incl. final drain) | {repacks} |");
+    println!(
+        "| mean ingest latency | {:.1} µs |",
+        ingest_ns as f64 / updates as f64 / 1e3
+    );
+    println!(
+        "| mean repack wall | {:.2} ms |",
+        repack_ns as f64 / repacks as f64 / 1e6
+    );
+    println!("| reader queries (total / min per reader) | {total_reads} / {min_reads} |");
+    println!(
+        "| reader queries completed during a repack | {} |",
+        reads_during_repack.load(Ordering::SeqCst)
+    );
+    println!("| oracle byte-identical on {} bands | yes |", bands.len());
+    println!("| wall | {wall_ms:.1} ms |\n");
+
+    if opts.json {
+        let mut rec = cf_bench::history::BenchRecord::new("ingest");
+        rec.push("ingest_cells", field.num_cells() as f64);
+        rec.push("ingest_updates", updates as f64);
+        rec.push("ingest_update_us", ingest_ns as f64 / updates as f64 / 1e3);
+        // Mean repack wall in ms — recorded without a unit suffix on
+        // purpose: at sub-ms scale it is scheduling noise on shared
+        // runners, so it stays informational rather than gated.
+        rec.push(
+            "ingest_repack_wall",
+            repack_ns as f64 / repacks as f64 / 1e6,
+        );
+        rec.push("ingest_repacks", repacks as f64);
+        rec.push("ingest_epoch", epoch as f64);
+        rec.push("ingest_reader_queries", total_reads as f64);
+        rec.push("ingest_min_reader_queries", min_reads as f64);
+        rec.push(
+            "ingest_reads_during_repack",
+            reads_during_repack.load(Ordering::SeqCst) as f64,
+        );
+        rec.push("ingest_identical", if identical { 1.0 } else { 0.0 });
+        let history = opts.history.as_deref().unwrap_or("BENCH_history.jsonl");
+        cf_bench::history::append_history(history, &rec).expect("append ingest history");
         println!("appended run to {history}");
     }
 }

@@ -287,9 +287,16 @@ impl fmt::Display for CostModelReport {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepackOutcome {
     /// Whether the subfield catalog was regrouped. `false` when no
-    /// workload was observed (e.g. under `obs-off`) or when the
-    /// empirical grouping is identical to the current one.
+    /// workload was observed (e.g. under `obs-off`), when the
+    /// empirical grouping is identical to the current one, or when a
+    /// background ingest repack was in flight (see
+    /// [`RepackOutcome::declined_in_flight`]).
     pub repacked: bool,
+    /// `true` when the advisor declined because a background ingest
+    /// repack was publishing a new epoch at the time (the
+    /// `ingest_repack_inflight` gauge was set): regrouping the plane
+    /// mid-swap would race the repacker for the same page runs.
+    pub declined_in_flight: bool,
     /// The workload profile the decision was based on.
     pub profile: WorkloadProfile,
     /// Subfield count before.
@@ -309,7 +316,9 @@ impl fmt::Display for RepackOutcome {
             return write!(
                 f,
                 "repack declined ({}; {} subfields unchanged)",
-                if self.profile.is_informed() {
+                if self.declined_in_flight {
+                    "background ingest repack in flight"
+                } else if self.profile.is_informed() {
                     "grouping already optimal for the observed workload"
                 } else {
                     "no workload observed"

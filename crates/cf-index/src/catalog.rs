@@ -21,6 +21,7 @@
 //! DESIGN.md §9 for the full protocol and its caveats.
 
 use crate::ihilbert::IHilbert;
+use crate::ingest::{DeltaRec, IngestConfig, LiveIngest};
 use crate::sfindex::SubfieldIndex;
 use crate::subfield::Subfield;
 use cf_field::FieldModel;
@@ -35,12 +36,14 @@ use cf_storage::{
 const MAGIC: u64 = 0x3142_444C_4549_4643;
 /// Catalog format version (2 = two-slot epoch commit; 3 appends the
 /// page codec tag and the cell/subfield files' data-page counts, which
-/// the compressed layout needs to locate its page directory).
-const VERSION: u32 = 3;
+/// the compressed layout needs to locate its page directory; 4 appends
+/// the live-ingest epoch pointer and the flushed delta file's run, so
+/// a [`LiveIngest`] plane survives close/reopen).
+const VERSION: u32 = 4;
 /// Number of slot pages a catalog occupies.
 const NUM_SLOTS: u64 = 2;
 /// Bytes covered by the slot checksum (header + payload).
-const CRC_COVER: usize = 120;
+const CRC_COVER: usize = 144;
 
 /// A `u32` cell→position mapping entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +98,14 @@ struct Slot {
     codec: PageCodec,
     cell_data_pages: u64,
     sf_data_pages: u64,
+    /// Live-ingest publication epoch at save time (0: plain index
+    /// save, no ingest plane).
+    ingest_epoch: u64,
+    /// First page of the flushed net-delta record file (meaningless
+    /// when `delta_len == 0`).
+    delta_first: u64,
+    /// Net delta records flushed alongside the base (0: empty delta).
+    delta_len: usize,
 }
 
 fn encode_slot(slot: &Slot) -> PageBuf {
@@ -116,7 +127,10 @@ fn encode_slot(slot: &Slot) -> PageBuf {
     off = codec::put_u64(&mut buf, off, slot.t_pages);
     off = codec::put_u32(&mut buf, off, slot.codec.tag());
     off = codec::put_u64(&mut buf, off, slot.cell_data_pages);
-    let end = codec::put_u64(&mut buf, off, slot.sf_data_pages);
+    off = codec::put_u64(&mut buf, off, slot.sf_data_pages);
+    off = codec::put_u64(&mut buf, off, slot.ingest_epoch);
+    off = codec::put_u64(&mut buf, off, slot.delta_first);
+    let end = codec::put_u64(&mut buf, off, slot.delta_len as u64);
     debug_assert_eq!(end, CRC_COVER);
     let crc = checksum::crc32(&buf[..CRC_COVER]);
     codec::put_u32(&mut buf, CRC_COVER, crc);
@@ -196,6 +210,12 @@ fn decode_slot(page: PageId, buf: &PageBuf) -> CfResult<Slot> {
     let cell_data_pages = codec::get_u64(buf, off);
     off += 8;
     let sf_data_pages = codec::get_u64(buf, off);
+    off += 8;
+    let ingest_epoch = codec::get_u64(buf, off);
+    off += 8;
+    let delta_first = codec::get_u64(buf, off);
+    off += 8;
+    let delta_len = codec::get_u64(buf, off) as usize;
     Ok(Slot {
         curve,
         epoch,
@@ -212,6 +232,9 @@ fn decode_slot(page: PageId, buf: &PageBuf) -> CfResult<Slot> {
         codec,
         cell_data_pages,
         sf_data_pages,
+        ingest_epoch,
+        delta_first,
+        delta_len,
     })
 }
 
@@ -243,6 +266,21 @@ impl<F: FieldModel> IHilbert<F> {
     /// [`IHilbert::open`]) until that final single-page write lands
     /// whole.
     pub fn save_to(&self, engine: &StorageEngine, catalog: PageId) -> CfResult<()> {
+        self.save_slot_with_delta(engine, catalog, 0, 0, 0)
+    }
+
+    /// Shared commit path of [`IHilbert::save_to`] and
+    /// [`LiveIngest::save_to`]: writes the next shadow slot, carrying
+    /// the live-ingest epoch pointer and the (already flushed) net
+    /// delta run. A plain index save passes zeros.
+    pub(crate) fn save_slot_with_delta(
+        &self,
+        engine: &StorageEngine,
+        catalog: PageId,
+        ingest_epoch: u64,
+        delta_first: u64,
+        delta_len: usize,
+    ) -> CfResult<()> {
         // Lenient look at both slots: an unreadable or invalid slot is
         // simply not live. `max_by_key` breaks ties toward slot 1, so a
         // (never-produced) epoch tie still yields a deterministic pick.
@@ -264,6 +302,17 @@ impl<F: FieldModel> IHilbert<F> {
         let replaced_pos = slots[target as usize].map(|s| {
             let pages = RecordFile::<PosRecord>::open(PageId(s.pos_first), s.pos_len).num_pages();
             (PageId(s.pos_first), pages)
+        });
+        // Same lifecycle for the replaced slot's flushed delta run:
+        // dead once no slot references it, freed only after the commit.
+        let replaced_delta = slots[target as usize].and_then(|s| {
+            if s.delta_len == 0 {
+                return None;
+            }
+            let pages =
+                RecordFile::<DeltaRec<F::CellRec>>::open(PageId(s.delta_first), s.delta_len)
+                    .num_pages();
+            Some((PageId(s.delta_first), pages))
         });
 
         // The only index state not already on its own pages: the
@@ -300,6 +349,9 @@ impl<F: FieldModel> IHilbert<F> {
             codec: inner.file.codec(),
             cell_data_pages: inner.file.data_pages() as u64,
             sf_data_pages: inner.sf_file.data_pages() as u64,
+            ingest_epoch,
+            delta_first,
+            delta_len,
         };
         // Commit point: one full-page write. Torn → CRC mismatch → the
         // slot is not live and the previous epoch still wins.
@@ -315,6 +367,11 @@ impl<F: FieldModel> IHilbert<F> {
                 engine.free_run(first, pages)?;
             }
         }
+        if let Some((first, pages)) = replaced_delta {
+            if first.0 != slot.delta_first || slot.delta_len == 0 {
+                engine.free_run(first, pages)?;
+            }
+        }
         Ok(())
     }
 
@@ -326,6 +383,12 @@ impl<F: FieldModel> IHilbert<F> {
     /// consistent catalog, or when the winning slot references pages
     /// past the end of the database (a corrupt length field).
     pub fn open(engine: &StorageEngine, catalog: PageId) -> CfResult<Self> {
+        Self::open_slot(engine, catalog).map(|(index, _)| index)
+    }
+
+    /// [`IHilbert::open`] plus the winning slot itself, so the
+    /// live-ingest reopen path can reach the v4 delta fields.
+    fn open_slot(engine: &StorageEngine, catalog: PageId) -> CfResult<(Self, Slot)> {
         let mut winner: Option<Slot> = None;
         let mut failures: Vec<String> = Vec::new();
         for i in 0..NUM_SLOTS {
@@ -367,11 +430,18 @@ impl<F: FieldModel> IHilbert<F> {
             ),
         };
         let num_pages = engine.num_pages() as u64;
+        let delta_pages = if slot.delta_len > 0 {
+            RecordFile::<DeltaRec<F::CellRec>>::open(PageId(slot.delta_first), slot.delta_len)
+                .num_pages() as u64
+        } else {
+            0
+        };
         let spans = [
             ("cell file", slot.cell_first, cell_pages),
             ("subfield file", slot.sf_first, sf_pages),
             ("position map", slot.pos_first, pos_file.num_pages() as u64),
             ("tree root", slot.t_root, 1),
+            ("delta file", slot.delta_first, delta_pages),
         ];
         for (what, first, len) in spans {
             if first.saturating_add(len) > num_pages {
@@ -414,7 +484,51 @@ impl<F: FieldModel> IHilbert<F> {
         // metadata; the cost-C distribution needs per-cell intervals and
         // reappears on the first update.
         index.inner().publish_health(engine.metrics(), None);
-        Ok(index)
+        Ok((index, slot))
+    }
+}
+
+impl<F: FieldModel> LiveIngest<F> {
+    /// Persists the ingest plane into a freshly allocated two-slot
+    /// catalog run: base index + flushed net delta + epoch pointer.
+    pub fn save(&self, engine: &StorageEngine) -> CfResult<PageId> {
+        let catalog = engine.allocate_run(NUM_SLOTS as usize)?;
+        self.save_to(engine, catalog)?;
+        Ok(catalog)
+    }
+
+    /// Persists the ingest plane into an existing catalog run via the
+    /// shadow-slot protocol, in crash-ordered steps: (1) flush the net
+    /// delta to a fresh record-file run, (2) commit the v4 slot
+    /// (pointing at base + delta + epoch) with one page write, (3)
+    /// free the runs only the replaced slot referenced. A crash
+    /// anywhere in the sequence leaves a previous consistent epoch
+    /// winning on reopen.
+    pub fn save_to(&self, engine: &StorageEngine, catalog: PageId) -> CfResult<()> {
+        let (base, deltas, epoch) = self.persist_state();
+        let (delta_first, delta_len) = if deltas.is_empty() {
+            (0, 0)
+        } else {
+            let len = deltas.len();
+            let file = RecordFile::create(engine, deltas)?;
+            (file.first_page().0, len)
+        };
+        base.save_slot_with_delta(engine, catalog, epoch, delta_first, delta_len)
+    }
+
+    /// Reattaches a saved ingest plane: reopens the base index from
+    /// the winning slot, replays the flushed net delta into the
+    /// overlay maps (rebuilding the per-subfield interval summary) and
+    /// resumes publishing from the persisted epoch.
+    pub fn open(engine: &StorageEngine, catalog: PageId, config: IngestConfig) -> CfResult<Self> {
+        let (base, slot) = IHilbert::<F>::open_slot(engine, catalog)?;
+        let ring: Vec<DeltaRec<F::CellRec>> = if slot.delta_len > 0 {
+            RecordFile::<DeltaRec<F::CellRec>>::open(PageId(slot.delta_first), slot.delta_len)
+                .read_range(engine, 0..slot.delta_len)?
+        } else {
+            Vec::new()
+        };
+        Self::from_state(engine, base, config, slot.ingest_epoch, ring)
     }
 }
 

@@ -11,7 +11,7 @@ use crate::stats::{QueryMetrics, QueryStats, ValueIndex};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
 use cf_rtree::{FrozenTree, PagedRTree, RStarTree, RTreeConfig};
-use cf_storage::{CfResult, RecordFile, Stopwatch, StorageEngine, TraceEvent};
+use cf_storage::{CfError, CfResult, RecordFile, Stopwatch, StorageEngine, TraceEvent};
 use std::marker::PhantomData;
 use std::sync::OnceLock;
 
@@ -55,6 +55,46 @@ impl<F: FieldModel> IAll<F> {
     /// identical answers and `filter_nodes`, zero filter-step page reads.
     pub fn freeze(&mut self, engine: &StorageEngine) -> CfResult<()> {
         self.frozen = Some(self.tree.freeze(engine)?);
+        Ok(())
+    }
+
+    /// Incremental maintenance: rewrites `cell`'s record in place and,
+    /// if its value interval changed, replaces the cell's entry in the
+    /// interval R\*-tree (the frozen plane, when active, is re-frozen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfError::InvalidCell`] when `cell` is outside the
+    /// indexed range — cell ids are user input and must not panic.
+    pub fn update_cell(
+        &mut self,
+        engine: &StorageEngine,
+        cell: usize,
+        record: F::CellRec,
+    ) -> CfResult<()> {
+        if cell >= self.file.len() {
+            return Err(CfError::InvalidCell {
+                cell,
+                cells: self.file.len(),
+            });
+        }
+        let old = self.file.get(engine, cell)?;
+        let old_iv = F::record_interval(&old);
+        let new_iv = F::record_interval(&record);
+        self.file.put(engine, cell, &record)?;
+        if new_iv != old_iv {
+            let removed = self.tree.remove(engine, &old_iv.into(), cell as u64)?;
+            if !removed {
+                return Err(CfError::corrupt(
+                    None,
+                    format!("cell {cell}'s interval entry is missing from the I-All tree"),
+                ));
+            }
+            self.tree.insert(engine, new_iv.into(), cell as u64)?;
+            if self.frozen.is_some() {
+                self.freeze(engine)?;
+            }
+        }
         Ok(())
     }
 
@@ -235,6 +275,53 @@ mod tests {
             assert_eq!(a.intervals_retrieved, b.intervals_retrieved);
             assert_eq!(b.filter_pages, 0, "band {band}");
             assert!((a.area - b.area).abs() < 1e-9, "band {band}");
+        }
+    }
+
+    #[test]
+    fn update_cell_maintains_tree_and_rejects_bad_ids() {
+        use crate::stats::ValueIndex;
+        let engine = StorageEngine::in_memory();
+        let field = ramp_field(8);
+        let mut iall = IAll::build(&engine, &field).expect("build");
+        iall.freeze(&engine).expect("freeze");
+
+        // A typed error, not a panic, on an out-of-range cell id.
+        let err = iall
+            .update_cell(&engine, field.num_cells() + 3, field.cell_record(0))
+            .expect_err("out-of-range cell id");
+        assert!(err.is_invalid_cell(), "{err}");
+
+        // A real update moves the cell into a distant band.
+        let cell = 11;
+        let rec = cf_field::GridCellRecord {
+            vals: [777.0; 4],
+            ..field.cell_record(cell)
+        };
+        iall.update_cell(&engine, cell, rec).expect("update");
+        let stats = iall
+            .query_stats(&engine, Interval::new(776.0, 778.0))
+            .expect("query");
+        assert_eq!(stats.cells_qualifying, 1);
+        // remove + insert, not a second insert: still one entry per cell.
+        assert_eq!(iall.num_intervals(), field.num_cells());
+        // The re-frozen plane agrees with a paged-plane index that
+        // applied the same update.
+        let mut paged = IAll::build(&engine, &field).expect("build");
+        let rec = cf_field::GridCellRecord {
+            vals: [777.0; 4],
+            ..field.cell_record(cell)
+        };
+        paged.update_cell(&engine, cell, rec).expect("update");
+        for band in [
+            Interval::new(5.0, 9.0),
+            Interval::new(776.0, 778.0),
+            Interval::new(-10.0, 1000.0),
+        ] {
+            let a = paged.query_stats(&engine, band).expect("query");
+            let b = iall.query_stats(&engine, band).expect("query");
+            assert_eq!(a.cells_qualifying, b.cells_qualifying, "band {band}");
+            assert_eq!(a.area.to_bits(), b.area.to_bits(), "band {band}");
         }
     }
 

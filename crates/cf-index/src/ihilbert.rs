@@ -15,7 +15,7 @@ use crate::subfield::{build_subfields, SubfieldConfig};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
 use cf_sfc::Curve;
-use cf_storage::{CfResult, StorageEngine};
+use cf_storage::{CfError, CfResult, StorageEngine};
 
 /// Construction parameters of [`IHilbert`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -275,9 +275,18 @@ impl<F: FieldModel> IHilbert<F> {
         let w = domain.hi - domain.lo;
         let subfields_before = before_spans.len();
         let predicted_before = expected_pages(&before_spans, profile.mean_query_len, w);
-        if !profile.is_informed() {
+        // While a background ingest repack is publishing a new epoch,
+        // decline: both operations want to retire the same tree and
+        // subfield-catalog runs, and the epoch swap will regroup under
+        // the observed workload anyway.
+        let repack_in_flight = engine
+            .metrics()
+            .gauge_value("ingest_repack_inflight", &[])
+            .is_some_and(|v| v >= 1.0);
+        if repack_in_flight || !profile.is_informed() {
             return Ok(RepackOutcome {
                 repacked: false,
+                declined_in_flight: repack_in_flight,
                 profile,
                 subfields_before,
                 subfields_after: subfields_before,
@@ -293,6 +302,7 @@ impl<F: FieldModel> IHilbert<F> {
         let after_spans = self.inner.subfield_page_spans();
         Ok(RepackOutcome {
             repacked,
+            declined_in_flight: false,
             profile,
             subfields_before,
             subfields_after: after_spans.len(),
@@ -310,31 +320,45 @@ impl<F: FieldModel> IHilbert<F> {
     /// index pages). Subfield *boundaries* are not re-optimized — the
     /// greedy grouping is a build-time decision, as in the paper.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cell` is not a cell id this index was built over
-    /// (out of range or unmapped under non-dense ids), or if a
-    /// reopened catalog maps it past the cell file — both would
-    /// otherwise rewrite some other cell's record.
+    /// Returns [`CfError::InvalidCell`] if `cell` is not a cell id this
+    /// index was built over (out of range or unmapped under non-dense
+    /// ids), and [`CfError::Corrupt`] if a reopened catalog maps it
+    /// past the cell file — both would otherwise rewrite some other
+    /// cell's record. Cell ids are user input; neither case panics.
     pub fn update_cell(
         &mut self,
         engine: &StorageEngine,
         cell: usize,
         record: F::CellRec,
     ) -> CfResult<()> {
+        let pos = self.resolve_cell(cell)?;
+        self.inner.update_record(engine, pos, &record)
+    }
+
+    /// Maps a user-supplied cell id to its cell-file position, with the
+    /// same validation (and errors) as [`IHilbert::update_cell`].
+    pub(crate) fn resolve_cell(&self, cell: usize) -> CfResult<usize> {
         let pos = match self.cell_to_pos.get(cell) {
             Some(&p) if p != u32::MAX => p as usize,
-            _ => unreachable!(
-                "cell id {cell} is not mapped by this index ({} cells indexed)",
-                self.inner.file.len()
-            ),
+            _ => {
+                return Err(CfError::InvalidCell {
+                    cell,
+                    cells: self.inner.file.len(),
+                })
+            }
         };
-        assert!(
-            pos < self.inner.file.len(),
-            "corrupt catalog: cell {cell} maps to position {pos}, but the cell file holds {} records",
-            self.inner.file.len()
-        );
-        self.inner.update_record(engine, pos, &record)
+        if pos >= self.inner.file.len() {
+            return Err(CfError::corrupt(
+                None,
+                format!(
+                    "catalog maps cell {cell} to position {pos}, but the cell file holds {} records",
+                    self.inner.file.len()
+                ),
+            ));
+        }
+        Ok(pos)
     }
 }
 
@@ -712,17 +736,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "is not mapped by this index")]
     fn update_rejects_out_of_range_cell_id() {
         let engine = StorageEngine::in_memory();
         let field = smooth_field(4);
         let mut index = IHilbert::build(&engine, &field).expect("build");
         let rec = field.cell_record(0);
-        let _ = index.update_cell(&engine, field.num_cells() + 5, rec);
+        let err = index
+            .update_cell(&engine, field.num_cells() + 5, rec)
+            .expect_err("out-of-range cell id must be rejected");
+        assert!(err.is_invalid_cell(), "{err}");
+        assert!(err.to_string().contains("is not mapped by this index"));
     }
 
     #[test]
-    #[should_panic(expected = "is not mapped by this index")]
     fn update_rejects_unmapped_cell_under_non_dense_ids() {
         // A position map with holes (as a field reporting non-dense cell
         // ids would produce): unmapped ids must be rejected, not silently
@@ -736,7 +762,10 @@ mod tests {
         let mut index: IHilbert<cf_field::GridField> =
             IHilbert::from_parts(built.into_inner(), Curve::Hilbert, sparse);
         let rec = field.cell_record(hole);
-        let _ = index.update_cell(&engine, hole, rec);
+        let err = index
+            .update_cell(&engine, hole, rec)
+            .expect_err("unmapped cell id must be rejected");
+        assert!(err.is_invalid_cell(), "{err}");
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! The live ingest plane: epoch-based plane swap with
+//! snapshot-isolated readers and a background repacker.
+//!
+//! The paper treats the index as build-once: `update_cell` rewrites a
+//! record in place and the frozen query plane is re-frozen wholesale on
+//! every mutation, so a continuous sensor stream stalls the world. This
+//! module refactors the mutation path into three cooperating parts:
+//!
+//! 1. **A mutable delta plane** ([`LiveIngest`]): an append-only ring
+//!    of `(position, record)` overlays with its own small interval
+//!    summary (per-touched-subfield effective intervals). Ingest
+//!    writes land here — the frozen base is never touched, so the
+//!    [`cf_rtree::FrozenTree`] re-freeze is off the write path
+//!    entirely.
+//! 2. **Snapshot-isolated readers** ([`EpochSnapshot`]): every
+//!    publication is an immutable epoch — `Arc`-swapped base plane +
+//!    delta prefix — pinned against page reclamation by a
+//!    [`cf_storage::EpochPin`]. A reader merges base and delta answers
+//!    **byte-identically** to the sequential oracle (an index that
+//!    applied every update in place):
+//!    the filter step runs on the base tree and is corrected by the
+//!    per-subfield effective intervals (same union-over-records rule
+//!    `update_record` uses, same closed-interval intersection
+//!    semantics as the tree's `Aabb`), so the retrieved subfield set
+//!    equals the oracle's; the estimation step scans the same
+//!    coalesced position-ordered runs with overlay substitution, so
+//!    the float accumulation order — and therefore every area bit —
+//!    is identical.
+//! 3. **A background repacker** ([`LiveIngest::repack`]): drains the
+//!    delta into a new Hilbert-ordered cell file segment on fresh
+//!    pages (regrouping subfields under the observed workload when the
+//!    advisor's profile is informed), swaps the base `Arc`, and defers
+//!    the superseded page runs to the engine's epoch GC — they are
+//!    recycled only after the last reader of an older epoch drops.
+//!
+//! Writers serialize on one mutex; readers never take it — they clone
+//! the published `Arc` and query an immutable snapshot, so in-flight
+//! queries never observe a half-applied write and a repack never
+//! stalls them.
+
+use crate::advisor::WorkloadProfile;
+use crate::ihilbert::IHilbert;
+use crate::planner::SelectivityEstimator;
+use crate::sfindex::{SubfieldIndex, TreeBuild};
+use crate::stats::{QueryMetrics, QueryScratch, QueryStats, ValueIndex};
+use crate::subfield::{build_subfields, SubfieldConfig};
+use cf_field::FieldModel;
+use cf_geom::{Interval, Polygon};
+use cf_storage::{codec, CfResult, Counter, EpochPin, Gauge, Record, Stopwatch, StorageEngine};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// What [`LiveIngest::persist_state`] hands the catalog writer: the
+/// base plane, the net delta entries (ascending by position) and the
+/// publication epoch, captured under a single lock acquisition.
+pub(crate) type PersistState<F> = (
+    Arc<IHilbert<F>>,
+    Vec<DeltaRec<<F as FieldModel>::CellRec>>,
+    u64,
+);
+
+/// One delta-plane entry: the cell-file position an ingest overlays
+/// and its replacement record. This is also the on-disk layout of the
+/// flushed delta file (catalog v4's `delta_first .. delta_len` run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRec<R> {
+    /// Position in the Hilbert-ordered cell file.
+    pub pos: u32,
+    /// The replacement record.
+    pub rec: R,
+}
+
+impl<R: Record> Record for DeltaRec<R> {
+    const SIZE: usize = 4 + R::SIZE;
+
+    fn encode(&self, buf: &mut [u8]) {
+        codec::put_u32(buf, 0, self.pos);
+        self.rec.encode(&mut buf[4..]);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        Self {
+            pos: codec::get_u32(buf, 0),
+            rec: R::decode(&buf[4..]),
+        }
+    }
+}
+
+/// Construction knobs of [`LiveIngest`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Delta-ring capacity: when an ingest would exceed it, the write
+    /// performs an inline synchronous drain (the backpressure path) —
+    /// ordinarily a background [`LiveIngest::repack`] drains first.
+    pub capacity: usize,
+    /// Optional planner threading: estimated selectivity at or above
+    /// this threshold routes a snapshot query to an overlay-aware full
+    /// scan of the base cell file instead of an index probe (same
+    /// routing rule as [`crate::AdaptiveIndex`]). `None` always
+    /// probes.
+    pub scan_threshold: Option<f64>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            scan_threshold: None,
+        }
+    }
+}
+
+/// Writer-side mutable state, serialized under one mutex.
+struct WriterState<F: FieldModel> {
+    /// The immutable base plane of the current epoch.
+    base: Arc<IHilbert<F>>,
+    /// Append-only delta ring since the last drain (may hold several
+    /// entries for one position; the overlay map is the net effect).
+    ring: Vec<DeltaRec<F::CellRec>>,
+    /// Net overlay per touched cell-file position.
+    overlays: HashMap<u32, F::CellRec>,
+    /// Effective (overlay-aware) interval per touched subfield — the
+    /// delta plane's interval summary, keyed by subfield index.
+    sf_overrides: HashMap<u32, Interval>,
+    /// Publication counter: bumped on every publish (ingest or
+    /// repack). Readers pin this epoch in the engine's GC domain.
+    epoch: u64,
+    /// Completed repacks (epoch swaps that replaced the base).
+    repacks: u64,
+    /// Planner statistic over the current base (rebuilt on repack).
+    estimator: Option<Arc<SelectivityEstimator>>,
+    /// When the delta last drained (repack or construction) — the
+    /// `ingest_repack_lag_ns` gauge reports time since.
+    last_drain: Instant,
+}
+
+/// Cached registry handles for the delta-pressure gauges.
+struct IngestGauges {
+    delta_records: Gauge,
+    epoch: Gauge,
+    repack_lag_ns: Gauge,
+    repack_inflight: Gauge,
+}
+
+impl IngestGauges {
+    fn wire(engine: &StorageEngine) -> Self {
+        let registry = engine.metrics();
+        Self {
+            delta_records: registry.gauge("ingest_delta_records"),
+            epoch: registry.gauge("ingest_epoch"),
+            repack_lag_ns: registry.gauge("ingest_repack_lag_ns"),
+            repack_inflight: registry.gauge("ingest_repack_inflight"),
+        }
+    }
+}
+
+/// What a [`LiveIngest::repack`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepackReport {
+    /// Whether a new epoch was published (false: the delta was empty).
+    pub repacked: bool,
+    /// Delta records drained into the new base.
+    pub drained: usize,
+    /// The epoch the swap published (unchanged when not repacked).
+    pub epoch: u64,
+    /// Pages deferred to the epoch GC (recycled once the last reader
+    /// of an older epoch drops).
+    pub pages_retired: usize,
+}
+
+/// The live ingest plane over an [`IHilbert`] base (see module docs).
+pub struct LiveIngest<F: FieldModel> {
+    writer: Mutex<WriterState<F>>,
+    published: RwLock<Arc<EpochSnapshot<F>>>,
+    capacity: usize,
+    scan_threshold: Option<f64>,
+    gauges: OnceLock<IngestGauges>,
+}
+
+impl<F: FieldModel> LiveIngest<F> {
+    /// Wraps a built (or reopened) index as the epoch-0 base plane and
+    /// publishes the first snapshot.
+    pub fn new(engine: &StorageEngine, base: IHilbert<F>, config: IngestConfig) -> CfResult<Self> {
+        Self::from_state(engine, base, config, 0, Vec::new())
+    }
+
+    /// Internal constructor shared by [`LiveIngest::new`] and the
+    /// catalog reopen path: seeds the ring (net overlays, e.g. from a
+    /// flushed delta file) and the publication epoch.
+    pub(crate) fn from_state(
+        engine: &StorageEngine,
+        base: IHilbert<F>,
+        config: IngestConfig,
+        epoch: u64,
+        ring: Vec<DeltaRec<F::CellRec>>,
+    ) -> CfResult<Self> {
+        let base = Arc::new(base);
+        let estimator = match config.scan_threshold {
+            Some(_) => {
+                let inner = base.inner();
+                let mut intervals: Vec<Interval> = Vec::with_capacity(inner.file.len());
+                inner
+                    .file
+                    .for_each_in_range(engine, 0..inner.file.len(), |_, rec| {
+                        intervals.push(F::record_interval(&rec));
+                    })?;
+                Some(Arc::new(SelectivityEstimator::build(
+                    intervals.into_iter(),
+                    64,
+                )))
+            }
+            None => None,
+        };
+        let mut state = WriterState {
+            base,
+            ring: Vec::new(),
+            overlays: HashMap::new(),
+            sf_overrides: HashMap::new(),
+            epoch,
+            repacks: 0,
+            estimator,
+            last_drain: Instant::now(),
+        };
+        for d in ring {
+            state.overlays.insert(d.pos, d.rec.clone());
+            state.ring.push(d);
+        }
+        for &pos in state.overlays.keys() {
+            let sf_idx = state.base.inner().pos_to_subfield[pos as usize];
+            if !state.sf_overrides.contains_key(&sf_idx) {
+                let iv =
+                    effective_sf_interval(engine, &state.base, &state.overlays, sf_idx as usize)?;
+                state.sf_overrides.insert(sf_idx, iv);
+            }
+        }
+        let snapshot = make_snapshot(engine, &state, config.scan_threshold);
+        let this = Self {
+            writer: Mutex::new(state),
+            published: RwLock::new(snapshot),
+            capacity: config.capacity.max(1),
+            scan_threshold: config.scan_threshold,
+            gauges: OnceLock::new(),
+        };
+        {
+            let state = this.writer.lock().expect("writer state poisoned");
+            this.refresh_gauges(engine, &state);
+        }
+        Ok(this)
+    }
+
+    fn gauges(&self, engine: &StorageEngine) -> &IngestGauges {
+        self.gauges.get_or_init(|| IngestGauges::wire(engine))
+    }
+
+    /// The currently published epoch snapshot. Queries on the returned
+    /// handle are fully isolated: later ingests and repacks publish
+    /// *new* snapshots and never mutate this one, and the pages it
+    /// reads stay allocated until it is dropped.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot<F>> {
+        Arc::clone(&self.published.read().expect("published epoch poisoned"))
+    }
+
+    /// Applies an updated record for `cell` to the delta plane and
+    /// publishes a new epoch. The frozen base is untouched — no tree
+    /// surgery, no re-freeze — so the write cost is O(subfield size)
+    /// for the interval summary plus the snapshot publication.
+    ///
+    /// When the delta ring is at capacity, the write first performs an
+    /// inline synchronous drain (see [`LiveIngest::repack`]) — the
+    /// backpressure path.
+    ///
+    /// # Errors
+    ///
+    /// [`cf_storage::CfError::InvalidCell`] when `cell` is not mapped
+    /// by the base index; I/O errors from the interval recompute.
+    pub fn ingest(&self, engine: &StorageEngine, cell: usize, record: F::CellRec) -> CfResult<()> {
+        let mut state = self.writer.lock().expect("writer state poisoned");
+        let pos = state.base.resolve_cell(cell)? as u32;
+        if state.ring.len() >= self.capacity {
+            self.repack_locked(engine, &mut state)?;
+        }
+        state.ring.push(DeltaRec {
+            pos,
+            rec: record.clone(),
+        });
+        state.overlays.insert(pos, record);
+        let sf_idx = state.base.inner().pos_to_subfield[pos as usize];
+        let iv = effective_sf_interval(engine, &state.base, &state.overlays, sf_idx as usize)?;
+        state.sf_overrides.insert(sf_idx, iv);
+        state.epoch += 1;
+        self.publish_locked(engine, &state);
+        Ok(())
+    }
+
+    /// Drains the delta plane into a new Hilbert-ordered cell file
+    /// segment on fresh pages and publishes the swap as a new epoch.
+    /// Run it from a background thread: readers keep querying the old
+    /// epoch's snapshot throughout (its pages are epoch-GC-protected),
+    /// and only concurrent *writers* briefly serialize behind the
+    /// writer mutex.
+    ///
+    /// Subfields are regrouped under the observed workload when the
+    /// advisor's profile is informed (same rule as
+    /// [`IHilbert::repack_with_observed_workload`]); otherwise the
+    /// paper's static cost function is used. The superseded cell-file,
+    /// tree and subfield-catalog runs are deferred to the engine's
+    /// epoch GC and recycled once the last reader of an older epoch
+    /// drops.
+    pub fn repack(&self, engine: &StorageEngine) -> CfResult<RepackReport> {
+        let mut state = self.writer.lock().expect("writer state poisoned");
+        self.repack_locked(engine, &mut state)
+    }
+
+    fn repack_locked(
+        &self,
+        engine: &StorageEngine,
+        state: &mut WriterState<F>,
+    ) -> CfResult<RepackReport> {
+        if state.ring.is_empty() {
+            return Ok(RepackReport {
+                repacked: false,
+                drained: 0,
+                epoch: state.epoch,
+                pages_retired: 0,
+            });
+        }
+        let gauges = self.gauges(engine);
+        gauges.repack_inflight.set(1.0);
+        let result = self.repack_inner(engine, state);
+        gauges.repack_inflight.set(0.0);
+        result
+    }
+
+    fn repack_inner(
+        &self,
+        engine: &StorageEngine,
+        state: &mut WriterState<F>,
+    ) -> CfResult<RepackReport> {
+        let drained = state.ring.len();
+        let inner = state.base.inner();
+        // Materialize the effective cell file: base order (cell
+        // geometry never changes, so the Hilbert order — and with it
+        // the position map — is preserved) with overlays applied.
+        let mut records: Vec<F::CellRec> = inner.file.read_range(engine, 0..inner.file.len())?;
+        for (&pos, rec) in &state.overlays {
+            records[pos as usize] = rec.clone();
+        }
+        let intervals: Vec<Interval> = records.iter().map(|r| F::record_interval(r)).collect();
+        // Regroup under the observed workload when informed — this is
+        // where `repack_with_observed_workload`'s empirical cost model
+        // meets the drain.
+        let profile = WorkloadProfile::from_registry(engine.metrics(), &state.base.name());
+        let config = if profile.is_informed() {
+            SubfieldConfig {
+                base: 1.0,
+                query_len: profile.mean_query_len,
+            }
+        } else {
+            SubfieldConfig::default()
+        };
+        let subfields = build_subfields(&intervals, config);
+        let was_frozen = inner.is_frozen();
+        let old_cell = (inner.file.first_page(), inner.file.num_pages());
+        let old_tree = inner.tree.page_run();
+        let old_sf = (inner.sf_file.first_page(), inner.sf_file.num_pages());
+
+        let mut new_inner =
+            SubfieldIndex::build_from_records(engine, records, &subfields, TreeBuild::Dynamic)?;
+        if was_frozen {
+            new_inner.freeze(engine)?;
+        }
+        let new_base = IHilbert::from_parts(
+            new_inner,
+            state.base.curve(),
+            state.base.cell_to_pos().to_vec(),
+        );
+        new_base.inner().publish_health(engine.metrics(), None);
+
+        if self.scan_threshold.is_some() {
+            state.estimator = Some(Arc::new(SelectivityEstimator::build(
+                intervals.into_iter(),
+                64,
+            )));
+        }
+        state.base = Arc::new(new_base);
+        state.ring.clear();
+        state.overlays.clear();
+        state.sf_overrides.clear();
+        state.epoch += 1;
+        state.repacks += 1;
+        state.last_drain = Instant::now();
+
+        // Retire the superseded runs at the new epoch: readers still
+        // pinning an older epoch keep them allocated; the engine
+        // recycles them on a later `collect_deferred`.
+        let mut pages_retired = 0;
+        engine.defer_free_run(state.epoch, old_cell.0, old_cell.1);
+        pages_retired += old_cell.1;
+        if let Some((first, pages)) = old_tree {
+            engine.defer_free_run(state.epoch, first, pages);
+            pages_retired += pages;
+        }
+        engine.defer_free_run(state.epoch, old_sf.0, old_sf.1);
+        pages_retired += old_sf.1;
+
+        self.publish_locked(engine, state);
+        // Opportunistic collection: anything already unpinned (e.g. no
+        // reader ever held the old epoch) is recycled right away.
+        engine.collect_deferred()?;
+        Ok(RepackReport {
+            repacked: true,
+            drained,
+            epoch: state.epoch,
+            pages_retired,
+        })
+    }
+
+    /// Publishes the writer state as a fresh immutable snapshot and
+    /// refreshes the delta-pressure gauges.
+    fn publish_locked(&self, engine: &StorageEngine, state: &WriterState<F>) {
+        let snapshot = make_snapshot(engine, state, self.scan_threshold);
+        *self.published.write().expect("published epoch poisoned") = snapshot;
+        self.refresh_gauges(engine, state);
+    }
+
+    fn refresh_gauges(&self, engine: &StorageEngine, state: &WriterState<F>) {
+        let gauges = self.gauges(engine);
+        gauges.delta_records.set(state.ring.len() as f64);
+        gauges.epoch.set(state.epoch as f64);
+        gauges
+            .repack_lag_ns
+            .set(state.last_drain.elapsed().as_nanos() as f64);
+    }
+
+    /// `(delta records in the ring, publication epoch, completed
+    /// repacks)` — writer-side introspection for tests and tools.
+    pub fn status(&self) -> (usize, u64, u64) {
+        let state = self.writer.lock().expect("writer state poisoned");
+        (state.ring.len(), state.epoch, state.repacks)
+    }
+
+    /// The effective record of `cell` in the current epoch — the
+    /// overlay when the delta touched it, the base record otherwise.
+    /// This is the read half of a read-modify-write ingest.
+    pub fn cell_record(&self, engine: &StorageEngine, cell: usize) -> CfResult<F::CellRec> {
+        let state = self.writer.lock().expect("writer state poisoned");
+        let pos = state.base.resolve_cell(cell)?;
+        match state.overlays.get(&(pos as u32)) {
+            Some(rec) => Ok(rec.clone()),
+            None => state.base.inner().file.get(engine, pos),
+        }
+    }
+
+    /// One consistent writer-side view for persistence: the base
+    /// plane, the net delta entries (one per touched position,
+    /// ascending — deterministic on-disk order) and the publication
+    /// epoch, all captured under a single lock acquisition.
+    pub(crate) fn persist_state(&self) -> PersistState<F> {
+        let state = self.writer.lock().expect("writer state poisoned");
+        let mut deltas: Vec<DeltaRec<F::CellRec>> = state
+            .overlays
+            .iter()
+            .map(|(&pos, rec)| DeltaRec {
+                pos,
+                rec: rec.clone(),
+            })
+            .collect();
+        deltas.sort_by_key(|d| d.pos);
+        (Arc::clone(&state.base), deltas, state.epoch)
+    }
+}
+
+/// Captures the writer state as an immutable epoch publication,
+/// pinning its epoch in the engine's GC domain.
+fn make_snapshot<F: FieldModel>(
+    engine: &StorageEngine,
+    state: &WriterState<F>,
+    scan_threshold: Option<f64>,
+) -> Arc<EpochSnapshot<F>> {
+    Arc::new(EpochSnapshot {
+        base: Arc::clone(&state.base),
+        overlays: Arc::new(state.overlays.clone()),
+        sf_overrides: Arc::new(state.sf_overrides.clone()),
+        epoch: state.epoch,
+        pin: engine.epoch_gc().pin(state.epoch),
+        estimator: state.estimator.clone(),
+        scan_threshold,
+        qmetrics: OnceLock::new(),
+        pmetrics: OnceLock::new(),
+    })
+}
+
+/// Recomputes a subfield's effective interval — the union of its
+/// records' intervals with overlays substituted — exactly as the
+/// in-place `update_record` path recomputes it after a write. This is
+/// the delta plane's interval summary entry for that subfield.
+fn effective_sf_interval<F: FieldModel>(
+    engine: &StorageEngine,
+    base: &IHilbert<F>,
+    overlays: &HashMap<u32, F::CellRec>,
+    sf_idx: usize,
+) -> CfResult<Interval> {
+    let inner = base.inner();
+    let sf = inner.subfields[sf_idx];
+    let mut union: Option<Interval> = None;
+    inner
+        .file
+        .for_each_in_range(engine, sf.start as usize..sf.end as usize, |idx, rec| {
+            let effective = match overlays.get(&(idx as u32)) {
+                Some(o) => F::record_interval(o),
+                None => F::record_interval(&rec),
+            };
+            union = Some(match union {
+                Some(a) => a.union(effective),
+                None => effective,
+            });
+        })?;
+    Ok(union.expect("subfields are non-empty"))
+}
+
+/// Planner counters of the snapshot's scan/probe routing (same
+/// `planner_plans_total` family [`crate::AdaptiveIndex`] publishes).
+struct SnapshotPlannerMetrics {
+    probe_plans: Counter,
+    scan_plans: Counter,
+}
+
+/// One immutable published epoch: frozen base + delta prefix.
+///
+/// Implements [`ValueIndex`], so it drops into everything that takes
+/// one — including [`crate::QueryBatch`] — and merges base + delta
+/// answers byte-identically to the sequential oracle (see module
+/// docs). While any clone of the snapshot's `Arc` is alive, the pages
+/// of its epoch stay allocated (epoch GC pin).
+pub struct EpochSnapshot<F: FieldModel> {
+    base: Arc<IHilbert<F>>,
+    overlays: Arc<HashMap<u32, F::CellRec>>,
+    sf_overrides: Arc<HashMap<u32, Interval>>,
+    epoch: u64,
+    /// Keeps every run retired after this epoch from being recycled
+    /// while the snapshot is alive.
+    #[allow(dead_code)]
+    pin: EpochPin,
+    estimator: Option<Arc<SelectivityEstimator>>,
+    scan_threshold: Option<f64>,
+    qmetrics: OnceLock<QueryMetrics>,
+    pmetrics: OnceLock<SnapshotPlannerMetrics>,
+}
+
+impl<F: FieldModel> EpochSnapshot<F> {
+    /// The publication epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of cell records in the base plane.
+    pub fn num_cells(&self) -> usize {
+        self.base.inner_len()
+    }
+
+    /// The base plane's value domain.
+    pub fn value_domain(&self) -> Interval {
+        self.base.value_domain()
+    }
+
+    /// Number of delta overlays merged into this snapshot's answers.
+    pub fn delta_records(&self) -> usize {
+        self.overlays.len()
+    }
+
+    fn query_metrics(&self, engine: &StorageEngine) -> &QueryMetrics {
+        self.qmetrics
+            .get_or_init(|| QueryMetrics::wire(engine.metrics(), &self.base.name()))
+    }
+
+    /// The effective record at file position `pos`: the overlay when
+    /// the delta touched it, the base record otherwise.
+    #[inline]
+    fn effective(&self, pos: usize, base_rec: F::CellRec) -> F::CellRec {
+        match self.overlays.get(&(pos as u32)) {
+            Some(o) => o.clone(),
+            None => base_rec,
+        }
+    }
+
+    /// Whether the planner would route `band` to the overlay-aware
+    /// full scan.
+    fn routes_to_scan(&self, band: Interval) -> bool {
+        match (&self.estimator, self.scan_threshold) {
+            (Some(est), Some(threshold)) => est.estimate_selectivity(band) >= threshold,
+            _ => false,
+        }
+    }
+
+    /// Index probe: base-plane filter step corrected by the delta's
+    /// interval summary, then a coalesced-run estimation pass with
+    /// overlay substitution. See the module docs for why each step is
+    /// byte-identical to the sequential oracle.
+    fn probe_impl(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        ranges: &mut Vec<(u32, u32)>,
+        runs: &mut Vec<std::ops::Range<usize>>,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> CfResult<QueryStats> {
+        let inner = self.base.inner();
+        let query_clock = Stopwatch::start();
+        let before = cf_storage::thread_io_stats();
+        let mut stats = QueryStats::default();
+
+        // Filter on the base plane (frozen or paged — whichever the
+        // base carries), then correct for overridden subfields: drop
+        // base hits whose effective interval left the band, add
+        // subfields whose effective interval entered it. The two sets
+        // are disjoint by construction, so no dedup is needed, and the
+        // result equals the subfield set an in-place-updated tree
+        // would retrieve.
+        let filter_clock = Stopwatch::start();
+        ranges.clear();
+        let search = inner.filter_step(engine, band, ranges)?;
+        if !self.sf_overrides.is_empty() {
+            ranges.retain(|&(start, _)| {
+                let sf_idx = inner.pos_to_subfield[start as usize];
+                match self.sf_overrides.get(&sf_idx) {
+                    Some(iv) => iv.intersects(band),
+                    None => true,
+                }
+            });
+            for (&sf_idx, iv) in self.sf_overrides.iter() {
+                let sf = inner.subfields[sf_idx as usize];
+                if iv.intersects(band) && !sf.interval.intersects(band) {
+                    ranges.push((sf.start, sf.end));
+                }
+            }
+        }
+        stats.filter_nodes = search.nodes_visited;
+        stats.intervals_retrieved = ranges.len();
+        stats.filter_pages = (cf_storage::thread_io_stats() - before).logical_reads();
+        let filter_ns = filter_clock.elapsed_ns();
+
+        // Estimation: identical coalescing rule as the sequential
+        // path, overlay substitution per position.
+        let refine_clock = Stopwatch::start();
+        ranges.sort_unstable();
+        runs.clear();
+        for &(s, e) in ranges.iter() {
+            match runs.last_mut() {
+                Some(last) if s as usize <= last.end => last.end = last.end.max(e as usize),
+                _ => runs.push(s as usize..e as usize),
+            }
+        }
+        inner.file.for_each_in_ranges(engine, runs, |idx, rec| {
+            let rec = self.effective(idx, rec);
+            stats.cells_examined += 1;
+            if F::record_interval(&rec).intersects(band) {
+                stats.cells_qualifying += 1;
+                for region in F::record_band_region(&rec, band) {
+                    stats.num_regions += 1;
+                    stats.area += region.area();
+                    sink(region);
+                }
+            }
+        })?;
+        stats.io = cf_storage::thread_io_stats() - before;
+        let refine_ns = refine_clock.elapsed_ns();
+        let query_ns = query_clock.elapsed_ns();
+        self.query_metrics(engine)
+            .publish(&stats, band, query_ns, filter_ns, refine_ns);
+        Ok(stats)
+    }
+
+    /// Planner fallback: sequential overlay-aware scan of the base
+    /// cell file (wide bands where a probe would retrieve most of it
+    /// anyway). Qualifying records are visited in the same ascending
+    /// position order as the probe, so the area bits agree.
+    fn scan_impl(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> CfResult<QueryStats> {
+        let inner = self.base.inner();
+        let query_clock = Stopwatch::start();
+        let before = cf_storage::thread_io_stats();
+        let mut stats = QueryStats::default();
+        inner
+            .file
+            .for_each_in_range(engine, 0..inner.file.len(), |idx, rec| {
+                let rec = self.effective(idx, rec);
+                stats.cells_examined += 1;
+                if F::record_interval(&rec).intersects(band) {
+                    stats.cells_qualifying += 1;
+                    for region in F::record_band_region(&rec, band) {
+                        stats.num_regions += 1;
+                        stats.area += region.area();
+                        sink(region);
+                    }
+                }
+            })?;
+        stats.io = cf_storage::thread_io_stats() - before;
+        let query_ns = query_clock.elapsed_ns();
+        self.query_metrics(engine)
+            .publish(&stats, band, query_ns, 0, query_ns);
+        Ok(stats)
+    }
+
+    fn query_dispatch(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        ranges: &mut Vec<(u32, u32)>,
+        runs: &mut Vec<std::ops::Range<usize>>,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> CfResult<QueryStats> {
+        if self.estimator.is_some() {
+            let pm = self.pmetrics.get_or_init(|| {
+                let registry = engine.metrics();
+                SnapshotPlannerMetrics {
+                    probe_plans: registry
+                        .counter_with("planner_plans_total", &[("plan", "index_probe")]),
+                    scan_plans: registry
+                        .counter_with("planner_plans_total", &[("plan", "full_scan")]),
+                }
+            });
+            if self.routes_to_scan(band) {
+                pm.scan_plans.inc();
+                return self.scan_impl(engine, band, sink);
+            }
+            pm.probe_plans.inc();
+        }
+        self.probe_impl(engine, band, ranges, runs, sink)
+    }
+}
+
+impl<F: FieldModel> ValueIndex for EpochSnapshot<F> {
+    fn name(&self) -> String {
+        self.base.name()
+    }
+
+    fn query_with(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        sink: &mut dyn FnMut(Polygon),
+    ) -> CfResult<QueryStats> {
+        let mut ranges = Vec::new();
+        let mut runs = Vec::new();
+        self.query_dispatch(engine, band, &mut ranges, &mut runs, sink)
+    }
+
+    fn query_stats_scratch(
+        &self,
+        engine: &StorageEngine,
+        band: Interval,
+        scratch: &mut QueryScratch,
+    ) -> CfResult<QueryStats> {
+        let QueryScratch { ranges, runs, .. } = scratch;
+        self.query_dispatch(engine, band, ranges, runs, &mut |_| {})
+    }
+
+    fn index_pages(&self) -> usize {
+        self.base.index_pages()
+    }
+
+    fn data_pages(&self) -> usize {
+        self.base.data_pages()
+    }
+
+    fn num_intervals(&self) -> usize {
+        self.base.num_intervals()
+    }
+}

@@ -39,6 +39,7 @@ mod batch;
 mod catalog;
 mod iall;
 mod ihilbert;
+mod ingest;
 mod iquad;
 mod linear;
 mod order;
@@ -56,6 +57,7 @@ pub use batch::{BatchQueryResult, BatchReport, QueryBatch};
 pub use catalog::PosRecord;
 pub use iall::IAll;
 pub use ihilbert::{CurveChoice, IHilbert, IHilbertConfig, QueryPlane, TreeBuild};
+pub use ingest::{DeltaRec, EpochSnapshot, IngestConfig, LiveIngest, RepackReport};
 pub use iquad::IntervalQuadtree;
 pub use linear::LinearScan;
 pub use order::{cell_order, par_cell_order, CURVE_ORDER};

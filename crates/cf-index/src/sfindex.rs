@@ -163,6 +163,21 @@ impl<F: FieldModel> SubfieldIndex<F> {
         Ok(Self::assemble(file, tree, subfields.to_vec(), sf_file))
     }
 
+    /// Builds an index over records already materialized by the caller
+    /// (the live-ingest repacker, which reads the old base and applies
+    /// its delta overlays before regrouping). The records must be in
+    /// the intended file order; `subfields` is expressed in positions
+    /// of that order.
+    pub(crate) fn build_from_records(
+        engine: &StorageEngine,
+        records: Vec<F::CellRec>,
+        subfields: &[Subfield],
+        tree_build: TreeBuild,
+    ) -> CfResult<Self> {
+        let file = CellFile::create(engine, records)?;
+        Self::finish(engine, file, subfields, tree_build)
+    }
+
     /// Reattaches to an index persisted in `engine` from its catalog
     /// handles, reading the subfield metadata back from its on-disk
     /// copy.
@@ -373,9 +388,14 @@ impl<F: FieldModel> SubfieldIndex<F> {
         Ok(())
     }
 
+    /// Whether the frozen query plane is active.
+    pub(crate) fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
     /// Runs the filtering step on whichever plane is active, feeding
     /// every retrieved subfield's record range to `ranges`.
-    fn filter_step(
+    pub(crate) fn filter_step(
         &self,
         engine: &StorageEngine,
         band: Interval,

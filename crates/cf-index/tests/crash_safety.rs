@@ -591,6 +591,101 @@ fn torn_compressed_cell_page_surfaces_corrupt_not_wrong_answers() {
         .expect("query after restore");
 }
 
+/// Satellite: every physical-write ordinal of the live-ingest epoch
+/// publish sequence — net-delta flush, position-map flush, catalog v4
+/// slot commit, post-commit frees — crashes onto a **consistent
+/// epoch**: the reopened ingest plane answers exactly like either the
+/// last committed state or the state being committed, never a torn
+/// mix of the two.
+#[test]
+fn live_ingest_save_crash_points_land_on_a_consistent_epoch() {
+    use cf_index::{IngestConfig, LiveIngest};
+
+    fn snap_answers(live: &LiveIngest<GridField>, engine: &StorageEngine) -> Vec<QueryStats> {
+        bands()
+            .iter()
+            .map(|&b| {
+                live.snapshot()
+                    .query_stats(engine, b)
+                    .expect("snapshot query")
+            })
+            .collect()
+    }
+
+    fn same_answers(got: &[QueryStats], want: &[QueryStats]) -> bool {
+        got.iter().zip(want).all(|(g, w)| {
+            g.cells_qualifying == w.cells_qualifying
+                && g.num_regions == w.num_regions
+                && g.area.to_bits() == w.area.to_bits()
+        })
+    }
+
+    let engine = StorageEngine::in_memory();
+    let field = wavy_field(20, 0.0);
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = LiveIngest::new(&engine, base, IngestConfig::default()).expect("live");
+    // Seed the delta so every save really flushes one, then commit a
+    // baseline epoch.
+    for cell in 0..24 {
+        let mut rec = field.cell_record(cell);
+        rec.vals = [90.0 + cell as f64; 4];
+        live.ingest(&engine, cell, rec).expect("ingest");
+    }
+    let catalog = live.save(&engine).expect("baseline save");
+    let mut want_old = snap_answers(&live, &engine);
+
+    let mut crashes = 0usize;
+    for k in 0u64.. {
+        // Each iteration commits a *different* state, so the fallback
+        // epoch and the committed epoch are distinguishable.
+        let cell = k as usize % field.num_cells();
+        let mut rec = field.cell_record(cell);
+        rec.vals = [-80.0 - k as f64; 4];
+        live.ingest(&engine, cell, rec).expect("ingest");
+        let want_new = snap_answers(&live, &engine);
+
+        engine.clear_faults();
+        engine.inject_fault(Fault::FailWrite { nth: k });
+        match live.save_to(&engine, catalog) {
+            Err(err) => {
+                assert!(err.is_injected(), "crash at write {k}: {err}");
+                let fired = engine.fired_faults();
+                assert_eq!(fired.len(), 1, "crash at write {k}: {fired:?}");
+                assert_eq!(fired[0].op, FaultOp::Write, "crash at write {k}");
+                assert_eq!(fired[0].ordinal, k, "crash at write {k}");
+                engine.clear_faults();
+                // A crash loses the buffer pool; reopen disk truth.
+                engine.clear_cache();
+                let reopened =
+                    LiveIngest::<GridField>::open(&engine, catalog, IngestConfig::default())
+                        .unwrap_or_else(|e| panic!("reopen after crash at write {k}: {e}"));
+                let got = snap_answers(&reopened, &engine);
+                assert!(
+                    same_answers(&got, &want_old) || same_answers(&got, &want_new),
+                    "crash at write {k}: reopened epoch matches neither the fallback nor \
+                     the committed state"
+                );
+                // Reconverge: commit the current state cleanly so the
+                // next iteration's fallback is well-defined.
+                live.save_to(&engine, catalog).expect("clean save");
+                want_old = want_new;
+                crashes += 1;
+            }
+            Ok(()) => {
+                // Ordinal past the save's write count: the armed fault
+                // never fired and the sequence is fully covered.
+                assert!(engine.fired_faults().is_empty(), "write {k}");
+                engine.clear_faults();
+                break;
+            }
+        }
+    }
+    assert!(
+        crashes >= 3,
+        "must cover delta flush, pos flush, commit and frees ({crashes} ordinals)"
+    );
+}
+
 /// Satellite: catalog round-trip across every curve and both query
 /// planes — the reopened index must answer Q2 identically, including
 /// the filter-step visit counts.

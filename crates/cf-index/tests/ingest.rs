@@ -1,0 +1,456 @@
+//! Live ingest plane: epoch-snapshot reads over the delta plane must
+//! answer **byte-identically** to the sequential oracle — an I-Hilbert
+//! index that applied every update in place — under arbitrary
+//! interleavings of updates, queries and repack-driven epoch
+//! publications, across all four curves and both query planes.
+//!
+//! "Byte-identically" is literal: qualifying-cell counts, region
+//! counts and the bit pattern of the accumulated area must match,
+//! because both paths visit the same qualifying records in the same
+//! ascending cell-file-position order.
+
+use cf_field::{FieldModel, GridCellRecord, GridField};
+use cf_geom::Interval;
+use cf_index::{
+    CurveChoice, IHilbert, IHilbertConfig, IngestConfig, LiveIngest, QueryBatch, QueryPlane,
+    QueryStats, ValueIndex,
+};
+use cf_sfc::Curve;
+use cf_storage::StorageEngine;
+
+/// Deterministic split-mix style generator: the interleavings must be
+/// reproducible across runs and platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn value(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+fn wavy_field(n: usize) -> GridField {
+    let vw = n + 1;
+    let mut values = Vec::new();
+    for y in 0..vw {
+        for x in 0..vw {
+            values.push((x as f64 * 0.4).sin() * 30.0 + (y as f64 * 0.3).cos() * 20.0);
+        }
+    }
+    GridField::from_values(vw, vw, values)
+}
+
+fn rand_band(rng: &mut Rng) -> Interval {
+    let lo = rng.value(-60.0, 55.0);
+    Interval::new(lo, lo + rng.value(0.5, 25.0))
+}
+
+fn rand_record(field: &GridField, cell: usize, rng: &mut Rng) -> GridCellRecord {
+    GridCellRecord {
+        vals: [
+            rng.value(-50.0, 50.0),
+            rng.value(-50.0, 50.0),
+            rng.value(-50.0, 50.0),
+            rng.value(-50.0, 50.0),
+        ],
+        ..field.cell_record(cell)
+    }
+}
+
+fn fixed_bands() -> Vec<Interval> {
+    (0..10)
+        .map(|i| {
+            let lo = -55.0 + i as f64 * 10.0;
+            Interval::new(lo, lo + 13.0)
+        })
+        .collect()
+}
+
+#[track_caller]
+fn assert_bitexact(got: &QueryStats, want: &QueryStats, ctx: &str) {
+    assert_eq!(got.cells_qualifying, want.cells_qualifying, "{ctx}");
+    assert_eq!(got.num_regions, want.num_regions, "{ctx}");
+    assert_eq!(
+        got.area.to_bits(),
+        want.area.to_bits(),
+        "{ctx}: area {} vs {}",
+        got.area,
+        want.area
+    );
+}
+
+fn config_for(curve: Curve, plane: QueryPlane) -> IHilbertConfig {
+    IHilbertConfig {
+        curve: CurveChoice(curve),
+        plane,
+        ..Default::default()
+    }
+}
+
+/// The tentpole property: random interleavings of ingests, snapshot
+/// queries and epoch publications (both explicit repacks and
+/// capacity-forced inline drains) against the sequential oracle, for
+/// every curve × query plane.
+#[test]
+fn interleavings_match_sequential_oracle_for_all_curves_and_planes() {
+    let field = wavy_field(16);
+    for (ci, curve) in Curve::ALL.into_iter().enumerate() {
+        for plane in [QueryPlane::Paged, QueryPlane::Frozen] {
+            let engine = StorageEngine::in_memory();
+            let config = config_for(curve, plane);
+            let base = IHilbert::build_with(&engine, &field, config).expect("build base");
+            let mut oracle = IHilbert::build_with(&engine, &field, config).expect("build oracle");
+            // Small capacity so the run also exercises the inline
+            // backpressure drain, not just explicit repacks.
+            let live = LiveIngest::new(
+                &engine,
+                base,
+                IngestConfig {
+                    capacity: 24,
+                    scan_threshold: None,
+                },
+            )
+            .expect("live ingest");
+            let ctx = format!("{curve:?}/{plane:?}");
+            let mut rng = Rng(0xC0FF_EE00 + ci as u64 * 2 + plane as u64);
+            let mut updates = 0u32;
+            let mut queries = 0u32;
+            for step in 0..400 {
+                match rng.below(10) {
+                    0..=5 => {
+                        let cell = rng.below(field.num_cells());
+                        let rec = rand_record(&field, cell, &mut rng);
+                        live.ingest(&engine, cell, rec).expect("ingest");
+                        oracle.update_cell(&engine, cell, rec).expect("oracle");
+                        updates += 1;
+                    }
+                    6..=8 => {
+                        let band = rand_band(&mut rng);
+                        let snap = live.snapshot();
+                        let got = snap.query_stats(&engine, band).expect("snapshot query");
+                        let want = oracle.query_stats(&engine, band).expect("oracle query");
+                        assert_bitexact(&got, &want, &format!("{ctx}: step {step}"));
+                        queries += 1;
+                    }
+                    _ => {
+                        live.repack(&engine).expect("repack");
+                    }
+                }
+            }
+            assert!(updates > 150 && queries > 60, "{ctx}: degenerate mix");
+        }
+    }
+}
+
+/// A pinned snapshot is immutable: it keeps answering exactly what the
+/// oracle answered at capture time, through later ingests and repacks
+/// that supersede (and retire) the pages it reads.
+#[test]
+fn snapshots_are_isolated_from_later_writes_and_repacks() {
+    let field = wavy_field(16);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = LiveIngest::new(&engine, base, IngestConfig::default()).expect("live");
+    let mut rng = Rng(7);
+
+    for _ in 0..40 {
+        let cell = rng.below(field.num_cells());
+        let rec = rand_record(&field, cell, &mut rng);
+        live.ingest(&engine, cell, rec).expect("ingest");
+    }
+    let pinned = live.snapshot();
+    let frozen_in_time: Vec<QueryStats> = fixed_bands()
+        .iter()
+        .map(|&b| pinned.query_stats(&engine, b).expect("query"))
+        .collect();
+
+    // Overwrite every cell and swap the plane twice.
+    for round in 0..2 {
+        for cell in 0..field.num_cells() {
+            let mut rec = field.cell_record(cell);
+            rec.vals = [200.0 + round as f64, 201.0, 202.0, 203.0];
+            live.ingest(&engine, cell, rec).expect("ingest");
+        }
+        let report = live.repack(&engine).expect("repack");
+        assert!(report.repacked, "round {round}");
+        assert!(report.pages_retired > 0, "round {round}");
+    }
+
+    for (i, &band) in fixed_bands().iter().enumerate() {
+        let again = pinned.query_stats(&engine, band).expect("pinned query");
+        assert_bitexact(&again, &frozen_in_time[i], &format!("pinned band {i}"));
+    }
+    // And the fresh snapshot sees the new world: nothing qualifies in
+    // the old value range, everything in the new one.
+    let fresh = live.snapshot();
+    let old_world = fresh
+        .query_stats(&engine, Interval::new(-60.0, 60.0))
+        .expect("query");
+    assert_eq!(old_world.cells_qualifying, 0);
+    let new_world = fresh
+        .query_stats(&engine, Interval::new(199.0, 205.0))
+        .expect("query");
+    assert_eq!(new_world.cells_qualifying, field.num_cells());
+}
+
+/// The epoch GC contract: pages retired by a repack are not recycled
+/// while any snapshot of an older epoch is alive, and are recycled
+/// once the last such reader drops.
+#[test]
+fn retired_pages_recycle_only_after_the_last_reader_drops() {
+    let field = wavy_field(12);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = LiveIngest::new(&engine, base, IngestConfig::default()).expect("live");
+    let mut rng = Rng(11);
+
+    for _ in 0..10 {
+        let cell = rng.below(field.num_cells());
+        let rec = rand_record(&field, cell, &mut rng);
+        live.ingest(&engine, cell, rec).expect("ingest");
+    }
+    let reader = live.snapshot();
+    let report = live.repack(&engine).expect("repack");
+    assert!(report.repacked && report.pages_retired > 0);
+
+    // The reader still pins the pre-repack epoch: nothing may free.
+    assert_eq!(engine.collect_deferred().expect("collect"), 0);
+    let deferred = engine
+        .metrics()
+        .gauge_value("storage_deferred_free_pages", &[])
+        .unwrap_or(0.0);
+    assert!(
+        deferred >= report.pages_retired as f64,
+        "retired pages must be parked in the GC, gauge {deferred}"
+    );
+    // ... and the old epoch still answers from those parked pages.
+    reader
+        .query_stats(&engine, Interval::new(-60.0, 60.0))
+        .expect("old epoch query");
+
+    drop(reader);
+    let freed = engine.collect_deferred().expect("collect");
+    assert!(
+        freed >= report.pages_retired,
+        "dropping the last reader must release the retired runs ({freed} freed)"
+    );
+    assert_eq!(
+        engine
+            .metrics()
+            .gauge_value("storage_deferred_free_pages", &[])
+            .unwrap_or(-1.0),
+        0.0
+    );
+}
+
+/// Snapshots are plain [`ValueIndex`] values: the multi-threaded
+/// [`QueryBatch`] runs over one unchanged, and every per-query answer
+/// matches the oracle bit-for-bit.
+#[test]
+fn query_batch_over_a_snapshot_matches_oracle() {
+    let field = wavy_field(16);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let mut oracle = IHilbert::build(&engine, &field).expect("build oracle");
+    let live = LiveIngest::new(&engine, base, IngestConfig::default()).expect("live");
+    let mut rng = Rng(23);
+    for _ in 0..60 {
+        let cell = rng.below(field.num_cells());
+        let rec = rand_record(&field, cell, &mut rng);
+        live.ingest(&engine, cell, rec).expect("ingest");
+        oracle.update_cell(&engine, cell, rec).expect("oracle");
+    }
+    let snap = live.snapshot();
+    let report = QueryBatch::new(fixed_bands())
+        .threads(4)
+        .run(&engine, &*snap)
+        .expect("batch");
+    for (i, r) in report.results.iter().enumerate() {
+        let want = oracle.query_stats(&engine, r.band).expect("oracle query");
+        assert_bitexact(&r.stats, &want, &format!("batch query {i}"));
+    }
+}
+
+/// Concurrent smoke: one writer streaming updates while reader threads
+/// query their pinned snapshots — readers must always see internally
+/// consistent epochs (every answer matches one of the oracle states),
+/// and nothing deadlocks or panics.
+#[test]
+fn concurrent_readers_make_progress_during_writes_and_repacks() {
+    let field = wavy_field(12);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = std::sync::Arc::new(
+        LiveIngest::new(
+            &engine,
+            base,
+            IngestConfig {
+                capacity: 64,
+                scan_threshold: None,
+            },
+        )
+        .expect("live"),
+    );
+    let band = Interval::new(-60.0, 60.0);
+    let total_cells = field.num_cells();
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let live = std::sync::Arc::clone(&live);
+            let engine = &engine;
+            let field = &field;
+            scope.spawn(move || {
+                let mut rng = Rng(31);
+                for i in 0..300 {
+                    let cell = rng.below(field.num_cells());
+                    let rec = rand_record(field, cell, &mut rng);
+                    live.ingest(engine, cell, rec).expect("ingest");
+                    if i % 97 == 0 {
+                        live.repack(engine).expect("repack");
+                    }
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let live = std::sync::Arc::clone(&live);
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut answered = 0u32;
+                    for _ in 0..200 {
+                        let snap = live.snapshot();
+                        let stats = snap.query_stats(engine, band).expect("reader query");
+                        // Every record keeps intersecting the wide
+                        // band (values stay inside it), so a
+                        // consistent epoch always answers the full
+                        // cell count — a torn epoch would not.
+                        assert_eq!(stats.cells_qualifying, total_cells);
+                        answered += 1;
+                    }
+                    answered
+                })
+            })
+            .collect();
+        writer.join().expect("writer");
+        for reader in readers {
+            assert_eq!(reader.join().expect("reader"), 200);
+        }
+    });
+}
+
+/// Planner threading: a snapshot whose config routes wide bands to the
+/// overlay-aware full scan answers bit-identically to the probing
+/// snapshot (same qualifying records, same ascending accumulation
+/// order).
+#[test]
+fn planner_scan_and_probe_snapshots_agree_bit_for_bit() {
+    let field = wavy_field(16);
+    let engine = StorageEngine::in_memory();
+    let probe_base = IHilbert::build(&engine, &field).expect("build");
+    let scan_base = IHilbert::build(&engine, &field).expect("build");
+    let probing = LiveIngest::new(&engine, probe_base, IngestConfig::default()).expect("live");
+    // Threshold 0: every band routes to the full scan.
+    let scanning = LiveIngest::new(
+        &engine,
+        scan_base,
+        IngestConfig {
+            scan_threshold: Some(0.0),
+            ..Default::default()
+        },
+    )
+    .expect("live");
+    let mut rng = Rng(41);
+    for _ in 0..50 {
+        let cell = rng.below(field.num_cells());
+        let rec = rand_record(&field, cell, &mut rng);
+        probing.ingest(&engine, cell, rec).expect("ingest");
+        scanning.ingest(&engine, cell, rec).expect("ingest");
+    }
+    let p = probing.snapshot();
+    let s = scanning.snapshot();
+    for (i, &band) in fixed_bands().iter().enumerate() {
+        let a = p.query_stats(&engine, band).expect("probe");
+        let b = s.query_stats(&engine, band).expect("scan");
+        assert_bitexact(&a, &b, &format!("band {i}"));
+        // The scan really scanned: it examined the whole cell file.
+        assert_eq!(b.cells_examined, field.num_cells(), "band {i}");
+    }
+}
+
+/// Catalog v4 round-trip: the ingest plane (base + net delta + epoch
+/// pointer) survives save and reopen, bit-identically, and keeps
+/// accepting writes.
+#[test]
+fn live_ingest_survives_save_and_reopen() {
+    let field = wavy_field(16);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = LiveIngest::new(&engine, base, IngestConfig::default()).expect("live");
+    let mut rng = Rng(53);
+    for _ in 0..40 {
+        let cell = rng.below(field.num_cells());
+        let rec = rand_record(&field, cell, &mut rng);
+        live.ingest(&engine, cell, rec).expect("ingest");
+    }
+    let want: Vec<QueryStats> = fixed_bands()
+        .iter()
+        .map(|&b| live.snapshot().query_stats(&engine, b).expect("query"))
+        .collect();
+    let (_, epoch, _) = live.status();
+    let catalog = live.save(&engine).expect("save");
+
+    engine.clear_cache();
+    let reopened =
+        LiveIngest::<GridField>::open(&engine, catalog, IngestConfig::default()).expect("open");
+    let (delta, reopened_epoch, _) = reopened.status();
+    assert_eq!(reopened_epoch, epoch, "epoch pointer must survive");
+    assert!(delta > 0, "net delta must be replayed on reopen");
+    for (i, &band) in fixed_bands().iter().enumerate() {
+        let got = reopened
+            .snapshot()
+            .query_stats(&engine, band)
+            .expect("query");
+        assert_bitexact(&got, &want[i], &format!("reopened band {i}"));
+    }
+
+    // The reopened plane is live, not read-only.
+    let mut rec = field.cell_record(3);
+    rec.vals = [400.0; 4];
+    reopened
+        .ingest(&engine, 3, rec)
+        .expect("ingest after reopen");
+    let stats = reopened
+        .snapshot()
+        .query_stats(&engine, Interval::new(399.0, 401.0))
+        .expect("query");
+    assert_eq!(stats.cells_qualifying, 1);
+}
+
+/// A bad cell id through the ingest plane surfaces the same typed
+/// error as the in-place path — and leaves the delta untouched.
+#[test]
+fn ingest_rejects_invalid_cells_with_typed_error() {
+    let field = wavy_field(8);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = LiveIngest::new(&engine, base, IngestConfig::default()).expect("live");
+    let rec = field.cell_record(0);
+    let err = live
+        .ingest(&engine, field.num_cells() + 5, rec)
+        .expect_err("invalid cell");
+    assert!(err.is_invalid_cell(), "{err}");
+    let (delta, epoch, _) = live.status();
+    assert_eq!((delta, epoch), (0, 0), "failed ingest must not publish");
+}

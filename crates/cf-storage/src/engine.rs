@@ -1,6 +1,7 @@
 //! The storage façade bundling disk + buffer pool.
 
 use crate::fault::FiredFault;
+use crate::gc::EpochGc;
 use crate::{BufferPool, CfResult, DiskManager, Fault, IoStats, PageBuf, PageCodec, PageId};
 use cf_obs::MetricsRegistry;
 use std::sync::Arc;
@@ -74,6 +75,7 @@ pub struct StorageEngine {
     pool: BufferPool,
     metrics: Arc<MetricsRegistry>,
     codec: PageCodec,
+    gc: EpochGc,
 }
 
 impl StorageEngine {
@@ -89,6 +91,7 @@ impl StorageEngine {
             pool: config.build_pool(Arc::clone(&metrics)),
             metrics,
             codec: config.codec,
+            gc: EpochGc::new(),
         }
     }
 
@@ -116,6 +119,7 @@ impl StorageEngine {
             pool: config.build_pool(Arc::clone(&metrics)),
             metrics,
             codec: config.codec,
+            gc: EpochGc::new(),
         })
     }
 
@@ -204,6 +208,42 @@ impl StorageEngine {
     /// Total pages currently on the disk's freelist.
     pub fn free_pages(&self) -> usize {
         self.disk.free_pages()
+    }
+
+    /// The engine's epoch-reclamation domain: readers pin epochs
+    /// through it, writers defer superseded runs into it. See
+    /// [`EpochGc`].
+    pub fn epoch_gc(&self) -> &EpochGc {
+        &self.gc
+    }
+
+    /// Defers returning `n` consecutive pages starting at `id` to the
+    /// freelist until every reader of an epoch older than
+    /// `retire_epoch` has dropped its pin. The pages are actually
+    /// recycled by a later [`StorageEngine::collect_deferred`].
+    pub fn defer_free_run(&self, retire_epoch: u64, id: PageId, n: usize) {
+        self.gc.defer_free_run(retire_epoch, id, n);
+        self.publish_deferred_gauge();
+    }
+
+    /// Frees every deferred run whose readers have all dropped,
+    /// returning how many pages were recycled. Runs still protected by
+    /// a live [`crate::EpochPin`] stay deferred.
+    pub fn collect_deferred(&self) -> CfResult<usize> {
+        let ripe = self.gc.take_ripe();
+        let mut freed = 0;
+        for (first, pages) in ripe {
+            self.free_run(first, pages)?;
+            freed += pages;
+        }
+        self.publish_deferred_gauge();
+        Ok(freed)
+    }
+
+    fn publish_deferred_gauge(&self) {
+        self.metrics
+            .gauge("storage_deferred_free_pages")
+            .set(self.gc.deferred_pages() as f64);
     }
 
     /// Arms a deterministic fault on the underlying disk (see [`Fault`]).

@@ -71,6 +71,17 @@ pub enum CfError {
         /// Records on the page at the time of the update.
         records: usize,
     },
+    /// A caller-supplied cell id is not mapped by the index it was
+    /// handed to (out of range, or a hole in a non-dense id space).
+    /// User input must never panic the storage stack — mutation paths
+    /// return this instead.
+    InvalidCell {
+        /// The cell id the caller supplied.
+        cell: usize,
+        /// How many cell ids the index maps (`0..cells` is the valid
+        /// id range, though sparse indexes may hold holes inside it).
+        cells: usize,
+    },
 }
 
 impl CfError {
@@ -98,6 +109,11 @@ impl CfError {
     /// `true` for [`CfError::Injected`].
     pub fn is_injected(&self) -> bool {
         matches!(self, CfError::Injected { .. })
+    }
+
+    /// `true` for [`CfError::InvalidCell`].
+    pub fn is_invalid_cell(&self) -> bool {
+        matches!(self, CfError::InvalidCell { .. })
     }
 
     /// The page carried by a [`CfError::Corrupt`], if any.
@@ -130,6 +146,12 @@ impl fmt::Display for CfError {
                     f,
                     "compressed page {} is full ({records} records): update does not fit, repack to restore slack",
                     page.0
+                )
+            }
+            CfError::InvalidCell { cell, cells } => {
+                write!(
+                    f,
+                    "cell id {cell} is not mapped by this index ({cells} cells)"
                 )
             }
         }
@@ -178,6 +200,17 @@ mod tests {
         );
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("reading page"));
+    }
+
+    #[test]
+    fn invalid_cell_names_the_offending_id() {
+        let e = CfError::InvalidCell {
+            cell: 99,
+            cells: 64,
+        };
+        assert!(e.is_invalid_cell());
+        assert!(!e.is_corrupt());
+        assert!(e.to_string().contains("cell id 99 is not mapped"), "{e}");
     }
 
     #[test]

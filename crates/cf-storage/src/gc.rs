@@ -1,0 +1,236 @@
+//! Epoch-deferred page reclamation.
+//!
+//! The live-ingest plane publishes immutable epoch snapshots: readers
+//! pin the epoch they opened under, and a background repack replaces
+//! the base plane while those readers are still scanning the old one.
+//! The superseded page runs (old cell file, old R\*-tree, old subfield
+//! catalog) therefore cannot go straight to the
+//! [`crate::DiskManager`] freelist — a reader could still fault one of
+//! those pages back in and observe recycled bytes.
+//!
+//! [`EpochGc`] closes that gap with the classic epoch-based
+//! reclamation rule:
+//!
+//! * every reader holds an [`EpochPin`] for the epoch it is scanning;
+//! * a writer retiring pages calls [`EpochGc::defer_free_run`] with
+//!   the epoch that *replaced* them (`retire_epoch`): the run is safe
+//!   to recycle once no pin older than `retire_epoch` remains;
+//! * dropping the last old pin promotes ripe runs, and the storage
+//!   owner (who holds the engine) drains them via
+//!   [`crate::StorageEngine::collect_deferred`], which routes each run
+//!   through the ordinary `free_run` path (pool invalidation + disk
+//!   freelist).
+//!
+//! The split between *promotion* (lock-only, done in `Drop`) and
+//! *freeing* (needs the engine, done explicitly) keeps `EpochPin`
+//! trivially `Send`/cheap and avoids holding any engine reference in
+//! reader guards.
+
+use crate::disk::PageId;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A page run whose reclamation is deferred until every reader of an
+/// older epoch has dropped its pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DeferredRun {
+    /// The run becomes reclaimable once no pin with `epoch <
+    /// retire_epoch` exists.
+    retire_epoch: u64,
+    first: PageId,
+    pages: usize,
+}
+
+#[derive(Debug, Default)]
+struct GcState {
+    /// Live pins per epoch (readers currently scanning that epoch).
+    pins: BTreeMap<u64, usize>,
+    /// Runs waiting for their retire epoch to clear.
+    pending: Vec<DeferredRun>,
+    /// Runs with no surviving older reader, ready for `free_run`.
+    ripe: Vec<(PageId, usize)>,
+}
+
+impl GcState {
+    /// Moves every pending run whose retire epoch has no older live
+    /// pin into the ripe list.
+    fn promote(&mut self) {
+        let oldest_pin = self.pins.keys().next().copied();
+        let ripe = &mut self.ripe;
+        self.pending.retain(|run| {
+            let safe = match oldest_pin {
+                Some(oldest) => oldest >= run.retire_epoch,
+                None => true,
+            };
+            if safe {
+                ripe.push((run.first, run.pages));
+            }
+            !safe
+        });
+    }
+}
+
+/// Shared epoch-reclamation state (see module docs).
+///
+/// Cloning is cheap: clones share one state, so the writer, the
+/// readers and the storage engine can each hold a handle.
+#[derive(Debug, Clone, Default)]
+pub struct EpochGc {
+    state: Arc<Mutex<GcState>>,
+}
+
+impl EpochGc {
+    /// A fresh GC domain with no pins and nothing deferred.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a reader of `epoch`. The returned guard keeps every
+    /// run retired *at or after* `epoch + 1` from being recycled until
+    /// it is dropped.
+    pub fn pin(&self, epoch: u64) -> EpochPin {
+        let mut state = self.state.lock().expect("gc state poisoned");
+        *state.pins.entry(epoch).or_insert(0) += 1;
+        EpochPin {
+            gc: self.clone(),
+            epoch,
+        }
+    }
+
+    /// Defers reclamation of `pages` consecutive pages starting at
+    /// `first` until no reader of an epoch older than `retire_epoch`
+    /// remains. Runs whose condition already holds become ripe
+    /// immediately.
+    pub fn defer_free_run(&self, retire_epoch: u64, first: PageId, pages: usize) {
+        if pages == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("gc state poisoned");
+        state.pending.push(DeferredRun {
+            retire_epoch,
+            first,
+            pages,
+        });
+        state.promote();
+    }
+
+    /// Takes every ripe run, leaving pending runs in place. The caller
+    /// owns freeing them (see
+    /// [`crate::StorageEngine::collect_deferred`]).
+    pub fn take_ripe(&self) -> Vec<(PageId, usize)> {
+        let mut state = self.state.lock().expect("gc state poisoned");
+        state.promote();
+        std::mem::take(&mut state.ripe)
+    }
+
+    /// `(live pins, pending runs, ripe runs)` — introspection for
+    /// gauges and tests.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        let state = self.state.lock().expect("gc state poisoned");
+        (
+            state.pins.values().sum(),
+            state.pending.len(),
+            state.ripe.len(),
+        )
+    }
+
+    /// Total pages currently awaiting reclamation (pending + ripe).
+    pub fn deferred_pages(&self) -> usize {
+        let state = self.state.lock().expect("gc state poisoned");
+        state.pending.iter().map(|r| r.pages).sum::<usize>()
+            + state.ripe.iter().map(|&(_, n)| n).sum::<usize>()
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let mut state = self.state.lock().expect("gc state poisoned");
+        if let Some(count) = state.pins.get_mut(&epoch) {
+            *count -= 1;
+            if *count == 0 {
+                state.pins.remove(&epoch);
+            }
+        }
+        state.promote();
+    }
+}
+
+/// A reader's hold on an epoch: while alive, pages retired by any
+/// later epoch stay allocated. Dropping the pin may promote deferred
+/// runs to ripe (actually freeing them still requires
+/// [`crate::StorageEngine::collect_deferred`]).
+#[derive(Debug)]
+pub struct EpochPin {
+    gc: EpochGc,
+    epoch: u64,
+}
+
+impl EpochPin {
+    /// The epoch this pin protects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.gc.unpin(self.epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpinned_runs_ripen_immediately() {
+        let gc = EpochGc::new();
+        gc.defer_free_run(3, PageId(10), 4);
+        assert_eq!(gc.take_ripe(), vec![(PageId(10), 4)]);
+        assert_eq!(gc.take_ripe(), vec![], "taken runs do not reappear");
+    }
+
+    #[test]
+    fn old_reader_blocks_reclamation_until_dropped() {
+        let gc = EpochGc::new();
+        let pin = gc.pin(2);
+        // Retired by epoch 3: epoch-2 readers may still touch it.
+        gc.defer_free_run(3, PageId(7), 2);
+        assert_eq!(gc.take_ripe(), vec![]);
+        assert_eq!(gc.deferred_pages(), 2);
+        drop(pin);
+        assert_eq!(gc.take_ripe(), vec![(PageId(7), 2)]);
+        assert_eq!(gc.deferred_pages(), 0);
+    }
+
+    #[test]
+    fn new_epoch_readers_do_not_block_old_retirements() {
+        let gc = EpochGc::new();
+        let new_reader = gc.pin(3);
+        gc.defer_free_run(3, PageId(1), 1);
+        // The epoch-3 reader sees the *new* plane; the run retired at
+        // epoch 3 only had to outlive epoch <= 2 readers.
+        assert_eq!(gc.take_ripe(), vec![(PageId(1), 1)]);
+        drop(new_reader);
+    }
+
+    #[test]
+    fn multiple_pins_per_epoch_are_counted() {
+        let gc = EpochGc::new();
+        let a = gc.pin(1);
+        let b = gc.pin(1);
+        gc.defer_free_run(2, PageId(5), 3);
+        drop(a);
+        assert_eq!(gc.take_ripe(), vec![], "second pin still live");
+        drop(b);
+        assert_eq!(gc.take_ripe(), vec![(PageId(5), 3)]);
+    }
+
+    #[test]
+    fn stats_report_pins_and_queues() {
+        let gc = EpochGc::new();
+        let _pin = gc.pin(0);
+        gc.defer_free_run(1, PageId(0), 1);
+        gc.defer_free_run(0, PageId(9), 1); // ripe: no pin older than 0
+        let (pins, pending, ripe) = gc.stats();
+        assert_eq!((pins, pending, ripe), (1, 1, 1));
+    }
+}

@@ -65,6 +65,7 @@ mod engine;
 mod error;
 mod fault;
 mod freelist;
+mod gc;
 mod heap;
 mod mmap;
 mod stats;
@@ -78,6 +79,7 @@ pub use disk::{DiskManager, PageBuf, PageId, FSM_COMMIT_PAGE, PAGE_SIZE};
 pub use engine::{StorageConfig, StorageEngine};
 pub use error::{CfError, CfResult, FaultOp};
 pub use fault::{Fault, FaultInjector, FiredFault};
+pub use gc::{EpochGc, EpochPin};
 pub use heap::{KvRecord, Record, RecordFile};
 pub use stats::{thread_io_stats, IoStats, ShardStats};
 

@@ -7,6 +7,7 @@
 //! fielddb create /tmp/terrain.db --workload terrain --k 8
 //! fielddb info   /tmp/terrain.db
 //! fielddb query  /tmp/terrain.db 300 350 --regions 3
+//! fielddb ingest /tmp/terrain.db --updates 512   # live epoch plane
 //! fielddb point  /tmp/terrain.db 17.5 42.25
 //! fielddb serve-metrics --port 9184   # HTTP /metrics + /traces
 //! fielddb top --port 9184             # one-shot scrape view
@@ -19,7 +20,7 @@
 
 use contfield::field::{FieldModel, GridField};
 use contfield::geom::Interval;
-use contfield::index::{AdaptiveIndex, IHilbert, Plan, ValueIndex};
+use contfield::index::{AdaptiveIndex, IHilbert, IngestConfig, LiveIngest, Plan, ValueIndex};
 use contfield::storage::{PageCodec, PageId, StorageConfig, StorageEngine, PAGE_SIZE};
 use contfield::workload::{fractal::diamond_square, monotonic::monotonic_field, terrain};
 
@@ -80,6 +81,22 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
             }
             query(&path, lo, hi, regions, eng)
+        }
+        "ingest" => {
+            let path = it.next().ok_or_else(usage)?.clone();
+            let mut updates = 256usize;
+            let mut seed = 42u64;
+            let mut capacity = 4096usize;
+            let mut eng = EngineOpts::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--updates" => updates = parse(&take(&mut it, flag)?)?,
+                    "--seed" => seed = parse(&take(&mut it, flag)?)?,
+                    "--capacity" => capacity = parse(&take(&mut it, flag)?)?,
+                    other => eng.parse_flag(other, &mut it)?,
+                }
+            }
+            ingest(&path, updates, seed, capacity, eng)
         }
         "point" => {
             let path = it.next().ok_or_else(usage)?.clone();
@@ -165,7 +182,7 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap] [--codec raw|compressed]".into()
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb ingest <db> [--updates N] [--seed N] [--capacity N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap] [--codec raw|compressed]".into()
 }
 
 /// Storage-engine tuning flags shared by every file-backed command:
@@ -220,7 +237,7 @@ fn open_engine(path: &str, opts: EngineOpts) -> Result<StorageEngine, String> {
     StorageEngine::open_file(path, config).map_err(|e| format!("cannot open {path}: {e}"))
 }
 
-fn open_index(engine: &StorageEngine) -> Result<IHilbert<GridField>, String> {
+fn read_catalog(engine: &StorageEngine) -> Result<PageId, String> {
     if engine.num_pages() == 0 {
         return Err("empty database file".into());
     }
@@ -235,7 +252,12 @@ fn open_index(engine: &StorageEngine) -> Result<IHilbert<GridField>, String> {
     if magic != BOOT_MAGIC {
         return Err("not a fielddb database (bad bootstrap magic)".into());
     }
-    IHilbert::open(engine, PageId(catalog)).map_err(|e| format!("cannot open catalog: {e}"))
+    Ok(PageId(catalog))
+}
+
+fn open_index(engine: &StorageEngine) -> Result<IHilbert<GridField>, String> {
+    let catalog = read_catalog(engine)?;
+    IHilbert::open(engine, catalog).map_err(|e| format!("cannot open catalog: {e}"))
 }
 
 fn create(
@@ -329,6 +351,82 @@ fn query(
         }
     }
     Ok(out)
+}
+
+/// Streams random read-modify-write updates through the live ingest
+/// plane: every write lands in the epoch delta (the frozen base is
+/// untouched), snapshot reads interleave with the stream, the delta
+/// drains through a repack, and the catalog v4 epoch commit persists
+/// the plane for the next process.
+fn ingest(
+    path: &str,
+    updates: usize,
+    seed: u64,
+    capacity: usize,
+    eng: EngineOpts,
+) -> Result<String, String> {
+    let engine = open_engine(path, eng)?;
+    let catalog = read_catalog(&engine)?;
+    let live = LiveIngest::<GridField>::open(
+        &engine,
+        catalog,
+        IngestConfig {
+            capacity,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("cannot open ingest plane: {e}"))?;
+
+    let snap = live.snapshot();
+    let cells = snap.num_cells();
+    let dom = snap.value_domain();
+    let band = Interval::new(dom.denormalize(0.35), dom.denormalize(0.65));
+    drop(snap);
+
+    // Deterministic value stream (split-mix) so reruns are replayable.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut reads = 0usize;
+    let mut qualifying = 0usize;
+    let started = std::time::Instant::now();
+    for i in 0..updates {
+        let cell = (next() % cells as u64) as usize;
+        let mut rec = live.cell_record(&engine, cell).map_err(|e| e.to_string())?;
+        for v in rec.vals.iter_mut() {
+            *v = dom.denormalize((next() >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        live.ingest(&engine, cell, rec).map_err(|e| e.to_string())?;
+        // Interleaved snapshot reads: the whole point of the epoch
+        // plane is that these never wait on the writer.
+        if i % 32 == 31 {
+            let stats = live
+                .snapshot()
+                .query_stats(&engine, band)
+                .map_err(|e| e.to_string())?;
+            qualifying = stats.cells_qualifying;
+            reads += 1;
+        }
+    }
+    let report = live.repack(&engine).map_err(|e| e.to_string())?;
+    live.save_to(&engine, catalog).map_err(|e| e.to_string())?;
+    engine.sync().map_err(|e| e.to_string())?;
+    let (delta, epoch, repacks) = live.status();
+    Ok(format!(
+        "ingested {updates} updates into {path} in {:.1} ms: epoch {epoch}, {repacks} repack(s), \
+         final drain {} records / {} pages retired, {delta} delta records pending, \
+         {reads} interleaved snapshot reads (last: {qualifying} cells in [{:.3}, {:.3}])\n",
+        started.elapsed().as_secs_f64() * 1e3,
+        report.drained,
+        report.pages_retired,
+        band.lo,
+        band.hi,
+    ))
 }
 
 fn point(path: &str, x: f64, y: f64, eng: EngineOpts) -> Result<String, String> {
@@ -759,6 +857,36 @@ mod tests {
         );
         std::fs::remove_file(&raw_db).expect("cleanup");
         std::fs::remove_file(&comp_db).expect("cleanup");
+    }
+
+    #[test]
+    fn ingest_streams_updates_and_persists_the_epoch() {
+        let db = tmp("ingest");
+        run(&argv(&["create", &db, "--workload", "fractal", "--k", "5"])).expect("create");
+
+        let out = run(&argv(&["ingest", &db, "--updates", "128", "--seed", "7"])).expect("ingest");
+        assert!(out.contains("ingested 128 updates"), "{out}");
+        assert!(out.contains("1 repack(s)"), "{out}");
+        assert!(out.contains("0 delta records pending"), "{out}");
+        assert!(out.contains("interleaved snapshot reads"), "{out}");
+
+        // The epoch pointer survives the process boundary and keeps
+        // advancing on a second stream.
+        let again =
+            run(&argv(&["ingest", &db, "--updates", "64", "--seed", "8"])).expect("ingest again");
+        let epoch_of = |s: &str| -> u64 {
+            s.split("epoch ")
+                .nth(1)
+                .and_then(|t| t.split(',').next())
+                .and_then(|t| t.parse().ok())
+                .expect("epoch in output")
+        };
+        assert!(epoch_of(&again) > epoch_of(&out), "{out}\n{again}");
+
+        // And the plain read path still works on the repacked file.
+        let q = run(&argv(&["query", &db, "-0.2", "0.2"])).expect("query");
+        assert!(q.contains("cells qualify"), "{q}");
+        std::fs::remove_file(&db).expect("cleanup");
     }
 
     #[test]

@@ -74,8 +74,9 @@ pub mod prelude {
     pub use cf_field::{FieldModel, GridField, TinField, VectorGridField};
     pub use cf_geom::{Aabb, Interval, Point2, Polygon, Triangle};
     pub use cf_index::{
-        BatchReport, IAll, IHilbert, IHilbertConfig, IntervalQuadtree, LinearScan, PointIndex,
-        QueryBatch, QueryStats, SubfieldConfig, ValueIndex, VectorIHilbert,
+        BatchReport, EpochSnapshot, IAll, IHilbert, IHilbertConfig, IngestConfig, IntervalQuadtree,
+        LinearScan, LiveIngest, PointIndex, QueryBatch, QueryStats, SubfieldConfig, ValueIndex,
+        VectorIHilbert,
     };
     pub use cf_sfc::Curve;
     pub use cf_storage::{IoStats, StorageConfig, StorageEngine};
