@@ -1314,9 +1314,28 @@ fn ingest_bench(opts: &Opts) {
             reads_during_repack.load(Ordering::SeqCst) as f64,
         );
         rec.push("ingest_identical", if identical { 1.0 } else { 0.0 });
+        // Windowed SLO quantiles over the run's whole query plane —
+        // `slo_*` names classify as Info, so they ride along for trend
+        // inspection without gating.
+        let slo = engine.metrics().slo();
+        rec.push("slo_p50_us", slo.p50_ns() as f64 / 1e3);
+        rec.push("slo_p99_us", slo.p99_ns() as f64 / 1e3);
         let history = opts.history.as_deref().unwrap_or("BENCH_history.jsonl");
         cf_bench::history::append_history(history, &rec).expect("append ingest history");
         println!("appended run to {history}");
+
+        // Flush the epoch-lifecycle journal (epoch_published /
+        // repack_start / repack_end / run_deferred / run_reclaimed) to
+        // a JSONL sidecar; CI uploads it as an artifact.
+        let journal_path = "BENCH_ingest_journal.jsonl";
+        let mut log =
+            cf_obs::export::EventLog::open(journal_path, 1 << 20, 3).expect("open journal log");
+        let events = engine
+            .metrics()
+            .journal()
+            .drain_to(&mut log)
+            .expect("drain epoch journal");
+        println!("wrote {events} epoch-lifecycle events to {journal_path}");
     }
 }
 

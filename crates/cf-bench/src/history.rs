@@ -134,8 +134,22 @@ pub enum MetricKind {
 }
 
 impl MetricKind {
-    /// Classifies a metric by name suffix.
+    /// Classifies a metric by name — prefix families first, then
+    /// suffix.
+    ///
+    /// Observability exports ride along in the history for trend
+    /// inspection but must never gate a PR: windowed SLO quantiles
+    /// (`slo_*`) move with the sliding window's phase, EXPLAIN
+    /// snapshots (`explain_*`) describe a single arbitrary query, and
+    /// epoch age (`ingest_epoch_age_*`) is pure wall-clock scheduling
+    /// noise. All three families are context, not performance.
     pub fn of(name: &str) -> Self {
+        if name.starts_with("slo_")
+            || name.starts_with("explain_")
+            || name.starts_with("ingest_epoch_age_")
+        {
+            return Self::Info;
+        }
         if name.ends_with("_ms") || name.ends_with("_us") || name.ends_with("_ns") {
             Self::Time
         } else if name.ends_with("_speedup") {
@@ -333,6 +347,26 @@ mod tests {
         assert_eq!(MetricKind::of("build_4t_speedup"), MetricKind::Speedup);
         assert_eq!(MetricKind::of("build_4t_identical"), MetricKind::Flag);
         assert_eq!(MetricKind::of("cells"), MetricKind::Info);
+    }
+
+    #[test]
+    fn observability_prefixes_never_gate_despite_time_suffixes() {
+        // Prefix rules beat the `_us`/`_ns` suffix: these families are
+        // context, not performance.
+        assert_eq!(MetricKind::of("slo_p99_us"), MetricKind::Info);
+        assert_eq!(MetricKind::of("slo_p50_us"), MetricKind::Info);
+        assert_eq!(MetricKind::of("explain_total_ns"), MetricKind::Info);
+        assert_eq!(MetricKind::of("explain_refine_pages"), MetricKind::Info);
+        assert_eq!(MetricKind::of("ingest_epoch_age_ns"), MetricKind::Info);
+        // ... and a 100x jump in any of them passes the gate.
+        let history = vec![
+            record("a", &[("slo_p99_us", 50.0), ("ingest_epoch_age_ns", 1e6)]),
+            record("b", &[("slo_p99_us", 50.0), ("ingest_epoch_age_ns", 1e6)]),
+            record("c", &[("slo_p99_us", 5000.0), ("ingest_epoch_age_ns", 1e8)]),
+        ];
+        assert!(compare(&history, 5, 0.30, 0.02).expect("baseline").ok());
+        // Other ingest gauges keep their ordinary classification.
+        assert_eq!(MetricKind::of("ingest_repack_lag_ns"), MetricKind::Time);
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl<F: FieldModel> IHilbert<F> {
             inner.freeze(engine)?;
         }
         inner.set_metric_label(method_label(config.curve.0));
+        inner.set_curve_label(config.curve.0.name());
         // Exact per-subfield cost C = P/SI — the per-cell intervals are
         // in hand only here at build time, so this is where the health
         // metrics get the full distribution.
@@ -213,6 +214,7 @@ impl<F: FieldModel> IHilbert<F> {
         cell_to_pos: Vec<u32>,
     ) -> Self {
         inner.set_metric_label(method_label(curve));
+        inner.set_curve_label(curve.name());
         Self {
             inner,
             curve,

@@ -46,7 +46,9 @@ use crate::stats::{QueryMetrics, QueryScratch, QueryStats, ValueIndex};
 use crate::subfield::{build_subfields, SubfieldConfig};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
-use cf_storage::{codec, CfResult, Counter, EpochPin, Gauge, Record, Stopwatch, StorageEngine};
+use cf_storage::{
+    codec, CfResult, Counter, EpochPin, Gauge, Record, Stopwatch, StorageEngine, TraceEvent,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
@@ -133,6 +135,9 @@ struct WriterState<F: FieldModel> {
     /// When the delta last drained (repack or construction) — the
     /// `ingest_repack_lag_ns` gauge reports time since.
     last_drain: Instant,
+    /// When the current epoch was published — each publication reports
+    /// the age the outgoing epoch reached (`ingest_epoch_age_ns`).
+    last_publish: Instant,
 }
 
 /// Cached registry handles for the delta-pressure gauges.
@@ -141,6 +146,12 @@ struct IngestGauges {
     epoch: Gauge,
     repack_lag_ns: Gauge,
     repack_inflight: Gauge,
+    /// Age the outgoing epoch reached when the latest publication
+    /// replaced it (time between consecutive publishes).
+    epoch_age_ns: Gauge,
+    /// Records rewritten per delta record drained by the latest
+    /// repack: the write-amplification factor of the drain.
+    write_amplification: Gauge,
 }
 
 impl IngestGauges {
@@ -151,6 +162,8 @@ impl IngestGauges {
             epoch: registry.gauge("ingest_epoch"),
             repack_lag_ns: registry.gauge("ingest_repack_lag_ns"),
             repack_inflight: registry.gauge("ingest_repack_inflight"),
+            epoch_age_ns: registry.gauge("ingest_epoch_age_ns"),
+            write_amplification: registry.gauge("ingest_write_amplification"),
         }
     }
 }
@@ -221,6 +234,7 @@ impl<F: FieldModel> LiveIngest<F> {
             repacks: 0,
             estimator,
             last_drain: Instant::now(),
+            last_publish: Instant::now(),
         };
         for d in ring {
             state.overlays.insert(d.pos, d.rec.clone());
@@ -229,8 +243,13 @@ impl<F: FieldModel> LiveIngest<F> {
         for &pos in state.overlays.keys() {
             let sf_idx = state.base.inner().pos_to_subfield[pos as usize];
             if !state.sf_overrides.contains_key(&sf_idx) {
-                let iv =
-                    effective_sf_interval(engine, &state.base, &state.overlays, sf_idx as usize)?;
+                let iv = effective_sf_interval(
+                    engine,
+                    &state.base,
+                    &state.overlays,
+                    None,
+                    sf_idx as usize,
+                )?;
                 state.sf_overrides.insert(sf_idx, iv);
             }
         }
@@ -280,16 +299,26 @@ impl<F: FieldModel> LiveIngest<F> {
         if state.ring.len() >= self.capacity {
             self.repack_locked(engine, &mut state)?;
         }
+        // Recompute the subfield's interval summary with the new record
+        // overlaid *before* mutating any state: if the recompute I/O
+        // fails, the ring, overlay map, gauges and published snapshot
+        // all still agree (no half-applied write left behind).
+        let sf_idx = state.base.inner().pos_to_subfield[pos as usize];
+        let iv = effective_sf_interval(
+            engine,
+            &state.base,
+            &state.overlays,
+            Some((pos, &record)),
+            sf_idx as usize,
+        )?;
         state.ring.push(DeltaRec {
             pos,
             rec: record.clone(),
         });
         state.overlays.insert(pos, record);
-        let sf_idx = state.base.inner().pos_to_subfield[pos as usize];
-        let iv = effective_sf_interval(engine, &state.base, &state.overlays, sf_idx as usize)?;
         state.sf_overrides.insert(sf_idx, iv);
         state.epoch += 1;
-        self.publish_locked(engine, &state);
+        self.publish_locked(engine, &mut state);
         Ok(())
     }
 
@@ -327,6 +356,14 @@ impl<F: FieldModel> LiveIngest<F> {
         }
         let gauges = self.gauges(engine);
         gauges.repack_inflight.set(1.0);
+        let (epoch, ring_len) = (state.epoch, state.ring.len());
+        engine.metrics().journal().emit_with(|| {
+            cf_storage::Json::obj([
+                ("event", cf_storage::Json::Str("repack_start".into())),
+                ("epoch", cf_storage::Json::Num(epoch as f64)),
+                ("delta_records", cf_storage::Json::Num(ring_len as f64)),
+            ])
+        });
         let result = self.repack_inner(engine, state);
         gauges.repack_inflight.set(0.0);
         result
@@ -337,6 +374,7 @@ impl<F: FieldModel> LiveIngest<F> {
         engine: &StorageEngine,
         state: &mut WriterState<F>,
     ) -> CfResult<RepackReport> {
+        let repack_clock = Stopwatch::start();
         let drained = state.ring.len();
         let inner = state.base.inner();
         // Materialize the effective cell file: base order (cell
@@ -408,6 +446,26 @@ impl<F: FieldModel> LiveIngest<F> {
         // Opportunistic collection: anything already unpinned (e.g. no
         // reader ever held the old epoch) is recycled right away.
         engine.collect_deferred()?;
+        // Write amplification of the drain: the whole cell file is
+        // rewritten to fresh pages, so it is records-rewritten per
+        // delta record drained.
+        let rewritten = state.base.inner_len();
+        let write_amp = rewritten as f64 / drained as f64;
+        self.gauges(engine).write_amplification.set(write_amp);
+        let (epoch, regroups) = (state.epoch, state.base.num_intervals());
+        let wall_ns = repack_clock.elapsed_ns();
+        engine.metrics().journal().emit_with(|| {
+            cf_storage::Json::obj([
+                ("event", cf_storage::Json::Str("repack_end".into())),
+                ("epoch", cf_storage::Json::Num(epoch as f64)),
+                ("drained", cf_storage::Json::Num(drained as f64)),
+                ("regroups", cf_storage::Json::Num(regroups as f64)),
+                ("records_rewritten", cf_storage::Json::Num(rewritten as f64)),
+                ("pages_retired", cf_storage::Json::Num(pages_retired as f64)),
+                ("write_amplification", cf_storage::Json::Num(write_amp)),
+                ("wall_ns", cf_storage::Json::Num(wall_ns as f64)),
+            ])
+        });
         Ok(RepackReport {
             repacked: true,
             drained,
@@ -416,12 +474,25 @@ impl<F: FieldModel> LiveIngest<F> {
         })
     }
 
-    /// Publishes the writer state as a fresh immutable snapshot and
-    /// refreshes the delta-pressure gauges.
-    fn publish_locked(&self, engine: &StorageEngine, state: &WriterState<F>) {
+    /// Publishes the writer state as a fresh immutable snapshot,
+    /// refreshes the delta-pressure gauges, and journals the epoch
+    /// publication (with the age the outgoing epoch reached).
+    fn publish_locked(&self, engine: &StorageEngine, state: &mut WriterState<F>) {
+        let epoch_age_ns = state.last_publish.elapsed().as_nanos() as u64;
+        state.last_publish = Instant::now();
         let snapshot = make_snapshot(engine, state, self.scan_threshold);
         *self.published.write().expect("published epoch poisoned") = snapshot;
+        self.gauges(engine).epoch_age_ns.set(epoch_age_ns as f64);
         self.refresh_gauges(engine, state);
+        let (epoch, delta_records) = (state.epoch, state.ring.len());
+        engine.metrics().journal().emit_with(|| {
+            cf_storage::Json::obj([
+                ("event", cf_storage::Json::Str("epoch_published".into())),
+                ("epoch", cf_storage::Json::Num(epoch as f64)),
+                ("delta_records", cf_storage::Json::Num(delta_records as f64)),
+                ("epoch_age_ns", cf_storage::Json::Num(epoch_age_ns as f64)),
+            ])
+        });
     }
 
     fn refresh_gauges(&self, engine: &StorageEngine, state: &WriterState<F>) {
@@ -495,10 +566,14 @@ fn make_snapshot<F: FieldModel>(
 /// records' intervals with overlays substituted — exactly as the
 /// in-place `update_record` path recomputes it after a write. This is
 /// the delta plane's interval summary entry for that subfield.
+/// `extra` is a not-yet-applied overlay (the write in flight): the
+/// ingest path computes the post-write summary before mutating the
+/// overlay map so an I/O error leaves the writer state untouched.
 fn effective_sf_interval<F: FieldModel>(
     engine: &StorageEngine,
     base: &IHilbert<F>,
     overlays: &HashMap<u32, F::CellRec>,
+    extra: Option<(u32, &F::CellRec)>,
     sf_idx: usize,
 ) -> CfResult<Interval> {
     let inner = base.inner();
@@ -507,9 +582,12 @@ fn effective_sf_interval<F: FieldModel>(
     inner
         .file
         .for_each_in_range(engine, sf.start as usize..sf.end as usize, |idx, rec| {
-            let effective = match overlays.get(&(idx as u32)) {
-                Some(o) => F::record_interval(o),
-                None => F::record_interval(&rec),
+            let effective = match extra {
+                Some((pos, o)) if pos == idx as u32 => F::record_interval(o),
+                _ => match overlays.get(&(idx as u32)) {
+                    Some(o) => F::record_interval(o),
+                    None => F::record_interval(&rec),
+                },
             };
             union = Some(match union {
                 Some(a) => a.union(effective),
@@ -606,6 +684,8 @@ impl<F: FieldModel> EpochSnapshot<F> {
         sink: &mut dyn FnMut(Polygon),
     ) -> CfResult<QueryStats> {
         let inner = self.base.inner();
+        let tracer = engine.metrics().tracer();
+        let query_id = tracer.is_enabled().then(|| tracer.next_query_id());
         let query_clock = Stopwatch::start();
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
@@ -668,6 +748,48 @@ impl<F: FieldModel> EpochSnapshot<F> {
         let query_ns = query_clock.elapsed_ns();
         self.query_metrics(engine)
             .publish(&stats, band, query_ns, filter_ns, refine_ns);
+        if let Some(query_id) = query_id {
+            let phases = [
+                TraceEvent {
+                    query_id,
+                    phase: "filter",
+                    pages: stats.filter_pages,
+                    nanos: filter_ns,
+                    depth: 1,
+                },
+                TraceEvent {
+                    query_id,
+                    phase: "refine",
+                    pages: stats.io.logical_reads() - stats.filter_pages,
+                    nanos: refine_ns,
+                    depth: 1,
+                },
+            ];
+            for event in &phases {
+                tracer.record(*event);
+            }
+            tracer.record(TraceEvent {
+                query_id,
+                phase: "query",
+                pages: stats.io.logical_reads(),
+                nanos: query_ns,
+                depth: 0,
+            });
+            let explain = crate::explain_record(
+                query_id,
+                &self.base.name(),
+                "probe",
+                if inner.is_frozen() { "frozen" } else { "paged" },
+                inner.curve_label(),
+                band,
+                &stats,
+                query_ns,
+                filter_ns,
+                refine_ns,
+                self.epoch,
+            );
+            tracer.finish_query_explained(query_id, query_ns, &phases, Some(explain));
+        }
         Ok(stats)
     }
 
@@ -682,6 +804,8 @@ impl<F: FieldModel> EpochSnapshot<F> {
         sink: &mut dyn FnMut(Polygon),
     ) -> CfResult<QueryStats> {
         let inner = self.base.inner();
+        let tracer = engine.metrics().tracer();
+        let query_id = tracer.is_enabled().then(|| tracer.next_query_id());
         let query_clock = Stopwatch::start();
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
@@ -703,6 +827,39 @@ impl<F: FieldModel> EpochSnapshot<F> {
         let query_ns = query_clock.elapsed_ns();
         self.query_metrics(engine)
             .publish(&stats, band, query_ns, 0, query_ns);
+        if let Some(query_id) = query_id {
+            let phases = [TraceEvent {
+                query_id,
+                phase: "scan",
+                pages: stats.io.logical_reads(),
+                nanos: query_ns,
+                depth: 1,
+            }];
+            for event in &phases {
+                tracer.record(*event);
+            }
+            tracer.record(TraceEvent {
+                query_id,
+                phase: "query",
+                pages: stats.io.logical_reads(),
+                nanos: query_ns,
+                depth: 0,
+            });
+            let explain = crate::explain_record(
+                query_id,
+                &self.base.name(),
+                "scan",
+                "cells",
+                inner.curve_label(),
+                band,
+                &stats,
+                query_ns,
+                0,
+                query_ns,
+                self.epoch,
+            );
+            tracer.finish_query_explained(query_id, query_ns, &phases, Some(explain));
+        }
         Ok(stats)
     }
 

@@ -263,7 +263,20 @@ impl<F: FieldModel> ValueIndex for AdaptiveIndex<F> {
                         nanos: query_ns,
                         depth: 0,
                     });
-                    tracer.finish_query(query_id, query_ns, &phases);
+                    let explain = crate::explain_record(
+                        query_id,
+                        "adaptive-scan",
+                        "scan",
+                        "cells",
+                        inner.curve_label(),
+                        band,
+                        &stats,
+                        query_ns,
+                        0,
+                        query_ns,
+                        0,
+                    );
+                    tracer.finish_query_explained(query_id, query_ns, &phases, Some(explain));
                 }
                 Ok(stats)
             }

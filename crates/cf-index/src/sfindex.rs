@@ -64,6 +64,9 @@ pub(crate) struct SubfieldIndex<F: FieldModel> {
     /// (overridden by the owning method — `"I-Hilbert"`, `"I-Quad"` — via
     /// [`SubfieldIndex::set_metric_label`]).
     metric_label: String,
+    /// Space-filling-curve name reported in EXPLAIN records (set by the
+    /// owning method via [`SubfieldIndex::set_curve_label`]).
+    curve_label: &'static str,
     /// Cached registry handles, wired against the first engine queried.
     qmetrics: OnceLock<QueryMetrics>,
     _field: PhantomData<fn() -> F>,
@@ -211,6 +214,7 @@ impl<F: FieldModel> SubfieldIndex<F> {
             pos_to_subfield,
             frozen: None,
             metric_label: "subfield".to_owned(),
+            curve_label: "-",
             qmetrics: OnceLock::new(),
             _field: PhantomData,
         }
@@ -221,6 +225,16 @@ impl<F: FieldModel> SubfieldIndex<F> {
     /// handles then); the owning method does so right after build/open.
     pub(crate) fn set_metric_label(&mut self, label: impl Into<String>) {
         self.metric_label = label.into();
+    }
+
+    /// Sets the curve name EXPLAIN records report for this index.
+    pub(crate) fn set_curve_label(&mut self, curve: &'static str) {
+        self.curve_label = curve;
+    }
+
+    /// The curve name EXPLAIN records report for this index.
+    pub(crate) fn curve_label(&self) -> &'static str {
+        self.curve_label
     }
 
     fn query_metrics(&self, registry: &MetricsRegistry) -> &QueryMetrics {
@@ -513,7 +527,9 @@ impl<F: FieldModel> SubfieldIndex<F> {
         self.query_metrics(engine.metrics())
             .publish(&stats, band, query_ns, filter_ns, refine_ns);
         if let Some(query_id) = query_id {
-            self.trace_query(engine, query_id, &stats, query_ns, filter_ns, refine_ns);
+            self.trace_query(
+                engine, query_id, band, &stats, query_ns, filter_ns, refine_ns,
+            );
         }
         Ok(stats)
     }
@@ -641,19 +657,25 @@ impl<F: FieldModel> SubfieldIndex<F> {
         self.query_metrics(engine.metrics())
             .publish(&stats, band, query_ns, filter_ns, refine_ns);
         if let Some(query_id) = query_id {
-            self.trace_query(engine, query_id, &stats, query_ns, filter_ns, refine_ns);
+            self.trace_query(
+                engine, query_id, band, &stats, query_ns, filter_ns, refine_ns,
+            );
         }
         Ok(stats)
     }
 
-    /// Records the query's phase breakdown into the trace ring and, when
-    /// it crossed the slow-query threshold, captures a full
-    /// [`cf_storage::SlowQueryReport`]. Only called when tracing is
-    /// enabled, so the ordinary hot path never builds these events.
+    /// Records the query's phase breakdown into the trace ring, its
+    /// [`cf_storage::ExplainRecord`] into the EXPLAIN ring, and — when
+    /// it crossed the slow-query threshold — a full
+    /// [`cf_storage::SlowQueryReport`] with the EXPLAIN attached. Only
+    /// called when tracing is enabled, so the ordinary hot path never
+    /// builds these events.
+    #[allow(clippy::too_many_arguments)]
     fn trace_query(
         &self,
         engine: &StorageEngine,
         query_id: u64,
+        band: Interval,
         stats: &QueryStats,
         query_ns: u64,
         filter_ns: u64,
@@ -686,6 +708,19 @@ impl<F: FieldModel> SubfieldIndex<F> {
             nanos: query_ns,
             depth: 0,
         });
-        tracer.finish_query(query_id, query_ns, &phases);
+        let explain = crate::explain_record(
+            query_id,
+            &self.metric_label,
+            "probe",
+            if self.is_frozen() { "frozen" } else { "paged" },
+            self.curve_label,
+            band,
+            stats,
+            query_ns,
+            filter_ns,
+            refine_ns,
+            0,
+        );
+        tracer.finish_query_explained(query_id, query_ns, &phases, Some(explain));
     }
 }

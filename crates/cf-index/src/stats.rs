@@ -1,7 +1,9 @@
 //! The common query interface and per-query statistics.
 
 use cf_geom::{Interval, Polygon};
-use cf_storage::{CfResult, Counter, Histogram, IoStats, MetricsRegistry, StorageEngine};
+use cf_storage::{
+    CfResult, Counter, Histogram, IoStats, MetricsRegistry, SloTracker, StorageEngine,
+};
 
 /// Everything a value query reports besides its answer regions.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -73,6 +75,10 @@ pub(crate) struct QueryMetrics {
     filter_ns: Histogram,
     refine_ns: Histogram,
     band_len: Histogram,
+    /// The registry's sliding-window SLO tracker; every published query
+    /// latency feeds it so `/slo` and the adaptive slow-query threshold
+    /// see the whole query plane regardless of index or plan.
+    slo: SloTracker,
 }
 
 impl QueryMetrics {
@@ -92,6 +98,7 @@ impl QueryMetrics {
             filter_ns: registry.time_histogram("index_filter_ns", labels),
             refine_ns: registry.time_histogram("index_refine_ns", labels),
             band_len: registry.histogram_with("index_query_band_len", labels, &BAND_LEN_BUCKETS),
+            slo: registry.slo().clone(),
         }
     }
 
@@ -119,6 +126,7 @@ impl QueryMetrics {
         self.filter_ns.observe_ns(filter_ns);
         self.refine_ns.observe_ns(refine_ns);
         self.band_len.observe(band.hi - band.lo);
+        self.slo.record_ns(query_ns);
     }
 }
 

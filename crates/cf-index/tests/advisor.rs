@@ -6,7 +6,9 @@
 
 use cf_field::GridField;
 use cf_geom::Interval;
-use cf_index::{IHilbert, IHilbertConfig, QueryPlane, ValueIndex};
+use cf_index::{IHilbert, ValueIndex};
+#[cfg(not(feature = "obs-off"))]
+use cf_index::{IHilbertConfig, QueryPlane};
 use cf_storage::StorageEngine;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 

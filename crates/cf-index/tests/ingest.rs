@@ -16,7 +16,7 @@ use cf_index::{
     QueryStats, ValueIndex,
 };
 use cf_sfc::Curve;
-use cf_storage::StorageEngine;
+use cf_storage::{Fault, StorageEngine};
 
 /// Deterministic split-mix style generator: the interleavings must be
 /// reproducible across runs and platforms.
@@ -453,4 +453,133 @@ fn ingest_rejects_invalid_cells_with_typed_error() {
     assert!(err.is_invalid_cell(), "{err}");
     let (delta, epoch, _) = live.status();
     assert_eq!((delta, epoch), (0, 0), "failed ingest must not publish");
+}
+
+/// Regression for the backpressure path: a write landing on a
+/// ring-at-capacity plane performs an inline synchronous drain, and
+/// the pressure gauges must stay truthful through it —
+/// `ingest_repack_inflight` rises and falls back to 0,
+/// `ingest_delta_records` drops from `capacity` to exactly the one
+/// triggering write, and the epoch-lifecycle journal records the
+/// drain as `repack_start` → `repack_end` with an `epoch_published`
+/// for the publication.
+#[test]
+fn inline_drain_backpressure_keeps_gauges_and_journal_truthful() {
+    let field = wavy_field(12);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let capacity = 8;
+    let live = LiveIngest::new(
+        &engine,
+        base,
+        IngestConfig {
+            capacity,
+            ..Default::default()
+        },
+    )
+    .expect("live");
+    let mut rng = Rng(37);
+    let gauge = |name: &str| engine.metrics().gauge_value(name, &[]).unwrap_or(-1.0);
+
+    for _ in 0..capacity {
+        let cell = rng.below(field.num_cells());
+        let rec = rand_record(&field, cell, &mut rng);
+        live.ingest(&engine, cell, rec).expect("ingest");
+    }
+    assert_eq!(gauge("ingest_delta_records"), capacity as f64);
+    assert_eq!(gauge("ingest_repack_inflight"), 0.0);
+    let epoch_before = gauge("ingest_epoch");
+    // Discard the fill phase's journal entries so the assertions below
+    // see only the backpressure write's events.
+    let _ = engine.metrics().journal().take();
+
+    // Ring at capacity: this write must drain inline first.
+    let cell = rng.below(field.num_cells());
+    let rec = rand_record(&field, cell, &mut rng);
+    live.ingest(&engine, cell, rec)
+        .expect("backpressure ingest");
+
+    assert_eq!(
+        gauge("ingest_delta_records"),
+        1.0,
+        "after the inline drain only the triggering write may remain"
+    );
+    assert_eq!(
+        gauge("ingest_repack_inflight"),
+        0.0,
+        "the inline drain must clear the inflight flag on its way out"
+    );
+    assert!(
+        gauge("ingest_epoch") >= epoch_before + 2.0,
+        "the drain and the write each publish an epoch"
+    );
+    let (ring_len, _, repacks) = live.status();
+    assert_eq!((ring_len, repacks), (1, 1));
+
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let events: Vec<String> = engine
+            .metrics()
+            .journal()
+            .take()
+            .iter()
+            .filter_map(|e| e.get("event").and_then(|v| v.as_str()).map(str::to_string))
+            .collect();
+        let pos = |name: &str| events.iter().position(|e| e == name);
+        let start = pos("repack_start").expect("journal must record repack_start");
+        let end = pos("repack_end").expect("journal must record repack_end");
+        assert!(
+            start < end,
+            "repack_start must precede repack_end: {events:?}"
+        );
+        assert!(
+            pos("epoch_published").is_some(),
+            "publications must be journaled: {events:?}"
+        );
+    }
+}
+
+/// An ingest whose interval recompute fails mid-write (fault
+/// injection on the read path) must leave the writer state, gauges
+/// and published snapshot exactly as before the attempt — no
+/// half-applied overlay, no stale `ingest_delta_records`.
+#[test]
+fn failed_ingest_leaves_state_and_gauges_consistent() {
+    let field = wavy_field(8);
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = LiveIngest::new(&engine, base, IngestConfig::default()).expect("live");
+    let mut rng = Rng(41);
+    let cell = rng.below(field.num_cells());
+    let rec = rand_record(&field, cell, &mut rng);
+    live.ingest(&engine, cell, rec).expect("ingest");
+    let (delta_before, epoch_before, _) = live.status();
+    let snap_before = live.snapshot();
+
+    // Cold cache + ordinal 0: the interval recompute's first physical
+    // read fails.
+    engine.clear_faults();
+    engine.clear_cache();
+    engine.inject_fault(Fault::FailRead { nth: 0 });
+    let cell2 = rng.below(field.num_cells());
+    let rec2 = rand_record(&field, cell2, &mut rng);
+    let err = live
+        .ingest(&engine, cell2, rec2)
+        .expect_err("injected fault");
+    assert!(err.is_injected(), "{err}");
+    engine.clear_faults();
+
+    let (delta_after, epoch_after, _) = live.status();
+    assert_eq!(
+        (delta_after, epoch_after),
+        (delta_before, epoch_before),
+        "failed ingest must not mutate the writer state"
+    );
+    let gauge = |name: &str| engine.metrics().gauge_value(name, &[]).unwrap_or(-1.0);
+    assert_eq!(gauge("ingest_delta_records"), delta_before as f64);
+    assert_eq!(live.snapshot().epoch(), snap_before.epoch());
+    // The plane still works after the fault.
+    let cell3 = rng.below(field.num_cells());
+    let rec3 = rand_record(&field, cell3, &mut rng);
+    live.ingest(&engine, cell3, rec3).expect("recovered ingest");
 }

@@ -19,12 +19,18 @@
 //!   [`MetricsRegistry::render_text`](crate::MetricsRegistry::render_text)
 //!   and parsed back by [`parse_prometheus`] (the `fielddb top`
 //!   one-shot watch view scrapes and re-renders it).
+//!
+//! In-process, the [`EventJournal`] buffers structured lifecycle events
+//! (epoch published, repack start/end, run deferred/reclaimed) in a
+//! bounded ring until a CLI or exporter drains them into an
+//! [`EventLog`].
 
 use crate::json::Json;
 use crate::trace::{SlowQueryReport, TraceEvent};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// One span event as a Chrome-trace "complete" (`"ph":"X"`) event.
 /// `ts`/`dur` are microseconds, per the trace-event format.
@@ -85,14 +91,17 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     .render()
 }
 
-/// One slow-query report as a JSON object.
+/// One slow-query report as a JSON object. The structured EXPLAIN
+/// record is included when the pipeline attached one (omitted rather
+/// than null when absent, so pre-EXPLAIN consumers see an unchanged
+/// shape).
 pub fn slow_report_record(r: &SlowQueryReport) -> Json {
-    Json::obj([
-        ("kind", Json::Str("slow_query".into())),
-        ("query_id", Json::Num(r.query_id as f64)),
-        ("total_ns", Json::Num(r.total_ns as f64)),
+    let mut fields = vec![
+        ("kind".to_owned(), Json::Str("slow_query".into())),
+        ("query_id".to_owned(), Json::Num(r.query_id as f64)),
+        ("total_ns".to_owned(), Json::Num(r.total_ns as f64)),
         (
-            "phases",
+            "phases".to_owned(),
             Json::Arr(
                 r.phases
                     .iter()
@@ -106,7 +115,11 @@ pub fn slow_report_record(r: &SlowQueryReport) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(explain) = &r.explain {
+        fields.push(("explain".to_owned(), explain.to_json()));
+    }
+    Json::Obj(fields)
 }
 
 /// Renders the full trace dump served by the `/traces` endpoint: the
@@ -228,6 +241,93 @@ impl EventLog {
     /// The active log path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// Maximum events retained by an [`EventJournal`].
+pub const JOURNAL_RING_CAPACITY: usize = 1024;
+
+/// A bounded in-process ring of structured lifecycle events.
+///
+/// The ingest plane and the storage GC emit epoch-lifecycle events here
+/// (`epoch_published`, `repack_start`, `repack_end`, `run_deferred`,
+/// `run_reclaimed`); a CLI or exporter periodically drains them into an
+/// [`EventLog`] JSONL sink. Cloning shares the ring. Under `obs-off`
+/// emission compiles to a no-op and the closure passed to
+/// [`EventJournal::emit_with`] is never evaluated.
+#[derive(Debug, Clone, Default)]
+pub struct EventJournal {
+    ring: Arc<Mutex<VecDeque<Json>>>,
+}
+
+impl EventJournal {
+    /// Appends one event, evicting the oldest past the ring capacity.
+    #[cfg(not(feature = "obs-off"))]
+    pub fn emit(&self, event: Json) {
+        let mut ring = self.ring.lock().expect("journal ring poisoned");
+        if ring.len() >= JOURNAL_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Appends one event (compiled out under `obs-off`).
+    #[cfg(feature = "obs-off")]
+    #[inline]
+    pub fn emit(&self, _event: Json) {}
+
+    /// Appends the event built by `make`; under `obs-off` the closure
+    /// is never evaluated, so event assembly compiles out with it.
+    #[inline]
+    pub fn emit_with(&self, make: impl FnOnce() -> Json) {
+        #[cfg(not(feature = "obs-off"))]
+        self.emit(make());
+        #[cfg(feature = "obs-off")]
+        let _ = make;
+    }
+
+    /// Snapshot of the retained events (oldest first) without draining.
+    pub fn events(&self) -> Vec<Json> {
+        self.ring
+            .lock()
+            .expect("journal ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drains every pending event (oldest first).
+    pub fn take(&self) -> Vec<Json> {
+        self.ring
+            .lock()
+            .expect("journal ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("journal ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the ring.
+    pub fn clear(&self) {
+        self.ring.lock().expect("journal ring poisoned").clear();
+    }
+
+    /// Drains every pending event into a JSONL [`EventLog`]; returns
+    /// how many were written.
+    pub fn drain_to(&self, log: &mut EventLog) -> io::Result<usize> {
+        let events = self.take();
+        for e in &events {
+            log.append(e)?;
+        }
+        Ok(events.len())
     }
 }
 
@@ -444,5 +544,86 @@ mod tests {
         assert!(parse_prometheus("metric_without_value\n").is_err());
         assert!(parse_prometheus("m{k=v} 1\n").is_err());
         assert!(parse_prometheus("m{k=\"v\" 1\n").is_err());
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn journal_ring_is_bounded_and_drains_to_jsonl() {
+        let journal = EventJournal::default();
+        for i in 0..(JOURNAL_RING_CAPACITY + 7) {
+            journal.emit(Json::obj([
+                ("event", Json::Str("epoch_published".into())),
+                ("epoch", Json::Num(i as f64)),
+            ]));
+        }
+        assert_eq!(journal.len(), JOURNAL_RING_CAPACITY);
+        let first = journal
+            .events()
+            .first()
+            .and_then(|e| e.get("epoch").and_then(Json::as_f64));
+        assert_eq!(first, Some(7.0));
+
+        let dir = std::env::temp_dir().join(format!("cfobs_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("journal.jsonl");
+        let mut log = EventLog::open(&path, u64::MAX, 2).expect("open");
+        let written = journal.drain_to(&mut log).expect("drain");
+        assert_eq!(written, JOURNAL_RING_CAPACITY);
+        assert!(journal.is_empty());
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), JOURNAL_RING_CAPACITY);
+        for line in text.lines() {
+            let v = Json::parse(line).expect("valid json line");
+            assert_eq!(
+                v.get("event").and_then(Json::as_str),
+                Some("epoch_published")
+            );
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn journal_is_inert_under_obs_off() {
+        let journal = EventJournal::default();
+        journal.emit(Json::Null);
+        journal.emit_with(|| unreachable!("emit_with must not evaluate under obs-off"));
+        assert!(journal.is_empty());
+    }
+
+    #[test]
+    fn slow_report_record_carries_the_explain() {
+        let mut r = SlowQueryReport {
+            query_id: 4,
+            total_ns: 1_000,
+            phases: vec![],
+            explain: None,
+        };
+        assert!(slow_report_record(&r).get("explain").is_none());
+        r.explain = Some(crate::ExplainRecord {
+            query_id: 4,
+            index: crate::Label::new("I-Hilbert"),
+            plan: "probe",
+            plane: "paged",
+            curve: crate::Label::new("hilbert"),
+            band_lo: 0.0,
+            band_hi: 1.0,
+            subfields: 2,
+            cells_examined: 8,
+            cells_qualifying: 8,
+            filter_pages: 1,
+            refine_pages: 2,
+            filter_ns: 300,
+            refine_ns: 600,
+            total_ns: 1_000,
+            epoch: 3,
+            pool_hits: 3,
+            pool_misses: 0,
+        });
+        let rec = slow_report_record(&r);
+        let explain = rec.get("explain").expect("explain attached");
+        assert_eq!(explain.get("epoch").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(explain.get("plan").and_then(Json::as_str), Some("probe"));
     }
 }

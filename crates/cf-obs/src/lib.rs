@@ -34,12 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explain;
 pub mod export;
 mod json;
 pub mod serve;
+pub mod slo;
 mod trace;
 
+pub use explain::{ExplainRecord, Label, EXPLAIN_RING_CAPACITY};
+pub use export::EventJournal;
 pub use json::{Json, JsonError};
+pub use slo::{SloObjective, SloTracker};
 pub use trace::{SlowQueryReport, Span, Stopwatch, TraceEvent, Tracer};
 
 use std::collections::BTreeMap;
@@ -268,10 +273,28 @@ fn labels_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
 
 /// The unified metrics registry. One per storage engine; every layer
 /// above the engine publishes into the engine's registry.
-#[derive(Default)]
 pub struct MetricsRegistry {
     families: Mutex<BTreeMap<String, Family>>,
     tracer: Tracer,
+    slo: SloTracker,
+    journal: EventJournal,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        let tracer = Tracer::default();
+        let slo = SloTracker::default();
+        // Wire the tracer's slow-threshold cell into the SLO tracker so
+        // adaptive mode (trace queries slower than the windowed p99)
+        // can steer it.
+        slo.bind_threshold(tracer.threshold_cell());
+        Self {
+            families: Mutex::new(BTreeMap::new()),
+            tracer,
+            slo,
+            journal: EventJournal::default(),
+        }
+    }
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -289,6 +312,16 @@ impl MetricsRegistry {
     /// The registry's query tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The registry's sliding-window SLO tracker.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// The registry's epoch-lifecycle event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
     }
 
     fn register(
@@ -473,6 +506,8 @@ impl MetricsRegistry {
         }
         drop(families);
         self.tracer.clear();
+        self.slo.reset();
+        self.journal.clear();
     }
 
     /// Renders the registry in the Prometheus text exposition format.

@@ -1,12 +1,17 @@
 //! A dependency-free blocking HTTP endpoint for the telemetry plane.
 //!
-//! [`MetricsServer`] wraps a `std::net::TcpListener` and serves three
+//! [`MetricsServer`] wraps a `std::net::TcpListener` and serves five
 //! routes, one request per connection (`Connection: close`):
 //!
 //! * `/metrics` — the Prometheus text snapshot from
 //!   [`MetricsRegistry::render_text`](crate::MetricsRegistry::render_text)
 //! * `/traces` — the Chrome-trace dump plus retained slow-query
 //!   reports, from [`export::trace_dump_json`](crate::export::trace_dump_json)
+//! * `/slo` — the sliding-window SLO snapshot (bucket counts, windowed
+//!   p50/p99, objectives with burn rates) from
+//!   [`SloTracker::to_json`](crate::SloTracker::to_json)
+//! * `/explain/recent` — the retained ring of per-query EXPLAIN
+//!   records as a JSON array
 //! * `/` — a plain-text index of the above
 //!
 //! This is deliberately *not* a general HTTP server: it reads one
@@ -110,12 +115,32 @@ fn route(path: &str, registry: &MetricsRegistry) -> (&'static str, &'static str,
                 trace_dump_json(&tracer.events(), &tracer.slow_reports()),
             )
         }
+        "/slo" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            registry.slo().to_json().render(),
+        ),
+        "/explain/recent" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::Json::Arr(
+                registry
+                    .tracer()
+                    .recent_explains()
+                    .iter()
+                    .map(|e| e.to_json())
+                    .collect(),
+            )
+            .render(),
+        ),
         "/" => (
             "200 OK",
             "text/plain; charset=utf-8",
             "fielddb telemetry endpoint\n\
-             /metrics  Prometheus text snapshot\n\
-             /traces   Chrome-trace JSON (traceEvents + slowQueries)\n"
+             /metrics         Prometheus text snapshot\n\
+             /traces          Chrome-trace JSON (traceEvents + slowQueries)\n\
+             /slo             sliding-window SLO snapshot (buckets, p50/p99, burn rates)\n\
+             /explain/recent  ring of per-query EXPLAIN records\n"
                 .to_owned(),
         ),
         _ => (
@@ -203,6 +228,60 @@ mod tests {
         #[cfg(feature = "obs-off")]
         assert!(events.is_empty(), "{body}");
         assert!(doc.get("slowQueries").is_some(), "{body}");
+        handle.join().expect("no panic").expect("serve");
+    }
+
+    #[test]
+    fn serves_slo_and_explain_rings_as_json() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        reg.slo().add_objective("p99-2ms", 2_000_000, 0.99);
+        reg.slo().record_ns(1_000);
+        reg.tracer().set_enabled(true);
+        reg.tracer().finish_query_explained(
+            0,
+            1_000,
+            &[],
+            Some(crate::ExplainRecord {
+                query_id: 0,
+                index: crate::Label::new("I-Hilbert"),
+                plan: "probe",
+                plane: "paged",
+                curve: crate::Label::new("hilbert"),
+                band_lo: 0.0,
+                band_hi: 1.0,
+                subfields: 1,
+                cells_examined: 4,
+                cells_qualifying: 4,
+                filter_pages: 1,
+                refine_pages: 1,
+                filter_ns: 400,
+                refine_ns: 500,
+                total_ns: 1_000,
+                epoch: 0,
+                pool_hits: 2,
+                pool_misses: 0,
+            }),
+        );
+        let (addr, handle) = serve_n(reg, 2);
+        let slo = http_get(addr, "/slo").expect("slo");
+        let doc = Json::parse(&slo).expect("valid slo json");
+        assert!(doc.get("buckets").and_then(Json::as_arr).is_some(), "{slo}");
+        assert!(doc.get("p99_ns").is_some(), "{slo}");
+        let objectives = doc
+            .get("objectives")
+            .and_then(Json::as_arr)
+            .expect("objectives");
+        assert_eq!(objectives.len(), 1, "{slo}");
+        let recent = http_get(addr, "/explain/recent").expect("explain");
+        let doc = Json::parse(&recent).expect("valid explain json");
+        let arr = doc.as_arr().expect("array");
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert_eq!(arr.len(), 1, "{recent}");
+            assert_eq!(arr[0].get("plan").and_then(Json::as_str), Some("probe"));
+        }
+        #[cfg(feature = "obs-off")]
+        assert!(arr.is_empty(), "{recent}");
         handle.join().expect("no panic").expect("serve");
     }
 

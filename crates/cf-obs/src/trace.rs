@@ -14,11 +14,12 @@
 //! atomic load. Under the `obs-off` feature every recording entry point
 //! compiles to a no-op.
 
+use crate::explain::{ExplainRecord, EXPLAIN_RING_CAPACITY};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 #[cfg(not(feature = "obs-off"))]
 use std::time::Instant;
 
@@ -53,6 +54,9 @@ pub struct SlowQueryReport {
     pub total_ns: u64,
     /// Phase events, in execution order.
     pub phases: Vec<TraceEvent>,
+    /// The structured EXPLAIN record of the offending query, when the
+    /// pipeline assembled one.
+    pub explain: Option<ExplainRecord>,
 }
 
 impl fmt::Display for SlowQueryReport {
@@ -119,21 +123,25 @@ impl Stopwatch {
 #[derive(Debug)]
 pub struct Tracer {
     enabled: AtomicBool,
-    /// Threshold in nanoseconds; `u64::MAX` disables slow-query capture.
-    slow_threshold_ns: AtomicU64,
+    /// Threshold in nanoseconds; `u64::MAX` disables slow-query
+    /// capture. Shared behind an `Arc` so the SLO tracker's adaptive
+    /// mode can steer it (see [`crate::SloTracker::set_adaptive`]).
+    slow_threshold_ns: Arc<AtomicU64>,
     next_query: AtomicU64,
     events: Mutex<VecDeque<TraceEvent>>,
     slow: Mutex<VecDeque<SlowQueryReport>>,
+    explains: Mutex<VecDeque<ExplainRecord>>,
 }
 
 impl Default for Tracer {
     fn default() -> Self {
         Self {
             enabled: AtomicBool::new(false),
-            slow_threshold_ns: AtomicU64::new(u64::MAX),
+            slow_threshold_ns: Arc::new(AtomicU64::new(u64::MAX)),
             next_query: AtomicU64::new(0),
             events: Mutex::new(VecDeque::new()),
             slow: Mutex::new(VecDeque::new()),
+            explains: Mutex::new(VecDeque::new()),
         }
     }
 }
@@ -168,6 +176,12 @@ impl Tracer {
     /// Current slow-query threshold in nanoseconds (`u64::MAX` = off).
     pub fn slow_threshold_ns(&self) -> u64 {
         self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// The shared threshold cell, for wiring into the SLO tracker's
+    /// adaptive mode.
+    pub(crate) fn threshold_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.slow_threshold_ns)
     }
 
     /// Claims the next query id.
@@ -212,7 +226,30 @@ impl Tracer {
     /// against the slow threshold and, if crossed, captures the full
     /// phase breakdown (this outlier path may allocate).
     pub fn finish_query(&self, query_id: u64, total_ns: u64, phases: &[TraceEvent]) {
-        if !self.is_enabled() || total_ns < self.slow_threshold_ns() {
+        self.finish_query_explained(query_id, total_ns, phases, None);
+    }
+
+    /// [`Tracer::finish_query`] with the query's EXPLAIN record: the
+    /// record is pushed into the bounded EXPLAIN ring, and attached to
+    /// the [`SlowQueryReport`] if the query crossed the slow threshold.
+    pub fn finish_query_explained(
+        &self,
+        query_id: u64,
+        total_ns: u64,
+        phases: &[TraceEvent],
+        explain: Option<ExplainRecord>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        if let Some(rec) = explain {
+            let mut ring = self.explains.lock().expect("explain ring poisoned");
+            if ring.len() >= EXPLAIN_RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(rec);
+        }
+        if total_ns < self.slow_threshold_ns() {
             return;
         }
         let mut ring = self.slow.lock().expect("slow ring poisoned");
@@ -223,6 +260,7 @@ impl Tracer {
             query_id,
             total_ns,
             phases: phases.to_vec(),
+            explain,
         });
     }
 
@@ -257,11 +295,32 @@ impl Tracer {
             .collect()
     }
 
-    /// Clears both rings; enablement, threshold and the query-id
+    /// Snapshot of the retained EXPLAIN records (oldest first) without
+    /// draining them — the HTTP `/explain/recent` endpoint uses this.
+    pub fn recent_explains(&self) -> Vec<ExplainRecord> {
+        self.explains
+            .lock()
+            .expect("explain ring poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// The most recently recorded EXPLAIN record, if any.
+    pub fn last_explain(&self) -> Option<ExplainRecord> {
+        self.explains
+            .lock()
+            .expect("explain ring poisoned")
+            .back()
+            .copied()
+    }
+
+    /// Clears every ring; enablement, threshold and the query-id
     /// sequence are preserved.
     pub fn clear(&self) {
         self.events.lock().expect("trace ring poisoned").clear();
         self.slow.lock().expect("slow ring poisoned").clear();
+        self.explains.lock().expect("explain ring poisoned").clear();
     }
 }
 
@@ -380,6 +439,62 @@ mod tests {
         assert!(!t.is_enabled());
         t.record(ev(0, "filter", 1));
         assert!(t.events().is_empty());
+        t.finish_query_explained(0, u64::MAX, &[], Some(sample_explain(0)));
+        assert!(t.recent_explains().is_empty());
+        assert!(t.last_explain().is_none());
+    }
+
+    fn sample_explain(query_id: u64) -> crate::ExplainRecord {
+        crate::ExplainRecord {
+            query_id,
+            index: crate::explain::Label::new("I-Hilbert"),
+            plan: "probe",
+            plane: "paged",
+            curve: crate::explain::Label::new("hilbert"),
+            band_lo: 0.1,
+            band_hi: 0.2,
+            subfields: 3,
+            cells_examined: 10,
+            cells_qualifying: 7,
+            filter_pages: 1,
+            refine_pages: 2,
+            filter_ns: 100,
+            refine_ns: 200,
+            total_ns: 350,
+            epoch: 0,
+            pool_hits: 3,
+            pool_misses: 0,
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn explain_ring_is_bounded_and_attaches_to_slow_reports() {
+        use crate::explain::EXPLAIN_RING_CAPACITY;
+        let t = Tracer::default();
+        t.set_enabled(true);
+        t.set_slow_threshold(Duration::from_nanos(300));
+        for i in 0..(EXPLAIN_RING_CAPACITY as u64 + 5) {
+            t.finish_query_explained(i, 350, &[ev(i, "filter", 100)], Some(sample_explain(i)));
+        }
+        let explains = t.recent_explains();
+        assert_eq!(explains.len(), EXPLAIN_RING_CAPACITY);
+        assert_eq!(explains.first().map(|e| e.query_id), Some(5));
+        assert_eq!(
+            t.last_explain().map(|e| e.query_id),
+            Some(EXPLAIN_RING_CAPACITY as u64 + 4)
+        );
+        let slow = t.take_slow_reports();
+        let last = slow.last().expect("slow captured");
+        assert_eq!(
+            last.explain.map(|e| e.query_id),
+            Some(EXPLAIN_RING_CAPACITY as u64 + 4)
+        );
+        // Fast queries still record their EXPLAIN without a report.
+        t.clear();
+        t.finish_query_explained(99, 10, &[], Some(sample_explain(99)));
+        assert_eq!(t.recent_explains().len(), 1);
+        assert!(t.take_slow_reports().is_empty());
     }
 
     #[test]
@@ -394,6 +509,7 @@ mod tests {
                 nanos: 23_400,
                 depth: 0,
             }],
+            explain: None,
         };
         let s = r.to_string();
         assert!(s.contains("slow query #3"), "{s}");

@@ -37,6 +37,8 @@ fn scripted() -> (Vec<TraceEvent>, Vec<SlowQueryReport>) {
         ev(2, "refine", 180, 9_100_000, 1),
         ev(2, "query", 244, 11_600_000, 0),
     ];
+    // `explain: None` keeps the exported record shape — and thus the
+    // golden bytes — identical to the pre-EXPLAIN format.
     let slow = vec![SlowQueryReport {
         query_id: 2,
         total_ns: 11_600_000,
@@ -44,6 +46,7 @@ fn scripted() -> (Vec<TraceEvent>, Vec<SlowQueryReport>) {
             ev(2, "filter", 64, 2_400_000, 1),
             ev(2, "refine", 180, 9_100_000, 1),
         ],
+        explain: None,
     }];
     (events, slow)
 }

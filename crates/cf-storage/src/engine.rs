@@ -220,21 +220,42 @@ impl StorageEngine {
     /// Defers returning `n` consecutive pages starting at `id` to the
     /// freelist until every reader of an epoch older than
     /// `retire_epoch` has dropped its pin. The pages are actually
-    /// recycled by a later [`StorageEngine::collect_deferred`].
+    /// recycled by a later [`StorageEngine::collect_deferred`]. Emits a
+    /// `run_deferred` event into the registry's lifecycle journal.
     pub fn defer_free_run(&self, retire_epoch: u64, id: PageId, n: usize) {
         self.gc.defer_free_run(retire_epoch, id, n);
         self.publish_deferred_gauge();
+        self.metrics.journal().emit_with(|| {
+            cf_obs::Json::obj([
+                ("event", cf_obs::Json::Str("run_deferred".into())),
+                ("retire_epoch", cf_obs::Json::Num(retire_epoch as f64)),
+                ("first_page", cf_obs::Json::Num(id.0 as f64)),
+                ("pages", cf_obs::Json::Num(n as f64)),
+                (
+                    "deferred_total",
+                    cf_obs::Json::Num(self.gc.deferred_pages() as f64),
+                ),
+            ])
+        });
     }
 
     /// Frees every deferred run whose readers have all dropped,
     /// returning how many pages were recycled. Runs still protected by
-    /// a live [`crate::EpochPin`] stay deferred.
+    /// a live [`crate::EpochPin`] stay deferred. Each reclaimed run is
+    /// journalled as a `run_reclaimed` event.
     pub fn collect_deferred(&self) -> CfResult<usize> {
         let ripe = self.gc.take_ripe();
         let mut freed = 0;
         for (first, pages) in ripe {
             self.free_run(first, pages)?;
             freed += pages;
+            self.metrics.journal().emit_with(|| {
+                cf_obs::Json::obj([
+                    ("event", cf_obs::Json::Str("run_reclaimed".into())),
+                    ("first_page", cf_obs::Json::Num(first.0 as f64)),
+                    ("pages", cf_obs::Json::Num(pages as f64)),
+                ])
+            });
         }
         self.publish_deferred_gauge();
         Ok(freed)

@@ -72,7 +72,8 @@ mod stats;
 
 pub use buffer::{BufferPool, MIN_FRAMES_PER_SHARD};
 pub use cf_obs::{
-    Counter, Gauge, Histogram, MetricsRegistry, SlowQueryReport, Stopwatch, TraceEvent, Tracer,
+    Counter, EventJournal, ExplainRecord, Gauge, Histogram, Json, Label, MetricsRegistry,
+    SloObjective, SloTracker, SlowQueryReport, Stopwatch, TraceEvent, Tracer,
 };
 pub use compressed::{CellFile, CompressedRecordFile, PageCodec};
 pub use disk::{DiskManager, PageBuf, PageId, FSM_COMMIT_PAGE, PAGE_SIZE};

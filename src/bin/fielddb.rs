@@ -82,6 +82,20 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             query(&path, lo, hi, regions, eng)
         }
+        "explain" => {
+            let path = it.next().ok_or_else(usage)?.clone();
+            let lo: f64 = parse(it.next().ok_or_else(usage)?)?;
+            let hi: f64 = parse(it.next().ok_or_else(usage)?)?;
+            let mut json = false;
+            let mut eng = EngineOpts::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    other => eng.parse_flag(other, &mut it)?,
+                }
+            }
+            explain(&path, lo, hi, json, eng)
+        }
         "ingest" => {
             let path = it.next().ok_or_else(usage)?.clone();
             let mut updates = 256usize;
@@ -182,7 +196,7 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb ingest <db> [--updates N] [--seed N] [--capacity N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap] [--codec raw|compressed]".into()
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb explain <db> <lo> <hi> [--json]\n  fielddb ingest <db> [--updates N] [--seed N] [--capacity N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap] [--codec raw|compressed]".into()
 }
 
 /// Storage-engine tuning flags shared by every file-backed command:
@@ -351,6 +365,36 @@ fn query(
         }
     }
     Ok(out)
+}
+
+/// Runs one Q2 band query with tracing enabled and prints its
+/// structured EXPLAIN record: planner decision, per-phase page counts
+/// and wall timings (filter/refine/other summing to the span total),
+/// epoch, and buffer-pool hit ratio. `--json` emits the machine form.
+fn explain(path: &str, lo: f64, hi: f64, json: bool, eng: EngineOpts) -> Result<String, String> {
+    if lo > hi {
+        return Err(format!("inverted band [{lo}, {hi}]"));
+    }
+    let engine = open_engine(path, eng)?;
+    let index = open_index(&engine)?;
+    let tracer = engine.metrics().tracer();
+    tracer.set_enabled(true);
+    let stats = index
+        .query_stats(&engine, Interval::new(lo, hi))
+        .map_err(|e| e.to_string())?;
+    let record = tracer.last_explain().ok_or_else(|| {
+        "no EXPLAIN captured — the binary was built with the obs-off feature".to_string()
+    })?;
+    if json {
+        Ok(format!("{}\n", record.to_json().render()))
+    } else {
+        Ok(format!(
+            "{}\n  answer: {} regions, total area {:.3}\n",
+            record.render_text(),
+            stats.num_regions,
+            stats.area,
+        ))
+    }
 }
 
 /// Streams random read-modify-write updates through the live ingest
@@ -594,8 +638,9 @@ fn metrics_demo(k: u32, lo: f64, hi: f64) -> Result<String, String> {
 
 /// Runs a traced demo workload over an in-memory terrain, then serves
 /// the telemetry plane over HTTP (`/metrics` Prometheus snapshot,
-/// `/traces` Chrome-trace dump) until `max_requests` are answered (or
-/// forever with no cap). `--port 0` picks a free port; `--port-file`
+/// `/traces` Chrome-trace dump, `/slo` windowed latency objectives,
+/// `/explain/recent` EXPLAIN ring) until `max_requests` are answered
+/// (or forever with no cap). `--port 0` picks a free port; `--port-file`
 /// writes the real bound address for scripted clients, and
 /// `--event-log` additionally appends the trace snapshot to a rotating
 /// JSONL log before serving.
@@ -618,6 +663,10 @@ fn serve_metrics(
     let tracer = registry.tracer();
     tracer.set_enabled(true);
     tracer.set_slow_threshold(std::time::Duration::ZERO);
+    // Default latency objectives so `/slo` serves meaningful burn
+    // rates out of the box.
+    registry.slo().add_objective("p99-1ms", 1_000_000, 0.99);
+    registry.slo().add_objective("p50-100us", 100_000, 0.50);
     let qs = interval_queries(field.value_domain(), 0.05, queries, 0x5E2E);
     for q in &qs {
         index.query_stats(&engine, *q).map_err(|e| e.to_string())?;
@@ -636,7 +685,7 @@ fn serve_metrics(
     }
     // Print the banner before blocking in the serve loop.
     println!(
-        "serving telemetry for terrain k={k} ({} traced queries) on http://{addr}/  (routes: /metrics, /traces)",
+        "serving telemetry for terrain k={k} ({} traced queries) on http://{addr}/  (routes: /metrics, /traces, /slo, /explain/recent)",
         qs.len()
     );
     use std::io::Write as _;
@@ -886,6 +935,49 @@ mod tests {
         // And the plain read path still works on the repacked file.
         let q = run(&argv(&["query", &db, "-0.2", "0.2"])).expect("query");
         assert!(q.contains("cells qualify"), "{q}");
+        std::fs::remove_file(&db).expect("cleanup");
+    }
+
+    #[test]
+    fn explain_prints_a_per_phase_breakdown_summing_within_the_span() {
+        let db = tmp("explain");
+        run(&argv(&["create", &db, "--workload", "fractal", "--k", "5"])).expect("create");
+
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let out = run(&argv(&["explain", &db, "-0.2", "0.2"])).expect("explain");
+            assert!(out.contains("plan=probe"), "{out}");
+            assert!(out.contains("curve=hilbert"), "{out}");
+            assert!(out.contains("filter:"), "{out}");
+            assert!(out.contains("refine:"), "{out}");
+            assert!(out.contains("total"), "{out}");
+            assert!(out.contains("hit ratio"), "{out}");
+
+            let j = run(&argv(&["explain", &db, "-0.2", "0.2", "--json"])).expect("explain json");
+            let doc = contfield::obs::Json::parse(j.trim()).expect("valid json");
+            let f = |key: &str| {
+                doc.get(key)
+                    .and_then(contfield::obs::Json::as_f64)
+                    .unwrap_or_else(|| panic!("{key} in {j}"))
+            };
+            assert!(
+                f("filter_ns") + f("refine_ns") <= f("total_ns"),
+                "phase timings must sum within the span total: {j}"
+            );
+            assert_eq!(
+                f("filter_ns") + f("refine_ns") + f("other_ns"),
+                f("total_ns")
+            );
+            assert_eq!(
+                doc.get("plan").and_then(contfield::obs::Json::as_str),
+                Some("probe")
+            );
+        }
+        // Under obs-off the tracer is inert; the command must say so
+        // instead of printing an empty record.
+        #[cfg(feature = "obs-off")]
+        assert!(run(&argv(&["explain", &db, "-0.2", "0.2"])).is_err());
+
         std::fs::remove_file(&db).expect("cleanup");
     }
 

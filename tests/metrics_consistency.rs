@@ -125,3 +125,150 @@ fn batch_executor_publishes_utilization_metrics() {
     }
     assert_eq!(registry.gauge_value("batch_queue_depth", &[]), Some(0.0));
 }
+
+/// Ingest-plane extension of the same invariant: with one writer
+/// streaming updates (including capacity-forced drains) while four
+/// reader threads query pinned epoch snapshots, the registry's
+/// `index_*` totals must equal the sum of the per-query stats the
+/// readers collected — no double counting across epochs, no lost
+/// updates under the concurrent publish path.
+#[test]
+fn ingest_plane_registry_totals_match_summed_reader_stats() {
+    use contfield::geom::Interval;
+    use contfield::index::{IngestConfig, LiveIngest, QueryStats, ValueIndex};
+
+    let field = roseburg_standin(5);
+    let dom = field.value_domain();
+    let engine = StorageEngine::in_memory();
+    let base = IHilbert::build(&engine, &field).expect("build");
+    let live = LiveIngest::new(
+        &engine,
+        base,
+        IngestConfig {
+            capacity: 64, // small: the stream forces inline drains
+            ..Default::default()
+        },
+    )
+    .expect("live");
+    engine.reset_stats();
+
+    let num_readers = 4usize;
+    let queries_per_reader = 16usize;
+    let updates = 256usize;
+    let (live, engine, field) = (&live, &engine, &field);
+    let per_reader: Vec<Vec<QueryStats>> = std::thread::scope(|s| {
+        let writer = s.spawn(move || {
+            let mut state = 0xC0FF_EE00_u64;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for _ in 0..updates {
+                let cell = (next() % field.num_cells() as u64) as usize;
+                let mut rec = live.cell_record(engine, cell).expect("cell record");
+                for v in rec.vals.iter_mut() {
+                    *v = dom.denormalize((next() >> 11) as f64 / (1u64 << 53) as f64);
+                }
+                live.ingest(engine, cell, rec).expect("ingest");
+            }
+        });
+        let readers: Vec<_> = (0..num_readers)
+            .map(|r| {
+                s.spawn(move || {
+                    let mut collected = Vec::with_capacity(queries_per_reader);
+                    for i in 0..queries_per_reader {
+                        let t = ((r * queries_per_reader + i) % 17) as f64 / 20.0;
+                        let band =
+                            Interval::new(dom.denormalize(t), dom.denormalize((t + 0.1).min(1.0)));
+                        let snap = live.snapshot();
+                        collected.push(snap.query_stats(engine, band).expect("snapshot query"));
+                    }
+                    collected
+                })
+            })
+            .collect();
+        writer.join().expect("writer");
+        readers
+            .into_iter()
+            .map(|r| r.join().expect("reader"))
+            .collect()
+    });
+
+    let all: Vec<&QueryStats> = per_reader.iter().flatten().collect();
+    assert_eq!(all.len(), num_readers * queries_per_reader);
+    let registry = engine.metrics();
+    let labels: &[(&str, &str)] = &[("index", "I-Hilbert")];
+    let got: Vec<u64> = NAMES
+        .iter()
+        .map(|n| registry.counter_value(n, labels).unwrap_or(0))
+        .collect();
+    let legacy: Vec<u64> = vec![
+        all.len() as u64,
+        all.iter().map(|s| s.filter_pages).sum(),
+        all.iter()
+            .map(|s| s.io.logical_reads() - s.filter_pages)
+            .sum(),
+        all.iter().map(|s| s.filter_nodes).sum(),
+        all.iter().map(|s| s.intervals_retrieved as u64).sum(),
+        all.iter().map(|s| s.cells_examined as u64).sum(),
+        all.iter().map(|s| s.cells_qualifying as u64).sum(),
+    ];
+    assert_eq!(
+        got, legacy,
+        "ingest-plane registry totals must equal summed reader QueryStats ({NAMES:?})"
+    );
+    assert!(got[0] > 0 && got[5] > 0, "{got:?}");
+}
+
+/// Every EXPLAIN record the tracer retains must be internally
+/// consistent: the filter + refine phase timings sum within the
+/// enclosing span total, and the per-phase page split adds back up to
+/// the query's logical reads.
+#[cfg(not(feature = "obs-off"))]
+#[test]
+fn explain_phase_timings_and_pages_sum_within_the_span() {
+    use contfield::index::ValueIndex;
+
+    let field = roseburg_standin(6);
+    let engine = StorageEngine::in_memory();
+    let index = IHilbert::build(&engine, &field).expect("build");
+    let tracer = engine.metrics().tracer();
+    tracer.set_enabled(true);
+
+    let queries = interval_queries(field.value_domain(), 0.03, 32, 0x51_0E);
+    let mut stats = Vec::new();
+    for q in &queries {
+        stats.push(index.query_stats(&engine, *q).expect("query"));
+    }
+    let explains = tracer.recent_explains();
+    assert_eq!(explains.len(), queries.len(), "one EXPLAIN per query");
+    for (e, s) in explains.iter().zip(&stats) {
+        assert!(
+            e.filter_ns + e.refine_ns <= e.total_ns,
+            "query #{}: filter {} + refine {} must sum within total {}",
+            e.query_id,
+            e.filter_ns,
+            e.refine_ns,
+            e.total_ns
+        );
+        assert_eq!(
+            e.filter_ns + e.refine_ns + e.other_ns(),
+            e.total_ns,
+            "query #{}: other_ns must absorb the remainder exactly",
+            e.query_id
+        );
+        assert_eq!(
+            e.filter_pages + e.refine_pages,
+            s.io.logical_reads(),
+            "query #{}: phase pages must add up to the span's logical reads",
+            e.query_id
+        );
+        assert_eq!(e.plan, "probe");
+        assert_eq!(e.cells_examined, s.cells_examined as u64);
+        assert_eq!(e.cells_qualifying, s.cells_qualifying as u64);
+        assert_eq!(e.epoch, 0, "static plane queries pin no epoch");
+    }
+}
