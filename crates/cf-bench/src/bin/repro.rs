@@ -6,14 +6,21 @@
 //! ```
 //!
 //! Subcommands: `fig5`, `fig8a`, `fig8b`, `fig11`, `fig12`,
-//! `ablation`, `batch`, `bench`, `regress`, `obs-overhead`, `all`.
+//! `ablation`, `batch`, `bench`, `replay`, `regress`, `obs-overhead`,
+//! `all`.
 //! Flags: `--full` (paper-scale datasets and 200 queries/point),
 //! `--queries N`, `--latency-us N`, `--json` (with `bench`: also write
 //! `BENCH_pr5.json` and append a flattened record to the committed
 //! bench history), `--metrics` (with `batch`/`bench`: dump the engine's
 //! metrics-registry snapshot after the run), `--oocore` (with `bench`:
 //! run the out-of-core file-backing benchmark instead, appending to its
-//! own history, default `BENCH_oocore_history.jsonl`), `--ingest` (with
+//! own history, default `BENCH_oocore_history.jsonl`), `--record PATH`
+//! (with `bench`: capture a traced Q2 sweep over a file-backed
+//! database — `--db PATH`, created if missing — into a versioned
+//! `.wrk` workload file), `--workload PATH` + `--db PATH` (with
+//! `replay`: re-execute a `.wrk` recording against a database and diff
+//! the recomputed answer digests, exiting 1 on divergence; `--json`
+//! appends `replay_*` context metrics to the history), `--ingest` (with
 //! `bench`: run the live-ingest concurrency benchmark — a writer
 //! streaming epoch-published updates against concurrent snapshot
 //! readers, oracle-checked, appending `ingest_*` metrics to the main
@@ -60,6 +67,9 @@ struct Opts {
     window: usize,
     tol_time: f64,
     tol_count: f64,
+    record: Option<String>,
+    workload: Option<String>,
+    db: Option<String>,
 }
 
 impl Opts {
@@ -88,6 +98,9 @@ fn main() {
         window: 5,
         tol_time: 0.30,
         tol_count: 0.02,
+        record: None,
+        workload: None,
+        db: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -118,6 +131,11 @@ fn main() {
                     .expect("--latency-us needs a number")
             }
             "--history" => opts.history = Some(it.next().expect("--history needs a path").clone()),
+            "--record" => opts.record = Some(it.next().expect("--record needs a path").clone()),
+            "--workload" => {
+                opts.workload = Some(it.next().expect("--workload needs a path").clone())
+            }
+            "--db" => opts.db = Some(it.next().expect("--db needs a path").clone()),
             "--window" => {
                 opts.window = it
                     .next()
@@ -159,7 +177,9 @@ fn main() {
         "ablation" => ablation(&opts),
         "batch" => batch(&opts),
         "bench" => {
-            if opts.ingest {
+            if opts.record.is_some() {
+                record_bench(&opts)
+            } else if opts.ingest {
                 ingest_bench(&opts)
             } else if opts.oocore {
                 oocore(&opts)
@@ -167,6 +187,7 @@ fn main() {
                 bench(&opts)
             }
         }
+        "replay" => replay_cmd(&opts),
         "regress" => regress(&opts),
         "obs-overhead" => obs_overhead(&opts),
         "all" => {
@@ -180,7 +201,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|batch|bench|regress|obs-overhead|all"
+                "unknown command {other}; use fig5|fig8a|fig8b|fig11|fig12|ablation|batch|bench|replay|regress|obs-overhead|all"
             );
             std::process::exit(2);
         }
@@ -1336,6 +1357,175 @@ fn ingest_bench(opts: &Opts) {
             .drain_to(&mut log)
             .expect("drain epoch journal");
         println!("wrote {events} epoch-lifecycle events to {journal_path}");
+    }
+}
+
+/// Bootstrap-page magic of a fielddb-format database file (page 0:
+/// magic + catalog pointer). Shared with the `fielddb` CLI so `bench
+/// --record` / `replay` interoperate with databases it creates.
+const BOOT_MAGIC: u64 = 0x3142_444C_4649_4243; // "CBIFLDB1"
+
+/// Opens the I-Hilbert index of a fielddb-format database file via its
+/// bootstrap page.
+fn open_db_index(
+    engine: &cf_storage::StorageEngine,
+) -> Result<IHilbert<cf_field::GridField>, String> {
+    use cf_storage::PageId;
+    if engine.num_pages() == 0 {
+        return Err("empty database file".into());
+    }
+    let (magic, catalog) = engine
+        .with_page(PageId(0), |p| {
+            (
+                u64::from_le_bytes(p[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(p[8..16].try_into().expect("8 bytes")),
+            )
+        })
+        .map_err(|e| format!("read bootstrap page: {e}"))?;
+    if magic != BOOT_MAGIC {
+        return Err("not a fielddb database (bad bootstrap magic)".into());
+    }
+    IHilbert::open(engine, PageId(catalog)).map_err(|e| format!("open catalog: {e}"))
+}
+
+/// `bench --record <wrk>`: builds (or reopens, via `--db`) a
+/// file-backed database, runs a deterministic traced Q2 sweep against
+/// it, and drains the flight recorder into a versioned `.wrk` workload
+/// file. The database file is left in place — `repro replay --workload
+/// <wrk> --db <db>` must reproduce every recorded answer digest.
+fn record_bench(opts: &Opts) {
+    use cf_obs::encode_wrk;
+    use cf_storage::{PageId, StorageConfig, StorageEngine, PAGE_SIZE};
+
+    let wrk_path = opts.record.as_deref().expect("--record path");
+    let db_path = opts.db.clone().unwrap_or_else(|| format!("{wrk_path}.db"));
+    let k = opts.k.unwrap_or(7);
+    let nq = opts.queries.unwrap_or(32);
+    let fresh = !std::path::Path::new(&db_path).exists();
+    let engine =
+        StorageEngine::open_file(&db_path, StorageConfig::default()).expect("open database file");
+    let index = if fresh {
+        // Deterministic fractal terrain behind a fielddb-compatible
+        // bootstrap page, so the file replays (and opens in fielddb)
+        // across processes.
+        let field = diamond_square(k, 0.6, 0x3EC0DE);
+        let boot = engine.allocate_page().expect("allocate bootstrap page");
+        assert_eq!(boot, PageId(0), "bootstrap must be page 0");
+        let index = IHilbert::build(&engine, &field).expect("build");
+        let catalog = index.save(&engine).expect("save");
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0..8].copy_from_slice(&BOOT_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&catalog.0.to_le_bytes());
+        engine.write_page(boot, &buf).expect("write bootstrap page");
+        engine.sync().expect("sync");
+        index
+    } else {
+        match open_db_index(&engine) {
+            Ok(index) => index,
+            Err(e) => {
+                eprintln!("bench --record: cannot open {db_path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    eprintln!(
+        "[record] {} over {db_path} ({} cells), {nq} traced queries…",
+        if fresh { "fresh build" } else { "reopened" },
+        index.inner_len(),
+    );
+
+    // The recorder captures traced queries only (same gate as EXPLAIN).
+    engine.metrics().tracer().set_enabled(true);
+    let queries = interval_queries(index.value_domain(), 0.02, nq, 0x3EC);
+    for q in &queries {
+        index.query_stats(&engine, *q).expect("query");
+    }
+    let records = engine.metrics().recorder().drain();
+    if records.is_empty() {
+        eprintln!("bench --record: no queries captured — the binary was built with obs-off");
+        std::process::exit(1);
+    }
+    let bytes = encode_wrk(&records);
+    std::fs::write(wrk_path, &bytes).expect("write workload file");
+
+    println!("### bench --record — workload capture\n");
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| database | {db_path} ({} pages) |", engine.num_pages());
+    println!("| queries recorded | {} |", records.len());
+    println!("| workload file | {wrk_path} ({} bytes) |", bytes.len());
+    println!(
+        "| first digest | {:016x} |",
+        records.first().map_or(0, |r| r.digest)
+    );
+    println!();
+}
+
+/// `replay --workload <wrk> --db <db>`: re-executes a recorded
+/// workload against a database, recomputes the per-query answer
+/// digests and EXPLAIN-style aggregates, and diffs them against the
+/// recording. Exits 1 on any divergence. The printed report carries no
+/// wall-clock numbers, so two replays of the same inputs are
+/// byte-identical. With `--json` the aggregates append a `replay`
+/// record to the bench history (`replay_*` names classify as Info —
+/// context for trend inspection, never gated).
+fn replay_cmd(opts: &Opts) {
+    use cf_storage::{StorageConfig, StorageEngine};
+
+    let Some(wrk_path) = opts.workload.as_deref() else {
+        eprintln!("replay needs --workload <file.wrk>");
+        std::process::exit(2);
+    };
+    let Some(db_path) = opts.db.as_deref() else {
+        eprintln!("replay needs --db <database>");
+        std::process::exit(2);
+    };
+    let bytes = match std::fs::read(wrk_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("replay: read {wrk_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let records = match cf_obs::decode_wrk(&bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay: {wrk_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let engine =
+        StorageEngine::open_file(db_path, StorageConfig::default()).expect("open database file");
+    let index = match open_db_index(&engine) {
+        Ok(index) => index,
+        Err(e) => {
+            eprintln!("replay: cannot open {db_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "[replay] {} records from {wrk_path} against {db_path} ({} cells)…",
+        records.len(),
+        index.inner_len(),
+    );
+    let report = cf_bench::replay_workload(&engine, &index, &records).expect("replay");
+    print!("{report}");
+
+    if opts.json {
+        let mut rec = cf_bench::history::BenchRecord::new("replay");
+        rec.push("replay_records", report.records as f64);
+        rec.push("replay_matched", report.matched as f64);
+        rec.push("replay_diverged", report.mismatches.len() as f64);
+        rec.push("replay_cells_examined", report.cells_examined as f64);
+        rec.push("replay_cells_qualifying", report.cells_qualifying as f64);
+        rec.push("replay_regions", report.num_regions as f64);
+        rec.push("replay_logical_pages", report.logical_pages as f64);
+        let history = opts.history.as_deref().unwrap_or("BENCH_history.jsonl");
+        cf_bench::history::append_history(history, &rec).expect("append replay history");
+        println!("appended run to {history}");
+    }
+    if !report.ok() {
+        std::process::exit(1);
     }
 }
 

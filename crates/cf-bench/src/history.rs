@@ -140,13 +140,18 @@ impl MetricKind {
     /// Observability exports ride along in the history for trend
     /// inspection but must never gate a PR: windowed SLO quantiles
     /// (`slo_*`) move with the sliding window's phase, EXPLAIN
-    /// snapshots (`explain_*`) describe a single arbitrary query, and
+    /// snapshots (`explain_*`) describe a single arbitrary query,
     /// epoch age (`ingest_epoch_age_*`) is pure wall-clock scheduling
-    /// noise. All three families are context, not performance.
+    /// noise, spatial heat (`heat_*`) describes where a workload
+    /// landed, and replay aggregates (`replay_*`) describe whatever
+    /// workload file was replayed. All these families are context, not
+    /// performance.
     pub fn of(name: &str) -> Self {
         if name.starts_with("slo_")
             || name.starts_with("explain_")
             || name.starts_with("ingest_epoch_age_")
+            || name.starts_with("heat_")
+            || name.starts_with("replay_")
         {
             return Self::Info;
         }
@@ -358,6 +363,12 @@ mod tests {
         assert_eq!(MetricKind::of("explain_total_ns"), MetricKind::Info);
         assert_eq!(MetricKind::of("explain_refine_pages"), MetricKind::Info);
         assert_eq!(MetricKind::of("ingest_epoch_age_ns"), MetricKind::Info);
+        assert_eq!(
+            MetricKind::of("heat_examined_total_pages"),
+            MetricKind::Info
+        );
+        assert_eq!(MetricKind::of("replay_mean_pages"), MetricKind::Info);
+        assert_eq!(MetricKind::of("replay_queries_ms"), MetricKind::Info);
         // ... and a 100x jump in any of them passes the gate.
         let history = vec![
             record("a", &[("slo_p99_us", 50.0), ("ingest_epoch_age_ns", 1e6)]),

@@ -21,6 +21,9 @@
 #![warn(missing_docs)]
 
 pub mod history;
+pub mod replay;
+
+pub use replay::{replay_workload, ReplayMismatch, ReplayReport};
 
 use cf_field::FieldModel;
 use cf_geom::Interval;

@@ -29,8 +29,9 @@
 //! reports zero queries, and the advisor degrades to an explicit no-op
 //! (reports carry the static model only; repack declines to run).
 
+use crate::subfield::Subfield;
 use cf_geom::Interval;
-use cf_storage::MetricsRegistry;
+use cf_storage::{HeatKind, MetricsRegistry, HEAT_BUCKETS};
 use std::fmt;
 
 /// The observed Q2 workload of one index, read off the registry.
@@ -66,6 +67,152 @@ impl WorkloadProfile {
     pub fn is_informed(&self) -> bool {
         self.queries > 0
     }
+}
+
+/// The observed *spatial* distribution of qualifying cells, read off
+/// the registry's heatmap ([`HeatKind::Qualifying`] table).
+///
+/// The band-length histogram behind [`WorkloadProfile`] captures how
+/// *long* queries are but is blind to *where* on the Hilbert-ordered
+/// cell file they land. The heatmap captures exactly that: per-bucket
+/// qualifying-cell counts over fixed-width position buckets. The
+/// advisor turns them into per-subfield access probabilities — a
+/// subfield is as hot as the hottest bucket it overlaps — and refines
+/// the value-model grouping with splits at hot/cold bucket boundaries
+/// ([`refine_subfields_spatially`]).
+///
+/// Under `obs-off` the heatmap never observes anything and the profile
+/// reports uninformed, degrading the spatial refinement to a no-op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialProfile {
+    /// Per-bucket qualifying heat, normalized by the hottest bucket
+    /// (all zero when nothing was observed).
+    pub weights: [f64; HEAT_BUCKETS],
+    /// Cell positions per bucket (the heat table's bucket width).
+    pub bucket_width: u64,
+    /// Total qualifying heat observed (0 = uninformed).
+    pub total: u64,
+}
+
+impl SpatialProfile {
+    /// Reads the qualifying heat table off `registry`.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        let table = registry.heat().table(HeatKind::Qualifying);
+        let totals = table.totals();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let mut weights = [0.0; HEAT_BUCKETS];
+        if max > 0 {
+            for (w, &c) in weights.iter_mut().zip(totals.iter()) {
+                *w = c as f64 / max as f64;
+            }
+        }
+        Self {
+            weights,
+            bucket_width: table.bucket_width(),
+            total: totals.iter().sum(),
+        }
+    }
+
+    /// Whether any spatial workload was observed.
+    pub fn is_informed(&self) -> bool {
+        self.total > 0
+    }
+
+    /// Access probability of the record range `[start, end)`: the
+    /// normalized weight of the hottest bucket the range overlaps
+    /// (an uninformed profile reports 1 — every range equally hot).
+    pub fn probability(&self, start: u32, end: u32) -> f64 {
+        if !self.is_informed() {
+            return 1.0;
+        }
+        let bw = self.bucket_width.max(1);
+        let clamp = |pos: u64| ((pos / bw) as usize).min(HEAT_BUCKETS - 1);
+        let first = clamp(u64::from(start));
+        let last = clamp(u64::from(end.max(start + 1) - 1));
+        self.weights[first..=last]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Expected data pages a single query touches under the observed
+/// spatial distribution: `Σ p(subfield) × (pages + 1)` over
+/// `(start, end, pages)` record spans. The `+1` models the fixed
+/// per-run overhead of seeking to a retrieved subfield, which is what
+/// keeps the split refinement from shattering the file into
+/// single-cell subfields.
+pub fn expected_pages_spatial(spans: &[(u32, u32, f64)], profile: &SpatialProfile) -> f64 {
+    spans
+        .iter()
+        .map(|&(s, e, pages)| profile.probability(s, e) * (pages + 1.0))
+        .sum()
+}
+
+/// Splits value-model subfields at heat-bucket boundaries wherever the
+/// split strictly lowers the spatially predicted page cost.
+///
+/// The greedy grouping of §3.1.2 only sees value intervals: a subfield
+/// straddling a hot and a cold region of the curve is charged the hot
+/// region's access probability for *all* of its pages. Cutting it at
+/// the bucket boundary leaves the hot piece's pages hot and lets the
+/// cold piece's pages drop out of the expected cost. Each applied cut
+/// strictly lowers `Σ p·(pages+1)` (the `+1` run overhead makes
+/// gratuitous cuts net-positive, so refinement terminates without
+/// shattering), and splitting never moves a cell record, so query
+/// answers stay byte-identical.
+///
+/// `intervals` is the per-position value interval slice the repack
+/// already materialized; split pieces recompute their interval as the
+/// union of their cells'. Returns the input unchanged when the profile
+/// is uninformed.
+pub(crate) fn refine_subfields_spatially(
+    subfields: Vec<Subfield>,
+    intervals: &[Interval],
+    profile: &SpatialProfile,
+    cells_per_page: f64,
+) -> Vec<Subfield> {
+    if !profile.is_informed() {
+        return subfields;
+    }
+    let cpp = cells_per_page.max(1.0);
+    let cost = |s: u32, e: u32| profile.probability(s, e) * (f64::from(e - s) / cpp + 1.0);
+    let piece = |s: u32, e: u32| Subfield {
+        start: s,
+        end: e,
+        interval: intervals[s as usize..e as usize]
+            .iter()
+            .copied()
+            .reduce(|a, b| a.union(b))
+            .expect("subfields are non-empty"),
+    };
+    let bw = profile.bucket_width.max(1);
+    let mut out = Vec::with_capacity(subfields.len());
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    for sf in subfields {
+        stack.push((sf.start, sf.end));
+        // Left-first DFS keeps the output in ascending position order.
+        while let Some((s, e)) = stack.pop() {
+            let whole = cost(s, e);
+            let mut best: Option<(u32, f64)> = None;
+            let mut cut = (u64::from(s) / bw + 1) * bw;
+            while cut < u64::from(e) {
+                let split = cost(s, cut as u32) + cost(cut as u32, e);
+                if split + 1e-9 < best.map_or(whole, |(_, c)| c) {
+                    best = Some((cut as u32, split));
+                }
+                cut += bw;
+            }
+            match best {
+                Some((cut, _)) => {
+                    stack.push((cut, e));
+                    stack.push((s, cut));
+                }
+                None => out.push(piece(s, e)),
+            }
+        }
+    }
+    out
 }
 
 /// Kamel–Faloutsos hit probability of a 1-D interval of raw length
@@ -308,6 +455,16 @@ pub struct RepackOutcome {
     pub predicted_pages_before: f64,
     /// Expected pages/query of the new grouping under `q = E[|q|]`.
     pub predicted_pages_after: f64,
+    /// Whether per-bucket spatial heat informed the regrouping (the
+    /// [`SpatialProfile`] had observed qualifying cells).
+    pub spatial_informed: bool,
+    /// Expected pages/query of the old grouping under the observed
+    /// spatial distribution ([`expected_pages_spatial`]; equals
+    /// `spatial_pages_after` when not repacked or uninformed).
+    pub spatial_pages_before: f64,
+    /// Expected pages/query of the new grouping under the observed
+    /// spatial distribution.
+    pub spatial_pages_after: f64,
 }
 
 impl fmt::Display for RepackOutcome {
@@ -336,7 +493,15 @@ impl fmt::Display for RepackOutcome {
             self.profile.queries,
             self.predicted_pages_before,
             self.predicted_pages_after
-        )
+        )?;
+        if self.spatial_informed {
+            write!(
+                f,
+                "; spatial pages/query {:.3} -> {:.3}",
+                self.spatial_pages_before, self.spatial_pages_after
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -391,6 +556,60 @@ mod tests {
         let p = WorkloadProfile::from_registry(&reg, "I-Hilbert");
         assert_eq!(p.queries, 2);
         assert!((p.mean_query_len - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uninformed_spatial_profile_is_identity() {
+        let reg = MetricsRegistry::new();
+        let p = SpatialProfile::from_registry(&reg);
+        assert!(!p.is_informed());
+        assert_eq!(p.probability(0, 100), 1.0);
+        let sfs = vec![Subfield {
+            start: 0,
+            end: 10,
+            interval: Interval::new(0.0, 1.0),
+        }];
+        let intervals = vec![Interval::new(0.0, 1.0); 10];
+        let out = refine_subfields_spatially(sfs.clone(), &intervals, &p, 4.0);
+        assert_eq!(out, sfs);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn spatial_refinement_splits_at_hot_cold_boundary() {
+        let reg = MetricsRegistry::new();
+        reg.heat().set_cell_domain(640); // bucket width 10
+        reg.heat().table(HeatKind::Qualifying).bump_range(0, 10); // only bucket 0 is hot
+        let p = SpatialProfile::from_registry(&reg);
+        assert!(p.is_informed());
+        assert_eq!(p.probability(0, 10), 1.0);
+        assert_eq!(p.probability(10, 80), 0.0);
+        // One subfield spanning the hot bucket plus seven cold ones.
+        let intervals: Vec<Interval> = (0..80)
+            .map(|i| Interval::new(i as f64, i as f64 + 1.0))
+            .collect();
+        let sfs = vec![Subfield {
+            start: 0,
+            end: 80,
+            interval: Interval::new(0.0, 80.0),
+        }];
+        let cost_before = expected_pages_spatial(&[(0, 80, 20.0)], &p);
+        let out = refine_subfields_spatially(sfs, &intervals, &p, 4.0);
+        assert!(out.len() >= 2, "hot/cold boundary must be cut: {out:?}");
+        // Coverage preserved: contiguous, ascending, same hull.
+        assert_eq!(out.first().expect("non-empty").start, 0);
+        assert_eq!(out.last().expect("non-empty").end, 80);
+        for w in out.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "{out:?}");
+        }
+        let spans_after: Vec<(u32, u32, f64)> = out
+            .iter()
+            .map(|sf| (sf.start, sf.end, f64::from(sf.end - sf.start) / 4.0))
+            .collect();
+        assert!(
+            expected_pages_spatial(&spans_after, &p) < cost_before,
+            "each applied cut strictly lowers the spatial cost"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! queries never observe a half-applied write and a repack never
 //! stalls them.
 
-use crate::advisor::WorkloadProfile;
+use crate::advisor::{refine_subfields_spatially, SpatialProfile, WorkloadProfile};
 use crate::ihilbert::IHilbert;
 use crate::planner::SelectivityEstimator;
 use crate::sfindex::{SubfieldIndex, TreeBuild};
@@ -47,7 +47,8 @@ use crate::subfield::{build_subfields, SubfieldConfig};
 use cf_field::FieldModel;
 use cf_geom::{Interval, Polygon};
 use cf_storage::{
-    codec, CfResult, Counter, EpochPin, Gauge, Record, Stopwatch, StorageEngine, TraceEvent,
+    answer_digest, codec, CfResult, Counter, EpochPin, Gauge, HeatKind, Record, Stopwatch,
+    StorageEngine, TraceEvent,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -397,7 +398,16 @@ impl<F: FieldModel> LiveIngest<F> {
         } else {
             SubfieldConfig::default()
         };
-        let subfields = build_subfields(&intervals, config);
+        // The spatial heatmap rides along: subfields straddling a
+        // hot/cold heat-bucket boundary are cut where the cut lowers
+        // the spatially predicted page cost (no-op when uninformed).
+        let spatial = SpatialProfile::from_registry(engine.metrics());
+        let subfields = refine_subfields_spatially(
+            build_subfields(&intervals, config),
+            &intervals,
+            &spatial,
+            inner.file.records_per_page(),
+        );
         let was_frozen = inner.is_frozen();
         let old_cell = (inner.file.first_page(), inner.file.num_pages());
         let old_tree = inner.tree.page_run();
@@ -731,11 +741,19 @@ impl<F: FieldModel> EpochSnapshot<F> {
                 _ => runs.push(s as usize..e as usize),
             }
         }
+        // Spatial heat mirrors the sequential path: one range bump per
+        // coalesced run (examined), one bump per qualifying cell.
+        let heat = engine.metrics().heat();
+        for run in runs.iter() {
+            heat.table(HeatKind::Examined)
+                .bump_range(run.start as u64, run.end as u64);
+        }
         inner.file.for_each_in_ranges(engine, runs, |idx, rec| {
             let rec = self.effective(idx, rec);
             stats.cells_examined += 1;
             if F::record_interval(&rec).intersects(band) {
                 stats.cells_qualifying += 1;
+                heat.table(HeatKind::Qualifying).bump(idx as u64);
                 for region in F::record_band_region(&rec, band) {
                     stats.num_regions += 1;
                     stats.area += region.area();
@@ -788,6 +806,19 @@ impl<F: FieldModel> EpochSnapshot<F> {
                 refine_ns,
                 self.epoch,
             );
+            engine.metrics().recorder().record(
+                band.lo,
+                band.hi,
+                if inner.is_frozen() { "frozen" } else { "paged" },
+                inner.curve_label(),
+                self.epoch,
+                answer_digest(
+                    stats.cells_examined as u64,
+                    stats.cells_qualifying as u64,
+                    stats.num_regions as u64,
+                    stats.area,
+                ),
+            );
             tracer.finish_query_explained(query_id, query_ns, &phases, Some(explain));
         }
         Ok(stats)
@@ -809,6 +840,9 @@ impl<F: FieldModel> EpochSnapshot<F> {
         let query_clock = Stopwatch::start();
         let before = cf_storage::thread_io_stats();
         let mut stats = QueryStats::default();
+        let heat = engine.metrics().heat();
+        heat.table(HeatKind::Examined)
+            .bump_range(0, inner.file.len() as u64);
         inner
             .file
             .for_each_in_range(engine, 0..inner.file.len(), |idx, rec| {
@@ -816,6 +850,7 @@ impl<F: FieldModel> EpochSnapshot<F> {
                 stats.cells_examined += 1;
                 if F::record_interval(&rec).intersects(band) {
                     stats.cells_qualifying += 1;
+                    heat.table(HeatKind::Qualifying).bump(idx as u64);
                     for region in F::record_band_region(&rec, band) {
                         stats.num_regions += 1;
                         stats.area += region.area();
@@ -857,6 +892,19 @@ impl<F: FieldModel> EpochSnapshot<F> {
                 0,
                 query_ns,
                 self.epoch,
+            );
+            engine.metrics().recorder().record(
+                band.lo,
+                band.hi,
+                "cells",
+                inner.curve_label(),
+                self.epoch,
+                answer_digest(
+                    stats.cells_examined as u64,
+                    stats.cells_qualifying as u64,
+                    stats.num_regions as u64,
+                    stats.area,
+                ),
             );
             tracer.finish_query_explained(query_id, query_ns, &phases, Some(explain));
         }

@@ -52,7 +52,10 @@ mod subfield;
 mod vector;
 mod volume3d;
 
-pub use advisor::{CostModelReport, DecileRow, RepackOutcome, WorkloadProfile};
+pub use advisor::{
+    expected_pages_spatial, CostModelReport, DecileRow, RepackOutcome, SpatialProfile,
+    WorkloadProfile,
+};
 pub use batch::{BatchQueryResult, BatchReport, QueryBatch};
 pub use catalog::PosRecord;
 pub use iall::IAll;

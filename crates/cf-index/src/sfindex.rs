@@ -10,7 +10,8 @@ use cf_field::FieldModel;
 use cf_geom::{Aabb, Interval, Polygon};
 use cf_rtree::{bulk_load_str, FrozenTree, PagedRTree, RStarTree, RTreeConfig};
 use cf_storage::{
-    CellFile, CfResult, MetricsRegistry, RecordFile, Stopwatch, StorageEngine, TraceEvent,
+    answer_digest, CellFile, CfResult, HeatKind, MetricsRegistry, RecordFile, Stopwatch,
+    StorageEngine, TraceEvent,
 };
 use std::marker::PhantomData;
 use std::sync::OnceLock;
@@ -260,6 +261,10 @@ impl<F: FieldModel> SubfieldIndex<F> {
     /// than re-reading the whole cell file.
     pub(crate) fn publish_health(&self, registry: &MetricsRegistry, costs: Option<&[f64]>) {
         let labels: &[(&str, &str)] = &[("index", &self.metric_label)];
+        // (Re)publishing health is where the cell-file length is
+        // authoritative — fix the spatial heatmap's bucket width so
+        // examined/qualifying heat buckets span exactly this file.
+        registry.heat().set_cell_domain(self.file.len() as u64);
         let n = self.subfields.len();
         registry
             .gauge_with("index_health_subfields", labels)
@@ -321,6 +326,20 @@ impl<F: FieldModel> SubfieldIndex<F> {
             .collect()
     }
 
+    /// `(start, end, data pages spanned)` of every subfield — the
+    /// record-position spans the *spatial* cost model scores against
+    /// the heatmap's position buckets. Same page geometry as
+    /// [`SubfieldIndex::subfield_page_spans`], no I/O.
+    pub(crate) fn subfield_record_spans(&self) -> Vec<(u32, u32, f64)> {
+        self.subfields
+            .iter()
+            .map(|sf| {
+                let pages = self.file.pages_in_range(sf.start as usize..sf.end as usize);
+                (sf.start, sf.end, pages as f64)
+            })
+            .collect()
+    }
+
     /// Regroups the *unchanged* cell file into fresh subfields under
     /// `config`, rebuilding the interval tree and the on-disk subfield
     /// catalog. Cell records never move, so query answers are
@@ -336,17 +355,24 @@ impl<F: FieldModel> SubfieldIndex<F> {
     /// and stay leaked until a full rebuild.) Freeing the old pages
     /// invalidates any database catalog saved *before* the repack —
     /// callers that persist the index must save again afterwards.
-    pub(crate) fn repack(
+    /// `refine` is a post-grouping refinement pass: it receives the
+    /// greedy value-model grouping plus the per-position intervals and
+    /// may split subfields further (the spatial advisor cuts at
+    /// heat-bucket boundaries; pass `|sfs, _| sfs` for the pure value
+    /// model). The refined grouping must cover the same positions in
+    /// the same order — only boundaries may move.
+    pub(crate) fn repack_refined(
         &mut self,
         engine: &StorageEngine,
         config: SubfieldConfig,
+        refine: impl FnOnce(Vec<Subfield>, &[Interval]) -> Vec<Subfield>,
     ) -> CfResult<bool> {
         let mut intervals: Vec<Interval> = Vec::with_capacity(self.file.len());
         self.file
             .for_each_in_range(engine, 0..self.file.len(), |_, rec| {
                 intervals.push(F::record_interval(&rec));
             })?;
-        let subfields = build_subfields(&intervals, config);
+        let subfields = refine(build_subfields(&intervals, config), &intervals);
         if subfields == self.subfields {
             return Ok(false);
         }
@@ -461,6 +487,13 @@ impl<F: FieldModel> SubfieldIndex<F> {
         // ranges) keep the sequential path's page cost: a run split
         // across workers would re-read its straddle pages.
         let mut by_size = coalesce_ranges(ranges);
+        // Examined heat covers every cell of every run regardless of
+        // which worker reads it; bump once here rather than per worker.
+        let heat = engine.metrics().heat();
+        for &(s, e) in &by_size {
+            heat.table(HeatKind::Examined)
+                .bump_range(u64::from(s), u64::from(e));
+        }
         by_size.sort_by_key(|&(s, e)| std::cmp::Reverse(e - s));
         let mut shares: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
         let mut loads = vec![0u64; threads];
@@ -487,10 +520,12 @@ impl<F: FieldModel> SubfieldIndex<F> {
                         let mut runs: Vec<std::ops::Range<usize>> =
                             share.iter().map(|&(s, e)| s as usize..e as usize).collect();
                         runs.sort_by_key(|r| r.start);
-                        self.file.for_each_in_ranges(engine, &runs, |_, rec| {
+                        let heat = engine.metrics().heat();
+                        self.file.for_each_in_ranges(engine, &runs, |pos, rec| {
                             part.cells_examined += 1;
                             if F::record_interval(&rec).intersects(band) {
                                 part.cells_qualifying += 1;
+                                heat.table(HeatKind::Qualifying).bump(pos as u64);
                                 for region in F::record_band_region(&rec, band) {
                                     part.num_regions += 1;
                                     part.area += region.area();
@@ -639,10 +674,19 @@ impl<F: FieldModel> SubfieldIndex<F> {
                 _ => runs.push(s as usize..e as usize),
             }
         }
-        self.file.for_each_in_ranges(engine, runs, |_, rec| {
+        // Spatial heat: one range bump per run covers every examined
+        // cell (the run sum equals `cells_examined` exactly); qualifying
+        // heat lands per cell inside the loop. No-ops under `obs-off`.
+        let heat = engine.metrics().heat();
+        for run in runs.iter() {
+            heat.table(HeatKind::Examined)
+                .bump_range(run.start as u64, run.end as u64);
+        }
+        self.file.for_each_in_ranges(engine, runs, |pos, rec| {
             stats.cells_examined += 1;
             if F::record_interval(&rec).intersects(band) {
                 stats.cells_qualifying += 1;
+                heat.table(HeatKind::Qualifying).bump(pos as u64);
                 for region in F::record_band_region(&rec, band) {
                     stats.num_regions += 1;
                     stats.area += region.area();
@@ -720,6 +764,22 @@ impl<F: FieldModel> SubfieldIndex<F> {
             filter_ns,
             refine_ns,
             0,
+        );
+        // Traced queries also enter the flight recorder: the band, plane
+        // and an answer digest are enough to replay and re-verify the
+        // query later (`repro replay`).
+        engine.metrics().recorder().record(
+            band.lo,
+            band.hi,
+            if self.is_frozen() { "frozen" } else { "paged" },
+            self.curve_label,
+            0,
+            answer_digest(
+                stats.cells_examined as u64,
+                stats.cells_qualifying as u64,
+                stats.num_regions as u64,
+                stats.area,
+            ),
         );
         tracer.finish_query_explained(query_id, query_ns, &phases, Some(explain));
     }

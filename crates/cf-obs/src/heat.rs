@@ -1,0 +1,475 @@
+//! The spatial heatmap plane: sharded atomic heat tables over
+//! fixed-width Hilbert-position buckets.
+//!
+//! The paper's subfield cost `C = P / SI` is a function of *where*
+//! queries land on the curve, but the band-length histogram only
+//! captures `E[|q|]` — it is blind to spatial skew. A [`HeatMap`]
+//! closes that gap: the query pipeline bumps per-position heat as it
+//! examines and qualifies cells (and the storage engine as it reads
+//! pages), and the advisor reads the per-bucket distribution back to
+//! regroup subfields under the *observed* spatial workload.
+//!
+//! Design constraints, in order:
+//!
+//! * **Allocation-free on the hot path.** A bump is one relaxed atomic
+//!   add; a range bump is one add per *bucket overlapped* (not per
+//!   cell), so instrumenting a coalesced refine run of 10 000 cells
+//!   costs a handful of adds.
+//! * **Sharded against contention.** Each table holds
+//!   [`HEAT_SHARDS`] independent bucket arrays; a thread picks its
+//!   shard once (thread-local) and keeps it, so concurrent batch
+//!   workers do not serialize on the hot buckets. Reads sum across
+//!   shards, so totals are exact.
+//! * **Fixed memory.** [`HEAT_BUCKETS`] buckets per table regardless
+//!   of domain size; [`HeatTable::set_domain`] fixes the bucket width
+//!   as `ceil(domain / buckets)` and positions past the domain clamp
+//!   into the last bucket.
+//!
+//! Under the `obs-off` feature every bump compiles to an empty inline
+//! function, so call sites need no feature gates of their own.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per heat table. 64 keeps the whole plane in one cache-line
+/// handful per shard and renders as a single ASCII row.
+pub const HEAT_BUCKETS: usize = 64;
+
+/// Independent bucket arrays per table (threads spread across them).
+pub const HEAT_SHARDS: usize = 8;
+
+/// Which heat a bump contributes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatKind {
+    /// Cells read by the estimation (refine) step — every cell of a
+    /// retrieved run, qualifying or not.
+    Examined,
+    /// Cells whose value interval actually intersected the band.
+    Qualifying,
+    /// Logical page reads on the storage engine (page-id domain, not
+    /// cell positions).
+    Pages,
+}
+
+impl HeatKind {
+    /// All kinds, in rendering order.
+    pub const ALL: [HeatKind; 3] = [HeatKind::Examined, HeatKind::Qualifying, HeatKind::Pages];
+
+    /// The kind's label value in metrics and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            HeatKind::Examined => "examined",
+            HeatKind::Qualifying => "qualifying",
+            HeatKind::Pages => "pages",
+        }
+    }
+}
+
+/// Picks (once per thread) which shard this thread bumps into.
+fn shard_index() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % HEAT_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// One sharded heat table: [`HEAT_SHARDS`] × [`HEAT_BUCKETS`] relaxed
+/// atomic counters plus the bucket width mapping positions to buckets.
+pub struct HeatTable {
+    /// Positions per bucket (`0` until a domain is set; bumps then
+    /// treat the width as 1).
+    width: AtomicU64,
+    shards: Vec<[AtomicU64; HEAT_BUCKETS]>,
+}
+
+impl HeatTable {
+    fn new() -> Self {
+        Self {
+            width: AtomicU64::new(0),
+            shards: (0..HEAT_SHARDS)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Fixes the bucket width so `domain` positions span the table:
+    /// `width = ceil(domain / HEAT_BUCKETS)`. Existing counts are kept
+    /// (callers set the domain at build/publish time, before traffic).
+    pub fn set_domain(&self, domain: u64) {
+        let width = domain.div_ceil(HEAT_BUCKETS as u64).max(1);
+        self.width.store(width, Ordering::Relaxed);
+    }
+
+    /// Current bucket width (positions per bucket; 1 until a domain is
+    /// set).
+    pub fn bucket_width(&self) -> u64 {
+        self.width.load(Ordering::Relaxed).max(1)
+    }
+
+    #[inline]
+    fn bucket_of(&self, pos: u64, width: u64) -> usize {
+        ((pos / width) as usize).min(HEAT_BUCKETS - 1)
+    }
+
+    /// Adds `1` heat at `pos`. Positions past the domain clamp into
+    /// the last bucket. Compiled out under `obs-off`.
+    #[cfg(not(feature = "obs-off"))]
+    #[inline]
+    pub fn bump(&self, pos: u64) {
+        let width = self.bucket_width();
+        let bucket = self.bucket_of(pos, width);
+        self.shards[shard_index()][bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `1` heat at `pos` (compiled out under `obs-off`).
+    #[cfg(feature = "obs-off")]
+    #[inline]
+    pub fn bump(&self, _pos: u64) {}
+
+    /// Adds `1` heat per position in `[start, end)` — one atomic add
+    /// per bucket overlapped, so a long run costs a handful of adds.
+    /// Compiled out under `obs-off`.
+    #[cfg(not(feature = "obs-off"))]
+    pub fn bump_range(&self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let width = self.bucket_width();
+        let shard = &self.shards[shard_index()];
+        let mut pos = start;
+        while pos < end {
+            let bucket = self.bucket_of(pos, width);
+            let run_end = if bucket == HEAT_BUCKETS - 1 {
+                end
+            } else {
+                end.min((bucket as u64 + 1) * width)
+            };
+            shard[bucket].fetch_add(run_end - pos, Ordering::Relaxed);
+            pos = run_end;
+        }
+    }
+
+    /// Adds `1` heat per position in `[start, end)` (compiled out
+    /// under `obs-off`).
+    #[cfg(feature = "obs-off")]
+    #[inline]
+    pub fn bump_range(&self, _start: u64, _end: u64) {}
+
+    /// Per-bucket totals, summed across shards.
+    pub fn totals(&self) -> [u64; HEAT_BUCKETS] {
+        let mut out = [0u64; HEAT_BUCKETS];
+        for shard in &self.shards {
+            for (o, c) in out.iter_mut().zip(shard.iter()) {
+                *o += c.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Total heat across all buckets.
+    pub fn total(&self) -> u64 {
+        self.totals().iter().sum()
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            for c in shard {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for HeatTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeatTable")
+            .field("width", &self.bucket_width())
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+/// The registry's spatial heatmap: one [`HeatTable`] per
+/// [`HeatKind`].
+#[derive(Debug)]
+pub struct HeatMap {
+    examined: HeatTable,
+    qualifying: HeatTable,
+    pages: HeatTable,
+}
+
+impl Default for HeatMap {
+    fn default() -> Self {
+        Self {
+            examined: HeatTable::new(),
+            qualifying: HeatTable::new(),
+            pages: HeatTable::new(),
+        }
+    }
+}
+
+impl HeatMap {
+    /// The table backing `kind`.
+    pub fn table(&self, kind: HeatKind) -> &HeatTable {
+        match kind {
+            HeatKind::Examined => &self.examined,
+            HeatKind::Qualifying => &self.qualifying,
+            HeatKind::Pages => &self.pages,
+        }
+    }
+
+    /// Fixes the cell-position domain (the [`HeatKind::Examined`] and
+    /// [`HeatKind::Qualifying`] tables) — the index layer calls this
+    /// with its cell-file length whenever it (re)publishes health.
+    pub fn set_cell_domain(&self, cells: u64) {
+        self.examined.set_domain(cells);
+        self.qualifying.set_domain(cells);
+    }
+
+    /// Bumps page heat for one logical page read, widening the page
+    /// domain by doubling when `page` falls past it (the engine's page
+    /// count grows as files are built; rebucketing is approximate and
+    /// only affects where *earlier* heat renders, never the totals).
+    /// Compiled out under `obs-off`.
+    #[cfg(not(feature = "obs-off"))]
+    #[inline]
+    pub fn touch_page(&self, page: u64) {
+        let table = &self.pages;
+        let mut width = table.bucket_width();
+        while page >= width * HEAT_BUCKETS as u64 {
+            width *= 2;
+            table.width.store(width, Ordering::Relaxed);
+        }
+        table.bump(page);
+    }
+
+    /// Bumps page heat (compiled out under `obs-off`).
+    #[cfg(feature = "obs-off")]
+    #[inline]
+    pub fn touch_page(&self, _page: u64) {}
+
+    /// Zeroes every bucket (widths are configuration and survive —
+    /// this is part of the registry-wide "forget warmup" reset).
+    pub fn reset(&self) {
+        self.examined.reset();
+        self.qualifying.reset();
+        self.pages.reset();
+    }
+
+    /// JSON snapshot for the `/heatmap` route: bucket count plus, per
+    /// kind, the width, total and the full bucket vector.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("buckets", Json::Num(HEAT_BUCKETS as f64)),
+            (
+                "kinds",
+                Json::Arr(
+                    HeatKind::ALL
+                        .iter()
+                        .map(|&kind| {
+                            let table = self.table(kind);
+                            let totals = table.totals();
+                            Json::obj([
+                                ("kind", Json::Str(kind.name().to_owned())),
+                                ("bucket_width", Json::Num(table.bucket_width() as f64)),
+                                ("total", Json::Num(table.total() as f64)),
+                                (
+                                    "counts",
+                                    Json::Arr(
+                                        totals.iter().map(|&c| Json::Num(c as f64)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Appends the `heat_*` gauge families in Prometheus text format
+    /// (deterministic: kinds in [`HeatKind::ALL`] order, buckets
+    /// ascending, zero buckets omitted).
+    pub fn render_text_into(&self, out: &mut String) {
+        let _ = writeln!(out, "# TYPE heat_bucket gauge");
+        for &kind in &HeatKind::ALL {
+            for (b, &count) in self.table(kind).totals().iter().enumerate() {
+                if count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "heat_bucket{{kind=\"{}\",bucket=\"{b:02}\"}} {count}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# TYPE heat_bucket_width gauge");
+        for &kind in &HeatKind::ALL {
+            let _ = writeln!(
+                out,
+                "heat_bucket_width{{kind=\"{}\"}} {}",
+                kind.name(),
+                self.table(kind).bucket_width()
+            );
+        }
+        let _ = writeln!(out, "# TYPE heat_total gauge");
+        for &kind in &HeatKind::ALL {
+            let _ = writeln!(
+                out,
+                "heat_total{{kind=\"{}\"}} {}",
+                kind.name(),
+                self.table(kind).total()
+            );
+        }
+    }
+
+    /// One-line ASCII render of a table, buckets in Hilbert order,
+    /// scaled to the hottest bucket (the `fielddb heatmap` view).
+    pub fn render_ascii(&self, kind: HeatKind) -> String {
+        const RAMP: [char; 9] = ['.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let table = self.table(kind);
+        let totals = table.totals();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let mut out = format!(
+            "heat[{:<10}] total={:<10} width={:<6} |",
+            kind.name(),
+            table.total(),
+            table.bucket_width()
+        );
+        for &count in &totals {
+            if count == 0 {
+                out.push(' ');
+            } else {
+                let level = (count as u128 * (RAMP.len() as u128 - 1)).div_ceil(max as u128);
+                out.push(RAMP[level as usize]);
+            }
+        }
+        out.push('|');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn range_bumps_equal_per_position_bumps() {
+        let a = HeatTable::new();
+        let b = HeatTable::new();
+        a.set_domain(640);
+        b.set_domain(640);
+        a.bump_range(37, 411);
+        for pos in 37..411 {
+            b.bump(pos);
+        }
+        assert_eq!(a.totals(), b.totals());
+        assert_eq!(a.total(), 411 - 37);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn positions_past_the_domain_clamp_into_the_last_bucket() {
+        let t = HeatTable::new();
+        t.set_domain(64); // width 1, one position per bucket
+        t.bump(1_000_000);
+        t.bump_range(500, 510);
+        let totals = t.totals();
+        assert_eq!(totals[HEAT_BUCKETS - 1], 11);
+        assert_eq!(t.total(), 11);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn concurrent_bumps_across_threads_sum_exactly() {
+        let map = HeatMap::default();
+        map.set_cell_domain(1024);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1_000u64 {
+                        map.table(HeatKind::Examined).bump(i % 1024);
+                    }
+                    map.table(HeatKind::Qualifying).bump_range(0, 100);
+                });
+            }
+        });
+        assert_eq!(map.table(HeatKind::Examined).total(), 8_000);
+        assert_eq!(map.table(HeatKind::Qualifying).total(), 800);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn page_domain_widens_by_doubling() {
+        let map = HeatMap::default();
+        map.touch_page(0);
+        assert_eq!(map.table(HeatKind::Pages).bucket_width(), 1);
+        map.touch_page(HEAT_BUCKETS as u64 * 3); // forces width 4
+        assert_eq!(map.table(HeatKind::Pages).bucket_width(), 4);
+        assert_eq!(map.table(HeatKind::Pages).total(), 2);
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn bumps_compile_out_under_obs_off() {
+        let map = HeatMap::default();
+        map.set_cell_domain(64);
+        map.table(HeatKind::Examined).bump(3);
+        map.table(HeatKind::Examined).bump_range(0, 64);
+        map.touch_page(12);
+        assert_eq!(map.table(HeatKind::Examined).total(), 0);
+        assert_eq!(map.table(HeatKind::Pages).total(), 0);
+    }
+
+    #[test]
+    fn json_shape_lists_every_kind() {
+        let map = HeatMap::default();
+        let doc = Json::parse(&map.to_json().render()).expect("valid json");
+        assert_eq!(doc.get("buckets").and_then(Json::as_f64), Some(64.0));
+        let kinds = doc.get("kinds").and_then(Json::as_arr).expect("kinds");
+        assert_eq!(kinds.len(), 3);
+        for kind in kinds {
+            assert_eq!(
+                kind.get("counts").and_then(Json::as_arr).map(<[Json]>::len),
+                Some(HEAT_BUCKETS)
+            );
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn text_render_has_gauge_families_and_skips_zero_buckets() {
+        let map = HeatMap::default();
+        map.set_cell_domain(HEAT_BUCKETS as u64);
+        map.table(HeatKind::Examined).bump(5);
+        let mut out = String::new();
+        map.render_text_into(&mut out);
+        assert!(out.contains("# TYPE heat_bucket gauge"), "{out}");
+        assert!(
+            out.contains("heat_bucket{kind=\"examined\",bucket=\"05\"} 1"),
+            "{out}"
+        );
+        assert!(
+            !out.contains("heat_bucket{kind=\"examined\",bucket=\"06\"}"),
+            "{out}"
+        );
+        assert!(out.contains("heat_total{kind=\"examined\"} 1"), "{out}");
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn ascii_render_is_one_row_scaled_to_max() {
+        let map = HeatMap::default();
+        map.set_cell_domain(HEAT_BUCKETS as u64);
+        map.table(HeatKind::Qualifying).bump_range(0, 8);
+        let row = map.render_ascii(HeatKind::Qualifying);
+        assert!(row.starts_with("heat[qualifying"), "{row}");
+        let bar = row.rsplit('|').nth(1).expect("bar");
+        assert_eq!(bar.chars().count(), HEAT_BUCKETS, "{row}");
+        assert!(bar.contains('@'), "hottest bucket renders full: {row}");
+    }
+}

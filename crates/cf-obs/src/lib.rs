@@ -36,14 +36,21 @@
 
 pub mod explain;
 pub mod export;
+pub mod heat;
 mod json;
+pub mod record;
 pub mod serve;
 pub mod slo;
 mod trace;
 
 pub use explain::{ExplainRecord, Label, EXPLAIN_RING_CAPACITY};
 pub use export::EventJournal;
+pub use heat::{HeatKind, HeatMap, HeatTable, HEAT_BUCKETS, HEAT_SHARDS};
 pub use json::{Json, JsonError};
+pub use record::{
+    answer_digest, decode_wrk, encode_wrk, FlightRecorder, WorkloadRecord, RECORDER_CAPACITY,
+    WORKLOAD_VERSION,
+};
 pub use slo::{SloObjective, SloTracker};
 pub use trace::{SlowQueryReport, Span, Stopwatch, TraceEvent, Tracer};
 
@@ -278,6 +285,8 @@ pub struct MetricsRegistry {
     tracer: Tracer,
     slo: SloTracker,
     journal: EventJournal,
+    heat: HeatMap,
+    recorder: FlightRecorder,
 }
 
 impl Default for MetricsRegistry {
@@ -293,6 +302,8 @@ impl Default for MetricsRegistry {
             tracer,
             slo,
             journal: EventJournal::default(),
+            heat: HeatMap::default(),
+            recorder: FlightRecorder::default(),
         }
     }
 }
@@ -322,6 +333,17 @@ impl MetricsRegistry {
     /// The registry's epoch-lifecycle event journal.
     pub fn journal(&self) -> &EventJournal {
         &self.journal
+    }
+
+    /// The registry's spatial heatmap (per-bucket query heat over the
+    /// Hilbert position domain).
+    pub fn heat(&self) -> &HeatMap {
+        &self.heat
+    }
+
+    /// The registry's workload flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     fn register(
@@ -508,6 +530,8 @@ impl MetricsRegistry {
         self.tracer.clear();
         self.slo.reset();
         self.journal.clear();
+        self.heat.reset();
+        self.recorder.clear();
     }
 
     /// Renders the registry in the Prometheus text exposition format.
@@ -566,6 +590,11 @@ impl MetricsRegistry {
                 }
             }
         }
+        drop(families);
+        // The spatial heatmap renders after the registered families
+        // (its buckets live outside the family map); the section is
+        // deterministic, so whole-snapshot diffs stay byte-stable.
+        self.heat.render_text_into(&mut out);
         out
     }
 }

@@ -1,0 +1,450 @@
+//! The workload flight recorder: a bounded ring of every traced
+//! query's identity — band, logical ordinal, plane, curve, epoch and
+//! an answer digest — with a lossless drain to a versioned `.wrk`
+//! workload file.
+//!
+//! A production anomaly surfaced by `/slo` or a slow-query report is
+//! only useful if it can be *reproduced*: the recorder turns the live
+//! query stream into a replayable artifact. `repro replay` re-executes
+//! a `.wrk` file against a database and diffs the recomputed answer
+//! digests against the recording, so a slow-query window becomes a
+//! committed regression test.
+//!
+//! Bands are stored as raw `f64` bits (`to_bits`/`from_bits`) both in
+//! memory and on disk, so a recorded query replays with the *exact*
+//! float the pipeline executed — the digests are only comparable
+//! because no decimal round-trip ever happens.
+//!
+//! Under the `obs-off` feature [`FlightRecorder::record`] compiles to
+//! an empty inline function; the ring never fills and the `.wrk`
+//! encoder only ever sees empty recordings.
+
+use crate::explain::Label;
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Maximum records retained in the ring; older records are dropped
+/// (and counted) once the ring is full.
+pub const RECORDER_CAPACITY: usize = 4096;
+
+/// Magic bytes of a `.wrk` workload file.
+pub const WORKLOAD_MAGIC: [u8; 4] = *b"CFWK";
+
+/// Current `.wrk` format version.
+pub const WORKLOAD_VERSION: u32 = 1;
+
+/// On-disk bytes per record: ordinal, band bits ×2, epoch, digest
+/// (8 bytes each) plus two 16-byte NUL-padded name fields.
+pub const WORKLOAD_RECORD_SIZE: usize = 72;
+
+/// `.wrk` header: magic, version, record count.
+const WORKLOAD_HEADER_SIZE: usize = 16;
+
+/// One captured query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadRecord {
+    /// Logical ordinal within the recording (assigned at capture,
+    /// monotonic; replay re-executes in ordinal order).
+    pub ordinal: u64,
+    /// Queried band, low end.
+    pub band_lo: f64,
+    /// Queried band, high end.
+    pub band_hi: f64,
+    /// Execution plane (`"frozen"`, `"paged"`, `"cells"`).
+    pub plane: Label,
+    /// Space-filling curve behind the index.
+    pub curve: Label,
+    /// Ingest epoch the query was pinned to (0 = static plane).
+    pub epoch: u64,
+    /// Answer digest — see [`answer_digest`].
+    pub digest: u64,
+}
+
+impl WorkloadRecord {
+    /// JSON rendering (the `/workload` route).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ordinal", Json::Num(self.ordinal as f64)),
+            ("band_lo", Json::Num(self.band_lo)),
+            ("band_hi", Json::Num(self.band_hi)),
+            ("plane", Json::Str(self.plane.as_str().to_owned())),
+            ("curve", Json::Str(self.curve.as_str().to_owned())),
+            ("epoch", Json::Num(self.epoch as f64)),
+            ("digest", Json::Str(format!("{:016x}", self.digest))),
+        ])
+    }
+}
+
+/// FNV-1a digest over a query's observable outcome: cell counts,
+/// region count and the exact answer-area bits. Two executions of the
+/// same query against the same data produce the same digest; any
+/// divergence in the answer (even one float bit of area) changes it.
+pub fn answer_digest(
+    cells_examined: u64,
+    cells_qualifying: u64,
+    num_regions: u64,
+    area: f64,
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for word in [
+        cells_examined,
+        cells_qualifying,
+        num_regions,
+        area.to_bits(),
+    ] {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+#[derive(Default)]
+struct RecorderState {
+    ring: VecDeque<WorkloadRecord>,
+    next_ordinal: u64,
+    dropped: u64,
+}
+
+/// The bounded query-capture ring. One per [`crate::MetricsRegistry`];
+/// the query pipeline records every *traced* query (same gate as the
+/// EXPLAIN ring, so recording costs nothing when tracing is off).
+#[derive(Default)]
+pub struct FlightRecorder {
+    state: Mutex<RecorderState>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Captures one query, assigning it the next logical ordinal.
+    /// When the ring is at [`RECORDER_CAPACITY`] the oldest record is
+    /// dropped (and counted in [`FlightRecorder::dropped`]). Compiled
+    /// out under `obs-off`.
+    #[cfg(not(feature = "obs-off"))]
+    pub fn record(
+        &self,
+        band_lo: f64,
+        band_hi: f64,
+        plane: &str,
+        curve: &str,
+        epoch: u64,
+        digest: u64,
+    ) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        let ordinal = state.next_ordinal;
+        state.next_ordinal += 1;
+        if state.ring.len() >= RECORDER_CAPACITY {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        state.ring.push_back(WorkloadRecord {
+            ordinal,
+            band_lo,
+            band_hi,
+            plane: Label::new(plane),
+            curve: Label::new(curve),
+            epoch,
+            digest,
+        });
+    }
+
+    /// Captures one query (compiled out under `obs-off`).
+    #[cfg(feature = "obs-off")]
+    #[inline]
+    pub fn record(
+        &self,
+        _band_lo: f64,
+        _band_hi: f64,
+        _plane: &str,
+        _curve: &str,
+        _epoch: u64,
+        _digest: u64,
+    ) {
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("flight recorder poisoned")
+            .ring
+            .len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("flight recorder poisoned").dropped
+    }
+
+    /// Copies the retained records out, oldest first, leaving the ring
+    /// intact (the `/workload` route).
+    pub fn snapshot(&self) -> Vec<WorkloadRecord> {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        state.ring.iter().copied().collect()
+    }
+
+    /// Removes and returns the retained records, oldest first — the
+    /// lossless `.wrk` drain. The ordinal sequence keeps running, so a
+    /// later drain continues where this one stopped.
+    pub fn drain(&self) -> Vec<WorkloadRecord> {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        state.ring.drain(..).collect()
+    }
+
+    /// Empties the ring and restarts the ordinal sequence (part of the
+    /// registry-wide reset).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        state.ring.clear();
+        state.next_ordinal = 0;
+        state.dropped = 0;
+    }
+
+    /// JSON snapshot for the `/workload` route.
+    pub fn to_json(&self) -> Json {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        Json::obj([
+            ("version", Json::Num(WORKLOAD_VERSION as f64)),
+            ("count", Json::Num(state.ring.len() as f64)),
+            ("dropped", Json::Num(state.dropped as f64)),
+            (
+                "records",
+                Json::Arr(state.ring.iter().map(WorkloadRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    let mut field = [0u8; 16];
+    let mut end = name.len().min(16);
+    while end > 0 && !name.is_char_boundary(end) {
+        end -= 1;
+    }
+    field[..end].copy_from_slice(&name.as_bytes()[..end]);
+    buf.extend_from_slice(&field);
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+fn get_name(buf: &[u8], at: usize) -> Label {
+    let field = &buf[at..at + 16];
+    let end = field.iter().position(|&b| b == 0).unwrap_or(16);
+    match std::str::from_utf8(&field[..end]) {
+        Ok(s) => Label::new(s),
+        Err(_) => Label::empty(),
+    }
+}
+
+/// Encodes records as a versioned `.wrk` byte stream: the
+/// [`WORKLOAD_MAGIC`]/[`WORKLOAD_VERSION`] header, the record count,
+/// then fixed-size little-endian records with band floats stored as
+/// raw bits (lossless).
+pub fn encode_wrk(records: &[WorkloadRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WORKLOAD_HEADER_SIZE + records.len() * WORKLOAD_RECORD_SIZE);
+    out.extend_from_slice(&WORKLOAD_MAGIC);
+    out.extend_from_slice(&WORKLOAD_VERSION.to_le_bytes());
+    put_u64(&mut out, records.len() as u64);
+    for rec in records {
+        put_u64(&mut out, rec.ordinal);
+        put_u64(&mut out, rec.band_lo.to_bits());
+        put_u64(&mut out, rec.band_hi.to_bits());
+        put_u64(&mut out, rec.epoch);
+        put_u64(&mut out, rec.digest);
+        put_name(&mut out, rec.plane.as_str());
+        put_name(&mut out, rec.curve.as_str());
+    }
+    out
+}
+
+/// Decodes a `.wrk` byte stream. Malformed input — wrong magic, an
+/// unknown version, a truncated body — returns a description, never
+/// panics.
+pub fn decode_wrk(bytes: &[u8]) -> Result<Vec<WorkloadRecord>, String> {
+    if bytes.len() < WORKLOAD_HEADER_SIZE {
+        return Err(format!(
+            "workload file too short: {} bytes (need at least {WORKLOAD_HEADER_SIZE})",
+            bytes.len()
+        ));
+    }
+    if bytes[..4] != WORKLOAD_MAGIC {
+        return Err("not a workload file (bad magic; expected \"CFWK\")".to_owned());
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != WORKLOAD_VERSION {
+        return Err(format!(
+            "unsupported workload version {version} (this build reads version {WORKLOAD_VERSION})"
+        ));
+    }
+    let count = get_u64(bytes, 8) as usize;
+    let expected = WORKLOAD_HEADER_SIZE + count * WORKLOAD_RECORD_SIZE;
+    if bytes.len() != expected {
+        return Err(format!(
+            "workload body size mismatch: {} bytes for {count} records (expected {expected})",
+            bytes.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = WORKLOAD_HEADER_SIZE + i * WORKLOAD_RECORD_SIZE;
+        out.push(WorkloadRecord {
+            ordinal: get_u64(bytes, at),
+            band_lo: f64::from_bits(get_u64(bytes, at + 8)),
+            band_hi: f64::from_bits(get_u64(bytes, at + 16)),
+            epoch: get_u64(bytes, at + 24),
+            digest: get_u64(bytes, at + 32),
+            plane: get_name(bytes, at + 40),
+            curve: get_name(bytes, at + 56),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> WorkloadRecord {
+        WorkloadRecord {
+            ordinal: n,
+            band_lo: 0.125 + n as f64,
+            band_hi: 0.875 + n as f64,
+            plane: Label::new("frozen"),
+            curve: Label::new("hilbert"),
+            epoch: n * 3,
+            digest: answer_digest(100 + n, 50 + n, 7, 12.5 + n as f64),
+        }
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_component() {
+        let base = answer_digest(10, 5, 2, 1.5);
+        assert_ne!(base, answer_digest(11, 5, 2, 1.5));
+        assert_ne!(base, answer_digest(10, 6, 2, 1.5));
+        assert_ne!(base, answer_digest(10, 5, 3, 1.5));
+        assert_ne!(base, answer_digest(10, 5, 2, 1.5 + f64::EPSILON));
+        assert_eq!(base, answer_digest(10, 5, 2, 1.5));
+    }
+
+    #[test]
+    fn wrk_round_trips_losslessly() {
+        let records: Vec<WorkloadRecord> = (0..17).map(sample).collect();
+        let bytes = encode_wrk(&records);
+        assert_eq!(
+            bytes.len(),
+            WORKLOAD_HEADER_SIZE + records.len() * WORKLOAD_RECORD_SIZE
+        );
+        let back = decode_wrk(&bytes).expect("decode");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn wrk_preserves_exact_float_bits() {
+        let mut rec = sample(0);
+        rec.band_lo = f64::from_bits(0x3FF0_0000_0000_0001); // 1.0 + 1 ulp
+        rec.band_hi = -0.0;
+        let back = decode_wrk(&encode_wrk(&[rec])).expect("decode");
+        assert_eq!(back[0].band_lo.to_bits(), rec.band_lo.to_bits());
+        assert_eq!(back[0].band_hi.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input_without_panicking() {
+        assert!(decode_wrk(b"").is_err());
+        assert!(decode_wrk(b"NOPE").is_err());
+        let mut bad_magic = encode_wrk(&[sample(0)]);
+        bad_magic[0] = b'X';
+        assert!(decode_wrk(&bad_magic).unwrap_err().contains("magic"));
+        let mut bad_version = encode_wrk(&[sample(0)]);
+        bad_version[4] = 99;
+        assert!(decode_wrk(&bad_version).unwrap_err().contains("version"));
+        let mut truncated = encode_wrk(&[sample(0), sample(1)]);
+        truncated.truncate(truncated.len() - 5);
+        assert!(decode_wrk(&truncated).unwrap_err().contains("mismatch"));
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn ring_assigns_ordinals_and_drains_losslessly() {
+        let rec = FlightRecorder::default();
+        for i in 0..5 {
+            rec.record(i as f64, i as f64 + 1.0, "frozen", "hilbert", 0, i);
+        }
+        assert_eq!(rec.len(), 5);
+        let snap = rec.snapshot();
+        assert_eq!(rec.len(), 5, "snapshot does not drain");
+        let drained = rec.drain();
+        assert_eq!(drained, snap);
+        assert_eq!(
+            drained.iter().map(|r| r.ordinal).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(rec.is_empty());
+        // The ordinal sequence continues across drains.
+        rec.record(9.0, 10.0, "paged", "hilbert", 2, 99);
+        assert_eq!(rec.snapshot()[0].ordinal, 5);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn full_ring_drops_oldest_and_counts_them() {
+        let rec = FlightRecorder::default();
+        for i in 0..(RECORDER_CAPACITY + 10) {
+            rec.record(0.0, 1.0, "frozen", "hilbert", 0, i as u64);
+        }
+        assert_eq!(rec.len(), RECORDER_CAPACITY);
+        assert_eq!(rec.dropped(), 10);
+        assert_eq!(rec.snapshot()[0].ordinal, 10, "oldest 10 were evicted");
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn record_compiles_out_under_obs_off() {
+        let rec = FlightRecorder::default();
+        rec.record(0.0, 1.0, "frozen", "hilbert", 0, 1);
+        assert!(rec.is_empty());
+        assert_eq!(encode_wrk(&rec.drain()).len(), 16);
+    }
+
+    #[test]
+    fn json_snapshot_has_version_and_records() {
+        let rec = FlightRecorder::default();
+        #[cfg(not(feature = "obs-off"))]
+        rec.record(0.25, 0.75, "frozen", "hilbert", 0, 0xABCD);
+        let doc = Json::parse(&rec.to_json().render()).expect("valid json");
+        assert_eq!(doc.get("version").and_then(Json::as_f64), Some(1.0));
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert_eq!(doc.get("count").and_then(Json::as_f64), Some(1.0));
+            let records = doc.get("records").and_then(Json::as_arr).expect("records");
+            assert_eq!(
+                records[0].get("digest").and_then(Json::as_str),
+                Some("000000000000abcd")
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! A dependency-free blocking HTTP endpoint for the telemetry plane.
 //!
-//! [`MetricsServer`] wraps a `std::net::TcpListener` and serves five
+//! [`MetricsServer`] wraps a `std::net::TcpListener` and serves seven
 //! routes, one request per connection (`Connection: close`):
 //!
 //! * `/metrics` — the Prometheus text snapshot from
@@ -12,6 +12,10 @@
 //!   [`SloTracker::to_json`](crate::SloTracker::to_json)
 //! * `/explain/recent` — the retained ring of per-query EXPLAIN
 //!   records as a JSON array
+//! * `/heatmap` — the spatial heatmap's per-bucket counts from
+//!   [`HeatMap::to_json`](crate::HeatMap::to_json)
+//! * `/workload` — the flight recorder's retained query ring from
+//!   [`FlightRecorder::to_json`](crate::FlightRecorder::to_json)
 //! * `/` — a plain-text index of the above
 //!
 //! This is deliberately *not* a general HTTP server: it reads one
@@ -133,6 +137,16 @@ fn route(path: &str, registry: &MetricsRegistry) -> (&'static str, &'static str,
             )
             .render(),
         ),
+        "/heatmap" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            registry.heat().to_json().render(),
+        ),
+        "/workload" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            registry.recorder().to_json().render(),
+        ),
         "/" => (
             "200 OK",
             "text/plain; charset=utf-8",
@@ -140,7 +154,9 @@ fn route(path: &str, registry: &MetricsRegistry) -> (&'static str, &'static str,
              /metrics         Prometheus text snapshot\n\
              /traces          Chrome-trace JSON (traceEvents + slowQueries)\n\
              /slo             sliding-window SLO snapshot (buckets, p50/p99, burn rates)\n\
-             /explain/recent  ring of per-query EXPLAIN records\n"
+             /explain/recent  ring of per-query EXPLAIN records\n\
+             /heatmap         spatial heatmap buckets (examined/qualifying/pages)\n\
+             /workload        flight-recorder query ring (replayable workload)\n"
                 .to_owned(),
         ),
         _ => (
@@ -282,6 +298,33 @@ mod tests {
         }
         #[cfg(feature = "obs-off")]
         assert!(arr.is_empty(), "{recent}");
+        handle.join().expect("no panic").expect("serve");
+    }
+
+    #[test]
+    fn serves_heatmap_and_workload_as_json() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        reg.heat().set_cell_domain(256);
+        reg.heat()
+            .table(crate::HeatKind::Examined)
+            .bump_range(0, 64);
+        reg.recorder()
+            .record(0.25, 0.75, "frozen", "hilbert", 0, 0xBEEF);
+        let (addr, handle) = serve_n(reg, 2);
+        let heat = http_get(addr, "/heatmap").expect("heatmap");
+        let doc = Json::parse(&heat).expect("valid heatmap json");
+        assert_eq!(doc.get("buckets").and_then(Json::as_f64), Some(64.0));
+        let kinds = doc.get("kinds").and_then(Json::as_arr).expect("kinds");
+        assert_eq!(kinds.len(), 3, "{heat}");
+        #[cfg(not(feature = "obs-off"))]
+        assert_eq!(kinds[0].get("total").and_then(Json::as_f64), Some(64.0));
+        let workload = http_get(addr, "/workload").expect("workload");
+        let doc = Json::parse(&workload).expect("valid workload json");
+        assert_eq!(doc.get("version").and_then(Json::as_f64), Some(1.0));
+        #[cfg(not(feature = "obs-off"))]
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(1.0));
+        #[cfg(feature = "obs-off")]
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(0.0));
         handle.join().expect("no panic").expect("serve");
     }
 

@@ -165,17 +165,59 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         "top" => {
             let mut addr = String::new();
+            let mut watch: Option<f64> = None;
+            let mut count = 0usize;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--addr" => addr = take(&mut it, flag)?,
                     "--port" => addr = format!("127.0.0.1:{}", take(&mut it, flag)?),
+                    "--watch" => watch = Some(parse(&take(&mut it, flag)?)?),
+                    "--count" => count = parse(&take(&mut it, flag)?)?,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if addr.is_empty() {
                 addr = "127.0.0.1:9184".into();
             }
-            top(&addr)
+            match watch {
+                Some(secs) => top_watch(&addr, secs, count),
+                None => top(&addr),
+            }
+        }
+        "heatmap" => {
+            let path = it.next().ok_or_else(usage)?.clone();
+            let mut queries = 32usize;
+            let mut qinterval = 0.05f64;
+            let mut seed = 0x11EA7u64;
+            let mut eng = EngineOpts::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--queries" => queries = parse(&take(&mut it, flag)?)?,
+                    "--qinterval" => qinterval = parse(&take(&mut it, flag)?)?,
+                    "--seed" => seed = parse(&take(&mut it, flag)?)?,
+                    other => eng.parse_flag(other, &mut it)?,
+                }
+            }
+            heatmap(&path, queries, qinterval, seed, eng)
+        }
+        "record" => {
+            let path = it.next().ok_or_else(usage)?.clone();
+            let mut out_path: Option<String> = None;
+            let mut queries = 32usize;
+            let mut qinterval = 0.05f64;
+            let mut seed = 0x5EEDu64;
+            let mut eng = EngineOpts::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => out_path = Some(take(&mut it, flag)?),
+                    "--queries" => queries = parse(&take(&mut it, flag)?)?,
+                    "--qinterval" => qinterval = parse(&take(&mut it, flag)?)?,
+                    "--seed" => seed = parse(&take(&mut it, flag)?)?,
+                    other => eng.parse_flag(other, &mut it)?,
+                }
+            }
+            let out_path = out_path.ok_or("record needs --out <file.wrk>")?;
+            record_workload(&path, &out_path, queries, qinterval, seed, eng)
         }
         "advise" => {
             let mut k = 6u32;
@@ -196,7 +238,7 @@ fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb explain <db> <lo> <hi> [--json]\n  fielddb ingest <db> [--updates N] [--seed N] [--capacity N]\n  fielddb point <db> <x> <y>\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap] [--codec raw|compressed]".into()
+    "usage:\n  fielddb create <db> [--workload terrain|fractal|monotonic] [--k N] [--h F] [--seed N]\n  fielddb info <db>\n  fielddb query <db> <lo> <hi> [--regions N]\n  fielddb explain <db> <lo> <hi> [--json]\n  fielddb ingest <db> [--updates N] [--seed N] [--capacity N]\n  fielddb point <db> <x> <y>\n  fielddb heatmap <db> [--queries N] [--qinterval F] [--seed N]\n  fielddb record <db> --out <file.wrk> [--queries N] [--qinterval F] [--seed N]\n  fielddb metrics [--k N] [--lo F --hi F]\n  fielddb serve-metrics [--port N] [--k N] [--queries N] [--max-requests N] [--port-file P] [--event-log P]\n  fielddb top [--addr HOST:PORT | --port N] [--watch SECS [--count N]]\n  fielddb advise [--k N] [--queries N] [--qinterval F]\nfile-backed commands also accept: [--pool PAGES] [--mmap] [--codec raw|compressed]".into()
 }
 
 /// Storage-engine tuning flags shared by every file-backed command:
@@ -490,6 +532,75 @@ fn point(path: &str, x: f64, y: f64, eng: EngineOpts) -> Result<String, String> 
     }
 }
 
+/// Runs a short Q2 workload against a database file and renders the
+/// spatial heat tables as one ASCII row per kind: buckets in Hilbert
+/// (cell-file) order, scaled to the hottest bucket, so a skewed
+/// workload shows up as a bright region on an otherwise dark line.
+fn heatmap(
+    path: &str,
+    queries: usize,
+    qinterval: f64,
+    seed: u64,
+    eng: EngineOpts,
+) -> Result<String, String> {
+    use contfield::storage::{HeatKind, HEAT_BUCKETS};
+    use contfield::workload::queries::interval_queries;
+
+    let engine = open_engine(path, eng)?;
+    let index = open_index(&engine)?;
+    let qs = interval_queries(index.value_domain(), qinterval, queries, seed);
+    for q in &qs {
+        index.query_stats(&engine, *q).map_err(|e| e.to_string())?;
+    }
+    let heat = engine.metrics().heat();
+    let mut out = format!(
+        "spatial heat for {path} after {} Q2 queries ({HEAT_BUCKETS} Hilbert-order buckets, '@' = hottest):\n",
+        qs.len(),
+    );
+    for kind in HeatKind::ALL {
+        out.push_str(&heat.render_ascii(kind));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Runs a traced Q2 workload against a database file and drains the
+/// flight recorder into a versioned `.wrk` workload file — the
+/// artifact `repro replay` re-executes and diffs.
+fn record_workload(
+    path: &str,
+    out_path: &str,
+    queries: usize,
+    qinterval: f64,
+    seed: u64,
+    eng: EngineOpts,
+) -> Result<String, String> {
+    use contfield::storage::encode_wrk;
+    use contfield::workload::queries::interval_queries;
+
+    let engine = open_engine(path, eng)?;
+    let index = open_index(&engine)?;
+    // The recorder captures traced queries only (same gate as EXPLAIN).
+    engine.metrics().tracer().set_enabled(true);
+    let qs = interval_queries(index.value_domain(), qinterval, queries, seed);
+    for q in &qs {
+        index.query_stats(&engine, *q).map_err(|e| e.to_string())?;
+    }
+    let records = engine.metrics().recorder().drain();
+    if records.is_empty() {
+        return Err(
+            "no queries captured — the binary was built with the obs-off feature".to_string(),
+        );
+    }
+    let bytes = encode_wrk(&records);
+    std::fs::write(out_path, &bytes).map_err(|e| format!("write {out_path}: {e}"))?;
+    Ok(format!(
+        "recorded {} queries ({} bytes) from {path} into {out_path}\n",
+        records.len(),
+        bytes.len(),
+    ))
+}
+
 /// Traces one Q2 band query end-to-end through the observability plane:
 /// builds the fig-8a-style terrain in memory under the adaptive planner,
 /// runs the query with tracing on, and prints the phase breakdown, a
@@ -685,7 +796,7 @@ fn serve_metrics(
     }
     // Print the banner before blocking in the serve loop.
     println!(
-        "serving telemetry for terrain k={k} ({} traced queries) on http://{addr}/  (routes: /metrics, /traces, /slo, /explain/recent)",
+        "serving telemetry for terrain k={k} ({} traced queries) on http://{addr}/  (routes: /metrics, /traces, /slo, /explain/recent, /heatmap, /workload)",
         qs.len()
     );
     use std::io::Write as _;
@@ -763,6 +874,66 @@ fn top(addr: &str) -> Result<String, String> {
             val("index_refine_pages_total", index),
             val("index_cells_examined_total", index),
         ));
+    }
+    Ok(out)
+}
+
+/// Interval mode of `top`: re-scrapes `/metrics` every `secs` seconds
+/// and prints per-second *rates* — counter differences divided by the
+/// interval — instead of raw totals, so a steady workload reads as a
+/// steady line. `count` bounds the number of intervals and returns the
+/// table; `count` 0 watches until the endpoint goes away, printing
+/// each interval live.
+fn top_watch(addr: &str, secs: f64, count: usize) -> Result<String, String> {
+    use contfield::obs::export::parse_prometheus;
+    use contfield::obs::serve::http_get;
+
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err("--watch needs a positive interval in seconds".into());
+    }
+    const COLS: [(&str, &str); 5] = [
+        ("index_queries_total", "queries/s"),
+        ("index_cells_examined_total", "examined/s"),
+        ("pool_hits_total", "hits/s"),
+        ("pool_misses_total", "misses/s"),
+        ("storage_disk_reads_total", "disk/s"),
+    ];
+    let scrape = || -> Result<Vec<f64>, String> {
+        let body = http_get(addr, "/metrics").map_err(|e| format!("scrape {addr}/metrics: {e}"))?;
+        let snap = parse_prometheus(&body)?;
+        Ok(COLS.iter().map(|(name, _)| snap.total(name)).collect())
+    };
+    let mut out = format!("fielddb top — watching http://{addr}/metrics every {secs}s\n");
+    let mut header = format!("{:>10}", "interval");
+    for (_, label) in COLS {
+        header.push_str(&format!(" {label:>12}"));
+    }
+    let mut emit = |line: &str| {
+        if count == 0 {
+            use std::io::Write as _;
+            println!("{line}");
+            std::io::stdout().flush().ok();
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    };
+    emit(&header);
+    let mut prev = scrape()?;
+    let mut done = 0usize;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        let cur = scrape()?;
+        let mut row = format!("{done:>10}");
+        for (after, before) in cur.iter().zip(&prev) {
+            row.push_str(&format!(" {:>12.1}", (after - before).max(0.0) / secs));
+        }
+        emit(&row);
+        prev = cur;
+        done += 1;
+        if count != 0 && done >= count {
+            break;
+        }
     }
     Ok(out)
 }
@@ -1088,6 +1259,110 @@ mod tests {
         let _ = std::fs::remove_file(&port_file);
         let _ = std::fs::remove_file(&event_log);
         let _ = std::fs::remove_file(format!("{}.1", event_log.display()));
+    }
+
+    #[test]
+    fn heatmap_renders_one_row_per_heat_kind() {
+        let db = tmp("heat");
+        run(&argv(&["create", &db, "--workload", "fractal", "--k", "5"])).expect("create");
+        let out = run(&argv(&["heatmap", &db, "--queries", "8"])).expect("heatmap");
+        assert!(out.contains("8 Q2 queries"), "{out}");
+        assert!(out.contains("heat[examined"), "{out}");
+        assert!(out.contains("heat[qualifying"), "{out}");
+        assert!(out.contains("heat[pages"), "{out}");
+        // Under observation the workload actually heats the tables.
+        #[cfg(not(feature = "obs-off"))]
+        assert!(!out.contains("total=0 "), "{out}");
+        std::fs::remove_file(&db).expect("cleanup");
+    }
+
+    #[test]
+    fn record_writes_a_decodable_workload_file() {
+        let db = tmp("record");
+        let wrk = format!("{db}.wrk");
+        run(&argv(&["create", &db, "--workload", "fractal", "--k", "5"])).expect("create");
+        assert!(
+            run(&argv(&["record", &db])).is_err(),
+            "record without --out must fail"
+        );
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let out =
+                run(&argv(&["record", &db, "--out", &wrk, "--queries", "8"])).expect("record");
+            assert!(out.contains("recorded 8 queries"), "{out}");
+            let records = contfield::storage::decode_wrk(&std::fs::read(&wrk).expect("wrk bytes"))
+                .expect("decodable workload");
+            assert_eq!(records.len(), 8);
+            assert!(
+                records.iter().all(|r| r.plane.as_str() == "paged"),
+                "{records:?}"
+            );
+            std::fs::remove_file(&wrk).expect("cleanup");
+        }
+        // With the recorder compiled out the command must say so rather
+        // than writing an empty recording.
+        #[cfg(feature = "obs-off")]
+        assert!(run(&argv(&["record", &db, "--out", &wrk, "--queries", "8"])).is_err());
+        std::fs::remove_file(&db).expect("cleanup");
+    }
+
+    #[test]
+    fn top_watch_prints_rates_from_counter_diffs() {
+        let dir = std::env::temp_dir();
+        let port_file = dir.join(format!("fielddb_watch_port_{}", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        let pf = port_file.to_string_lossy().into_owned();
+        let server = std::thread::spawn(move || {
+            run(&argv(&[
+                "serve-metrics",
+                "--port",
+                "0",
+                "--k",
+                "5",
+                "--queries",
+                "4",
+                "--max-requests",
+                "2",
+                "--port-file",
+                &pf,
+            ]))
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve-metrics never wrote its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        assert!(
+            run(&argv(&["top", "--addr", &addr, "--watch", "0"])).is_err(),
+            "non-positive watch interval must be rejected"
+        );
+        // One bounded interval: two scrapes, so rates diff to zero on
+        // the idle server — the point is the rate table, not the values.
+        let out = run(&argv(&[
+            "top", "--addr", &addr, "--watch", "0.05", "--count", "1",
+        ]))
+        .expect("top watch");
+        assert!(out.contains("watching"), "{out}");
+        assert!(out.contains("queries/s"), "{out}");
+        assert!(out.contains("disk/s"), "{out}");
+        let rows: Vec<&str> = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with('0'))
+            .collect();
+        assert_eq!(rows.len(), 1, "{out}");
+
+        let out = server.join().expect("no panic").expect("serve");
+        assert!(out.contains("served 2 request(s)"), "{out}");
+        let _ = std::fs::remove_file(&port_file);
     }
 
     #[test]
